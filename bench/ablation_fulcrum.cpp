@@ -1,0 +1,93 @@
+// Ablation: hedonic adaptation (the "shifting fulcrum") OFF.
+//
+// §4.2's anomaly — Dec '21 speeds beat Apr '21 yet Pos is drastically
+// lower, and 2022's Pos recovers while speeds keep falling — only exists
+// because users judge speeds against an *adapted* expectation. With the
+// adaptation replaced by a fixed absolute reference, Pos becomes a pure
+// function of the speed level and both anomalies vanish.
+#include "bench_util.h"
+
+#include "usaas/fulcrum.h"
+
+namespace {
+
+using namespace usaas;
+
+std::vector<service::FulcrumMonth> run(bool adaptation) {
+  social::SubredditConfig cfg;
+  cfg.adaptation_enabled = adaptation;
+  const auto corpus = bench::make_social_corpus(cfg);
+  const nlp::SentimentAnalyzer analyzer;
+  const service::FulcrumTracker tracker{analyzer};
+  return tracker.analyze(corpus.posts);
+}
+
+const service::FulcrumMonth& month_at(
+    const std::vector<service::FulcrumMonth>& months, int y, int m) {
+  for (const auto& fm : months) {
+    if (fm.year == y && fm.month == m) return fm;
+  }
+  throw std::runtime_error("missing month");
+}
+
+void reproduction() {
+  bench::print_header("Ablation: Pos score with and without adaptation");
+  const auto adapted = run(true);
+  const auto absolute = run(false);
+
+  std::printf("%8s | %7s | %12s | %12s\n", "month", "median",
+              "Pos (adapted)", "Pos (absolute)");
+  bench::print_rule();
+  for (std::size_t i = 0; i < adapted.size(); ++i) {
+    std::printf("%04d-%02d | %7.1f | %12s | %12s\n", adapted[i].year,
+                adapted[i].month, adapted[i].median_downlink_mbps,
+                adapted[i].pos_score
+                    ? std::to_string(*adapted[i].pos_score).substr(0, 5).c_str()
+                    : "n/a",
+                absolute[i].pos_score
+                    ? std::to_string(*absolute[i].pos_score).substr(0, 5).c_str()
+                    : "n/a");
+  }
+
+  const auto& a_apr = month_at(adapted, 2021, 4);
+  const auto& a_dec = month_at(adapted, 2021, 12);
+  const auto& b_apr = month_at(absolute, 2021, 4);
+  const auto& b_dec = month_at(absolute, 2021, 12);
+  std::printf("\nDec'21-vs-Apr'21 anomaly (speeds %.1f vs %.1f):\n",
+              a_dec.median_downlink_mbps, a_apr.median_downlink_mbps);
+  std::printf("  adapted:  Pos %.2f (Apr) -> %.2f (Dec)  [anomaly: lower "
+              "despite faster]\n",
+              a_apr.pos_score.value_or(0), a_dec.pos_score.value_or(0));
+  std::printf("  absolute: Pos %.2f (Apr) -> %.2f (Dec)  [no anomaly: "
+              "tracks the level]\n",
+              b_apr.pos_score.value_or(0), b_dec.pos_score.value_or(0));
+
+  const auto& a_mar22 = month_at(adapted, 2022, 3);
+  const auto& a_dec22 = month_at(adapted, 2022, 12);
+  const auto& b_mar22 = month_at(absolute, 2022, 3);
+  const auto& b_dec22 = month_at(absolute, 2022, 12);
+  std::printf("\n2022 inverse trend (speeds %.1f -> %.1f):\n",
+              a_mar22.median_downlink_mbps, a_dec22.median_downlink_mbps);
+  std::printf("  adapted:  Pos %.2f -> %.2f  [recovers while speeds fall]\n",
+              a_mar22.pos_score.value_or(0), a_dec22.pos_score.value_or(0));
+  std::printf("  absolute: Pos %.2f -> %.2f  [keeps falling with speeds]\n",
+              b_mar22.pos_score.value_or(0), b_dec22.pos_score.value_or(0));
+}
+
+void BM_CorpusWithAdaptation(benchmark::State& state) {
+  for (auto _ : state) {
+    social::SubredditConfig cfg;
+    cfg.last_day = core::Date(2021, 6, 30);  // half a year per iteration
+    cfg.adaptation_enabled = state.range(0) != 0;
+    const auto corpus = usaas::bench::make_social_corpus(cfg);
+    benchmark::DoNotOptimize(corpus.posts.data());
+  }
+}
+BENCHMARK(BM_CorpusWithAdaptation)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return usaas::bench::run_reproduction_then_benchmarks(argc, argv,
+                                                        reproduction);
+}

@@ -1,0 +1,74 @@
+// Ablation: sentiment gating OFF in the outage detector.
+//
+// §4.1: keyword "occurrences are only counted if the user sentiment
+// attached to them was negative to avoid false positives." With the gate
+// removed, neutral/positive threads that merely *mention* outage words
+// ("no outage this month!", reliability praise, question threads) leak
+// into the daily counts and detection precision falls.
+#include "bench_util.h"
+
+#include "usaas/outage_detector.h"
+
+namespace {
+
+using namespace usaas;
+
+void reproduction() {
+  bench::print_header("Ablation: outage detection with and without the "
+                      "negative-sentiment gate");
+  const auto corpus = bench::make_social_corpus();
+  const nlp::SentimentAnalyzer analyzer;
+
+  const service::OutageDetector gated{
+      analyzer, nlp::KeywordDictionary::outage_dictionary()};
+  service::OutageDetectorConfig cfg;
+  cfg.require_negative_sentiment = false;
+  const service::OutageDetector ungated{
+      analyzer, nlp::KeywordDictionary::outage_dictionary(), cfg};
+
+  const auto gated_series =
+      gated.keyword_series(corpus.posts, corpus.first, corpus.last);
+  const auto ungated_series =
+      ungated.keyword_series(corpus.posts, corpus.first, corpus.last);
+  std::printf("total keyword occurrences counted: gated %.0f vs ungated "
+              "%.0f (+%.0f%% noise)\n",
+              gated_series.total(), ungated_series.total(),
+              100.0 * (ungated_series.total() / gated_series.total() - 1.0));
+
+  const auto truth = corpus.outages.days_above(0.004);
+  for (const bool gate : {true, false}) {
+    const auto& detector = gate ? gated : ungated;
+    const auto detections =
+        detector.detect(corpus.posts, corpus.first, corpus.last);
+    const auto q = service::OutageDetector::evaluate(detections, truth, 1);
+    std::printf("\n%s: %zu detections, precision %.2f, recall %.2f\n",
+                gate ? "WITH gate" : "WITHOUT gate", detections.size(),
+                q.precision(), q.recall());
+  }
+  std::printf("\n(without the gate, benign keyword chatter more than "
+              "doubles the counts: precision falls AND the raised noise "
+              "floor buries the small real spikes — the paper's "
+              "rationale)\n");
+}
+
+void BM_GatedVsUngatedSeries(benchmark::State& state) {
+  static const auto corpus = usaas::bench::make_social_corpus();
+  const nlp::SentimentAnalyzer analyzer;
+  service::OutageDetectorConfig cfg;
+  cfg.require_negative_sentiment = state.range(0) != 0;
+  const service::OutageDetector detector{
+      analyzer, nlp::KeywordDictionary::outage_dictionary(), cfg};
+  for (auto _ : state) {
+    const auto series =
+        detector.keyword_series(corpus.posts, corpus.first, corpus.last);
+    benchmark::DoNotOptimize(series.values().data());
+  }
+}
+BENCHMARK(BM_GatedVsUngatedSeries)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return usaas::bench::run_reproduction_then_benchmarks(argc, argv,
+                                                        reproduction);
+}

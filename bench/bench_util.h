@@ -1,0 +1,83 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Each bench binary (one per paper figure) does two things:
+//   1. regenerates the figure's rows/series and prints them (the
+//      reproduction), then
+//   2. runs google-benchmark timings of the underlying pipeline so the
+//      cost of each analysis is tracked.
+// `run_reproduction_then_benchmarks` wires the custom main.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "confsim/dataset.h"
+#include "social/subreddit.h"
+
+namespace usaas::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+/// Builds the default two-year social corpus used by the §4 benches.
+struct SocialCorpus {
+  std::vector<social::Post> posts;
+  leo::EventTimeline events;
+  leo::OutageModel outages;
+  std::vector<social::DayTruth> truths;
+  core::Date first;
+  core::Date last;
+};
+
+inline SocialCorpus make_social_corpus(
+    social::SubredditConfig cfg = social::SubredditConfig{},
+    std::uint64_t outage_seed = 42) {
+  leo::LaunchSchedule sched;
+  SocialCorpus corpus{
+      {},
+      leo::EventTimeline{sched},
+      leo::OutageModel{cfg.first_day, cfg.last_day, outage_seed},
+      {},
+      cfg.first_day,
+      cfg.last_day};
+  social::RedditSim sim{
+      cfg,
+      leo::SpeedModel{leo::ConstellationModel{sched}, leo::SubscriberModel{}},
+      leo::OutageModel{cfg.first_day, cfg.last_day, outage_seed},
+      leo::EventTimeline{sched}};
+  corpus.posts = sim.simulate();
+  corpus.truths = sim.day_truths();
+  return corpus;
+}
+
+/// Directory for machine-readable CSV exports of the figure series, when
+/// the user sets USAAS_CSV_DIR. Returns nullopt otherwise.
+inline std::optional<std::string> csv_export_dir() {
+  const char* dir = std::getenv("USAAS_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  return std::string{dir};
+}
+
+/// Runs the reproduction body once, then any registered benchmarks.
+template <typename Fn>
+int run_reproduction_then_benchmarks(int argc, char** argv, Fn&& reproduction) {
+  reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace usaas::bench

@@ -1,0 +1,105 @@
+// Fig 5(a): daily strong-positive / strong-negative post counts on
+// r/Starlink with the top-3 peaks annotated by news search.
+// Fig 5(b): the word cloud of the 3rd-highest peak (22 Apr '22) whose
+// top words include "outage" although no news outlet covered it.
+#include "bench_util.h"
+
+#include "usaas/peak_annotator.h"
+
+namespace {
+
+using namespace usaas;
+
+void reproduction() {
+  bench::print_header(
+      "Fig 5 reproduction: sentiment peaks on r/Starlink, Jan'21-Dec'22");
+  const auto corpus = bench::make_social_corpus();
+  std::printf("simulated posts: %zu (%.0f/week; paper: 372/week)\n",
+              corpus.posts.size(), corpus.posts.size() / 104.3);
+
+  const nlp::SentimentAnalyzer analyzer;
+  const service::PeakAnnotator annotator{analyzer, corpus.events};
+
+  // Monthly summary of the daily strong-sentiment series (Fig 5a's shape).
+  const auto series =
+      annotator.build_series(corpus.posts, corpus.first, corpus.last);
+  std::printf("\nmonthly strong-sentiment post counts:\n");
+  std::printf("%8s | %10s %10s\n", "month", "strong+", "strong-");
+  bench::print_rule();
+  core::Date month = corpus.first;
+  while (month <= corpus.last) {
+    double pos = 0.0;
+    double neg = 0.0;
+    const core::Date next = month.plus_months(1);
+    core::for_each_day(month, next.plus_days(-1), [&](const core::Date& d) {
+      pos += series.strong_positive.at(d);
+      neg += series.strong_negative.at(d);
+    });
+    std::printf("%8s | %10.0f %10.0f\n", month.month_string().c_str(), pos,
+                neg);
+    month = next;
+  }
+
+  // The top-3 peaks with their word clouds and news annotations.
+  const auto peaks =
+      annotator.annotate(corpus.posts, corpus.first, corpus.last);
+  std::printf("\ntop-%zu sentiment peaks (paper: 9 Feb'21 +preorders, "
+              "24 Nov'21 -delays, 22 Apr'22 -uncovered outage):\n",
+              peaks.size());
+  for (std::size_t i = 0; i < peaks.size(); ++i) {
+    const auto& p = peaks[i];
+    std::printf("\n#%zu  %s  strong+=%.0f strong-=%.0f  (%s)\n", i + 1,
+                p.date.to_string().c_str(), p.strong_positive,
+                p.strong_negative,
+                p.positive_dominant ? "positive" : "negative");
+    std::printf("    search terms:");
+    for (const auto& t : p.search_terms) std::printf(" '%s'", t.c_str());
+    std::printf("\n    news: %s\n",
+                p.news ? p.news->headline.c_str()
+                       : "NONE FOUND (the community knew first)");
+    std::printf("    summary: %.220s...\n", p.summary.c_str());
+    if (p.date == core::Date(2022, 4, 22)) {
+      std::printf("\n    Fig 5(b): word cloud of the 22 Apr '22 peak day\n");
+      std::printf("%s", p.cloud.render_text(12).c_str());
+      const auto rank = p.cloud.rank_of("outage");
+      if (rank) {
+        std::printf("    'outage' ranks #%zu in the cloud (paper: 3rd most "
+                    "common word)\n",
+                    *rank + 1);
+      }
+    }
+  }
+}
+
+void BM_SentimentSeries(benchmark::State& state) {
+  static const auto corpus = usaas::bench::make_social_corpus();
+  const nlp::SentimentAnalyzer analyzer;
+  const service::PeakAnnotator annotator{analyzer, corpus.events};
+  for (auto _ : state) {
+    const auto series =
+        annotator.build_series(corpus.posts, corpus.first, corpus.last);
+    benchmark::DoNotOptimize(series.strong_positive.values().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(corpus.posts.size()));
+}
+BENCHMARK(BM_SentimentSeries);
+
+void BM_PeakAnnotation(benchmark::State& state) {
+  static const auto corpus = usaas::bench::make_social_corpus();
+  const nlp::SentimentAnalyzer analyzer;
+  const service::PeakAnnotator annotator{analyzer, corpus.events};
+  for (auto _ : state) {
+    const auto peaks =
+        annotator.annotate(corpus.posts, corpus.first, corpus.last);
+    benchmark::DoNotOptimize(peaks.data());
+  }
+}
+BENCHMARK(BM_PeakAnnotation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return usaas::bench::run_reproduction_then_benchmarks(argc, argv,
+                                                        reproduction);
+}

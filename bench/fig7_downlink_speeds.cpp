@@ -1,0 +1,163 @@
+// Fig 7: "Downlink speeds on Starlink evolve with more launches and
+// customers. User sentiment largely follows the observed speeds."
+//
+// Runs the full §4.2 pipeline: speed-test screenshot posts -> noisy OCR ->
+// field extraction -> monthly medians (with 95%/90% subsample stability),
+// plus the normalized strong-positive sentiment score (Pos), annotated
+// with launch counts and reported subscriber numbers.
+#include "bench_util.h"
+
+#include "core/csv.h"
+#include "core/trend.h"
+#include "usaas/fulcrum.h"
+
+namespace {
+
+using namespace usaas;
+
+void reproduction() {
+  bench::print_header(
+      "Fig 7 reproduction: monthly median downlink + Pos sentiment, "
+      "annotated with launches & subscribers");
+  const auto corpus = bench::make_social_corpus();
+  const nlp::SentimentAnalyzer analyzer;
+  const service::FulcrumTracker tracker{analyzer};
+  const auto months = tracker.analyze(corpus.posts);
+
+  const leo::LaunchSchedule schedule;
+  const leo::SubscriberModel subscribers;
+
+  const auto& stats = tracker.extraction_stats();
+  std::printf("speed-test reports: %zu attempted, %zu extracted (%.0f%%; "
+              "paper identified ~1750 usable reports)\n",
+              stats.attempted, stats.extracted, 100.0 * stats.success_rate());
+
+  std::printf("\n%8s | %4s | %6s %6s %6s | %5s (%4s/%4s) | %8s | %9s\n",
+              "month", "n", "median", "@95%", "@90%", "Pos", "s+", "s-",
+              "launches", "subs");
+  bench::print_rule();
+  for (const auto& m : months) {
+    const core::Date start{m.year, m.month, 1};
+    const core::Date end = start.plus_months(1).plus_days(-1);
+    const int launches = schedule.launches_between(start, end);
+    const double subs = subscribers.subscribers_on(core::Date{
+        m.year, m.month, 15});
+    std::printf("%04d-%02d | %4zu | %6.1f %6.1f %6.1f | %5s (%4zu/%4zu) | "
+                "%8d | %9.0f\n",
+                m.year, m.month, m.reports, m.median_downlink_mbps,
+                m.median_95pct_sample, m.median_90pct_sample,
+                m.pos_score ? std::to_string(*m.pos_score).substr(0, 5).c_str()
+                            : "  n/a",
+                m.strong_positive, m.strong_negative, launches, subs);
+  }
+
+  if (const auto dir = bench::csv_export_dir()) {
+    core::CsvTable csv{{"month", "reports", "median_mbps", "median_95pct",
+                        "median_90pct", "pos", "strong_pos", "strong_neg"}};
+    for (const auto& m : months) {
+      csv.add_row({std::to_string(m.year) + "-" + std::to_string(m.month),
+                   std::to_string(m.reports),
+                   std::to_string(m.median_downlink_mbps),
+                   std::to_string(m.median_95pct_sample),
+                   std::to_string(m.median_90pct_sample),
+                   m.pos_score ? std::to_string(*m.pos_score) : "",
+                   std::to_string(m.strong_positive),
+                   std::to_string(m.strong_negative)});
+    }
+    const std::string path = *dir + "/fig7_downlink_speeds.csv";
+    csv.write_file(path);
+    std::printf("\n(csv written to %s)\n", path.c_str());
+  }
+
+  auto month_at = [&](int y, int mo) -> const service::FulcrumMonth& {
+    for (const auto& m : months) {
+      if (m.year == y && m.month == mo) return m;
+    }
+    throw std::runtime_error("missing month");
+  };
+  std::printf("\npaper's shape claims:\n");
+  std::printf("  rise Jan-Jun'21:        %.1f -> %.1f Mbps\n",
+              month_at(2021, 1).median_downlink_mbps,
+              month_at(2021, 6).median_downlink_mbps);
+  std::printf("  Jun-Aug'21 dip:         %.1f -> %.1f Mbps (21K users added,"
+              " no launches)\n",
+              month_at(2021, 6).median_downlink_mbps,
+              month_at(2021, 8).median_downlink_mbps);
+  std::printf("  decline Sep'21-Dec'22:  %.1f -> %.1f Mbps (37 launches but"
+              " 90K -> 1M+ users)\n",
+              month_at(2021, 9).median_downlink_mbps,
+              month_at(2022, 12).median_downlink_mbps);
+  const auto& apr21 = month_at(2021, 4);
+  const auto& dec21 = month_at(2021, 12);
+  std::printf("  fulcrum anomaly:        Dec'21 speed %.1f > Apr'21 %.1f, "
+              "but Pos %.2f < %.2f\n",
+              dec21.median_downlink_mbps, apr21.median_downlink_mbps,
+              dec21.pos_score.value_or(0.0), apr21.pos_score.value_or(0.0));
+  const auto& mar22 = month_at(2022, 3);
+  const auto& dec22 = month_at(2022, 12);
+  std::printf("  inverse trend in 2022:  speeds %.1f -> %.1f while Pos "
+              "%.2f -> %.2f (conditioning to lower speeds)\n",
+              mar22.median_downlink_mbps, dec22.median_downlink_mbps,
+              mar22.pos_score.value_or(0.0), dec22.pos_score.value_or(0.0));
+
+  // Statistical verdict on "almost steady decrease" beyond Sep '21.
+  std::vector<double> post_sep;
+  for (const auto& m : months) {
+    if (m.year > 2021 || (m.year == 2021 && m.month >= 9)) {
+      post_sep.push_back(m.median_downlink_mbps);
+    }
+  }
+  const auto mk = core::mann_kendall(post_sep);
+  std::printf("  Mann-Kendall (Sep'21-Dec'22 medians): tau %.2f, z %.1f -> "
+              "%s; Theil-Sen slope %.2f Mbps/month\n",
+              mk.tau, mk.z,
+              mk.decreasing() ? "significant decline" : "no trend",
+              core::theil_sen_slope(post_sep));
+
+  // The paper's OCR pipeline also extracts uplink and latency.
+  std::printf("\nother OCR-extracted fields (quarterly medians):\n");
+  for (std::size_t i = 0; i + 2 < months.size(); i += 3) {
+    double up = 0.0;
+    double lat = 0.0;
+    for (std::size_t j = i; j < i + 3; ++j) {
+      up += months[j].median_uplink_mbps;
+      lat += months[j].median_latency_ms;
+    }
+    std::printf("  %d-Q%zu: uplink %.1f Mbps, latency %.0f ms\n",
+                months[i].year, i % 12 / 3 + 1, up / 3.0, lat / 3.0);
+  }
+}
+
+void BM_FulcrumPipeline(benchmark::State& state) {
+  static const auto corpus = usaas::bench::make_social_corpus();
+  const nlp::SentimentAnalyzer analyzer;
+  const service::FulcrumTracker tracker{analyzer};
+  for (auto _ : state) {
+    const auto months = tracker.analyze(corpus.posts);
+    benchmark::DoNotOptimize(months.data());
+  }
+}
+BENCHMARK(BM_FulcrumPipeline);
+
+void BM_OcrExtractionOnly(benchmark::State& state) {
+  static const auto corpus = usaas::bench::make_social_corpus();
+  const ocr::NoisyOcr channel;
+  const ocr::ReportExtractor extractor;
+  core::Rng rng{1};
+  for (auto _ : state) {
+    std::size_t ok = 0;
+    for (const auto& post : corpus.posts) {
+      if (!post.screenshot) continue;
+      if (extractor.extract(channel.read(*post.screenshot, rng))) ++ok;
+    }
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_OcrExtractionOnly);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return usaas::bench::run_reproduction_then_benchmarks(argc, argv,
+                                                        reproduction);
+}

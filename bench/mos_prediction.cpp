@@ -1,0 +1,91 @@
+// §5 (text): "We are currently also using AI/ML techniques to predict MOS
+// scores from user engagement and network conditions."
+//
+// Trains the MOS predictor on the rated subset and evaluates on held-out
+// raters against three baselines: network-features-only, engagement-only,
+// and the constant training mean.
+#include "bench_util.h"
+
+#include "usaas/mos_predictor.h"
+
+namespace {
+
+using namespace usaas;
+
+std::vector<confsim::ParticipantRecord> build_sessions(std::size_t calls) {
+  confsim::DatasetConfig cfg;
+  cfg.seed = 55;
+  cfg.num_calls = calls;
+  cfg.sampling = confsim::ConditionSampling::kSweep;
+  cfg.sweep_metric = netsim::Metric::kLatency;
+  cfg.sweep_lo = 0.0;
+  cfg.sweep_hi = 300.0;
+  cfg.control_windows.loss_hi_pct = 3.0;
+  std::vector<confsim::ParticipantRecord> out;
+  confsim::CallDatasetGenerator{cfg}.generate_stream(
+      [&](const confsim::CallRecord& call) {
+        for (const auto& p : call.participants) out.push_back(p);
+      });
+  return out;
+}
+
+void print_metrics(const char* name, const core::RegressionMetrics& m) {
+  std::printf("%-18s mae %.3f  rmse %.3f  r2 %+.3f\n", name, m.mae, m.rmse,
+              m.r2);
+}
+
+void reproduction() {
+  bench::print_header("MOS prediction from engagement + network conditions");
+  const auto sessions = build_sessions(60000);
+  std::size_t rated = 0;
+  for (const auto& s : sessions) rated += s.mos ? 1 : 0;
+  std::printf("sessions: %zu, rated: %zu (%.2f%% — the paper's 0.1-1%% "
+              "sampling)\n",
+              sessions.size(), rated,
+              100.0 * static_cast<double>(rated) / sessions.size());
+
+  const service::MosPredictor predictor;
+  const auto ev = predictor.evaluate(sessions);
+  std::printf("\ntrain %zu rated sessions, test %zu held out:\n",
+              ev.train_sessions, ev.test_sessions);
+  print_metrics("engagement+network", ev.full);
+  print_metrics("network only", ev.network_only);
+  print_metrics("engagement only", ev.engagement_only);
+  print_metrics("constant mean", ev.mean_baseline);
+
+  std::printf("\ncoverage: the trained model backfills a MOS estimate for "
+              "the %.1f%% of sessions the splash screen never asked.\n",
+              100.0 * (1.0 - static_cast<double>(rated) / sessions.size()));
+}
+
+void BM_PredictorTraining(benchmark::State& state) {
+  static const auto sessions = build_sessions(30000);
+  for (auto _ : state) {
+    service::MosPredictor predictor;
+    predictor.train(sessions);
+    benchmark::DoNotOptimize(&predictor);
+  }
+}
+BENCHMARK(BM_PredictorTraining);
+
+void BM_PredictorInference(benchmark::State& state) {
+  static const auto sessions = build_sessions(10000);
+  static const service::MosPredictor predictor = [] {
+    service::MosPredictor p;
+    p.train(sessions);
+    return p;
+  }();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.predict(sessions[i % sessions.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PredictorInference);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return usaas::bench::run_reproduction_then_benchmarks(argc, argv,
+                                                        reproduction);
+}

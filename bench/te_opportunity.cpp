@@ -1,0 +1,98 @@
+// §6 (text): "If call latency, for example, is the discerning factor
+// affecting user experience on MS Teams, could network resource allocation
+// be tuned online to cater to the demand?"
+//
+// Allocates a fixed boost budget (a premium route / priority marking that
+// improves a session's conditions) over the same session population with
+// three policies and compares the resulting population experience. The
+// USaaS policy ranks sessions by *predicted experience gain* — using the
+// behaviour model's nonlinearity — rather than by raw network badness.
+#include "bench_util.h"
+
+#include "netsim/profiles.h"
+#include "usaas/qoe_controller.h"
+
+namespace {
+
+using namespace usaas;
+using service::AllocationOutcome;
+using service::BoostPolicy;
+using service::QoeExperiment;
+
+std::vector<netsim::NetworkConditions> make_population(std::size_t n) {
+  core::Rng rng{5};
+  std::vector<netsim::NetworkConditions> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(netsim::sample_mixed_baseline(rng));
+  }
+  return out;
+}
+
+void print_outcome(const char* label, const AllocationOutcome& out,
+                   const AllocationOutcome& baseline) {
+  std::printf("%-24s impairment %.4f (-%5.1f%%)  presence %.2f%%  "
+              "drop-off %.4f  boosted %zu\n",
+              label, out.mean_experience_impairment,
+              100.0 * (1.0 - out.mean_experience_impairment /
+                                 baseline.mean_experience_impairment),
+              out.mean_presence_pct, out.mean_drop_off, out.boosted);
+}
+
+void reproduction() {
+  bench::print_header(
+      "Traffic-engineering opportunity: allocating a 10% boost budget over "
+      "50k sessions");
+  const auto population = make_population(50000);
+  const QoeExperiment experiment;
+  const auto baseline = experiment.run_unboosted(population);
+  std::printf("%-24s impairment %.4f            presence %.2f%%  "
+              "drop-off %.4f\n",
+              "no boosts", baseline.mean_experience_impairment,
+              baseline.mean_presence_pct, baseline.mean_drop_off);
+
+  for (const auto policy :
+       {BoostPolicy::kRandom, BoostPolicy::kWorstNetworkFirst,
+        BoostPolicy::kPredictedGain}) {
+    core::Rng rng{7};
+    print_outcome(to_string(policy), experiment.run(population, policy, rng),
+                  baseline);
+  }
+
+  // Budget sweep for the USaaS policy.
+  std::printf("\nUSaaS policy across budgets:\n");
+  for (const double budget : {0.02, 0.05, 0.10, 0.20, 0.40}) {
+    service::QoeExperimentConfig cfg;
+    cfg.budget_fraction = budget;
+    const QoeExperiment exp{cfg};
+    core::Rng rng{7};
+    const auto out = exp.run(population, BoostPolicy::kPredictedGain, rng);
+    std::printf("  budget %4.0f%% -> impairment %.4f, drop-off %.4f\n",
+                100.0 * budget, out.mean_experience_impairment,
+                out.mean_drop_off);
+  }
+  std::printf("\nreading: informed policies concentrate the budget where "
+              "behaviour responds; the marginal-gain (USaaS) ranking avoids "
+              "wasting boosts on sessions the boost cannot save.\n");
+}
+
+void BM_AllocationPolicies(benchmark::State& state) {
+  static const auto population = make_population(20000);
+  const QoeExperiment experiment;
+  const auto policy = static_cast<BoostPolicy>(state.range(0));
+  for (auto _ : state) {
+    core::Rng rng{7};
+    benchmark::DoNotOptimize(
+        experiment.run(population, policy, rng).mean_experience_impairment);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(population.size()));
+}
+BENCHMARK(BM_AllocationPolicies)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return usaas::bench::run_reproduction_then_benchmarks(argc, argv,
+                                                        reproduction);
+}

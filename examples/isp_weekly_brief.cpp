@@ -1,0 +1,38 @@
+// The USaaS subscription product: a weekly brief for an ISP operator.
+//
+// Simulates Q1-Q2 2022 of r/Starlink and prints the weekly report for
+// every week of April — the month containing the 22 Apr outage that never
+// made the news. Watch the sentiment balance collapse, the alert fire on
+// the right day, and the loudest-day summary explain why.
+//
+// Build & run:   ./build/examples/isp_weekly_brief
+#include <cstdio>
+
+#include "social/subreddit.h"
+#include "usaas/report.h"
+
+int main() {
+  using namespace usaas;
+
+  std::printf("simulating r/Starlink for H1 2022...\n\n");
+  social::SubredditConfig cfg;
+  cfg.first_day = core::Date(2022, 1, 1);
+  cfg.last_day = core::Date(2022, 6, 30);
+  leo::LaunchSchedule schedule;
+  social::RedditSim sim{
+      cfg,
+      leo::SpeedModel{leo::ConstellationModel{schedule},
+                      leo::SubscriberModel{}},
+      leo::OutageModel{cfg.first_day, cfg.last_day, 42},
+      leo::EventTimeline{schedule}};
+  const auto posts = sim.simulate();
+
+  const nlp::SentimentAnalyzer analyzer;
+  for (core::Date week{2022, 4, 4}; week <= core::Date(2022, 4, 25);
+       week = week.plus_days(7)) {
+    const auto report =
+        service::generate_weekly_report(posts, week, analyzer);
+    std::printf("%s\n", report.render_text().c_str());
+  }
+  return 0;
+}

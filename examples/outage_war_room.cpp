@@ -1,0 +1,76 @@
+// Outage war room: the Fig 6 pipeline as an operations tool.
+//
+// Replays a simulated year day by day and shows what an on-call operator
+// would have seen: the daily keyword counter, alerts as spikes emerge, and
+// the post-hoc comparison against what actually broke (including the
+// transient outages nobody ever reported to the press — the coverage gap
+// the paper argues USaaS fills).
+//
+// Build & run:   ./build/examples/outage_war_room
+#include <cstdio>
+
+#include "social/subreddit.h"
+#include "usaas/outage_detector.h"
+
+int main() {
+  using namespace usaas;
+
+  const core::Date first{2022, 1, 1};
+  const core::Date last{2022, 12, 31};
+  std::printf("simulating r/Starlink for 2022...\n");
+  leo::LaunchSchedule schedule;
+  leo::OutageModel outages{first, last, 42};
+  social::SubredditConfig cfg;
+  cfg.first_day = first;
+  cfg.last_day = last;
+  social::RedditSim sim{
+      cfg,
+      leo::SpeedModel{leo::ConstellationModel{schedule},
+                      leo::SubscriberModel{}},
+      leo::OutageModel{first, last, 42}, leo::EventTimeline{schedule}};
+  const auto posts = sim.simulate();
+
+  const nlp::SentimentAnalyzer analyzer;
+  const service::OutageDetector detector{
+      analyzer, nlp::KeywordDictionary::outage_dictionary()};
+
+  const auto detections = detector.detect(posts, first, last);
+  std::printf("\n%zu alert days raised over the year:\n", detections.size());
+  std::printf("%12s | %9s | %9s | %s\n", "date", "keywords", "severity",
+              "assessment");
+  for (const auto& det : detections) {
+    // What actually happened that day (ground truth the operator would
+    // learn later).
+    const auto real = outages.on(det.date);
+    double severity = 0.0;
+    const char* cause = "none on record";
+    bool press = false;
+    for (const auto& o : real) {
+      if (o.severity() >= severity) {
+        severity = o.severity();
+        cause = to_string(o.cause);
+        press = o.publicly_reported;
+      }
+    }
+    std::printf("%12s | %9.0f | %9.3f | %s%s%s\n",
+                det.date.to_string().c_str(), det.keyword_count, severity,
+                det.major ? "MAJOR " : "", cause,
+                severity > 0.0 && !press ? " (never made the news)" : "");
+  }
+
+  std::size_t unreported_caught = 0;
+  std::size_t real_hits = 0;
+  for (const auto& det : detections) {
+    for (const auto& o : outages.on(det.date)) {
+      ++real_hits;
+      if (!o.publicly_reported) ++unreported_caught;
+      break;
+    }
+  }
+  std::printf("\n%zu of %zu alert days matched a real outage; %zu of those "
+              "were outages the press never covered.\n",
+              real_hits, detections.size(), unreported_caught);
+  std::printf("(Downdetector-style services log only the large incidents; "
+              "the subreddit sees the transient ones too.)\n");
+  return 0;
+}

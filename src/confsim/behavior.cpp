@@ -1,0 +1,158 @@
+#include "confsim/behavior.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace usaas::confsim {
+
+namespace {
+
+double smoothstep01(double x) {
+  x = std::clamp(x, 0.0, 1.0);
+  return x * x * (3.0 - 2.0 * x);
+}
+
+double smooth_between(double v, double onset, double collapse) {
+  if (collapse <= onset) return v >= collapse ? 1.0 : 0.0;
+  return smoothstep01((v - onset) / (collapse - onset));
+}
+
+}  // namespace
+
+UserBehaviorModel::UserBehaviorModel(BehaviorParams params,
+                                     netsim::MitigationConfig mitigation)
+    : params_{params}, mitigation_{mitigation} {}
+
+ChannelDamage UserBehaviorModel::damage(const netsim::NetworkConditions& c,
+                                        const BehaviorContext& ctx) const {
+  const BehaviorParams& p = params_;
+
+  // ---- Latency ----
+  const double lat = std::max(c.latency.ms(), 0.0);
+  const double knee = p.latency_knee_ms;
+  const double mic_lat =
+      p.mic_latency_steep * std::min(lat, knee) / knee +
+      p.mic_latency_plateau * std::clamp((lat - knee) / knee, 0.0, 1.0);
+  const double pres_lat =
+      p.presence_latency_full * std::min(lat / p.latency_full_ms, 1.2);
+  const double cam_lat =
+      p.cam_latency_full * std::min(lat / p.latency_full_ms, 1.2);
+
+  // ---- Loss (via the app-layer safeguards) ----
+  const double raw_loss = c.loss.fraction();
+  // Retransmission effectiveness depends on the RTT headroom, which is how
+  // latency and loss compound (Fig 2).
+  const double rtt_ms = 2.0 * lat;
+  const double residual =
+      netsim::residual_loss(raw_loss, core::Milliseconds{rtt_ms}, mitigation_);
+  const double annoy = p.loss_annoyance_per_pct * c.loss.percent();
+  const double eng_impair =
+      p.loss_eng_scale *
+      smooth_between(residual, p.loss_eng_onset, p.loss_eng_collapse);
+  const double loss_eng = annoy + eng_impair;
+  const double drop_impair =
+      smooth_between(residual, p.loss_drop_onset, p.loss_drop_collapse);
+
+  // ---- Jitter ----
+  const double jit = std::max(c.jitter.ms(), 0.0);
+  const double jit_x = std::min(jit / p.jitter_full_ms, p.jitter_cap);
+  const double cam_jit = p.cam_jitter_scale * jit_x;
+  const double pres_jit = p.presence_jitter_scale * jit_x;
+  const double mic_jit = p.mic_jitter_scale * jit_x;
+
+  // ---- Bandwidth ----
+  const double bw = std::max(c.bandwidth.mbps(), 0.0);
+  const double gentle_span = p.bw_plenty_mbps - p.bw_starvation_mbps;
+  const double gentle_frac =
+      std::clamp((p.bw_plenty_mbps - bw) / gentle_span, 0.0, 1.0);
+  const double starved_mbps = std::max(p.bw_starvation_mbps - bw, 0.0);
+  const double cam_bw =
+      p.cam_bw_gentle * gentle_frac + p.cam_bw_starved_per_mbps * starved_mbps;
+  const double pres_bw = p.presence_bw_gentle * gentle_frac +
+                         p.presence_bw_starved_per_mbps * starved_mbps;
+  // Audio needs orders of magnitude less bandwidth: mic is flat.
+  const double mic_bw = 0.0;
+
+  // ---- Combine: survival product plus latency x loss synergy ----
+  const double sens = traits_for(ctx.platform).sensitivity * ctx.conditioning;
+  auto combine = [&](double d_lat, double d_loss, double d_jit, double d_bw) {
+    const double survival =
+        (1.0 - d_lat) * (1.0 - d_loss) * (1.0 - d_jit) * (1.0 - d_bw);
+    const double synergy = p.latency_loss_synergy * d_lat * d_loss;
+    return std::clamp(sens * (1.0 - survival + synergy), 0.0, 1.0);
+  };
+
+  ChannelDamage d;
+  d.presence = combine(pres_lat, loss_eng, pres_jit, pres_bw);
+  d.cam = combine(cam_lat, loss_eng, cam_jit, cam_bw);
+  d.mic = combine(mic_lat, loss_eng, mic_jit, mic_bw);
+  d.drop_off =
+      std::clamp(sens * p.loss_drop_scale * drop_impair +
+                     sens * 0.05 * std::min(lat / p.latency_full_ms, 1.2),
+                 0.0, 1.0);
+  // Experienced impairment: what MOS responds to. Weighted toward the
+  // channels the user notices (audio interactivity, then video).
+  d.experience = std::clamp(
+      0.40 * (mic_lat + pres_lat) + 0.9 * (eng_impair + drop_impair * 0.5) +
+          0.35 * cam_jit + 0.5 * (cam_bw * 0.5 + pres_bw) + 0.5 * annoy,
+      0.0, 1.0);
+  return d;
+}
+
+Engagement UserBehaviorModel::expected_engagement(
+    const netsim::NetworkConditions& c, const BehaviorContext& ctx) const {
+  const BehaviorParams& p = params_;
+  const ChannelDamage d = damage(c, ctx);
+  const PlatformTraits traits = traits_for(ctx.platform);
+  const int extra = std::max(ctx.meeting_size - 3, 0);
+
+  const double base_presence = std::clamp(
+      p.base_presence + traits.base_presence_offset +
+          p.presence_per_participant * extra,
+      0.0, 100.0);
+  const double base_cam =
+      std::clamp(p.base_cam + traits.base_cam_offset +
+                     p.cam_per_participant * extra,
+                 p.cam_floor, 100.0);
+  const double base_mic =
+      std::clamp(p.base_mic + traits.base_mic_offset +
+                     p.mic_per_participant * extra,
+                 p.mic_floor, 100.0);
+
+  Engagement e;
+  // An early drop costs, on average, half the session.
+  const double presence_with_drop =
+      (1.0 - d.presence) * (1.0 - 0.5 * d.drop_off);
+  e.presence_pct = std::clamp(base_presence * presence_with_drop, 0.0, 100.0);
+  e.cam_on_pct = std::clamp(base_cam * (1.0 - d.cam), 0.0, 100.0);
+  e.mic_on_pct = std::clamp(base_mic * (1.0 - d.mic), 0.0, 100.0);
+  e.dropped_early = false;
+  return e;
+}
+
+Engagement UserBehaviorModel::realize(const netsim::NetworkConditions& c,
+                                      const BehaviorContext& ctx,
+                                      core::Rng& rng) const {
+  const BehaviorParams& p = params_;
+  const ChannelDamage d = damage(c, ctx);
+  Engagement e = expected_engagement(c, ctx);
+
+  const bool dropped = rng.bernoulli(d.drop_off);
+  if (dropped) {
+    // Leave at a uniformly random point of the would-be session. The
+    // expected_engagement already discounted presence by the *expected*
+    // drop cost; undo that and apply the realized leave time instead.
+    const double base = e.presence_pct / (1.0 - 0.5 * d.drop_off);
+    e.presence_pct = base * rng.uniform(0.05, 0.95);
+  }
+  e.dropped_early = dropped;
+  e.presence_pct = std::clamp(e.presence_pct + rng.normal(0.0, p.presence_noise),
+                              0.0, 100.0);
+  e.cam_on_pct =
+      std::clamp(e.cam_on_pct + rng.normal(0.0, p.cam_noise), 0.0, 100.0);
+  e.mic_on_pct =
+      std::clamp(e.mic_on_pct + rng.normal(0.0, p.mic_noise), 0.0, 100.0);
+  return e;
+}
+
+}  // namespace usaas::confsim

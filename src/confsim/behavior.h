@@ -1,0 +1,77 @@
+// The user behaviour model: session conditions -> engagement actions.
+//
+// Given a participant's session-mean network conditions, platform, meeting
+// size and personal conditioning, computes the *expected* engagement
+// metrics (Presence / Cam On / Mic On as percentages, plus early-drop-off
+// probability), then realizes a noisy observation. The expectation half is
+// exposed separately so tests can check curve shapes without sampling noise.
+#pragma once
+
+#include "confsim/behavior_params.h"
+#include "confsim/platform.h"
+#include "core/rng.h"
+#include "core/units.h"
+#include "netsim/conditions.h"
+#include "netsim/loss.h"
+
+namespace usaas::confsim {
+
+/// Damage (fraction of engagement lost, each in [0, 1]) per channel.
+struct ChannelDamage {
+  double presence{0.0};
+  double cam{0.0};
+  double mic{0.0};
+  /// Probability the user abandons the call early.
+  double drop_off{0.0};
+  /// Overall experienced impairment in [0, 1]; feeds the MOS model.
+  double experience{0.0};
+};
+
+/// Context beyond network conditions that shapes behaviour (the paper's
+/// confounders: platform, meeting size, long-term conditioning).
+struct BehaviorContext {
+  Platform platform{Platform::kWindowsPc};
+  int meeting_size{3};
+  /// Personal sensitivity multiplier (1.0 = average; <1 = acclimatized).
+  double conditioning{1.0};
+};
+
+/// Observed engagement for one participant session.
+struct Engagement {
+  double presence_pct{100.0};  // capped at 100 per the paper
+  double cam_on_pct{0.0};
+  double mic_on_pct{0.0};
+  bool dropped_early{false};
+};
+
+class UserBehaviorModel {
+ public:
+  explicit UserBehaviorModel(
+      BehaviorParams params = default_behavior_params(),
+      netsim::MitigationConfig mitigation = {});
+
+  /// Pure damage computation — deterministic, no baselines or noise.
+  [[nodiscard]] ChannelDamage damage(const netsim::NetworkConditions& c,
+                                     const BehaviorContext& ctx) const;
+
+  /// Expected engagement (no noise): baselines scaled by (1 - damage),
+  /// with the drop-off term folded into presence.
+  [[nodiscard]] Engagement expected_engagement(
+      const netsim::NetworkConditions& c, const BehaviorContext& ctx) const;
+
+  /// Noisy realization of one participant's behaviour.
+  [[nodiscard]] Engagement realize(const netsim::NetworkConditions& c,
+                                   const BehaviorContext& ctx,
+                                   core::Rng& rng) const;
+
+  [[nodiscard]] const BehaviorParams& params() const { return params_; }
+  [[nodiscard]] const netsim::MitigationConfig& mitigation() const {
+    return mitigation_;
+  }
+
+ private:
+  BehaviorParams params_;
+  netsim::MitigationConfig mitigation_;
+};
+
+}  // namespace usaas::confsim

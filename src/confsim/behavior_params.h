@@ -1,0 +1,109 @@
+// PLANTED GROUND TRUTH: the behavioural response curves.
+//
+// This header is the single place where "how users react to network
+// degradation" is defined. The analysis pipeline (usaas::CorrelationEngine
+// and the figure benches) never reads these constants — it must *recover*
+// the shapes through the same noisy, confounded, session-aggregated
+// telemetry the paper analyzed. Tests assert the recovery.
+//
+// The shapes are chosen to encode the paper's findings as behavioural
+// mechanisms, not to hard-code its plot values:
+//   * Latency: muting is the first resort — Mic On damage rises steeply to
+//     150 ms then plateaus; Presence/Cam damage grows roughly linearly to
+//     300 ms (§3.2, Fig 1 left).
+//   * Loss: engagement responds to *residual* loss after the app-layer
+//     safeguards (netsim::residual_loss), so 0-2 % raw loss barely matters;
+//     past ~3 % the safeguards saturate and drop-off probability jumps
+//     (Fig 1 middle-left). Crucially, retransmission needs RTT headroom,
+//     so high latency disables half the mitigation — that interaction is
+//     what produces Fig 2's compounding.
+//   * Jitter: hits video hardest (de-jitter buffer overruns freeze video
+//     first) — Cam On loses >15 % by 10 ms (Fig 1 middle-right).
+//   * Bandwidth: audio needs orders of magnitude less than broadband
+//     offers, so Mic On is flat; video degrades below ~1 Mbps
+//     (Fig 1 right).
+#pragma once
+
+namespace usaas::confsim {
+
+struct BehaviorParams {
+  // ---- Latency damage (x = mean session latency in ms) ----
+  /// Mic damage accrued linearly over [0, latency_knee_ms]...
+  double mic_latency_steep{0.28};
+  /// ...then this much more over (knee, 2*knee] (the plateau).
+  double mic_latency_plateau{0.05};
+  double latency_knee_ms{150.0};
+  /// Presence / Cam damage at latency_full_ms, linear from 0.
+  double presence_latency_full{0.20};
+  double cam_latency_full{0.21};
+  double latency_full_ms{300.0};
+
+  // ---- Loss damage (driven by residual loss, see netsim/loss.h) ----
+  /// Mild annoyance slope on *raw* loss (visible even when safeguards win):
+  /// damage = annoy_per_pct * raw_loss_pct.
+  double loss_annoyance_per_pct{0.022};
+  /// Engagement impairment from residual loss: smoothstep between onset and
+  /// collapse (fractions of packets).
+  double loss_eng_onset{0.0015};
+  double loss_eng_collapse{0.02};
+  double loss_eng_scale{0.22};
+  /// Early-drop-off impairment (steeper; residual bursts make the call
+  /// unusable): smoothstep between onset and collapse.
+  double loss_drop_onset{0.002};
+  double loss_drop_collapse{0.008};
+  /// P(drop early) = loss_drop_scale * impairment.
+  double loss_drop_scale{0.42};
+
+  // ---- Jitter damage (x = mean session jitter in ms) ----
+  double cam_jitter_scale{0.17};
+  double presence_jitter_scale{0.06};
+  double mic_jitter_scale{0.05};
+  double jitter_full_ms{10.0};
+  double jitter_cap{1.3};  // damage saturates at cap * scale
+
+  // ---- Bandwidth damage (x = mean session available bw in Mbps) ----
+  /// Above starvation_mbps: gentle slope so that engagement at 1 Mbps is
+  /// within ~5 % of the best (at plenty_mbps).
+  double bw_plenty_mbps{4.0};
+  double bw_starvation_mbps{1.0};
+  double cam_bw_gentle{0.05};
+  double presence_bw_gentle{0.04};
+  /// Below starvation: steep video collapse per missing Mbps.
+  double cam_bw_starved_per_mbps{0.35};
+  double presence_bw_starved_per_mbps{0.20};
+
+  // ---- Compounding ----
+  /// Extra superadditive term: synergy * d_latency * d_loss per channel.
+  double latency_loss_synergy{0.9};
+
+  // ---- Baselines (percentage points, 3-participant reference call) ----
+  double base_presence{96.0};
+  double base_cam{72.0};
+  double base_mic{93.0};
+  /// Mic baseline falls with meeting size (big meetings are mostly muted):
+  /// per extra participant beyond 3, up to a floor.
+  double mic_per_participant{-4.5};
+  double mic_floor{35.0};
+  double presence_per_participant{-0.4};
+  double cam_per_participant{-1.2};
+  double cam_floor{30.0};
+
+  // ---- Behavioural noise (stddev, percentage points) ----
+  double presence_noise{7.0};
+  double cam_noise{16.0};
+  double mic_noise{12.0};
+
+  /// Long-term conditioning: a user accustomed to bad networks reacts less
+  /// (§6 "long-term conditioning ... (relatively weaker) impact").
+  /// Sensitivity multiplier drawn per user in
+  /// [1 - conditioning_spread, 1 + conditioning_spread].
+  double conditioning_spread{0.2};
+};
+
+/// The default planted truth used by the dataset generator and the benches.
+[[nodiscard]] inline const BehaviorParams& default_behavior_params() {
+  static const BehaviorParams kParams{};
+  return kParams;
+}
+
+}  // namespace usaas::confsim

@@ -1,0 +1,52 @@
+// Call / participant record types — the rows of the simulated Teams corpus.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "confsim/platform.h"
+#include "core/date.h"
+#include "core/units.h"
+#include "netsim/profiles.h"
+#include "netsim/telemetry.h"
+
+namespace usaas::confsim {
+
+/// One participant's session within a call, as the analysis pipeline sees
+/// it: network session summary + engagement actions + optional MOS.
+struct ParticipantRecord {
+  std::uint64_t user_id{0};
+  Platform platform{Platform::kWindowsPc};
+  /// Size of the call this session belonged to (a §6 confounder).
+  int meeting_size{3};
+  netsim::AccessTechnology access{netsim::AccessTechnology::kCable};
+  netsim::SessionNetworkSummary network;
+  double presence_pct{100.0};
+  double cam_on_pct{0.0};
+  double mic_on_pct{0.0};
+  bool dropped_early{false};
+  /// Present only for the sampled-feedback fraction of sessions.
+  std::optional<core::Mos> mos;
+};
+
+/// A multi-party call.
+struct CallRecord {
+  std::uint64_t call_id{0};
+  core::DateTime start;
+  int scheduled_minutes{30};
+  std::vector<ParticipantRecord> participants;
+
+  [[nodiscard]] int size() const {
+    return static_cast<int>(participants.size());
+  }
+};
+
+/// The paper's §3.1 dataset filter: "enterprise calls during business hours
+/// (9 AM - 8 PM EST) on weekdays with 3+ participants, all in the US."
+[[nodiscard]] inline bool passes_enterprise_filter(const CallRecord& call) {
+  return call.size() >= 3 && call.start.date.is_weekday() &&
+         core::in_business_hours(call.start.time);
+}
+
+}  // namespace usaas::confsim

@@ -1,0 +1,183 @@
+#include "confsim/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace usaas::confsim {
+
+CallDatasetGenerator::CallDatasetGenerator(DatasetConfig config)
+    : config_{std::move(config)},
+      behavior_model_{config_.behavior, config_.mitigation},
+      mos_model_{config_.mos} {
+  if (config_.num_calls == 0) {
+    throw std::invalid_argument("DatasetConfig: num_calls == 0");
+  }
+  if (config_.last_day < config_.first_day) {
+    throw std::invalid_argument("DatasetConfig: last_day < first_day");
+  }
+  if (config_.max_participants < 3) {
+    throw std::invalid_argument("DatasetConfig: max_participants < 3");
+  }
+}
+
+namespace {
+
+Platform draw_platform(core::Rng& rng) {
+  const auto mix = default_platform_mix();
+  std::vector<double> weights;
+  weights.reserve(mix.size());
+  for (const auto& m : mix) weights.push_back(m.weight);
+  return mix[rng.weighted_index(weights)].platform;
+}
+
+netsim::AccessTechnology draw_access(core::Rng& rng) {
+  const auto mix = netsim::default_access_mixture();
+  std::vector<double> weights;
+  weights.reserve(mix.size());
+  for (const auto& m : mix) weights.push_back(m.weight);
+  return mix[rng.weighted_index(weights)].technology;
+}
+
+}  // namespace
+
+netsim::SessionNetworkSummary CallDatasetGenerator::make_summary(
+    const netsim::NetworkConditions& baseline, int minutes,
+    core::Rng& rng) const {
+  if (config_.telemetry == TelemetryMode::kFull) {
+    const auto ticks = static_cast<std::size_t>(
+        std::max(1.0, minutes * 60.0 / netsim::kSampleIntervalSeconds));
+    const auto path = netsim::simulate_path(baseline, netsim::PathModelConfig{},
+                                            ticks, rng.split(0xfeed));
+    return netsim::summarize_path(path);
+  }
+  // kFast: analytic within-session dispersion. The session mean
+  // concentrates near the baseline (relative error shrinking with length);
+  // the P95/median spread mirrors what the AR(1) path model produces.
+  netsim::SessionNetworkSummary s;
+  const auto ticks = std::max(1.0, minutes * 60.0 / netsim::kSampleIntervalSeconds);
+  const double mean_jitter_rel = 0.18 / std::sqrt(ticks / 60.0);
+  auto fill = [&](double base, double lo_clamp, netsim::MetricAggregate& agg,
+                  double tail_mult) {
+    const double mean_v =
+        std::max(lo_clamp, base * (1.0 + rng.normal(0.0, mean_jitter_rel)));
+    agg.mean = mean_v;
+    agg.median = std::max(lo_clamp, mean_v * rng.uniform(0.88, 0.99));
+    agg.p95 = mean_v * tail_mult * rng.uniform(0.95, 1.25);
+    return mean_v;
+  };
+  fill(baseline.latency.ms(), 0.1, s.latency_ms, 1.9);
+  fill(baseline.loss.percent(), 0.0, s.loss_pct, 2.6);
+  fill(baseline.jitter.ms(), 0.0, s.jitter_ms, 2.2);
+  // Bandwidth's tail slot stores the low (P5) side; see telemetry.cpp.
+  const double bw_mean = std::max(
+      0.01, baseline.bandwidth.mbps() * (1.0 + rng.normal(0.0, mean_jitter_rel)));
+  s.bandwidth_mbps.mean = bw_mean;
+  s.bandwidth_mbps.median = bw_mean * rng.uniform(0.97, 1.08);
+  s.bandwidth_mbps.p95 = bw_mean * rng.uniform(0.5, 0.8);
+  s.sample_count = static_cast<std::size_t>(ticks);
+  s.duration_seconds = ticks * netsim::kSampleIntervalSeconds;
+  return s;
+}
+
+CallRecord CallDatasetGenerator::make_call(std::uint64_t call_id,
+                                           core::Rng& rng) const {
+  CallRecord call;
+  call.call_id = call_id;
+
+  // Start time: weekday business hours when enterprise_only.
+  const auto span_days = config_.first_day.days_until(config_.last_day);
+  core::Date day = config_.first_day.plus_days(rng.uniform_int(0, span_days));
+  if (config_.enterprise_only) {
+    while (!day.is_weekday()) day = day.plus_days(1);
+    if (day > config_.last_day) day = config_.first_day.plus_days(3);
+  }
+  call.start.date = day;
+  call.start.time.hour = static_cast<int>(
+      config_.enterprise_only ? rng.uniform_int(9, 19) : rng.uniform_int(0, 23));
+  call.start.time.minute = static_cast<int>(rng.uniform_int(0, 59));
+
+  call.scheduled_minutes = static_cast<int>(std::clamp(
+      rng.lognormal(config_.duration_mu, config_.duration_sigma),
+      static_cast<double>(config_.min_minutes),
+      static_cast<double>(config_.max_minutes)));
+
+  const int extra = static_cast<int>(
+      std::min<std::int64_t>(rng.poisson(config_.mean_extra_participants),
+                             config_.max_participants - 3));
+  const int size = 3 + extra;
+
+  // Per-call baseline when conditions are shared (e.g. one office LAN).
+  netsim::NetworkConditions call_baseline;
+  if (!config_.per_participant_conditions) {
+    call_baseline =
+        config_.sampling == ConditionSampling::kSweep
+            ? netsim::sample_sweep(config_.sweep_metric, config_.sweep_lo,
+                                   config_.sweep_hi, config_.control_windows,
+                                   rng)
+            : netsim::sample_mixed_baseline(rng);
+  }
+
+  call.participants.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    ParticipantRecord rec;
+    rec.user_id = call_id * 64 + static_cast<std::uint64_t>(i);
+    rec.meeting_size = size;
+    rec.platform = draw_platform(rng);
+    rec.access = draw_access(rng);
+
+    netsim::NetworkConditions baseline = call_baseline;
+    if (config_.per_participant_conditions) {
+      baseline =
+          config_.sampling == ConditionSampling::kSweep
+              ? netsim::sample_sweep(config_.sweep_metric, config_.sweep_lo,
+                                     config_.sweep_hi, config_.control_windows,
+                                     rng)
+              : netsim::sample_session_baseline(
+                    netsim::profile_for(rec.access), rng);
+    }
+    rec.network = make_summary(baseline, call.scheduled_minutes, rng);
+
+    BehaviorContext ctx;
+    ctx.platform = rec.platform;
+    ctx.meeting_size = size;
+    ctx.conditioning =
+        1.0 + rng.uniform(-config_.behavior.conditioning_spread,
+                          config_.behavior.conditioning_spread);
+
+    // Behaviour responds to what the user lived through: the session means.
+    const netsim::NetworkConditions lived = rec.network.mean_conditions();
+    const Engagement eng = behavior_model_.realize(lived, ctx, rng);
+    rec.presence_pct = eng.presence_pct;
+    rec.cam_on_pct = eng.cam_on_pct;
+    rec.mic_on_pct = eng.mic_on_pct;
+    rec.dropped_early = eng.dropped_early;
+
+    const ChannelDamage dmg = behavior_model_.damage(lived, ctx);
+    const double bias = mos_model_.draw_user_bias(rng);
+    rec.mos = mos_model_.maybe_collect(dmg.experience, bias, rng);
+
+    call.participants.push_back(std::move(rec));
+  }
+  return call;
+}
+
+std::vector<CallRecord> CallDatasetGenerator::generate() const {
+  std::vector<CallRecord> out;
+  out.reserve(config_.num_calls);
+  generate_stream([&](const CallRecord& c) { out.push_back(c); });
+  return out;
+}
+
+void CallDatasetGenerator::generate_stream(
+    const std::function<void(const CallRecord&)>& sink) const {
+  core::Rng root{config_.seed};
+  for (std::uint64_t id = 0; id < config_.num_calls; ++id) {
+    core::Rng call_rng = root.split(id + 1);
+    const CallRecord call = make_call(id, call_rng);
+    if (config_.enterprise_only && !passes_enterprise_filter(call)) continue;
+    sink(call);
+  }
+}
+
+}  // namespace usaas::confsim

@@ -1,0 +1,97 @@
+// The call-corpus generator.
+//
+// Produces a stream of CallRecords resembling the paper's Jan-Apr 2022
+// enterprise dataset, in two sampling regimes:
+//   * kPopulation — network baselines drawn from the access-technology
+//     mixture (realistic joint distribution; used by the MOS study and the
+//     QueryService examples);
+//   * kSweep — one metric swept uniformly with the others clamped inside
+//     the paper's control windows (used by the Fig 1-3 benches to guarantee
+//     even bin occupancy, mirroring the paper's "other metrics roughly
+//     constant" filter).
+// Telemetry can be fully simulated tick-by-tick (kFull) or summarized
+// analytically (kFast) for large corpora.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "confsim/behavior.h"
+#include "confsim/call.h"
+#include "confsim/mos.h"
+#include "core/date.h"
+#include "core/rng.h"
+#include "netsim/path_model.h"
+
+namespace usaas::confsim {
+
+enum class ConditionSampling {
+  kPopulation,
+  kSweep,
+};
+
+enum class TelemetryMode {
+  /// Per-5-second PathModel simulation fed through TelemetryCollector.
+  kFull,
+  /// Baseline + analytic within-session dispersion (two orders of
+  /// magnitude faster; session means match kFull closely).
+  kFast,
+};
+
+struct DatasetConfig {
+  std::uint64_t seed{20220101};
+  std::size_t num_calls{1000};
+  core::Date first_day{2022, 1, 3};
+  core::Date last_day{2022, 4, 29};
+  ConditionSampling sampling{ConditionSampling::kPopulation};
+  TelemetryMode telemetry{TelemetryMode::kFast};
+  /// Sweep parameters (only used when sampling == kSweep).
+  netsim::Metric sweep_metric{netsim::Metric::kLatency};
+  double sweep_lo{0.0};
+  double sweep_hi{300.0};
+  netsim::ControlWindows control_windows{};
+  /// Whether the swept baseline applies per participant (true — each user
+  /// has their own last mile) or per call.
+  bool per_participant_conditions{true};
+  /// Meeting size: 3 + Poisson(mean_extra_participants), capped.
+  double mean_extra_participants{3.0};
+  int max_participants{25};
+  /// Scheduled meeting length (minutes): lognormal around 30.
+  double duration_mu{3.4};
+  double duration_sigma{0.35};
+  int min_minutes{5};
+  int max_minutes{120};
+  /// Apply the paper's enterprise filter during generation.
+  bool enterprise_only{true};
+  BehaviorParams behavior{default_behavior_params()};
+  netsim::MitigationConfig mitigation{};
+  MosModelParams mos{};
+};
+
+class CallDatasetGenerator {
+ public:
+  explicit CallDatasetGenerator(DatasetConfig config);
+
+  /// Generates the full corpus.
+  [[nodiscard]] std::vector<CallRecord> generate() const;
+
+  /// Streaming generation: invokes sink per call, never holding the corpus
+  /// in memory. Used by the large figure sweeps.
+  void generate_stream(const std::function<void(const CallRecord&)>& sink) const;
+
+  [[nodiscard]] const DatasetConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] CallRecord make_call(std::uint64_t call_id,
+                                     core::Rng& rng) const;
+  [[nodiscard]] netsim::SessionNetworkSummary make_summary(
+      const netsim::NetworkConditions& baseline, int minutes,
+      core::Rng& rng) const;
+
+  DatasetConfig config_;
+  UserBehaviorModel behavior_model_;
+  MosModel mos_model_;
+};
+
+}  // namespace usaas::confsim

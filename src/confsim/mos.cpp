@@ -1,0 +1,44 @@
+#include "confsim/mos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace usaas::confsim {
+
+MosModel::MosModel(MosModelParams params) : params_{params} {
+  if (params_.sampling_rate < 0.0 || params_.sampling_rate > 1.0) {
+    throw std::invalid_argument("MosModel: sampling_rate out of [0,1]");
+  }
+  if (params_.gamma <= 0.0) {
+    throw std::invalid_argument("MosModel: gamma must be positive");
+  }
+}
+
+double MosModel::expected_rating(double experience_impairment) const {
+  const double x = std::clamp(experience_impairment, 0.0, 1.0);
+  return params_.best_rating -
+         params_.impairment_range * std::pow(x, params_.gamma);
+}
+
+core::Mos MosModel::rate(double experience_impairment, double user_bias,
+                         core::Rng& rng) const {
+  double r = expected_rating(experience_impairment) + user_bias +
+             rng.normal(0.0, params_.rating_noise);
+  if (params_.quantize) r = std::round(r);
+  return core::clamp_mos(core::Mos{r});
+}
+
+std::optional<core::Mos> MosModel::maybe_collect(double experience_impairment,
+                                                 double user_bias,
+                                                 core::Rng& rng) const {
+  if (!rng.bernoulli(params_.sampling_rate)) return std::nullopt;
+  if (!rng.bernoulli(params_.response_rate)) return std::nullopt;
+  return rate(experience_impairment, user_bias, rng);
+}
+
+double MosModel::draw_user_bias(core::Rng& rng) const {
+  return rng.normal(0.0, params_.user_bias_sigma);
+}
+
+}  // namespace usaas::confsim

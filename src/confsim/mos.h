@@ -1,0 +1,64 @@
+// Explicit feedback: the end-of-call rating splash screen.
+//
+// §3.1: "MS Teams requests a subset of users to submit explicit feedback at
+// the end of sessions — a rating between 1 (worst) and 5 (best) ... Such
+// feedback is only provided for a small fraction (between 0.1% and 1%) of
+// sessions." We model the rating as a noisy, coarsely quantized readout of
+// the experienced impairment, plus a user-specific grumpiness offset —
+// which is why MOS needs engagement signals to back it up.
+#pragma once
+
+#include <optional>
+
+#include "confsim/behavior.h"
+#include "core/rng.h"
+#include "core/units.h"
+
+namespace usaas::confsim {
+
+struct MosModelParams {
+  /// Rating of a perfect session before noise.
+  double best_rating{4.7};
+  /// Rating lost at experience impairment = 1.
+  double impairment_range{3.4};
+  /// Curvature: perceived quality falls faster early (Weber-ish).
+  double gamma{0.85};
+  /// Noise stddev on the continuous rating before quantization.
+  double rating_noise{0.45};
+  /// Stddev of the per-user bias (chronic 5-star or 3-star raters).
+  double user_bias_sigma{0.3};
+  /// Probability a session is asked for feedback (paper: 0.1% - 1%).
+  double sampling_rate{0.005};
+  /// Probability the asked user actually answers.
+  double response_rate{0.5};
+  /// Whether ratings are rounded to integers 1..5 (the splash screen is
+  /// star-based).
+  bool quantize{true};
+};
+
+class MosModel {
+ public:
+  explicit MosModel(MosModelParams params = {});
+
+  /// Continuous expected rating for an experienced impairment in [0, 1].
+  [[nodiscard]] double expected_rating(double experience_impairment) const;
+
+  /// Realized rating of one user (noise + bias + quantization).
+  [[nodiscard]] core::Mos rate(double experience_impairment, double user_bias,
+                               core::Rng& rng) const;
+
+  /// Samples the splash-screen flow: returns a rating only for the small
+  /// sampled-and-responded fraction of sessions.
+  [[nodiscard]] std::optional<core::Mos> maybe_collect(
+      double experience_impairment, double user_bias, core::Rng& rng) const;
+
+  /// Draws a per-user rating bias.
+  [[nodiscard]] double draw_user_bias(core::Rng& rng) const;
+
+  [[nodiscard]] const MosModelParams& params() const { return params_; }
+
+ private:
+  MosModelParams params_;
+};
+
+}  // namespace usaas::confsim

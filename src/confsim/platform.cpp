@@ -1,0 +1,55 @@
+#include "confsim/platform.h"
+
+#include <array>
+
+namespace usaas::confsim {
+
+const char* to_string(Platform p) {
+  switch (p) {
+    case Platform::kWindowsPc: return "windows-pc";
+    case Platform::kMacPc: return "mac-pc";
+    case Platform::kIos: return "ios";
+    case Platform::kAndroid: return "android";
+  }
+  return "unknown";
+}
+
+PlatformTraits traits_for(Platform p) {
+  PlatformTraits t;
+  t.platform = p;
+  switch (p) {
+    case Platform::kWindowsPc:
+      t.sensitivity = 1.0;
+      break;
+    case Platform::kMacPc:
+      t.sensitivity = 0.9;
+      t.base_cam_offset = 2.0;
+      break;
+    case Platform::kIos:
+      t.sensitivity = 1.3;
+      t.base_presence_offset = -4.0;
+      t.base_cam_offset = -12.0;
+      t.base_mic_offset = -6.0;
+      break;
+    case Platform::kAndroid:
+      // Wider device spread => weaker app-level optimizations on average.
+      t.sensitivity = 1.45;
+      t.base_presence_offset = -5.0;
+      t.base_cam_offset = -15.0;
+      t.base_mic_offset = -7.0;
+      break;
+  }
+  return t;
+}
+
+std::span<const PlatformShare> default_platform_mix() {
+  static constexpr std::array<PlatformShare, 4> kMix = {{
+      {Platform::kWindowsPc, 0.62},
+      {Platform::kMacPc, 0.18},
+      {Platform::kIos, 0.12},
+      {Platform::kAndroid, 0.08},
+  }};
+  return kMix;
+}
+
+}  // namespace usaas::confsim

@@ -1,0 +1,46 @@
+// Client platforms and their engagement sensitivities.
+//
+// Fig 3: "Different platforms (PC/mobile, operating system, etc.) have
+// different impacts on user sensitivity to network performance ... Users
+// joining calls on their mobile devices tend to drop off sooner."
+#pragma once
+
+#include <span>
+
+namespace usaas::confsim {
+
+enum class Platform {
+  kWindowsPc,
+  kMacPc,
+  kIos,
+  kAndroid,
+};
+
+inline constexpr int kNumPlatforms = 4;
+
+[[nodiscard]] const char* to_string(Platform p);
+
+/// Per-platform behavioural modifiers. `sensitivity` scales network-damage
+/// terms (mobile users abandon degraded calls sooner); the base offsets
+/// encode platform norms (mobile joiners keep cameras off more often and
+/// are less engaged in work meetings to begin with).
+struct PlatformTraits {
+  Platform platform{Platform::kWindowsPc};
+  /// Multiplier on all network-damage terms (1.0 = reference PC).
+  double sensitivity{1.0};
+  /// Additive offset (percentage points) on baseline engagement.
+  double base_presence_offset{0.0};
+  double base_cam_offset{0.0};
+  double base_mic_offset{0.0};
+};
+
+[[nodiscard]] PlatformTraits traits_for(Platform p);
+
+/// Default platform mix of an enterprise US call population.
+struct PlatformShare {
+  Platform platform;
+  double weight;
+};
+[[nodiscard]] std::span<const PlatformShare> default_platform_mix();
+
+}  // namespace usaas::confsim

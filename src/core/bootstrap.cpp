@@ -1,0 +1,57 @@
+#include "core/bootstrap.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace usaas::core {
+
+ConfidenceInterval bootstrap_ci(
+    std::span<const double> xs,
+    const std::function<double(std::span<const double>)>& statistic,
+    double level, std::size_t resamples, std::uint64_t seed) {
+  if (xs.empty()) throw std::invalid_argument("bootstrap_ci: empty sample");
+  if (level <= 0.0 || level >= 1.0) {
+    throw std::invalid_argument("bootstrap_ci: level must be in (0, 1)");
+  }
+  if (resamples == 0) throw std::invalid_argument("bootstrap_ci: resamples == 0");
+
+  Rng rng{seed};
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  std::vector<double> resample(xs.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (double& v : resample) {
+      v = xs[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(xs.size()) - 1))];
+    }
+    stats.push_back(statistic(resample));
+  }
+  const double alpha = (1.0 - level) / 2.0;
+  ConfidenceInterval ci;
+  ci.lo = quantile(stats, alpha);
+  ci.hi = quantile(stats, 1.0 - alpha);
+  ci.point = statistic(xs);
+  return ci;
+}
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> xs, double level,
+                                     std::size_t resamples,
+                                     std::uint64_t seed) {
+  return bootstrap_ci(
+      xs, [](std::span<const double> s) { return mean(s); }, level, resamples,
+      seed);
+}
+
+ConfidenceInterval bootstrap_median_ci(std::span<const double> xs, double level,
+                                       std::size_t resamples,
+                                       std::uint64_t seed) {
+  return bootstrap_ci(
+      xs, [](std::span<const double> s) { return median(s); }, level, resamples,
+      seed);
+}
+
+}  // namespace usaas::core

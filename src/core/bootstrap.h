@@ -1,0 +1,37 @@
+// Bootstrap confidence intervals.
+//
+// The paper's curves are "uneven due to unknown confounders" (§3.2) and only
+// broad trends matter; the benches therefore report bootstrap CIs on binned
+// means/medians so a reader can tell signal from bin noise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace usaas::core {
+
+struct ConfidenceInterval {
+  double lo{0.0};
+  double hi{0.0};
+  double point{0.0};
+};
+
+/// Percentile-bootstrap CI of an arbitrary statistic. `level` in (0, 1),
+/// e.g. 0.95. Deterministic for a given seed.
+[[nodiscard]] ConfidenceInterval bootstrap_ci(
+    std::span<const double> xs,
+    const std::function<double(std::span<const double>)>& statistic,
+    double level, std::size_t resamples, std::uint64_t seed);
+
+/// Convenience wrappers for the two statistics the pipelines use.
+[[nodiscard]] ConfidenceInterval bootstrap_mean_ci(std::span<const double> xs,
+                                                   double level,
+                                                   std::size_t resamples,
+                                                   std::uint64_t seed);
+[[nodiscard]] ConfidenceInterval bootstrap_median_ci(std::span<const double> xs,
+                                                     double level,
+                                                     std::size_t resamples,
+                                                     std::uint64_t seed);
+
+}  // namespace usaas::core

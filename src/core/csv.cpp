@@ -1,0 +1,70 @@
+#include "core/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace usaas::core {
+
+CsvTable::CsvTable(std::vector<std::string> headers)
+    : headers_{std::move(headers)} {
+  if (headers_.empty()) {
+    throw std::invalid_argument("CsvTable: no headers");
+  }
+}
+
+void CsvTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("CsvTable: row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void CsvTable::add_numeric_row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (const double v : values) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    cells.emplace_back(buf);
+  }
+  add_row(std::move(cells));
+}
+
+std::string CsvTable::escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string{cell};
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (const char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string CsvTable::to_string() const {
+  std::string out;
+  auto append_line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      out += escape(cells[i]);
+    }
+    out.push_back('\n');
+  };
+  append_line(headers_);
+  for (const auto& row : rows_) append_line(row);
+  return out;
+}
+
+void CsvTable::write_file(const std::string& path) const {
+  std::ofstream file{path};
+  if (!file) throw std::runtime_error("CsvTable: cannot open " + path);
+  file << to_string();
+  if (!file) throw std::runtime_error("CsvTable: write failed for " + path);
+}
+
+}  // namespace usaas::core

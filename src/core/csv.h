@@ -1,0 +1,43 @@
+// Minimal CSV table writer.
+//
+// The figure benches print human-readable tables; downstream users often
+// want the same series machine-readable (to re-plot the paper's figures).
+// CsvTable accumulates typed rows and serializes RFC-4180-style (quotes
+// doubled, fields with commas/quotes/newlines quoted).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace usaas::core {
+
+class CsvTable {
+ public:
+  /// Column headers fix the arity of every subsequent row.
+  explicit CsvTable(std::vector<std::string> headers);
+
+  /// Appends a row; throws std::invalid_argument on arity mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows (formatted with %.6g).
+  void add_numeric_row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+  /// Serializes the whole table, header first, '\n' line endings.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes to a file; throws std::runtime_error on I/O failure.
+  void write_file(const std::string& path) const;
+
+  /// Escapes one cell per RFC 4180.
+  [[nodiscard]] static std::string escape(std::string_view cell);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace usaas::core

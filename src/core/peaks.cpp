@@ -1,0 +1,87 @@
+#include "core/peaks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/stats.h"
+
+namespace usaas::core {
+
+double mad(std::vector<double> xs) {
+  if (xs.empty()) throw std::invalid_argument("mad: empty");
+  const double med = median(xs);
+  for (double& x : xs) x = std::fabs(x - med);
+  return 1.4826 * median(xs);
+}
+
+std::vector<Peak> detect_peaks_robust(const DailySeries& s,
+                                      const RobustPeakParams& p) {
+  if (p.window == 0 || p.window % 2 == 0) {
+    throw std::invalid_argument("detect_peaks_robust: window must be odd");
+  }
+  const auto vals = s.values();
+  const auto n = static_cast<std::int64_t>(vals.size());
+  const auto half = static_cast<std::int64_t>(p.window / 2);
+  std::vector<Peak> out;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double v = vals[static_cast<std::size_t>(i)];
+    if (v < p.min_value) continue;
+    const std::int64_t lo = std::max<std::int64_t>(0, i - half);
+    const std::int64_t hi = std::min(n - 1, i + half);
+    std::vector<double> window;
+    window.reserve(static_cast<std::size_t>(hi - lo));
+    for (std::int64_t j = lo; j <= hi; ++j) {
+      if (j == i) continue;  // leave-one-out baseline
+      window.push_back(vals[static_cast<std::size_t>(j)]);
+    }
+    if (window.empty()) continue;
+    const double baseline = median(window);
+    double spread = mad(window);
+    if (spread <= 0.0) spread = 1.0;  // flat quiet window: count units
+    const double z = (v - baseline) / spread;
+    if (z >= p.z_threshold) {
+      out.push_back({s.first_date().plus_days(i), v, z});
+    }
+  }
+  return out;
+}
+
+std::vector<Peak> top_k_peaks(const DailySeries& s, std::size_t k,
+                              std::int64_t min_separation_days) {
+  const auto vals = s.values();
+  const auto n = static_cast<std::int64_t>(vals.size());
+  // Candidates: strictly positive local maxima (ties resolved to the left
+  // edge of a plateau). Zero-activity days are never peaks.
+  std::vector<std::int64_t> candidates;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double v = vals[static_cast<std::size_t>(i)];
+    if (v <= 0.0) continue;
+    const double prev = i > 0 ? vals[static_cast<std::size_t>(i - 1)] : -1.0;
+    const double next = i + 1 < n ? vals[static_cast<std::size_t>(i + 1)] : -1.0;
+    if (v > prev && v >= next) candidates.push_back(i);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](std::int64_t a, std::int64_t b) {
+              const double va = vals[static_cast<std::size_t>(a)];
+              const double vb = vals[static_cast<std::size_t>(b)];
+              if (va != vb) return va > vb;
+              return a < b;
+            });
+  std::vector<Peak> out;
+  std::vector<std::int64_t> picked;
+  for (const std::int64_t i : candidates) {
+    if (out.size() >= k) break;
+    const bool too_close = std::any_of(
+        picked.begin(), picked.end(), [&](std::int64_t j) {
+          return std::llabs(i - j) < min_separation_days;
+        });
+    if (too_close) continue;
+    picked.push_back(i);
+    out.push_back({s.first_date().plus_days(i),
+                   vals[static_cast<std::size_t>(i)], 0.0});
+  }
+  return out;
+}
+
+}  // namespace usaas::core

@@ -1,0 +1,49 @@
+// Peak / spike detection over daily series.
+//
+// §4.1 ranks "the top three sentiment peaks" and Fig 6 separates "the
+// largest spikes" (Jan 7 / Aug 30 '22 outages) from "numerous shorter
+// peaks" (transient local outages). We implement two detectors:
+//   - a robust z-score detector against a rolling median/MAD baseline, so
+//     that one giant spike does not mask its neighbours, and
+//   - simple top-k local maxima with a minimum separation, used for the
+//     "top three peaks" ranking.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/date.h"
+#include "core/timeseries.h"
+
+namespace usaas::core {
+
+/// A detected peak.
+struct Peak {
+  Date date;
+  double value{0.0};
+  /// Robust z-score against the local baseline (0 for TopK detector).
+  double score{0.0};
+};
+
+struct RobustPeakParams {
+  /// Rolling window (days, odd) for the median/MAD baseline.
+  std::size_t window{31};
+  /// Minimum robust z-score to qualify as a peak.
+  double z_threshold{3.0};
+  /// Minimum absolute value (filters z-significant wiggles on quiet days).
+  double min_value{1.0};
+};
+
+/// Robust (median/MAD) peak detection. Returns peaks sorted by date.
+[[nodiscard]] std::vector<Peak> detect_peaks_robust(const DailySeries& s,
+                                                    const RobustPeakParams& p);
+
+/// Top-k local maxima, greedily picked by height with at least
+/// `min_separation_days` between any two picks. Sorted by height descending.
+[[nodiscard]] std::vector<Peak> top_k_peaks(const DailySeries& s, std::size_t k,
+                                            std::int64_t min_separation_days);
+
+/// Median absolute deviation (scaled by 1.4826 to be sigma-consistent).
+[[nodiscard]] double mad(std::vector<double> xs);
+
+}  // namespace usaas::core

@@ -1,0 +1,136 @@
+#include "core/regression.h"
+
+#include <cmath>
+
+#include "core/correlation.h"
+#include "core/stats.h"
+
+namespace usaas::core {
+
+SimpleFit fit_simple(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("fit_simple: need >= 2 paired points");
+  }
+  const double vx = variance(xs);
+  SimpleFit f;
+  if (vx == 0.0) {
+    f.intercept = mean(ys);
+    f.slope = 0.0;
+    f.r2 = 0.0;
+    return f;
+  }
+  f.slope = covariance(xs, ys) / vx;
+  f.intercept = mean(ys) - f.slope * mean(xs);
+  const double r = pearson(xs, ys);
+  f.r2 = r * r;
+  return f;
+}
+
+std::vector<double> solve_linear_system(std::vector<double> a,
+                                        std::vector<double> b) {
+  const std::size_t n = b.size();
+  if (a.size() != n * n) {
+    throw std::invalid_argument("solve_linear_system: shape mismatch");
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col])) pivot = r;
+    }
+    if (std::fabs(a[pivot * n + col]) < 1e-12) {
+      throw std::runtime_error("solve_linear_system: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a[pivot * n + c], a[col * n + c]);
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r * n + col] / a[col * n + col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) {
+        a[r * n + c] -= factor * a[col * n + c];
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a[i * n + c] * x[c];
+    x[i] = acc / a[i * n + i];
+  }
+  return x;
+}
+
+LinearModel LinearModel::fit(std::span<const double> rows,
+                             std::size_t num_features,
+                             std::span<const double> ys, double ridge) {
+  if (num_features == 0) throw std::invalid_argument("fit: no features");
+  if (ys.empty() || rows.size() != ys.size() * num_features) {
+    throw std::invalid_argument("fit: shape mismatch");
+  }
+  if (ridge < 0.0) throw std::invalid_argument("fit: negative ridge");
+  const std::size_t n = ys.size();
+  const std::size_t p = num_features + 1;  // +1 for intercept column
+
+  // Normal equations: (X^T X + ridge I) beta = X^T y, with X = [1 | rows].
+  std::vector<double> xtx(p * p, 0.0);
+  std::vector<double> xty(p, 0.0);
+  std::vector<double> xi(p, 1.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t f = 0; f < num_features; ++f) {
+      xi[f + 1] = rows[r * num_features + f];
+    }
+    for (std::size_t i = 0; i < p; ++i) {
+      xty[i] += xi[i] * ys[r];
+      for (std::size_t j = 0; j < p; ++j) xtx[i * p + j] += xi[i] * xi[j];
+    }
+  }
+  // Do not regularize the intercept.
+  for (std::size_t i = 1; i < p; ++i) xtx[i * p + i] += ridge;
+
+  const auto beta = solve_linear_system(std::move(xtx), std::move(xty));
+  LinearModel m;
+  m.intercept_ = beta[0];
+  m.coef_.assign(beta.begin() + 1, beta.end());
+  return m;
+}
+
+double LinearModel::predict(std::span<const double> features) const {
+  if (features.size() != coef_.size()) {
+    throw std::invalid_argument("predict: feature count mismatch");
+  }
+  double acc = intercept_;
+  for (std::size_t i = 0; i < coef_.size(); ++i) {
+    acc += coef_[i] * features[i];
+  }
+  return acc;
+}
+
+RegressionMetrics evaluate_predictions(std::span<const double> predicted,
+                                       std::span<const double> actual) {
+  if (predicted.size() != actual.size() || predicted.empty()) {
+    throw std::invalid_argument("evaluate_predictions: shape mismatch");
+  }
+  const std::size_t n = predicted.size();
+  double abs_acc = 0.0;
+  double sq_acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = predicted[i] - actual[i];
+    abs_acc += std::fabs(e);
+    sq_acc += e * e;
+  }
+  RegressionMetrics m;
+  m.mae = abs_acc / static_cast<double>(n);
+  m.rmse = std::sqrt(sq_acc / static_cast<double>(n));
+  const double var_y = variance(actual);
+  m.r2 = var_y == 0.0 ? 0.0 : 1.0 - (sq_acc / static_cast<double>(n)) / var_y;
+  return m;
+}
+
+}  // namespace usaas::core

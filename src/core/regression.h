@@ -1,0 +1,62 @@
+// Linear models for the MOS-prediction pipeline (§5: "we are currently
+// also using AI/ML techniques to predict MOS scores from user engagement
+// and network conditions").
+//
+// Ordinary least squares via normal equations with ridge damping; small
+// feature counts (engagement + network metrics ~ 7 features) make a dense
+// Gaussian-elimination solve entirely adequate.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace usaas::core {
+
+/// Simple y = a + b*x least-squares fit.
+struct SimpleFit {
+  double intercept{0.0};
+  double slope{0.0};
+  double r2{0.0};
+  [[nodiscard]] double predict(double x) const { return intercept + slope * x; }
+};
+
+[[nodiscard]] SimpleFit fit_simple(std::span<const double> xs,
+                                   std::span<const double> ys);
+
+/// Multivariate OLS with optional ridge regularization.
+class LinearModel {
+ public:
+  /// Fits y ~ 1 + X. `rows` is a flattened row-major feature matrix with
+  /// `num_features` columns. Throws on shape mismatch or a singular system
+  /// (use ridge > 0 to damp collinearity).
+  static LinearModel fit(std::span<const double> rows, std::size_t num_features,
+                         std::span<const double> ys, double ridge = 0.0);
+
+  [[nodiscard]] double predict(std::span<const double> features) const;
+
+  [[nodiscard]] double intercept() const { return intercept_; }
+  [[nodiscard]] std::span<const double> coefficients() const { return coef_; }
+  [[nodiscard]] std::size_t num_features() const { return coef_.size(); }
+
+ private:
+  double intercept_{0.0};
+  std::vector<double> coef_;
+};
+
+/// Regression quality metrics.
+struct RegressionMetrics {
+  double mae{0.0};
+  double rmse{0.0};
+  double r2{0.0};
+};
+
+[[nodiscard]] RegressionMetrics evaluate_predictions(
+    std::span<const double> predicted, std::span<const double> actual);
+
+/// Solves the dense linear system A x = b by Gaussian elimination with
+/// partial pivoting. `a` is row-major n x n. Throws on a singular matrix.
+[[nodiscard]] std::vector<double> solve_linear_system(std::vector<double> a,
+                                                      std::vector<double> b);
+
+}  // namespace usaas::core

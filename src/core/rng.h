@@ -1,0 +1,105 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulators takes an explicit seed so
+// that each figure-reproduction bench is bit-for-bit repeatable. We carry
+// our own xoshiro256** implementation instead of <random> engines because
+// (a) its streams are identical across standard libraries, and (b) we rely
+// on cheap stream splitting (one independent child generator per call /
+// user / day) which std engines do not offer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace usaas::core {
+
+/// SplitMix64: used to expand a single 64-bit seed into the 256-bit state
+/// of xoshiro256**, and as the mixing function for stream derivation.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_{seed} {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) with convenience distributions.
+class Rng {
+ public:
+  /// Seeds the full state from a single 64-bit value via SplitMix64.
+  explicit Rng(std::uint64_t seed);
+
+  /// Derives an independent child stream; `salt` distinguishes siblings.
+  /// Deterministic: same parent seed + same salt => same child stream.
+  [[nodiscard]] Rng split(std::uint64_t salt) const;
+
+  /// Raw 64 uniform bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw; p outside [0,1] is clamped.
+  bool bernoulli(double p);
+
+  /// Standard normal via Box-Muller (caches the spare deviate).
+  double normal();
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate);
+
+  /// Poisson counting draw (Knuth for small mean, normal approx for large).
+  std::int64_t poisson(double mean);
+
+  /// Pareto (Lomax-shifted) heavy-tailed draw with minimum xm and shape a.
+  double pareto(double xm, double alpha);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Uniformly picks one element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    if (items.empty()) throw std::invalid_argument("pick from empty span");
+    return items[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  double spare_normal_{0.0};
+  bool has_spare_normal_{false};
+};
+
+}  // namespace usaas::core

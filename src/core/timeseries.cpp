@@ -1,0 +1,176 @@
+#include "core/timeseries.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace usaas::core {
+
+DailySeries::DailySeries(Date first, Date last, double fill)
+    : first_{first}, last_{last} {
+  if (last < first) throw std::invalid_argument("DailySeries: last < first");
+  const auto n = first.days_until(last) + 1;
+  values_.assign(static_cast<std::size_t>(n), fill);
+}
+
+bool DailySeries::contains(const Date& d) const {
+  return first_ <= d && d <= last_;
+}
+
+std::size_t DailySeries::index(const Date& d) const {
+  if (!contains(d)) {
+    throw std::out_of_range("DailySeries: date outside range: " + d.to_string());
+  }
+  return static_cast<std::size_t>(first_.days_until(d));
+}
+
+double DailySeries::at(const Date& d) const { return values_[index(d)]; }
+
+void DailySeries::set(const Date& d, double v) { values_[index(d)] = v; }
+
+void DailySeries::add(const Date& d, double v) { values_[index(d)] += v; }
+
+std::vector<DatedValue> DailySeries::entries() const {
+  std::vector<DatedValue> out;
+  out.reserve(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    out.push_back({first_.plus_days(static_cast<std::int64_t>(i)), values_[i]});
+  }
+  return out;
+}
+
+DailySeries DailySeries::rolling_mean(std::size_t window) const {
+  if (window == 0 || window % 2 == 0) {
+    throw std::invalid_argument("rolling_mean: window must be odd and >= 1");
+  }
+  DailySeries out{first_, last_};
+  const auto n = static_cast<std::int64_t>(values_.size());
+  const auto half = static_cast<std::int64_t>(window / 2);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t lo = std::max<std::int64_t>(0, i - half);
+    const std::int64_t hi = std::min(n - 1, i + half);
+    double acc = 0.0;
+    for (std::int64_t j = lo; j <= hi; ++j) {
+      acc += values_[static_cast<std::size_t>(j)];
+    }
+    out.values_[static_cast<std::size_t>(i)] =
+        acc / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+DailySeries DailySeries::ewma(double alpha) const {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("ewma: alpha must be in (0, 1]");
+  }
+  DailySeries out{first_, last_};
+  double state = values_.empty() ? 0.0 : values_.front();
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    state = alpha * values_[i] + (1.0 - alpha) * state;
+    out.values_[i] = state;
+  }
+  return out;
+}
+
+DailySeries DailySeries::map(const std::function<double(double)>& fn) const {
+  DailySeries out{first_, last_};
+  for (std::size_t i = 0; i < values_.size(); ++i) out.values_[i] = fn(values_[i]);
+  return out;
+}
+
+DailySeries DailySeries::operator+(const DailySeries& other) const {
+  if (first_ != other.first_ || last_ != other.last_) {
+    throw std::invalid_argument("DailySeries::operator+: range mismatch");
+  }
+  DailySeries out{first_, last_};
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    out.values_[i] = values_[i] + other.values_[i];
+  }
+  return out;
+}
+
+double DailySeries::total() const {
+  double acc = 0.0;
+  for (const double v : values_) acc += v;
+  return acc;
+}
+
+double DailySeries::max() const {
+  if (values_.empty()) throw std::logic_error("DailySeries::max on empty");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+std::string MonthlyValue::label() const {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%04d-%02d", year, month);
+  return buf;
+}
+
+void MonthlyAggregator::add(const Date& d, double value) {
+  buckets_[d.year() * 12 + (d.month() - 1)].push_back(value);
+}
+
+namespace {
+
+MonthlyValue make_monthly(int key, std::size_t count, double value) {
+  MonthlyValue mv;
+  mv.year = key / 12;
+  mv.month = key % 12 + 1;
+  mv.count = count;
+  mv.value = value;
+  return mv;
+}
+
+}  // namespace
+
+std::vector<MonthlyValue> MonthlyAggregator::medians() const {
+  std::vector<MonthlyValue> out;
+  out.reserve(buckets_.size());
+  for (const auto& [key, samples] : buckets_) {
+    out.push_back(make_monthly(key, samples.size(), median(samples)));
+  }
+  return out;
+}
+
+std::vector<MonthlyValue> MonthlyAggregator::means() const {
+  std::vector<MonthlyValue> out;
+  out.reserve(buckets_.size());
+  for (const auto& [key, samples] : buckets_) {
+    out.push_back(make_monthly(key, samples.size(), mean(samples)));
+  }
+  return out;
+}
+
+std::vector<MonthlyValue> MonthlyAggregator::subsampled_medians(
+    double keep_fraction, std::uint64_t seed) const {
+  if (keep_fraction <= 0.0 || keep_fraction > 1.0) {
+    throw std::invalid_argument("subsampled_medians: fraction not in (0, 1]");
+  }
+  Rng rng{seed};
+  std::vector<MonthlyValue> out;
+  out.reserve(buckets_.size());
+  for (const auto& [key, samples] : buckets_) {
+    std::vector<double> kept;
+    kept.reserve(samples.size());
+    for (const double s : samples) {
+      if (rng.bernoulli(keep_fraction)) kept.push_back(s);
+    }
+    if (kept.empty()) kept.push_back(median(samples));  // degenerate month
+    out.push_back(make_monthly(key, kept.size(), median(kept)));
+  }
+  return out;
+}
+
+std::span<const double> MonthlyAggregator::month_samples(int year,
+                                                         int month) const {
+  const auto it = buckets_.find(year * 12 + (month - 1));
+  if (it == buckets_.end()) {
+    throw std::out_of_range("MonthlyAggregator: no samples for month");
+  }
+  return it->second;
+}
+
+}  // namespace usaas::core

@@ -1,0 +1,115 @@
+// Daily time series keyed by civil date.
+//
+// The Starlink study (§4) is a pair of two-year daily series: strong
+// positive/negative post counts per day (Fig 5a), outage-keyword counts per
+// day (Fig 6), and a monthly-median downlink series (Fig 7). DailySeries is
+// a dense date-indexed container with resampling, rolling statistics and
+// exponentially weighted smoothing (the latter also models user
+// "conditioning" — the shifting fulcrum of §4.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/date.h"
+
+namespace usaas::core {
+
+/// A single dated observation.
+struct DatedValue {
+  Date date;
+  double value{0.0};
+};
+
+/// Dense daily series over an inclusive [first, last] date range.
+class DailySeries {
+ public:
+  /// All days initialized to `fill`.
+  DailySeries(Date first, Date last, double fill = 0.0);
+
+  [[nodiscard]] Date first_date() const { return first_; }
+  [[nodiscard]] Date last_date() const { return last_; }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  /// Whether `d` falls inside the series range.
+  [[nodiscard]] bool contains(const Date& d) const;
+
+  /// Element access; throws std::out_of_range outside the range.
+  [[nodiscard]] double at(const Date& d) const;
+  void set(const Date& d, double v);
+  void add(const Date& d, double v);  // accumulate (daily counters)
+
+  /// Underlying contiguous values, day 0 == first_date().
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+
+  /// (date, value) pairs — convenient for printing.
+  [[nodiscard]] std::vector<DatedValue> entries() const;
+
+  /// Centered rolling mean with the given odd window (edges use the
+  /// available partial window).
+  [[nodiscard]] DailySeries rolling_mean(std::size_t window) const;
+
+  /// Exponentially weighted moving average, alpha in (0, 1].
+  [[nodiscard]] DailySeries ewma(double alpha) const;
+
+  /// Per-element transform into a new series.
+  [[nodiscard]] DailySeries map(const std::function<double(double)>& fn) const;
+
+  /// Element-wise sum; ranges must match exactly.
+  [[nodiscard]] DailySeries operator+(const DailySeries& other) const;
+
+  [[nodiscard]] double total() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  [[nodiscard]] std::size_t index(const Date& d) const;
+
+  Date first_;
+  Date last_;
+  std::vector<double> values_;
+};
+
+/// One month's aggregate in a MonthlySeries.
+struct MonthlyValue {
+  int year{0};
+  int month{0};
+  std::size_t count{0};
+  double value{0.0};
+  [[nodiscard]] std::string label() const;  // "YYYY-MM"
+};
+
+/// Sparse per-month aggregation of dated samples, used for Fig 7's
+/// monthly-median downlink speeds. Samples are buffered so that median /
+/// arbitrary-quantile aggregation (not just mean) is possible.
+class MonthlyAggregator {
+ public:
+  void add(const Date& d, double value);
+
+  [[nodiscard]] std::size_t month_count() const { return buckets_.size(); }
+
+  /// Per-month medians in chronological order.
+  [[nodiscard]] std::vector<MonthlyValue> medians() const;
+  /// Per-month means in chronological order.
+  [[nodiscard]] std::vector<MonthlyValue> means() const;
+
+  /// Per-month medians over a uniformly random subsample keeping
+  /// `keep_fraction` of each month's points; reproduces Fig 7's 90%/95%
+  /// stability check. Seeded for determinism.
+  [[nodiscard]] std::vector<MonthlyValue> subsampled_medians(
+      double keep_fraction, std::uint64_t seed) const;
+
+  /// Raw samples of one month (year*12+month key must exist).
+  [[nodiscard]] std::span<const double> month_samples(int year,
+                                                      int month) const;
+
+ private:
+  // key = year * 12 + (month - 1); std::map keeps chronological order.
+  std::map<int, std::vector<double>> buckets_;
+};
+
+}  // namespace usaas::core

@@ -1,0 +1,68 @@
+#include "core/trend.h"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "core/stats.h"
+
+namespace usaas::core {
+
+MannKendallResult mann_kendall(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 3) throw std::invalid_argument("mann_kendall: need >= 3 points");
+
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = xs[j] - xs[i];
+      if (d > 0.0) {
+        s += 1.0;
+      } else if (d < 0.0) {
+        s -= 1.0;
+      }
+    }
+  }
+
+  // Tie-corrected variance.
+  std::map<double, std::size_t> ties;
+  for (const double x : xs) ++ties[x];
+  const auto dn = static_cast<double>(n);
+  double var = dn * (dn - 1.0) * (2.0 * dn + 5.0);
+  for (const auto& [value, count] : ties) {
+    if (count < 2) continue;
+    const auto t = static_cast<double>(count);
+    var -= t * (t - 1.0) * (2.0 * t + 5.0);
+  }
+  var /= 18.0;
+
+  MannKendallResult r;
+  r.s = s;
+  r.tau = s / (0.5 * dn * (dn - 1.0));
+  if (var <= 0.0) {
+    r.z = 0.0;
+  } else if (s > 0.0) {
+    r.z = (s - 1.0) / std::sqrt(var);
+  } else if (s < 0.0) {
+    r.z = (s + 1.0) / std::sqrt(var);
+  } else {
+    r.z = 0.0;
+  }
+  return r;
+}
+
+double theil_sen_slope(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 2) throw std::invalid_argument("theil_sen_slope: need >= 2 points");
+  std::vector<double> slopes;
+  slopes.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      slopes.push_back((xs[j] - xs[i]) / static_cast<double>(j - i));
+    }
+  }
+  return median(slopes);
+}
+
+}  // namespace usaas::core

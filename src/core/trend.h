@@ -1,0 +1,38 @@
+// Nonparametric trend statistics.
+//
+// Fig 7's prose claims are trend claims — "median downlink speeds
+// increased in general", "almost steady decrease" — which deserve a
+// statistic rather than eyeballing: Mann-Kendall tests the monotone
+// trend's direction/significance, Theil-Sen estimates its slope robustly
+// (both standard in network measurement time-series work).
+#pragma once
+
+#include <span>
+
+namespace usaas::core {
+
+struct MannKendallResult {
+  /// Kendall's S statistic (sum of pairwise sign agreements).
+  double s{0.0};
+  /// Normalized Z score (normal approximation with tie correction).
+  double z{0.0};
+  /// tau in [-1, 1].
+  double tau{0.0};
+  /// Direction at the given z threshold.
+  [[nodiscard]] bool increasing(double z_threshold = 1.96) const {
+    return z > z_threshold;
+  }
+  [[nodiscard]] bool decreasing(double z_threshold = 1.96) const {
+    return z < -z_threshold;
+  }
+};
+
+/// Mann-Kendall trend test over an equally spaced series.
+/// Requires >= 3 points.
+[[nodiscard]] MannKendallResult mann_kendall(std::span<const double> xs);
+
+/// Theil-Sen slope estimator: the median of all pairwise slopes.
+/// Robust to ~29 % outliers. Requires >= 2 points; x spacing = 1.
+[[nodiscard]] double theil_sen_slope(std::span<const double> xs);
+
+}  // namespace usaas::core

@@ -1,0 +1,106 @@
+// Strong unit types for network quantities.
+//
+// The paper's analyses mix latency (ms), loss (%), jitter (ms) and
+// bandwidth (Mbps); passing those around as bare doubles invites the classic
+// transposed-argument bug (Core Guidelines I.4, I.24). Each quantity gets a
+// tiny value type with an explicit constructor and a named accessor, so a
+// call site reads `Milliseconds{150.0}` rather than `150.0`.
+#pragma once
+
+#include <compare>
+#include <stdexcept>
+#include <string>
+
+namespace usaas::core {
+
+namespace detail {
+
+// CRTP base providing ordering and arithmetic for a unit wrapper.
+template <typename Derived>
+struct UnitBase {
+  double raw{0.0};
+
+  constexpr UnitBase() = default;
+  constexpr explicit UnitBase(double v) : raw{v} {}
+
+  [[nodiscard]] constexpr double value() const { return raw; }
+
+  friend constexpr auto operator<=>(const Derived& a, const Derived& b) {
+    return a.raw <=> b.raw;
+  }
+  friend constexpr bool operator==(const Derived& a, const Derived& b) {
+    return a.raw == b.raw;
+  }
+  friend constexpr Derived operator+(const Derived& a, const Derived& b) {
+    return Derived{a.raw + b.raw};
+  }
+  friend constexpr Derived operator-(const Derived& a, const Derived& b) {
+    return Derived{a.raw - b.raw};
+  }
+  friend constexpr Derived operator*(const Derived& a, double s) {
+    return Derived{a.raw * s};
+  }
+  friend constexpr Derived operator*(double s, const Derived& a) {
+    return Derived{a.raw * s};
+  }
+  friend constexpr Derived operator/(const Derived& a, double s) {
+    return Derived{a.raw / s};
+  }
+};
+
+}  // namespace detail
+
+/// Network latency / jitter / durations, in milliseconds.
+struct Milliseconds : detail::UnitBase<Milliseconds> {
+  using UnitBase::UnitBase;
+  [[nodiscard]] constexpr double ms() const { return raw; }
+  [[nodiscard]] constexpr double seconds() const { return raw / 1000.0; }
+};
+
+/// Throughput in megabits per second.
+struct Mbps : detail::UnitBase<Mbps> {
+  using UnitBase::UnitBase;
+  [[nodiscard]] constexpr double mbps() const { return raw; }
+  [[nodiscard]] constexpr double kbps() const { return raw * 1000.0; }
+};
+
+/// A percentage in [0, 100]. Used for loss rate and engagement fractions.
+struct Percent : detail::UnitBase<Percent> {
+  using UnitBase::UnitBase;
+  [[nodiscard]] constexpr double percent() const { return raw; }
+  [[nodiscard]] constexpr double fraction() const { return raw / 100.0; }
+  /// Build from a fraction in [0, 1].
+  [[nodiscard]] static constexpr Percent from_fraction(double f) {
+    return Percent{f * 100.0};
+  }
+};
+
+/// Clamp helper shared by models that saturate a percentage.
+[[nodiscard]] constexpr Percent clamp_percent(Percent p) {
+  if (p.raw < 0.0) return Percent{0.0};
+  if (p.raw > 100.0) return Percent{100.0};
+  return p;
+}
+
+/// A Mean Opinion Score in [1, 5], as collected by the paper's call-quality
+/// splash screen (1 = worst, 5 = best).
+struct Mos : detail::UnitBase<Mos> {
+  using UnitBase::UnitBase;
+  [[nodiscard]] constexpr double score() const { return raw; }
+};
+
+[[nodiscard]] constexpr Mos clamp_mos(Mos m) {
+  if (m.raw < 1.0) return Mos{1.0};
+  if (m.raw > 5.0) return Mos{5.0};
+  return m;
+}
+
+/// Throws std::invalid_argument when a caller-supplied unit is out of its
+/// documented domain; used at API boundaries (Core Guidelines I.5/P.7).
+inline void expect_in_range(double v, double lo, double hi, const char* what) {
+  if (v < lo || v > hi) {
+    throw std::invalid_argument(std::string{what} + " out of range");
+  }
+}
+
+}  // namespace usaas::core

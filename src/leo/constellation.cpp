@@ -1,0 +1,49 @@
+#include "leo/constellation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace usaas::leo {
+
+ConstellationModel::ConstellationModel(LaunchSchedule schedule,
+                                       ConstellationParams params)
+    : schedule_{std::move(schedule)}, params_{params} {
+  if (params_.commissioning_days < 0) {
+    throw std::invalid_argument("ConstellationParams: negative commissioning");
+  }
+  if (params_.annual_attrition < 0.0 || params_.annual_attrition >= 1.0) {
+    throw std::invalid_argument("ConstellationParams: bad attrition");
+  }
+}
+
+double ConstellationModel::operational_satellites(const core::Date& d) const {
+  double total = 0.0;
+  for (const Launch& l : schedule_.launches()) {
+    const core::Date in_service = l.date.plus_days(params_.commissioning_days);
+    if (in_service > d) continue;
+    const double years_in_service =
+        static_cast<double>(in_service.days_until(d)) / 365.25;
+    const double survival =
+        std::pow(1.0 - params_.annual_attrition, years_in_service);
+    total += l.satellites * survival;
+  }
+  return total;
+}
+
+double ConstellationModel::coverage_efficiency(const core::Date& d) const {
+  if (d <= params_.ramp_start) return params_.efficiency_start;
+  if (d >= params_.ramp_end) return params_.efficiency_end;
+  const double span =
+      static_cast<double>(params_.ramp_start.days_until(params_.ramp_end));
+  const double t = static_cast<double>(params_.ramp_start.days_until(d)) / span;
+  return params_.efficiency_start +
+         t * (params_.efficiency_end - params_.efficiency_start);
+}
+
+double ConstellationModel::sellable_capacity_mbps(const core::Date& d) const {
+  return operational_satellites(d) * params_.usable_mbps_per_satellite *
+         coverage_efficiency(d);
+}
+
+}  // namespace usaas::leo

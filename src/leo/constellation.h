@@ -1,0 +1,58 @@
+// Constellation capacity model.
+//
+// Turns the launch schedule into usable downlink supply over time:
+// satellites need a commissioning period (orbit raising + checkout) before
+// serving users, a small fraction attrits per year, and only part of a
+// shell's aggregate capacity lands on populated, licensed cells (coverage
+// efficiency, which improves as shells fill out and more ground stations
+// come online).
+#pragma once
+
+#include "core/date.h"
+#include "leo/launches.h"
+
+namespace usaas::leo {
+
+struct ConstellationParams {
+  /// Days from launch until a batch starts serving users (orbit raising).
+  /// Short enough that the real Jun-Aug '21 launch gap shows up as flat
+  /// supply in exactly that window — the paper's speed-dip mechanism.
+  int commissioning_days{20};
+  /// Annual satellite attrition (deorbits, failures).
+  double annual_attrition{0.025};
+  /// Sellable downlink per operational satellite (Mbps) toward actual
+  /// subscriber cells — far below the marketing aggregate because beams
+  /// mostly cover ocean/unlicensed areas. Calibrated jointly with the
+  /// demand constants; only the supply/demand ratio is meaningful.
+  double usable_mbps_per_satellite{280.0};
+  /// Coverage/ground-segment efficiency ramp: fraction of nominal capacity
+  /// that is actually sellable, ramping linearly from `efficiency_start`
+  /// on `ramp_start` to `efficiency_end` on `ramp_end`.
+  double efficiency_start{0.30};
+  double efficiency_end{0.90};
+  core::Date ramp_start{2021, 1, 1};
+  core::Date ramp_end{2022, 12, 31};
+};
+
+class ConstellationModel {
+ public:
+  explicit ConstellationModel(LaunchSchedule schedule = LaunchSchedule{},
+                              ConstellationParams params = {});
+
+  /// Operational (commissioned, surviving) satellites on a date.
+  [[nodiscard]] double operational_satellites(const core::Date& d) const;
+
+  /// Sellable downlink supply (Mbps) on a date.
+  [[nodiscard]] double sellable_capacity_mbps(const core::Date& d) const;
+
+  [[nodiscard]] double coverage_efficiency(const core::Date& d) const;
+
+  [[nodiscard]] const LaunchSchedule& schedule() const { return schedule_; }
+  [[nodiscard]] const ConstellationParams& params() const { return params_; }
+
+ private:
+  LaunchSchedule schedule_;
+  ConstellationParams params_;
+};
+
+}  // namespace usaas::leo

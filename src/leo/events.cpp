@@ -1,0 +1,139 @@
+#include "leo/events.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace usaas::leo {
+
+const char* to_string(EventSentiment s) {
+  switch (s) {
+    case EventSentiment::kPositive: return "positive";
+    case EventSentiment::kNegative: return "negative";
+    case EventSentiment::kNeutral: return "neutral";
+  }
+  return "unknown";
+}
+
+core::Date EventTimeline::roaming_announcement_date() {
+  return core::Date(2022, 3, 3);  // Musk tweet "Mobile roaming enabled" [51]
+}
+
+core::Date EventTimeline::roaming_user_discovery_date() {
+  return core::Date(2022, 2, 15);  // r/Starlink reports [76, 77]
+}
+
+namespace {
+
+std::vector<NewsEvent> paper_events() {
+  std::vector<NewsEvent> ev;
+  ev.push_back({core::Date(2021, 2, 9),
+                "SpaceX begins accepting $99 preorders for Starlink in the "
+                "US, Canada and UK",
+                {"preorder", "order", "deposit", "99", "available", "signup"},
+                EventSentiment::kPositive, 1.0, true});
+  ev.push_back({core::Date(2021, 11, 24),
+                "Starlink emails pre-order customers about delivery delays "
+                "pushing terminals into 2022",
+                {"delay", "delayed", "delivery", "preorder", "email",
+                 "pushed", "waiting"},
+                EventSentiment::kNegative, 0.95, true});
+  // Press-covered outages need little Reddit amplification beyond the
+  // outage-report threads themselves (people read the news instead).
+  ev.push_back({core::Date(2022, 1, 7),
+                "Starlink suffers global outage",
+                {"outage", "down", "offline", "global"},
+                EventSentiment::kNegative, 0.2, true});
+  // The Apr 22 outage the press never covered: Redditors from 14 countries
+  // confirmed it online (the paper's Fig 5(b) story).
+  // No press coverage: Redditors flood the subreddit to confirm it
+  // themselves, so the buzz is *higher* relative to the reported outages.
+  ev.push_back({core::Date(2022, 4, 22),
+                "(uncovered) widespread Starlink outage",
+                {"outage", "down", "offline"},
+                EventSentiment::kNegative, 0.45, false});
+  ev.push_back({core::Date(2022, 8, 30),
+                "Starlink internet experiences worldwide service interruption",
+                {"outage", "down", "offline", "worldwide", "interruption"},
+                EventSentiment::kNegative, 0.2, true});
+  // Roaming: users discover it ~2 weeks before the official tweet.
+  ev.push_back({EventTimeline::roaming_user_discovery_date(),
+                "(uncovered) users notice Starlink roaming works across cells",
+                {"roaming", "enabled", "moved", "travel", "portable"},
+                EventSentiment::kPositive, 0.35, false});
+  ev.push_back({EventTimeline::roaming_announcement_date(),
+                "Musk: Mobile roaming enabled",
+                {"roaming", "enabled", "mobile", "musk", "announcement"},
+                EventSentiment::kPositive, 0.6, true});
+  ev.push_back({core::Date(2022, 5, 5),
+                "Starlink becomes movable with new Portability option",
+                {"portability", "roaming", "move", "option"},
+                EventSentiment::kPositive, 0.4, true});
+  ev.push_back({core::Date(2022, 3, 22),
+                "Starlink raises terminal and subscription prices",
+                {"price", "increase", "expensive", "cost"},
+                EventSentiment::kNegative, 0.5, true});
+  return ev;
+}
+
+}  // namespace
+
+EventTimeline::EventTimeline(const LaunchSchedule& schedule)
+    : events_{paper_events()} {
+  for (const Launch& l : schedule.launches()) {
+    events_.push_back({l.date,
+                       "SpaceX launches another Starlink batch (" +
+                           std::to_string(l.satellites) + " satellites)",
+                       {"launch", "falcon", "batch", "satellites", "deploy"},
+                       EventSentiment::kPositive, 0.15, true});
+  }
+  std::sort(events_.begin(), events_.end(),
+            [](const NewsEvent& a, const NewsEvent& b) { return a.date < b.date; });
+}
+
+EventTimeline::EventTimeline(std::vector<NewsEvent> events)
+    : events_{std::move(events)} {
+  std::sort(events_.begin(), events_.end(),
+            [](const NewsEvent& a, const NewsEvent& b) { return a.date < b.date; });
+}
+
+std::vector<NewsEvent> EventTimeline::on(const core::Date& d) const {
+  std::vector<NewsEvent> out;
+  for (const NewsEvent& e : events_) {
+    if (e.date == d) out.push_back(e);
+  }
+  return out;
+}
+
+std::optional<NewsEvent> EventTimeline::search(
+    std::span<const std::string> query_keywords, const core::Date& around,
+    int window_days) const {
+  std::optional<NewsEvent> best;
+  std::int64_t best_distance = window_days + 1;
+  for (const NewsEvent& e : events_) {
+    if (!e.press_covered) continue;  // the news search cannot see these
+    const std::int64_t dist = std::llabs(around.days_until(e.date));
+    if (dist > window_days) continue;
+    const bool matches = std::any_of(
+        query_keywords.begin(), query_keywords.end(), [&](const std::string& q) {
+          return std::find(e.keywords.begin(), e.keywords.end(), q) !=
+                 e.keywords.end();
+        });
+    if (!matches) continue;
+    if (dist < best_distance ||
+        (dist == best_distance && best && e.buzz > best->buzz)) {
+      best = e;
+      best_distance = dist;
+    }
+  }
+  return best;
+}
+
+double EventTimeline::buzz_on(const core::Date& d) const {
+  double b = 0.0;
+  for (const NewsEvent& e : events_) {
+    if (e.date == d) b += e.buzz;
+  }
+  return b;
+}
+
+}  // namespace usaas::leo

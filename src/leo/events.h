@@ -1,0 +1,73 @@
+// The dated news / announcement timeline.
+//
+// §4.1's annotation pipeline searches "online" for news matching a peak
+// day's word-cloud keywords. Our substitute corpus carries the events the
+// paper itself cites: preorders opening (9 Feb '21), the delivery-delay
+// email (24 Nov '21), the reported outages, the roaming tweet (and the
+// 2-weeks-earlier user discovery window), and every launch. Each event has
+// searchable keywords, a sentiment hint, and a buzz factor that drives
+// post volume in the social simulator.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/date.h"
+#include "leo/launches.h"
+
+namespace usaas::leo {
+
+enum class EventSentiment { kPositive, kNegative, kNeutral };
+
+[[nodiscard]] const char* to_string(EventSentiment s);
+
+struct NewsEvent {
+  core::Date date;
+  std::string headline;
+  /// Lowercase searchable keywords.
+  std::vector<std::string> keywords;
+  EventSentiment sentiment{EventSentiment::kNeutral};
+  /// Relative post-volume boost in [0, 1].
+  double buzz{0.1};
+  /// False for things Redditors knew but the press never covered
+  /// (the 22 Apr '22 outage; roaming before the official announcement).
+  bool press_covered{true};
+};
+
+class EventTimeline {
+ public:
+  /// Default timeline: paper-cited events + per-launch events from the
+  /// given schedule.
+  explicit EventTimeline(const LaunchSchedule& schedule = LaunchSchedule{});
+  /// Custom events only.
+  explicit EventTimeline(std::vector<NewsEvent> events);
+
+  [[nodiscard]] std::span<const NewsEvent> events() const { return events_; }
+
+  /// Events on a specific day.
+  [[nodiscard]] std::vector<NewsEvent> on(const core::Date& d) const;
+
+  /// "Search the news": press-covered events within +/- window_days of
+  /// `around` matching any of the query keywords. Returns the best match
+  /// (closest date, then highest buzz), mimicking the paper's keyword +
+  /// custom-date news search.
+  [[nodiscard]] std::optional<NewsEvent> search(
+      std::span<const std::string> query_keywords, const core::Date& around,
+      int window_days) const;
+
+  /// Net event buzz on a day (sum over events).
+  [[nodiscard]] double buzz_on(const core::Date& d) const;
+
+  /// The official roaming announcement date (Musk tweet, 3 Mar '22) and
+  /// the date user discussions started (~2 weeks prior) — the early-
+  /// detection experiment's ground truth.
+  [[nodiscard]] static core::Date roaming_announcement_date();
+  [[nodiscard]] static core::Date roaming_user_discovery_date();
+
+ private:
+  std::vector<NewsEvent> events_;
+};
+
+}  // namespace usaas::leo

@@ -1,0 +1,83 @@
+#include "leo/launches.h"
+
+#include <algorithm>
+
+namespace usaas::leo {
+
+namespace {
+
+// Monthly launch counts (year, month, launches, satellites per launch).
+// Consistent with the paper's §4.2 narrative: 14 launches Jan-Sep '21,
+// a Jun-Aug '21 gap, 37 batches Sep '21 - Dec '22.
+struct MonthlyLaunches {
+  int year;
+  int month;
+  int count;
+  int sats_per_launch;
+};
+
+constexpr MonthlyLaunches kHistory[] = {
+    // v0.9 / v1.0 era
+    {2019, 5, 1, 60}, {2019, 11, 1, 60},
+    {2020, 1, 2, 60}, {2020, 2, 1, 60}, {2020, 3, 1, 60}, {2020, 4, 1, 60},
+    {2020, 6, 2, 60}, {2020, 8, 2, 58}, {2020, 9, 2, 60}, {2020, 10, 2, 60},
+    {2020, 11, 1, 60},
+    // 2021: 14 launches Jan-Sep, with the Jun-Aug gap.
+    {2021, 1, 2, 60}, {2021, 2, 1, 60}, {2021, 3, 4, 60}, {2021, 4, 2, 60},
+    {2021, 5, 4, 58}, {2021, 9, 1, 51},
+    // late 2021
+    {2021, 11, 2, 53}, {2021, 12, 1, 52},
+    // 2022: 33 launches (+4 from Sep-Dec '21 = 37 in the paper's window).
+    {2022, 1, 2, 49}, {2022, 2, 3, 47}, {2022, 3, 3, 48}, {2022, 4, 3, 53},
+    {2022, 5, 4, 53}, {2022, 6, 3, 53}, {2022, 7, 4, 53}, {2022, 8, 4, 52},
+    {2022, 9, 3, 52}, {2022, 10, 2, 52}, {2022, 11, 1, 54}, {2022, 12, 1, 54},
+};
+
+std::vector<Launch> build_default() {
+  std::vector<Launch> out;
+  for (const auto& m : kHistory) {
+    // Spread a month's launches evenly across it.
+    const int dim = core::Date::days_in_month(m.year, m.month);
+    for (int i = 0; i < m.count; ++i) {
+      const int day = 1 + (dim * (2 * i + 1)) / (2 * m.count);
+      out.push_back({core::Date(m.year, m.month, std::min(day, dim)),
+                     m.sats_per_launch});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LaunchSchedule::LaunchSchedule() : LaunchSchedule(build_default()) {}
+
+LaunchSchedule::LaunchSchedule(std::vector<Launch> launches)
+    : launches_{std::move(launches)} {
+  std::sort(launches_.begin(), launches_.end(),
+            [](const Launch& a, const Launch& b) { return a.date < b.date; });
+}
+
+int LaunchSchedule::launches_between(const core::Date& first,
+                                     const core::Date& last) const {
+  return static_cast<int>(
+      std::count_if(launches_.begin(), launches_.end(), [&](const Launch& l) {
+        return first <= l.date && l.date <= last;
+      }));
+}
+
+int LaunchSchedule::satellites_launched_by(const core::Date& d) const {
+  int total = 0;
+  for (const Launch& l : launches_) {
+    if (l.date <= d) total += l.satellites;
+  }
+  return total;
+}
+
+int LaunchSchedule::launches_in_month(int year, int month) const {
+  return static_cast<int>(
+      std::count_if(launches_.begin(), launches_.end(), [&](const Launch& l) {
+        return l.date.year() == year && l.date.month() == month;
+      }));
+}
+
+}  // namespace usaas::leo

@@ -1,0 +1,49 @@
+// The Starlink launch history used by Fig 7's annotations.
+//
+// The paper reads the launch cadence off public trackers [1, 30, 78, 79]:
+// 14 launches with ~60 satellites each between Jan and Sep '21, none
+// between Jun and Aug '21, then 37 batches between Sep '21 and Dec '22.
+// We encode a monthly schedule consistent with those counts (and with the
+// public record to within a launch or two — the model consumes monthly
+// totals, not exact dates).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/date.h"
+
+namespace usaas::leo {
+
+struct Launch {
+  core::Date date;
+  int satellites{60};
+};
+
+/// The built-in schedule covering May 2019 (first v1.0 batch) through
+/// Dec 2022 (the end of the paper's observation window).
+class LaunchSchedule {
+ public:
+  /// Default: the historical schedule.
+  LaunchSchedule();
+  /// Custom schedule (launches need not be sorted; they will be).
+  explicit LaunchSchedule(std::vector<Launch> launches);
+
+  [[nodiscard]] std::span<const Launch> launches() const { return launches_; }
+
+  /// Number of launches in the inclusive [first, last] date window.
+  [[nodiscard]] int launches_between(const core::Date& first,
+                                     const core::Date& last) const;
+
+  /// Cumulative satellites launched on or before `d`.
+  [[nodiscard]] int satellites_launched_by(const core::Date& d) const;
+
+  /// Launches in a given month.
+  [[nodiscard]] int launches_in_month(int year, int month) const;
+
+ private:
+  std::vector<Launch> launches_;
+};
+
+}  // namespace usaas::leo

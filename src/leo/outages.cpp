@@ -1,0 +1,98 @@
+#include "leo/outages.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace usaas::leo {
+
+const char* to_string(OutageCause c) {
+  switch (c) {
+    case OutageCause::kSoftwareGlobal: return "software-global";
+    case OutageCause::kWeather: return "weather";
+    case OutageCause::kGeometryGap: return "geometry-gap";
+    case OutageCause::kGeoArcAvoidance: return "geo-arc-avoidance";
+    case OutageCause::kGroundStation: return "ground-station";
+    case OutageCause::kDeployment: return "deployment";
+  }
+  return "unknown";
+}
+
+std::vector<Outage> OutageModel::major_outages_2022() {
+  return {
+      // Jan 7 '22: reported global outage [34] — long and wide, hence the
+      // largest outage-keyword spike of Fig 6.
+      {core::Date(2022, 1, 7), 0.85, 0.62, OutageCause::kSoftwareGlobal, true},
+      // Apr 22 '22: large outage confirmed by Redditors in 14 countries but
+      // never covered by the press (the paper's Fig 5b story).
+      {core::Date(2022, 4, 22), 0.7, 0.45, OutageCause::kSoftwareGlobal, false},
+      // Aug 30 '22: reported worldwide interruption [40].
+      {core::Date(2022, 8, 30), 0.8, 0.6, OutageCause::kSoftwareGlobal, true},
+  };
+}
+
+OutageModel::OutageModel(core::Date first, core::Date last, std::uint64_t seed,
+                         OutageModelParams params)
+    : first_{first}, last_{last} {
+  if (last < first) throw std::invalid_argument("OutageModel: last < first");
+
+  for (const Outage& o : major_outages_2022()) {
+    if (first <= o.date && o.date <= last) outages_.push_back(o);
+  }
+
+  core::Rng rng{seed};
+  core::for_each_day(first, last, [&](const core::Date& d) {
+    const auto n = rng.poisson(params.transient_rate_per_day);
+    for (std::int64_t i = 0; i < n; ++i) {
+      Outage o;
+      o.date = d;
+      o.affected_fraction =
+          rng.uniform(params.transient_affected_lo, params.transient_affected_hi);
+      o.duration_fraction =
+          rng.uniform(params.transient_duration_lo, params.transient_duration_hi);
+      static constexpr OutageCause kTransientCauses[] = {
+          OutageCause::kWeather, OutageCause::kGeometryGap,
+          OutageCause::kGeoArcAvoidance, OutageCause::kGroundStation,
+          OutageCause::kDeployment};
+      o.cause = kTransientCauses[rng.uniform_int(0, 4)];
+      o.publicly_reported = rng.bernoulli(params.transient_reported_prob);
+      outages_.push_back(o);
+    }
+  });
+
+  std::sort(outages_.begin(), outages_.end(),
+            [](const Outage& a, const Outage& b) { return a.date < b.date; });
+}
+
+std::vector<Outage> OutageModel::on(const core::Date& d) const {
+  std::vector<Outage> out;
+  for (const Outage& o : outages_) {
+    if (o.date == d) out.push_back(o);
+  }
+  return out;
+}
+
+double OutageModel::severity_on(const core::Date& d) const {
+  double s = 0.0;
+  for (const Outage& o : outages_) {
+    if (o.date == d) s = std::max(s, o.severity());
+  }
+  return s;
+}
+
+double OutageModel::affected_fraction_on(const core::Date& d) const {
+  double f = 0.0;
+  for (const Outage& o : outages_) {
+    if (o.date == d) f += o.affected_fraction;
+  }
+  return std::min(f, 1.0);
+}
+
+std::vector<core::Date> OutageModel::days_above(double threshold) const {
+  std::vector<core::Date> out;
+  core::for_each_day(first_, last_, [&](const core::Date& d) {
+    if (severity_on(d) > threshold) out.push_back(d);
+  });
+  return out;
+}
+
+}  // namespace usaas::leo

@@ -1,0 +1,97 @@
+// Outage process: the ground truth that Fig 6's keyword pipeline must
+// rediscover from Reddit chatter.
+//
+// §4.1: "7th Jan'22 and 30th Aug'22 have the largest spikes ... and
+// correspond to reported outages [34, 40]. Interestingly, there are
+// numerous shorter peaks ... which correspond to local transient outages.
+// Most of these outages are not publicly reported." Plus the 22 Apr '22
+// outage that produced the 3rd-highest sentiment peak and was never
+// covered by the press. We model major scheduled outages (matching the
+// paper's dates) plus a Poisson process of small transient ones (weather,
+// satellite-geometry gaps, GEO-arc avoidance, deployment issues).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/date.h"
+#include "core/rng.h"
+
+namespace usaas::leo {
+
+enum class OutageCause {
+  kSoftwareGlobal,
+  kWeather,
+  kGeometryGap,
+  kGeoArcAvoidance,
+  kGroundStation,
+  kDeployment,
+};
+
+[[nodiscard]] const char* to_string(OutageCause c);
+
+struct Outage {
+  core::Date date;
+  /// Fraction of the user base affected, in (0, 1].
+  double affected_fraction{0.1};
+  /// Duration as a fraction of the day, in (0, 1].
+  double duration_fraction{0.1};
+  OutageCause cause{OutageCause::kWeather};
+  /// Whether the press covered it (major outages usually; transients
+  /// almost never — the gap USaaS fills).
+  bool publicly_reported{false};
+
+  /// Severity score combining reach and duration, in (0, 1].
+  [[nodiscard]] double severity() const {
+    return affected_fraction * duration_fraction;
+  }
+};
+
+struct OutageModelParams {
+  /// Mean transient outages per day.
+  double transient_rate_per_day{0.22};
+  /// Transient severity ranges.
+  double transient_affected_lo{0.01};
+  double transient_affected_hi{0.12};
+  double transient_duration_lo{0.02};
+  double transient_duration_hi{0.3};
+  /// Probability a transient makes the news anyway.
+  double transient_reported_prob{0.02};
+};
+
+/// Generates and serves the outage ground truth over a date range.
+class OutageModel {
+ public:
+  /// Builds the timeline: the three major 2022 outages the paper pins to
+  /// dates, plus seeded random transients across [first, last].
+  OutageModel(core::Date first, core::Date last, std::uint64_t seed,
+              OutageModelParams params = {});
+
+  [[nodiscard]] std::span<const Outage> outages() const { return outages_; }
+
+  /// Outages active on a given day.
+  [[nodiscard]] std::vector<Outage> on(const core::Date& d) const;
+
+  /// Max severity on the day (0 when no outage).
+  [[nodiscard]] double severity_on(const core::Date& d) const;
+
+  /// Fraction of users affected on the day (capped at 1).
+  [[nodiscard]] double affected_fraction_on(const core::Date& d) const;
+
+  /// Days with severity above `threshold` — the ground-truth set for the
+  /// detector's precision/recall evaluation.
+  [[nodiscard]] std::vector<core::Date> days_above(double threshold) const;
+
+  /// The paper's three dated major outages (for annotations in benches).
+  [[nodiscard]] static std::vector<Outage> major_outages_2022();
+
+ private:
+  core::Date first_;
+  core::Date last_;
+  std::vector<Outage> outages_;
+};
+
+}  // namespace usaas::leo

@@ -1,0 +1,69 @@
+#include "leo/speed.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace usaas::leo {
+
+SpeedModel::SpeedModel(ConstellationModel constellation,
+                       SubscriberModel subscribers, SpeedModelParams params)
+    : constellation_{std::move(constellation)},
+      subscribers_{std::move(subscribers)},
+      params_{params} {}
+
+double SpeedModel::maturity(const core::Date& d) const {
+  const auto& p = params_;
+  if (d <= p.maturity_ramp_start) return p.maturity_start;
+  if (d >= p.maturity_ramp_end) return 1.0;
+  const double span = static_cast<double>(
+      p.maturity_ramp_start.days_until(p.maturity_ramp_end));
+  const double t =
+      static_cast<double>(p.maturity_ramp_start.days_until(d)) / span;
+  return p.maturity_start + t * (1.0 - p.maturity_start);
+}
+
+double SpeedModel::supply_demand_ratio(const core::Date& d) const {
+  const auto& p = params_;
+  const double supply = constellation_.sellable_capacity_mbps(d);
+  const double subs = std::max(subscribers_.subscribers_on(d), 1.0);
+  const double demand = std::max(
+      p.demand_per_subscriber_mbps * p.demand_ref_subscribers *
+          std::pow(subs / p.demand_ref_subscribers, p.demand_beta),
+      1.0);
+  return supply / demand;
+}
+
+double SpeedModel::median_downlink_mbps(const core::Date& d) const {
+  const double r = supply_demand_ratio(d);
+  const double congestion = r / (r + params_.congestion_knee);
+  return params_.plan_cap_mbps * congestion * maturity(d);
+}
+
+SpeedSample SpeedModel::draw_test(const core::Date& d, core::Rng& rng,
+                                  double outage_severity) const {
+  const auto& p = params_;
+  SpeedSample s;
+  const double med = median_downlink_mbps(d);
+  // Lognormal around the median: median of exp(N(mu, sigma)) = exp(mu).
+  s.downlink_mbps = std::min(med * rng.lognormal(0.0, p.user_sigma),
+                             p.plan_cap_mbps * 1.15);
+  s.uplink_mbps =
+      s.downlink_mbps * p.uplink_fraction * rng.lognormal(0.0, p.uplink_sigma);
+
+  const double r = supply_demand_ratio(d);
+  const double load = 1.0 / (1.0 + r);  // 0 when idle, ->1 when swamped
+  s.latency_ms = p.latency_base_ms * rng.lognormal(0.0, p.latency_sigma) +
+                 p.latency_congestion_ms * load;
+
+  if (outage_severity > 0.0 && rng.bernoulli(outage_severity)) {
+    s.during_outage = true;
+    s.downlink_mbps *= rng.uniform(0.0, 0.08);
+    s.uplink_mbps *= rng.uniform(0.0, 0.08);
+    s.latency_ms += rng.uniform(200.0, 1500.0);
+  }
+  s.downlink_mbps = std::max(s.downlink_mbps, 0.05);
+  s.uplink_mbps = std::max(s.uplink_mbps, 0.02);
+  return s;
+}
+
+}  // namespace usaas::leo

@@ -1,0 +1,97 @@
+// Per-user speed experience: supply / demand -> what a speed test shows.
+//
+// Fig 7's trajectory is the core claim: median downlink rises Jan-Sep '21
+// while launches outpace the small user base, dips sharply Jun-Aug '21
+// (21 K new users, zero launches), then declines almost steadily through
+// Dec '22 as subscribers grow from 90 K to 1 M+ faster than 37 launches
+// add capacity. SpeedModel computes the network-wide expected median from
+// ConstellationModel supply and SubscriberModel demand, then draws
+// individual user speed tests around it.
+#pragma once
+
+#include <cstdint>
+
+#include "core/date.h"
+#include "core/rng.h"
+#include "core/units.h"
+#include "leo/constellation.h"
+#include "leo/outages.h"
+#include "leo/subscribers.h"
+
+namespace usaas::leo {
+
+/// The ground-truth numbers behind one user's speed test.
+struct SpeedSample {
+  double downlink_mbps{0.0};
+  double uplink_mbps{0.0};
+  double latency_ms{0.0};
+  /// True when the test ran during an outage affecting this user (speeds
+  /// collapse to nearly zero).
+  bool during_outage{false};
+};
+
+struct SpeedModelParams {
+  /// Peak plan rate: nobody tests faster than this.
+  double plan_cap_mbps{250.0};
+  /// Busy-hour demand of the reference subscriber base (Mbps per sub).
+  /// Only the supply/demand *ratio* is calibrated; the absolute constants
+  /// are not individually meaningful.
+  double demand_per_subscriber_mbps{5.0};
+  /// Statistical multiplexing improves with scale: effective demand is
+  ///   per_sub * ref * (subs / ref)^beta,  beta in (0, 1].
+  double demand_beta{0.9};
+  double demand_ref_subscribers{100000.0};
+  /// Shape of the congestion response: median = cap * r / (r + knee)
+  /// where r = supply / demand. knee < 1 means the network delivers most
+  /// of the cap while supply comfortably exceeds demand.
+  double congestion_knee{1.15};
+  /// Ground-segment / software maturity ramp multiplying the deliverable
+  /// rate: from `maturity_start` on ramp_start to 1.0 on ramp_end. Early
+  /// 2021 speeds were limited by gateways and coverage gaps, not capacity.
+  double maturity_start{0.38};
+  core::Date maturity_ramp_start{2021, 4, 1};
+  core::Date maturity_ramp_end{2021, 6, 1};
+  /// Lognormal sigma of individual tests around the median.
+  double user_sigma{0.38};
+  /// Uplink as a fraction of downlink (Starlink is heavily asymmetric).
+  double uplink_fraction{0.09};
+  double uplink_sigma{0.3};
+  /// Latency distribution (ms): lognormal floor + congestion penalty.
+  double latency_base_ms{32.0};
+  double latency_sigma{0.25};
+  double latency_congestion_ms{45.0};
+};
+
+class SpeedModel {
+ public:
+  SpeedModel(ConstellationModel constellation, SubscriberModel subscribers,
+             SpeedModelParams params = {});
+
+  /// Network-wide expected *median* downlink on a date (no noise).
+  [[nodiscard]] double median_downlink_mbps(const core::Date& d) const;
+
+  /// Supply / demand ratio on a date.
+  [[nodiscard]] double supply_demand_ratio(const core::Date& d) const;
+
+  /// Draws one user's speed test. `outage_severity` in [0, 1] collapses
+  /// the result when the user is affected.
+  [[nodiscard]] SpeedSample draw_test(const core::Date& d, core::Rng& rng,
+                                      double outage_severity = 0.0) const;
+
+  [[nodiscard]] const ConstellationModel& constellation() const {
+    return constellation_;
+  }
+  [[nodiscard]] const SubscriberModel& subscribers() const {
+    return subscribers_;
+  }
+  [[nodiscard]] const SpeedModelParams& params() const { return params_; }
+
+ private:
+  [[nodiscard]] double maturity(const core::Date& d) const;
+
+  ConstellationModel constellation_;
+  SubscriberModel subscribers_;
+  SpeedModelParams params_;
+};
+
+}  // namespace usaas::leo

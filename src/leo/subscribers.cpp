@@ -1,0 +1,76 @@
+#include "leo/subscribers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace usaas::leo {
+
+namespace {
+
+std::vector<SubscriberMilestone> default_milestones() {
+  return {
+      {core::Date(2020, 11, 1), 4000, "public beta start"},
+      {core::Date(2021, 2, 9), 10000, "FCC ETC filing [70]"},
+      {core::Date(2021, 6, 25), 69420, "Musk tweet [50]"},
+      {core::Date(2021, 8, 10), 90000, "SpaceX statement [63]"},
+      {core::Date(2022, 1, 15), 145000, "CNBC [64]"},
+      {core::Date(2022, 2, 14), 250000, "Musk tweet [52]"},
+      {core::Date(2022, 5, 20), 400000, "CNBC [65]"},
+      {core::Date(2022, 9, 19), 700000, "advanced-television [24]"},
+      {core::Date(2022, 12, 19), 1000000, "SpaceX tweet [67]"},
+      {core::Date(2023, 5, 6), 1500000, "Starlink tweet [69]"},
+  };
+}
+
+}  // namespace
+
+SubscriberModel::SubscriberModel() : SubscriberModel(default_milestones()) {}
+
+SubscriberModel::SubscriberModel(std::vector<SubscriberMilestone> milestones)
+    : milestones_{std::move(milestones)} {
+  if (milestones_.empty()) {
+    throw std::invalid_argument("SubscriberModel: no milestones");
+  }
+  for (const auto& m : milestones_) {
+    if (m.subscribers <= 0.0) {
+      throw std::invalid_argument("SubscriberModel: non-positive milestone");
+    }
+  }
+  std::sort(milestones_.begin(), milestones_.end(),
+            [](const SubscriberMilestone& a, const SubscriberMilestone& b) {
+              return a.date < b.date;
+            });
+}
+
+double SubscriberModel::subscribers_on(const core::Date& d) const {
+  const auto& ms = milestones_;
+  if (ms.size() == 1) return ms.front().subscribers;
+
+  // Geometric interpolation: log-linear in time.
+  auto interp = [](const SubscriberMilestone& a, const SubscriberMilestone& b,
+                   const core::Date& d) {
+    const double span = static_cast<double>(a.date.days_until(b.date));
+    const double t = static_cast<double>(a.date.days_until(d)) / span;
+    const double log_v =
+        std::log(a.subscribers) +
+        t * (std::log(b.subscribers) - std::log(a.subscribers));
+    return std::exp(log_v);
+  };
+
+  if (d <= ms.front().date) return interp(ms[0], ms[1], d);
+  if (d >= ms.back().date) {
+    return interp(ms[ms.size() - 2], ms[ms.size() - 1], d);
+  }
+  for (std::size_t i = 1; i < ms.size(); ++i) {
+    if (d <= ms[i].date) return interp(ms[i - 1], ms[i], d);
+  }
+  return ms.back().subscribers;  // unreachable
+}
+
+double SubscriberModel::added_between(const core::Date& first,
+                                      const core::Date& last) const {
+  return subscribers_on(last) - subscribers_on(first);
+}
+
+}  // namespace usaas::leo

@@ -1,0 +1,47 @@
+// Subscriber growth model.
+//
+// Fig 7 is annotated with the publicly reported user counts the paper
+// cites [24, 33, 50, 52, 63-65, 67, 69, 70]; demand growth is the force
+// that drags the median speed down after Sep '21 despite 37 more launches.
+// Daily counts are geometric interpolations between the public milestones.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/date.h"
+
+namespace usaas::leo {
+
+struct SubscriberMilestone {
+  core::Date date;
+  double subscribers{0.0};
+  /// Short provenance note ("Musk tweet", "FCC filing", ...).
+  const char* source{""};
+};
+
+class SubscriberModel {
+ public:
+  /// Default: the paper's cited public milestones.
+  SubscriberModel();
+  /// Custom milestones (sorted internally; must be non-empty and positive).
+  explicit SubscriberModel(std::vector<SubscriberMilestone> milestones);
+
+  /// Subscribers on a date: geometric interpolation between surrounding
+  /// milestones; geometric extrapolation of the boundary growth rate
+  /// outside the milestone range.
+  [[nodiscard]] double subscribers_on(const core::Date& d) const;
+
+  /// New subscribers added in the inclusive window.
+  [[nodiscard]] double added_between(const core::Date& first,
+                                     const core::Date& last) const;
+
+  [[nodiscard]] std::span<const SubscriberMilestone> milestones() const {
+    return milestones_;
+  }
+
+ private:
+  std::vector<SubscriberMilestone> milestones_;
+};
+
+}  // namespace usaas::leo

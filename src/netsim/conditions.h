@@ -1,0 +1,84 @@
+// The four network-condition metrics the Teams client reports every five
+// seconds (§3.1): latency, packet loss, jitter, and available bandwidth.
+#pragma once
+
+#include "core/units.h"
+
+namespace usaas::netsim {
+
+/// Instantaneous (one 5-second sample) or session-baseline conditions.
+struct NetworkConditions {
+  core::Milliseconds latency{0.0};
+  core::Percent loss{0.0};
+  core::Milliseconds jitter{0.0};
+  core::Mbps bandwidth{0.0};
+};
+
+/// The paper's per-metric "roughly constant" control windows used when one
+/// metric is being swept (§3.2): latency 0-40 ms, loss 0-0.2 %, jitter
+/// 0-5 ms, bandwidth 3-4 Mbps.
+struct ControlWindows {
+  double latency_lo_ms{0.0};
+  double latency_hi_ms{40.0};
+  double loss_lo_pct{0.0};
+  double loss_hi_pct{0.2};
+  double jitter_lo_ms{0.0};
+  double jitter_hi_ms{5.0};
+  double bandwidth_lo_mbps{3.0};
+  double bandwidth_hi_mbps{4.0};
+};
+
+/// Which metric a sweep varies; the others stay inside ControlWindows.
+enum class Metric {
+  kLatency,
+  kLoss,
+  kJitter,
+  kBandwidth,
+};
+
+[[nodiscard]] constexpr const char* to_string(Metric m) {
+  switch (m) {
+    case Metric::kLatency: return "latency";
+    case Metric::kLoss: return "loss";
+    case Metric::kJitter: return "jitter";
+    case Metric::kBandwidth: return "bandwidth";
+  }
+  return "unknown";
+}
+
+/// Reads the given metric out of a conditions record, in its natural unit
+/// (ms / % / ms / Mbps).
+[[nodiscard]] constexpr double metric_value(const NetworkConditions& c,
+                                            Metric m) {
+  switch (m) {
+    case Metric::kLatency: return c.latency.ms();
+    case Metric::kLoss: return c.loss.percent();
+    case Metric::kJitter: return c.jitter.ms();
+    case Metric::kBandwidth: return c.bandwidth.mbps();
+  }
+  return 0.0;
+}
+
+/// True when every metric *other than* `swept` lies inside its control
+/// window. This is the paper's confounder-control filter.
+[[nodiscard]] constexpr bool others_in_control(const NetworkConditions& c,
+                                               Metric swept,
+                                               const ControlWindows& w = {}) {
+  const bool lat_ok = c.latency.ms() >= w.latency_lo_ms &&
+                      c.latency.ms() <= w.latency_hi_ms;
+  const bool loss_ok = c.loss.percent() >= w.loss_lo_pct &&
+                       c.loss.percent() <= w.loss_hi_pct;
+  const bool jit_ok = c.jitter.ms() >= w.jitter_lo_ms &&
+                      c.jitter.ms() <= w.jitter_hi_ms;
+  const bool bw_ok = c.bandwidth.mbps() >= w.bandwidth_lo_mbps &&
+                     c.bandwidth.mbps() <= w.bandwidth_hi_mbps;
+  switch (swept) {
+    case Metric::kLatency: return loss_ok && jit_ok && bw_ok;
+    case Metric::kLoss: return lat_ok && jit_ok && bw_ok;
+    case Metric::kJitter: return lat_ok && loss_ok && bw_ok;
+    case Metric::kBandwidth: return lat_ok && loss_ok && jit_ok;
+  }
+  return false;
+}
+
+}  // namespace usaas::netsim

@@ -1,0 +1,92 @@
+#include "netsim/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace usaas::netsim {
+
+GilbertElliott::GilbertElliott(double p_good_to_bad, double p_bad_to_good,
+                               double loss_good, double loss_bad)
+    : p_gb_{p_good_to_bad},
+      p_bg_{p_bad_to_good},
+      loss_good_{loss_good},
+      loss_bad_{loss_bad} {
+  auto in01 = [](double v) { return v >= 0.0 && v <= 1.0; };
+  if (!in01(p_good_to_bad) || !in01(p_bad_to_good) || !in01(loss_good) ||
+      !in01(loss_bad)) {
+    throw std::invalid_argument("GilbertElliott: probabilities must be in [0,1]");
+  }
+  if (p_bad_to_good <= 0.0) {
+    throw std::invalid_argument("GilbertElliott: bad state must be escapable");
+  }
+}
+
+GilbertElliott GilbertElliott::for_target_loss(double target_loss,
+                                               double mean_burst_len) {
+  if (target_loss < 0.0 || target_loss >= 1.0) {
+    throw std::invalid_argument("for_target_loss: target must be in [0,1)");
+  }
+  if (mean_burst_len < 1.0) {
+    throw std::invalid_argument("for_target_loss: burst length must be >= 1");
+  }
+  // Bad state drops everything; good state drops nothing. Stationary
+  // probability of bad must equal target_loss:
+  //   pi_bad = p_gb / (p_gb + p_bg) = target  with  p_bg = 1/burst.
+  const double p_bg = 1.0 / mean_burst_len;
+  if (target_loss == 0.0) return GilbertElliott{0.0, p_bg, 0.0, 1.0};
+  const double p_gb = target_loss * p_bg / (1.0 - target_loss);
+  return GilbertElliott{std::min(p_gb, 1.0), p_bg, 0.0, 1.0};
+}
+
+bool GilbertElliott::packet_lost(core::Rng& rng) {
+  if (bad_) {
+    if (rng.bernoulli(p_bg_)) bad_ = false;
+  } else {
+    if (rng.bernoulli(p_gb_)) bad_ = true;
+  }
+  return rng.bernoulli(bad_ ? loss_bad_ : loss_good_);
+}
+
+double GilbertElliott::stationary_loss() const {
+  const double denom = p_gb_ + p_bg_;
+  if (denom == 0.0) return loss_good_;
+  const double pi_bad = p_gb_ / denom;
+  return pi_bad * loss_bad_ + (1.0 - pi_bad) * loss_good_;
+}
+
+double residual_loss(double raw_loss_fraction, core::Milliseconds rtt,
+                     const MitigationConfig& cfg) {
+  const double raw = std::clamp(raw_loss_fraction, 0.0, 1.0);
+  if (!cfg.enabled) return raw;
+
+  // FEC recovers a lost packet when the group loss stays within the
+  // redundancy budget; model its survivor rate as raw * raw/(raw + k) with
+  // k proportional to overhead — near-quadratic suppression at low loss,
+  // ineffective once raw >> overhead.
+  const double k = std::max(0.3 * cfg.fec_overhead, 1e-6);
+  const double after_fec = raw * (raw / (raw + k));
+
+  // One retransmission round fits when the RTT leaves headroom inside the
+  // de-jitter budget; a retry recovers most — not all — of the residual
+  // (the deadline-missed fraction survives). This RTT gate is the
+  // mechanism behind the latency x loss compounding of Fig 2.
+  constexpr double kRetrySurvival = 0.4;
+  double residual = after_fec;
+  if (rtt.ms() > 0.0 && rtt.ms() <= cfg.retransmit_budget_ms) {
+    residual *= kRetrySurvival;
+  }
+  return std::clamp(residual, 0.0, raw);
+}
+
+double loss_impairment(double residual_loss_fraction) {
+  const double r = std::clamp(residual_loss_fraction, 0.0, 1.0);
+  // Concealment hides residuals below ~0.2 %; quality collapses by ~5 %.
+  constexpr double kOnset = 0.002;
+  constexpr double kCollapse = 0.05;
+  if (r <= kOnset) return 0.0;
+  const double x = std::clamp((r - kOnset) / (kCollapse - kOnset), 0.0, 1.0);
+  return x * x * (3.0 - 2.0 * x);  // smoothstep
+}
+
+}  // namespace usaas::netsim

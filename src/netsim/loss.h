@@ -1,0 +1,76 @@
+// Packet-loss processes and the application-layer safeguards that mask them.
+//
+// Fig 1 (middle-left)'s headline is that loss barely moves engagement up to
+// 2 % because "MS Teams is able to effectively mitigate the packet loss
+// using application layer safeguards". We model both halves explicitly:
+//   - GilbertElliott: the classic two-state bursty loss channel, so loss is
+//     not i.i.d. (bursts are what FEC struggles with);
+//   - LossMitigation: a FEC + bounded-retransmission model that converts a
+//     raw network loss rate into the residual loss the media pipeline sees,
+//     paying a latency/bandwidth budget. The ablation bench disables it.
+#pragma once
+
+#include <cstddef>
+
+#include "core/rng.h"
+#include "core/units.h"
+
+namespace usaas::netsim {
+
+/// Two-state Markov (Gilbert-Elliott) loss channel.
+class GilbertElliott {
+ public:
+  /// p_good_to_bad / p_bad_to_good are per-packet transition probabilities;
+  /// loss_good / loss_bad are per-state drop probabilities.
+  GilbertElliott(double p_good_to_bad, double p_bad_to_good, double loss_good,
+                 double loss_bad);
+
+  /// Convenience: builds a channel whose stationary loss matches
+  /// `target_loss` (as a fraction) with the given mean burst length.
+  [[nodiscard]] static GilbertElliott for_target_loss(double target_loss,
+                                                      double mean_burst_len);
+
+  /// Simulates one packet; true = lost. Advances the channel state.
+  bool packet_lost(core::Rng& rng);
+
+  /// Stationary loss probability of the chain.
+  [[nodiscard]] double stationary_loss() const;
+
+  [[nodiscard]] bool in_bad_state() const { return bad_; }
+
+ private:
+  double p_gb_;
+  double p_bg_;
+  double loss_good_;
+  double loss_bad_;
+  bool bad_{false};
+};
+
+/// Application-layer loss mitigation (FEC + bounded retransmit), the
+/// "safeguards" of §3.2.
+struct MitigationConfig {
+  /// Fraction of redundancy added by FEC (0.2 = 20 % overhead). FEC can
+  /// recover isolated losses up to roughly its overhead fraction.
+  double fec_overhead{0.2};
+  /// How many retransmission rounds fit in the de-jitter budget. Each
+  /// round needs one RTT; interactive audio tolerates ~200 ms of buffer.
+  double retransmit_budget_ms{200.0};
+  /// Whether mitigation is enabled at all (ablation switch).
+  bool enabled{true};
+};
+
+/// Residual loss (fraction) after mitigation, given raw network loss
+/// (fraction) and the path RTT. Monotone in raw loss; approximately
+/// quadratic suppression at low loss (both FEC and a retransmit must fail),
+/// saturating once loss swamps the redundancy.
+[[nodiscard]] double residual_loss(double raw_loss_fraction,
+                                   core::Milliseconds rtt,
+                                   const MitigationConfig& cfg = {});
+
+/// Effective audio/video impairment in [0, 1] as a function of residual
+/// loss: concealment hides tiny residuals, quality collapses past ~2-3 %
+/// residual (which is what drives the paper's ">= 3 % loss => users drop
+/// off" observation).
+[[nodiscard]] double loss_impairment(double residual_loss_fraction);
+
+}  // namespace usaas::netsim

@@ -1,0 +1,96 @@
+#include "netsim/media_session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace usaas::netsim {
+
+MediaSessionResult simulate_media_session(double duration_seconds,
+                                          double raw_loss_fraction,
+                                          core::Milliseconds rtt,
+                                          const MediaSessionConfig& config,
+                                          core::Rng& rng) {
+  if (duration_seconds <= 0.0) {
+    throw std::invalid_argument("simulate_media_session: non-positive duration");
+  }
+  if (config.fec_group_size == 0 || config.interleave_depth == 0) {
+    throw std::invalid_argument("simulate_media_session: zero group/depth");
+  }
+  const auto total_packets = static_cast<std::size_t>(
+      duration_seconds * config.packets_per_second);
+
+  MediaSessionResult result;
+  result.packets_sent = total_packets;
+  if (total_packets == 0) return result;
+
+  // 1. Channel: per-packet loss from the bursty Gilbert-Elliott chain.
+  std::vector<char> lost(total_packets, 0);
+  if (raw_loss_fraction > 0.0) {
+    auto channel = GilbertElliott::for_target_loss(
+        std::min(raw_loss_fraction, 0.99), config.mean_burst_length);
+    for (std::size_t i = 0; i < total_packets; ++i) {
+      if (channel.packet_lost(rng)) {
+        lost[i] = 1;
+        ++result.lost_raw;
+      }
+    }
+  }
+
+  if (!config.mitigation.enabled) {
+    result.lost_residual = result.lost_raw;
+    return result;
+  }
+
+  // 2. FEC with interleaving: packet i belongs to group
+  //    (i / (G * D)) * D + (i % D) — D groups fill in parallel, so a burst
+  //    of consecutive losses spreads across D groups.
+  const std::size_t g = config.fec_group_size;
+  const std::size_t d = config.interleave_depth;
+  const auto repair = static_cast<std::size_t>(
+      std::ceil(config.mitigation.fec_overhead * static_cast<double>(g)));
+  const std::size_t span = g * d;
+  const std::size_t num_groups = (total_packets + span - 1) / span * d;
+  std::vector<std::size_t> group_losses(num_groups, 0);
+  for (std::size_t i = 0; i < total_packets; ++i) {
+    if (lost[i] == 0) continue;
+    const std::size_t group = (i / span) * d + (i % d);
+    ++group_losses[group];
+  }
+  // A group recovers all its losses when they fit the repair budget.
+  for (std::size_t i = 0; i < total_packets; ++i) {
+    if (lost[i] == 0) continue;
+    const std::size_t group = (i / span) * d + (i % d);
+    if (group_losses[group] <= repair) {
+      lost[i] = 0;
+      ++result.recovered_fec;
+    }
+  }
+
+  // 3. One retransmission round when the RTT fits the de-jitter budget:
+  //    the repair packet must survive the channel (approximated i.i.d. at
+  //    the stationary rate — retransmissions are time-shifted past the
+  //    burst) and land before the playout deadline.
+  const bool retx_fits =
+      rtt.ms() > 0.0 && rtt.ms() <= config.mitigation.retransmit_budget_ms;
+  if (retx_fits) {
+    // Fraction of the budget left after one RTT bounds on-time arrival.
+    const double deadline_margin = std::clamp(
+        1.0 - rtt.ms() / config.mitigation.retransmit_budget_ms, 0.0, 1.0);
+    const double p_success = (1.0 - raw_loss_fraction) *
+                             std::min(1.0, 0.25 + deadline_margin);
+    for (std::size_t i = 0; i < total_packets; ++i) {
+      if (lost[i] == 0) continue;
+      if (rng.bernoulli(p_success)) {
+        lost[i] = 0;
+        ++result.recovered_retransmit;
+      }
+    }
+  }
+
+  for (const char l : lost) result.lost_residual += l != 0 ? 1 : 0;
+  return result;
+}
+
+}  // namespace usaas::netsim

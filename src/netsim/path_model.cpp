@@ -1,0 +1,67 @@
+#include "netsim/path_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace usaas::netsim {
+
+PathModel::PathModel(NetworkConditions baseline, PathModelConfig cfg,
+                     core::Rng rng)
+    : baseline_{baseline}, cfg_{cfg}, rng_{rng} {
+  if (cfg_.persistence < 0.0 || cfg_.persistence >= 1.0) {
+    throw std::invalid_argument("PathModel: persistence must be in [0, 1)");
+  }
+  if (cfg_.noise_scale < 0.0) {
+    throw std::invalid_argument("PathModel: negative noise scale");
+  }
+}
+
+NetworkConditions PathModel::step() {
+  // Episode state machine.
+  if (in_episode_) {
+    if (rng_.bernoulli(cfg_.episode_end_prob)) in_episode_ = false;
+  } else {
+    if (rng_.bernoulli(cfg_.episode_start_prob)) in_episode_ = true;
+  }
+
+  auto evolve = [&](double& state) {
+    const double shock = rng_.normal(0.0, cfg_.noise_scale);
+    state = 1.0 + cfg_.persistence * (state - 1.0) + shock;
+    state = std::max(state, 0.05);
+  };
+  evolve(lat_state_);
+  evolve(jit_state_);
+  evolve(bw_state_);
+  evolve(loss_state_);
+
+  NetworkConditions c;
+  double lat = baseline_.latency.ms() * lat_state_;
+  double jit = baseline_.jitter.ms() * jit_state_;
+  double bw = baseline_.bandwidth.mbps() * bw_state_;
+  double loss = baseline_.loss.percent() * loss_state_;
+  if (in_episode_) {
+    lat *= cfg_.episode_latency_mult;
+    jit *= cfg_.episode_jitter_mult;
+    bw *= cfg_.episode_bw_mult;
+    loss += cfg_.episode_loss_add_pct;
+  }
+  c.latency = core::Milliseconds{std::max(lat, 0.1)};
+  c.jitter = core::Milliseconds{std::max(jit, 0.0)};
+  c.bandwidth = core::Mbps{std::max(bw, 0.01)};
+  c.loss = core::clamp_percent(core::Percent{loss});
+  return c;
+}
+
+std::vector<NetworkConditions> simulate_path(const NetworkConditions& baseline,
+                                             const PathModelConfig& cfg,
+                                             std::size_t ticks,
+                                             core::Rng rng) {
+  PathModel model{baseline, cfg, rng};
+  std::vector<NetworkConditions> out;
+  out.reserve(ticks);
+  for (std::size_t i = 0; i < ticks; ++i) out.push_back(model.step());
+  return out;
+}
+
+}  // namespace usaas::netsim

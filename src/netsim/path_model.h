@@ -1,0 +1,62 @@
+// Temporal evolution of a session's network conditions.
+//
+// The client samples every 5 seconds (§3.1); real paths are autocorrelated
+// (congestion epochs, Wi-Fi fades), so consecutive samples are not i.i.d.
+// PathModel evolves each metric as a mean-reverting AR(1) process around
+// the session baseline, with occasional multiplicative "episodes" (a
+// congestion burst raising latency+jitter+loss together, the cross-metric
+// correlation Fig 2 exploits).
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "netsim/conditions.h"
+
+namespace usaas::netsim {
+
+struct PathModelConfig {
+  /// AR(1) persistence per 5-second step, in [0, 1).
+  double persistence{0.85};
+  /// Relative noise scale of each step (fraction of baseline).
+  double noise_scale{0.12};
+  /// Per-step probability a congestion episode starts / ends.
+  double episode_start_prob{0.01};
+  double episode_end_prob{0.25};
+  /// Multipliers applied during an episode.
+  double episode_latency_mult{2.0};
+  double episode_loss_add_pct{0.8};
+  double episode_jitter_mult{2.5};
+  double episode_bw_mult{0.5};
+};
+
+/// Stateful per-session path simulator. Construct once per session, call
+/// step() once per 5-second tick.
+class PathModel {
+ public:
+  PathModel(NetworkConditions baseline, PathModelConfig cfg, core::Rng rng);
+
+  /// Advances one tick and returns the instantaneous conditions.
+  NetworkConditions step();
+
+  [[nodiscard]] const NetworkConditions& baseline() const { return baseline_; }
+  [[nodiscard]] bool in_episode() const { return in_episode_; }
+
+ private:
+  NetworkConditions baseline_;
+  PathModelConfig cfg_;
+  core::Rng rng_;
+  // AR(1) state as deviation factors around 1.0.
+  double lat_state_{1.0};
+  double jit_state_{1.0};
+  double bw_state_{1.0};
+  double loss_state_{1.0};
+  bool in_episode_{false};
+};
+
+/// Convenience: runs a PathModel for `ticks` steps and returns the samples.
+[[nodiscard]] std::vector<NetworkConditions> simulate_path(
+    const NetworkConditions& baseline, const PathModelConfig& cfg,
+    std::size_t ticks, core::Rng rng);
+
+}  // namespace usaas::netsim

@@ -1,0 +1,166 @@
+#include "netsim/profiles.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace usaas::netsim {
+
+const char* to_string(AccessTechnology t) {
+  switch (t) {
+    case AccessTechnology::kFiber: return "fiber";
+    case AccessTechnology::kCable: return "cable";
+    case AccessTechnology::kDsl: return "dsl";
+    case AccessTechnology::kWifiCongested: return "wifi-congested";
+    case AccessTechnology::kLte: return "lte";
+    case AccessTechnology::kGeoSatellite: return "geo-satellite";
+    case AccessTechnology::kLeoSatellite: return "leo-satellite";
+  }
+  return "unknown";
+}
+
+AccessProfile profile_for(AccessTechnology t) {
+  AccessProfile p;
+  p.technology = t;
+  switch (t) {
+    case AccessTechnology::kFiber:
+      p.latency_mu = 2.3;   // ~10 ms median
+      p.latency_sigma = 0.45;
+      p.lossy_session_prob = 0.02;
+      p.clean_loss_mean_pct = 0.02;
+      p.lossy_loss_mean_pct = 0.8;
+      p.jitter_mu = 0.2;
+      p.jitter_sigma = 0.5;
+      p.bandwidth_mu = 1.35;  // ~3.9 Mbps median available to the call
+      p.bandwidth_sigma = 0.35;
+      break;
+    case AccessTechnology::kCable:
+      p.latency_mu = 3.0;   // ~20 ms median
+      p.latency_sigma = 0.55;
+      p.lossy_session_prob = 0.06;
+      p.clean_loss_mean_pct = 0.05;
+      p.lossy_loss_mean_pct = 1.2;
+      p.jitter_mu = 0.8;
+      p.jitter_sigma = 0.6;
+      p.bandwidth_mu = 1.25;
+      p.bandwidth_sigma = 0.45;
+      break;
+    case AccessTechnology::kDsl:
+      p.latency_mu = 3.6;   // ~36 ms median
+      p.latency_sigma = 0.5;
+      p.lossy_session_prob = 0.10;
+      p.clean_loss_mean_pct = 0.08;
+      p.lossy_loss_mean_pct = 1.6;
+      p.jitter_mu = 1.2;
+      p.jitter_sigma = 0.6;
+      p.bandwidth_mu = 0.7;
+      p.bandwidth_sigma = 0.5;
+      break;
+    case AccessTechnology::kWifiCongested:
+      p.latency_mu = 4.0;   // ~55 ms median with big tail
+      p.latency_sigma = 0.8;
+      p.lossy_session_prob = 0.2;
+      p.clean_loss_mean_pct = 0.1;
+      p.lossy_loss_mean_pct = 2.0;
+      p.jitter_mu = 1.8;
+      p.jitter_sigma = 0.7;
+      p.bandwidth_mu = 1.0;
+      p.bandwidth_sigma = 0.6;
+      break;
+    case AccessTechnology::kLte:
+      p.latency_mu = 4.1;   // ~60 ms median
+      p.latency_sigma = 0.6;
+      p.lossy_session_prob = 0.15;
+      p.clean_loss_mean_pct = 0.1;
+      p.lossy_loss_mean_pct = 1.8;
+      p.jitter_mu = 2.0;
+      p.jitter_sigma = 0.6;
+      p.bandwidth_mu = 1.1;
+      p.bandwidth_sigma = 0.55;
+      break;
+    case AccessTechnology::kGeoSatellite:
+      p.latency_mu = 6.3;   // ~550 ms median (GEO round trip)
+      p.latency_sigma = 0.15;
+      p.lossy_session_prob = 0.15;
+      p.clean_loss_mean_pct = 0.1;
+      p.lossy_loss_mean_pct = 1.5;
+      p.jitter_mu = 2.3;
+      p.jitter_sigma = 0.5;
+      p.bandwidth_mu = 0.9;
+      p.bandwidth_sigma = 0.5;
+      break;
+    case AccessTechnology::kLeoSatellite:
+      p.latency_mu = 3.7;   // ~40 ms median
+      p.latency_sigma = 0.45;
+      p.lossy_session_prob = 0.18;
+      p.clean_loss_mean_pct = 0.12;
+      p.lossy_loss_mean_pct = 1.8;
+      p.jitter_mu = 2.2;    // LEO handovers: jittery
+      p.jitter_sigma = 0.55;
+      p.bandwidth_mu = 1.2;
+      p.bandwidth_sigma = 0.6;
+      break;
+  }
+  return p;
+}
+
+std::span<const MixtureEntry> default_access_mixture() {
+  static constexpr std::array<MixtureEntry, 7> kMixture = {{
+      {AccessTechnology::kFiber, 0.22},
+      {AccessTechnology::kCable, 0.38},
+      {AccessTechnology::kDsl, 0.10},
+      {AccessTechnology::kWifiCongested, 0.12},
+      {AccessTechnology::kLte, 0.13},
+      {AccessTechnology::kGeoSatellite, 0.02},
+      {AccessTechnology::kLeoSatellite, 0.03},
+  }};
+  return kMixture;
+}
+
+NetworkConditions sample_session_baseline(const AccessProfile& p,
+                                          core::Rng& rng) {
+  NetworkConditions c;
+  c.latency = core::Milliseconds{rng.lognormal(p.latency_mu, p.latency_sigma)};
+  const bool lossy = rng.bernoulli(p.lossy_session_prob);
+  const double loss_mean =
+      lossy ? p.lossy_loss_mean_pct : p.clean_loss_mean_pct;
+  c.loss = core::clamp_percent(
+      core::Percent{rng.exponential(1.0 / loss_mean)});
+  c.jitter = core::Milliseconds{rng.lognormal(p.jitter_mu, p.jitter_sigma)};
+  const double bw = std::clamp(rng.lognormal(p.bandwidth_mu, p.bandwidth_sigma),
+                               p.bw_floor_mbps, p.bw_ceil_mbps);
+  c.bandwidth = core::Mbps{bw};
+  return c;
+}
+
+NetworkConditions sample_mixed_baseline(core::Rng& rng) {
+  const auto mixture = default_access_mixture();
+  std::array<double, 7> weights{};
+  for (std::size_t i = 0; i < mixture.size(); ++i) weights[i] = mixture[i].weight;
+  const std::size_t idx = rng.weighted_index(weights);
+  return sample_session_baseline(profile_for(mixture[idx].technology), rng);
+}
+
+NetworkConditions sample_sweep(Metric swept, double sweep_lo, double sweep_hi,
+                               const ControlWindows& w, core::Rng& rng) {
+  if (sweep_lo > sweep_hi) {
+    throw std::invalid_argument("sample_sweep: lo > hi");
+  }
+  NetworkConditions c;
+  c.latency =
+      core::Milliseconds{rng.uniform(w.latency_lo_ms, w.latency_hi_ms)};
+  c.loss = core::Percent{rng.uniform(w.loss_lo_pct, w.loss_hi_pct)};
+  c.jitter = core::Milliseconds{rng.uniform(w.jitter_lo_ms, w.jitter_hi_ms)};
+  c.bandwidth =
+      core::Mbps{rng.uniform(w.bandwidth_lo_mbps, w.bandwidth_hi_mbps)};
+  const double v = rng.uniform(sweep_lo, sweep_hi);
+  switch (swept) {
+    case Metric::kLatency: c.latency = core::Milliseconds{v}; break;
+    case Metric::kLoss: c.loss = core::Percent{v}; break;
+    case Metric::kJitter: c.jitter = core::Milliseconds{v}; break;
+    case Metric::kBandwidth: c.bandwidth = core::Mbps{v}; break;
+  }
+  return c;
+}
+
+}  // namespace usaas::netsim

@@ -1,0 +1,81 @@
+// Access-network profiles.
+//
+// The Teams corpus spans whatever last miles its users sit on; to reproduce
+// realistic joint distributions of (latency, loss, jitter, bandwidth) — and
+// enough mass in every sweep bin of Fig 1 — we model a mixture of access
+// technologies. Parameter ranges follow common published characterizations
+// (FCC MBA reports for fixed broadband, LTE field studies, LEO measurement
+// papers); exact values matter less than coverage of the sweep windows.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/rng.h"
+#include "netsim/conditions.h"
+
+namespace usaas::netsim {
+
+enum class AccessTechnology {
+  kFiber,
+  kCable,
+  kDsl,
+  kWifiCongested,
+  kLte,
+  kGeoSatellite,
+  kLeoSatellite,
+};
+
+[[nodiscard]] const char* to_string(AccessTechnology t);
+
+/// Distribution parameters for per-session baseline conditions on one
+/// access technology. Latencies/jitter are lognormal, loss is a mixture of
+/// "clean" sessions and lossy tails, bandwidth is lognormal clamped.
+struct AccessProfile {
+  AccessTechnology technology{AccessTechnology::kFiber};
+  // lognormal(mu, sigma) of base one-way-ish latency in ms
+  double latency_mu{2.5};
+  double latency_sigma{0.5};
+  // probability a session is "lossy"; clean sessions draw from the low
+  // exponential, lossy ones from the heavy tail.
+  double lossy_session_prob{0.05};
+  double clean_loss_mean_pct{0.05};
+  double lossy_loss_mean_pct{1.5};
+  // lognormal jitter (ms)
+  double jitter_mu{0.5};
+  double jitter_sigma{0.6};
+  // lognormal bandwidth (Mbps), clamped to [bw_floor, bw_ceil]
+  double bandwidth_mu{1.2};
+  double bandwidth_sigma{0.5};
+  double bw_floor_mbps{0.1};
+  double bw_ceil_mbps{8.0};
+};
+
+/// The built-in profile for a technology.
+[[nodiscard]] AccessProfile profile_for(AccessTechnology t);
+
+/// All technologies, with the mixture weights used by the default dataset
+/// generator (enterprise US population: mostly cable/fiber, some DSL/LTE).
+struct MixtureEntry {
+  AccessTechnology technology;
+  double weight;
+};
+[[nodiscard]] std::span<const MixtureEntry> default_access_mixture();
+
+/// Draws a session-baseline NetworkConditions from a profile.
+[[nodiscard]] NetworkConditions sample_session_baseline(const AccessProfile& p,
+                                                        core::Rng& rng);
+
+/// Draws the technology first (per the mixture), then the baseline.
+[[nodiscard]] NetworkConditions sample_mixed_baseline(core::Rng& rng);
+
+/// Uniform "sweep" sampler: picks the swept metric uniformly over
+/// [sweep_lo, sweep_hi] and the controlled metrics uniformly inside their
+/// control windows. The figure benches use this to guarantee even bin
+/// occupancy across the whole swept range, exactly like a controlled study.
+[[nodiscard]] NetworkConditions sample_sweep(Metric swept, double sweep_lo,
+                                             double sweep_hi,
+                                             const ControlWindows& windows,
+                                             core::Rng& rng);
+
+}  // namespace usaas::netsim

@@ -1,0 +1,69 @@
+#include "netsim/telemetry.h"
+
+#include <stdexcept>
+
+namespace usaas::netsim {
+
+NetworkConditions SessionNetworkSummary::mean_conditions() const {
+  NetworkConditions c;
+  c.latency = core::Milliseconds{latency_ms.mean};
+  c.loss = core::Percent{loss_pct.mean};
+  c.jitter = core::Milliseconds{jitter_ms.mean};
+  c.bandwidth = core::Mbps{bandwidth_mbps.mean};
+  return c;
+}
+
+NetworkConditions SessionNetworkSummary::p95_conditions() const {
+  NetworkConditions c;
+  c.latency = core::Milliseconds{latency_ms.p95};
+  c.loss = core::Percent{loss_pct.p95};
+  c.jitter = core::Milliseconds{jitter_ms.p95};
+  // For bandwidth, the damaging tail is the low one; the p95 aggregate
+  // field stores the 5th percentile for bandwidth (see finalize()).
+  c.bandwidth = core::Mbps{bandwidth_mbps.p95};
+  return c;
+}
+
+void TelemetryCollector::record(const NetworkConditions& sample) {
+  latency_.push_back(sample.latency.ms());
+  loss_.push_back(sample.loss.percent());
+  jitter_.push_back(sample.jitter.ms());
+  bandwidth_.push_back(sample.bandwidth.mbps());
+}
+
+namespace {
+
+MetricAggregate aggregate(const std::vector<double>& xs, double tail_q) {
+  MetricAggregate a;
+  a.mean = core::mean(xs);
+  a.median = core::median(xs);
+  a.p95 = core::quantile(xs, tail_q);
+  return a;
+}
+
+}  // namespace
+
+SessionNetworkSummary TelemetryCollector::finalize() const {
+  if (latency_.empty()) {
+    throw std::logic_error("TelemetryCollector::finalize: no samples");
+  }
+  SessionNetworkSummary s;
+  s.latency_ms = aggregate(latency_, 0.95);
+  s.loss_pct = aggregate(loss_, 0.95);
+  s.jitter_ms = aggregate(jitter_, 0.95);
+  // Bandwidth's harmful tail is the low side: store P5 in the tail slot.
+  s.bandwidth_mbps = aggregate(bandwidth_, 0.05);
+  s.sample_count = latency_.size();
+  s.duration_seconds =
+      static_cast<double>(latency_.size()) * kSampleIntervalSeconds;
+  return s;
+}
+
+SessionNetworkSummary summarize_path(
+    const std::vector<NetworkConditions>& samples) {
+  TelemetryCollector c;
+  for (const auto& s : samples) c.record(s);
+  return c.finalize();
+}
+
+}  // namespace usaas::netsim

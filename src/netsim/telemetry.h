@@ -1,0 +1,73 @@
+// Client-side telemetry: the 5-second sampler and the session-end
+// aggregation the paper describes verbatim in §3.1:
+//
+//   "The client running on the user-end of MS Teams gathers network
+//    latency, packet loss percent, jitter, and available bandwidth
+//    information every 5 seconds. When the user session ends, each client
+//    computes the mean, median, and 95th percentile (P95) value for each
+//    of these metrics per session."
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/stats.h"
+#include "core/units.h"
+#include "netsim/conditions.h"
+
+namespace usaas::netsim {
+
+/// The interval between telemetry samples.
+inline constexpr double kSampleIntervalSeconds = 5.0;
+
+/// Per-session aggregate of one metric: mean / median / P95.
+struct MetricAggregate {
+  double mean{0.0};
+  double median{0.0};
+  double p95{0.0};
+};
+
+/// The session-end report a client uploads: one aggregate per metric plus
+/// the session duration.
+struct SessionNetworkSummary {
+  MetricAggregate latency_ms;
+  MetricAggregate loss_pct;
+  MetricAggregate jitter_ms;
+  MetricAggregate bandwidth_mbps;
+  double duration_seconds{0.0};
+  std::size_t sample_count{0};
+
+  /// Session-mean conditions as a NetworkConditions record (the paper
+  /// reports results using means; "similar trends hold for P95").
+  [[nodiscard]] NetworkConditions mean_conditions() const;
+  /// Same, using P95 per metric (P5 for bandwidth — the tail that hurts
+  /// is the *low* bandwidth tail).
+  [[nodiscard]] NetworkConditions p95_conditions() const;
+};
+
+/// Accumulates 5-second samples during a session and produces the summary
+/// at session end. Buffers samples because median/P95 need the full set —
+/// exactly what a real client does for a bounded-length call.
+class TelemetryCollector {
+ public:
+  void record(const NetworkConditions& sample);
+
+  [[nodiscard]] std::size_t sample_count() const { return latency_.size(); }
+  [[nodiscard]] bool empty() const { return latency_.empty(); }
+
+  /// Finalizes the session. Throws std::logic_error when no samples were
+  /// recorded (a zero-length session uploads nothing).
+  [[nodiscard]] SessionNetworkSummary finalize() const;
+
+ private:
+  std::vector<double> latency_;
+  std::vector<double> loss_;
+  std::vector<double> jitter_;
+  std::vector<double> bandwidth_;
+};
+
+/// Aggregates a pre-simulated path (vector of samples) directly.
+[[nodiscard]] SessionNetworkSummary summarize_path(
+    const std::vector<NetworkConditions>& samples);
+
+}  // namespace usaas::netsim

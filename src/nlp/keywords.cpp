@@ -1,0 +1,72 @@
+#include "nlp/keywords.h"
+
+#include <algorithm>
+
+#include "nlp/tokenizer.h"
+
+namespace usaas::nlp {
+
+KeywordDictionary::KeywordDictionary(std::string name,
+                                     std::vector<std::string> keywords)
+    : name_{std::move(name)} {
+  for (std::string& k : keywords) {
+    std::string lower = to_lower(k);
+    if (lower.find(' ') != std::string::npos) {
+      bigrams_.insert(std::move(lower));
+    } else {
+      unigrams_.insert(std::move(lower));
+    }
+  }
+}
+
+const KeywordDictionary& KeywordDictionary::outage_dictionary() {
+  static const KeywordDictionary instance{
+      "outage",
+      {
+          "outage", "outages", "down", "offline", "dead", "no service",
+          "no internet", "no connection", "lost connection", "lost signal",
+          "service down", "internet down", "went down", "went dark",
+          "not working", "stopped working", "cut out", "dropped out",
+          "downtime", "blackout", "interruption", "interruptions",
+          "disconnected", "disconnects", "unreachable", "no connectivity",
+          "obstructed", "searching", "offline again",
+      }};
+  return instance;
+}
+
+std::size_t KeywordDictionary::count_occurrences(std::string_view text) const {
+  const auto words = tokenize_words(text);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (unigrams_.contains(words[i])) ++hits;
+    if (i + 1 < words.size()) {
+      if (bigrams_.contains(words[i] + " " + words[i + 1])) ++hits;
+    }
+  }
+  return hits;
+}
+
+bool KeywordDictionary::matches(std::string_view text) const {
+  return count_occurrences(text) > 0;
+}
+
+std::vector<std::string> KeywordDictionary::matched_terms(
+    std::string_view text) const {
+  const auto words = tokenize_words(text);
+  std::vector<std::string> out;
+  auto add_unique = [&](std::string term) {
+    if (std::find(out.begin(), out.end(), term) == out.end()) {
+      out.push_back(std::move(term));
+    }
+  };
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (unigrams_.contains(words[i])) add_unique(words[i]);
+    if (i + 1 < words.size()) {
+      std::string bigram = words[i] + " " + words[i + 1];
+      if (bigrams_.contains(bigram)) add_unique(std::move(bigram));
+    }
+  }
+  return out;
+}
+
+}  // namespace usaas::nlp

@@ -1,0 +1,44 @@
+// Keyword dictionaries — the paper's hand-built outage vocabulary.
+//
+// §4.1: "we first built a dictionary (a manual tedious process at the
+// moment, scanning such posts and online articles on network outages) with
+// keywords related to outages and filtered the Reddit threads containing
+// them." KeywordDictionary is that artifact as a type: a named set of
+// lowercase terms (uni- or bigrams) with containment and counting queries.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace usaas::nlp {
+
+class KeywordDictionary {
+ public:
+  KeywordDictionary(std::string name, std::vector<std::string> keywords);
+
+  /// The paper's outage dictionary (hand-built, network-domain).
+  static const KeywordDictionary& outage_dictionary();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return unigrams_.size() + bigrams_.size(); }
+
+  /// Whether the text contains at least one dictionary term.
+  [[nodiscard]] bool matches(std::string_view text) const;
+
+  /// Number of dictionary-term occurrences in the text (Fig 6 counts
+  /// day-wise keyword occurrences, not just matching threads).
+  [[nodiscard]] std::size_t count_occurrences(std::string_view text) const;
+
+  /// The matched terms (deduplicated, in dictionary order of discovery).
+  [[nodiscard]] std::vector<std::string> matched_terms(
+      std::string_view text) const;
+
+ private:
+  std::string name_;
+  std::unordered_set<std::string> unigrams_;
+  std::unordered_set<std::string> bigrams_;
+};
+
+}  // namespace usaas::nlp

@@ -1,0 +1,170 @@
+#include "nlp/lexicon.h"
+
+#include <stdexcept>
+
+namespace usaas::nlp {
+
+void Lexicon::add_word(std::string word, double valence) {
+  if (valence < -1.0 || valence > 1.0) {
+    throw std::invalid_argument("Lexicon: valence outside [-1, 1]");
+  }
+  valence_[std::move(word)] = valence;
+}
+
+void Lexicon::add_negator(std::string word) {
+  negators_[std::move(word)] = 1;
+}
+
+void Lexicon::add_intensifier(std::string word, double multiplier) {
+  if (multiplier <= 0.0) {
+    throw std::invalid_argument("Lexicon: non-positive intensity");
+  }
+  intensifiers_[std::move(word)] = multiplier;
+}
+
+std::optional<double> Lexicon::valence(std::string_view word) const {
+  const auto it = valence_.find(word);
+  if (it == valence_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Lexicon::is_negator(std::string_view word) const {
+  return negators_.find(word) != negators_.end();
+}
+
+std::optional<double> Lexicon::intensity(std::string_view word) const {
+  const auto it = intensifiers_.find(word);
+  if (it == intensifiers_.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+
+struct Entry {
+  const char* word;
+  double valence;
+};
+
+// Positive valence.
+constexpr Entry kPositive[] = {
+    {"good", 0.5},        {"great", 0.7},       {"awesome", 0.85},
+    {"amazing", 0.85},    {"excellent", 0.8},   {"fantastic", 0.85},
+    {"incredible", 0.8},  {"love", 0.75},       {"loving", 0.7},
+    {"loved", 0.7},       {"happy", 0.65},      {"glad", 0.55},
+    {"thrilled", 0.8},    {"excited", 0.65},    {"impressed", 0.7},
+    {"impressive", 0.7},  {"solid", 0.5},       {"stable", 0.55},
+    {"reliable", 0.6},    {"fast", 0.6},        {"faster", 0.6},
+    {"fastest", 0.7},     {"quick", 0.5},       {"snappy", 0.6},
+    {"smooth", 0.55},     {"flawless", 0.8},    {"perfect", 0.8},
+    {"perfectly", 0.75},  {"works", 0.4},       {"working", 0.35},
+    {"worked", 0.35},     {"improved", 0.6},    {"improvement", 0.6},
+    {"improving", 0.55},  {"better", 0.5},      {"best", 0.7},
+    {"upgrade", 0.45},    {"upgraded", 0.5},    {"win", 0.6},
+    {"winner", 0.65},     {"recommend", 0.65},  {"recommended", 0.65},
+    {"satisfied", 0.6},   {"satisfying", 0.55}, {"pleased", 0.6},
+    {"enjoy", 0.55},      {"enjoying", 0.55},   {"wow", 0.6},
+    {"finally", 0.3},     {"yes", 0.3},         {"nice", 0.5},
+    {"beautiful", 0.65},  {"blazing", 0.6},     {"rocks", 0.65},
+    {"gamechanger", 0.8}, {"lifesaver", 0.8},   {"consistent", 0.5},
+    {"consistently", 0.45},{"uptime", 0.35},    {"thanks", 0.45},
+    {"thank", 0.45},      {"grateful", 0.6},    {"worth", 0.45},
+    {"delivered", 0.4},   {"arrived", 0.4},     {"shipping", 0.2},
+    {"shipped", 0.35},    {"enabled", 0.3},     {"available", 0.3},
+    {"cheap", 0.25},      {"affordable", 0.45}, {"helpful", 0.5},
+    {"responsive", 0.5},  {"painless", 0.55},   {"stoked", 0.7},
+    {"hyped", 0.6},       {"pumped", 0.6},      {"crisp", 0.5},
+    {"usable", 0.3},      {"decent", 0.35},     {"fine", 0.3},
+    {"okay", 0.2},        {"ok", 0.2},          {"playable", 0.35},
+    {"watchable", 0.3},   {"seamless", 0.65},   {"rock-solid", 0.7},
+};
+
+// Negative valence.
+constexpr Entry kNegative[] = {
+    {"bad", -0.5},         {"terrible", -0.8},    {"horrible", -0.8},
+    {"awful", -0.8},       {"worst", -0.85},      {"worse", -0.6},
+    {"poor", -0.55},       {"hate", -0.75},       {"hated", -0.7},
+    {"angry", -0.65},      {"furious", -0.8},     {"annoyed", -0.55},
+    {"annoying", -0.55},   {"frustrated", -0.65}, {"frustrating", -0.65},
+    {"disappointed", -0.65},{"disappointing", -0.65},{"disappointment", -0.65},
+    {"slow", -0.55},       {"slower", -0.5},      {"slowest", -0.65},
+    {"sluggish", -0.55},   {"laggy", -0.6},       {"lag", -0.5},
+    {"lagging", -0.55},    {"unstable", -0.6},    {"unreliable", -0.65},
+    {"unusable", -0.8},    {"useless", -0.75},    {"broken", -0.65},
+    {"broke", -0.55},      {"breaks", -0.55},     {"fails", -0.6},
+    {"failed", -0.6},      {"failure", -0.65},    {"failing", -0.6},
+    {"outage", -0.7},      {"outages", -0.7},     {"down", -0.5},
+    {"offline", -0.6},     {"dead", -0.65},       {"drops", -0.5},
+    {"dropped", -0.5},     {"dropping", -0.55},   {"dropout", -0.6},
+    {"dropouts", -0.6},    {"disconnect", -0.6},  {"disconnects", -0.6},
+    {"disconnected", -0.6},{"disconnecting", -0.6},{"disconnection", -0.6},
+    {"interruption", -0.55},{"interruptions", -0.6},{"interrupted", -0.5},
+    {"buffering", -0.6},   {"stutter", -0.55},    {"stuttering", -0.55},
+    {"freeze", -0.55},     {"freezes", -0.55},    {"freezing", -0.55},
+    {"frozen", -0.5},      {"choppy", -0.55},     {"spotty", -0.5},
+    {"flaky", -0.55},      {"glitchy", -0.55},    {"glitch", -0.45},
+    {"crawl", -0.5},       {"crawling", -0.5},    {"throttled", -0.6},
+    {"throttling", -0.6},  {"congested", -0.6},   {"congestion", -0.55},
+    {"oversold", -0.65},   {"oversubscribed", -0.6},{"overloaded", -0.6},
+    {"delay", -0.45},      {"delays", -0.5},      {"delayed", -0.5},
+    {"waiting", -0.35},    {"wait", -0.3},        {"stuck", -0.5},
+    {"cancel", -0.5},      {"cancelled", -0.55},  {"canceled", -0.55},
+    {"cancelling", -0.5},  {"refund", -0.5},      {"returned", -0.35},
+    {"expensive", -0.45},  {"overpriced", -0.6},  {"ripoff", -0.75},
+    {"scam", -0.8},        {"joke", -0.5},        {"garbage", -0.75},
+    {"trash", -0.7},       {"crap", -0.65},       {"sucks", -0.7},
+    {"suck", -0.65},       {"pathetic", -0.7},    {"unacceptable", -0.7},
+    {"regret", -0.6},      {"avoid", -0.5},       {"warning", -0.4},
+    {"issue", -0.4},       {"issues", -0.45},     {"problem", -0.45},
+    {"problems", -0.5},    {"trouble", -0.45},    {"error", -0.45},
+    {"errors", -0.5},      {"obstruction", -0.4}, {"obstructions", -0.45},
+    {"timeout", -0.5},     {"timeouts", -0.55},   {"unplayable", -0.7},
+    {"unwatchable", -0.7}, {"degraded", -0.55},   {"degradation", -0.55},
+    {"spikes", -0.4},      {"spiking", -0.45},    {"jitter", -0.35},
+    {"packet", -0.05},     {"complaint", -0.5},   {"complaints", -0.5},
+    {"angrier", -0.65},    {"mad", -0.55},        {"livid", -0.8},
+    {"nightmare", -0.75},  {"disaster", -0.75},   {"mess", -0.55},
+    {"meltdown", -0.7},    {"churn", -0.4},       {"bricked", -0.65},
+};
+
+struct IntensityEntry {
+  const char* word;
+  double multiplier;
+};
+
+constexpr IntensityEntry kIntensifiers[] = {
+    {"very", 1.3},       {"really", 1.25},   {"extremely", 1.5},
+    {"incredibly", 1.45},{"absolutely", 1.4},{"totally", 1.3},
+    {"completely", 1.35},{"utterly", 1.45},  {"so", 1.2},
+    {"super", 1.3},      {"insanely", 1.5},  {"ridiculously", 1.45},
+    {"constantly", 1.3}, {"always", 1.2},    {"entirely", 1.3},
+    // Dampeners.
+    {"slightly", 0.6},   {"somewhat", 0.7},  {"kinda", 0.7},
+    {"kind", 0.8},       {"bit", 0.7},       {"barely", 0.55},
+    {"occasionally", 0.7},{"sometimes", 0.75},{"mildly", 0.6},
+    {"fairly", 0.85},    {"mostly", 0.85},   {"little", 0.7},
+};
+
+constexpr const char* kNegators[] = {
+    "not",    "no",      "never", "none",  "isn't",  "aren't", "wasn't",
+    "weren't","don't",   "doesn't","didn't","can't", "cannot", "couldn't",
+    "won't",  "wouldn't","shouldn't","ain't","without","hardly", "nothing",
+    "nobody", "neither", "nor",   "stopped", "zero",
+};
+
+}  // namespace
+
+const Lexicon& Lexicon::builtin() {
+  static const Lexicon instance = [] {
+    Lexicon lex;
+    for (const auto& e : kPositive) lex.add_word(e.word, e.valence);
+    for (const auto& e : kNegative) lex.add_word(e.word, e.valence);
+    for (const auto& e : kIntensifiers) {
+      lex.add_intensifier(e.word, e.multiplier);
+    }
+    for (const char* n : kNegators) lex.add_negator(n);
+    return lex;
+  }();
+  return instance;
+}
+
+}  // namespace usaas::nlp

@@ -1,0 +1,59 @@
+// The valence lexicon behind the sentiment analyzer.
+//
+// A compact VADER-style lexicon: word -> valence in [-1, 1], plus negators
+// ("not", "never") and intensifiers/dampeners ("very", "slightly") with
+// multiplicative strengths. The vocabulary is weighted toward the ISP /
+// network domain ("outage", "buffering", "uptime", "unusable") since that
+// is what r/Starlink posts talk about.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace usaas::nlp {
+
+class Lexicon {
+ public:
+  /// The built-in network-domain lexicon.
+  static const Lexicon& builtin();
+
+  /// Empty lexicon for custom builds.
+  Lexicon() = default;
+
+  void add_word(std::string word, double valence);
+  void add_negator(std::string word);
+  void add_intensifier(std::string word, double multiplier);
+
+  /// Valence of a word, if known. In [-1, 1].
+  [[nodiscard]] std::optional<double> valence(std::string_view word) const;
+  [[nodiscard]] bool is_negator(std::string_view word) const;
+  /// Intensity multiplier (>1 amplifies, <1 dampens), if the word is one.
+  [[nodiscard]] std::optional<double> intensity(std::string_view word) const;
+
+  [[nodiscard]] std::size_t size() const { return valence_.size(); }
+
+ private:
+  // Heterogeneous lookup so string_view queries don't allocate.
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+  template <typename V>
+  using Map = std::unordered_map<std::string, V, Hash, Eq>;
+
+  Map<double> valence_;
+  Map<char> negators_;
+  Map<double> intensifiers_;
+};
+
+}  // namespace usaas::nlp

@@ -1,0 +1,60 @@
+#include "nlp/ngrams.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nlp/tokenizer.h"
+
+namespace usaas::nlp {
+
+NgramCounter::NgramCounter(std::size_t n, bool drop_stop_words)
+    : n_{n}, drop_stop_words_{drop_stop_words} {
+  if (n == 0) throw std::invalid_argument("NgramCounter: n must be >= 1");
+}
+
+void NgramCounter::add_document(std::string_view text, double weight) {
+  const std::vector<std::string> words =
+      drop_stop_words_ ? content_words(text) : tokenize_words(text);
+  if (words.size() < n_) {
+    ++documents_;
+    return;
+  }
+  for (std::size_t i = 0; i + n_ <= words.size(); ++i) {
+    std::string key = words[i];
+    for (std::size_t j = 1; j < n_; ++j) {
+      key += ' ';
+      key += words[i + j];
+    }
+    auto& cell = counts_[std::move(key)];
+    ++cell.count;
+    cell.weight += weight;
+  }
+  ++documents_;
+}
+
+std::vector<NgramCount> NgramCounter::top(std::size_t k) const {
+  std::vector<NgramCount> all;
+  all.reserve(counts_.size());
+  for (const auto& [ngram, cell] : counts_) {
+    all.push_back({ngram, cell.count, cell.weight});
+  }
+  std::sort(all.begin(), all.end(), [](const NgramCount& a, const NgramCount& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    if (a.count != b.count) return a.count > b.count;
+    return a.ngram < b.ngram;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::size_t NgramCounter::count_of(std::string_view ngram) const {
+  const auto it = counts_.find(std::string{ngram});
+  return it == counts_.end() ? 0 : it->second.count;
+}
+
+double NgramCounter::weight_of(std::string_view ngram) const {
+  const auto it = counts_.find(std::string{ngram});
+  return it == counts_.end() ? 0.0 : it->second.weight;
+}
+
+}  // namespace usaas::nlp

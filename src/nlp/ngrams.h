@@ -1,0 +1,55 @@
+// N-gram counting over document collections.
+//
+// The word-cloud and trend pipelines both reduce to "count normalized
+// n-grams across a document set and rank them" (§4.1 uses top-3 unigrams
+// from daily word clouds as news-search queries; the roaming discovery
+// surfaced 'roaming' and 'roaming enabled' as the most common uni/bigrams).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace usaas::nlp {
+
+struct NgramCount {
+  std::string ngram;
+  std::size_t count{0};
+  /// Weighted count (documents can carry weights, e.g. upvotes).
+  double weight{0.0};
+};
+
+class NgramCounter {
+ public:
+  /// n = 1 for unigrams, 2 for bigrams, ... Stop words are removed before
+  /// n-gram formation when `drop_stop_words` (bigrams like "roaming
+  /// enabled" survive, "is enabled" does not).
+  explicit NgramCounter(std::size_t n, bool drop_stop_words = true);
+
+  /// Adds one document with an importance weight (1.0 = plain count).
+  void add_document(std::string_view text, double weight = 1.0);
+
+  [[nodiscard]] std::size_t distinct() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total_documents() const { return documents_; }
+
+  /// Top-k by weight (ties: count, then lexicographic for determinism).
+  [[nodiscard]] std::vector<NgramCount> top(std::size_t k) const;
+
+  /// Count/weight of one n-gram (joined with single spaces).
+  [[nodiscard]] std::size_t count_of(std::string_view ngram) const;
+  [[nodiscard]] double weight_of(std::string_view ngram) const;
+
+ private:
+  std::size_t n_;
+  bool drop_stop_words_;
+  std::size_t documents_{0};
+  struct Cell {
+    std::size_t count{0};
+    double weight{0.0};
+  };
+  std::unordered_map<std::string, Cell> counts_;
+};
+
+}  // namespace usaas::nlp

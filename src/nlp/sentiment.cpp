@@ -1,0 +1,75 @@
+#include "nlp/sentiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nlp/tokenizer.h"
+
+namespace usaas::nlp {
+
+SentimentAnalyzer::SentimentAnalyzer(const Lexicon& lexicon,
+                                     SentimentConfig config)
+    : lexicon_{&lexicon}, config_{config} {}
+
+SentimentScores SentimentAnalyzer::score(std::string_view text) const {
+  const auto tokens = tokenize(text);
+  double pos_mass = 0.0;
+  double neg_mass = 0.0;
+
+  // Scan state: pending negation (tokens remaining) and pending intensity.
+  std::size_t negation_left = 0;
+  double intensity = 1.0;
+
+  for (const Token& t : tokens) {
+    if (lexicon_->is_negator(t.text)) {
+      negation_left = config_.negation_window;
+      intensity = 1.0;
+      continue;
+    }
+    if (const auto mult = lexicon_->intensity(t.text)) {
+      // Consecutive intensifiers compose ("really very slow").
+      intensity *= *mult;
+      if (negation_left > 0) --negation_left;
+      continue;
+    }
+    if (const auto v = lexicon_->valence(t.text)) {
+      double val = *v * intensity;
+      if (negation_left > 0) {
+        val = -val * config_.negation_strength;
+      }
+      if (val > 0.0) {
+        pos_mass += val;
+      } else {
+        neg_mass += -val;
+      }
+    }
+    intensity = 1.0;
+    if (negation_left > 0) --negation_left;
+  }
+
+  // Emphasis cues scale whatever polarity is already present.
+  const double excl =
+      static_cast<double>(std::min(count_exclamations(text),
+                                   config_.max_exclamations));
+  double emphasis = 1.0 + config_.exclamation_boost * excl;
+  if (uppercase_ratio(text) > 0.6 && tokens.size() >= 2) {
+    emphasis += config_.shouting_boost;
+  }
+  pos_mass *= emphasis;
+  neg_mass *= emphasis;
+
+  // Map masses onto the simplex: confidence saturates with total valence
+  // mass; leftover probability stays neutral.
+  const double total = pos_mass + neg_mass;
+  SentimentScores s;
+  if (total <= 0.0) return s;  // fully neutral
+  const double confidence = total / (total + config_.saturation * 0.5);
+  s.positive = confidence * pos_mass / total;
+  s.negative = confidence * neg_mass / total;
+  s.neutral = 1.0 - s.positive - s.negative;
+  // Guard tiny negative zeros from floating error.
+  s.neutral = std::max(s.neutral, 0.0);
+  return s;
+}
+
+}  // namespace usaas::nlp

@@ -1,0 +1,66 @@
+// Sentiment analysis — the Azure Cognitive Services stand-in.
+//
+// §4.1: "The sentiment analysis service assigns three different scores —
+// positive, negative, and neutral — to each piece of text (posts in this
+// case), which add up to 1. We count the number of posts with strong
+// positive (>=0.7) or negative (>=0.7) scores per day."
+// SentimentAnalyzer reproduces exactly that contract: a lexicon pass with
+// negation scope, intensifiers, exclamation and shouting emphasis, mapped
+// to a (positive, negative, neutral) simplex.
+#pragma once
+
+#include <string_view>
+
+#include "nlp/lexicon.h"
+
+namespace usaas::nlp {
+
+/// The 3-score simplex the pipeline consumes; components sum to 1.
+struct SentimentScores {
+  double positive{0.0};
+  double negative{0.0};
+  double neutral{1.0};
+
+  /// The paper's strong-score threshold.
+  static constexpr double kStrongThreshold = 0.7;
+
+  [[nodiscard]] bool strong_positive() const {
+    return positive >= kStrongThreshold;
+  }
+  [[nodiscard]] bool strong_negative() const {
+    return negative >= kStrongThreshold;
+  }
+  /// Net polarity in [-1, 1] (positive - negative).
+  [[nodiscard]] double polarity() const { return positive - negative; }
+};
+
+struct SentimentConfig {
+  /// How many following tokens a negator flips.
+  std::size_t negation_window{3};
+  /// Valence multiplier applied by a flip (sign inverted, slightly damped:
+  /// "not great" is bad but weaker than "terrible").
+  double negation_strength{0.75};
+  /// Per-'!' amplification, capped.
+  double exclamation_boost{0.08};
+  std::size_t max_exclamations{4};
+  /// Amplification when >60 % of letters are uppercase.
+  double shouting_boost{0.25};
+  /// Valence mass required for a fully confident (non-neutral) call; lower
+  /// raw scores leave mass on neutral.
+  double saturation{2.0};
+};
+
+class SentimentAnalyzer {
+ public:
+  explicit SentimentAnalyzer(const Lexicon& lexicon = Lexicon::builtin(),
+                             SentimentConfig config = {});
+
+  /// Scores a text into the (pos, neg, neu) simplex.
+  [[nodiscard]] SentimentScores score(std::string_view text) const;
+
+ private:
+  const Lexicon* lexicon_;  // non-owning; builtin() outlives everything
+  SentimentConfig config_;
+};
+
+}  // namespace usaas::nlp

@@ -1,0 +1,97 @@
+#include "nlp/summarizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "nlp/tokenizer.h"
+
+namespace usaas::nlp {
+
+Summarizer::Summarizer(SummarizerConfig config) : config_{config} {}
+
+std::vector<std::string> Summarizer::split_sentences(std::string_view text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char c : text) {
+    current.push_back(c);
+    if (c == '.' || c == '!' || c == '?') {
+      // Trim leading whitespace.
+      const auto start = current.find_first_not_of(" \t\n\r");
+      if (start != std::string::npos && current.size() - start > 1) {
+        out.push_back(current.substr(start));
+      }
+      current.clear();
+    }
+  }
+  const auto start = current.find_first_not_of(" \t\n\r");
+  if (start != std::string::npos) out.push_back(current.substr(start));
+  return out;
+}
+
+std::vector<SummarySentence> Summarizer::summarize(
+    std::span<const std::string> documents) const {
+  // Corpus word frequencies (content words only).
+  std::unordered_map<std::string, double> freq;
+  for (const std::string& doc : documents) {
+    for (const std::string& w : content_words(doc)) freq[w] += 1.0;
+  }
+  if (freq.empty()) return {};
+
+  struct Candidate {
+    std::string text;
+    std::vector<std::string> words;
+    double salience{0.0};
+    std::size_t document{0};
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t d = 0; d < documents.size(); ++d) {
+    for (std::string& sentence : split_sentences(documents[d])) {
+      Candidate c;
+      c.words = content_words(sentence);
+      if (c.words.size() < config_.min_content_words) continue;
+      double score = 0.0;
+      for (const std::string& w : c.words) score += freq[w];
+      // Normalize by length^0.7: favour dense sentences without letting
+      // run-ons win on bulk alone.
+      c.salience = score / std::pow(static_cast<double>(c.words.size()), 0.7);
+      c.text = std::move(sentence);
+      c.document = d;
+      candidates.push_back(std::move(c));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.salience != b.salience) return a.salience > b.salience;
+              return a.text < b.text;  // deterministic tiebreak
+            });
+
+  std::vector<SummarySentence> out;
+  std::unordered_set<std::string> covered;
+  for (const Candidate& c : candidates) {
+    if (out.size() >= config_.max_sentences) break;
+    std::size_t overlap = 0;
+    for (const std::string& w : c.words) {
+      if (covered.contains(w)) ++overlap;
+    }
+    const double overlap_frac =
+        static_cast<double>(overlap) / static_cast<double>(c.words.size());
+    if (!out.empty() && overlap_frac > config_.max_overlap) continue;
+    for (const std::string& w : c.words) covered.insert(w);
+    out.push_back({c.text, c.salience, c.document});
+  }
+  return out;
+}
+
+std::string Summarizer::summarize_to_text(
+    std::span<const std::string> documents) const {
+  std::string out;
+  for (const auto& s : summarize(documents)) {
+    if (!out.empty()) out += ' ';
+    out += s.text;
+  }
+  return out;
+}
+
+}  // namespace usaas::nlp

@@ -1,0 +1,56 @@
+// Extractive summarization of a document set.
+//
+// §5: USaaS should be "effectively summarizing and quantifying contextual
+// user feedback". The paper points at LLMs; our offline substrate uses a
+// classical extractive approach (salience-weighted sentence ranking with
+// redundancy suppression, TextRank-adjacent) that needs no model weights
+// and is fully deterministic: score each sentence by the corpus frequency
+// of its content words, then pick top sentences greedily while penalizing
+// overlap with already-picked ones.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace usaas::nlp {
+
+struct SummarySentence {
+  std::string text;
+  double salience{0.0};
+  /// Index of the source document the sentence came from.
+  std::size_t document{0};
+};
+
+struct SummarizerConfig {
+  std::size_t max_sentences{3};
+  /// A sentence is skipped when more than this fraction of its content
+  /// words already appear in the summary (redundancy suppression).
+  double max_overlap{0.6};
+  /// Sentences shorter than this many content words are never picked
+  /// (fragments make poor summaries).
+  std::size_t min_content_words{3};
+};
+
+class Summarizer {
+ public:
+  explicit Summarizer(SummarizerConfig config = {});
+
+  /// Splits text into sentences on [.!?] boundaries.
+  [[nodiscard]] static std::vector<std::string> split_sentences(
+      std::string_view text);
+
+  /// Summarizes a set of documents into the most salient sentences.
+  [[nodiscard]] std::vector<SummarySentence> summarize(
+      std::span<const std::string> documents) const;
+
+  /// Convenience: summary as one string, sentences joined by spaces.
+  [[nodiscard]] std::string summarize_to_text(
+      std::span<const std::string> documents) const;
+
+ private:
+  SummarizerConfig config_;
+};
+
+}  // namespace usaas::nlp

@@ -1,0 +1,121 @@
+#include "nlp/tokenizer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <unordered_set>
+
+namespace usaas::nlp {
+
+std::string to_lower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+namespace {
+
+bool is_word_char(unsigned char c) {
+  return std::isalnum(c) != 0;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view text) {
+  std::vector<Token> out;
+  std::string current;
+  std::size_t position = 0;
+  auto flush = [&] {
+    // Strip leading/trailing apostrophes left by quoting.
+    while (!current.empty() && current.front() == '\'') current.erase(0, 1);
+    while (!current.empty() && current.back() == '\'') current.pop_back();
+    if (!current.empty()) {
+      out.push_back({to_lower(current), position++});
+      current.clear();
+    } else {
+      current.clear();
+    }
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const auto c = static_cast<unsigned char>(text[i]);
+    if (is_word_char(c)) {
+      current.push_back(static_cast<char>(c));
+    } else if (c == '\'' && !current.empty() && i + 1 < text.size() &&
+               is_word_char(static_cast<unsigned char>(text[i + 1]))) {
+      current.push_back('\'');  // intra-word apostrophe: isn't, don't
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+std::vector<std::string> tokenize_words(std::string_view text) {
+  std::vector<std::string> out;
+  for (auto& t : tokenize(text)) out.push_back(std::move(t.text));
+  return out;
+}
+
+std::size_t count_exclamations(std::string_view text) {
+  return static_cast<std::size_t>(
+      std::count(text.begin(), text.end(), '!'));
+}
+
+double uppercase_ratio(std::string_view text) {
+  std::size_t letters = 0;
+  std::size_t upper = 0;
+  for (const char c : text) {
+    const auto u = static_cast<unsigned char>(c);
+    if (std::isalpha(u) != 0) {
+      ++letters;
+      if (std::isupper(u) != 0) ++upper;
+    }
+  }
+  if (letters == 0) return 0.0;
+  return static_cast<double>(upper) / static_cast<double>(letters);
+}
+
+bool is_stop_word(std::string_view word) {
+  static const std::unordered_set<std::string_view> kStops = {
+      "a",      "about", "above",  "after",   "again",  "all",    "also",
+      "am",     "an",    "and",    "any",     "are",    "aren't", "as",
+      "at",     "be",    "because","been",    "before", "being",  "below",
+      "between","both",  "but",    "by",      "can",    "cannot", "could",
+      // NB: "down" is deliberately NOT a stop word — in this domain it is
+      // the single most load-bearing outage term (Fig 5b / Fig 6).
+      "did",    "do",    "does",   "doing",   "don't",  "during",
+      "each",   "few",   "for",    "from",    "further","get",    "got",
+      "had",    "has",   "have",   "having",  "he",     "her",    "here",
+      "hers",   "him",   "his",    "how",     "i",      "i'm",    "i've",
+      "if",     "in",    "into",   "is",      "isn't",  "it",     "it's",
+      "its",    "itself","just",   "like",    "me",     "more",   "most",
+      "my",     "myself","no",     "nor",     "now",    "of",     "off",
+      "on",     "once",  "only",   "or",      "other",  "our",    "ours",
+      "out",    "over",  "own",    "same",    "she",    "should", "so",
+      "some",   "such",  "than",   "that",    "the",    "their",  "theirs",
+      "them",   "then",  "there",  "these",   "they",   "this",   "those",
+      "through","to",    "too",    "under",   "until",  "up",     "very",
+      "was",    "we",    "were",   "what",    "when",   "where",  "which",
+      "while",  "who",   "whom",   "why",     "will",   "with",   "would",
+      "you",    "your",  "yours",  "yourself","u",      "im",     "ive",
+      "dont",   "its",   "thats",  "gonna",   "really", "one",    "two",
+  };
+  return kStops.contains(word);
+}
+
+std::vector<std::string> content_words(std::string_view text) {
+  std::vector<std::string> out;
+  for (auto& t : tokenize(text)) {
+    if (t.text.size() < 2) continue;
+    if (is_stop_word(t.text)) continue;
+    out.push_back(std::move(t.text));
+  }
+  return out;
+}
+
+}  // namespace usaas::nlp

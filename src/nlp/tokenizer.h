@@ -1,0 +1,47 @@
+// Tokenization and normalization for the social-media pipelines.
+//
+// The paper leans on NLTK-style preprocessing for its word clouds (§4.1)
+// and on Azure Cognitive Services for sentiment. Our substrate needs the
+// same front end: lowercase, split on non-word characters (keeping
+// intra-word apostrophes and numbers), optional stop-word removal.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace usaas::nlp {
+
+/// A token with its position in the token stream (positions let the
+/// sentiment analyzer apply negation windows).
+struct Token {
+  std::string text;
+  std::size_t position{0};
+};
+
+/// Lowercases ASCII; leaves other bytes untouched.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Splits into lowercase word tokens. Keeps embedded apostrophes
+/// ("isn't" -> "isn't") and digits ("99" survives); everything else is a
+/// separator. Trailing punctuation marks exclamation density, which the
+/// caller can query separately via count_exclamations.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view text);
+
+/// Convenience: tokens as plain strings.
+[[nodiscard]] std::vector<std::string> tokenize_words(std::string_view text);
+
+/// Number of '!' characters (sentiment emphasis cue).
+[[nodiscard]] std::size_t count_exclamations(std::string_view text);
+
+/// Fraction of alphabetic characters that are uppercase in the original
+/// text (ALL-CAPS shouting cue). Returns 0 for texts with no letters.
+[[nodiscard]] double uppercase_ratio(std::string_view text);
+
+/// True for English stop words (a compact embedded list).
+[[nodiscard]] bool is_stop_word(std::string_view word);
+
+/// Removes stop words and single-character tokens.
+[[nodiscard]] std::vector<std::string> content_words(std::string_view text);
+
+}  // namespace usaas::nlp

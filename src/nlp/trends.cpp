@@ -1,0 +1,130 @@
+#include "nlp/trends.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "nlp/tokenizer.h"
+
+namespace usaas::nlp {
+
+TrendMiner::TrendMiner(TrendMinerConfig config) : config_{config} {}
+
+void TrendMiner::add_document(const TrendDocument& doc) {
+  const auto day = doc.date.days_since_epoch();
+  auto& terms = days_[day];
+  ++doc_counts_[day];
+
+  const auto words = content_words(doc.text);
+  // Each term counted once per document (document frequency semantics).
+  std::unordered_set<std::string> seen;
+  auto touch = [&](std::string term) {
+    if (!seen.insert(term).second) return;
+    auto& cell = terms[term];
+    cell.weight += doc.popularity;
+    ++cell.documents;
+  };
+  for (const std::string& w : words) touch(w);
+  if (config_.include_bigrams) {
+    for (std::size_t i = 0; i + 1 < words.size(); ++i) {
+      touch(words[i] + " " + words[i + 1]);
+    }
+  }
+}
+
+double TrendMiner::window_weight(std::string_view term,
+                                 const core::Date& last_day, int days) const {
+  const auto last = last_day.days_since_epoch();
+  double acc = 0.0;
+  for (auto it = days_.lower_bound(last - days + 1);
+       it != days_.end() && it->first <= last; ++it) {
+    const auto t = it->second.find(term);
+    if (t != it->second.end()) acc += t->second.weight;
+  }
+  return acc;
+}
+
+std::size_t TrendMiner::window_documents(std::string_view term,
+                                         const core::Date& last_day,
+                                         int days) const {
+  const auto last = last_day.days_since_epoch();
+  std::size_t acc = 0;
+  for (auto it = days_.lower_bound(last - days + 1);
+       it != days_.end() && it->first <= last; ++it) {
+    const auto t = it->second.find(term);
+    if (t != it->second.end()) acc += t->second.documents;
+  }
+  return acc;
+}
+
+std::size_t TrendMiner::total_documents(const core::Date& last_day,
+                                        int days) const {
+  const auto last = last_day.days_since_epoch();
+  std::size_t acc = 0;
+  for (auto it = doc_counts_.lower_bound(last - days + 1);
+       it != doc_counts_.end() && it->first <= last; ++it) {
+    acc += it->second;
+  }
+  return acc;
+}
+
+double TrendMiner::burst_score_on(std::string_view term,
+                                  const core::Date& day) const {
+  const double now =
+      window_weight(term, day, config_.window_days) / config_.window_days;
+  const core::Date history_end = day.plus_days(-config_.window_days);
+  const double then =
+      window_weight(term, history_end, config_.history_days) /
+      config_.history_days;
+  constexpr double kEpsilon = 1.0;
+  return now / (then + kEpsilon);
+}
+
+std::vector<EmergingTopic> TrendMiner::detect() const {
+  std::vector<EmergingTopic> out;
+  if (days_.empty()) return out;
+  std::unordered_set<std::string> already_fired;
+
+  const auto first_day = days_.begin()->first;
+  const auto last_day = days_.rbegin()->first;
+
+  // Warm-up: a burst is only meaningful against real history, so nothing
+  // fires during the first history window (otherwise every standing topic
+  // would "emerge" on day one of the corpus).
+  const auto detection_start = first_day + config_.history_days;
+
+  for (auto day = detection_start; day <= last_day; ++day) {
+    const core::Date d = core::Date::from_days_since_epoch(day);
+    const std::size_t window_docs =
+        total_documents(d, config_.window_days);
+    if (window_docs == 0) continue;
+
+    // Candidate terms: anything seen today (a term can only *start*
+    // bursting on a day it appears).
+    const auto it = days_.find(day);
+    if (it == days_.end()) continue;
+    for (const auto& [term, stats] : it->second) {
+      if (already_fired.contains(term)) continue;
+      const double w =
+          window_weight(term, d, config_.window_days);
+      if (w < config_.min_window_weight) continue;
+      const double share =
+          static_cast<double>(window_documents(term, d, config_.window_days)) /
+          static_cast<double>(window_docs);
+      if (share < config_.min_document_share) continue;
+      const double burst = burst_score_on(term, d);
+      if (burst < config_.burst_threshold) continue;
+      already_fired.insert(term);
+      out.push_back({term, d, burst, w});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EmergingTopic& a, const EmergingTopic& b) {
+              if (a.first_detected != b.first_detected) {
+                return a.first_detected < b.first_detected;
+              }
+              return a.burst_score > b.burst_score;
+            });
+  return out;
+}
+
+}  // namespace usaas::nlp

@@ -1,0 +1,53 @@
+#include "nlp/wordcloud.h"
+
+#include <algorithm>
+
+namespace usaas::nlp {
+
+WordCloud WordCloud::build(std::span<const std::string> documents,
+                           std::size_t max_words) {
+  NgramCounter counter{1};
+  for (const std::string& doc : documents) counter.add_document(doc);
+  WordCloud cloud;
+  const auto top = counter.top(max_words);
+  if (top.empty()) return cloud;
+  const double max_count = static_cast<double>(top.front().count);
+  cloud.words_.reserve(top.size());
+  for (const auto& t : top) {
+    cloud.words_.push_back(
+        {t.ngram, t.count,
+         max_count > 0 ? static_cast<double>(t.count) / max_count : 0.0});
+  }
+  return cloud;
+}
+
+std::vector<std::string> WordCloud::top_terms(std::size_t k) const {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < std::min(k, words_.size()); ++i) {
+    out.push_back(words_[i].word);
+  }
+  return out;
+}
+
+std::optional<std::size_t> WordCloud::rank_of(std::string_view word) const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i].word == word) return i;
+  }
+  return std::nullopt;
+}
+
+std::string WordCloud::render_text(std::size_t rows) const {
+  std::string out;
+  const std::size_t n = std::min(rows, words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto bar_len =
+        static_cast<std::size_t>(1 + words_[i].relative_size * 40.0);
+    out += words_[i].word;
+    out.append(words_[i].word.size() < 18 ? 18 - words_[i].word.size() : 1, ' ');
+    out.append(bar_len, '#');
+    out += " (" + std::to_string(words_[i].count) + ")\n";
+  }
+  return out;
+}
+
+}  // namespace usaas::nlp

@@ -1,0 +1,45 @@
+// Word clouds: the paper's per-day summarization of r/Starlink (§4.1,
+// Fig 5b). A cloud is the top-k content unigrams of a document set; its
+// top-3 terms become the news-search query for peak annotation.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nlp/ngrams.h"
+
+namespace usaas::nlp {
+
+struct CloudWord {
+  std::string word;
+  std::size_t count{0};
+  /// Relative size in (0, 1], 1 = the most frequent word.
+  double relative_size{1.0};
+};
+
+class WordCloud {
+ public:
+  /// Builds a cloud from documents; keeps the top `max_words`.
+  static WordCloud build(std::span<const std::string> documents,
+                         std::size_t max_words = 30);
+
+  [[nodiscard]] std::span<const CloudWord> words() const { return words_; }
+  [[nodiscard]] bool empty() const { return words_.empty(); }
+
+  /// The top-k words (k <= max_words), the paper's search-query terms.
+  [[nodiscard]] std::vector<std::string> top_terms(std::size_t k) const;
+
+  /// Rank of a word (0-based); nullopt when absent from the cloud.
+  [[nodiscard]] std::optional<std::size_t> rank_of(std::string_view word) const;
+
+  /// Renders a terminal-friendly cloud (one word per line, bar-scaled).
+  [[nodiscard]] std::string render_text(std::size_t rows = 15) const;
+
+ private:
+  std::vector<CloudWord> words_;
+};
+
+}  // namespace usaas::nlp

@@ -1,0 +1,182 @@
+#include "ocr/extract.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <string>
+#include <vector>
+
+#include "nlp/tokenizer.h"
+
+namespace usaas::ocr {
+
+namespace {
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+bool contains_ci(std::string_view haystack, std::string_view needle) {
+  const std::string h = nlp::to_lower(haystack);
+  return h.find(nlp::to_lower(needle)) != std::string::npos;
+}
+
+std::optional<double> parse_number(std::string_view token) {
+  const std::string repaired = ReportExtractor::repair_numeric(token);
+  if (repaired.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto* begin = repaired.data();
+  const auto* end = repaired.data() + repaired.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+/// First parseable number on a line (after confusion repair).
+std::optional<double> first_number(std::string_view line) {
+  std::string token;
+  auto is_numeric_char = [](char c) {
+    return (std::isdigit(static_cast<unsigned char>(c)) != 0) || c == '.' ||
+           c == ',' || c == 'O' || c == 'o' || c == 'l' || c == 'I' ||
+           c == 'S' || c == 'B' || c == 'Z' || c == 'g' || c == 'b';
+  };
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    const bool boundary = i == line.size() || !is_numeric_char(line[i]);
+    if (!boundary) {
+      token.push_back(line[i]);
+      continue;
+    }
+    if (!token.empty()) {
+      // A candidate must contain at least one true digit; otherwise label
+      // letters like the O in "DOWNLOAD" would read as numbers.
+      const bool has_true_digit = std::any_of(
+          token.begin(), token.end(), [](char c) {
+            return std::isdigit(static_cast<unsigned char>(c)) != 0;
+          });
+      if (has_true_digit) {
+        if (const auto v = parse_number(token)) return v;
+      }
+      token.clear();
+    }
+  }
+  return std::nullopt;
+}
+
+/// Number on this line, or on the following line (Ookla's label-then-value
+/// layout).
+std::optional<double> number_near(const std::vector<std::string>& lines,
+                                  std::size_t i) {
+  if (const auto v = first_number(lines[i])) return v;
+  if (i + 1 < lines.size()) return first_number(lines[i + 1]);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string ReportExtractor::repair_numeric(std::string_view token) {
+  std::string out;
+  out.reserve(token.size());
+  bool has_digit = false;
+  bool seen_dot = false;
+  for (const char c : token) {
+    char r = c;
+    switch (c) {
+      case 'O': case 'o': r = '0'; break;
+      case 'l': case 'I': r = '1'; break;
+      case 'S': case 's': r = '5'; break;
+      case 'B': r = '8'; break;
+      case 'b': r = '6'; break;
+      case 'Z': case 'z': r = '2'; break;
+      case 'g': r = '9'; break;
+      case ',': r = '.'; break;
+      default: break;
+    }
+    if (r == '.') {
+      if (seen_dot) return {};  // two separators: unrecoverable
+      seen_dot = true;
+      out.push_back(r);
+    } else if (std::isdigit(static_cast<unsigned char>(r)) != 0) {
+      has_digit = true;
+      out.push_back(r);
+    } else {
+      return {};  // non-numeric residue
+    }
+  }
+  if (!has_digit) return {};
+  if (!out.empty() && out.back() == '.') out.pop_back();
+  if (!out.empty() && out.front() == '.') out.insert(out.begin(), '0');
+  return out;
+}
+
+std::optional<SpeedtestReport> ReportExtractor::extract(
+    std::string_view ocr_text, ExtractionStats* stats) const {
+  if (stats != nullptr) ++stats->attempted;
+  const auto lines = split_lines(ocr_text);
+
+  // Provider recognition by layout cues.
+  std::optional<Provider> provider;
+  for (const auto& line : lines) {
+    if (contains_ci(line, "speedtest")) provider = Provider::kOokla;
+    if (contains_ci(line, "fast.com")) provider = Provider::kFast;
+    if (contains_ci(line, "starlink") && contains_ci(ocr_text, "speed test")) {
+      provider = Provider::kStarlinkApp;
+    }
+    if (contains_ci(line, "m-lab") || contains_ci(line, "mlab")) {
+      provider = Provider::kMlab;
+    }
+    if (provider) break;
+  }
+  if (!provider) {
+    if (stats != nullptr) ++stats->provider_unrecognized;
+    return std::nullopt;
+  }
+
+  SpeedtestReport report;
+  report.provider = *provider;
+
+  // Field extraction: label-anchored, tolerant of the value being on the
+  // label line or the next line.
+  std::optional<double> down;
+  std::optional<double> up;
+  std::optional<double> lat;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto& line = lines[i];
+    if (!down && contains_ci(line, "download")) down = number_near(lines, i);
+    if (!up && contains_ci(line, "upload")) up = number_near(lines, i);
+    if (!lat && (contains_ci(line, "ping") || contains_ci(line, "latency") ||
+                 contains_ci(line, "round-trip"))) {
+      lat = number_near(lines, i);
+    }
+  }
+  // Fast.com: the headline number is the first line, bare.
+  if (!down && *provider == Provider::kFast && !lines.empty()) {
+    down = first_number(lines.front());
+  }
+
+  if (!down) {
+    if (stats != nullptr) ++stats->download_missing;
+    return std::nullopt;
+  }
+  if (*down < kMinPlausibleDown || *down > kMaxPlausibleDown) {
+    if (stats != nullptr) ++stats->implausible;
+    return std::nullopt;
+  }
+  report.download_mbps = *down;
+  report.upload_mbps = up;
+  report.latency_ms = lat;
+  if (stats != nullptr) ++stats->extracted;
+  return report;
+}
+
+}  // namespace usaas::ocr

@@ -1,0 +1,56 @@
+// Field extraction from OCR'd speed-test screenshots.
+//
+// The inverse of render + noise: recognize the provider from layout cues,
+// normalize OCR confusions inside numeric fields, and pull out
+// (download, upload, latency). Extraction fails when the numbers are
+// unrecoverable — those reports are dropped from Fig 7, just as the
+// paper's pipeline only identified ~1750 usable reports.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "ocr/screenshot.h"
+
+namespace usaas::ocr {
+
+/// A successfully extracted report.
+struct SpeedtestReport {
+  Provider provider{Provider::kOokla};
+  double download_mbps{0.0};
+  std::optional<double> upload_mbps;
+  std::optional<double> latency_ms;
+};
+
+/// Running tally of extraction outcomes (reported by the Fig 7 bench).
+struct ExtractionStats {
+  std::size_t attempted{0};
+  std::size_t extracted{0};
+  std::size_t provider_unrecognized{0};
+  std::size_t download_missing{0};
+  std::size_t implausible{0};
+
+  [[nodiscard]] double success_rate() const {
+    return attempted == 0
+               ? 0.0
+               : static_cast<double>(extracted) / static_cast<double>(attempted);
+  }
+};
+
+class ReportExtractor {
+ public:
+  /// Extracts from OCR'd text; nullopt when no usable download figure can
+  /// be recovered. Updates `stats` when provided.
+  [[nodiscard]] std::optional<SpeedtestReport> extract(
+      std::string_view ocr_text, ExtractionStats* stats = nullptr) const;
+
+  /// Repairs common digit confusions in a numeric token ("1O3,5" ->
+  /// "103.5"); exposed for tests.
+  [[nodiscard]] static std::string repair_numeric(std::string_view token);
+
+  /// Plausibility window for Starlink-era downlink numbers (Mbps).
+  static constexpr double kMinPlausibleDown = 0.1;
+  static constexpr double kMaxPlausibleDown = 500.0;
+};
+
+}  // namespace usaas::ocr

@@ -1,0 +1,52 @@
+#include "ocr/noisy_ocr.h"
+
+namespace usaas::ocr {
+
+NoisyOcr::NoisyOcr(OcrNoiseParams params) : params_{params} {}
+
+char NoisyOcr::confuse(char c) {
+  switch (c) {
+    case '0': return 'O';
+    case 'O': return '0';
+    case '1': return 'l';
+    case 'l': return '1';
+    case '5': return 'S';
+    case 'S': return '5';
+    case '8': return 'B';
+    case 'B': return '8';
+    case '6': return 'b';
+    case 'b': return '6';
+    case '.': return ',';
+    case ',': return '.';
+    case '2': return 'Z';
+    case 'Z': return '2';
+    case 'g': return '9';
+    case '9': return 'g';
+    default: return c;
+  }
+}
+
+std::string NoisyOcr::read(std::string_view rendered, core::Rng& rng) const {
+  std::string out;
+  out.reserve(rendered.size());
+  bool dropping_line = false;
+  for (const char c : rendered) {
+    if (c == '\n') {
+      dropping_line = false;
+      out.push_back(c);
+      // Decide the fate of the upcoming line.
+      if (rng.bernoulli(params_.line_loss_rate)) dropping_line = true;
+      continue;
+    }
+    if (dropping_line) continue;
+    if (rng.bernoulli(params_.drop_rate)) continue;
+    if (rng.bernoulli(params_.confusion_rate)) {
+      out.push_back(confuse(c));
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace usaas::ocr

@@ -1,0 +1,42 @@
+// The noisy OCR channel.
+//
+// Real OCR over phone screenshots misreads characters (0<->O, 1<->l,
+// 5<->S, 8<->B, .<->,) and drops thin glyphs entirely — JPEG artifacts,
+// dark-mode themes, cropped edges. NoisyOcr corrupts rendered screenshot
+// text with exactly those confusions so the extractor downstream must be
+// (and is) tolerant, and so a realistic fraction of the paper's ~1750
+// reports fails extraction.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/rng.h"
+
+namespace usaas::ocr {
+
+struct OcrNoiseParams {
+  /// Per-character probability of a confusion substitution.
+  double confusion_rate{0.012};
+  /// Per-character probability of dropping the character.
+  double drop_rate{0.004};
+  /// Probability an entire line is lost (cropped / covered by UI chrome).
+  double line_loss_rate{0.01};
+};
+
+class NoisyOcr {
+ public:
+  explicit NoisyOcr(OcrNoiseParams params = {});
+
+  /// Passes `rendered` through the OCR channel.
+  [[nodiscard]] std::string read(std::string_view rendered,
+                                 core::Rng& rng) const;
+
+  /// The canonical confusion for a character (identity when none).
+  [[nodiscard]] static char confuse(char c);
+
+ private:
+  OcrNoiseParams params_;
+};
+
+}  // namespace usaas::ocr

@@ -1,0 +1,60 @@
+#include "ocr/screenshot.h"
+
+#include <cstdio>
+
+namespace usaas::ocr {
+
+const char* to_string(Provider p) {
+  switch (p) {
+    case Provider::kOokla: return "ookla";
+    case Provider::kFast: return "fast";
+    case Provider::kStarlinkApp: return "starlink-app";
+    case Provider::kMlab: return "mlab";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string fmt(const char* pattern, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, pattern, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_screenshot(const TestResult& r) {
+  switch (r.provider) {
+    case Provider::kOokla:
+      return "SPEEDTEST\n"
+             "DOWNLOAD Mbps\n" +
+             fmt("%.2f", r.download_mbps) +
+             "\nUPLOAD Mbps\n" +
+             fmt("%.2f", r.upload_mbps) +
+             "\nPing ms\n" +
+             fmt("%.0f", r.latency_ms) +
+             "\nConnections  Multi\n" + r.isp + "\n";
+    case Provider::kFast:
+      return fmt("%.0f", r.download_mbps) +
+             "\nMbps\n"
+             "Your internet speed\n"
+             "Latency: " + fmt("%.0f", r.latency_ms) + " ms\n" +
+             "Upload: " + fmt("%.1f", r.upload_mbps) + " Mbps\n" +
+             "FAST.com\n";
+    case Provider::kStarlinkApp:
+      return "STARLINK\n"
+             "SPEED TEST\n"
+             "Download " + fmt("%.0f", r.download_mbps) + " Mbps\n" +
+             "Upload " + fmt("%.0f", r.upload_mbps) + " Mbps\n" +
+             "Latency " + fmt("%.0f", r.latency_ms) + " ms\n";
+    case Provider::kMlab:
+      return "M-Lab Speed Test\n"
+             "Download: " + fmt("%.1f", r.download_mbps) + " Mb/s\n" +
+             "Upload: " + fmt("%.1f", r.upload_mbps) + " Mb/s\n" +
+             "Round-trip time: " + fmt("%.0f", r.latency_ms) + " ms\n";
+  }
+  return "";
+}
+
+}  // namespace usaas::ocr

@@ -1,0 +1,42 @@
+// Speed-test screenshot rendering.
+//
+// §4.2 gathers "screenshots (or links to them) of network performance test
+// reports ... across test providers like Ookla, Fast (powered by Netflix),
+// Starlink itself, and others" and extracts the numbers with Azure OCR.
+// Our substitute renders a test result into the text layout each provider
+// uses (the 'pixels' OCR would read), so the extraction pipeline faces the
+// same provider-specific formats, units, and ambiguity the paper's did.
+#pragma once
+
+#include <string>
+
+namespace usaas::ocr {
+
+enum class Provider {
+  kOokla,
+  kFast,
+  kStarlinkApp,
+  kMlab,
+};
+
+inline constexpr int kNumProviders = 4;
+
+[[nodiscard]] const char* to_string(Provider p);
+
+/// The true measurement behind a screenshot.
+struct TestResult {
+  Provider provider{Provider::kOokla};
+  double download_mbps{0.0};
+  double upload_mbps{0.0};
+  double latency_ms{0.0};
+  /// Server / ISP caption; Starlink tests show "Starlink".
+  std::string isp{"Starlink"};
+};
+
+/// Renders the provider-specific text layout (what OCR will read).
+/// Multi-line, '\n'-separated, matching each provider's labels and units:
+/// Ookla prints "DOWNLOAD Mbps / 123.45", Fast prints a big bare number
+/// with "Mbps" underneath, the Starlink app prints "Download 123 Mbps".
+[[nodiscard]] std::string render_screenshot(const TestResult& result);
+
+}  // namespace usaas::ocr

@@ -1,0 +1,67 @@
+// The Reddit post record.
+//
+// `kind` and `true_*` fields are simulation ground truth: they exist so
+// tests and EXPERIMENTS.md can score the pipelines (did the sentiment
+// analyzer recover the intended polarity? did the outage detector find the
+// planted outage days?). The USaaS analysis pipelines never read them —
+// they see only date, text, upvotes, comment count, and the screenshot.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/date.h"
+#include "ocr/screenshot.h"
+
+namespace usaas::social {
+
+enum class PostKind {
+  kExperience,      // "been using it for a month, here's how it's going"
+  kSpeedtest,       // screenshot share with caption
+  kOutageReport,    // "is starlink down for anyone else?"
+  kEventReaction,   // reaction to a news/announcement event
+  kQuestion,        // setup / purchase questions
+  kOffTopic,        // launch photos, memes, dishy pictures
+  kFeatureDiscovery,// early reports of an unannounced feature (roaming)
+};
+
+[[nodiscard]] constexpr const char* to_string(PostKind k) {
+  switch (k) {
+    case PostKind::kExperience: return "experience";
+    case PostKind::kSpeedtest: return "speedtest";
+    case PostKind::kOutageReport: return "outage-report";
+    case PostKind::kEventReaction: return "event-reaction";
+    case PostKind::kQuestion: return "question";
+    case PostKind::kOffTopic: return "off-topic";
+    case PostKind::kFeatureDiscovery: return "feature-discovery";
+  }
+  return "unknown";
+}
+
+struct Post {
+  std::uint64_t id{0};
+  core::Date date;
+  std::uint64_t author_id{0};
+  std::string title;
+  std::string body;
+  int upvotes{0};
+  int num_comments{0};
+  /// Attached speed-test screenshot (rendered text raster), when any.
+  std::optional<std::string> screenshot;
+
+  // ---- Ground truth (not visible to the analysis pipelines) ----
+  PostKind kind{PostKind::kOffTopic};
+  /// Intended polarity in [-1, 1] that the text was generated to express.
+  double true_polarity{0.0};
+  /// The true measurement behind the screenshot, when any.
+  std::optional<ocr::TestResult> true_test;
+
+  /// Popularity weight used by the trend miner (upvotes + comments).
+  [[nodiscard]] double popularity() const {
+    return static_cast<double>(upvotes + num_comments);
+  }
+  [[nodiscard]] std::string full_text() const { return title + " " + body; }
+};
+
+}  // namespace usaas::social

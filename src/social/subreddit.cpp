@@ -1,0 +1,199 @@
+#include "social/subreddit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace usaas::social {
+
+RedditSim::RedditSim(SubredditConfig config, leo::SpeedModel speed_model,
+                     leo::OutageModel outage_model, leo::EventTimeline events)
+    : config_{config},
+      speed_model_{std::move(speed_model)},
+      outage_model_{std::move(outage_model)},
+      events_{std::move(events)} {
+  if (config_.last_day < config_.first_day) {
+    throw std::invalid_argument("SubredditConfig: last_day < first_day");
+  }
+  const double mix = config_.experience_share + config_.speedtest_share +
+                     config_.question_share + config_.offtopic_share;
+  if (mix > 1.0 + 1e-9) {
+    throw std::invalid_argument("SubredditConfig: background mix > 1");
+  }
+}
+
+void RedditSim::add_post(std::vector<Post>& posts, const core::Date& d,
+                         PostKind kind, GeneratedText text,
+                         double true_polarity, double hotness,
+                         core::Rng& rng) const {
+  Post p;
+  p.id = next_post_id_++;
+  p.date = d;
+  p.author_id = static_cast<std::uint64_t>(rng.uniform_int(1, 250000));
+  p.title = std::move(text.title);
+  p.body = std::move(text.body);
+  const double upvote_scale =
+      1.0 + (config_.hot_day_upvote_mult - 1.0) * std::clamp(hotness, 0.0, 1.0);
+  p.upvotes = static_cast<int>(
+      rng.lognormal(config_.upvote_mu, config_.upvote_sigma) * upvote_scale);
+  p.num_comments = static_cast<int>(rng.poisson(2.0 + 0.5 * p.upvotes));
+  p.kind = kind;
+  p.true_polarity = true_polarity;
+  posts.push_back(std::move(p));
+}
+
+std::vector<Post> RedditSim::simulate() const {
+  std::vector<Post> posts;
+  truths_.clear();
+  next_post_id_ = 1;
+  core::Rng root{config_.seed};
+
+  const auto total_days =
+      static_cast<double>(config_.first_day.days_until(config_.last_day));
+
+  // Community speed expectation (the fulcrum), seeded at the day-one median.
+  double expectation =
+      speed_model_.median_downlink_mbps(config_.first_day);
+
+  const core::Date roam_start = leo::EventTimeline::roaming_user_discovery_date();
+  const core::Date roam_announce = leo::EventTimeline::roaming_announcement_date();
+
+  core::for_each_day(config_.first_day, config_.last_day, [&](const core::Date& d) {
+    core::Rng rng = root.split(static_cast<std::uint64_t>(d.days_since_epoch()));
+
+    const double median_speed = speed_model_.median_downlink_mbps(d);
+    const double outage_sev = outage_model_.affected_fraction_on(d) *
+                              0.6 +
+                              outage_model_.severity_on(d) * 0.4;
+    const double buzz = events_.buzz_on(d);
+    const double hotness = std::clamp(buzz + outage_sev, 0.0, 1.0);
+
+    // ---- Background chatter ----
+    const double t = total_days == 0.0
+                         ? 0.0
+                         : static_cast<double>(
+                               config_.first_day.days_until(d)) / total_days;
+    const double base_rate =
+        config_.posts_per_day_start +
+        t * (config_.posts_per_day_end - config_.posts_per_day_start);
+    const auto n_background = rng.poisson(base_rate);
+
+    for (std::int64_t i = 0; i < n_background; ++i) {
+      const double u = rng.uniform();
+      if (u < config_.experience_share + config_.speedtest_share) {
+        // Experience of a specific user today.
+        const leo::SpeedSample sample =
+            speed_model_.draw_test(d, rng, outage_model_.affected_fraction_on(d));
+        const double reference = config_.adaptation_enabled
+                                     ? expectation
+                                     : config_.absolute_reference_mbps;
+        const double delta =
+            reference > 0.0
+                ? (sample.downlink_mbps - reference) / reference
+                : 0.0;
+        double polarity = std::clamp(config_.delta_gain * delta, -1.0, 1.0) +
+                          rng.normal(0.0, config_.mood_noise);
+        if (sample.during_outage) polarity -= 0.8;
+        polarity = std::clamp(polarity, -1.0, 1.0);
+
+        const bool share_screenshot = u >= config_.experience_share;
+        GeneratedText text =
+            gen_.experience(polarity, sample.downlink_mbps, rng);
+        Post p;
+        p.id = next_post_id_++;
+        p.date = d;
+        p.author_id = static_cast<std::uint64_t>(rng.uniform_int(1, 250000));
+        p.title = std::move(text.title);
+        p.body = std::move(text.body);
+        p.upvotes = static_cast<int>(
+            rng.lognormal(config_.upvote_mu, config_.upvote_sigma));
+        p.num_comments = static_cast<int>(rng.poisson(2.0 + 0.5 * p.upvotes));
+        p.true_polarity = polarity;
+        if (share_screenshot) {
+          p.kind = PostKind::kSpeedtest;
+          ocr::TestResult tr;
+          tr.provider = static_cast<ocr::Provider>(
+              rng.weighted_index(std::array{0.45, 0.25, 0.25, 0.05}));
+          tr.download_mbps = sample.downlink_mbps;
+          tr.upload_mbps = sample.uplink_mbps;
+          tr.latency_ms = sample.latency_ms;
+          p.screenshot = ocr::render_screenshot(tr);
+          p.true_test = tr;
+        } else {
+          p.kind = PostKind::kExperience;
+        }
+        posts.push_back(std::move(p));
+      } else if (u < config_.experience_share + config_.speedtest_share +
+                         config_.question_share) {
+        add_post(posts, d, PostKind::kQuestion, gen_.question(rng), 0.0, 0.0,
+                 rng);
+      } else {
+        add_post(posts, d, PostKind::kOffTopic, gen_.off_topic(rng), 0.05, 0.0,
+                 rng);
+      }
+    }
+
+    // ---- Event reactions ----
+    for (const leo::NewsEvent& ev : events_.on(d)) {
+      const auto n_reactions =
+          rng.poisson(config_.reaction_posts_per_buzz * ev.buzz);
+      for (std::int64_t i = 0; i < n_reactions; ++i) {
+        const double pol = ev.sentiment == leo::EventSentiment::kPositive
+                               ? 0.8
+                               : ev.sentiment == leo::EventSentiment::kNegative
+                                     ? -0.8
+                                     : 0.0;
+        add_post(posts, d, PostKind::kEventReaction,
+                 gen_.event_reaction(ev, rng), pol, hotness, rng);
+      }
+    }
+
+    // ---- Outage reports ----
+    for (const leo::Outage& o : outage_model_.on(d)) {
+      const auto n_reports =
+          rng.poisson(config_.outage_posts_per_severity * o.severity());
+      const bool global = o.affected_fraction > 0.5;
+      for (std::int64_t i = 0; i < n_reports; ++i) {
+        add_post(posts, d, PostKind::kOutageReport,
+                 gen_.outage_report(global, o.publicly_reported, rng),
+                 global ? -0.85 : -0.45, hotness, rng);
+      }
+    }
+
+    // ---- Roaming storyline ----
+    if (config_.enable_roaming_storyline && d >= roam_start &&
+        d < roam_announce) {
+      const auto days_in =
+          static_cast<double>(roam_start.days_until(d));
+      const double rate = config_.roaming_posts_day_one *
+                          std::pow(config_.roaming_posts_growth, days_in);
+      const auto n_roam = rng.poisson(std::min(rate, 25.0));
+      for (std::int64_t i = 0; i < n_roam; ++i) {
+        Post p;
+        GeneratedText text = gen_.feature_discovery("roaming", rng);
+        p.id = next_post_id_++;
+        p.date = d;
+        p.author_id = static_cast<std::uint64_t>(rng.uniform_int(1, 250000));
+        p.title = std::move(text.title);
+        p.body = std::move(text.body);
+        // Popular discussions: these threads drew unusual engagement.
+        p.upvotes = static_cast<int>(
+            rng.lognormal(config_.upvote_mu + 1.2, config_.upvote_sigma));
+        p.num_comments = static_cast<int>(rng.poisson(4.0 + 0.6 * p.upvotes));
+        p.kind = PostKind::kFeatureDiscovery;
+        p.true_polarity = 0.8;
+        posts.push_back(std::move(p));
+      }
+    }
+
+    truths_.push_back({d, median_speed, expectation, outage_sev});
+
+    // Fulcrum update: the community acclimatizes to what it experienced.
+    expectation = (1.0 - config_.expectation_alpha) * expectation +
+                  config_.expectation_alpha * median_speed;
+  });
+
+  return posts;
+}
+
+}  // namespace usaas::social

@@ -1,0 +1,114 @@
+// The r/Starlink simulator.
+//
+// Drives two years of posting behaviour off the LEO substrate:
+//   * background chatter grows with the subscriber base (the paper
+//     observes 372 posts/week on average);
+//   * experience & speed-test posts express sentiment about the *delta*
+//     between today's experienced speed and the community's adapted
+//     expectation (an EWMA of recent medians) — the "shifting fulcrum" of
+//     §4.2;
+//   * outages spawn keyword-dense report threads scaled by severity;
+//   * news events spawn reaction bursts scaled by buzz;
+//   * the roaming storyline seeds feature-discovery posts with rising
+//     popularity starting ~2 weeks before the official announcement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/date.h"
+#include "core/rng.h"
+#include "leo/events.h"
+#include "leo/outages.h"
+#include "leo/speed.h"
+#include "social/post.h"
+#include "social/text_gen.h"
+
+namespace usaas::social {
+
+struct SubredditConfig {
+  std::uint64_t seed{777};
+  core::Date first_day{2021, 1, 1};
+  core::Date last_day{2022, 12, 31};
+  /// Background post volume ramp (posts/day), linear over the range.
+  double posts_per_day_start{25.0};
+  double posts_per_day_end{80.0};
+  /// Background mix (fractions of background posts; remainder = reactions
+  /// to nothing, treated as off-topic).
+  double experience_share{0.34};
+  double speedtest_share{0.05};
+  double question_share{0.22};
+  double offtopic_share{0.33};
+  /// Event-reaction posts per unit of event buzz.
+  double reaction_posts_per_buzz{150.0};
+  /// Outage-report posts per unit of outage severity.
+  double outage_posts_per_severity{120.0};
+  /// Fulcrum: daily EWMA factor of the community speed expectation.
+  double expectation_alpha{0.035};
+  /// Sentiment gain on relative speed delta (polarity = gain * delta).
+  double delta_gain{3.5};
+  /// ABLATION SWITCH: when false, users judge speeds against a fixed
+  /// absolute reference instead of their adapted expectation — no
+  /// hedonic adaptation, so sentiment becomes a pure function of the
+  /// current speed level (§4.2's "wheel of time" disappears).
+  bool adaptation_enabled{true};
+  double absolute_reference_mbps{60.0};
+  /// Spread of per-author mood noise added to polarity.
+  double mood_noise{0.35};
+  /// Roaming storyline.
+  bool enable_roaming_storyline{true};
+  double roaming_posts_day_one{2.0};
+  double roaming_posts_growth{1.25};  // per day until announcement
+  /// Upvote model: lognormal(mu, sigma) baseline, scaled on hot days.
+  double upvote_mu{1.6};
+  double upvote_sigma{1.1};
+  double hot_day_upvote_mult{2.5};
+};
+
+/// A generated day of subreddit activity plus the ground truth used by
+/// tests (expectation level, median speed).
+struct DayTruth {
+  core::Date date;
+  double median_speed{0.0};
+  double expectation{0.0};
+  double outage_severity{0.0};
+};
+
+class RedditSim {
+ public:
+  RedditSim(SubredditConfig config, leo::SpeedModel speed_model,
+            leo::OutageModel outage_model, leo::EventTimeline events);
+
+  /// Runs the full simulation; returns posts sorted by date.
+  [[nodiscard]] std::vector<Post> simulate() const;
+
+  /// Ground-truth series (one entry per day), filled by simulate().
+  /// Invariant: call simulate() first; empty before that.
+  [[nodiscard]] const std::vector<DayTruth>& day_truths() const {
+    return truths_;
+  }
+
+  [[nodiscard]] const SubredditConfig& config() const { return config_; }
+  [[nodiscard]] const leo::OutageModel& outages() const {
+    return outage_model_;
+  }
+  [[nodiscard]] const leo::EventTimeline& events() const { return events_; }
+  [[nodiscard]] const leo::SpeedModel& speed_model() const {
+    return speed_model_;
+  }
+
+ private:
+  void add_post(std::vector<Post>& posts, const core::Date& d, PostKind kind,
+                GeneratedText text, double true_polarity, double hotness,
+                core::Rng& rng) const;
+
+  SubredditConfig config_;
+  leo::SpeedModel speed_model_;
+  leo::OutageModel outage_model_;
+  leo::EventTimeline events_;
+  TextGenerator gen_;
+  mutable std::vector<DayTruth> truths_;
+  mutable std::uint64_t next_post_id_{1};
+};
+
+}  // namespace usaas::social

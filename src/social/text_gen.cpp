@@ -1,0 +1,473 @@
+#include "social/text_gen.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <span>
+
+namespace usaas::social {
+
+namespace {
+
+template <std::size_t N>
+const char* pick(const std::array<const char*, N>& bank, core::Rng& rng) {
+  return bank[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(N) - 1))];
+}
+
+std::string speed_str(double mbps) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f", mbps);
+  return buf;
+}
+
+// ---- Experience phrase banks, bucketed by intended polarity ----
+
+constexpr std::array<const char*, 10> kVeryPositiveTitles = {
+    "Starlink has been absolutely amazing for us",
+    "Incredible speeds tonight, so impressed",
+    "This service is a total gamechanger out here",
+    "Couldn't be happier with Starlink",
+    "Blown away by how good this is",
+    "From 2 Mbps DSL to this. Awesome!",
+    "Best decision we made this year",
+    "Starlink just works, and works great",
+    "Rural internet finally solved, amazing",
+    "Absolutely loving the new speeds",
+};
+
+constexpr std::array<const char*, 10> kVeryPositiveBodies = {
+    "Streaming 4k on two TVs while gaming, zero buffering. This is "
+    "incredible and I am so happy we switched.",
+    "Zoom calls are flawless now, uploads are fast, latency is great. "
+    "Absolutely love it!",
+    "Everything is smooth and reliable. Best internet we have ever had at "
+    "this house, period.",
+    "Work from home is finally painless. Fast, stable, consistent. Could "
+    "not recommend it more.",
+    "I was skeptical but this thing is amazing. Speeds are excellent even "
+    "at peak hours and it has been rock solid.",
+    "My kids can game while I upload video. Never thought I would say that "
+    "out here. Fantastic service.",
+    "The latency is so good I forget it is satellite. Great work SpaceX, "
+    "genuinely impressed.",
+    "Perfect video calls all week, excellent speeds, zero drops. Love "
+    "this thing!",
+    "Went from hopeless DSL to reliable fast internet overnight. A total "
+    "lifesaver for our family, love it.",
+    "Install took ten minutes and it has been flawless since. Amazing.",
+};
+
+constexpr std::array<const char*, 8> kPositiveTitles = {
+    "Pretty happy with Starlink so far",
+    "Solid speeds this week",
+    "Good experience after one month",
+    "Nice improvement lately",
+    "Speeds are looking better recently",
+    "Happy camper here",
+    "Decent performance in my cell",
+    "Service has been reliable lately",
+};
+
+constexpr std::array<const char*, 8> kPositiveBodies = {
+    "Getting good speeds most of the day. The occasional dip but overall "
+    "happy with it.",
+    "Noticeably better than last month. Streaming works fine and calls are "
+    "mostly smooth.",
+    "It has been reliable for work. Speeds are good enough for everything "
+    "we do.",
+    "Solid service lately. A few slow patches in the evening but I am "
+    "satisfied overall.",
+    "Better than anything else available here. Good speeds, mostly stable.",
+    "The last few weeks have been smooth. Glad I kept it.",
+    "Uploads improved and the connection feels more consistent. Nice.",
+    "No complaints this month, it just works for us.",
+};
+
+constexpr std::array<const char*, 8> kNeutralTitles = {
+    "One month update from a new user",
+    "Mixed results so far",
+    "Speeds vary a lot during the day",
+    "Average experience in my area",
+    "It is okay, not great, not terrible",
+    "Some days good, some days meh",
+    "Honest review after six weeks",
+    "Performance report from my cell",
+};
+
+constexpr std::array<const char*, 8> kNeutralBodies = {
+    "Speeds are fine in the morning and slower in the evening. It is okay "
+    "for what we need but not amazing.",
+    "Works for browsing and email. Video calls are sometimes fine, "
+    "sometimes a bit choppy.",
+    "Honestly it is decent. Not the speeds from the ads but usable for "
+    "most things.",
+    "Day to day it varies. Some evenings are slow, mornings are fine.",
+    "It does the job. I would like more consistency but I can live with "
+    "this.",
+    "About what I expected. Fine for streaming, just okay for gaming.",
+    "Nothing special to report. Average speeds, occasional hiccup.",
+    "Usable but uneven. Still better than my old connection.",
+};
+
+constexpr std::array<const char*, 9> kNegativeTitles = {
+    "Speeds have been disappointing lately",
+    "Anyone else seeing slower speeds?",
+    "Performance is getting worse in my cell",
+    "Frustrated with evening slowdowns",
+    "Not happy with the recent speeds",
+    "Slower every month, what is going on",
+    "Evening congestion is getting bad",
+    "Speeds dropped again this month",
+    "Is it just me or is it slower lately",
+};
+
+constexpr std::array<const char*, 9> kNegativeBodies = {
+    "Evenings are slow and video calls keep stuttering. This is getting "
+    "frustrating.",
+    "Speeds dropped noticeably over the last month. Buffering on streams "
+    "almost every night now.",
+    "It used to be fast here but lately it is sluggish and inconsistent. "
+    "Disappointed.",
+    "More and more congestion in my cell. Peak hours are bad and getting "
+    "worse.",
+    "Paying this much for slow, unstable service is annoying. Hope they "
+    "fix the congestion.",
+    "The slowdown is real. Uploads crawl and the latency spikes every "
+    "evening.",
+    "Not impressed anymore. The speeds are poor compared to launch and "
+    "support is useless.",
+    "Constant buffering tonight, slow downloads, laggy calls. Bad month.",
+    "We went from great speeds to barely usable evenings. Frustrating.",
+};
+
+constexpr std::array<const char*, 8> kVeryNegativeTitles = {
+    "This service has become unusable",
+    "Absolutely fed up with Starlink",
+    "Worst month yet, constant problems",
+    "Terrible speeds, considering cancelling",
+    "Unusable every evening now",
+    "What a disappointment this has become",
+    "Done with these awful slowdowns",
+    "Service is a mess lately",
+};
+
+constexpr std::array<const char*, 8> kVeryNegativeBodies = {
+    "Barely 5 Mbps at night, constant drops, unusable for work. This is "
+    "terrible and support does not care.",
+    "Completely fed up. Slow, unstable, disconnects every hour. Worst "
+    "internet decision I have made.",
+    "It is awful now. Unusable for video calls, horrible speeds, and no "
+    "answers from support. Cancelling soon.",
+    "Every evening is a nightmare of buffering and timeouts. Totally "
+    "unacceptable for the price.",
+    "The service degraded into garbage in my area. Horrible latency, "
+    "dead slow downloads, useless support.",
+    "Absolutely terrible month. Drops, slowdowns, failures. I regret "
+    "recommending this to anyone.",
+    "Unusable. Full stop. Paying premium prices for dead slow internet "
+    "is a ripoff.",
+    "This has become the worst connection I have ever had. Awful.",
+};
+
+// ---- Outage banks ----
+
+constexpr std::array<const char*, 8> kGlobalOutageTitles = {
+    "Starlink DOWN worldwide?",
+    "Global outage right now?",
+    "Is Starlink down for everyone else?",
+    "Complete outage here, anyone else?",
+    "Starlink offline across the whole region",
+    "Major outage - no service at all",
+    "Everything is down, dish searching",
+    "Worldwide outage happening now",
+};
+
+constexpr std::array<const char*, 8> kGlobalOutageBodies = {
+    "Total outage here. No internet, no connection, dish just says "
+    "searching. Friends two states away are down too. Terrible timing.",
+    "Service went down an hour ago and is still offline. Looks like a "
+    "global outage, reports from everywhere. Awful.",
+    "Our connection is completely dead. No service since this morning. "
+    "This outage is hitting everyone I know with Starlink.",
+    "Down here as well. The whole network seems offline. Horrible outage, "
+    "lost connection in the middle of a work call.",
+    "Internet down, app says offline, no connectivity at all. Seeing "
+    "outage reports from multiple countries. This is bad.",
+    "Dead here too. Downtime is over two hours now. This interruption is "
+    "the worst outage yet.",
+    "No internet, no signal, everything offline. Massive outage and not a "
+    "word from support. Unacceptable.",
+    "Connection dropped out and never came back. Looks like a huge outage "
+    "across the network. Frustrating.",
+};
+
+constexpr std::array<const char*, 8> kTransientOutageTitles = {
+    "Short outage in my area this morning",
+    "Brief dropouts tonight, anyone else nearby?",
+    "Lost connection for an hour here",
+    "Service down briefly during the storm",
+    "Local outage? dish went offline",
+    "Random disconnects this evening",
+    "Intermittent outage in my cell",
+    "Connection cut out for a while today",
+};
+
+constexpr std::array<const char*, 8> kTransientOutageBodies = {
+    "Went offline for about forty minutes, then came back. Probably "
+    "weather but annoying.",
+    "A few short interruptions tonight. No internet for a bit, then fine "
+    "again. Anyone else in the area seeing this?",
+    "Heavy snow and the dish dropped out twice. Brief downtime, nothing "
+    "major, back online now.",
+    "Lost signal around noon. Neighbors with Starlink were down too. Back "
+    "up after an hour.",
+    "Intermittent disconnects all evening. Not a full outage but the "
+    "drops are frequent and irritating.",
+    "Dish said searching for a while this morning. Local outage I guess. "
+    "Working again now.",
+    "Short outage here, maybe a gateway issue. Came back by itself.",
+    "Two brief dropouts today. Seems like a transient problem in my cell.",
+};
+
+// ---- Questions / off-topic ----
+
+constexpr std::array<const char*, 8> kQuestionTitles = {
+    "Best mounting option for a metal roof?",
+    "How long did your preorder take?",
+    "Router placement question",
+    "Can I use my own router with this?",
+    "Power consumption in winter?",
+    "Which ethernet adapter do you use?",
+    "Moving soon - how does address change work?",
+    "Trees to the north - will it work?",
+};
+
+constexpr std::array<const char*, 10> kQuestionBodies = {
+    // Neutral threads can mention outage vocabulary without any outage
+    // happening — the Fig 6 gate's other false-positive source.
+    "How much downtime do you folks see during storms? Trying to gauge "
+    "whether I need a backup link for the occasional blackout.",
+    "Planning for a remote cabin: how often does the dish sit there "
+    "searching after heavy snow, and how long does downtime usually last?",
+    "Planning the install this weekend and wondering what has worked for "
+    "people with a similar setup. Any advice appreciated.",
+    "Trying to decide between the ridge mount and a pole in the yard. "
+    "What did you all do?",
+    "The app shows a few obstructions. How much does that matter in "
+    "practice?",
+    "First time setting this up, want to avoid drilling twice. Photos of "
+    "your installs welcome.",
+    "Ordered in the spring, still waiting. What are current shipping "
+    "times looking like in your region?",
+    "Does the stock cable reach fifty feet or do I need the longer one?",
+    "Any tips on running the cable through a finished wall cleanly?",
+    "Considering ordering for a cabin we visit monthly. Does that work?",
+};
+
+constexpr std::array<const char*, 8> kOffTopicTitles = {
+    "Dishy in the snow this morning",
+    "Caught the launch from my backyard",
+    "My cat claimed the dish box",
+    "Sunset behind the dish, had to share",
+    "Finally got the sticker on the truck",
+    "Saw the satellite train last night",
+    "New cable management setup",
+    "Dish survived the hail storm",
+};
+
+constexpr std::array<const char*, 9> kOffTopicBodies = {
+    "Power went out for the whole street, ran the dish off the truck "
+    "inverter. Zero downtime while the neighbours had a blackout.",
+    "Just a photo post. The melt feature is doing its job nicely.",
+    "The satellite train was visible for a good minute. Pretty great "
+    "sight.",
+    "No real content here, just appreciate this little dish.",
+    "Watched the launch stream then stepped outside and saw the stack fly "
+    "over. Very cool.",
+    "Rearranged the office and the router finally has a good home.",
+    "The neighbors keep asking what the white circle is. I enjoy the "
+    "conversations.",
+    "Snow slid right off, connection stayed up. Neat.",
+    "Nothing beats rural sunsets with a side of working internet.",
+};
+
+// ---- Event reactions ----
+
+constexpr std::array<const char*, 6> kPositiveReactionTitles = {
+    "Great news today!",
+    "Finally! So glad this happened",
+    "Big announcement and I am excited",
+    "This update is excellent news",
+    "Awesome development for Starlink users",
+    "Love to see this news",
+};
+
+constexpr std::array<const char*, 6> kNegativeReactionTitles = {
+    "Not happy about this news",
+    "This announcement is disappointing",
+    "Bad news for those of us waiting",
+    "Frustrating update today",
+    "This is a letdown",
+    "Annoyed by today's news",
+};
+
+constexpr std::array<const char*, 6> kNeutralReactionTitles = {
+    "Thoughts on today's news?",
+    "Interesting announcement today",
+    "Saw the update, discussion thread",
+    "News drop - what does it mean for us",
+    "Today's announcement, details inside",
+    "Update from SpaceX today",
+};
+
+}  // namespace
+
+GeneratedText TextGenerator::experience(double polarity, double speed_mbps,
+                                        core::Rng& rng) const {
+  GeneratedText out;
+  const std::string spd = speed_str(speed_mbps);
+  if (polarity > 0.6) {
+    out.title = pick(kVeryPositiveTitles, rng);
+    out.body = std::string{pick(kVeryPositiveBodies, rng)} +
+               " Pulling around " + spd + " Mbps, excellent!";
+  } else if (polarity > 0.2) {
+    out.title = pick(kPositiveTitles, rng);
+    out.body = std::string{pick(kPositiveBodies, rng)} + " Seeing about " +
+               spd + " Mbps these days.";
+  } else if (polarity > -0.2) {
+    out.title = pick(kNeutralTitles, rng);
+    out.body = std::string{pick(kNeutralBodies, rng)} + " Around " + spd +
+               " Mbps on average.";
+  } else if (polarity > -0.6) {
+    out.title = pick(kNegativeTitles, rng);
+    out.body = std::string{pick(kNegativeBodies, rng)} + " Down to about " +
+               spd + " Mbps now.";
+  } else {
+    out.title = pick(kVeryNegativeTitles, rng);
+    out.body = std::string{pick(kVeryNegativeBodies, rng)} + " Barely " +
+               spd + " Mbps!";
+  }
+  return out;
+}
+
+GeneratedText TextGenerator::outage_report(bool confirmed_global,
+                                           bool press_covered,
+                                           core::Rng& rng) const {
+  GeneratedText out;
+  if (confirmed_global) {
+    out.title = pick(kGlobalOutageTitles, rng);
+    out.body = pick(kGlobalOutageBodies, rng);
+    if (press_covered) {
+      // Posters echo the press vocabulary once an outage makes the news.
+      static constexpr std::array<const char*, 4> kPressEchoes = {
+          " News sites confirm the outage: global downtime, service down "
+          "everywhere, users offline across regions.",
+          " Seeing articles about the outage now. Worldwide downtime "
+          "confirmed, internet down and offline for everyone.",
+          " The outage made the news: massive downtime, service down "
+          "across countries, still offline here.",
+          " Press confirms the blackout: global outage, downtime "
+          "everywhere, connections down and unreachable.",
+      };
+      out.body += pick(kPressEchoes, rng);
+    }
+  } else {
+    out.title = pick(kTransientOutageTitles, rng);
+    out.body = pick(kTransientOutageBodies, rng);
+  }
+  return out;
+}
+
+GeneratedText TextGenerator::event_reaction(const leo::NewsEvent& event,
+                                            core::Rng& rng) const {
+  GeneratedText out;
+  // Lead with the event vocabulary so the peak-day word cloud (whose top
+  // unigrams become the news-search query) surfaces it over the generic
+  // sentiment words. Redditors title their threads with the subject.
+  std::string kw1 = event.keywords.empty() ? "update" : event.keywords.front();
+  std::string kw2 = event.keywords.size() > 1
+                        ? event.keywords[static_cast<std::size_t>(
+                              rng.uniform_int(1, static_cast<std::int64_t>(
+                                                     event.keywords.size()) -
+                                                     1))]
+                        : kw1;
+  // Varied strong closers (three valence words each, so a reaction clears
+  // the strong-score threshold) without one generic word dominating the
+  // peak-day cloud.
+  // One closer mentions outage vocabulary in a *positive* context
+  // ("zero downtime") — exactly the false-positive the Fig 6 sentiment
+  // gate exists to filter. The terms are dictionary keywords that carry
+  // no lexicon valence, so the post stays strongly positive.
+  static constexpr std::array<const char*, 6> kPositiveClosers = {
+      "Really excited, love it, this is excellent!",
+      "Fantastic move, so happy, great work!",
+      "Awesome development, genuinely impressed, love this!",
+      "Great step, very excited, absolutely thrilled!",
+      "Love it, impressive, best update yet!",
+      "Amazing, love it — and zero downtime on my dish since install, "
+      "no blackout ever!"};
+  static constexpr std::array<const char*, 5> kNegativeClosers = {
+      "Really frustrating, terrible handling, very annoyed.",
+      "Awful communication, so disappointed, genuinely angry.",
+      "Horrible news, extremely frustrated, worst possible timing.",
+      "So annoyed, this is terrible, absolutely unacceptable.",
+      "Disappointing, frustrating, and honestly pathetic handling."};
+  // Posters quote the press when there is press; when the event never
+  // made the news (the uncovered outage, the roaming discovery window)
+  // they can only reference the chatter itself.
+  const std::string subject =
+      event.press_covered
+          ? event.headline
+          : kw1 + " " + kw2 + " reports all over the subreddit right now";
+  switch (event.sentiment) {
+    case leo::EventSentiment::kPositive:
+      out.title = kw1 + " - " + pick(kPositiveReactionTitles, rng);
+      out.body = "Seeing the " + kw1 + " " + kw2 +
+                 " everywhere today: " + subject + ". " +
+                 pick(kPositiveClosers, rng);
+      break;
+    case leo::EventSentiment::kNegative:
+      out.title = kw1 + " - " + pick(kNegativeReactionTitles, rng);
+      out.body = "The " + kw1 + " " + kw2 + " story: " + subject + ". " +
+                 pick(kNegativeClosers, rng);
+      break;
+    case leo::EventSentiment::kNeutral:
+      out.title = kw1 + " - " + pick(kNeutralReactionTitles, rng);
+      out.body = "For discussion: " + subject + ". Curious what the " + kw1 +
+                 " " + kw2 + " means for everyone here.";
+      break;
+  }
+  return out;
+}
+
+GeneratedText TextGenerator::question(core::Rng& rng) const {
+  return {pick(kQuestionTitles, rng), pick(kQuestionBodies, rng)};
+}
+
+GeneratedText TextGenerator::off_topic(core::Rng& rng) const {
+  return {pick(kOffTopicTitles, rng), pick(kOffTopicBodies, rng)};
+}
+
+GeneratedText TextGenerator::feature_discovery(const std::string& feature_term,
+                                               core::Rng& rng) const {
+  GeneratedText out;
+  static constexpr std::array<const char*, 5> kTitleTemplates = {
+      "%s is working for me!",
+      "Confirmed: %s works",
+      "Tried %s on a trip and it just worked",
+      "%s seems to be enabled now",
+      "Anyone else notice %s working?",
+  };
+  char buf[128];
+  std::snprintf(buf, sizeof buf, pick(kTitleTemplates, rng),
+                feature_term.c_str());
+  out.title = buf;
+  out.body = "Took the dish away from home and " + feature_term +
+             " worked perfectly. " + feature_term +
+             " enabled with no config at all. This is great news and opens "
+             "up so many uses. Amazing!";
+  return out;
+}
+
+}  // namespace usaas::social

@@ -1,0 +1,57 @@
+// Template-grammar post text generation.
+//
+// Generates the title/body of each simulated post from phrase banks whose
+// vocabulary overlaps the sentiment lexicon and the outage dictionary — so
+// the NLP pipelines face text whose *intended* polarity is known ground
+// truth but must still be recovered from words, negations, intensifiers
+// and noise (hedges, off-topic filler, typo-free but colloquial phrasing).
+#pragma once
+
+#include <string>
+
+#include "core/rng.h"
+#include "leo/events.h"
+#include "social/post.h"
+
+namespace usaas::social {
+
+/// Title + body of a generated post.
+struct GeneratedText {
+  std::string title;
+  std::string body;
+};
+
+class TextGenerator {
+ public:
+  /// Experience / speedtest-caption text expressing `polarity` in [-1, 1]
+  /// about the given downlink speed. Polarity near 0 produces hedged,
+  /// mostly-neutral text.
+  [[nodiscard]] GeneratedText experience(double polarity, double speed_mbps,
+                                         core::Rng& rng) const;
+
+  /// Outage report; `confirmed_global` posts use stronger, keyword-dense
+  /// phrasing ("global outage"), transient ones are localized and hedged.
+  /// `press_covered` reports echo the official vocabulary the news used
+  /// ("global downtime", "service down worldwide"), which is why the
+  /// reported outages of Fig 6 spike higher in keyword counts.
+  [[nodiscard]] GeneratedText outage_report(bool confirmed_global,
+                                            bool press_covered,
+                                            core::Rng& rng) const;
+
+  /// Reaction to a news event with the given keywords and sentiment.
+  [[nodiscard]] GeneratedText event_reaction(const leo::NewsEvent& event,
+                                             core::Rng& rng) const;
+
+  /// Setup / purchase question (neutral).
+  [[nodiscard]] GeneratedText question(core::Rng& rng) const;
+
+  /// Off-topic chatter (neutral to mildly positive).
+  [[nodiscard]] GeneratedText off_topic(core::Rng& rng) const;
+
+  /// Early feature-discovery post (the roaming storyline): enthusiastic,
+  /// mentions the feature term prominently.
+  [[nodiscard]] GeneratedText feature_discovery(const std::string& feature_term,
+                                                core::Rng& rng) const;
+};
+
+}  // namespace usaas::social

@@ -1,0 +1,176 @@
+#include "usaas/confounders.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "core/stats.h"
+
+namespace usaas::service {
+
+const char* to_string(Factor f) {
+  switch (f) {
+    case Factor::kLatencyQuartile: return "latency-quartile";
+    case Factor::kLossQuartile: return "loss-quartile";
+    case Factor::kPlatform: return "platform";
+    case Factor::kMeetingSize: return "meeting-size";
+  }
+  return "unknown";
+}
+
+double ConfounderReport::effect_of(Factor f) const {
+  for (const auto& e : effects) {
+    if (e.factor == f) return e.eta_squared;
+  }
+  return 0.0;
+}
+
+namespace {
+
+/// Precomputed quartile thresholds of a corpus metric.
+struct Quartiles {
+  double q1{0.0};
+  double q2{0.0};
+  double q3{0.0};
+
+  static Quartiles of(const std::vector<double>& sorted) {
+    return {core::quantile(sorted, 0.25), core::quantile(sorted, 0.50),
+            core::quantile(sorted, 0.75)};
+  }
+  [[nodiscard]] int bucket(double v) const {
+    if (v < q1) return 0;
+    if (v < q2) return 1;
+    if (v < q3) return 2;
+    return 3;
+  }
+};
+
+int meeting_size_bucket(int size) {
+  if (size <= 4) return 0;
+  if (size <= 7) return 1;
+  if (size <= 11) return 2;
+  return 3;
+}
+
+/// Group key of a session under a factor.
+int group_of(const confsim::ParticipantRecord& rec, int meeting_size,
+             Factor factor, const Quartiles& latency_q,
+             const Quartiles& loss_q) {
+  switch (factor) {
+    case Factor::kLatencyQuartile:
+      return latency_q.bucket(rec.network.latency_ms.mean);
+    case Factor::kLossQuartile:
+      return loss_q.bucket(rec.network.loss_pct.mean);
+    case Factor::kPlatform:
+      return static_cast<int>(rec.platform);
+    case Factor::kMeetingSize:
+      return meeting_size_bucket(meeting_size);
+  }
+  return 0;
+}
+
+double eta_squared(const std::map<int, std::vector<double>>& groups,
+                   std::span<const double> all) {
+  const double grand_mean = core::mean(all);
+  double between = 0.0;
+  for (const auto& [key, values] : groups) {
+    if (values.empty()) continue;
+    const double gm = core::mean(values);
+    between += static_cast<double>(values.size()) * (gm - grand_mean) *
+               (gm - grand_mean);
+  }
+  const double total =
+      core::variance(all) * static_cast<double>(all.size());
+  return total > 0.0 ? between / total : 0.0;
+}
+
+}  // namespace
+
+ConfounderReport analyze_confounders(
+    std::span<const confsim::ParticipantRecord> sessions,
+    EngagementMetric metric) {
+  if (sessions.size() < 100) {
+    throw std::invalid_argument("analyze_confounders: need >= 100 sessions");
+  }
+  std::vector<double> sorted_latency;
+  std::vector<double> sorted_loss;
+  std::vector<double> values;
+  sorted_latency.reserve(sessions.size());
+  for (const auto& rec : sessions) {
+    sorted_latency.push_back(rec.network.latency_ms.mean);
+    sorted_loss.push_back(rec.network.loss_pct.mean);
+    values.push_back(engagement_value(rec, metric));
+  }
+  std::sort(sorted_latency.begin(), sorted_latency.end());
+  std::sort(sorted_loss.begin(), sorted_loss.end());
+  const Quartiles latency_q = Quartiles::of(sorted_latency);
+  const Quartiles loss_q = Quartiles::of(sorted_loss);
+
+  ConfounderReport report;
+  report.metric = metric;
+  for (const Factor factor :
+       {Factor::kLatencyQuartile, Factor::kLossQuartile, Factor::kPlatform,
+        Factor::kMeetingSize}) {
+    std::map<int, std::vector<double>> groups;
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      groups[group_of(sessions[i], sessions[i].meeting_size, factor,
+                      latency_q, loss_q)]
+          .push_back(values[i]);
+    }
+    FactorEffect effect;
+    effect.factor = factor;
+    effect.eta_squared = eta_squared(groups, values);
+    effect.groups = groups.size();
+    report.effects.push_back(effect);
+  }
+  std::sort(report.effects.begin(), report.effects.end(),
+            [](const FactorEffect& a, const FactorEffect& b) {
+              return a.eta_squared > b.eta_squared;
+            });
+  return report;
+}
+
+StratifiedEffect latency_effect_within_meeting_size(
+    std::span<const confsim::ParticipantRecord> sessions,
+    EngagementMetric metric) {
+  if (sessions.size() < 100) {
+    throw std::invalid_argument(
+        "latency_effect_within_meeting_size: need >= 100 sessions");
+  }
+  std::vector<double> sorted_latency;
+  for (const auto& rec : sessions) {
+    sorted_latency.push_back(rec.network.latency_ms.mean);
+  }
+  std::sort(sorted_latency.begin(), sorted_latency.end());
+  const Quartiles latency_q = Quartiles::of(sorted_latency);
+
+  // stratum -> quartile -> engagement values.
+  std::map<int, std::map<int, std::vector<double>>> cells;
+  std::map<int, std::vector<double>> pooled;
+  for (const auto& rec : sessions) {
+    const int q = latency_q.bucket(rec.network.latency_ms.mean);
+    const double v = engagement_value(rec, metric);
+    cells[meeting_size_bucket(rec.meeting_size)][q].push_back(v);
+    pooled[q].push_back(v);
+  }
+
+  StratifiedEffect out;
+  if (pooled.count(0) != 0 && pooled.count(3) != 0) {
+    out.raw_drop = core::mean(pooled[0]) - core::mean(pooled[3]);
+  }
+  double acc = 0.0;
+  for (const auto& [stratum, quartiles] : cells) {
+    const auto q0 = quartiles.find(0);
+    const auto q3 = quartiles.find(3);
+    if (q0 == quartiles.end() || q3 == quartiles.end()) continue;
+    if (q0->second.size() < 20 || q3->second.size() < 20) continue;
+    acc += core::mean(q0->second) - core::mean(q3->second);
+    ++out.strata_used;
+  }
+  if (out.strata_used > 0) {
+    out.stratified_drop = acc / static_cast<double>(out.strata_used);
+  }
+  return out;
+}
+
+}  // namespace usaas::service

@@ -1,0 +1,72 @@
+// Confounder analysis: "Are networks to blame always?" (§6).
+//
+// The paper's first future-work question: network conditions correlate
+// with user actions, but platform, meeting size, and long-term
+// conditioning shape behaviour too, and "an effective USaaS should take
+// into account all such confounders." This module quantifies each
+// observable factor's share of engagement variance (a one-way
+// eta-squared decomposition over factor strata) and checks whether the
+// network effect survives *within* strata — the difference between a
+// confounded correlation and a real one.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "confsim/call.h"
+#include "usaas/signals.h"
+
+namespace usaas::service {
+
+/// The observable grouping factors of the call corpus.
+enum class Factor {
+  kLatencyQuartile,   // network: mean session latency, corpus quartiles
+  kLossQuartile,      // network: mean session loss
+  kPlatform,
+  kMeetingSize,       // 3-4, 5-7, 8-11, 12+
+};
+
+[[nodiscard]] const char* to_string(Factor f);
+
+/// One factor's variance share for one engagement metric.
+struct FactorEffect {
+  Factor factor{Factor::kLatencyQuartile};
+  /// Eta-squared: between-group variance / total variance, in [0, 1].
+  double eta_squared{0.0};
+  /// Number of strata actually populated.
+  std::size_t groups{0};
+};
+
+/// The full report for one engagement metric.
+struct ConfounderReport {
+  EngagementMetric metric{EngagementMetric::kPresence};
+  std::vector<FactorEffect> effects;  // sorted by eta_squared, descending
+
+  [[nodiscard]] double effect_of(Factor f) const;
+};
+
+/// Computes the eta-squared decomposition over the sessions. Requires at
+/// least 100 sessions (throws std::invalid_argument otherwise).
+[[nodiscard]] ConfounderReport analyze_confounders(
+    std::span<const confsim::ParticipantRecord> sessions,
+    EngagementMetric metric);
+
+/// Stratified network effect: the engagement drop across latency
+/// quartiles computed *within* each meeting-size stratum, then averaged.
+/// If the raw latency effect were a meeting-size artifact, this would
+/// collapse toward zero.
+struct StratifiedEffect {
+  /// Raw drop (percentage points) between the first and last latency
+  /// quartile, all sessions pooled.
+  double raw_drop{0.0};
+  /// Same drop averaged over within-stratum estimates.
+  double stratified_drop{0.0};
+  std::size_t strata_used{0};
+};
+
+[[nodiscard]] StratifiedEffect latency_effect_within_meeting_size(
+    std::span<const confsim::ParticipantRecord> sessions,
+    EngagementMetric metric);
+
+}  // namespace usaas::service

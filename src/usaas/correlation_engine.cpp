@@ -1,0 +1,144 @@
+#include "usaas/correlation_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/correlation.h"
+#include "core/stats.h"
+
+namespace usaas::service {
+
+double EngagementCurve::relative_drop_percent() const {
+  if (points.size() < 2) return 0.0;
+  double best = 0.0;
+  for (const CurvePoint& p : points) best = std::max(best, p.engagement);
+  if (best <= 0.0) return 0.0;
+  return 100.0 * (best - points.back().engagement) / best;
+}
+
+EngagementCurve EngagementCurve::normalized() const {
+  EngagementCurve out = *this;
+  double best = 0.0;
+  for (const CurvePoint& p : out.points) best = std::max(best, p.engagement);
+  if (best <= 0.0) return out;
+  for (CurvePoint& p : out.points) p.engagement = 100.0 * p.engagement / best;
+  return out;
+}
+
+void CorrelationEngine::ingest(std::span<const confsim::CallRecord> calls) {
+  for (const auto& call : calls) ingest(call);
+}
+
+void CorrelationEngine::ingest(const confsim::CallRecord& call) {
+  for (const auto& p : call.participants) sessions_.push_back(p);
+}
+
+namespace {
+
+netsim::NetworkConditions aggregate_conditions(
+    const confsim::ParticipantRecord& rec, SessionAggregate agg) {
+  return agg == SessionAggregate::kP95 ? rec.network.p95_conditions()
+                                       : rec.network.mean_conditions();
+}
+
+}  // namespace
+
+EngagementCurve CorrelationEngine::engagement_curve(
+    const SweepSpec& spec, EngagementMetric engagement,
+    const ParticipantFilter& filter) const {
+  core::Binner1D binner{spec.lo, spec.hi, spec.bins};
+  for (const auto& rec : sessions_) {
+    if (filter && !filter(rec)) continue;
+    const netsim::NetworkConditions c =
+        aggregate_conditions(rec, spec.aggregate);
+    if (spec.control_others &&
+        !netsim::others_in_control(c, spec.metric, spec.control)) {
+      continue;
+    }
+    binner.add(netsim::metric_value(c, spec.metric),
+               engagement_value(rec, engagement));
+  }
+  EngagementCurve curve;
+  curve.network_metric = spec.metric;
+  curve.engagement_metric = engagement;
+  for (const core::Bin& b : binner.bins()) {
+    curve.points.push_back({b.center(), b.mean_y, b.count});
+  }
+  return curve;
+}
+
+std::vector<CurvePoint> CorrelationEngine::dropoff_curve(
+    const SweepSpec& spec, const ParticipantFilter& filter) const {
+  core::Binner1D binner{spec.lo, spec.hi, spec.bins};
+  for (const auto& rec : sessions_) {
+    if (filter && !filter(rec)) continue;
+    const netsim::NetworkConditions c =
+        aggregate_conditions(rec, spec.aggregate);
+    if (spec.control_others &&
+        !netsim::others_in_control(c, spec.metric, spec.control)) {
+      continue;
+    }
+    binner.add(netsim::metric_value(c, spec.metric),
+               rec.dropped_early ? 1.0 : 0.0);
+  }
+  std::vector<CurvePoint> out;
+  for (const core::Bin& b : binner.bins()) {
+    out.push_back({b.center(), b.mean_y, b.count});
+  }
+  return out;
+}
+
+core::Grid2D CorrelationEngine::compounding_grid(EngagementMetric engagement,
+                                                 double latency_hi_ms,
+                                                 std::size_t lat_bins,
+                                                 double loss_hi_pct,
+                                                 std::size_t loss_bins) const {
+  core::Grid2D grid{0.0, latency_hi_ms, lat_bins, 0.0, loss_hi_pct, loss_bins};
+  for (const auto& rec : sessions_) {
+    const netsim::NetworkConditions c = rec.network.mean_conditions();
+    grid.add(c.latency.ms(), c.loss.percent(),
+             engagement_value(rec, engagement));
+  }
+  return grid;
+}
+
+std::optional<CorrelationEngine::MosCorrelation>
+CorrelationEngine::mos_correlation(EngagementMetric engagement,
+                                   std::size_t min_samples) const {
+  std::vector<double> eng;
+  std::vector<double> mos;
+  for (const auto& rec : sessions_) {
+    if (!rec.mos) continue;
+    eng.push_back(engagement_value(rec, engagement));
+    mos.push_back(rec.mos->score());
+  }
+  if (eng.size() < min_samples) return std::nullopt;
+
+  MosCorrelation out;
+  out.rated_sessions = eng.size();
+  out.pearson = core::pearson(eng, mos);
+  out.spearman = core::spearman(eng, mos);
+
+  // Decile curve: mean MOS per engagement decile.
+  std::vector<std::size_t> order(eng.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return eng[a] < eng[b]; });
+  const std::size_t deciles = 10;
+  for (std::size_t dec = 0; dec < deciles; ++dec) {
+    const std::size_t lo = dec * order.size() / deciles;
+    const std::size_t hi = (dec + 1) * order.size() / deciles;
+    if (hi <= lo) continue;
+    double eng_acc = 0.0;
+    double mos_acc = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      eng_acc += eng[order[i]];
+      mos_acc += mos[order[i]];
+    }
+    const auto n = static_cast<double>(hi - lo);
+    out.decile_curve.push_back({eng_acc / n, mos_acc / n, hi - lo});
+  }
+  return out;
+}
+
+}  // namespace usaas::service

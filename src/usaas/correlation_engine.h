@@ -1,0 +1,116 @@
+// The engagement-vs-network correlation engine: §3's analysis pipeline.
+//
+// Consumes participant records exactly as the paper's analysts did —
+// session-aggregated network metrics + engagement actions + sampled MOS —
+// and produces:
+//   * binned engagement curves per network metric with the paper's
+//     "other metrics roughly constant" confounder filter (Fig 1, Fig 3);
+//   * the 2-D latency x loss compounding grid (Fig 2);
+//   * engagement-vs-MOS correlations on the sampled-feedback subset
+//     (Fig 4).
+// It never reads the behaviour model's parameters: the planted curves
+// must be recovered from data.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "confsim/call.h"
+#include "core/histogram.h"
+#include "netsim/conditions.h"
+#include "usaas/signals.h"
+
+namespace usaas::service {
+
+/// One point of a recovered engagement curve.
+struct CurvePoint {
+  double metric_value{0.0};   // bin center, natural units (ms / % / Mbps)
+  double engagement{0.0};     // mean engagement in bin (percentage points)
+  std::size_t sessions{0};
+};
+
+struct EngagementCurve {
+  netsim::Metric network_metric{netsim::Metric::kLatency};
+  EngagementMetric engagement_metric{EngagementMetric::kPresence};
+  std::vector<CurvePoint> points;
+
+  /// Engagement at the best (first) populated bin minus at the worst
+  /// (last) populated bin — the paper's "drops by N%" statements, measured
+  /// relative to the curve's own maximum (normalized like Fig 1's y-axis).
+  [[nodiscard]] double relative_drop_percent() const;
+
+  /// Curve normalized so its max = 100 (the paper's plotting convention).
+  [[nodiscard]] EngagementCurve normalized() const;
+};
+
+/// Which session aggregate the analysis reads (§3.1: "we report results
+/// using the mean but similar trends hold for P95 values as well").
+enum class SessionAggregate {
+  kMean,
+  kP95,
+};
+
+struct SweepSpec {
+  netsim::Metric metric{netsim::Metric::kLatency};
+  double lo{0.0};
+  double hi{300.0};
+  std::size_t bins{15};
+  netsim::ControlWindows control{};
+  /// Apply the others-in-control confounder filter.
+  bool control_others{true};
+  SessionAggregate aggregate{SessionAggregate::kMean};
+};
+
+/// Optional row filter (e.g. by platform for Fig 3).
+using ParticipantFilter =
+    std::function<bool(const confsim::ParticipantRecord&)>;
+
+class CorrelationEngine {
+ public:
+  CorrelationEngine() = default;
+
+  /// Ingests calls (only participants passing the enterprise filter's
+  /// per-call requirements are assumed; callers pre-filter calls).
+  void ingest(std::span<const confsim::CallRecord> calls);
+  void ingest(const confsim::CallRecord& call);
+
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+
+  /// Fig 1 / Fig 3: binned engagement curve over one network metric.
+  [[nodiscard]] EngagementCurve engagement_curve(
+      const SweepSpec& spec, EngagementMetric engagement,
+      const ParticipantFilter& filter = nullptr) const;
+
+  /// Early-drop-off rate (fraction) binned over one network metric.
+  [[nodiscard]] std::vector<CurvePoint> dropoff_curve(
+      const SweepSpec& spec, const ParticipantFilter& filter = nullptr) const;
+
+  /// Fig 2: latency x loss grid of mean engagement.
+  [[nodiscard]] core::Grid2D compounding_grid(
+      EngagementMetric engagement, double latency_hi_ms, std::size_t lat_bins,
+      double loss_hi_pct, std::size_t loss_bins) const;
+
+  /// Fig 4: correlation between an engagement metric and MOS over the
+  /// MOS-sampled subset. Returns nullopt when fewer than `min_samples`
+  /// rated sessions exist.
+  struct MosCorrelation {
+    double pearson{0.0};
+    double spearman{0.0};
+    std::size_t rated_sessions{0};
+    /// Mean MOS per engagement decile (the Fig 4 plot series).
+    std::vector<CurvePoint> decile_curve;
+  };
+  [[nodiscard]] std::optional<MosCorrelation> mos_correlation(
+      EngagementMetric engagement, std::size_t min_samples = 50) const;
+
+  [[nodiscard]] std::span<const confsim::ParticipantRecord> sessions() const {
+    return sessions_;
+  }
+
+ private:
+  std::vector<confsim::ParticipantRecord> sessions_;
+};
+
+}  // namespace usaas::service

@@ -1,0 +1,36 @@
+#include "usaas/early_detector.h"
+
+namespace usaas::service {
+
+EarlyFeatureDetector::EarlyFeatureDetector(nlp::TrendMinerConfig config)
+    : config_{config} {}
+
+std::vector<EarlyDetection> EarlyFeatureDetector::detect(
+    std::span<const social::Post> posts) const {
+  nlp::TrendMiner miner{config_};
+  for (const social::Post& post : posts) {
+    miner.add_document({post.date, post.full_text(), post.popularity()});
+  }
+  std::vector<EarlyDetection> out;
+  for (const nlp::EmergingTopic& t : miner.detect()) {
+    out.push_back({t.term, t.first_detected, t.burst_score, t.weight});
+  }
+  return out;
+}
+
+std::optional<EarlyFeatureDetector::LeadTime>
+EarlyFeatureDetector::lead_time_for(std::span<const social::Post> posts,
+                                    const std::string& term,
+                                    const core::Date& announcement) const {
+  const auto detections = detect(posts);
+  for (const EarlyDetection& d : detections) {  // earliest first
+    if (d.term.find(term) == std::string::npos) continue;
+    LeadTime lt;
+    lt.detection = d;
+    lt.days_before_announcement = d.first_detected.days_until(announcement);
+    return lt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace usaas::service

@@ -1,0 +1,50 @@
+// Early feature/issue discovery from popular discussions.
+//
+// §4.1: the roaming feature was detectable on r/Starlink ~2 weeks before
+// the CEO's announcement "using a systematic pipeline which mines popular
+// discussions (using upvotes and comment numbers)". EarlyFeatureDetector
+// wraps nlp::TrendMiner with the posts-to-documents adapter and a
+// lead-time report against a known announcement date.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/date.h"
+#include "nlp/trends.h"
+#include "social/post.h"
+
+namespace usaas::service {
+
+struct EarlyDetection {
+  std::string term;
+  core::Date first_detected;
+  double burst_score{0.0};
+  double weight{0.0};
+};
+
+class EarlyFeatureDetector {
+ public:
+  explicit EarlyFeatureDetector(nlp::TrendMinerConfig config = {});
+
+  /// Mines the posts and returns every emergent topic, earliest first.
+  [[nodiscard]] std::vector<EarlyDetection> detect(
+      std::span<const social::Post> posts) const;
+
+  /// Finds the earliest detection containing `term` (substring match on
+  /// the mined n-gram) and reports the lead time vs the announcement.
+  struct LeadTime {
+    EarlyDetection detection;
+    std::int64_t days_before_announcement{0};
+  };
+  [[nodiscard]] std::optional<LeadTime> lead_time_for(
+      std::span<const social::Post> posts, const std::string& term,
+      const core::Date& announcement) const;
+
+ private:
+  nlp::TrendMinerConfig config_;
+};
+
+}  // namespace usaas::service

@@ -1,0 +1,112 @@
+#include "usaas/fulcrum.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/stats.h"
+
+namespace usaas::service {
+
+FulcrumTracker::FulcrumTracker(const nlp::SentimentAnalyzer& analyzer,
+                               FulcrumConfig config)
+    : analyzer_{&analyzer}, config_{config} {}
+
+std::vector<FulcrumMonth> FulcrumTracker::analyze(
+    std::span<const social::Post> posts) const {
+  stats_ = {};
+  core::Rng ocr_rng{config_.ocr_seed};
+  const ocr::NoisyOcr channel{config_.ocr_noise};
+  const ocr::ReportExtractor extractor;
+
+  core::MonthlyAggregator speeds;
+  core::MonthlyAggregator uplinks;
+  core::MonthlyAggregator latencies;
+  // month key -> (strong_pos, strong_neg) among speed-test posts.
+  std::map<int, std::pair<std::size_t, std::size_t>> sentiments;
+
+  for (const social::Post& post : posts) {
+    if (!post.screenshot) continue;
+
+    // OCR the screenshot and try to extract the report.
+    const std::string ocr_text = channel.read(*post.screenshot, ocr_rng);
+    const auto report = extractor.extract(ocr_text, &stats_);
+    if (report) {
+      speeds.add(post.date, report->download_mbps);
+      if (report->upload_mbps) uplinks.add(post.date, *report->upload_mbps);
+      if (report->latency_ms) latencies.add(post.date, *report->latency_ms);
+    }
+
+    // Sentiment of the sharing post (the caption text, not the numbers).
+    const nlp::SentimentScores s = analyzer_->score(post.full_text());
+    const int key = post.date.year() * 12 + (post.date.month() - 1);
+    if (s.strong_positive()) ++sentiments[key].first;
+    if (s.strong_negative()) ++sentiments[key].second;
+  }
+
+  const auto med = speeds.medians();
+  const auto med95 = speeds.subsampled_medians(0.95, config_.subsample_seed);
+  const auto med90 =
+      speeds.subsampled_medians(0.90, config_.subsample_seed + 1);
+
+  std::vector<FulcrumMonth> out;
+  out.reserve(med.size());
+  for (std::size_t i = 0; i < med.size(); ++i) {
+    FulcrumMonth m;
+    m.year = med[i].year;
+    m.month = med[i].month;
+    m.reports = med[i].count;
+    m.median_downlink_mbps = med[i].value;
+    m.median_95pct_sample = med95[i].value;
+    m.median_90pct_sample = med90[i].value;
+    for (const auto& up : uplinks.medians()) {
+      if (up.year == m.year && up.month == m.month) m.median_uplink_mbps = up.value;
+    }
+    for (const auto& lat : latencies.medians()) {
+      if (lat.year == m.year && lat.month == m.month) m.median_latency_ms = lat.value;
+    }
+    const auto it = sentiments.find(m.year * 12 + (m.month - 1));
+    if (it != sentiments.end()) {
+      m.strong_positive = it->second.first;
+      m.strong_negative = it->second.second;
+      const auto total = m.strong_positive + m.strong_negative;
+      if (total > 0) {
+        m.pos_score = static_cast<double>(m.strong_positive) /
+                      static_cast<double>(total);
+      }
+    }
+    out.push_back(m);
+  }
+  return out;
+}
+
+core::DailySeries FulcrumTracker::expectation_series(
+    std::span<const social::Post> posts, core::Date first,
+    core::Date last) const {
+  // Per-day median of extracted speeds.
+  core::Rng ocr_rng{config_.ocr_seed};
+  const ocr::NoisyOcr channel{config_.ocr_noise};
+  const ocr::ReportExtractor extractor;
+  std::map<std::int64_t, std::vector<double>> by_day;
+  for (const social::Post& post : posts) {
+    if (!post.screenshot) continue;
+    if (post.date < first || last < post.date) continue;
+    const auto report =
+        extractor.extract(channel.read(*post.screenshot, ocr_rng), nullptr);
+    if (report) by_day[post.date.days_since_epoch()].push_back(report->download_mbps);
+  }
+
+  core::DailySeries daily{first, last};
+  double carry = 0.0;
+  bool have_carry = false;
+  core::for_each_day(first, last, [&](const core::Date& d) {
+    const auto it = by_day.find(d.days_since_epoch());
+    if (it != by_day.end() && !it->second.empty()) {
+      carry = core::median(it->second);
+      have_carry = true;
+    }
+    daily.set(d, have_carry ? carry : 0.0);
+  });
+  return daily.ewma(config_.adaptation_alpha);
+}
+
+}  // namespace usaas::service

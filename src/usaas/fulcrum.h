@@ -1,0 +1,85 @@
+// The "shifting fulcrum" tracker: the Fig 7 pipeline.
+//
+// §4.2's method end to end:
+//   * take speed-test screenshot posts, run OCR + extraction, keep the
+//     usable reports (the paper found ~1750);
+//   * monthly median downlink, with 90 %/95 % subsample stability checks;
+//   * sentiment-score the posts that *share* speed tests, keep strong
+//     scores, and compute Pos = strong_pos / (strong_pos + strong_neg)
+//     per month;
+//   * model the adaptation baseline (EWMA of experienced speeds) that
+//     explains why Pos tracks speed *changes* rather than levels.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/date.h"
+#include "core/rng.h"
+#include "core/timeseries.h"
+#include "nlp/sentiment.h"
+#include "ocr/extract.h"
+#include "ocr/noisy_ocr.h"
+#include "social/post.h"
+
+namespace usaas::service {
+
+/// One month's row of the Fig 7 table.
+struct FulcrumMonth {
+  int year{0};
+  int month{0};
+  std::size_t reports{0};
+  double median_downlink_mbps{0.0};
+  /// Medians of the other OCR-extracted fields (0 when no report in the
+  /// month carried the field — uplink/latency are optional per provider).
+  double median_uplink_mbps{0.0};
+  double median_latency_ms{0.0};
+  /// Subsampled medians (stability check).
+  double median_95pct_sample{0.0};
+  double median_90pct_sample{0.0};
+  /// Normalized strong-positive share of strong-scored speed-test posts;
+  /// nullopt when the month had no strong-scored posts.
+  std::optional<double> pos_score;
+  std::size_t strong_positive{0};
+  std::size_t strong_negative{0};
+};
+
+struct FulcrumConfig {
+  ocr::OcrNoiseParams ocr_noise{};
+  std::uint64_t ocr_seed{4242};
+  std::uint64_t subsample_seed{99};
+  /// EWMA factor of the adaptation (expectation) model fitted to the
+  /// extracted reports — used by expectation_series().
+  double adaptation_alpha{0.035};
+};
+
+class FulcrumTracker {
+ public:
+  explicit FulcrumTracker(const nlp::SentimentAnalyzer& analyzer,
+                          FulcrumConfig config = {});
+
+  /// Runs the full pipeline over the posts. Only speed-test posts carrying
+  /// screenshots enter OCR; extraction failures are dropped (and counted).
+  [[nodiscard]] std::vector<FulcrumMonth> analyze(
+      std::span<const social::Post> posts) const;
+
+  /// Extraction statistics of the last analyze() call.
+  [[nodiscard]] const ocr::ExtractionStats& extraction_stats() const {
+    return stats_;
+  }
+
+  /// The adaptation baseline implied by the extracted reports: a daily
+  /// EWMA over per-day median extracted speeds. This is the "fulcrum" the
+  /// community measures against.
+  [[nodiscard]] core::DailySeries expectation_series(
+      std::span<const social::Post> posts, core::Date first,
+      core::Date last) const;
+
+ private:
+  const nlp::SentimentAnalyzer* analyzer_;  // non-owning
+  FulcrumConfig config_;
+  mutable ocr::ExtractionStats stats_;
+};
+
+}  // namespace usaas::service

@@ -1,0 +1,189 @@
+#include "usaas/isp_bridge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/correlation.h"
+#include "core/stats.h"
+#include "netsim/profiles.h"
+
+namespace usaas::service {
+
+IspCoupledCallGenerator::IspCoupledCallGenerator(leo::SpeedModel speed_model,
+                                                 leo::OutageModel outage_model,
+                                                 IspCallConfig config)
+    : speed_model_{std::move(speed_model)},
+      outage_model_{std::move(outage_model)},
+      config_{config},
+      behavior_model_{config_.behavior, config_.mitigation},
+      mos_model_{config_.mos} {
+  if (config_.last_day < config_.first_day) {
+    throw std::invalid_argument("IspCallConfig: last_day < first_day");
+  }
+  if (config_.calls_per_day <= 0.0) {
+    throw std::invalid_argument("IspCallConfig: calls_per_day <= 0");
+  }
+}
+
+netsim::NetworkConditions IspCoupledCallGenerator::conditions_for(
+    const core::Date& d, core::Rng& rng) const {
+  const double affected = outage_model_.affected_fraction_on(d);
+  const leo::SpeedSample sample = speed_model_.draw_test(d, rng, affected);
+
+  netsim::NetworkConditions c;
+  c.latency = core::Milliseconds{sample.latency_ms};
+  // The call sees a slice of the subscriber's downlink.
+  c.bandwidth = core::Mbps{std::clamp(
+      sample.downlink_mbps * config_.call_bandwidth_share, 0.05, 4.0)};
+  // LEO links are jittery (handovers); congestion makes it worse.
+  const double load = 1.0 / (1.0 + speed_model_.supply_demand_ratio(d));
+  c.jitter = core::Milliseconds{rng.lognormal(0.9, 0.4) * (1.0 + 2.0 * load)};
+  // Loss: a clean LEO baseline, severe during an outage window.
+  double loss_pct = rng.exponential(1.0 / 0.15);
+  if (sample.during_outage) {
+    loss_pct += rng.uniform(5.0, 40.0);
+    c.latency = core::Milliseconds{c.latency.ms() + rng.uniform(100.0, 800.0)};
+  }
+  c.loss = core::clamp_percent(core::Percent{loss_pct});
+  return c;
+}
+
+std::vector<confsim::CallRecord> IspCoupledCallGenerator::generate() const {
+  std::vector<confsim::CallRecord> out;
+  core::Rng root{config_.seed};
+  std::uint64_t call_id = 0;
+
+  core::for_each_day(config_.first_day, config_.last_day,
+                     [&](const core::Date& d) {
+    core::Rng day_rng =
+        root.split(static_cast<std::uint64_t>(d.days_since_epoch()));
+    const auto n_calls = day_rng.poisson(config_.calls_per_day);
+    for (std::int64_t i = 0; i < n_calls; ++i) {
+      confsim::CallRecord call;
+      call.call_id = call_id++;
+      call.start.date = d;
+      call.start.time.hour = static_cast<int>(day_rng.uniform_int(9, 19));
+      call.start.time.minute = static_cast<int>(day_rng.uniform_int(0, 59));
+      call.scheduled_minutes = static_cast<int>(
+          std::clamp(day_rng.lognormal(3.4, 0.35), 5.0, 120.0));
+      const int size =
+          3 + static_cast<int>(std::min<std::int64_t>(
+                  day_rng.poisson(config_.mean_extra_participants),
+                  config_.max_participants - 3));
+      for (int p = 0; p < size; ++p) {
+        confsim::ParticipantRecord rec;
+        rec.user_id = call.call_id * 64 + static_cast<std::uint64_t>(p);
+        rec.meeting_size = size;
+        rec.platform = confsim::Platform::kWindowsPc;
+        rec.access = netsim::AccessTechnology::kLeoSatellite;
+
+        const netsim::NetworkConditions lived = conditions_for(d, day_rng);
+        // Session summary: the day's conditions are the session means (a
+        // fast-mode summary like confsim's, centred on the lived values).
+        rec.network.latency_ms = {lived.latency.ms(), lived.latency.ms(),
+                                  lived.latency.ms() * 1.9};
+        rec.network.loss_pct = {lived.loss.percent(), lived.loss.percent(),
+                                lived.loss.percent() * 2.6};
+        rec.network.jitter_ms = {lived.jitter.ms(), lived.jitter.ms(),
+                                 lived.jitter.ms() * 2.2};
+        rec.network.bandwidth_mbps = {lived.bandwidth.mbps(),
+                                      lived.bandwidth.mbps(),
+                                      lived.bandwidth.mbps() * 0.6};
+        rec.network.sample_count =
+            static_cast<std::size_t>(call.scheduled_minutes * 12);
+        rec.network.duration_seconds = call.scheduled_minutes * 60.0;
+
+        confsim::BehaviorContext ctx;
+        ctx.platform = rec.platform;
+        ctx.meeting_size = size;
+        ctx.conditioning = 1.0 + day_rng.uniform(-0.2, 0.2);
+        const auto eng = behavior_model_.realize(lived, ctx, day_rng);
+        rec.presence_pct = eng.presence_pct;
+        rec.cam_on_pct = eng.cam_on_pct;
+        rec.mic_on_pct = eng.mic_on_pct;
+        rec.dropped_early = eng.dropped_early;
+        const auto dmg = behavior_model_.damage(lived, ctx);
+        rec.mos = mos_model_.maybe_collect(
+            dmg.experience, mos_model_.draw_user_bias(day_rng), day_rng);
+        call.participants.push_back(std::move(rec));
+      }
+      out.push_back(std::move(call));
+    }
+  });
+  return out;
+}
+
+const char* to_string(DayClass c) {
+  switch (c) {
+    case DayClass::kQuiet: return "quiet";
+    case DayClass::kCorroborated: return "corroborated";
+    case DayClass::kSocialOnly: return "social-only";
+    case DayClass::kImplicitOnly: return "implicit-only";
+  }
+  return "unknown";
+}
+
+CorroborationReport corroborate(std::span<const confsim::CallRecord> calls,
+                                std::span<const social::Post> posts,
+                                core::Date first, core::Date last,
+                                const nlp::SentimentAnalyzer& analyzer,
+                                const CorroborationConfig& config) {
+  if (last < first) throw std::invalid_argument("corroborate: last < first");
+  CorroborationReport report{first, last};
+
+  // Implicit side: daily early-drop-off rate.
+  core::DailySeries drops{first, last};
+  core::DailySeries sessions{first, last};
+  for (const auto& call : calls) {
+    if (!sessions.contains(call.start.date)) continue;
+    for (const auto& rec : call.participants) {
+      sessions.add(call.start.date, 1.0);
+      drops.add(call.start.date, rec.dropped_early ? 1.0 : 0.0);
+    }
+  }
+  core::for_each_day(first, last, [&](const core::Date& d) {
+    const double n = sessions.at(d);
+    report.implicit_dropoff.set(d, n > 0.0 ? drops.at(d) / n : 0.0);
+  });
+
+  // Explicit side: outage keywords in negative threads.
+  const auto& dict = nlp::KeywordDictionary::outage_dictionary();
+  for (const auto& post : posts) {
+    if (!report.social_keywords.contains(post.date)) continue;
+    const auto hits = dict.count_occurrences(post.full_text());
+    if (hits == 0) continue;
+    if (analyzer.score(post.full_text()).negative < 0.4) continue;
+    report.social_keywords.add(post.date, static_cast<double>(hits));
+  }
+
+  report.correlation = core::pearson(report.implicit_dropoff.values(),
+                                     report.social_keywords.values());
+
+  // Spike thresholds from each series' own moments.
+  const auto implicit_vals = report.implicit_dropoff.values();
+  const auto social_vals = report.social_keywords.values();
+  const double imp_thresh =
+      std::max(config.implicit_min_rate,
+               core::mean(implicit_vals) +
+                   config.implicit_z * core::stddev(implicit_vals));
+  const double soc_thresh =
+      std::max(config.social_min_count,
+               core::mean(social_vals) +
+                   config.social_z * core::stddev(social_vals));
+
+  core::for_each_day(first, last, [&](const core::Date& d) {
+    const bool implicit_spike = report.implicit_dropoff.at(d) > imp_thresh;
+    const bool social_spike = report.social_keywords.at(d) > soc_thresh;
+    if (implicit_spike && social_spike) {
+      report.corroborated_days.push_back(d);
+    } else if (social_spike) {
+      report.social_only_days.push_back(d);
+    } else if (implicit_spike) {
+      report.implicit_only_days.push_back(d);
+    }
+  });
+  return report;
+}
+
+}  // namespace usaas::service

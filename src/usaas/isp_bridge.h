@@ -1,0 +1,114 @@
+// The ISP bridge: conferencing sessions whose network conditions follow
+// an ISP's actual state.
+//
+// §5's flagship example: "If SpaceX Starlink ... wants to understand how
+// users on their network are perceiving the MS Teams experience, USaaS
+// could filter online user actions and MOS on MS Teams pertaining to
+// Starlink and the offline feedback on the same on social media ... User
+// actions could be used to corroborate the user posts on social media."
+//
+// IspCoupledCallGenerator produces calls whose participants ride the LEO
+// substrate: per-day conditions derive from the SpeedModel (congestion ->
+// lower available bandwidth, higher latency) and the OutageModel (affected
+// users see severe loss or fail to stay in the call). corroborate() then
+// lines the implicit daily series up against the social side.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "confsim/behavior.h"
+#include "confsim/call.h"
+#include "confsim/mos.h"
+#include "core/timeseries.h"
+#include "leo/outages.h"
+#include "leo/speed.h"
+#include "nlp/keywords.h"
+#include "nlp/sentiment.h"
+#include "social/post.h"
+
+namespace usaas::service {
+
+struct IspCallConfig {
+  std::uint64_t seed{2022};
+  core::Date first_day{2022, 1, 1};
+  core::Date last_day{2022, 12, 31};
+  /// Calls with at least one Starlink participant per day.
+  double calls_per_day{40.0};
+  /// Meeting sizes as in the enterprise corpus.
+  double mean_extra_participants{3.0};
+  int max_participants{25};
+  confsim::BehaviorParams behavior{confsim::default_behavior_params()};
+  netsim::MitigationConfig mitigation{};
+  confsim::MosModelParams mos{};
+  /// Fraction of the subscriber's downlink available to the call.
+  double call_bandwidth_share{0.06};
+};
+
+/// Generates ISP-coupled calls: every participant is a subscriber of the
+/// modeled ISP; conditions follow the constellation's congestion state and
+/// outage process day by day.
+class IspCoupledCallGenerator {
+ public:
+  IspCoupledCallGenerator(leo::SpeedModel speed_model,
+                          leo::OutageModel outage_model, IspCallConfig config);
+
+  [[nodiscard]] std::vector<confsim::CallRecord> generate() const;
+
+ private:
+  [[nodiscard]] netsim::NetworkConditions conditions_for(
+      const core::Date& d, core::Rng& rng) const;
+
+  leo::SpeedModel speed_model_;
+  leo::OutageModel outage_model_;
+  IspCallConfig config_;
+  confsim::UserBehaviorModel behavior_model_;
+  confsim::MosModel mos_model_;
+};
+
+/// One day classified by which side saw trouble.
+enum class DayClass {
+  kQuiet,
+  kCorroborated,   // both implicit and social sides spiked
+  kSocialOnly,     // posts complained, calls looked fine
+  kImplicitOnly,   // calls degraded, subreddit quiet
+};
+
+[[nodiscard]] const char* to_string(DayClass c);
+
+struct CorroborationReport {
+  core::Date first;
+  core::Date last;
+  /// Daily implicit distress: early-drop-off rate of the ISP's sessions.
+  core::DailySeries implicit_dropoff;
+  /// Daily explicit distress: outage-keyword count in negative threads.
+  core::DailySeries social_keywords;
+  /// Pearson correlation between the two daily series.
+  double correlation{0.0};
+  std::vector<core::Date> corroborated_days;
+  std::vector<core::Date> social_only_days;
+  std::vector<core::Date> implicit_only_days;
+
+  CorroborationReport(core::Date f, core::Date l)
+      : first{f}, last{l}, implicit_dropoff{f, l}, social_keywords{f, l} {}
+};
+
+struct CorroborationConfig {
+  /// A day is an implicit spike when its drop-off rate exceeds
+  /// mean + k * stddev of the series (and a floor).
+  double implicit_z{3.0};
+  double implicit_min_rate{0.05};
+  /// Social spike thresholding, same scheme on keyword counts.
+  double social_z{3.0};
+  double social_min_count{8.0};
+};
+
+/// Lines up the implicit side (ISP-coupled calls) with the explicit side
+/// (the subreddit) and classifies each day.
+[[nodiscard]] CorroborationReport corroborate(
+    std::span<const confsim::CallRecord> calls,
+    std::span<const social::Post> posts, core::Date first, core::Date last,
+    const nlp::SentimentAnalyzer& analyzer,
+    const CorroborationConfig& config = {});
+
+}  // namespace usaas::service

@@ -1,0 +1,62 @@
+// MOS prediction from engagement + network conditions (§5).
+//
+// The paper's motivation: MOS is sampled (0.1-1 % of sessions) and
+// delayed, while engagement signals exist for every session. If MOS is
+// predictable from engagement + network metrics, USaaS can backfill call
+// quality for the unsampled 99 %. MosPredictor trains a ridge-regularized
+// linear model on the rated subset and evaluates on held-out raters,
+// against two baselines (constant mean; network-metrics-only).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "confsim/call.h"
+#include "core/regression.h"
+
+namespace usaas::service {
+
+struct MosPredictorConfig {
+  double ridge{1.0};
+  /// Fraction of rated sessions held out for evaluation.
+  double holdout_fraction{0.3};
+  std::uint64_t split_seed{2023};
+};
+
+/// Evaluation of one model variant.
+struct MosEvaluation {
+  core::RegressionMetrics full;          // engagement + network features
+  core::RegressionMetrics network_only;  // network features only
+  core::RegressionMetrics engagement_only;
+  core::RegressionMetrics mean_baseline; // predict the training mean
+  std::size_t train_sessions{0};
+  std::size_t test_sessions{0};
+};
+
+class MosPredictor {
+ public:
+  explicit MosPredictor(MosPredictorConfig config = {});
+
+  /// Trains on the rated subset of the sessions. Throws std::runtime_error
+  /// when fewer than 30 rated sessions exist.
+  void train(std::span<const confsim::ParticipantRecord> sessions);
+
+  /// Predicts MOS for any session (rated or not).
+  [[nodiscard]] double predict(const confsim::ParticipantRecord& rec) const;
+
+  /// Train/test evaluation with baselines.
+  [[nodiscard]] MosEvaluation evaluate(
+      std::span<const confsim::ParticipantRecord> sessions) const;
+
+  /// The 7 features: presence, cam, mic, latency, loss, jitter, bandwidth.
+  static constexpr std::size_t kNumFeatures = 7;
+  [[nodiscard]] static std::vector<double> features(
+      const confsim::ParticipantRecord& rec);
+
+ private:
+  MosPredictorConfig config_;
+  core::LinearModel model_;
+  bool trained_{false};
+};
+
+}  // namespace usaas::service

@@ -1,0 +1,76 @@
+#include "usaas/outage_detector.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace usaas::service {
+
+OutageDetector::OutageDetector(const nlp::SentimentAnalyzer& analyzer,
+                               const nlp::KeywordDictionary& dictionary,
+                               OutageDetectorConfig config)
+    : analyzer_{&analyzer}, dictionary_{&dictionary}, config_{config} {}
+
+core::DailySeries OutageDetector::keyword_series(
+    std::span<const social::Post> posts, core::Date first,
+    core::Date last) const {
+  core::DailySeries series{first, last};
+  for (const social::Post& post : posts) {
+    if (post.date < first || last < post.date) continue;
+    const std::string text = post.full_text();
+    const std::size_t hits = dictionary_->count_occurrences(text);
+    if (hits == 0) continue;
+    if (config_.require_negative_sentiment) {
+      const nlp::SentimentScores s = analyzer_->score(text);
+      // "Threads with positive or neutral sentiments have been filtered
+      // out" (Fig 6 caption).
+      if (s.negative < config_.negative_gate) continue;
+    }
+    series.add(post.date, static_cast<double>(hits));
+  }
+  return series;
+}
+
+std::vector<DetectedOutage> OutageDetector::detect(
+    std::span<const social::Post> posts, core::Date first,
+    core::Date last) const {
+  const core::DailySeries series = keyword_series(posts, first, last);
+  const auto peaks = core::detect_peaks_robust(series, config_.peak_params);
+  std::vector<DetectedOutage> out;
+  out.reserve(peaks.size());
+  for (const core::Peak& p : peaks) {
+    const bool major = p.score >= config_.major_z &&
+                       p.value >= config_.major_min_count;
+    out.push_back({p.date, p.value, p.score, major});
+  }
+  return out;
+}
+
+DetectionQuality OutageDetector::evaluate(
+    std::span<const DetectedOutage> detections,
+    std::span<const core::Date> truth_days, int slack_days) {
+  DetectionQuality q;
+  auto near = [&](const core::Date& a, const core::Date& b) {
+    return std::llabs(a.days_until(b)) <= slack_days;
+  };
+  std::vector<bool> truth_hit(truth_days.size(), false);
+  for (const DetectedOutage& det : detections) {
+    bool matched = false;
+    for (std::size_t i = 0; i < truth_days.size(); ++i) {
+      if (near(det.date, truth_days[i])) {
+        matched = true;
+        truth_hit[i] = true;
+      }
+    }
+    if (matched) {
+      ++q.true_positives;
+    } else {
+      ++q.false_positives;
+    }
+  }
+  for (const bool hit : truth_hit) {
+    if (!hit) ++q.false_negatives;
+  }
+  return q;
+}
+
+}  // namespace usaas::service

@@ -1,0 +1,94 @@
+// Outage detection from keyword-gated negative threads: the Fig 6 pipeline.
+//
+// §4.1: filter threads containing outage-dictionary keywords, count daily
+// keyword occurrences, and "these occurrences are only counted if the user
+// sentiment attached to them was negative to avoid false positives."
+// Spikes above a robust baseline are flagged; large spikes correspond to
+// the publicly reported outages, the numerous short ones to unreported
+// transients — the coverage gap USaaS exists to close.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/date.h"
+#include "core/peaks.h"
+#include "core/timeseries.h"
+#include "leo/outages.h"
+#include "nlp/keywords.h"
+#include "nlp/sentiment.h"
+#include "social/post.h"
+
+namespace usaas::service {
+
+struct OutageDetectorConfig {
+  /// Gate keyword counting on negative sentiment (the paper's false-
+  /// positive control; the ablation bench turns this off).
+  bool require_negative_sentiment{true};
+  /// A thread is "negative" when negative score exceeds this (the strong
+  /// threshold is deliberately not required — grumbling counts).
+  double negative_gate{0.4};
+  /// Spike classification.
+  core::RobustPeakParams peak_params{.window = 31, .z_threshold = 3.0,
+                                     .min_value = 6.0};
+  /// A spike is "major" (reported-outage scale) when BOTH its robust
+  /// z-score and its absolute keyword count are large; the count floor
+  /// keeps quiet-baseline transients from being promoted on z alone.
+  double major_z{12.0};
+  double major_min_count{60.0};
+};
+
+struct DetectedOutage {
+  core::Date date;
+  double keyword_count{0.0};
+  double z_score{0.0};
+  bool major{false};
+};
+
+/// Precision/recall of detection against the simulator's ground truth.
+struct DetectionQuality {
+  std::size_t true_positives{0};
+  std::size_t false_positives{0};
+  std::size_t false_negatives{0};
+
+  [[nodiscard]] double precision() const {
+    const auto d = true_positives + false_positives;
+    return d == 0 ? 0.0 : static_cast<double>(true_positives) / d;
+  }
+  [[nodiscard]] double recall() const {
+    const auto d = true_positives + false_negatives;
+    return d == 0 ? 0.0 : static_cast<double>(true_positives) / d;
+  }
+};
+
+class OutageDetector {
+ public:
+  OutageDetector(const nlp::SentimentAnalyzer& analyzer,
+                 const nlp::KeywordDictionary& dictionary,
+                 OutageDetectorConfig config = {});
+
+  /// The Fig 6 series: day-wise outage-keyword occurrences in (negative)
+  /// threads.
+  [[nodiscard]] core::DailySeries keyword_series(
+      std::span<const social::Post> posts, core::Date first,
+      core::Date last) const;
+
+  /// Full detection: series -> robust spikes -> major/transient split.
+  [[nodiscard]] std::vector<DetectedOutage> detect(
+      std::span<const social::Post> posts, core::Date first,
+      core::Date last) const;
+
+  /// Scores detections against ground-truth outage days (severity above
+  /// `severity_threshold`). A detection within `slack_days` of a true
+  /// outage day counts as hit.
+  [[nodiscard]] static DetectionQuality evaluate(
+      std::span<const DetectedOutage> detections,
+      std::span<const core::Date> truth_days, int slack_days = 1);
+
+ private:
+  const nlp::SentimentAnalyzer* analyzer_;     // non-owning
+  const nlp::KeywordDictionary* dictionary_;   // non-owning
+  OutageDetectorConfig config_;
+};
+
+}  // namespace usaas::service

@@ -1,0 +1,59 @@
+#include "usaas/peak_annotator.h"
+
+#include "core/peaks.h"
+
+namespace usaas::service {
+
+PeakAnnotator::PeakAnnotator(const nlp::SentimentAnalyzer& analyzer,
+                             const leo::EventTimeline& timeline,
+                             PeakAnnotatorConfig config)
+    : analyzer_{&analyzer}, timeline_{&timeline}, config_{config} {}
+
+SentimentSeries PeakAnnotator::build_series(
+    std::span<const social::Post> posts, core::Date first,
+    core::Date last) const {
+  SentimentSeries series{first, last};
+  for (const social::Post& post : posts) {
+    if (post.date < first || last < post.date) continue;
+    const nlp::SentimentScores s = analyzer_->score(post.full_text());
+    if (s.strong_positive()) series.strong_positive.add(post.date, 1.0);
+    if (s.strong_negative()) series.strong_negative.add(post.date, 1.0);
+  }
+  return series;
+}
+
+std::vector<AnnotatedPeak> PeakAnnotator::annotate(
+    std::span<const social::Post> posts, core::Date first,
+    core::Date last) const {
+  const SentimentSeries series = build_series(posts, first, last);
+  const core::DailySeries combined = series.combined();
+  const auto peaks = core::top_k_peaks(combined, config_.top_k_peaks,
+                                       config_.min_peak_separation_days);
+
+  std::vector<AnnotatedPeak> out;
+  out.reserve(peaks.size());
+  for (const core::Peak& peak : peaks) {
+    AnnotatedPeak ap;
+    ap.date = peak.date;
+    ap.strong_positive = series.strong_positive.at(peak.date);
+    ap.strong_negative = series.strong_negative.at(peak.date);
+    ap.positive_dominant = ap.strong_positive >= ap.strong_negative;
+
+    // Word cloud over everything posted that day.
+    std::vector<std::string> day_docs;
+    for (const social::Post& post : posts) {
+      if (post.date == peak.date) day_docs.push_back(post.full_text());
+    }
+    ap.cloud = nlp::WordCloud::build(day_docs, config_.cloud_words);
+    ap.search_terms = ap.cloud.top_terms(config_.search_terms);
+    ap.summary = nlp::Summarizer{}.summarize_to_text(day_docs);
+
+    // "Search online" for news matching the top cloud terms near the date.
+    ap.news = timeline_->search(ap.search_terms, ap.date,
+                                config_.news_window_days);
+    out.push_back(std::move(ap));
+  }
+  return out;
+}
+
+}  // namespace usaas::service

@@ -1,0 +1,88 @@
+// Sentiment-peak detection and news annotation: the Fig 5 pipeline.
+//
+// §4.1's method, verbatim: score every post's sentiment, count strong
+// (>= 0.7) positives and negatives per day, find peaks, build the peak
+// day's word cloud, and search the news for the cloud's top-3 unigrams
+// around that date. Peaks whose search comes up empty are exactly the
+// paper's interesting case (the 22 Apr '22 outage nobody reported).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/date.h"
+#include "core/timeseries.h"
+#include "leo/events.h"
+#include "nlp/sentiment.h"
+#include "nlp/summarizer.h"
+#include "nlp/wordcloud.h"
+#include "social/post.h"
+
+namespace usaas::service {
+
+/// Daily strong-sentiment counts (the Fig 5a series).
+struct SentimentSeries {
+  core::DailySeries strong_positive;
+  core::DailySeries strong_negative;
+
+  SentimentSeries(core::Date first, core::Date last)
+      : strong_positive{first, last}, strong_negative{first, last} {}
+
+  [[nodiscard]] core::DailySeries combined() const {
+    return strong_positive + strong_negative;
+  }
+};
+
+/// One annotated peak.
+struct AnnotatedPeak {
+  core::Date date;
+  double strong_positive{0.0};
+  double strong_negative{0.0};
+  /// Net direction of the peak day.
+  bool positive_dominant{false};
+  /// The peak day's word cloud and the search terms derived from it.
+  nlp::WordCloud cloud;
+  std::vector<std::string> search_terms;
+  /// The news item the search found, when any. nullopt = the paper's
+  /// "no relevant news" case — the community knew something the press
+  /// did not.
+  std::optional<leo::NewsEvent> news;
+  /// Extractive summary of the peak day's posts (§5's "summarizing
+  /// contextual user feedback").
+  std::string summary;
+};
+
+struct PeakAnnotatorConfig {
+  std::size_t top_k_peaks{3};
+  std::int64_t min_peak_separation_days{14};
+  std::size_t cloud_words{30};
+  std::size_t search_terms{3};
+  int news_window_days{3};
+};
+
+class PeakAnnotator {
+ public:
+  PeakAnnotator(const nlp::SentimentAnalyzer& analyzer,
+                const leo::EventTimeline& timeline,
+                PeakAnnotatorConfig config = {});
+
+  /// Scores every post and accumulates the daily strong counts.
+  [[nodiscard]] SentimentSeries build_series(
+      std::span<const social::Post> posts, core::Date first,
+      core::Date last) const;
+
+  /// Full pipeline: series -> top-k peaks -> per-peak word cloud -> news
+  /// search. Returns peaks ordered by height (descending).
+  [[nodiscard]] std::vector<AnnotatedPeak> annotate(
+      std::span<const social::Post> posts, core::Date first,
+      core::Date last) const;
+
+ private:
+  const nlp::SentimentAnalyzer* analyzer_;   // non-owning
+  const leo::EventTimeline* timeline_;       // non-owning
+  PeakAnnotatorConfig config_;
+};
+
+}  // namespace usaas::service

@@ -1,0 +1,247 @@
+#include "usaas/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace usaas::service {
+
+namespace {
+
+/// Standard normal CDF.
+double phi(double x) {
+  return 0.5 * std::erfc(-x / std::numbers::sqrt2);
+}
+
+}  // namespace
+
+DeploymentPlanner::DeploymentPlanner(leo::LaunchSchedule history,
+                                     leo::SubscriberModel subscribers,
+                                     core::Date horizon_start,
+                                     leo::ConstellationParams constellation_params,
+                                     leo::SpeedModelParams speed_params,
+                                     PlannerConfig config)
+    : history_{std::move(history)},
+      subscribers_{std::move(subscribers)},
+      horizon_start_{horizon_start},
+      constellation_params_{constellation_params},
+      speed_params_{speed_params},
+      config_{config} {}
+
+leo::SpeedModel DeploymentPlanner::projected_model(const PlanSpec& plan) const {
+  std::vector<leo::Launch> launches(history_.launches().begin(),
+                                    history_.launches().end());
+  for (std::size_t m = 0; m < plan.launches_per_month.size(); ++m) {
+    const core::Date month = horizon_start_.plus_months(static_cast<int>(m));
+    const int count = plan.launches_per_month[m];
+    const int dim = month.days_in_month();
+    for (int i = 0; i < count; ++i) {
+      const int day = 1 + (dim * (2 * i + 1)) / (2 * std::max(count, 1));
+      launches.push_back({core::Date(month.year(), month.month(),
+                                     std::min(day, dim)),
+                          plan.satellites_per_launch});
+    }
+  }
+  return leo::SpeedModel{
+      leo::ConstellationModel{leo::LaunchSchedule{std::move(launches)},
+                              constellation_params_},
+      subscribers_, speed_params_};
+}
+
+double DeploymentPlanner::forecast_pos(double mean_polarity) const {
+  // Polarity ~ Normal(mean, sigma); strong+ when > t, strong- when < -t.
+  const double t = config_.strong_polarity;
+  const double s = config_.polarity_sigma;
+  const double p_pos = 1.0 - phi((t - mean_polarity) / s);
+  const double p_neg = phi((-t - mean_polarity) / s);
+  const double denom = p_pos + p_neg;
+  if (denom <= 0.0) return 0.5;
+  return p_pos / denom;
+}
+
+PlanEvaluation DeploymentPlanner::evaluate(const PlanSpec& plan,
+                                           int months) const {
+  if (months <= 0) throw std::invalid_argument("evaluate: months <= 0");
+  if (static_cast<int>(plan.launches_per_month.size()) > months) {
+    throw std::invalid_argument("evaluate: plan longer than horizon");
+  }
+  const leo::SpeedModel model = projected_model(plan);
+
+  PlanEvaluation ev;
+  ev.plan = plan;
+
+  // Seed the expectation from the recent pre-horizon history (users enter
+  // the horizon already adapted to the status quo).
+  double expectation =
+      model.median_downlink_mbps(horizon_start_.plus_days(-30));
+
+  for (int m = 0; m < months; ++m) {
+    const core::Date month_start = horizon_start_.plus_months(m);
+    PlanMonth pm;
+    pm.month_start = month_start;
+    pm.expectation_mbps = expectation;
+
+    // Walk the month at a weekly stride (the fulcrum's ~20-day timescale
+    // does not need daily resolution for planning), compounding the daily
+    // EWMA factor across the stride.
+    constexpr int kStrideDays = 7;
+    const double stride_alpha =
+        1.0 - std::pow(1.0 - config_.expectation_alpha_daily, kStrideDays);
+    double pos_acc = 0.0;
+    int steps = 0;
+    const core::Date month_end = month_start.plus_months(1).plus_days(-1);
+    for (core::Date d = month_start; d <= month_end;
+         d = d.plus_days(kStrideDays)) {
+      const double median = model.median_downlink_mbps(d);
+      const double delta =
+          expectation > 0.0 ? (median - expectation) / expectation : 0.0;
+      const double polarity =
+          std::clamp(config_.delta_gain * delta, -1.0, 1.0);
+      pos_acc += forecast_pos(polarity);
+      ++steps;
+      expectation =
+          (1.0 - stride_alpha) * expectation + stride_alpha * median;
+    }
+    const int days = steps;
+    pm.median_downlink_mbps = model.median_downlink_mbps(
+        core::Date(month_start.year(), month_start.month(), 15));
+    pm.forecast_pos = days > 0 ? pos_acc / days : 0.5;
+    ev.months.push_back(pm);
+  }
+
+  double acc = 0.0;
+  double mn = 1.0;
+  for (const auto& pm : ev.months) {
+    acc += pm.forecast_pos;
+    mn = std::min(mn, pm.forecast_pos);
+  }
+  ev.mean_pos = acc / static_cast<double>(ev.months.size());
+  ev.min_pos = mn;
+  ev.final_median_mbps = ev.months.back().median_downlink_mbps;
+  return ev;
+}
+
+namespace {
+
+double objective_score(const PlanEvaluation& ev, PlanObjective objective) {
+  // kMinPos scores lexicographically (min, then mean): during greedy
+  // construction a single launch often cannot move the worst month, and
+  // the mean tie-break steers those launches somewhere useful instead of
+  // defaulting to the first slot.
+  return objective == PlanObjective::kMinPos
+             ? ev.min_pos * 1000.0 + ev.mean_pos
+             : ev.mean_pos;
+}
+
+}  // namespace
+
+PlanEvaluation DeploymentPlanner::best_of(std::span<const PlanSpec> plans,
+                                          int months,
+                                          PlanObjective objective) const {
+  if (plans.empty()) throw std::invalid_argument("best_of: no plans");
+  PlanEvaluation best = evaluate(plans.front(), months);
+  for (std::size_t i = 1; i < plans.size(); ++i) {
+    PlanEvaluation ev = evaluate(plans[i], months);
+    if (objective_score(ev, objective) > objective_score(best, objective)) {
+      best = std::move(ev);
+    }
+  }
+  return best;
+}
+
+PlanSpec DeploymentPlanner::uniform_plan(int total_launches, int months,
+                                         int sats_per_launch) {
+  PlanSpec plan;
+  plan.name = "uniform";
+  plan.satellites_per_launch = sats_per_launch;
+  plan.launches_per_month.assign(static_cast<std::size_t>(months), 0);
+  for (int i = 0; i < total_launches; ++i) {
+    plan.launches_per_month[static_cast<std::size_t>(
+        (i * months) / total_launches)] += 1;
+  }
+  return plan;
+}
+
+PlanSpec DeploymentPlanner::front_loaded_plan(int total_launches, int months,
+                                              int sats_per_launch) {
+  PlanSpec plan;
+  plan.name = "front-loaded";
+  plan.satellites_per_launch = sats_per_launch;
+  plan.launches_per_month.assign(static_cast<std::size_t>(months), 0);
+  // Everything in the first quarter of the horizon.
+  const int window = std::max(months / 4, 1);
+  for (int i = 0; i < total_launches; ++i) {
+    plan.launches_per_month[static_cast<std::size_t>(i % window)] += 1;
+  }
+  return plan;
+}
+
+PlanSpec DeploymentPlanner::back_loaded_plan(int total_launches, int months,
+                                             int sats_per_launch) {
+  PlanSpec plan;
+  plan.name = "back-loaded";
+  plan.satellites_per_launch = sats_per_launch;
+  plan.launches_per_month.assign(static_cast<std::size_t>(months), 0);
+  const int window = std::max(months / 4, 1);
+  for (int i = 0; i < total_launches; ++i) {
+    plan.launches_per_month[static_cast<std::size_t>(
+        months - 1 - (i % window))] += 1;
+  }
+  return plan;
+}
+
+PlanSpec DeploymentPlanner::sentiment_aware_plan(int total_launches,
+                                                 int months,
+                                                 PlanObjective objective,
+                                                 int sats_per_launch) const {
+  PlanSpec plan;
+  plan.name = std::string{"sentiment-aware("} + to_string(objective) + ")";
+  plan.satellites_per_launch = sats_per_launch;
+  plan.launches_per_month.assign(static_cast<std::size_t>(months), 0);
+  for (int launch = 0; launch < total_launches; ++launch) {
+    double best_score = -1.0;
+    std::size_t best_month = 0;
+    for (std::size_t m = 0; m < plan.launches_per_month.size(); ++m) {
+      PlanSpec candidate = plan;
+      candidate.launches_per_month[m] += 1;
+      const double score =
+          objective_score(evaluate(candidate, months), objective);
+      if (score > best_score) {
+        best_score = score;
+        best_month = m;
+      }
+    }
+    plan.launches_per_month[best_month] += 1;
+  }
+
+  // Local-search polish: greedy placement is myopic (a single launch
+  // rarely moves the worst month, so early picks can strand launches).
+  // Move one launch at a time between months while the objective improves.
+  double current = objective_score(evaluate(plan, months), objective);
+  bool improved = true;
+  int passes = 0;
+  while (improved && passes < 20) {
+    improved = false;
+    ++passes;
+    for (std::size_t src = 0; src < plan.launches_per_month.size(); ++src) {
+      for (std::size_t dst = 0; dst < plan.launches_per_month.size(); ++dst) {
+        if (dst == src) continue;
+        if (plan.launches_per_month[src] == 0) break;  // drained by a move
+        PlanSpec candidate = plan;
+        candidate.launches_per_month[src] -= 1;
+        candidate.launches_per_month[dst] += 1;
+        const double score =
+            objective_score(evaluate(candidate, months), objective);
+        if (score > current + 1e-9) {
+          plan = std::move(candidate);
+          current = score;
+          improved = true;
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace usaas::service

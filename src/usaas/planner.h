@@ -1,0 +1,135 @@
+// Deployment planning against forecast user sentiment (§6).
+//
+// "Could SpaceX change Starlink deployment plans (which LEO satellite
+// shell to deploy next) given the current deployment, footprint, and user
+// sentiment?" — the paper's traffic-engineering / network-planning
+// opportunity. DeploymentPlanner evaluates candidate launch allocations
+// over a horizon by projecting the speed model forward and forecasting
+// the Pos sentiment score through the same adaptation (fulcrum) dynamics
+// the social study measured: because users judge *changes* rather than
+// levels, a plan that smooths the capacity/demand ratio beats one that
+// front-loads the same satellites and then lets speeds sag.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/date.h"
+#include "leo/speed.h"
+
+namespace usaas::service {
+
+/// A candidate plan: how many launches to fly in each month of the
+/// horizon (all with the same batch size).
+struct PlanSpec {
+  std::string name;
+  std::vector<int> launches_per_month;
+  int satellites_per_launch{52};
+
+  [[nodiscard]] int total_launches() const {
+    int total = 0;
+    for (const int n : launches_per_month) total += n;
+    return total;
+  }
+};
+
+/// Forecast for one month of a plan.
+struct PlanMonth {
+  core::Date month_start;
+  double median_downlink_mbps{0.0};
+  /// Adapted community expectation entering the month.
+  double expectation_mbps{0.0};
+  /// Forecast Pos = strong+/(strong+ + strong-) under the fulcrum model.
+  double forecast_pos{0.5};
+};
+
+struct PlanEvaluation {
+  PlanSpec plan;
+  std::vector<PlanMonth> months;
+  double mean_pos{0.0};
+  double min_pos{0.0};
+  double final_median_mbps{0.0};
+};
+
+/// What the sentiment-aware planner optimizes.
+enum class PlanObjective {
+  kMeanPos,  // best average sentiment over the horizon
+  kMinPos,   // best worst-month sentiment (stability)
+};
+
+[[nodiscard]] constexpr const char* to_string(PlanObjective o) {
+  switch (o) {
+    case PlanObjective::kMeanPos: return "mean-pos";
+    case PlanObjective::kMinPos: return "min-pos";
+  }
+  return "unknown";
+}
+
+struct PlannerConfig {
+  /// Fulcrum dynamics (must mirror the social model for the forecast to
+  /// predict the simulated Pos; the integration test checks this).
+  double expectation_alpha_daily{0.035};
+  double delta_gain{3.5};
+  /// Combined dispersion of per-post polarity around gain*delta (mood
+  /// noise + the lognormal spread of individual speed tests).
+  double polarity_sigma{0.85};
+  /// Strong-sentiment threshold in polarity space (the +-0.6 text-bucket
+  /// boundary of the generator).
+  double strong_polarity{0.6};
+};
+
+class DeploymentPlanner {
+ public:
+  /// `history` is the schedule already flown; `subscribers` forecasts
+  /// demand. Planning starts at `horizon_start`.
+  DeploymentPlanner(leo::LaunchSchedule history,
+                    leo::SubscriberModel subscribers,
+                    core::Date horizon_start,
+                    leo::ConstellationParams constellation_params = {},
+                    leo::SpeedModelParams speed_params = {},
+                    PlannerConfig config = {});
+
+  /// Projects one plan over `months` months.
+  [[nodiscard]] PlanEvaluation evaluate(const PlanSpec& plan,
+                                        int months) const;
+
+  /// Ranks plans by the objective.
+  [[nodiscard]] PlanEvaluation best_of(
+      std::span<const PlanSpec> plans, int months,
+      PlanObjective objective = PlanObjective::kMeanPos) const;
+
+  /// Canned strategies for a budget of `total_launches` over `months`.
+  [[nodiscard]] static PlanSpec uniform_plan(int total_launches, int months,
+                                             int sats_per_launch = 52);
+  [[nodiscard]] static PlanSpec front_loaded_plan(int total_launches,
+                                                  int months,
+                                                  int sats_per_launch = 52);
+  [[nodiscard]] static PlanSpec back_loaded_plan(int total_launches,
+                                                 int months,
+                                                 int sats_per_launch = 52);
+  /// Greedy: assigns each launch to the month whose assignment maximizes
+  /// the chosen objective (the USaaS-in-the-loop strategy).
+  [[nodiscard]] PlanSpec sentiment_aware_plan(
+      int total_launches, int months,
+      PlanObjective objective = PlanObjective::kMeanPos,
+      int sats_per_launch = 52) const;
+
+  [[nodiscard]] const core::Date& horizon_start() const {
+    return horizon_start_;
+  }
+
+ private:
+  [[nodiscard]] leo::SpeedModel projected_model(const PlanSpec& plan) const;
+  /// Pos forecast for a polarity mean under the noise model.
+  [[nodiscard]] double forecast_pos(double mean_polarity) const;
+
+  leo::LaunchSchedule history_;
+  leo::SubscriberModel subscribers_;
+  core::Date horizon_start_;
+  leo::ConstellationParams constellation_params_;
+  leo::SpeedModelParams speed_params_;
+  PlannerConfig config_;
+};
+
+}  // namespace usaas::service

@@ -1,0 +1,118 @@
+#include "usaas/qoe_controller.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace usaas::service {
+
+netsim::NetworkConditions BoostAction::apply(
+    const netsim::NetworkConditions& c) const {
+  netsim::NetworkConditions out;
+  out.latency = core::Milliseconds{c.latency.ms() * latency_mult};
+  out.loss = core::Percent{c.loss.percent() * loss_mult};
+  out.jitter = core::Milliseconds{c.jitter.ms() * jitter_mult};
+  out.bandwidth = core::Mbps{c.bandwidth.mbps() + bandwidth_add_mbps};
+  return out;
+}
+
+const char* to_string(BoostPolicy p) {
+  switch (p) {
+    case BoostPolicy::kRandom: return "random";
+    case BoostPolicy::kWorstNetworkFirst: return "worst-network-first";
+    case BoostPolicy::kPredictedGain: return "predicted-gain (USaaS)";
+  }
+  return "unknown";
+}
+
+QoeExperiment::QoeExperiment(QoeExperimentConfig config)
+    : config_{config}, model_{config_.behavior, config_.mitigation} {
+  if (config_.budget_fraction < 0.0 || config_.budget_fraction > 1.0) {
+    throw std::invalid_argument("QoeExperiment: budget fraction in [0,1]");
+  }
+}
+
+AllocationOutcome QoeExperiment::summarize(
+    std::span<const netsim::NetworkConditions> sessions,
+    std::span<const char> boosted, BoostPolicy policy) const {
+  AllocationOutcome out;
+  out.policy = policy;
+  out.sessions = sessions.size();
+  const confsim::BehaviorContext ctx;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const netsim::NetworkConditions c =
+        boosted[i] != 0 ? config_.boost.apply(sessions[i]) : sessions[i];
+    const auto damage = model_.damage(c, ctx);
+    const auto eng = model_.expected_engagement(c, ctx);
+    out.mean_experience_impairment += damage.experience;
+    out.mean_presence_pct += eng.presence_pct;
+    out.mean_drop_off += damage.drop_off;
+    out.boosted += boosted[i] != 0 ? 1 : 0;
+  }
+  const auto n = static_cast<double>(sessions.size());
+  if (n > 0) {
+    out.mean_experience_impairment /= n;
+    out.mean_presence_pct /= n;
+    out.mean_drop_off /= n;
+  }
+  return out;
+}
+
+AllocationOutcome QoeExperiment::run_unboosted(
+    std::span<const netsim::NetworkConditions> sessions) const {
+  const std::vector<char> none(sessions.size(), 0);
+  auto out = summarize(sessions, none, BoostPolicy::kRandom);
+  out.boosted = 0;
+  return out;
+}
+
+AllocationOutcome QoeExperiment::run(
+    std::span<const netsim::NetworkConditions> sessions, BoostPolicy policy,
+    core::Rng& rng) const {
+  const auto budget = static_cast<std::size_t>(
+      config_.budget_fraction * static_cast<double>(sessions.size()));
+  std::vector<char> boosted(sessions.size(), 0);
+  const confsim::BehaviorContext ctx;
+
+  std::vector<std::size_t> order(sessions.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  switch (policy) {
+    case BoostPolicy::kRandom:
+      rng.shuffle(order);
+      break;
+    case BoostPolicy::kWorstNetworkFirst: {
+      // Rank by raw experienced impairment (worst first) — what a
+      // network-metrics-only controller can see.
+      std::vector<double> badness(sessions.size());
+      for (std::size_t i = 0; i < sessions.size(); ++i) {
+        badness[i] = model_.damage(sessions[i], ctx).experience;
+      }
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return badness[a] > badness[b];
+      });
+      break;
+    }
+    case BoostPolicy::kPredictedGain: {
+      // Rank by predicted improvement — what USaaS's user-experience
+      // model adds: the *marginal* benefit of the boost.
+      std::vector<double> gain(sessions.size());
+      for (std::size_t i = 0; i < sessions.size(); ++i) {
+        const double before = model_.damage(sessions[i], ctx).experience;
+        const double after =
+            model_.damage(config_.boost.apply(sessions[i]), ctx).experience;
+        gain[i] = before - after;
+      }
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return gain[a] > gain[b];
+      });
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < budget && i < order.size(); ++i) {
+    boosted[order[i]] = 1;
+  }
+  return summarize(sessions, boosted, policy);
+}
+
+}  // namespace usaas::service

@@ -1,0 +1,91 @@
+// QoE-aware online resource allocation (§6).
+//
+// "If call latency, for example, is the discerning factor affecting user
+// experience on MS Teams, could network resource allocation be tuned
+// online to cater to the demand?" — the paper's traffic-engineering
+// opportunity. QoeExperiment simulates a boost budget (a better route /
+// priority queue that improves a session's conditions) allocated by three
+// policies over the same session population:
+//   kRandom              — spray the budget blindly;
+//   kWorstNetworkFirst   — classic QoS: boost the worst raw conditions;
+//   kPredictedGain       — USaaS: boost where the *predicted experience
+//                          gain* is largest (uses the behaviour model's
+//                          nonlinearity: a session at the mic-knee or
+//                          loss cliff gains more than a hopeless one).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "confsim/behavior.h"
+#include "core/rng.h"
+#include "netsim/conditions.h"
+
+namespace usaas::service {
+
+/// What a boost does to a session's conditions (a premium route / FEC
+/// budget / priority marking).
+struct BoostAction {
+  double latency_mult{0.55};
+  double loss_mult{0.35};
+  double jitter_mult{0.5};
+  double bandwidth_add_mbps{1.0};
+
+  [[nodiscard]] netsim::NetworkConditions apply(
+      const netsim::NetworkConditions& c) const;
+};
+
+enum class BoostPolicy {
+  kRandom,
+  kWorstNetworkFirst,
+  kPredictedGain,
+};
+
+[[nodiscard]] const char* to_string(BoostPolicy p);
+
+/// Aggregate outcome of one allocation run.
+struct AllocationOutcome {
+  BoostPolicy policy{BoostPolicy::kRandom};
+  std::size_t sessions{0};
+  std::size_t boosted{0};
+  /// Mean experienced impairment (lower is better) and engagement.
+  double mean_experience_impairment{0.0};
+  double mean_presence_pct{0.0};
+  double mean_drop_off{0.0};
+};
+
+struct QoeExperimentConfig {
+  /// Fraction of sessions the budget can boost.
+  double budget_fraction{0.10};
+  BoostAction boost{};
+  confsim::BehaviorParams behavior{confsim::default_behavior_params()};
+  netsim::MitigationConfig mitigation{};
+};
+
+class QoeExperiment {
+ public:
+  explicit QoeExperiment(QoeExperimentConfig config = {});
+
+  /// Allocates the budget over `sessions` with the given policy and
+  /// reports the population outcome (expected engagement, deterministic;
+  /// rng is used only by the random policy's choice of targets).
+  [[nodiscard]] AllocationOutcome run(
+      std::span<const netsim::NetworkConditions> sessions, BoostPolicy policy,
+      core::Rng& rng) const;
+
+  /// Baseline outcome with no boosts at all.
+  [[nodiscard]] AllocationOutcome run_unboosted(
+      std::span<const netsim::NetworkConditions> sessions) const;
+
+  [[nodiscard]] const QoeExperimentConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] AllocationOutcome summarize(
+      std::span<const netsim::NetworkConditions> sessions,
+      std::span<const char> boosted, BoostPolicy policy) const;
+
+  QoeExperimentConfig config_;
+  confsim::UserBehaviorModel model_;
+};
+
+}  // namespace usaas::service

@@ -1,0 +1,113 @@
+#include "usaas/query_service.h"
+
+#include <algorithm>
+
+#include "core/stats.h"
+#include "core/timeseries.h"
+
+namespace usaas::service {
+
+QueryService::QueryService() = default;
+
+void QueryService::ingest_calls(std::span<const confsim::CallRecord> calls) {
+  engine_.ingest(calls);
+  predictor_trained_ = false;  // stale
+}
+
+void QueryService::ingest_posts(std::span<const social::Post> posts) {
+  posts_.insert(posts_.end(), posts.begin(), posts.end());
+}
+
+void QueryService::train_predictor() {
+  predictor_.train(engine_.sessions());
+  predictor_trained_ = true;
+}
+
+Insight QueryService::run(const Query& query) const {
+  Insight insight;
+
+  const ParticipantFilter filter =
+      [&](const confsim::ParticipantRecord& rec) {
+        if (query.platform && rec.platform != *query.platform) return false;
+        if (query.access && rec.access != *query.access) return false;
+        return true;
+      };
+
+  // ---- Implicit side ----
+  SweepSpec spec;
+  spec.metric = query.metric;
+  spec.lo = query.metric_lo;
+  spec.hi = query.metric_hi;
+  spec.bins = query.bins;
+  spec.control_others = false;  // queries want the full population view
+  for (const EngagementMetric m :
+       {EngagementMetric::kPresence, EngagementMetric::kCamOn,
+        EngagementMetric::kMicOn}) {
+    insight.engagement.push_back(engine_.engagement_curve(spec, m, filter));
+    if (const auto corr = engine_.mos_correlation(m)) {
+      insight.mos_spearman.emplace_back(m, corr->spearman);
+    }
+  }
+
+  // Session tallies + MOS coverage.
+  std::vector<double> observed;
+  double predicted_acc = 0.0;
+  std::size_t predicted_n = 0;
+  for (const auto& rec : engine_.sessions()) {
+    if (!filter(rec)) continue;
+    ++insight.sessions;
+    if (rec.mos) {
+      observed.push_back(rec.mos->score());
+      ++insight.rated_sessions;
+    }
+    if (predictor_trained_) {
+      predicted_acc += predictor_.predict(rec);
+      ++predicted_n;
+    }
+  }
+  if (!observed.empty()) insight.observed_mean_mos = core::mean(observed);
+  if (predicted_n > 0) {
+    insight.predicted_mean_mos = predicted_acc / static_cast<double>(predicted_n);
+  }
+
+  // ---- Explicit (social) side ----
+  const auto& dict = nlp::KeywordDictionary::outage_dictionary();
+  core::DailySeries keyword_days{query.first, query.last};
+  std::size_t strong_pos = 0;
+  std::size_t strong_neg = 0;
+  for (const social::Post& post : posts_) {
+    if (post.date < query.first || query.last < post.date) continue;
+    ++insight.posts;
+    const auto s = analyzer_.score(post.full_text());
+    if (s.strong_positive()) ++strong_pos;
+    if (s.strong_negative()) ++strong_neg;
+    const auto hits = dict.count_occurrences(post.full_text());
+    if (hits > 0 && s.negative >= 0.4) {
+      keyword_days.add(post.date, static_cast<double>(hits));
+    }
+  }
+  if (strong_pos + strong_neg > 0) {
+    insight.strong_positive_share =
+        static_cast<double>(strong_pos) /
+        static_cast<double>(strong_pos + strong_neg);
+  }
+  double day_total = 0.0;
+  std::size_t mention_days = 0;
+  for (const double v : keyword_days.values()) {
+    day_total += v;
+    if (v > 0.0) ++mention_days;
+  }
+  insight.outage_mention_days = mention_days;
+  const double day_mean =
+      keyword_days.size() == 0
+          ? 0.0
+          : day_total / static_cast<double>(keyword_days.size());
+  for (const auto& [date, value] : keyword_days.entries()) {
+    if (day_mean > 0.0 && value > 3.0 * day_mean && value >= 5.0) {
+      insight.outage_alert_days.push_back(date);
+    }
+  }
+  return insight;
+}
+
+}  // namespace usaas::service

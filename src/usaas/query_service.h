@@ -1,0 +1,95 @@
+// User Signals as-a-Service: the query façade of §5 / Fig 8.
+//
+// Network and service providers submit queries ("how do users on network X
+// experience service Y?") and get aggregated, user-centric insights built
+// from the ingested implicit signals (user actions), sampled MOS, and
+// offline social feedback. The service deliberately exposes *aggregates* —
+// never individual posts or sessions — matching the paper's privacy
+// stance ("the social media user feedback insights should be aggregated").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/date.h"
+#include "nlp/keywords.h"
+#include "nlp/sentiment.h"
+#include "social/post.h"
+#include "usaas/correlation_engine.h"
+#include "usaas/mos_predictor.h"
+#include "usaas/signals.h"
+
+namespace usaas::service {
+
+/// A USaaS query: what the stakeholder wants to know.
+struct Query {
+  /// Date window (inclusive).
+  core::Date first{2022, 1, 1};
+  core::Date last{2022, 12, 31};
+  /// Restrict implicit signals to a platform.
+  std::optional<confsim::Platform> platform;
+  /// Restrict implicit signals to an access network — the paper's §5
+  /// example: "if SpaceX Starlink wants to understand how users on their
+  /// network are perceiving the MS Teams experience", query with
+  /// access = kLeoSatellite.
+  std::optional<netsim::AccessTechnology> access;
+  /// Network metric of interest for the engagement breakdown.
+  netsim::Metric metric{netsim::Metric::kLatency};
+  double metric_lo{0.0};
+  double metric_hi{300.0};
+  std::size_t bins{10};
+};
+
+/// The aggregated answer.
+struct Insight {
+  /// Engagement curves over the requested metric, one per action.
+  std::vector<EngagementCurve> engagement;
+  /// MOS correlation per engagement metric (when enough samples).
+  std::vector<std::pair<EngagementMetric, double>> mos_spearman;
+  /// Predicted mean MOS across *all* sessions in the window (backfilled by
+  /// the predictor; this is the coverage USaaS adds over raw MOS).
+  std::optional<double> predicted_mean_mos;
+  /// Observed mean MOS over the sampled subset.
+  std::optional<double> observed_mean_mos;
+  std::size_t sessions{0};
+  std::size_t rated_sessions{0};
+  /// Social-side aggregates over the window.
+  std::size_t posts{0};
+  double strong_positive_share{0.0};  // of strong-scored posts
+  std::size_t outage_mention_days{0};
+  /// Days whose outage-keyword count exceeded the window mean by 3x.
+  std::vector<core::Date> outage_alert_days;
+};
+
+class QueryService {
+ public:
+  QueryService();
+
+  /// Ingests implicit + explicit corpora. May be called repeatedly.
+  void ingest_calls(std::span<const confsim::CallRecord> calls);
+  void ingest_posts(std::span<const social::Post> posts);
+
+  /// Trains the MOS predictor on everything ingested so far. Requires at
+  /// least 30 rated sessions.
+  void train_predictor();
+
+  /// Answers a query from the ingested signals.
+  [[nodiscard]] Insight run(const Query& query) const;
+
+  [[nodiscard]] std::size_t ingested_sessions() const {
+    return engine_.session_count();
+  }
+  [[nodiscard]] std::size_t ingested_posts() const { return posts_.size(); }
+
+ private:
+  CorrelationEngine engine_;
+  std::vector<social::Post> posts_;
+  nlp::SentimentAnalyzer analyzer_;
+  MosPredictor predictor_;
+  bool predictor_trained_{false};
+};
+
+}  // namespace usaas::service

@@ -1,0 +1,178 @@
+#include "usaas/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/rng.h"
+#include "core/stats.h"
+#include "nlp/keywords.h"
+#include "nlp/summarizer.h"
+#include "ocr/extract.h"
+#include "ocr/noisy_ocr.h"
+
+namespace usaas::service {
+
+namespace {
+
+struct WeekTally {
+  std::size_t posts{0};
+  std::size_t strong_pos{0};
+  std::size_t strong_neg{0};
+
+  [[nodiscard]] std::optional<double> pos_share() const {
+    const auto total = strong_pos + strong_neg;
+    if (total == 0) return std::nullopt;
+    return static_cast<double>(strong_pos) / static_cast<double>(total);
+  }
+};
+
+}  // namespace
+
+WeeklyReport generate_weekly_report(std::span<const social::Post> corpus,
+                                    core::Date week_start,
+                                    const nlp::SentimentAnalyzer& analyzer,
+                                    const ReportConfig& config) {
+  WeeklyReport report;
+  report.week_start = week_start;
+  report.week_end = week_start.plus_days(6);
+  const core::Date prev_start = week_start.plus_days(-7);
+
+  const auto& dict = nlp::KeywordDictionary::outage_dictionary();
+  const ocr::NoisyOcr channel;
+  const ocr::ReportExtractor extractor;
+  core::Rng ocr_rng{config.ocr_seed};
+
+  WeekTally this_week;
+  WeekTally prev_week;
+  std::map<std::int64_t, double> keyword_by_day;
+  std::map<std::int64_t, std::size_t> posts_by_day;
+  std::vector<double> downlinks;
+  nlp::TrendMiner miner{config.trend};  // fed with the corpus up to week end
+
+  for (const social::Post& post : corpus) {
+    if (post.date > report.week_end) continue;
+    miner.add_document({post.date, post.full_text(), post.popularity()});
+
+    const bool in_week =
+        week_start <= post.date && post.date <= report.week_end;
+    const bool in_prev = prev_start <= post.date && post.date < week_start;
+    if (!in_week && !in_prev) continue;
+
+    const auto scores = analyzer.score(post.full_text());
+    WeekTally& tally = in_week ? this_week : prev_week;
+    ++tally.posts;
+    if (scores.strong_positive()) ++tally.strong_pos;
+    if (scores.strong_negative()) ++tally.strong_neg;
+
+    if (!in_week) continue;
+    ++posts_by_day[post.date.days_since_epoch()];
+    const auto hits = dict.count_occurrences(post.full_text());
+    if (hits > 0 && scores.negative >= 0.4) {
+      keyword_by_day[post.date.days_since_epoch()] +=
+          static_cast<double>(hits);
+      report.outage_keyword_count += static_cast<double>(hits);
+    }
+    if (post.screenshot) {
+      ++report.speedtest_reports;
+      if (const auto extracted =
+              extractor.extract(channel.read(*post.screenshot, ocr_rng))) {
+        downlinks.push_back(extracted->download_mbps);
+      }
+    }
+  }
+
+  report.posts = this_week.posts;
+  report.strong_positive = this_week.strong_pos;
+  report.strong_negative = this_week.strong_neg;
+  report.pos_share = this_week.pos_share();
+  const auto prev_share = prev_week.pos_share();
+  if (report.pos_share && prev_share) {
+    report.pos_share_delta = *report.pos_share - *prev_share;
+  }
+
+  // Alert days: keyword count far above the week's own baseline.
+  const double daily_mean = report.outage_keyword_count / 7.0;
+  for (const auto& [day, count] : keyword_by_day) {
+    if (count >= config.alert_min_count &&
+        count > config.alert_multiple * daily_mean) {
+      report.alert_days.push_back(core::Date::from_days_since_epoch(day));
+    }
+  }
+
+  if (!downlinks.empty()) {
+    report.median_downlink_mbps = core::median(downlinks);
+  }
+
+  // Emerging topics whose first detection falls inside the week.
+  for (const auto& topic : miner.detect()) {
+    if (topic.first_detected < week_start ||
+        report.week_end < topic.first_detected) {
+      continue;
+    }
+    if (report.emerging_topics.size() >= config.max_emerging_topics) break;
+    report.emerging_topics.push_back(topic.term);
+  }
+
+  // Loudest day summary.
+  std::int64_t loudest = week_start.days_since_epoch();
+  std::size_t loudest_count = 0;
+  for (const auto& [day, count] : posts_by_day) {
+    if (count > loudest_count) {
+      loudest = day;
+      loudest_count = count;
+    }
+  }
+  report.loudest_day = core::Date::from_days_since_epoch(loudest);
+  std::vector<std::string> loudest_docs;
+  for (const social::Post& post : corpus) {
+    if (post.date == report.loudest_day) {
+      loudest_docs.push_back(post.full_text());
+    }
+  }
+  report.loudest_day_summary =
+      nlp::Summarizer{}.summarize_to_text(loudest_docs);
+  return report;
+}
+
+std::string WeeklyReport::render_text() const {
+  std::string out;
+  char buf[256];
+  auto add = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    out += buf;
+  };
+  add("USaaS weekly report %s .. %s\n", week_start.to_string().c_str(),
+      week_end.to_string().c_str());
+  add("  posts: %zu (strong +%zu / -%zu)\n", posts, strong_positive,
+      strong_negative);
+  if (pos_share) {
+    add("  sentiment balance: %.0f%% positive", 100.0 * *pos_share);
+    if (pos_share_delta) {
+      add(" (%+.0f pp week-over-week)", 100.0 * *pos_share_delta);
+    }
+    out += '\n';
+  }
+  add("  outage chatter: %.0f keyword mentions", outage_keyword_count);
+  if (alert_days.empty()) {
+    out += ", no alert days\n";
+  } else {
+    out += ", ALERTS:";
+    for (const auto& d : alert_days) add(" %s", d.to_string().c_str());
+    out += '\n';
+  }
+  if (median_downlink_mbps) {
+    add("  speed tests: %zu shared, median %.1f Mbps down\n",
+        speedtest_reports, *median_downlink_mbps);
+  }
+  if (!emerging_topics.empty()) {
+    out += "  emerging topics:";
+    for (const auto& t : emerging_topics) add(" '%s'", t.c_str());
+    out += '\n';
+  }
+  add("  loudest day %s: %s\n", loudest_day.to_string().c_str(),
+      loudest_day_summary.c_str());
+  return out;
+}
+
+}  // namespace usaas::service

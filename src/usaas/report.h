@@ -1,0 +1,72 @@
+// The USaaS periodic report: what a subscribed operator actually receives.
+//
+// §5's service "collects user feedback, both online and offline, finds
+// correlations, and shares useful user-centric insights back". This module
+// composes the pipelines into one dated artifact per reporting window:
+// sentiment balance and its week-over-week change, outage chatter and
+// alert days, extracted speed-test medians, emerging topics, and an
+// extractive summary of the loudest day — structured for machines,
+// rendered for humans.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/date.h"
+#include "leo/events.h"
+#include "nlp/sentiment.h"
+#include "nlp/trends.h"
+#include "social/post.h"
+
+namespace usaas::service {
+
+struct WeeklyReport {
+  core::Date week_start;   // inclusive
+  core::Date week_end;     // inclusive
+  std::size_t posts{0};
+  // Sentiment balance.
+  std::size_t strong_positive{0};
+  std::size_t strong_negative{0};
+  /// Pos share of strong posts; nullopt when no strong posts this week.
+  std::optional<double> pos_share;
+  /// Change vs the previous week's pos_share (when both exist).
+  std::optional<double> pos_share_delta;
+  // Outage chatter.
+  double outage_keyword_count{0.0};
+  std::vector<core::Date> alert_days;  // keyword spikes inside the week
+  // Speed tests shared this week.
+  std::size_t speedtest_reports{0};
+  std::optional<double> median_downlink_mbps;
+  // Topics that emerged this week (trend miner, scoped to the corpus).
+  std::vector<std::string> emerging_topics;
+  /// Extractive summary of the loudest (most-posted) day.
+  std::string loudest_day_summary;
+  core::Date loudest_day;
+
+  /// Human-readable rendering (plain text, terminal friendly).
+  [[nodiscard]] std::string render_text() const;
+};
+
+struct ReportConfig {
+  /// A day inside the week is an alert day when its keyword count exceeds
+  /// this multiple of the week's daily mean (and a minimum count).
+  double alert_multiple{3.0};
+  double alert_min_count{8.0};
+  std::size_t max_emerging_topics{3};
+  std::uint64_t ocr_seed{4242};
+  /// Trend-miner settings; note its history_days warm-up — topics cannot
+  /// emerge before the corpus has that much history.
+  nlp::TrendMinerConfig trend{};
+};
+
+/// Generates the report for the week starting at `week_start` (7 days).
+/// `corpus` must cover at least [week_start - 7, week_start + 6] for the
+/// week-over-week delta and the trend baseline to make sense; posts
+/// outside the window are used as history only.
+[[nodiscard]] WeeklyReport generate_weekly_report(
+    std::span<const social::Post> corpus, core::Date week_start,
+    const nlp::SentimentAnalyzer& analyzer, const ReportConfig& config = {});
+
+}  // namespace usaas::service

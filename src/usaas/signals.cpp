@@ -1,0 +1,60 @@
+#include "usaas/signals.h"
+
+#include "core/rng.h"
+#include "nlp/keywords.h"
+#include "nlp/sentiment.h"
+#include "ocr/extract.h"
+#include "ocr/noisy_ocr.h"
+#include "social/post.h"
+
+namespace usaas::service {
+
+std::vector<UserSignal> normalize_call(const confsim::CallRecord& call) {
+  std::vector<UserSignal> out;
+  out.reserve(call.participants.size());
+  for (const auto& rec : call.participants) {
+    ImplicitSignal sig;
+    sig.date = call.start.date;
+    sig.platform = rec.platform;
+    sig.conditions = rec.network.mean_conditions();
+    sig.presence_pct = rec.presence_pct;
+    sig.cam_on_pct = rec.cam_on_pct;
+    sig.mic_on_pct = rec.mic_on_pct;
+    sig.dropped_early = rec.dropped_early;
+    out.emplace_back(sig);
+    if (rec.mos) {
+      MosSignal mos;
+      mos.date = call.start.date;
+      mos.rating = *rec.mos;
+      mos.conditions = rec.network.mean_conditions();
+      out.emplace_back(mos);
+    }
+  }
+  return out;
+}
+
+UserSignal normalize_post(const social::Post& post,
+                          const nlp::SentimentAnalyzer& analyzer,
+                          const nlp::KeywordDictionary& outage_dictionary,
+                          std::uint64_t ocr_seed) {
+  SocialSignal sig;
+  sig.date = post.date;
+  const auto scores = analyzer.score(post.full_text());
+  sig.positive = scores.positive;
+  sig.negative = scores.negative;
+  sig.neutral = scores.neutral;
+  sig.popularity = post.popularity();
+  sig.mentions_outage = outage_dictionary.matches(post.full_text());
+  if (post.screenshot) {
+    core::Rng rng{ocr_seed ^ post.id};
+    const ocr::NoisyOcr channel;
+    const ocr::ReportExtractor extractor;
+    if (const auto report =
+            extractor.extract(channel.read(*post.screenshot, rng))) {
+      sig.reported_downlink_mbps = report->download_mbps;
+    }
+  }
+  return sig;
+}
+
+}  // namespace usaas::service

@@ -1,0 +1,114 @@
+// The unified user-signal model of USaaS (§5, Fig 8).
+//
+// Network changes produce implicit signals (in-session user actions),
+// sampled explicit feedback (MOS), and offline explicit feedback (social
+// posts). USaaS normalizes all three into UserSignal records that the
+// query service can filter, correlate and aggregate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "confsim/call.h"
+#include "core/date.h"
+#include "core/units.h"
+
+namespace usaas::service {
+
+/// Which engagement action an implicit signal describes.
+enum class EngagementMetric {
+  kPresence,
+  kCamOn,
+  kMicOn,
+};
+
+inline constexpr int kNumEngagementMetrics = 3;
+
+[[nodiscard]] constexpr const char* to_string(EngagementMetric m) {
+  switch (m) {
+    case EngagementMetric::kPresence: return "presence";
+    case EngagementMetric::kCamOn: return "cam-on";
+    case EngagementMetric::kMicOn: return "mic-on";
+  }
+  return "unknown";
+}
+
+/// Reads the engagement metric out of a participant record.
+[[nodiscard]] constexpr double engagement_value(
+    const confsim::ParticipantRecord& rec, EngagementMetric m) {
+  switch (m) {
+    case EngagementMetric::kPresence: return rec.presence_pct;
+    case EngagementMetric::kCamOn: return rec.cam_on_pct;
+    case EngagementMetric::kMicOn: return rec.mic_on_pct;
+  }
+  return 0.0;
+}
+
+/// An implicit signal: one user's in-session actions plus the network
+/// context they happened under.
+struct ImplicitSignal {
+  core::Date date;
+  confsim::Platform platform{confsim::Platform::kWindowsPc};
+  netsim::NetworkConditions conditions;  // session means
+  double presence_pct{0.0};
+  double cam_on_pct{0.0};
+  double mic_on_pct{0.0};
+  bool dropped_early{false};
+};
+
+/// Sampled explicit in-app feedback.
+struct MosSignal {
+  core::Date date;
+  core::Mos rating{core::Mos{3.0}};
+  netsim::NetworkConditions conditions;
+};
+
+/// Offline explicit feedback (one social post, already sentiment-scored).
+struct SocialSignal {
+  core::Date date;
+  double positive{0.0};
+  double negative{0.0};
+  double neutral{1.0};
+  double popularity{0.0};
+  bool mentions_outage{false};
+  std::optional<double> reported_downlink_mbps;  // from an OCR'd screenshot
+};
+
+/// The normalized union USaaS stores.
+using UserSignal = std::variant<ImplicitSignal, MosSignal, SocialSignal>;
+
+[[nodiscard]] inline core::Date signal_date(const UserSignal& s) {
+  return std::visit([](const auto& v) { return v.date; }, s);
+}
+
+}  // namespace usaas::service
+
+// Normalization: raw corpora -> UserSignal records (implemented in
+// signals.cpp; declared outside the inline section to keep this header
+// light).
+namespace usaas::nlp {
+class SentimentAnalyzer;
+class KeywordDictionary;
+}  // namespace usaas::nlp
+namespace usaas::social {
+struct Post;
+}  // namespace usaas::social
+
+namespace usaas::service {
+
+/// Normalizes one call into its per-participant implicit signals, plus a
+/// MosSignal for each rated session.
+[[nodiscard]] std::vector<UserSignal> normalize_call(
+    const confsim::CallRecord& call);
+
+/// Normalizes one social post: sentiment-scores the text, flags outage
+/// vocabulary, and OCR-extracts an attached speed-test screenshot when
+/// present (deterministic for a given ocr_seed).
+[[nodiscard]] UserSignal normalize_post(
+    const social::Post& post, const nlp::SentimentAnalyzer& analyzer,
+    const nlp::KeywordDictionary& outage_dictionary,
+    std::uint64_t ocr_seed = 4242);
+
+}  // namespace usaas::service

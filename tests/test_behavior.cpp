@@ -1,0 +1,310 @@
+// Tests that the behaviour model reproduces the paper's §3.2 shape claims.
+// These are the planted curves; the integration tests in
+// test_usaas_correlation.cpp check the *pipeline* recovers them from noisy
+// session data.
+#include "confsim/behavior.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace usaas::confsim {
+namespace {
+
+netsim::NetworkConditions make_conditions(double lat_ms, double loss_pct,
+                                          double jitter_ms, double bw_mbps) {
+  netsim::NetworkConditions c;
+  c.latency = core::Milliseconds{lat_ms};
+  c.loss = core::Percent{loss_pct};
+  c.jitter = core::Milliseconds{jitter_ms};
+  c.bandwidth = core::Mbps{bw_mbps};
+  return c;
+}
+
+// Controlled "good" values for the non-swept metrics.
+netsim::NetworkConditions at_latency(double ms) {
+  return make_conditions(ms, 0.1, 2.0, 3.5);
+}
+netsim::NetworkConditions at_loss(double pct) {
+  return make_conditions(20.0, pct, 2.0, 3.5);
+}
+netsim::NetworkConditions at_jitter(double ms) {
+  return make_conditions(20.0, 0.1, ms, 3.5);
+}
+netsim::NetworkConditions at_bandwidth(double mbps) {
+  return make_conditions(20.0, 0.1, 2.0, mbps);
+}
+
+class BehaviorShapes : public ::testing::Test {
+ protected:
+  UserBehaviorModel model_;
+  BehaviorContext ctx_;
+};
+
+// ---- Fig 1 (left): latency ----
+
+TEST_F(BehaviorShapes, LatencyDropsPresenceAndCamAbout20Percent) {
+  const auto best = model_.expected_engagement(at_latency(0.0), ctx_);
+  const auto worst = model_.expected_engagement(at_latency(300.0), ctx_);
+  const double presence_drop =
+      100.0 * (best.presence_pct - worst.presence_pct) / best.presence_pct;
+  const double cam_drop =
+      100.0 * (best.cam_on_pct - worst.cam_on_pct) / best.cam_on_pct;
+  EXPECT_GT(presence_drop, 15.0);
+  EXPECT_LT(presence_drop, 30.0);
+  EXPECT_GT(cam_drop, 15.0);
+  EXPECT_LT(cam_drop, 30.0);
+}
+
+TEST_F(BehaviorShapes, LatencyDropsMicOnMoreThan25Percent) {
+  const auto best = model_.expected_engagement(at_latency(0.0), ctx_);
+  const auto worst = model_.expected_engagement(at_latency(300.0), ctx_);
+  const double mic_drop =
+      100.0 * (best.mic_on_pct - worst.mic_on_pct) / best.mic_on_pct;
+  EXPECT_GT(mic_drop, 25.0);
+}
+
+TEST_F(BehaviorShapes, MicSlopeSteeperBefore150msThenPlateaus) {
+  const auto e0 = model_.expected_engagement(at_latency(0.0), ctx_);
+  const auto e150 = model_.expected_engagement(at_latency(150.0), ctx_);
+  const auto e300 = model_.expected_engagement(at_latency(300.0), ctx_);
+  const double early_slope = (e0.mic_on_pct - e150.mic_on_pct) / 150.0;
+  const double late_slope = (e150.mic_on_pct - e300.mic_on_pct) / 150.0;
+  EXPECT_GT(early_slope, 3.0 * late_slope);
+}
+
+TEST_F(BehaviorShapes, MutingIsFirstResort) {
+  // At moderate latency the mic loses proportionally more than the camera
+  // ("muting themselves as the means of first resort").
+  const auto best = model_.expected_engagement(at_latency(0.0), ctx_);
+  const auto mid = model_.expected_engagement(at_latency(120.0), ctx_);
+  const double mic_rel = mid.mic_on_pct / best.mic_on_pct;
+  const double cam_rel = mid.cam_on_pct / best.cam_on_pct;
+  EXPECT_LT(mic_rel, cam_rel);
+}
+
+// ---- Fig 1 (middle-left): loss ----
+
+TEST_F(BehaviorShapes, LossUpTo2PercentMovesEngagementUnder10Percent) {
+  const auto best = model_.expected_engagement(at_loss(0.0), ctx_);
+  const auto at2 = model_.expected_engagement(at_loss(2.0), ctx_);
+  EXPECT_LT(100.0 * (best.presence_pct - at2.presence_pct) / best.presence_pct,
+            10.0);
+  EXPECT_LT(100.0 * (best.cam_on_pct - at2.cam_on_pct) / best.cam_on_pct,
+            10.0);
+  EXPECT_LT(100.0 * (best.mic_on_pct - at2.mic_on_pct) / best.mic_on_pct,
+            10.0);
+}
+
+TEST_F(BehaviorShapes, DropOffJumpsBeyond3PercentLoss) {
+  const double drop_low = model_.damage(at_loss(1.0), ctx_).drop_off;
+  const double drop_high = model_.damage(at_loss(3.0), ctx_).drop_off;
+  EXPECT_LT(drop_low, 0.02);
+  EXPECT_GT(drop_high, drop_low + 0.10);  // "increases ... by more than 10%"
+}
+
+TEST_F(BehaviorShapes, MitigationAblationSteepensLossCurve) {
+  netsim::MitigationConfig off;
+  off.enabled = false;
+  const UserBehaviorModel unmitigated{default_behavior_params(), off};
+  const auto mitigated_at2 = model_.expected_engagement(at_loss(2.0), ctx_);
+  const auto raw_at2 = unmitigated.expected_engagement(at_loss(2.0), ctx_);
+  // Without the app-layer safeguards, 2% loss hurts much more.
+  EXPECT_LT(raw_at2.presence_pct, mitigated_at2.presence_pct - 5.0);
+}
+
+// ---- Fig 1 (middle-right): jitter ----
+
+TEST_F(BehaviorShapes, JitterDropsCamOnMoreThan15PercentAt10ms) {
+  const auto best = model_.expected_engagement(at_jitter(0.0), ctx_);
+  const auto at10 = model_.expected_engagement(at_jitter(10.0), ctx_);
+  const double cam_drop =
+      100.0 * (best.cam_on_pct - at10.cam_on_pct) / best.cam_on_pct;
+  EXPECT_GT(cam_drop, 15.0);
+}
+
+TEST_F(BehaviorShapes, JitterHitsCamHarderThanMic) {
+  const auto best = model_.expected_engagement(at_jitter(0.0), ctx_);
+  const auto at10 = model_.expected_engagement(at_jitter(10.0), ctx_);
+  const double cam_drop = 1.0 - at10.cam_on_pct / best.cam_on_pct;
+  const double mic_drop = 1.0 - at10.mic_on_pct / best.mic_on_pct;
+  EXPECT_GT(cam_drop, 2.0 * mic_drop);
+}
+
+// ---- Fig 1 (right): bandwidth ----
+
+TEST_F(BehaviorShapes, EngagementAt1MbpsWithin5PercentOfBest) {
+  const auto best = model_.expected_engagement(at_bandwidth(4.0), ctx_);
+  const auto at1 = model_.expected_engagement(at_bandwidth(1.0), ctx_);
+  EXPECT_GT(at1.presence_pct / best.presence_pct, 0.95);
+  EXPECT_GT(at1.cam_on_pct / best.cam_on_pct, 0.94);
+}
+
+TEST_F(BehaviorShapes, MicOnFlatAcrossBandwidth) {
+  const auto at_low = model_.expected_engagement(at_bandwidth(0.5), ctx_);
+  const auto at_high = model_.expected_engagement(at_bandwidth(4.0), ctx_);
+  EXPECT_NEAR(at_low.mic_on_pct, at_high.mic_on_pct, 0.5);
+}
+
+TEST_F(BehaviorShapes, StarvationBelow1MbpsHurtsVideo) {
+  const auto at1 = model_.expected_engagement(at_bandwidth(1.0), ctx_);
+  const auto at_quarter = model_.expected_engagement(at_bandwidth(0.25), ctx_);
+  EXPECT_LT(at_quarter.cam_on_pct, at1.cam_on_pct - 10.0);
+}
+
+// ---- Fig 2: compounding ----
+
+TEST_F(BehaviorShapes, LatencyLossCompoundingReachesHalfPresence) {
+  const auto best =
+      model_.expected_engagement(make_conditions(5.0, 0.05, 2.0, 3.5), ctx_);
+  const auto worst =
+      model_.expected_engagement(make_conditions(300.0, 3.0, 2.0, 3.5), ctx_);
+  const double ratio = worst.presence_pct / best.presence_pct;
+  EXPECT_LT(ratio, 0.60);  // "dip by as much as ~50%"
+  EXPECT_GT(ratio, 0.35);
+}
+
+TEST_F(BehaviorShapes, CompoundingIsSuperadditive) {
+  const auto base =
+      model_.expected_engagement(make_conditions(5.0, 0.05, 2.0, 3.5), ctx_);
+  const auto lat_only =
+      model_.expected_engagement(make_conditions(300.0, 0.05, 2.0, 3.5), ctx_);
+  const auto loss_only =
+      model_.expected_engagement(make_conditions(5.0, 3.0, 2.0, 3.5), ctx_);
+  const auto both =
+      model_.expected_engagement(make_conditions(300.0, 3.0, 2.0, 3.5), ctx_);
+  const double lat_damage = base.presence_pct - lat_only.presence_pct;
+  const double loss_damage = base.presence_pct - loss_only.presence_pct;
+  const double joint_damage = base.presence_pct - both.presence_pct;
+  EXPECT_GT(joint_damage, lat_damage + loss_damage);
+}
+
+// ---- Fig 3: platform ----
+
+TEST_F(BehaviorShapes, MobilePlatformsMoreSensitiveToLoss) {
+  auto presence_at = [&](Platform p, double loss) {
+    BehaviorContext ctx;
+    ctx.platform = p;
+    return model_.expected_engagement(at_loss(loss), ctx).presence_pct;
+  };
+  auto rel_drop = [&](Platform p) {
+    return 1.0 - presence_at(p, 3.2) / presence_at(p, 0.0);
+  };
+  EXPECT_GT(rel_drop(Platform::kAndroid), rel_drop(Platform::kWindowsPc));
+  EXPECT_GT(rel_drop(Platform::kIos), rel_drop(Platform::kWindowsPc));
+  EXPECT_GT(rel_drop(Platform::kAndroid), rel_drop(Platform::kIos));
+  EXPECT_LT(rel_drop(Platform::kMacPc), rel_drop(Platform::kWindowsPc));
+}
+
+// ---- Confounders ----
+
+TEST_F(BehaviorShapes, LargerMeetingsMuteMore) {
+  BehaviorContext small;
+  small.meeting_size = 3;
+  BehaviorContext large;
+  large.meeting_size = 15;
+  const auto cond = at_latency(10.0);
+  EXPECT_GT(model_.expected_engagement(cond, small).mic_on_pct,
+            model_.expected_engagement(cond, large).mic_on_pct + 15.0);
+}
+
+TEST_F(BehaviorShapes, ConditioningScalesSensitivity) {
+  BehaviorContext acclimatized;
+  acclimatized.conditioning = 0.8;
+  BehaviorContext sensitive;
+  sensitive.conditioning = 1.2;
+  const auto cond = at_latency(250.0);
+  EXPECT_GT(model_.expected_engagement(cond, acclimatized).presence_pct,
+            model_.expected_engagement(cond, sensitive).presence_pct);
+}
+
+// ---- Realization vs expectation ----
+
+TEST_F(BehaviorShapes, RealizedMeanMatchesExpectation) {
+  core::Rng rng{11};
+  const auto cond = make_conditions(100.0, 0.5, 4.0, 2.5);
+  const auto expected = model_.expected_engagement(cond, ctx_);
+  double presence_acc = 0.0;
+  double cam_acc = 0.0;
+  double mic_acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto e = model_.realize(cond, ctx_, rng);
+    presence_acc += e.presence_pct;
+    cam_acc += e.cam_on_pct;
+    mic_acc += e.mic_on_pct;
+  }
+  EXPECT_NEAR(presence_acc / n, expected.presence_pct, 1.5);
+  EXPECT_NEAR(cam_acc / n, expected.cam_on_pct, 1.5);
+  EXPECT_NEAR(mic_acc / n, expected.mic_on_pct, 1.5);
+}
+
+TEST_F(BehaviorShapes, RealizedValuesStayInBounds) {
+  core::Rng rng{12};
+  for (int i = 0; i < 5000; ++i) {
+    const auto cond = make_conditions(rng.uniform(0.0, 400.0),
+                                      rng.uniform(0.0, 5.0),
+                                      rng.uniform(0.0, 20.0),
+                                      rng.uniform(0.1, 4.0));
+    const auto e = model_.realize(cond, ctx_, rng);
+    EXPECT_GE(e.presence_pct, 0.0);
+    EXPECT_LE(e.presence_pct, 100.0);
+    EXPECT_GE(e.cam_on_pct, 0.0);
+    EXPECT_LE(e.cam_on_pct, 100.0);
+    EXPECT_GE(e.mic_on_pct, 0.0);
+    EXPECT_LE(e.mic_on_pct, 100.0);
+  }
+}
+
+TEST_F(BehaviorShapes, DropOffRateMatchesDamageProbability) {
+  core::Rng rng{13};
+  const auto cond = at_loss(3.2);
+  const double p_drop = model_.damage(cond, ctx_).drop_off;
+  int drops = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    drops += model_.realize(cond, ctx_, rng).dropped_early ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, p_drop, 0.01);
+}
+
+// Property sweep: damage is monotone non-decreasing in each metric.
+class DamageMonotone : public ::testing::TestWithParam<netsim::Metric> {};
+
+TEST_P(DamageMonotone, DamageNonDecreasing) {
+  const UserBehaviorModel model;
+  const BehaviorContext ctx;
+  const netsim::Metric metric = GetParam();
+  double prev_presence = -1.0;
+  for (int step = 0; step <= 20; ++step) {
+    netsim::NetworkConditions c = make_conditions(10.0, 0.1, 1.0, 3.5);
+    const double t = step / 20.0;
+    switch (metric) {
+      case netsim::Metric::kLatency:
+        c.latency = core::Milliseconds{t * 350.0};
+        break;
+      case netsim::Metric::kLoss:
+        c.loss = core::Percent{t * 5.0};
+        break;
+      case netsim::Metric::kJitter:
+        c.jitter = core::Milliseconds{t * 15.0};
+        break;
+      case netsim::Metric::kBandwidth:
+        c.bandwidth = core::Mbps{4.0 - t * 3.8};  // decreasing bw = worse
+        break;
+    }
+    const double d = model.damage(c, ctx).presence;
+    EXPECT_GE(d, prev_presence - 1e-9)
+        << "metric " << to_string(metric) << " step " << step;
+    prev_presence = d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, DamageMonotone,
+                         ::testing::Values(netsim::Metric::kLatency,
+                                           netsim::Metric::kLoss,
+                                           netsim::Metric::kJitter,
+                                           netsim::Metric::kBandwidth));
+
+}  // namespace
+}  // namespace usaas::confsim

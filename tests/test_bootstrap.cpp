@@ -1,0 +1,84 @@
+#include "core/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace usaas::core {
+namespace {
+
+TEST(Bootstrap, PointEstimateMatchesStatistic) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto ci = bootstrap_mean_ci(xs, 0.95, 500, 1);
+  EXPECT_DOUBLE_EQ(ci.point, 3.0);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+}
+
+TEST(Bootstrap, DeterministicForSeed) {
+  const std::vector<double> xs{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  const auto a = bootstrap_median_ci(xs, 0.9, 300, 42);
+  const auto b = bootstrap_median_ci(xs, 0.9, 300, 42);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, IntervalNarrowsWithSampleSize) {
+  Rng rng{5};
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 30; ++i) small.push_back(rng.normal(10.0, 2.0));
+  for (int i = 0; i < 3000; ++i) large.push_back(rng.normal(10.0, 2.0));
+  const auto ci_small = bootstrap_mean_ci(small, 0.95, 400, 7);
+  const auto ci_large = bootstrap_mean_ci(large, 0.95, 400, 7);
+  EXPECT_LT(ci_large.hi - ci_large.lo, ci_small.hi - ci_small.lo);
+}
+
+TEST(Bootstrap, HigherLevelWidensInterval) {
+  Rng rng{6};
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  const auto ci80 = bootstrap_mean_ci(xs, 0.80, 600, 9);
+  const auto ci99 = bootstrap_mean_ci(xs, 0.99, 600, 9);
+  EXPECT_LT(ci80.hi - ci80.lo, ci99.hi - ci99.lo);
+}
+
+TEST(Bootstrap, CoverageRoughlyNominal) {
+  // Repeated experiments: the 90% CI for the mean should contain the true
+  // mean in roughly 90% of trials (allow a generous band).
+  Rng rng{8};
+  int covered = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> xs;
+    for (int i = 0; i < 40; ++i) xs.push_back(rng.normal(5.0, 3.0));
+    const auto ci =
+        bootstrap_mean_ci(xs, 0.9, 300, static_cast<std::uint64_t>(t) + 1);
+    if (ci.lo <= 5.0 && 5.0 <= ci.hi) ++covered;
+  }
+  const double rate = static_cast<double>(covered) / trials;
+  EXPECT_GT(rate, 0.80);
+  EXPECT_LT(rate, 0.98);
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 100.0};
+  const auto ci = bootstrap_ci(
+      xs, [](std::span<const double> s) { return max_value(s); }, 0.9, 200, 3);
+  EXPECT_DOUBLE_EQ(ci.point, 100.0);
+  EXPECT_LE(ci.hi, 100.0);  // the max statistic cannot exceed the sample max
+}
+
+TEST(Bootstrap, ArgumentValidation) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW((void)bootstrap_mean_ci({}, 0.9, 100, 1), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_mean_ci(xs, 0.0, 100, 1), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_mean_ci(xs, 1.0, 100, 1), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_mean_ci(xs, 0.9, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace usaas::core

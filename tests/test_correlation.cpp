@@ -1,0 +1,104 @@
+#include "core/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace usaas::core {
+namespace {
+
+TEST(Correlation, PerfectLinearRelationships) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(2.0 * x + 1.0);
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg;
+  for (const double x : xs) neg.push_back(-3.0 * x);
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSignalIsZero) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Correlation, ShapeErrors) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  EXPECT_THROW((void)pearson(a, b), std::invalid_argument);
+  EXPECT_THROW((void)spearman(b, b), std::invalid_argument);  // size < 2
+}
+
+TEST(Correlation, SpearmanCapturesMonotoneNonlinear) {
+  // y = x^3 is monotone but nonlinear: spearman = 1 exactly.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = -10; i <= 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::pow(i, 3));
+  }
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(pearson(xs, ys), 1.0);
+}
+
+TEST(Correlation, KendallKnownSmallCase) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{1.0, 3.0, 2.0, 4.0};
+  // 5 concordant, 1 discordant of 6 pairs -> tau = 4/6.
+  EXPECT_NEAR(kendall_tau(xs, ys), 4.0 / 6.0, 1e-12);
+}
+
+TEST(Correlation, KendallPerfectAndReversed) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> rev{5.0, 4.0, 3.0, 2.0, 1.0};
+  EXPECT_NEAR(kendall_tau(xs, xs), 1.0, 1e-12);
+  EXPECT_NEAR(kendall_tau(xs, rev), -1.0, 1e-12);
+}
+
+TEST(Correlation, CovarianceMatchesDefinition) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0};
+  // cov = E[xy] - E[x]E[y] = (2 + 8 + 18)/3 - 2*4 = 28/3 - 8 = 4/3.
+  EXPECT_NEAR(covariance(xs, ys), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Correlation, IndependentSignalsNearZero) {
+  Rng rng{55};
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.normal(0.0, 1.0));
+    ys.push_back(rng.normal(0.0, 1.0));
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.03);
+  EXPECT_NEAR(spearman(xs, ys), 0.0, 0.03);
+}
+
+// Property: all three correlations are invariant under positive affine
+// transforms of either variable (Spearman/Kendall under any monotone).
+class CorrelationInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorrelationInvariance, AffineInvariance) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 31 + 5};
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.normal(0.0, 1.0);
+    xs.push_back(x);
+    ys.push_back(0.7 * x + rng.normal(0.0, 0.5));
+  }
+  std::vector<double> xs2;
+  for (const double x : xs) xs2.push_back(3.0 * x + 11.0);
+  EXPECT_NEAR(pearson(xs, ys), pearson(xs2, ys), 1e-9);
+  EXPECT_NEAR(spearman(xs, ys), spearman(xs2, ys), 1e-9);
+  EXPECT_NEAR(kendall_tau(xs, ys), kendall_tau(xs2, ys), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorrelationInvariance, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace usaas::core

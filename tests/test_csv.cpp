@@ -1,0 +1,58 @@
+#include "core/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace usaas::core {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  CsvTable t{{"a", "b"}};
+  t.add_row({"1", "2"});
+  t.add_numeric_row({3.5, 4.25});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_EQ(t.to_string(), "a,b\n1,2\n3.5,4.25\n");
+}
+
+TEST(Csv, ArityChecked) {
+  CsvTable t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(CsvTable{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(Csv, EscapingRules) {
+  EXPECT_EQ(CsvTable::escape("plain"), "plain");
+  EXPECT_EQ(CsvTable::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvTable::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvTable::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, EscapedCellsRoundTripInOutput) {
+  CsvTable t{{"text"}};
+  t.add_row({"hello, \"world\""});
+  EXPECT_EQ(t.to_string(), "text\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(Csv, WriteFile) {
+  const std::string path = "/tmp/usaas_csv_test.csv";
+  CsvTable t{{"x", "y"}};
+  t.add_numeric_row({1.0, 2.0});
+  t.write_file(path);
+  std::ifstream in{path};
+  std::string content{std::istreambuf_iterator<char>{in},
+                      std::istreambuf_iterator<char>{}};
+  EXPECT_EQ(content, "x,y\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteFileFailsOnBadPath) {
+  CsvTable t{{"x"}};
+  EXPECT_THROW(t.write_file("/nonexistent-dir/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace usaas::core

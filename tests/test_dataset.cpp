@@ -1,0 +1,205 @@
+#include "confsim/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace usaas::confsim {
+namespace {
+
+DatasetConfig small_config() {
+  DatasetConfig cfg;
+  cfg.num_calls = 300;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(Dataset, DeterministicForSeed) {
+  const CallDatasetGenerator gen{small_config()};
+  const auto a = gen.generate();
+  const auto b = gen.generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].participants.size(), b[i].participants.size());
+    EXPECT_DOUBLE_EQ(a[i].participants[0].presence_pct,
+                     b[i].participants[0].presence_pct);
+    EXPECT_DOUBLE_EQ(a[i].participants[0].network.latency_ms.mean,
+                     b[i].participants[0].network.latency_ms.mean);
+  }
+}
+
+TEST(Dataset, DifferentSeedsDiffer) {
+  auto cfg_a = small_config();
+  auto cfg_b = small_config();
+  cfg_b.seed = 2;
+  const auto a = CallDatasetGenerator{cfg_a}.generate();
+  const auto b = CallDatasetGenerator{cfg_b}.generate();
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_NE(a[0].participants[0].network.latency_ms.mean,
+            b[0].participants[0].network.latency_ms.mean);
+}
+
+TEST(Dataset, EnterpriseFilterHolds) {
+  const auto calls = CallDatasetGenerator{small_config()}.generate();
+  ASSERT_FALSE(calls.empty());
+  for (const auto& call : calls) {
+    EXPECT_TRUE(passes_enterprise_filter(call));
+    EXPECT_GE(call.size(), 3);
+    EXPECT_TRUE(call.start.date.is_weekday());
+    EXPECT_GE(call.start.time.hour, 9);
+    EXPECT_LT(call.start.time.hour, 20);
+  }
+}
+
+TEST(Dataset, DateRangeRespected) {
+  auto cfg = small_config();
+  cfg.first_day = core::Date(2022, 2, 1);
+  cfg.last_day = core::Date(2022, 2, 28);
+  const auto calls = CallDatasetGenerator{cfg}.generate();
+  for (const auto& call : calls) {
+    EXPECT_GE(call.start.date, cfg.first_day);
+    EXPECT_LE(call.start.date, cfg.last_day);
+  }
+}
+
+TEST(Dataset, SweepFillsAllBins) {
+  auto cfg = small_config();
+  cfg.num_calls = 2000;
+  cfg.sampling = ConditionSampling::kSweep;
+  cfg.sweep_metric = netsim::Metric::kLatency;
+  cfg.sweep_lo = 0.0;
+  cfg.sweep_hi = 300.0;
+  const auto calls = CallDatasetGenerator{cfg}.generate();
+  std::array<int, 15> bins{};
+  for (const auto& call : calls) {
+    for (const auto& p : call.participants) {
+      const double lat = p.network.latency_ms.mean;
+      if (lat >= 0.0 && lat < 300.0) {
+        ++bins[static_cast<std::size_t>(lat / 20.0)];
+      }
+    }
+  }
+  for (const int count : bins) EXPECT_GT(count, 50);
+}
+
+TEST(Dataset, SweepControlsOtherMetrics) {
+  auto cfg = small_config();
+  cfg.sampling = ConditionSampling::kSweep;
+  cfg.sweep_metric = netsim::Metric::kLoss;
+  cfg.sweep_lo = 0.0;
+  cfg.sweep_hi = 3.5;
+  const auto calls = CallDatasetGenerator{cfg}.generate();
+  int in_control = 0;
+  int total = 0;
+  for (const auto& call : calls) {
+    for (const auto& p : call.participants) {
+      ++total;
+      if (netsim::others_in_control(p.network.mean_conditions(),
+                                    netsim::Metric::kLoss)) {
+        ++in_control;
+      }
+    }
+  }
+  // The baselines are inside the windows; session noise moves a few out.
+  EXPECT_GT(static_cast<double>(in_control) / total, 0.55);
+}
+
+TEST(Dataset, MosSamplingSparse) {
+  auto cfg = small_config();
+  cfg.num_calls = 3000;
+  const auto calls = CallDatasetGenerator{cfg}.generate();
+  std::size_t rated = 0;
+  std::size_t total = 0;
+  for (const auto& call : calls) {
+    for (const auto& p : call.participants) {
+      ++total;
+      if (p.mos) ++rated;
+    }
+  }
+  const double rate = static_cast<double>(rated) / static_cast<double>(total);
+  EXPECT_GT(rate, 0.0005);
+  EXPECT_LT(rate, 0.01);
+}
+
+TEST(Dataset, FullTelemetryModeProducesSamples) {
+  auto cfg = small_config();
+  cfg.num_calls = 20;
+  cfg.telemetry = TelemetryMode::kFull;
+  const auto calls = CallDatasetGenerator{cfg}.generate();
+  ASSERT_FALSE(calls.empty());
+  for (const auto& call : calls) {
+    for (const auto& p : call.participants) {
+      // A full simulation has one sample per 5 seconds of the call.
+      EXPECT_EQ(p.network.sample_count,
+                static_cast<std::size_t>(call.scheduled_minutes * 12));
+      EXPECT_GT(p.network.latency_ms.p95, 0.0);
+    }
+  }
+}
+
+TEST(Dataset, FastModeMatchesFullModeOnAverage) {
+  // The fast analytic telemetry should produce session means distributed
+  // like the full path simulation (same baselines, same seed stream).
+  auto full_cfg = small_config();
+  full_cfg.num_calls = 150;
+  full_cfg.telemetry = TelemetryMode::kFull;
+  auto fast_cfg = full_cfg;
+  fast_cfg.telemetry = TelemetryMode::kFast;
+  auto mean_latency = [](const std::vector<CallRecord>& calls) {
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (const auto& c : calls) {
+      for (const auto& p : c.participants) {
+        acc += p.network.latency_ms.mean;
+        ++n;
+      }
+    }
+    return acc / static_cast<double>(n);
+  };
+  const double full_mean =
+      mean_latency(CallDatasetGenerator{full_cfg}.generate());
+  const double fast_mean =
+      mean_latency(CallDatasetGenerator{fast_cfg}.generate());
+  EXPECT_NEAR(fast_mean / full_mean, 1.0, 0.25);
+}
+
+TEST(Dataset, MeetingSizeDistribution) {
+  auto cfg = small_config();
+  cfg.num_calls = 1000;
+  cfg.mean_extra_participants = 3.0;
+  cfg.max_participants = 10;
+  const auto calls = CallDatasetGenerator{cfg}.generate();
+  double acc = 0.0;
+  for (const auto& call : calls) {
+    EXPECT_LE(call.size(), 10);
+    EXPECT_GE(call.size(), 3);
+    acc += call.size();
+  }
+  EXPECT_NEAR(acc / static_cast<double>(calls.size()), 6.0, 0.6);
+}
+
+TEST(Dataset, StreamingMatchesBatch) {
+  const CallDatasetGenerator gen{small_config()};
+  const auto batch = gen.generate();
+  std::size_t streamed = 0;
+  gen.generate_stream([&](const CallRecord& c) {
+    ASSERT_LT(streamed, batch.size());
+    EXPECT_EQ(c.call_id, batch[streamed].call_id);
+    ++streamed;
+  });
+  EXPECT_EQ(streamed, batch.size());
+}
+
+TEST(Dataset, ConfigValidation) {
+  DatasetConfig cfg;
+  cfg.num_calls = 0;
+  EXPECT_THROW(CallDatasetGenerator{cfg}, std::invalid_argument);
+  cfg = DatasetConfig{};
+  cfg.last_day = core::Date(2021, 1, 1);
+  EXPECT_THROW(CallDatasetGenerator{cfg}, std::invalid_argument);
+  cfg = DatasetConfig{};
+  cfg.max_participants = 2;
+  EXPECT_THROW(CallDatasetGenerator{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace usaas::confsim

@@ -1,0 +1,92 @@
+#include "core/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace usaas::core {
+namespace {
+
+TEST(Binner1D, RejectsBadConstruction) {
+  EXPECT_THROW(Binner1D(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Binner1D(2.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Binner1D(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Binner1D, MeansPerBin) {
+  Binner1D b{0.0, 10.0, 2};
+  b.add(1.0, 10.0);
+  b.add(2.0, 20.0);
+  b.add(7.0, 100.0);
+  const auto bins = b.bins();
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(bins[0].mean_y, 15.0);
+  EXPECT_EQ(bins[0].count, 2u);
+  EXPECT_DOUBLE_EQ(bins[0].center(), 2.5);
+  EXPECT_DOUBLE_EQ(bins[1].mean_y, 100.0);
+}
+
+TEST(Binner1D, OutOfRangeIgnored) {
+  Binner1D b{0.0, 10.0, 5};
+  b.add(-0.1, 1.0);
+  b.add(10.0, 1.0);  // hi edge is exclusive
+  EXPECT_EQ(b.total_added(), 0u);
+  EXPECT_TRUE(b.bins().empty());
+}
+
+TEST(Binner1D, EmptyBinsOmitted) {
+  Binner1D b{0.0, 10.0, 10};
+  b.add(0.5, 1.0);
+  b.add(9.5, 2.0);
+  EXPECT_EQ(b.bins().size(), 2u);
+  const auto curve = b.curve();
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0].first, 0.5);
+  EXPECT_DOUBLE_EQ(curve[1].first, 9.5);
+}
+
+TEST(Binner1D, EdgeValueLandsInBin) {
+  Binner1D b{0.0, 1.0, 4};
+  b.add(0.25, 1.0);  // exactly on a boundary -> second bin
+  const auto bins = b.bins();
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_DOUBLE_EQ(bins[0].lo, 0.25);
+}
+
+TEST(Grid2D, CellAggregation) {
+  Grid2D g{0.0, 10.0, 2, 0.0, 10.0, 2};
+  g.add(1.0, 1.0, 10.0);
+  g.add(2.0, 2.0, 20.0);
+  g.add(8.0, 8.0, 100.0);
+  EXPECT_EQ(g.cell_count(0, 0), 2u);
+  EXPECT_DOUBLE_EQ(*g.cell_mean(0, 0), 15.0);
+  EXPECT_FALSE(g.cell_mean(1, 0).has_value());
+  EXPECT_DOUBLE_EQ(*g.cell_mean(1, 1), 100.0);
+}
+
+TEST(Grid2D, MinMaxCellMeans) {
+  Grid2D g{0.0, 4.0, 2, 0.0, 4.0, 2};
+  EXPECT_FALSE(g.max_cell_mean().has_value());
+  g.add(1.0, 1.0, 50.0);
+  g.add(3.0, 3.0, 10.0);
+  EXPECT_DOUBLE_EQ(*g.max_cell_mean(), 50.0);
+  EXPECT_DOUBLE_EQ(*g.min_cell_mean(), 10.0);
+}
+
+TEST(Grid2D, CellsReportCenters) {
+  Grid2D g{0.0, 4.0, 2, 0.0, 2.0, 1};
+  g.add(0.5, 0.5, 7.0);
+  const auto cells = g.cells();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(cells[0].x_center, 1.0);
+  EXPECT_DOUBLE_EQ(cells[0].y_center, 1.0);
+  EXPECT_DOUBLE_EQ(cells[0].mean_value, 7.0);
+}
+
+TEST(Grid2D, OutOfRangeIgnored) {
+  Grid2D g{0.0, 1.0, 1, 0.0, 1.0, 1};
+  g.add(-0.5, 0.5, 1.0);
+  g.add(0.5, 1.5, 1.0);
+  EXPECT_EQ(g.cell_count(0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace usaas::core

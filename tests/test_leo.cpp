@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include "leo/constellation.h"
+#include "leo/events.h"
+#include "leo/launches.h"
+#include "leo/outages.h"
+#include "leo/speed.h"
+#include "leo/subscribers.h"
+
+namespace usaas::leo {
+namespace {
+
+using core::Date;
+
+// ---- Launch schedule: the paper's §4.2 counts ----
+
+TEST(Launches, FourteenLaunchesJanToSep2021) {
+  const LaunchSchedule sched;
+  EXPECT_EQ(sched.launches_between(Date(2021, 1, 1), Date(2021, 9, 30)), 14);
+}
+
+TEST(Launches, NoLaunchesJunToAug2021) {
+  const LaunchSchedule sched;
+  EXPECT_EQ(sched.launches_between(Date(2021, 6, 1), Date(2021, 8, 31)), 0);
+}
+
+TEST(Launches, ThirtySevenBatchesSep21ToDec22) {
+  const LaunchSchedule sched;
+  EXPECT_EQ(sched.launches_between(Date(2021, 9, 1), Date(2022, 12, 31)), 37);
+}
+
+TEST(Launches, Roughly60SatellitesPerLaunchIn2021H1) {
+  const LaunchSchedule sched;
+  int count = 0;
+  int sats = 0;
+  for (const Launch& l : sched.launches()) {
+    if (Date(2021, 1, 1) <= l.date && l.date <= Date(2021, 9, 30)) {
+      ++count;
+      sats += l.satellites;
+    }
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_NEAR(static_cast<double>(sats) / count, 60.0, 3.0);
+}
+
+TEST(Launches, CumulativeCountMonotone) {
+  const LaunchSchedule sched;
+  int prev = 0;
+  for (int m = 0; m < 24; ++m) {
+    const Date d = Date(2021, 1, 15).plus_months(m);
+    const int cur = sched.satellites_launched_by(d);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Launches, CustomScheduleSortsAndQueries) {
+  LaunchSchedule sched{{{Date(2022, 5, 1), 50}, {Date(2022, 1, 1), 40}}};
+  EXPECT_EQ(sched.launches().front().date, Date(2022, 1, 1));
+  EXPECT_EQ(sched.satellites_launched_by(Date(2022, 2, 1)), 40);
+  EXPECT_EQ(sched.launches_in_month(2022, 5), 1);
+}
+
+// ---- Subscribers: the paper's cited milestones ----
+
+TEST(Subscribers, MilestonesInterpolated) {
+  const SubscriberModel model;
+  EXPECT_NEAR(model.subscribers_on(Date(2021, 2, 9)), 10000, 500);
+  EXPECT_NEAR(model.subscribers_on(Date(2021, 8, 10)), 90000, 4000);
+  EXPECT_NEAR(model.subscribers_on(Date(2022, 12, 19)), 1000000, 50000);
+}
+
+TEST(Subscribers, About21KAddedJunToAug2021) {
+  // §4.2: "Between Jun and Aug'21, 21K new users started using Starlink".
+  const SubscriberModel model;
+  const double added =
+      model.added_between(Date(2021, 6, 25), Date(2021, 8, 10));
+  EXPECT_NEAR(added, 21000, 4000);
+}
+
+TEST(Subscribers, GrowthIsMonotone) {
+  const SubscriberModel model;
+  double prev = 0.0;
+  for (int m = 0; m < 24; ++m) {
+    const double cur = model.subscribers_on(Date(2021, 1, 1).plus_months(m));
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Subscribers, TenfoldGrowthSep21ToDec22) {
+  const SubscriberModel model;
+  const double sep21 = model.subscribers_on(Date(2021, 9, 15));
+  const double dec22 = model.subscribers_on(Date(2022, 12, 15));
+  EXPECT_GT(dec22 / sep21, 8.0);
+}
+
+TEST(Subscribers, Validation) {
+  EXPECT_THROW(SubscriberModel{std::vector<SubscriberMilestone>{}},
+               std::invalid_argument);
+  EXPECT_THROW(SubscriberModel({{Date(2021, 1, 1), -5.0, ""}}),
+               std::invalid_argument);
+}
+
+// ---- Constellation ----
+
+TEST(Constellation, CommissioningLagDelaysService) {
+  const LaunchSchedule sched{{{Date(2022, 1, 1), 60}}};
+  ConstellationParams params;
+  params.commissioning_days = 30;
+  params.annual_attrition = 0.0;
+  const ConstellationModel model{sched, params};
+  EXPECT_DOUBLE_EQ(model.operational_satellites(Date(2022, 1, 15)), 0.0);
+  EXPECT_DOUBLE_EQ(model.operational_satellites(Date(2022, 2, 1)), 60.0);
+}
+
+TEST(Constellation, AttritionErodesFleet) {
+  const LaunchSchedule sched{{{Date(2020, 1, 1), 100}}};
+  ConstellationParams params;
+  params.commissioning_days = 0;
+  params.annual_attrition = 0.1;
+  const ConstellationModel model{sched, params};
+  const double after_one_year = model.operational_satellites(Date(2021, 1, 1));
+  EXPECT_NEAR(after_one_year, 90.0, 0.2);
+}
+
+TEST(Constellation, EfficiencyRampBounds) {
+  const ConstellationModel model;
+  const auto& p = model.params();
+  EXPECT_DOUBLE_EQ(model.coverage_efficiency(Date(2020, 6, 1)),
+                   p.efficiency_start);
+  EXPECT_DOUBLE_EQ(model.coverage_efficiency(Date(2023, 6, 1)),
+                   p.efficiency_end);
+  const double mid = model.coverage_efficiency(Date(2022, 1, 1));
+  EXPECT_GT(mid, p.efficiency_start);
+  EXPECT_LT(mid, p.efficiency_end);
+}
+
+TEST(Constellation, ParamValidation) {
+  ConstellationParams bad;
+  bad.commissioning_days = -1;
+  EXPECT_THROW(ConstellationModel(LaunchSchedule{}, bad),
+               std::invalid_argument);
+  bad = ConstellationParams{};
+  bad.annual_attrition = 1.0;
+  EXPECT_THROW(ConstellationModel(LaunchSchedule{}, bad),
+               std::invalid_argument);
+}
+
+// ---- Speed model: the Fig 7 trajectory claims ----
+
+class SpeedTrajectory : public ::testing::Test {
+ protected:
+  SpeedModel model_{ConstellationModel{}, SubscriberModel{}};
+  [[nodiscard]] double median_at(int y, int m) const {
+    return model_.median_downlink_mbps(Date(y, m, 15));
+  }
+};
+
+TEST_F(SpeedTrajectory, SpeedsRiseJanToJun2021) {
+  EXPECT_GT(median_at(2021, 6), median_at(2021, 1) * 1.3);
+}
+
+TEST_F(SpeedTrajectory, SharpDipJunToAug2021) {
+  // 21K new users, no commissioned launches: speeds fall.
+  EXPECT_LT(median_at(2021, 8), median_at(2021, 6) * 0.92);
+}
+
+TEST_F(SpeedTrajectory, SteadyDeclineBeyondSep2021) {
+  const double sep21 = median_at(2021, 9);
+  const double dec22 = median_at(2022, 12);
+  EXPECT_LT(dec22, sep21 * 0.65);
+  // "Almost steady": each quarter no higher than the previous +10%.
+  double prev = sep21;
+  for (int q = 1; q <= 5; ++q) {
+    const double cur =
+        model_.median_downlink_mbps(Date(2021, 9, 15).plus_months(3 * q));
+    EXPECT_LT(cur, prev * 1.10);
+    prev = cur;
+  }
+}
+
+TEST_F(SpeedTrajectory, Dec21FasterThanApr21) {
+  // The precondition of the paper's fulcrum anomaly: "downlink speed is
+  // higher in Dec'21 than Apr'21".
+  EXPECT_GT(median_at(2021, 12), median_at(2021, 4));
+}
+
+TEST_F(SpeedTrajectory, DeclineDeceleratesIn2022) {
+  // Feb'22 crash is steep; late 2022 is a slow drift — which is what lets
+  // the adapted sentiment recover (§4.2 "the exact inverse").
+  const double early_drop = median_at(2022, 1) - median_at(2022, 3);
+  const double late_drop = median_at(2022, 9) - median_at(2022, 11);
+  EXPECT_GT(early_drop, 2.0 * late_drop);
+}
+
+TEST_F(SpeedTrajectory, DrawTestDistributionAroundMedian) {
+  core::Rng rng{30};
+  std::vector<double> downs;
+  for (int i = 0; i < 4001; ++i) {
+    const auto s = model_.draw_test(Date(2022, 6, 15), rng);
+    EXPECT_GT(s.downlink_mbps, 0.0);
+    EXPECT_GT(s.uplink_mbps, 0.0);
+    EXPECT_LT(s.uplink_mbps, s.downlink_mbps);
+    EXPECT_GT(s.latency_ms, 10.0);
+    downs.push_back(s.downlink_mbps);
+  }
+  std::nth_element(downs.begin(), downs.begin() + 2000, downs.end());
+  EXPECT_NEAR(downs[2000] / median_at(2022, 6), 1.0, 0.08);
+}
+
+TEST_F(SpeedTrajectory, OutageCollapsesSpeeds) {
+  core::Rng rng{31};
+  int collapsed = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto s = model_.draw_test(Date(2022, 6, 15), rng, 1.0);
+    if (s.during_outage) {
+      ++collapsed;
+      EXPECT_LT(s.downlink_mbps, 20.0);
+      EXPECT_GT(s.latency_ms, 150.0);
+    }
+  }
+  EXPECT_EQ(collapsed, 2000);
+}
+
+// ---- Outages ----
+
+TEST(Outages, MajorOutagesOnPaperDates) {
+  const OutageModel model{Date(2022, 1, 1), Date(2022, 12, 31), 1};
+  EXPECT_GT(model.severity_on(Date(2022, 1, 7)), 0.4);
+  EXPECT_GT(model.severity_on(Date(2022, 4, 22)), 0.25);
+  EXPECT_GT(model.severity_on(Date(2022, 8, 30)), 0.4);
+}
+
+TEST(Outages, Jan7AndAug30AreReported_Apr22IsNot) {
+  for (const Outage& o : OutageModel::major_outages_2022()) {
+    if (o.date == Date(2022, 4, 22)) {
+      EXPECT_FALSE(o.publicly_reported);
+    } else {
+      EXPECT_TRUE(o.publicly_reported);
+    }
+  }
+}
+
+TEST(Outages, TransientsAreFrequentAndSmall) {
+  const OutageModel model{Date(2021, 1, 1), Date(2022, 12, 31), 7};
+  std::size_t transients = 0;
+  for (const Outage& o : model.outages()) {
+    if (o.cause != OutageCause::kSoftwareGlobal) {
+      ++transients;
+      EXPECT_LE(o.affected_fraction, 0.12);
+      EXPECT_LE(o.severity(), 0.05);
+    }
+  }
+  // ~0.22/day over 730 days.
+  EXPECT_GT(transients, 100u);
+  EXPECT_LT(transients, 260u);
+}
+
+TEST(Outages, MostTransientsUnreported) {
+  // "Most of these outages are not publicly reported" (§4.1).
+  const OutageModel model{Date(2021, 1, 1), Date(2022, 12, 31), 7};
+  std::size_t reported = 0;
+  std::size_t transients = 0;
+  for (const Outage& o : model.outages()) {
+    if (o.cause == OutageCause::kSoftwareGlobal) continue;
+    ++transients;
+    if (o.publicly_reported) ++reported;
+  }
+  EXPECT_LT(static_cast<double>(reported) / transients, 0.1);
+}
+
+TEST(Outages, DaysAboveThreshold) {
+  const OutageModel model{Date(2022, 1, 1), Date(2022, 12, 31), 3};
+  const auto majors = model.days_above(0.2);
+  EXPECT_EQ(majors.size(), 3u);  // exactly the three major 2022 outages
+  const auto any = model.days_above(0.001);
+  EXPECT_GT(any.size(), majors.size());
+}
+
+TEST(Outages, DeterministicForSeed) {
+  const OutageModel a{Date(2022, 1, 1), Date(2022, 6, 30), 11};
+  const OutageModel b{Date(2022, 1, 1), Date(2022, 6, 30), 11};
+  EXPECT_EQ(a.outages().size(), b.outages().size());
+}
+
+// ---- Events ----
+
+TEST(Events, PaperEventsPresent) {
+  const EventTimeline timeline;
+  EXPECT_FALSE(timeline.on(Date(2021, 2, 9)).empty());    // preorders
+  EXPECT_FALSE(timeline.on(Date(2021, 11, 24)).empty());  // delay email
+  EXPECT_FALSE(timeline.on(Date(2022, 3, 3)).empty());    // roaming tweet
+}
+
+TEST(Events, SearchFindsPreordersByKeyword) {
+  const EventTimeline timeline;
+  const std::vector<std::string> q{"preorder"};
+  const auto hit = timeline.search(q, Date(2021, 2, 10), 3);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->date, Date(2021, 2, 9));
+}
+
+TEST(Events, SearchCannotSeeUncoveredEvents) {
+  // The Apr 22 '22 outage never made the news: searching for "outage"
+  // around that date finds nothing (the paper's exact experience).
+  const EventTimeline timeline;
+  const std::vector<std::string> q{"outage"};
+  EXPECT_FALSE(timeline.search(q, Date(2022, 4, 22), 3).has_value());
+}
+
+TEST(Events, SearchWindowRespected) {
+  const EventTimeline timeline;
+  const std::vector<std::string> q{"preorder"};
+  EXPECT_FALSE(timeline.search(q, Date(2021, 3, 15), 3).has_value());
+  EXPECT_TRUE(timeline.search(q, Date(2021, 2, 12), 3).has_value());
+}
+
+TEST(Events, RoamingDiscoveryPrecedesAnnouncement) {
+  const auto lead = EventTimeline::roaming_user_discovery_date().days_until(
+      EventTimeline::roaming_announcement_date());
+  EXPECT_GE(lead, 14);  // "~2 weeks before"
+}
+
+TEST(Events, LaunchesProduceEvents) {
+  const LaunchSchedule sched;
+  const EventTimeline timeline{sched};
+  std::size_t launch_events = 0;
+  for (const NewsEvent& e : timeline.events()) {
+    if (e.headline.find("launches another") != std::string::npos) {
+      ++launch_events;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(launch_events),
+            sched.launches_between(Date(2019, 1, 1), Date(2023, 1, 1)));
+}
+
+TEST(Events, BuzzAccumulatesPerDay) {
+  EventTimeline timeline{std::vector<NewsEvent>{
+      {Date(2022, 1, 1), "a", {"x"}, EventSentiment::kNeutral, 0.2, true},
+      {Date(2022, 1, 1), "b", {"y"}, EventSentiment::kNeutral, 0.3, true},
+  }};
+  EXPECT_NEAR(timeline.buzz_on(Date(2022, 1, 1)), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(timeline.buzz_on(Date(2022, 1, 2)), 0.0);
+}
+
+}  // namespace
+}  // namespace usaas::leo

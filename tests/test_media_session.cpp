@@ -1,0 +1,140 @@
+// Packet-level validation of the analytic residual-loss model: the Fig 1/2
+// engagement results rest on netsim::residual_loss; these tests check that
+// a real packet-by-packet FEC + retransmission simulation over a bursty
+// channel behaves the way the closed form assumes.
+#include "netsim/media_session.h"
+
+#include <gtest/gtest.h>
+
+namespace usaas::netsim {
+namespace {
+
+using core::Milliseconds;
+using core::Rng;
+
+MediaSessionResult run_session(double loss, double rtt_ms,
+                               const MediaSessionConfig& cfg, int reps = 10,
+                               std::uint64_t seed = 1) {
+  Rng rng{seed};
+  MediaSessionResult acc;
+  for (int i = 0; i < reps; ++i) {
+    const auto r =
+        simulate_media_session(600.0, loss, Milliseconds{rtt_ms}, cfg, rng);
+    acc.packets_sent += r.packets_sent;
+    acc.lost_raw += r.lost_raw;
+    acc.recovered_fec += r.recovered_fec;
+    acc.recovered_retransmit += r.recovered_retransmit;
+    acc.lost_residual += r.lost_residual;
+  }
+  return acc;
+}
+
+TEST(MediaSession, AccountingIsConsistent) {
+  const MediaSessionConfig cfg;
+  const auto r = run_session(0.03, 60.0, cfg, 3);
+  EXPECT_EQ(r.lost_raw,
+            r.recovered_fec + r.recovered_retransmit + r.lost_residual);
+  EXPECT_LE(r.lost_residual, r.lost_raw);
+  EXPECT_GT(r.packets_sent, 0u);
+}
+
+TEST(MediaSession, ZeroLossIsClean) {
+  const MediaSessionConfig cfg;
+  const auto r = run_session(0.0, 60.0, cfg, 1);
+  EXPECT_EQ(r.lost_raw, 0u);
+  EXPECT_EQ(r.lost_residual, 0u);
+}
+
+TEST(MediaSession, RawLossRateMatchesChannelTarget) {
+  const MediaSessionConfig cfg;
+  const auto r = run_session(0.02, 60.0, cfg, 20);
+  EXPECT_NEAR(r.raw_loss_rate(), 0.02, 0.004);
+}
+
+TEST(MediaSession, MitigationOffPassesRawThrough) {
+  MediaSessionConfig cfg;
+  cfg.mitigation.enabled = false;
+  const auto r = run_session(0.03, 60.0, cfg, 3);
+  EXPECT_EQ(r.lost_residual, r.lost_raw);
+  EXPECT_EQ(r.recovered_fec, 0u);
+}
+
+TEST(MediaSession, ResidualMonotoneInRawLoss) {
+  const MediaSessionConfig cfg;
+  double prev = -1.0;
+  for (const double loss : {0.005, 0.01, 0.02, 0.03, 0.05}) {
+    const double residual = run_session(loss, 120.0, cfg).residual_loss_rate();
+    EXPECT_GE(residual, prev);
+    prev = residual;
+  }
+}
+
+TEST(MediaSession, HighRttDisablesRetransmission) {
+  // The Fig 2 compounding mechanism, verified at packet level.
+  const MediaSessionConfig cfg;
+  const auto low = run_session(0.03, 60.0, cfg);
+  const auto high = run_session(0.03, 600.0, cfg);
+  EXPECT_GT(high.residual_loss_rate(), 2.0 * low.residual_loss_rate());
+  EXPECT_EQ(high.recovered_retransmit, 0u);
+  EXPECT_GT(low.recovered_retransmit, 0u);
+}
+
+TEST(MediaSession, InterleavingHelpsAgainstBursts) {
+  MediaSessionConfig deep;
+  deep.interleave_depth = 8;
+  MediaSessionConfig none;
+  none.interleave_depth = 1;
+  // No retransmission (high RTT) isolates the FEC effect.
+  const double with_interleave =
+      run_session(0.04, 600.0, deep).residual_loss_rate();
+  const double without =
+      run_session(0.04, 600.0, none).residual_loss_rate();
+  EXPECT_LT(with_interleave, without);
+}
+
+TEST(MediaSession, AnalyticModelIsConservativeEnvelope) {
+  // The behaviour model must never *understate* damage relative to packet
+  // reality: the analytic residual tracks the simulation from above
+  // (within sampling tolerance) across the (loss, rtt) grid.
+  const MediaSessionConfig cfg;
+  for (const double loss : {0.005, 0.01, 0.02, 0.03, 0.05}) {
+    for (const double rtt : {40.0, 120.0, 600.0}) {
+      const double simulated =
+          run_session(loss, rtt, cfg).residual_loss_rate();
+      const double analytic =
+          residual_loss(loss, Milliseconds{rtt}, cfg.mitigation);
+      EXPECT_LE(simulated, analytic * 1.6 + 0.0005)
+          << "loss " << loss << " rtt " << rtt;
+    }
+  }
+}
+
+TEST(MediaSession, AnalyticAndSimulatedAgreeAtHighRtt) {
+  // With retransmission out of the picture the two FEC models should sit
+  // within a small factor of each other.
+  const MediaSessionConfig cfg;
+  for (const double loss : {0.01, 0.02, 0.03, 0.05}) {
+    const double simulated =
+        run_session(loss, 600.0, cfg, 20).residual_loss_rate();
+    const double analytic =
+        residual_loss(loss, Milliseconds{600.0}, cfg.mitigation);
+    EXPECT_GT(simulated, analytic * 0.25) << "loss " << loss;
+    EXPECT_LT(simulated, analytic * 1.6 + 0.0005) << "loss " << loss;
+  }
+}
+
+TEST(MediaSession, Validation) {
+  const MediaSessionConfig cfg;
+  Rng rng{2};
+  EXPECT_THROW(
+      (void)simulate_media_session(0.0, 0.01, Milliseconds{40.0}, cfg, rng),
+      std::invalid_argument);
+  MediaSessionConfig bad;
+  bad.fec_group_size = 0;
+  EXPECT_THROW(
+      (void)simulate_media_session(10.0, 0.01, Milliseconds{40.0}, bad, rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace usaas::netsim

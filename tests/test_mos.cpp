@@ -1,0 +1,120 @@
+#include "confsim/mos.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace usaas::confsim {
+namespace {
+
+TEST(MosModel, ExpectedRatingMonotoneDecreasing) {
+  const MosModel model;
+  double prev = 10.0;
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    const double r = model.expected_rating(x);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+  EXPECT_NEAR(model.expected_rating(0.0), 4.7, 1e-9);
+}
+
+TEST(MosModel, RatingsClampedAndQuantized) {
+  MosModelParams params;
+  params.quantize = true;
+  const MosModel model{params};
+  core::Rng rng{1};
+  for (int i = 0; i < 2000; ++i) {
+    const double impairment = rng.uniform(0.0, 1.0);
+    const auto mos = model.rate(impairment, rng.normal(0.0, 0.3), rng);
+    EXPECT_GE(mos.score(), 1.0);
+    EXPECT_LE(mos.score(), 5.0);
+    EXPECT_DOUBLE_EQ(mos.score(), std::round(mos.score()));
+  }
+}
+
+TEST(MosModel, ContinuousWhenQuantizationOff) {
+  MosModelParams params;
+  params.quantize = false;
+  params.rating_noise = 0.0;
+  const MosModel model{params};
+  core::Rng rng{2};
+  const auto r = model.rate(0.37, 0.0, rng);
+  EXPECT_NEAR(r.score(), model.expected_rating(0.37), 1e-9);
+}
+
+TEST(MosModel, MeanRatingTracksImpairment) {
+  const MosModel model;
+  core::Rng rng{3};
+  auto mean_rating = [&](double impairment) {
+    double acc = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      acc += model.rate(impairment, 0.0, rng).score();
+    }
+    return acc / n;
+  };
+  const double good = mean_rating(0.05);
+  const double bad = mean_rating(0.6);
+  EXPECT_GT(good, 4.0);
+  EXPECT_LT(bad, 3.0);
+}
+
+TEST(MosModel, SamplingRateRespected) {
+  MosModelParams params;
+  params.sampling_rate = 0.01;
+  params.response_rate = 0.5;
+  const MosModel model{params};
+  core::Rng rng{4};
+  int collected = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (model.maybe_collect(0.2, 0.0, rng)) ++collected;
+  }
+  // Effective rate = sampling * response = 0.5%.
+  EXPECT_NEAR(static_cast<double>(collected) / n, 0.005, 0.001);
+}
+
+TEST(MosModel, DefaultRateInPaperRange) {
+  // "between 0.1% and 1% of sessions" (§3.1).
+  const MosModel model;
+  const double effective =
+      model.params().sampling_rate * model.params().response_rate;
+  EXPECT_GE(effective, 0.001);
+  EXPECT_LE(effective, 0.01);
+}
+
+TEST(MosModel, UserBiasShiftsRatings) {
+  MosModelParams params;
+  params.rating_noise = 0.0;
+  params.quantize = false;
+  const MosModel model{params};
+  core::Rng rng{5};
+  const double neutral = model.rate(0.3, 0.0, rng).score();
+  const double grumpy = model.rate(0.3, -0.5, rng).score();
+  const double cheerful = model.rate(0.3, 0.5, rng).score();
+  EXPECT_LT(grumpy, neutral);
+  EXPECT_GT(cheerful, neutral);
+}
+
+TEST(MosModel, ParameterValidation) {
+  MosModelParams bad;
+  bad.sampling_rate = 1.5;
+  EXPECT_THROW(MosModel{bad}, std::invalid_argument);
+  bad.sampling_rate = 0.01;
+  bad.gamma = 0.0;
+  EXPECT_THROW(MosModel{bad}, std::invalid_argument);
+}
+
+TEST(MosModel, DrawUserBiasCentered) {
+  const MosModel model;
+  core::Rng rng{6};
+  double acc = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) acc += model.draw_user_bias(rng);
+  EXPECT_NEAR(acc / n, 0.0, 0.01);
+}
+
+}  // namespace
+}  // namespace usaas::confsim

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "netsim/conditions.h"
+#include "netsim/loss.h"
+#include "netsim/path_model.h"
+#include "netsim/profiles.h"
+#include "netsim/telemetry.h"
+
+namespace usaas::netsim {
+namespace {
+
+using core::Milliseconds;
+using core::Rng;
+
+TEST(Conditions, MetricAccessors) {
+  NetworkConditions c;
+  c.latency = Milliseconds{50.0};
+  c.loss = core::Percent{1.5};
+  c.jitter = Milliseconds{4.0};
+  c.bandwidth = core::Mbps{3.2};
+  EXPECT_DOUBLE_EQ(metric_value(c, Metric::kLatency), 50.0);
+  EXPECT_DOUBLE_EQ(metric_value(c, Metric::kLoss), 1.5);
+  EXPECT_DOUBLE_EQ(metric_value(c, Metric::kJitter), 4.0);
+  EXPECT_DOUBLE_EQ(metric_value(c, Metric::kBandwidth), 3.2);
+}
+
+TEST(Conditions, OthersInControlFiltersCorrectly) {
+  NetworkConditions c;
+  c.latency = Milliseconds{250.0};  // swept metric, out of control window
+  c.loss = core::Percent{0.1};
+  c.jitter = Milliseconds{2.0};
+  c.bandwidth = core::Mbps{3.5};
+  EXPECT_TRUE(others_in_control(c, Metric::kLatency));
+  // When sweeping loss instead, the high latency disqualifies the session.
+  EXPECT_FALSE(others_in_control(c, Metric::kLoss));
+}
+
+TEST(Profiles, AllTechnologiesProduceValidConditions) {
+  Rng rng{1};
+  for (const auto t :
+       {AccessTechnology::kFiber, AccessTechnology::kCable,
+        AccessTechnology::kDsl, AccessTechnology::kWifiCongested,
+        AccessTechnology::kLte, AccessTechnology::kGeoSatellite,
+        AccessTechnology::kLeoSatellite}) {
+    const auto p = profile_for(t);
+    for (int i = 0; i < 200; ++i) {
+      const auto c = sample_session_baseline(p, rng);
+      EXPECT_GT(c.latency.ms(), 0.0);
+      EXPECT_GE(c.loss.percent(), 0.0);
+      EXPECT_LE(c.loss.percent(), 100.0);
+      EXPECT_GE(c.jitter.ms(), 0.0);
+      EXPECT_GE(c.bandwidth.mbps(), p.bw_floor_mbps);
+      EXPECT_LE(c.bandwidth.mbps(), p.bw_ceil_mbps);
+    }
+  }
+}
+
+TEST(Profiles, GeoSatelliteHasHighestLatency) {
+  Rng rng{2};
+  auto mean_latency = [&](AccessTechnology t) {
+    double acc = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+      acc += sample_session_baseline(profile_for(t), rng).latency.ms();
+    }
+    return acc / 2000.0;
+  };
+  const double fiber = mean_latency(AccessTechnology::kFiber);
+  const double geo = mean_latency(AccessTechnology::kGeoSatellite);
+  EXPECT_GT(geo, 10.0 * fiber);
+}
+
+TEST(Profiles, MixtureWeightsSumToOne) {
+  double total = 0.0;
+  for (const auto& m : default_access_mixture()) total += m.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Profiles, SweepClampsControlledMetrics) {
+  Rng rng{3};
+  const ControlWindows w;
+  for (int i = 0; i < 500; ++i) {
+    const auto c = sample_sweep(Metric::kLatency, 0.0, 300.0, w, rng);
+    EXPECT_GE(c.latency.ms(), 0.0);
+    EXPECT_LE(c.latency.ms(), 300.0);
+    EXPECT_TRUE(others_in_control(c, Metric::kLatency, w));
+  }
+  EXPECT_THROW((void)sample_sweep(Metric::kLoss, 2.0, 1.0, w, rng),
+               std::invalid_argument);
+}
+
+TEST(GilbertElliott, StationaryLossMatchesTarget) {
+  Rng rng{4};
+  auto ge = GilbertElliott::for_target_loss(0.02, 4.0);
+  EXPECT_NEAR(ge.stationary_loss(), 0.02, 1e-9);
+  int lost = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) lost += ge.packet_lost(rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.02, 0.003);
+}
+
+TEST(GilbertElliott, ProducesBursts) {
+  Rng rng{5};
+  auto ge = GilbertElliott::for_target_loss(0.05, 8.0);
+  // Count runs of consecutive losses; bursty channels have long runs.
+  int longest = 0;
+  int current = 0;
+  for (int i = 0; i < 200000; ++i) {
+    if (ge.packet_lost(rng)) {
+      ++current;
+      longest = std::max(longest, current);
+    } else {
+      current = 0;
+    }
+  }
+  EXPECT_GE(longest, 8);
+}
+
+TEST(GilbertElliott, Validation) {
+  EXPECT_THROW(GilbertElliott(1.5, 0.5, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(GilbertElliott(0.1, 0.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)GilbertElliott::for_target_loss(1.0, 4.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)GilbertElliott::for_target_loss(0.1, 0.5),
+               std::invalid_argument);
+}
+
+TEST(LossMitigation, ResidualMonotoneInRawLoss) {
+  const Milliseconds rtt{40.0};
+  double prev = 0.0;
+  for (double raw = 0.0; raw <= 0.2; raw += 0.005) {
+    const double r = residual_loss(raw, rtt);
+    EXPECT_GE(r, prev - 1e-12);
+    EXPECT_LE(r, raw + 1e-12);
+    prev = r;
+  }
+}
+
+TEST(LossMitigation, SuppressesLowLossStrongly) {
+  // The paper's Fig 1 (middle-left) story: 2% raw loss is nearly invisible
+  // after the app-layer safeguards.
+  const double residual = residual_loss(0.02, Milliseconds{40.0});
+  EXPECT_LT(residual, 0.004);
+  EXPECT_GT(residual_loss(0.05, Milliseconds{40.0}), residual);
+}
+
+TEST(LossMitigation, HighRttDisablesRetransmission) {
+  // The Fig 2 compounding mechanism: at 600 ms RTT the retransmit round
+  // no longer fits in the de-jitter budget.
+  const double low_rtt = residual_loss(0.03, Milliseconds{60.0});
+  const double high_rtt = residual_loss(0.03, Milliseconds{600.0});
+  EXPECT_GT(high_rtt, 2.0 * low_rtt);
+}
+
+TEST(LossMitigation, DisabledPassesRawThrough) {
+  MitigationConfig off;
+  off.enabled = false;
+  EXPECT_DOUBLE_EQ(residual_loss(0.03, Milliseconds{40.0}, off), 0.03);
+}
+
+TEST(LossImpairment, ThresholdShape) {
+  EXPECT_DOUBLE_EQ(loss_impairment(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(loss_impairment(0.001), 0.0);  // concealment hides it
+  EXPECT_GT(loss_impairment(0.01), 0.0);
+  EXPECT_DOUBLE_EQ(loss_impairment(0.10), 1.0);
+  EXPECT_LE(loss_impairment(0.03), 1.0);
+}
+
+TEST(PathModel, SamplesStayPositiveAndFiniteish) {
+  NetworkConditions base;
+  base.latency = Milliseconds{30.0};
+  base.loss = core::Percent{0.5};
+  base.jitter = Milliseconds{3.0};
+  base.bandwidth = core::Mbps{3.0};
+  const auto path = simulate_path(base, {}, 2000, Rng{6});
+  ASSERT_EQ(path.size(), 2000u);
+  for (const auto& c : path) {
+    EXPECT_GT(c.latency.ms(), 0.0);
+    EXPECT_GE(c.loss.percent(), 0.0);
+    EXPECT_LE(c.loss.percent(), 100.0);
+    EXPECT_GT(c.bandwidth.mbps(), 0.0);
+  }
+}
+
+TEST(PathModel, MeanTracksBaseline) {
+  NetworkConditions base;
+  base.latency = Milliseconds{50.0};
+  base.loss = core::Percent{0.2};
+  base.jitter = Milliseconds{2.0};
+  base.bandwidth = core::Mbps{3.5};
+  PathModelConfig cfg;
+  cfg.episode_start_prob = 0.0;  // isolate the AR(1) behaviour
+  const auto path = simulate_path(base, cfg, 20000, Rng{7});
+  double acc = 0.0;
+  for (const auto& c : path) acc += c.latency.ms();
+  EXPECT_NEAR(acc / static_cast<double>(path.size()), 50.0, 5.0);
+}
+
+TEST(PathModel, EpisodesRaiseLatency) {
+  NetworkConditions base;
+  base.latency = Milliseconds{30.0};
+  base.loss = core::Percent{0.1};
+  base.jitter = Milliseconds{2.0};
+  base.bandwidth = core::Mbps{3.0};
+  PathModelConfig calm;
+  calm.episode_start_prob = 0.0;
+  PathModelConfig stormy;
+  stormy.episode_start_prob = 0.2;
+  stormy.episode_end_prob = 0.05;
+  auto mean_lat = [&](const PathModelConfig& cfg) {
+    const auto path = simulate_path(base, cfg, 5000, Rng{8});
+    double acc = 0.0;
+    for (const auto& c : path) acc += c.latency.ms();
+    return acc / static_cast<double>(path.size());
+  };
+  EXPECT_GT(mean_lat(stormy), mean_lat(calm) * 1.3);
+}
+
+TEST(PathModel, ConfigValidation) {
+  NetworkConditions base;
+  PathModelConfig bad;
+  bad.persistence = 1.0;
+  EXPECT_THROW(PathModel(base, bad, Rng{9}), std::invalid_argument);
+  bad.persistence = 0.5;
+  bad.noise_scale = -0.1;
+  EXPECT_THROW(PathModel(base, bad, Rng{9}), std::invalid_argument);
+}
+
+TEST(Telemetry, AggregatesMatchDirectStats) {
+  Rng rng{10};
+  TelemetryCollector collector;
+  std::vector<double> latencies;
+  for (int i = 0; i < 360; ++i) {  // a 30-minute session at 5 s cadence
+    NetworkConditions c;
+    c.latency = Milliseconds{rng.uniform(10.0, 90.0)};
+    c.loss = core::Percent{rng.uniform(0.0, 1.0)};
+    c.jitter = Milliseconds{rng.uniform(0.0, 8.0)};
+    c.bandwidth = core::Mbps{rng.uniform(1.0, 4.0)};
+    collector.record(c);
+    latencies.push_back(c.latency.ms());
+  }
+  const auto s = collector.finalize();
+  EXPECT_EQ(s.sample_count, 360u);
+  EXPECT_DOUBLE_EQ(s.duration_seconds, 1800.0);
+  EXPECT_NEAR(s.latency_ms.mean, core::mean(latencies), 1e-9);
+  EXPECT_NEAR(s.latency_ms.median, core::median(latencies), 1e-9);
+  EXPECT_NEAR(s.latency_ms.p95, core::p95(latencies), 1e-9);
+}
+
+TEST(Telemetry, BandwidthTailIsLowSide) {
+  TelemetryCollector collector;
+  for (int i = 1; i <= 100; ++i) {
+    NetworkConditions c;
+    c.latency = Milliseconds{10.0};
+    c.bandwidth = core::Mbps{static_cast<double>(i)};
+    collector.record(c);
+  }
+  const auto s = collector.finalize();
+  // P5 of 1..100 is ~5.95, far below the mean.
+  EXPECT_LT(s.bandwidth_mbps.p95, s.bandwidth_mbps.mean);
+}
+
+TEST(Telemetry, EmptyFinalizeThrows) {
+  const TelemetryCollector collector;
+  EXPECT_THROW((void)collector.finalize(), std::logic_error);
+}
+
+TEST(Telemetry, MeanConditionsRoundTrip) {
+  TelemetryCollector collector;
+  NetworkConditions c;
+  c.latency = Milliseconds{42.0};
+  c.loss = core::Percent{1.0};
+  c.jitter = Milliseconds{3.0};
+  c.bandwidth = core::Mbps{2.0};
+  collector.record(c);
+  const auto s = collector.finalize();
+  const auto mean_c = s.mean_conditions();
+  EXPECT_DOUBLE_EQ(mean_c.latency.ms(), 42.0);
+  EXPECT_DOUBLE_EQ(mean_c.loss.percent(), 1.0);
+  EXPECT_DOUBLE_EQ(mean_c.bandwidth.mbps(), 2.0);
+}
+
+}  // namespace
+}  // namespace usaas::netsim

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "nlp/keywords.h"
+#include "nlp/ngrams.h"
+#include "nlp/wordcloud.h"
+
+namespace usaas::nlp {
+namespace {
+
+TEST(NgramCounter, UnigramCounts) {
+  NgramCounter counter{1};
+  counter.add_document("outage outage today");
+  counter.add_document("another outage");
+  EXPECT_EQ(counter.count_of("outage"), 3u);
+  EXPECT_EQ(counter.count_of("today"), 1u);
+  EXPECT_EQ(counter.count_of("absent"), 0u);
+  EXPECT_EQ(counter.total_documents(), 2u);
+}
+
+TEST(NgramCounter, BigramsSkipStopWords) {
+  NgramCounter counter{2};
+  counter.add_document("roaming is enabled now");  // "is" removed first
+  EXPECT_EQ(counter.count_of("roaming enabled"), 1u);
+  EXPECT_EQ(counter.count_of("is enabled"), 0u);
+}
+
+TEST(NgramCounter, WeightsDriveRanking) {
+  NgramCounter counter{1};
+  counter.add_document("alpha", 1.0);
+  counter.add_document("beta", 100.0);
+  const auto top = counter.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].ngram, "beta");
+  EXPECT_DOUBLE_EQ(top[0].weight, 100.0);
+}
+
+TEST(NgramCounter, TopTiesDeterministic) {
+  NgramCounter counter{1};
+  counter.add_document("zebra apple");
+  const auto top = counter.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].ngram, "apple");  // lexicographic tiebreak
+}
+
+TEST(NgramCounter, ShortDocumentsHandled) {
+  NgramCounter counter{3};
+  counter.add_document("only two");  // fewer content words than n
+  EXPECT_EQ(counter.distinct(), 0u);
+  EXPECT_EQ(counter.total_documents(), 1u);
+}
+
+TEST(NgramCounter, RejectsZeroN) {
+  EXPECT_THROW(NgramCounter{0}, std::invalid_argument);
+}
+
+TEST(WordCloud, TopTermsAndRelativeSizes) {
+  const std::vector<std::string> docs{
+      "outage outage outage", "outage down", "down today", "sunny today"};
+  const auto cloud = WordCloud::build(docs, 10);
+  ASSERT_FALSE(cloud.empty());
+  EXPECT_EQ(cloud.words()[0].word, "outage");
+  EXPECT_DOUBLE_EQ(cloud.words()[0].relative_size, 1.0);
+  const auto top2 = cloud.top_terms(2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], "outage");
+  EXPECT_EQ(top2[1], "down");
+}
+
+TEST(WordCloud, RankOf) {
+  const std::vector<std::string> docs{"first first second"};
+  const auto cloud = WordCloud::build(docs, 5);
+  EXPECT_EQ(cloud.rank_of("first"), 0u);
+  EXPECT_EQ(cloud.rank_of("second"), 1u);
+  EXPECT_FALSE(cloud.rank_of("third").has_value());
+}
+
+TEST(WordCloud, MaxWordsRespected) {
+  std::vector<std::string> docs;
+  docs.push_back("a1 b2 c3 d4 e5 f6 g7 h8");
+  const auto cloud = WordCloud::build(docs, 3);
+  EXPECT_EQ(cloud.words().size(), 3u);
+}
+
+TEST(WordCloud, RenderTextContainsWords) {
+  const std::vector<std::string> docs{"outage outage today"};
+  const auto rendered = WordCloud::build(docs, 5).render_text();
+  EXPECT_NE(rendered.find("outage"), std::string::npos);
+  EXPECT_NE(rendered.find('#'), std::string::npos);
+}
+
+TEST(WordCloud, EmptyDocuments) {
+  const std::vector<std::string> docs;
+  const auto cloud = WordCloud::build(docs, 5);
+  EXPECT_TRUE(cloud.empty());
+  EXPECT_TRUE(cloud.top_terms(3).empty());
+}
+
+TEST(KeywordDictionary, MatchesUnigramsAndBigrams) {
+  const auto& dict = KeywordDictionary::outage_dictionary();
+  EXPECT_TRUE(dict.matches("total outage here"));
+  EXPECT_TRUE(dict.matches("I have NO INTERNET right now"));
+  EXPECT_FALSE(dict.matches("lovely sunset photo"));
+}
+
+TEST(KeywordDictionary, CountsOccurrences) {
+  const auto& dict = KeywordDictionary::outage_dictionary();
+  EXPECT_EQ(dict.count_occurrences("outage outage down"), 3u);
+  EXPECT_EQ(dict.count_occurrences("no internet and no connection"), 2u);
+  EXPECT_EQ(dict.count_occurrences("all good"), 0u);
+}
+
+TEST(KeywordDictionary, MatchedTermsDeduplicated) {
+  const auto& dict = KeywordDictionary::outage_dictionary();
+  const auto terms = dict.matched_terms("outage then another outage, down");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], "outage");
+  EXPECT_EQ(terms[1], "down");
+}
+
+TEST(KeywordDictionary, CustomDictionary) {
+  const KeywordDictionary dict{"demo", {"Foo", "bar baz"}};
+  EXPECT_EQ(dict.name(), "demo");
+  EXPECT_TRUE(dict.matches("FOO everywhere"));
+  EXPECT_TRUE(dict.matches("a bar baz b"));
+  EXPECT_FALSE(dict.matches("bar qux baz"));  // bigram must be adjacent
+}
+
+}  // namespace
+}  // namespace usaas::nlp

@@ -1,0 +1,163 @@
+#include "nlp/sentiment.h"
+
+#include <gtest/gtest.h>
+
+#include "nlp/lexicon.h"
+
+namespace usaas::nlp {
+namespace {
+
+class SentimentTest : public ::testing::Test {
+ protected:
+  SentimentAnalyzer analyzer_;
+};
+
+TEST_F(SentimentTest, ScoresSumToOne) {
+  for (const char* text :
+       {"", "neutral words only", "absolutely amazing and wonderful!!",
+        "terrible awful horrible outage", "good but slow"}) {
+    const auto s = analyzer_.score(text);
+    EXPECT_NEAR(s.positive + s.negative + s.neutral, 1.0, 1e-9) << text;
+    EXPECT_GE(s.positive, 0.0);
+    EXPECT_GE(s.negative, 0.0);
+    EXPECT_GE(s.neutral, 0.0);
+  }
+}
+
+TEST_F(SentimentTest, EmptyTextIsNeutral) {
+  const auto s = analyzer_.score("");
+  EXPECT_DOUBLE_EQ(s.neutral, 1.0);
+  EXPECT_FALSE(s.strong_positive());
+  EXPECT_FALSE(s.strong_negative());
+}
+
+TEST_F(SentimentTest, ClearlyPositiveText) {
+  const auto s = analyzer_.score(
+      "This is amazing, excellent speeds, love it, works perfectly!");
+  EXPECT_GT(s.positive, s.negative);
+  EXPECT_TRUE(s.strong_positive());
+}
+
+TEST_F(SentimentTest, ClearlyNegativeText) {
+  const auto s = analyzer_.score(
+      "Terrible outage, awful service, completely unusable, very "
+      "frustrating and disappointing.");
+  EXPECT_GT(s.negative, s.positive);
+  EXPECT_TRUE(s.strong_negative());
+}
+
+TEST_F(SentimentTest, MildTextIsNotStrong) {
+  const auto s = analyzer_.score("It works okay for us.");
+  EXPECT_FALSE(s.strong_positive());
+  EXPECT_FALSE(s.strong_negative());
+  EXPECT_GT(s.neutral, 0.3);
+}
+
+TEST_F(SentimentTest, NegationFlipsPolarity) {
+  const auto plain = analyzer_.score("the connection is good");
+  const auto negated = analyzer_.score("the connection is not good");
+  EXPECT_GT(plain.positive, plain.negative);
+  EXPECT_GT(negated.negative, negated.positive);
+}
+
+TEST_F(SentimentTest, NegationOfNegativeBecomesPositive) {
+  const auto s = analyzer_.score("no problems and no outage this month");
+  EXPECT_GT(s.positive, s.negative);
+}
+
+TEST_F(SentimentTest, NegationWindowIsBounded) {
+  // The negator is too far from the valence word to flip it.
+  const auto s =
+      analyzer_.score("not the dish or the router or the cable, great");
+  EXPECT_GT(s.positive, s.negative);
+}
+
+TEST_F(SentimentTest, IntensifiersAmplify) {
+  const auto plain = analyzer_.score("the service is slow");
+  const auto intense = analyzer_.score("the service is extremely slow");
+  EXPECT_GT(intense.negative, plain.negative);
+}
+
+TEST_F(SentimentTest, DampenersSoften) {
+  const auto plain = analyzer_.score("the service is slow");
+  const auto damped = analyzer_.score("the service is slightly slow");
+  EXPECT_LT(damped.negative, plain.negative);
+}
+
+TEST_F(SentimentTest, ExclamationsAmplify) {
+  const auto calm = analyzer_.score("this is great");
+  const auto excited = analyzer_.score("this is great!!!");
+  EXPECT_GT(excited.positive, calm.positive);
+}
+
+TEST_F(SentimentTest, ShoutingAmplifies) {
+  const auto calm = analyzer_.score("service is down again");
+  const auto shouting = analyzer_.score("SERVICE IS DOWN AGAIN");
+  EXPECT_GT(shouting.negative, calm.negative);
+}
+
+TEST_F(SentimentTest, MixedTextSplitsMass) {
+  const auto s = analyzer_.score(
+      "great speeds but terrible reliability");
+  EXPECT_GT(s.positive, 0.1);
+  EXPECT_GT(s.negative, 0.1);
+  EXPECT_FALSE(s.strong_positive());
+  EXPECT_FALSE(s.strong_negative());
+}
+
+TEST_F(SentimentTest, PolarityHelper) {
+  const auto pos = analyzer_.score("amazing excellent wonderful");
+  EXPECT_GT(pos.polarity(), 0.0);
+  const auto neg = analyzer_.score("awful terrible horrible");
+  EXPECT_LT(neg.polarity(), 0.0);
+}
+
+TEST(Lexicon, BuiltinCoversDomainVocabulary) {
+  const Lexicon& lex = Lexicon::builtin();
+  EXPECT_GT(lex.size(), 150u);
+  ASSERT_TRUE(lex.valence("outage").has_value());
+  EXPECT_LT(*lex.valence("outage"), 0.0);
+  ASSERT_TRUE(lex.valence("fast").has_value());
+  EXPECT_GT(*lex.valence("fast"), 0.0);
+  EXPECT_TRUE(lex.is_negator("not"));
+  EXPECT_TRUE(lex.is_negator("zero"));
+  EXPECT_FALSE(lex.is_negator("very"));
+  ASSERT_TRUE(lex.intensity("very").has_value());
+  EXPECT_GT(*lex.intensity("very"), 1.0);
+  ASSERT_TRUE(lex.intensity("slightly").has_value());
+  EXPECT_LT(*lex.intensity("slightly"), 1.0);
+}
+
+TEST(Lexicon, CustomBuildValidation) {
+  Lexicon lex;
+  EXPECT_THROW(lex.add_word("x", 1.5), std::invalid_argument);
+  EXPECT_THROW(lex.add_intensifier("y", 0.0), std::invalid_argument);
+  lex.add_word("sparkly", 0.6);
+  EXPECT_DOUBLE_EQ(*lex.valence("sparkly"), 0.6);
+  EXPECT_FALSE(lex.valence("unknown").has_value());
+}
+
+// Property: adding unambiguous positive words never lowers the positive
+// score; strong thresholds are symmetric.
+class SentimentAccumulation : public ::testing::TestWithParam<int> {};
+
+TEST_P(SentimentAccumulation, MorePositiveWordsMorePositive) {
+  SentimentAnalyzer analyzer;
+  std::string text = "the setup was";
+  double prev = analyzer.score(text).positive;
+  for (int i = 0; i < GetParam(); ++i) {
+    text += " excellent";
+    const double cur = analyzer.score(text).positive;
+    EXPECT_GE(cur, prev - 1e-9);
+    prev = cur;
+  }
+  if (GetParam() >= 4) {
+    EXPECT_TRUE(analyzer.score(text).strong_positive());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, SentimentAccumulation,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace usaas::nlp

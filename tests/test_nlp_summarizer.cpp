@@ -1,0 +1,101 @@
+#include "nlp/summarizer.h"
+
+#include "nlp/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace usaas::nlp {
+namespace {
+
+TEST(SplitSentences, BasicBoundaries) {
+  const auto s = Summarizer::split_sentences(
+      "First sentence. Second one! Third? trailing fragment");
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], "First sentence.");
+  EXPECT_EQ(s[1], "Second one!");
+  EXPECT_EQ(s[2], "Third?");
+  EXPECT_EQ(s[3], "trailing fragment");
+}
+
+TEST(SplitSentences, EmptyAndWhitespace) {
+  EXPECT_TRUE(Summarizer::split_sentences("").empty());
+  EXPECT_TRUE(Summarizer::split_sentences("   ").size() <= 1);
+}
+
+TEST(Summarizer, PicksTheDominantTopic) {
+  const std::vector<std::string> docs{
+      "Total outage here, service completely down since morning.",
+      "Another outage report, internet down across the whole region.",
+      "Outage confirmed, everything down, neighbors offline too.",
+      "Nice sunset photo from the backyard.",
+  };
+  const Summarizer summarizer;
+  const auto summary = summarizer.summarize(docs);
+  ASSERT_FALSE(summary.empty());
+  // The top sentence is about the outage, not the sunset.
+  EXPECT_NE(to_lower(summary.front().text).find("outage"),
+            std::string::npos);
+}
+
+TEST(Summarizer, RedundancySuppressed) {
+  SummarizerConfig cfg;
+  cfg.max_sentences = 2;
+  const Summarizer summarizer{cfg};
+  const std::vector<std::string> docs{
+      "The outage broke service tonight.",
+      "The outage broke service tonight.",
+      "The outage broke service tonight.",
+      "Speeds were excellent all week in the mountains.",
+  };
+  const auto summary = summarizer.summarize(docs);
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_NE(summary[0].text, summary[1].text);
+}
+
+TEST(Summarizer, RespectsMaxSentences) {
+  SummarizerConfig cfg;
+  cfg.max_sentences = 1;
+  const Summarizer summarizer{cfg};
+  const std::vector<std::string> docs{
+      "Alpha topic sentence with several content words.",
+      "Beta topic sentence with different content words."};
+  EXPECT_EQ(summarizer.summarize(docs).size(), 1u);
+}
+
+TEST(Summarizer, FragmentsNeverPicked) {
+  const Summarizer summarizer;
+  const std::vector<std::string> docs{"Ok.", "Yes!", "No?",
+                                      "A proper sentence about the network "
+                                      "outage and its painful downtime."};
+  const auto summary = summarizer.summarize(docs);
+  ASSERT_EQ(summary.size(), 1u);
+  EXPECT_NE(summary[0].text.find("proper sentence"), std::string::npos);
+}
+
+TEST(Summarizer, EmptyCorpus) {
+  const Summarizer summarizer;
+  EXPECT_TRUE(summarizer.summarize({}).empty());
+  EXPECT_TRUE(summarizer.summarize_to_text({}).empty());
+}
+
+TEST(Summarizer, Deterministic) {
+  const std::vector<std::string> docs{
+      "Outage reports everywhere tonight, service down.",
+      "Speeds fine here, no problems at all.",
+      "Dish survived the storm, neat little device."};
+  const Summarizer summarizer;
+  EXPECT_EQ(summarizer.summarize_to_text(docs),
+            summarizer.summarize_to_text(docs));
+}
+
+TEST(Summarizer, DocumentIndexTracked) {
+  const std::vector<std::string> docs{
+      "Short filler.",
+      "The important outage sentence about downtime and failures tonight."};
+  const auto summary = Summarizer{}.summarize(docs);
+  ASSERT_FALSE(summary.empty());
+  EXPECT_EQ(summary.front().document, 1u);
+}
+
+}  // namespace
+}  // namespace usaas::nlp

@@ -1,0 +1,80 @@
+#include "nlp/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace usaas::nlp {
+namespace {
+
+TEST(Tokenizer, LowercasesAndSplits) {
+  const auto words = tokenize_words("Starlink IS Amazing!");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "starlink");
+  EXPECT_EQ(words[1], "is");
+  EXPECT_EQ(words[2], "amazing");
+}
+
+TEST(Tokenizer, KeepsIntraWordApostrophes) {
+  const auto words = tokenize_words("isn't working, don't buy");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], "isn't");
+  EXPECT_EQ(words[2], "don't");
+}
+
+TEST(Tokenizer, StripsQuotingApostrophes) {
+  const auto words = tokenize_words("'quoted' text");
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0], "quoted");
+}
+
+TEST(Tokenizer, KeepsNumbers) {
+  const auto words = tokenize_words("99 dollars for 150 Mbps");
+  EXPECT_EQ(words[0], "99");
+  EXPECT_EQ(words[2], "for");
+  EXPECT_EQ(words[3], "150");
+}
+
+TEST(Tokenizer, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(tokenize_words("").empty());
+  EXPECT_TRUE(tokenize_words("!!! ... ---").empty());
+}
+
+TEST(Tokenizer, PositionsAreSequential) {
+  const auto tokens = tokenize("a b c");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[2].position, 2u);
+}
+
+TEST(Tokenizer, CountExclamations) {
+  EXPECT_EQ(count_exclamations("wow!! really!"), 3u);
+  EXPECT_EQ(count_exclamations("calm text"), 0u);
+}
+
+TEST(Tokenizer, UppercaseRatio) {
+  EXPECT_DOUBLE_EQ(uppercase_ratio("ABC"), 1.0);
+  EXPECT_DOUBLE_EQ(uppercase_ratio("abc"), 0.0);
+  EXPECT_NEAR(uppercase_ratio("AbCd"), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(uppercase_ratio("123 !!!"), 0.0);
+}
+
+TEST(Tokenizer, StopWords) {
+  EXPECT_TRUE(is_stop_word("the"));
+  EXPECT_TRUE(is_stop_word("and"));
+  EXPECT_FALSE(is_stop_word("outage"));
+  EXPECT_FALSE(is_stop_word("starlink"));
+}
+
+TEST(Tokenizer, ContentWordsFiltersStopsAndShortTokens) {
+  const auto words = content_words("The outage is a big problem");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "outage");
+  EXPECT_EQ(words[1], "big");
+  EXPECT_EQ(words[2], "problem");
+}
+
+TEST(Tokenizer, ToLowerAsciiOnly) {
+  EXPECT_EQ(to_lower("MiXeD 123"), "mixed 123");
+}
+
+}  // namespace
+}  // namespace usaas::nlp

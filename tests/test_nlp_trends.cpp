@@ -1,0 +1,127 @@
+#include "nlp/trends.h"
+
+#include <gtest/gtest.h>
+
+namespace usaas::nlp {
+namespace {
+
+using core::Date;
+
+TrendMinerConfig fast_config() {
+  TrendMinerConfig cfg;
+  cfg.window_days = 5;
+  cfg.history_days = 20;
+  cfg.burst_threshold = 4.0;
+  cfg.min_window_weight = 20.0;
+  cfg.min_document_share = 0.05;
+  return cfg;
+}
+
+TEST(TrendMiner, DetectsPlantedBurst) {
+  TrendMiner miner{fast_config()};
+  // 40 days of background chatter.
+  for (int day = 0; day < 40; ++day) {
+    const Date d = Date(2022, 1, 1).plus_days(day);
+    miner.add_document({d, "dish setup question about mounting", 5.0});
+    miner.add_document({d, "weather report and launch chatter", 4.0});
+  }
+  // A new topic bursts on day 30 with high popularity.
+  for (int day = 30; day < 36; ++day) {
+    const Date d = Date(2022, 1, 1).plus_days(day);
+    miner.add_document({d, "portability works across cells", 40.0});
+    miner.add_document({d, "tried portability and it works", 35.0});
+  }
+  const auto topics = miner.detect();
+  ASSERT_FALSE(topics.empty());
+  bool found = false;
+  for (const auto& t : topics) {
+    if (t.term == "portability") {
+      found = true;
+      EXPECT_GE(t.first_detected, Date(2022, 1, 31));
+      EXPECT_LE(t.first_detected, Date(2022, 2, 3));
+      EXPECT_GE(t.burst_score, 4.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TrendMiner, SteadyTopicsDoNotFire) {
+  TrendMiner miner{fast_config()};
+  for (int day = 0; day < 60; ++day) {
+    const Date d = Date(2022, 1, 1).plus_days(day);
+    miner.add_document({d, "speed report numbers as usual", 20.0});
+  }
+  for (const auto& t : miner.detect()) {
+    EXPECT_NE(t.term, "speed");
+    EXPECT_NE(t.term, "report");
+  }
+}
+
+TEST(TrendMiner, PopularityGatesDetection) {
+  // Same text volume, but negligible popularity -> below min weight.
+  TrendMiner miner{fast_config()};
+  for (int day = 0; day < 30; ++day) {
+    miner.add_document(
+        {Date(2022, 1, 1).plus_days(day), "background noise post", 5.0});
+  }
+  for (int day = 25; day < 30; ++day) {
+    miner.add_document(
+        {Date(2022, 1, 1).plus_days(day), "whisper topic emerging", 0.5});
+  }
+  for (const auto& t : miner.detect()) {
+    EXPECT_NE(t.term, "whisper");
+  }
+}
+
+TEST(TrendMiner, BigramsDetected) {
+  TrendMiner miner{fast_config()};
+  for (int day = 0; day < 30; ++day) {
+    miner.add_document(
+        {Date(2022, 1, 1).plus_days(day), "ordinary chatter here", 8.0});
+  }
+  for (int day = 26; day < 30; ++day) {
+    miner.add_document({Date(2022, 1, 1).plus_days(day),
+                        "roaming enabled on my dish, roaming enabled", 30.0});
+    miner.add_document({Date(2022, 1, 1).plus_days(day),
+                        "confirmed roaming enabled while traveling", 25.0});
+  }
+  bool bigram_found = false;
+  for (const auto& t : miner.detect()) {
+    if (t.term == "roaming enabled") bigram_found = true;
+  }
+  EXPECT_TRUE(bigram_found);
+}
+
+TEST(TrendMiner, EachTermFiresOnce) {
+  TrendMiner miner{fast_config()};
+  for (int day = 0; day < 60; ++day) {
+    const double weight = day >= 20 ? 50.0 : 2.0;
+    miner.add_document(
+        {Date(2022, 1, 1).plus_days(day), "newthing discussion", weight});
+  }
+  int fires = 0;
+  for (const auto& t : miner.detect()) {
+    if (t.term == "newthing") ++fires;
+  }
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(TrendMiner, EmptyMinerDetectsNothing) {
+  TrendMiner miner{fast_config()};
+  EXPECT_TRUE(miner.detect().empty());
+}
+
+TEST(TrendMiner, BurstScoreDiagnostics) {
+  TrendMiner miner{fast_config()};
+  for (int day = 0; day < 20; ++day) {
+    miner.add_document(
+        {Date(2022, 1, 1).plus_days(day), "quiet background", 2.0});
+  }
+  miner.add_document({Date(2022, 1, 21), "suddenly spiky topic", 100.0});
+  const double score = miner.burst_score_on("spiky", Date(2022, 1, 21));
+  EXPECT_GT(score, 5.0);
+  EXPECT_LT(miner.burst_score_on("background", Date(2022, 1, 21)), 2.0);
+}
+
+}  // namespace
+}  // namespace usaas::nlp

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "ocr/extract.h"
+#include "ocr/noisy_ocr.h"
+#include "ocr/screenshot.h"
+
+namespace usaas::ocr {
+namespace {
+
+TestResult sample_result(Provider p) {
+  TestResult r;
+  r.provider = p;
+  r.download_mbps = 123.45;
+  r.upload_mbps = 11.2;
+  r.latency_ms = 38.0;
+  return r;
+}
+
+// ---- Clean round trip per provider ----
+
+class ProviderRoundTrip : public ::testing::TestWithParam<Provider> {};
+
+TEST_P(ProviderRoundTrip, CleanExtractionRecoversFields) {
+  const TestResult truth = sample_result(GetParam());
+  const std::string rendered = render_screenshot(truth);
+  const ReportExtractor extractor;
+  const auto report = extractor.extract(rendered);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->provider, truth.provider);
+  EXPECT_NEAR(report->download_mbps, truth.download_mbps, 1.0);
+  if (report->latency_ms) {
+    EXPECT_NEAR(*report->latency_ms, truth.latency_ms, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProviders, ProviderRoundTrip,
+                         ::testing::Values(Provider::kOokla, Provider::kFast,
+                                           Provider::kStarlinkApp,
+                                           Provider::kMlab));
+
+TEST(Screenshot, LayoutsDiffer) {
+  const auto ookla = render_screenshot(sample_result(Provider::kOokla));
+  const auto fast = render_screenshot(sample_result(Provider::kFast));
+  EXPECT_NE(ookla, fast);
+  EXPECT_NE(ookla.find("SPEEDTEST"), std::string::npos);
+  EXPECT_NE(fast.find("FAST.com"), std::string::npos);
+}
+
+// ---- Numeric repair ----
+
+TEST(RepairNumeric, FixesCommonConfusions) {
+  EXPECT_EQ(ReportExtractor::repair_numeric("1O3,5"), "103.5");
+  EXPECT_EQ(ReportExtractor::repair_numeric("BS"), "85");
+  EXPECT_EQ(ReportExtractor::repair_numeric("4Z"), "42");
+  EXPECT_EQ(ReportExtractor::repair_numeric("12.5"), "12.5");
+}
+
+TEST(RepairNumeric, RejectsUnrecoverable) {
+  EXPECT_EQ(ReportExtractor::repair_numeric("1.2.3"), "");
+  EXPECT_EQ(ReportExtractor::repair_numeric("abc"), "");
+  EXPECT_EQ(ReportExtractor::repair_numeric(""), "");
+}
+
+TEST(RepairNumeric, TrimsEdgeSeparators) {
+  EXPECT_EQ(ReportExtractor::repair_numeric("12."), "12");
+  EXPECT_EQ(ReportExtractor::repair_numeric(".5"), "0.5");
+}
+
+// ---- Noise channel ----
+
+TEST(NoisyOcr, ZeroNoiseIsIdentity) {
+  OcrNoiseParams quiet;
+  quiet.confusion_rate = 0.0;
+  quiet.drop_rate = 0.0;
+  quiet.line_loss_rate = 0.0;
+  const NoisyOcr channel{quiet};
+  core::Rng rng{1};
+  const std::string text = "DOWNLOAD 123.45 Mbps\nUPLOAD 11.2";
+  EXPECT_EQ(channel.read(text, rng), text);
+}
+
+TEST(NoisyOcr, ConfusionIsInvolutionOnDigits) {
+  EXPECT_EQ(NoisyOcr::confuse(NoisyOcr::confuse('0')), '0');
+  EXPECT_EQ(NoisyOcr::confuse(NoisyOcr::confuse('5')), '5');
+  EXPECT_EQ(NoisyOcr::confuse('x'), 'x');  // unknown chars pass through
+}
+
+TEST(NoisyOcr, HighNoiseCorruptsText) {
+  OcrNoiseParams loud;
+  loud.confusion_rate = 0.5;
+  loud.drop_rate = 0.2;
+  const NoisyOcr channel{loud};
+  core::Rng rng{2};
+  const std::string text = "0123456789 0123456789 0123456789";
+  const std::string read = channel.read(text, rng);
+  EXPECT_NE(read, text);
+  EXPECT_LT(read.size(), text.size());
+}
+
+TEST(NoisyOcr, LineLossDropsWholeLines) {
+  OcrNoiseParams params;
+  params.confusion_rate = 0.0;
+  params.drop_rate = 0.0;
+  params.line_loss_rate = 1.0;  // every line after the first is lost
+  const NoisyOcr channel{params};
+  core::Rng rng{3};
+  const std::string read = channel.read("keep\ngone\ngone", rng);
+  EXPECT_EQ(read, "keep\n\n");
+}
+
+// ---- Extraction under realistic noise ----
+
+TEST(Extraction, SucceedsUsuallyUnderDefaultNoise) {
+  const NoisyOcr channel;
+  const ReportExtractor extractor;
+  core::Rng rng{4};
+  ExtractionStats stats;
+  for (int i = 0; i < 2000; ++i) {
+    TestResult r = sample_result(
+        static_cast<Provider>(rng.uniform_int(0, kNumProviders - 1)));
+    r.download_mbps = rng.uniform(5.0, 250.0);
+    const auto report =
+        extractor.extract(channel.read(render_screenshot(r), rng), &stats);
+    if (report) {
+      // Recovered download within 25% of truth (confusions inside a digit
+      // can shift values; wild misreads are rejected by plausibility).
+      EXPECT_GT(report->download_mbps, 0.0);
+    }
+  }
+  EXPECT_GT(stats.success_rate(), 0.75);
+  EXPECT_LT(stats.success_rate(), 1.0);  // some loss is the point
+  EXPECT_EQ(stats.attempted, 2000u);
+  EXPECT_EQ(stats.extracted + stats.provider_unrecognized +
+                stats.download_missing + stats.implausible,
+            stats.attempted);
+}
+
+TEST(Extraction, GarbageYieldsNothing) {
+  const ReportExtractor extractor;
+  ExtractionStats stats;
+  EXPECT_FALSE(extractor.extract("a cat picture", &stats).has_value());
+  EXPECT_EQ(stats.provider_unrecognized, 1u);
+}
+
+TEST(Extraction, ImplausibleValuesRejected) {
+  const ReportExtractor extractor;
+  TestResult r = sample_result(Provider::kOokla);
+  r.download_mbps = 9999.0;  // beyond any Starlink plan
+  ExtractionStats stats;
+  EXPECT_FALSE(
+      extractor.extract(render_screenshot(r), &stats).has_value());
+  EXPECT_EQ(stats.implausible, 1u);
+}
+
+TEST(Extraction, LabelLettersNotMisreadAsNumbers) {
+  // "DOWNLOAD Mbps" contains O and l; neither may parse as the value.
+  const ReportExtractor extractor;
+  const auto report = extractor.extract(
+      "SPEEDTEST\nDOWNLOAD Mbps\n87.65\nUPLOAD Mbps\n9.10\nPing ms\n41\n");
+  ASSERT_TRUE(report.has_value());
+  EXPECT_NEAR(report->download_mbps, 87.65, 1e-9);
+}
+
+TEST(Extraction, SurvivesConfusedDigitsInValue) {
+  const ReportExtractor extractor;
+  // 1O3.5 = 103.5 after repair.
+  const auto report = extractor.extract(
+      "SPEEDTEST\nDOWNLOAD Mbps\n1O3,5\nUPLOAD Mbps\nll.2\nPing ms\n38\n");
+  ASSERT_TRUE(report.has_value());
+  EXPECT_NEAR(report->download_mbps, 103.5, 1e-9);
+}
+
+TEST(Extraction, MissingDownloadCounted) {
+  const ReportExtractor extractor;
+  ExtractionStats stats;
+  EXPECT_FALSE(
+      extractor.extract("SPEEDTEST\nUPLOAD Mbps\n9.1\n", &stats).has_value());
+  EXPECT_EQ(stats.download_missing, 1u);
+}
+
+}  // namespace
+}  // namespace usaas::ocr

@@ -1,0 +1,104 @@
+#include "core/peaks.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace usaas::core {
+namespace {
+
+DailySeries flat_series_with_spikes() {
+  DailySeries s{Date(2022, 1, 1), Date(2022, 12, 31)};
+  Rng rng{3};
+  for (const auto& [date, _] : s.entries()) {
+    s.set(date, 2.0 + rng.uniform(0.0, 2.0));
+  }
+  s.set(Date(2022, 3, 15), 80.0);
+  s.set(Date(2022, 7, 4), 50.0);
+  s.set(Date(2022, 11, 20), 30.0);
+  return s;
+}
+
+TEST(Mad, KnownValue) {
+  // median = 3, abs deviations {2,1,0,1,2} -> median 1 -> 1.4826.
+  EXPECT_NEAR(mad({1.0, 2.0, 3.0, 4.0, 5.0}), 1.4826, 1e-9);
+  EXPECT_THROW((void)mad({}), std::invalid_argument);
+}
+
+TEST(RobustPeaks, FindsPlantedSpikes) {
+  const auto s = flat_series_with_spikes();
+  const auto peaks = detect_peaks_robust(s, {});
+  ASSERT_GE(peaks.size(), 3u);
+  bool found_march = false;
+  bool found_july = false;
+  for (const auto& p : peaks) {
+    if (p.date == Date(2022, 3, 15)) found_march = true;
+    if (p.date == Date(2022, 7, 4)) found_july = true;
+    EXPECT_GE(p.score, 3.0);
+  }
+  EXPECT_TRUE(found_march);
+  EXPECT_TRUE(found_july);
+}
+
+TEST(RobustPeaks, QuietSeriesHasNoPeaks) {
+  DailySeries s{Date(2022, 1, 1), Date(2022, 3, 1)};
+  for (const auto& [date, _] : s.entries()) s.set(date, 1.0);
+  EXPECT_TRUE(detect_peaks_robust(s, {}).empty());
+}
+
+TEST(RobustPeaks, MinValueFiltersSmallWiggles) {
+  DailySeries s{Date(2022, 1, 1), Date(2022, 3, 1)};
+  // On a flat zero baseline (MAD falls back to 1), z equals the value.
+  s.set(Date(2022, 2, 1), 3.5);
+  RobustPeakParams p;
+  p.min_value = 4.0;  // above the spike: filtered despite z >= threshold
+  EXPECT_TRUE(detect_peaks_robust(s, p).empty());
+  p.min_value = 1.0;
+  EXPECT_EQ(detect_peaks_robust(s, p).size(), 1u);
+}
+
+TEST(RobustPeaks, RejectsEvenWindow) {
+  const auto s = flat_series_with_spikes();
+  RobustPeakParams p;
+  p.window = 30;
+  EXPECT_THROW(detect_peaks_robust(s, p), std::invalid_argument);
+}
+
+TEST(TopKPeaks, OrderedByHeight) {
+  const auto s = flat_series_with_spikes();
+  const auto peaks = top_k_peaks(s, 3, 14);
+  ASSERT_EQ(peaks.size(), 3u);
+  EXPECT_EQ(peaks[0].date, Date(2022, 3, 15));
+  EXPECT_EQ(peaks[1].date, Date(2022, 7, 4));
+  EXPECT_EQ(peaks[2].date, Date(2022, 11, 20));
+  EXPECT_GT(peaks[0].value, peaks[1].value);
+}
+
+TEST(TopKPeaks, SeparationSuppressesNeighbours) {
+  DailySeries s{Date(2022, 1, 1), Date(2022, 2, 1)};
+  s.set(Date(2022, 1, 10), 100.0);
+  s.set(Date(2022, 1, 12), 90.0);   // within 14 days of the first
+  s.set(Date(2022, 1, 30), 50.0);
+  const auto peaks = top_k_peaks(s, 3, 14);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].date, Date(2022, 1, 10));
+  EXPECT_EQ(peaks[1].date, Date(2022, 1, 30));
+}
+
+TEST(TopKPeaks, PlateauPicksLeftEdge) {
+  DailySeries s{Date(2022, 1, 1), Date(2022, 1, 10)};
+  s.set(Date(2022, 1, 4), 10.0);
+  s.set(Date(2022, 1, 5), 10.0);
+  const auto peaks = top_k_peaks(s, 1, 1);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].date, Date(2022, 1, 4));
+}
+
+TEST(TopKPeaks, KLargerThanCandidates) {
+  DailySeries s{Date(2022, 1, 1), Date(2022, 1, 5)};
+  s.set(Date(2022, 1, 3), 5.0);
+  EXPECT_EQ(top_k_peaks(s, 10, 1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace usaas::core

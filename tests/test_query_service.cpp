@@ -1,0 +1,129 @@
+// End-to-end: the USaaS query façade over both signal corpora (§5, Fig 8).
+#include "usaas/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include "confsim/dataset.h"
+#include "social/subreddit.h"
+
+namespace usaas::service {
+namespace {
+
+using core::Date;
+
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  static const QueryService& service() {
+    static const QueryService instance = [] {
+      QueryService svc;
+      confsim::DatasetConfig cfg;
+      cfg.seed = 11;
+      cfg.num_calls = 8000;
+      cfg.sampling = confsim::ConditionSampling::kPopulation;
+      cfg.first_day = Date(2022, 1, 3);
+      cfg.last_day = Date(2022, 4, 29);
+      const auto calls = confsim::CallDatasetGenerator{cfg}.generate();
+      svc.ingest_calls(calls);
+
+      social::SubredditConfig scfg;
+      scfg.first_day = Date(2022, 1, 1);
+      scfg.last_day = Date(2022, 6, 30);
+      leo::LaunchSchedule sched;
+      social::RedditSim sim{
+          scfg,
+          leo::SpeedModel{leo::ConstellationModel{sched},
+                          leo::SubscriberModel{}},
+          leo::OutageModel{scfg.first_day, scfg.last_day, 42},
+          leo::EventTimeline{sched}};
+      const auto posts = sim.simulate();
+      svc.ingest_posts(posts);
+      svc.train_predictor();
+      return svc;
+    }();
+    return instance;
+  }
+
+  static Query default_query() {
+    Query q;
+    q.first = Date(2022, 1, 1);
+    q.last = Date(2022, 6, 30);
+    q.metric = netsim::Metric::kLatency;
+    q.metric_lo = 0.0;
+    q.metric_hi = 300.0;
+    return q;
+  }
+};
+
+TEST_F(QueryServiceTest, IngestionCounters) {
+  EXPECT_GT(service().ingested_sessions(), 30000u);
+  EXPECT_GT(service().ingested_posts(), 5000u);
+}
+
+TEST_F(QueryServiceTest, InsightHasAllEngagementCurves) {
+  const auto insight = service().run(default_query());
+  ASSERT_EQ(insight.engagement.size(), 3u);
+  for (const auto& curve : insight.engagement) {
+    EXPECT_FALSE(curve.points.empty());
+  }
+  EXPECT_GT(insight.sessions, 30000u);
+}
+
+TEST_F(QueryServiceTest, PredictorBackfillsCoverage) {
+  const auto insight = service().run(default_query());
+  ASSERT_TRUE(insight.observed_mean_mos.has_value());
+  ASSERT_TRUE(insight.predicted_mean_mos.has_value());
+  // Observed covers ~0.25% of sessions; predicted covers all of them, and
+  // the two agree on the average to within half a star.
+  EXPECT_LT(insight.rated_sessions, insight.sessions / 50);
+  EXPECT_NEAR(*insight.predicted_mean_mos, *insight.observed_mean_mos, 0.5);
+}
+
+TEST_F(QueryServiceTest, MosCorrelationsExposed) {
+  const auto insight = service().run(default_query());
+  ASSERT_FALSE(insight.mos_spearman.empty());
+  double presence_corr = 0.0;
+  for (const auto& [metric, corr] : insight.mos_spearman) {
+    if (metric == EngagementMetric::kPresence) presence_corr = corr;
+  }
+  EXPECT_GT(presence_corr, 0.05);
+}
+
+TEST_F(QueryServiceTest, PlatformFilterNarrowsSessions) {
+  auto q = default_query();
+  const auto all = service().run(q);
+  q.platform = confsim::Platform::kAndroid;
+  const auto android = service().run(q);
+  EXPECT_LT(android.sessions, all.sessions / 4);
+  EXPECT_GT(android.sessions, 0u);
+}
+
+TEST_F(QueryServiceTest, SocialAggregatesPresent) {
+  const auto insight = service().run(default_query());
+  EXPECT_GT(insight.posts, 5000u);
+  EXPECT_GT(insight.strong_positive_share, 0.0);
+  EXPECT_LT(insight.strong_positive_share, 1.0);
+  EXPECT_GT(insight.outage_mention_days, 30u);
+}
+
+TEST_F(QueryServiceTest, OutageAlertsIncludeJan7AndApr22) {
+  const auto insight = service().run(default_query());
+  auto has = [&](const Date& d) {
+    return std::find(insight.outage_alert_days.begin(),
+                     insight.outage_alert_days.end(),
+                     d) != insight.outage_alert_days.end();
+  };
+  EXPECT_TRUE(has(Date(2022, 1, 7)));
+  EXPECT_TRUE(has(Date(2022, 4, 22)));
+}
+
+TEST_F(QueryServiceTest, DateWindowFiltersSocialSide) {
+  auto q = default_query();
+  q.first = Date(2022, 2, 1);
+  q.last = Date(2022, 2, 28);
+  const auto feb = service().run(q);
+  const auto all = service().run(default_query());
+  EXPECT_LT(feb.posts, all.posts / 3);
+}
+
+}  // namespace
+}  // namespace usaas::service

@@ -1,0 +1,136 @@
+#include "core/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace usaas::core {
+namespace {
+
+TEST(SolveLinearSystem, KnownSolution) {
+  // 2x + y = 5; x - y = 1  =>  x = 2, y = 1.
+  const auto x = solve_linear_system({2.0, 1.0, 1.0, -1.0}, {5.0, 1.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  const auto x = solve_linear_system({0.0, 1.0, 1.0, 0.0}, {3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularThrows) {
+  EXPECT_THROW(solve_linear_system({1.0, 2.0, 2.0, 4.0}, {1.0, 2.0}),
+               std::runtime_error);
+  EXPECT_THROW(solve_linear_system({1.0, 2.0, 3.0}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(SimpleFit, ExactLine) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{1.0, 3.0, 5.0, 7.0};
+  const auto f = fit_simple(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+  EXPECT_NEAR(f.predict(10.0), 21.0, 1e-12);
+}
+
+TEST(SimpleFit, ConstantXGivesFlatFit) {
+  const std::vector<double> xs{2.0, 2.0, 2.0};
+  const std::vector<double> ys{1.0, 5.0, 9.0};
+  const auto f = fit_simple(xs, ys);
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 5.0);
+}
+
+TEST(LinearModel, RecoversPlantedCoefficients) {
+  Rng rng{77};
+  const std::vector<double> truth{1.5, -2.0, 0.5};
+  const double intercept = 4.0;
+  std::vector<double> rows;
+  std::vector<double> ys;
+  for (int i = 0; i < 2000; ++i) {
+    double y = intercept;
+    for (const double c : truth) {
+      const double x = rng.normal(0.0, 1.0);
+      rows.push_back(x);
+      y += c * x;
+    }
+    ys.push_back(y + rng.normal(0.0, 0.1));
+  }
+  const auto m = LinearModel::fit(rows, truth.size(), ys, 0.0);
+  EXPECT_NEAR(m.intercept(), intercept, 0.02);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(m.coefficients()[i], truth[i], 0.02);
+  }
+}
+
+TEST(LinearModel, RidgeShrinksCoefficients) {
+  Rng rng{78};
+  std::vector<double> rows;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.normal(0.0, 1.0);
+    rows.push_back(x);
+    ys.push_back(3.0 * x + rng.normal(0.0, 0.5));
+  }
+  const auto plain = LinearModel::fit(rows, 1, ys, 0.0);
+  const auto ridged = LinearModel::fit(rows, 1, ys, 1000.0);
+  EXPECT_LT(std::fabs(ridged.coefficients()[0]),
+            std::fabs(plain.coefficients()[0]));
+}
+
+TEST(LinearModel, CollinearNeedsRidge) {
+  // Two identical columns: singular without ridge, solvable with it.
+  std::vector<double> rows;
+  std::vector<double> ys;
+  Rng rng{79};
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.normal(0.0, 1.0);
+    rows.push_back(x);
+    rows.push_back(x);
+    ys.push_back(2.0 * x);
+  }
+  EXPECT_THROW(LinearModel::fit(rows, 2, ys, 0.0), std::runtime_error);
+  EXPECT_NO_THROW(LinearModel::fit(rows, 2, ys, 0.1));
+}
+
+TEST(LinearModel, ShapeValidation) {
+  const std::vector<double> two{1.0, 2.0};
+  const std::vector<double> three{1.0, 2.0, 3.0};
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(LinearModel::fit(two, 0, one, 0.0), std::invalid_argument);
+  EXPECT_THROW(LinearModel::fit(three, 2, one, 0.0), std::invalid_argument);
+  EXPECT_THROW(LinearModel::fit(one, 1, one, -1.0), std::invalid_argument);
+}
+
+TEST(LinearModel, PredictValidatesFeatureCount) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0};
+  const auto m = LinearModel::fit(xs, 1, ys, 0.0);
+  EXPECT_THROW((void)m.predict(std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(RegressionMetrics, PerfectAndMeanPredictions) {
+  const std::vector<double> actual{1.0, 2.0, 3.0, 4.0};
+  const auto perfect = evaluate_predictions(actual, actual);
+  EXPECT_DOUBLE_EQ(perfect.mae, 0.0);
+  EXPECT_DOUBLE_EQ(perfect.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(perfect.r2, 1.0);
+
+  const std::vector<double> mean_pred(4, 2.5);
+  const auto mean_eval = evaluate_predictions(mean_pred, actual);
+  EXPECT_NEAR(mean_eval.r2, 0.0, 1e-12);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)evaluate_predictions(one, actual), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace usaas::core

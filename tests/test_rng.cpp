@@ -1,0 +1,187 @@
+#include "core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace usaas::core {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsDeterministicAndIndependent) {
+  const Rng parent{42};
+  Rng c1 = parent.split(7);
+  Rng c1_again = parent.split(7);
+  Rng c2 = parent.split(8);
+  EXPECT_EQ(c1.next_u64(), c1_again.next_u64());
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{9};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng{10};
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversBoundsInclusive) {
+  Rng rng{11};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng{12};
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng{13};
+  EXPECT_THROW(rng.uniform(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{14};
+  const int n = 200000;
+  double acc = 0.0;
+  double acc2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    acc += x;
+    acc2 += x * x;
+  }
+  const double mean = acc / n;
+  const double var = acc2 / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng{15};
+  std::vector<double> xs;
+  for (int i = 0; i < 50001; ++i) xs.push_back(rng.lognormal(0.0, 0.5));
+  std::nth_element(xs.begin(), xs.begin() + 25000, xs.end());
+  EXPECT_NEAR(xs[25000], 1.0, 0.03);  // median of exp(N(0, s)) = 1
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng rng{16};
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(2.0);
+    ASSERT_GT(x, 0.0);
+    acc += x;
+  }
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, PoissonSmallAndLargeMean) {
+  Rng rng{17};
+  const int n = 50000;
+  double acc_small = 0.0;
+  double acc_large = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc_small += static_cast<double>(rng.poisson(2.5));
+    acc_large += static_cast<double>(rng.poisson(80.0));
+  }
+  EXPECT_NEAR(acc_small / n, 2.5, 0.05);
+  EXPECT_NEAR(acc_large / n, 80.0, 0.5);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_THROW(rng.poisson(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng{18};
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ParetoMinimumRespected) {
+  Rng rng{19};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+  EXPECT_THROW(rng.pareto(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng{20};
+  const std::array<double, 3> weights{1.0, 2.0, 7.0};
+  std::array<int, 3> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(Rng, WeightedIndexRejectsDegenerate) {
+  Rng rng{21};
+  const std::array<double, 2> zeros{0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(zeros), std::invalid_argument);
+  const std::array<double, 2> negative{1.0, -0.5};
+  EXPECT_THROW(rng.weighted_index(negative), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{22};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, PickFromEmptyThrows) {
+  Rng rng{23};
+  const std::vector<int> empty;
+  EXPECT_THROW(rng.pick(std::span<const int>{empty}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace usaas::core

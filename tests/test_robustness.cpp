@@ -1,0 +1,137 @@
+// Robustness / fuzz tests: the user-facing substrates must survive
+// arbitrary garbage — social text and OCR output are adversarially messy
+// in the wild, and a production USaaS ingests them unvetted.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/rng.h"
+#include "nlp/keywords.h"
+#include "nlp/sentiment.h"
+#include "nlp/summarizer.h"
+#include "nlp/tokenizer.h"
+#include "nlp/wordcloud.h"
+#include "ocr/extract.h"
+#include "ocr/noisy_ocr.h"
+
+namespace usaas {
+namespace {
+
+std::string random_bytes(core::Rng& rng, std::size_t max_len) {
+  const auto len = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(max_len)));
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng.uniform_int(1, 255)));
+  }
+  return out;
+}
+
+std::string random_printable(core::Rng& rng, std::size_t max_len) {
+  const auto len = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(max_len)));
+  static constexpr char kAlphabet[] =
+      " \n\tabcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+      "0123456789.,:;!?'\"-()/%";
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng.uniform_int(
+        0, static_cast<std::int64_t>(sizeof(kAlphabet)) - 2)]);
+  }
+  return out;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeeds, SentimentNeverBreaksSimplex) {
+  core::Rng rng{static_cast<std::uint64_t>(GetParam()) * 101 + 1};
+  const nlp::SentimentAnalyzer analyzer;
+  for (int i = 0; i < 300; ++i) {
+    const std::string text =
+        i % 2 == 0 ? random_bytes(rng, 400) : random_printable(rng, 400);
+    const auto s = analyzer.score(text);
+    ASSERT_GE(s.positive, 0.0);
+    ASSERT_GE(s.negative, 0.0);
+    ASSERT_GE(s.neutral, 0.0);
+    ASSERT_NEAR(s.positive + s.negative + s.neutral, 1.0, 1e-9);
+  }
+}
+
+TEST_P(FuzzSeeds, TokenizerNeverProducesEmptyTokens) {
+  core::Rng rng{static_cast<std::uint64_t>(GetParam()) * 103 + 2};
+  for (int i = 0; i < 300; ++i) {
+    const std::string text = random_bytes(rng, 500);
+    for (const auto& token : nlp::tokenize(text)) {
+      ASSERT_FALSE(token.text.empty());
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, ExtractorNeverThrowsOnGarbage) {
+  core::Rng rng{static_cast<std::uint64_t>(GetParam()) * 107 + 3};
+  const ocr::ReportExtractor extractor;
+  ocr::ExtractionStats stats;
+  for (int i = 0; i < 300; ++i) {
+    const std::string text =
+        i % 2 == 0 ? random_bytes(rng, 600) : random_printable(rng, 600);
+    const auto report = extractor.extract(text, &stats);
+    if (report) {
+      // Whatever it found must at least be plausible.
+      ASSERT_GE(report->download_mbps, ocr::ReportExtractor::kMinPlausibleDown);
+      ASSERT_LE(report->download_mbps, ocr::ReportExtractor::kMaxPlausibleDown);
+    }
+  }
+  EXPECT_EQ(stats.attempted, 300u);
+}
+
+TEST_P(FuzzSeeds, NoisyOcrAtExtremeRatesStillTerminates) {
+  core::Rng rng{static_cast<std::uint64_t>(GetParam()) * 109 + 4};
+  ocr::OcrNoiseParams violent;
+  violent.confusion_rate = 0.9;
+  violent.drop_rate = 0.5;
+  violent.line_loss_rate = 0.5;
+  const ocr::NoisyOcr channel{violent};
+  for (int i = 0; i < 100; ++i) {
+    const std::string text = random_printable(rng, 400);
+    const std::string read = channel.read(text, rng);
+    ASSERT_LE(read.size(), text.size());
+  }
+}
+
+TEST_P(FuzzSeeds, KeywordCountingHandlesArbitraryText) {
+  core::Rng rng{static_cast<std::uint64_t>(GetParam()) * 113 + 5};
+  const auto& dict = nlp::KeywordDictionary::outage_dictionary();
+  for (int i = 0; i < 300; ++i) {
+    const std::string text = random_bytes(rng, 500);
+    const auto hits = dict.count_occurrences(text);
+    ASSERT_EQ(dict.matches(text), hits > 0);
+  }
+}
+
+TEST_P(FuzzSeeds, SummarizerHandlesArbitraryDocuments) {
+  core::Rng rng{static_cast<std::uint64_t>(GetParam()) * 127 + 6};
+  const nlp::Summarizer summarizer;
+  std::vector<std::string> docs;
+  for (int i = 0; i < 20; ++i) docs.push_back(random_printable(rng, 300));
+  const auto summary = summarizer.summarize(docs);
+  EXPECT_LE(summary.size(), 3u);
+}
+
+TEST_P(FuzzSeeds, WordCloudOnGarbageIsWellFormed) {
+  core::Rng rng{static_cast<std::uint64_t>(GetParam()) * 131 + 7};
+  std::vector<std::string> docs;
+  for (int i = 0; i < 20; ++i) docs.push_back(random_bytes(rng, 300));
+  const auto cloud = nlp::WordCloud::build(docs, 10);
+  for (const auto& w : cloud.words()) {
+    ASSERT_FALSE(w.word.empty());
+    ASSERT_GT(w.relative_size, 0.0);
+    ASSERT_LE(w.relative_size, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace usaas

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "core/correlation.h"
+#include "nlp/keywords.h"
+#include "nlp/sentiment.h"
+#include "social/subreddit.h"
+#include "social/text_gen.h"
+
+namespace usaas::social {
+namespace {
+
+using core::Date;
+
+SubredditConfig quarter_config() {
+  SubredditConfig cfg;
+  cfg.seed = 99;
+  cfg.first_day = Date(2022, 1, 1);
+  cfg.last_day = Date(2022, 3, 31);
+  return cfg;
+}
+
+RedditSim make_sim(const SubredditConfig& cfg) {
+  leo::LaunchSchedule sched;
+  return RedditSim{
+      cfg,
+      leo::SpeedModel{leo::ConstellationModel{sched}, leo::SubscriberModel{}},
+      leo::OutageModel{cfg.first_day, cfg.last_day, 5},
+      leo::EventTimeline{sched}};
+}
+
+TEST(TextGen, ExperienceBucketsMatchPolarity) {
+  const TextGenerator gen;
+  const nlp::SentimentAnalyzer analyzer;
+  core::Rng rng{1};
+  const auto very_pos = gen.experience(0.9, 120.0, rng);
+  const auto very_neg = gen.experience(-0.9, 5.0, rng);
+  EXPECT_GT(analyzer.score(very_pos.title + " " + very_pos.body).polarity(),
+            0.3);
+  EXPECT_LT(analyzer.score(very_neg.title + " " + very_neg.body).polarity(),
+            -0.3);
+}
+
+TEST(TextGen, SpeedAppearsInExperienceText) {
+  const TextGenerator gen;
+  core::Rng rng{2};
+  const auto text = gen.experience(0.0, 77.0, rng);
+  EXPECT_NE(text.body.find("77"), std::string::npos);
+}
+
+TEST(TextGen, OutageReportsContainDictionaryTerms) {
+  const TextGenerator gen;
+  const auto& dict = nlp::KeywordDictionary::outage_dictionary();
+  core::Rng rng{3};
+  for (int i = 0; i < 50; ++i) {
+    const auto global = gen.outage_report(true, true, rng);
+    EXPECT_TRUE(dict.matches(global.title + " " + global.body));
+    const auto transient = gen.outage_report(false, false, rng);
+    EXPECT_TRUE(dict.matches(transient.title + " " + transient.body));
+  }
+}
+
+TEST(TextGen, PressCoverageIncreasesKeywordDensity) {
+  const TextGenerator gen;
+  const auto& dict = nlp::KeywordDictionary::outage_dictionary();
+  core::Rng rng{4};
+  double covered = 0.0;
+  double uncovered = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const auto c = gen.outage_report(true, true, rng);
+    const auto u = gen.outage_report(true, false, rng);
+    covered += static_cast<double>(dict.count_occurrences(c.title + " " + c.body));
+    uncovered += static_cast<double>(dict.count_occurrences(u.title + " " + u.body));
+  }
+  EXPECT_GT(covered, uncovered * 1.5);
+}
+
+TEST(TextGen, EventReactionsLeadWithKeywords) {
+  const TextGenerator gen;
+  core::Rng rng{5};
+  leo::NewsEvent ev;
+  ev.headline = "Something happened";
+  ev.keywords = {"preorder", "order"};
+  ev.sentiment = leo::EventSentiment::kPositive;
+  const auto text = gen.event_reaction(ev, rng);
+  EXPECT_EQ(text.title.rfind("preorder", 0), 0u);  // title starts with kw
+  EXPECT_NE(text.body.find("preorder"), std::string::npos);
+}
+
+TEST(TextGen, FeatureDiscoveryMentionsTermRepeatedly) {
+  const TextGenerator gen;
+  core::Rng rng{6};
+  const auto text = gen.feature_discovery("roaming", rng);
+  const std::string all = text.title + " " + text.body;
+  std::size_t mentions = 0;
+  for (std::size_t pos = all.find("roaming"); pos != std::string::npos;
+       pos = all.find("roaming", pos + 1)) {
+    ++mentions;
+  }
+  EXPECT_GE(mentions, 2u);
+}
+
+TEST(RedditSim, DeterministicForSeed) {
+  const auto cfg = quarter_config();
+  auto sim_a = make_sim(cfg);
+  auto sim_b = make_sim(cfg);
+  const auto a = sim_a.simulate();
+  const auto b = sim_b.simulate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(a.size(), 200); ++i) {
+    EXPECT_EQ(a[i].title, b[i].title);
+    EXPECT_EQ(a[i].upvotes, b[i].upvotes);
+  }
+}
+
+TEST(RedditSim, VolumeMatchesConfiguredRamp) {
+  const auto cfg = quarter_config();
+  auto sim = make_sim(cfg);
+  const auto posts = sim.simulate();
+  const auto days =
+      static_cast<double>(cfg.first_day.days_until(cfg.last_day)) + 1.0;
+  const double per_day = static_cast<double>(posts.size()) / days;
+  // Early-2022 sits mid-ramp between 25 and 80 posts/day, plus event and
+  // outage bursts.
+  EXPECT_GT(per_day, 30.0);
+  EXPECT_LT(per_day, 90.0);
+}
+
+TEST(RedditSim, PostsSortedByDateWithinRange) {
+  auto sim = make_sim(quarter_config());
+  const auto posts = sim.simulate();
+  ASSERT_FALSE(posts.empty());
+  for (std::size_t i = 1; i < posts.size(); ++i) {
+    EXPECT_LE(posts[i - 1].date, posts[i].date);
+  }
+  EXPECT_GE(posts.front().date, Date(2022, 1, 1));
+  EXPECT_LE(posts.back().date, Date(2022, 3, 31));
+}
+
+TEST(RedditSim, AllKindsPresent) {
+  auto sim = make_sim(quarter_config());
+  const auto posts = sim.simulate();
+  std::array<int, 7> counts{};
+  for (const auto& p : posts) counts[static_cast<std::size_t>(p.kind)]++;
+  EXPECT_GT(counts[static_cast<std::size_t>(PostKind::kExperience)], 0);
+  EXPECT_GT(counts[static_cast<std::size_t>(PostKind::kSpeedtest)], 0);
+  EXPECT_GT(counts[static_cast<std::size_t>(PostKind::kOutageReport)], 0);
+  EXPECT_GT(counts[static_cast<std::size_t>(PostKind::kEventReaction)], 0);
+  EXPECT_GT(counts[static_cast<std::size_t>(PostKind::kQuestion)], 0);
+  EXPECT_GT(counts[static_cast<std::size_t>(PostKind::kOffTopic)], 0);
+  EXPECT_GT(counts[static_cast<std::size_t>(PostKind::kFeatureDiscovery)], 0);
+}
+
+TEST(RedditSim, SpeedtestPostsCarryScreenshots) {
+  auto sim = make_sim(quarter_config());
+  for (const auto& p : sim.simulate()) {
+    if (p.kind == PostKind::kSpeedtest) {
+      EXPECT_TRUE(p.screenshot.has_value());
+      EXPECT_TRUE(p.true_test.has_value());
+    } else {
+      EXPECT_FALSE(p.screenshot.has_value());
+    }
+  }
+}
+
+TEST(RedditSim, AnalyzerRecoversIntendedPolarity) {
+  // The generated text must carry its planted polarity: correlation
+  // between true_polarity and the analyzer's recovered polarity should be
+  // strongly positive across the corpus.
+  auto sim = make_sim(quarter_config());
+  const auto posts = sim.simulate();
+  const nlp::SentimentAnalyzer analyzer;
+  std::vector<double> truth;
+  std::vector<double> recovered;
+  for (const auto& p : posts) {
+    truth.push_back(p.true_polarity);
+    recovered.push_back(analyzer.score(p.full_text()).polarity());
+  }
+  EXPECT_GT(core::pearson(truth, recovered), 0.6);
+}
+
+TEST(RedditSim, OutageDaysSpawnReports) {
+  auto sim = make_sim(quarter_config());
+  const auto posts = sim.simulate();
+  int jan7_reports = 0;
+  for (const auto& p : posts) {
+    if (p.date == Date(2022, 1, 7) && p.kind == PostKind::kOutageReport) {
+      ++jan7_reports;
+    }
+  }
+  EXPECT_GT(jan7_reports, 20);
+}
+
+TEST(RedditSim, RoamingStorylineRampsBeforeAnnouncement) {
+  auto sim = make_sim(quarter_config());
+  const auto posts = sim.simulate();
+  int before_window = 0;
+  int in_window = 0;
+  const Date discovery = leo::EventTimeline::roaming_user_discovery_date();
+  const Date announce = leo::EventTimeline::roaming_announcement_date();
+  for (const auto& p : posts) {
+    if (p.kind != PostKind::kFeatureDiscovery) continue;
+    if (p.date < discovery) {
+      ++before_window;
+    } else if (p.date < announce) {
+      ++in_window;
+    }
+  }
+  EXPECT_EQ(before_window, 0);
+  EXPECT_GT(in_window, 10);
+}
+
+TEST(RedditSim, DayTruthsCoverEveryDay) {
+  auto sim = make_sim(quarter_config());
+  (void)sim.simulate();
+  const auto& truths = sim.day_truths();
+  ASSERT_EQ(truths.size(), 90u);
+  EXPECT_EQ(truths.front().date, Date(2022, 1, 1));
+  EXPECT_EQ(truths.back().date, Date(2022, 3, 31));
+  for (const auto& t : truths) {
+    EXPECT_GT(t.median_speed, 0.0);
+    EXPECT_GT(t.expectation, 0.0);
+  }
+}
+
+TEST(RedditSim, ExpectationLagsSpeedChanges) {
+  // The fulcrum: expectation is an EWMA, so after the Feb '22 speed crash
+  // the expectation sits above the current median for a while.
+  auto sim = make_sim(quarter_config());
+  (void)sim.simulate();
+  for (const auto& t : sim.day_truths()) {
+    if (t.date == Date(2022, 3, 1)) {
+      EXPECT_GT(t.expectation, t.median_speed);
+    }
+  }
+}
+
+TEST(RedditSim, InvalidConfigRejected) {
+  auto cfg = quarter_config();
+  cfg.last_day = Date(2021, 1, 1);
+  EXPECT_THROW(make_sim(cfg), std::invalid_argument);
+  cfg = quarter_config();
+  cfg.experience_share = 0.9;
+  cfg.offtopic_share = 0.5;
+  EXPECT_THROW(make_sim(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace usaas::social

@@ -1,0 +1,82 @@
+// Multi-seed property sweep over the social simulator: the corpus-level
+// invariants the §4 pipelines depend on must hold for ANY seed, not just
+// the benchmark seed.
+#include <gtest/gtest.h>
+
+#include "core/correlation.h"
+#include "nlp/sentiment.h"
+#include "social/subreddit.h"
+
+namespace usaas::social {
+namespace {
+
+using core::Date;
+
+class SocialSeedSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static std::vector<Post> simulate(std::uint64_t seed) {
+    SubredditConfig cfg;
+    cfg.seed = seed;
+    cfg.first_day = Date(2022, 3, 1);
+    cfg.last_day = Date(2022, 5, 31);
+    leo::LaunchSchedule sched;
+    RedditSim sim{
+        cfg,
+        leo::SpeedModel{leo::ConstellationModel{sched},
+                        leo::SubscriberModel{}},
+        leo::OutageModel{cfg.first_day, cfg.last_day, seed ^ 0xabcd},
+        leo::EventTimeline{sched}};
+    return sim.simulate();
+  }
+};
+
+TEST_P(SocialSeedSweep, VolumeInExpectedBand) {
+  const auto posts = simulate(GetParam());
+  const double per_day = static_cast<double>(posts.size()) / 92.0;
+  EXPECT_GT(per_day, 30.0);
+  EXPECT_LT(per_day, 110.0);
+}
+
+TEST_P(SocialSeedSweep, PolarityRecoverableByAnalyzer) {
+  const auto posts = simulate(GetParam());
+  const nlp::SentimentAnalyzer analyzer;
+  std::vector<double> truth;
+  std::vector<double> recovered;
+  for (const auto& p : posts) {
+    truth.push_back(p.true_polarity);
+    recovered.push_back(analyzer.score(p.full_text()).polarity());
+  }
+  EXPECT_GT(core::pearson(truth, recovered), 0.55) << "seed " << GetParam();
+}
+
+TEST_P(SocialSeedSweep, ScreenshotInvariant) {
+  for (const auto& p : simulate(GetParam())) {
+    EXPECT_EQ(p.screenshot.has_value(), p.kind == PostKind::kSpeedtest);
+    EXPECT_EQ(p.true_test.has_value(), p.kind == PostKind::kSpeedtest);
+    EXPECT_GE(p.upvotes, 0);
+    EXPECT_GE(p.num_comments, 0);
+    EXPECT_GE(p.true_polarity, -1.0);
+    EXPECT_LE(p.true_polarity, 1.0);
+  }
+}
+
+TEST_P(SocialSeedSweep, Apr22OutageAlwaysVisible) {
+  // The deterministic major outage must dominate its neighbourhood in
+  // every seed's corpus.
+  const auto posts = simulate(GetParam());
+  std::size_t apr22_reports = 0;
+  std::size_t apr20_reports = 0;
+  for (const auto& p : posts) {
+    if (p.kind != PostKind::kOutageReport) continue;
+    if (p.date == Date(2022, 4, 22)) ++apr22_reports;
+    if (p.date == Date(2022, 4, 20)) ++apr20_reports;
+  }
+  EXPECT_GT(apr22_reports, 15u) << "seed " << GetParam();
+  EXPECT_GT(apr22_reports, apr20_reports * 3) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SocialSeedSweep,
+                         ::testing::Values(1u, 17u, 202u, 9999u, 123456u));
+
+}  // namespace
+}  // namespace usaas::social

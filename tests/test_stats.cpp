@@ -1,0 +1,169 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.h"
+
+namespace usaas::core {
+namespace {
+
+TEST(Stats, MeanMedianBasics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+  const std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+}
+
+TEST(Stats, EmptyInputsThrow) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)mean(empty), std::invalid_argument);
+  EXPECT_THROW((void)median(empty), std::invalid_argument);
+  EXPECT_THROW((void)variance(empty), std::invalid_argument);
+  EXPECT_THROW((void)quantile(empty, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, QuantileInterpolation) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_THROW((void)quantile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, P95OfUniformSequence) {
+  std::vector<double> xs;
+  for (int i = 0; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  EXPECT_NEAR(p95(xs), 95.0, 1e-9);
+}
+
+TEST(Stats, VarianceAndStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.0);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  Rng rng{100};
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 3.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-6);
+  EXPECT_DOUBLE_EQ(rs.min(), min_value(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max_value(xs));
+}
+
+TEST(RunningStats, EmptyThrows) {
+  const RunningStats rs;
+  EXPECT_TRUE(rs.empty());
+  EXPECT_THROW((void)rs.mean(), std::logic_error);
+  EXPECT_THROW((void)rs.variance(), std::logic_error);
+  EXPECT_THROW((void)rs.min(), std::logic_error);
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+  Rng rng{101};
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.normal(20.0, 1.0);
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(Stats, SummarizeFields) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 100.0};
+  const auto s = summarize(xs);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->count, 5u);
+  EXPECT_DOUBLE_EQ(s->median, 3.0);
+  EXPECT_DOUBLE_EQ(s->min, 1.0);
+  EXPECT_DOUBLE_EQ(s->max, 100.0);
+  EXPECT_FALSE(summarize(std::vector<double>{}).has_value());
+}
+
+TEST(Stats, NormalizeToPercentOfMax) {
+  const std::vector<double> xs{2.0, 4.0, 1.0};
+  const auto out = normalize_to_percent_of_max(xs);
+  EXPECT_DOUBLE_EQ(out[0], 50.0);
+  EXPECT_DOUBLE_EQ(out[1], 100.0);
+  EXPECT_DOUBLE_EQ(out[2], 25.0);
+  // Degenerate all-zero input stays zero (no division blow-up).
+  const auto zeros = normalize_to_percent_of_max(std::vector<double>{0.0, 0.0});
+  EXPECT_DOUBLE_EQ(zeros[0], 0.0);
+}
+
+TEST(Stats, RanksWithTies) {
+  const std::vector<double> xs{10.0, 20.0, 20.0, 30.0};
+  const auto r = ranks(xs);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, RanksAllEqual) {
+  const std::vector<double> xs{5.0, 5.0, 5.0};
+  const auto r = ranks(xs);
+  for (const double v : r) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+// Property: quantile is monotone in q.
+class QuantileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileMonotone, MonotoneInQ) {
+  Rng rng{static_cast<std::uint64_t>(GetParam())};
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(0.0, 5.0));
+  double prev = quantile(xs, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile(xs, q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotone, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace usaas::core

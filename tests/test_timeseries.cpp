@@ -1,0 +1,128 @@
+#include "core/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace usaas::core {
+namespace {
+
+TEST(DailySeries, ConstructionAndRange) {
+  const DailySeries s{Date(2022, 1, 1), Date(2022, 1, 31)};
+  EXPECT_EQ(s.size(), 31u);
+  EXPECT_TRUE(s.contains(Date(2022, 1, 15)));
+  EXPECT_FALSE(s.contains(Date(2022, 2, 1)));
+  EXPECT_THROW((DailySeries{Date(2022, 2, 1), Date(2022, 1, 1)}),
+               std::invalid_argument);
+}
+
+TEST(DailySeries, SetAddAt) {
+  DailySeries s{Date(2022, 1, 1), Date(2022, 1, 10)};
+  s.set(Date(2022, 1, 5), 3.0);
+  s.add(Date(2022, 1, 5), 2.0);
+  EXPECT_DOUBLE_EQ(s.at(Date(2022, 1, 5)), 5.0);
+  EXPECT_DOUBLE_EQ(s.at(Date(2022, 1, 6)), 0.0);
+  EXPECT_THROW((void)s.at(Date(2021, 12, 31)), std::out_of_range);
+}
+
+TEST(DailySeries, EntriesAlignWithDates) {
+  DailySeries s{Date(2022, 3, 30), Date(2022, 4, 2)};
+  s.set(Date(2022, 4, 1), 9.0);
+  const auto e = s.entries();
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_EQ(e[2].date, Date(2022, 4, 1));
+  EXPECT_DOUBLE_EQ(e[2].value, 9.0);
+}
+
+TEST(DailySeries, RollingMeanSmoothsSpike) {
+  DailySeries s{Date(2022, 1, 1), Date(2022, 1, 9)};
+  s.set(Date(2022, 1, 5), 9.0);
+  const auto smoothed = s.rolling_mean(3);
+  EXPECT_DOUBLE_EQ(smoothed.at(Date(2022, 1, 5)), 3.0);
+  EXPECT_DOUBLE_EQ(smoothed.at(Date(2022, 1, 4)), 3.0);
+  EXPECT_DOUBLE_EQ(smoothed.at(Date(2022, 1, 3)), 0.0);
+  EXPECT_THROW(s.rolling_mean(4), std::invalid_argument);
+  EXPECT_THROW(s.rolling_mean(0), std::invalid_argument);
+}
+
+TEST(DailySeries, EwmaConvergesToConstant) {
+  DailySeries s{Date(2022, 1, 1), Date(2022, 4, 10)};
+  for (const auto& [date, _] : s.entries()) s.set(date, 10.0);
+  const auto e = s.ewma(0.2);
+  EXPECT_NEAR(e.at(Date(2022, 4, 10)), 10.0, 1e-6);
+  EXPECT_THROW(s.ewma(0.0), std::invalid_argument);
+  EXPECT_THROW(s.ewma(1.5), std::invalid_argument);
+}
+
+TEST(DailySeries, EwmaLagsStepChange) {
+  DailySeries s{Date(2022, 1, 1), Date(2022, 1, 20)};
+  for (int i = 10; i < 20; ++i) s.set(Date(2022, 1, 1).plus_days(i), 100.0);
+  const auto e = s.ewma(0.3);
+  // Right after the step the EWMA is still well below the new level.
+  EXPECT_LT(e.at(Date(2022, 1, 12)), 70.0);
+  EXPECT_GT(e.at(Date(2022, 1, 20)), 90.0);
+}
+
+TEST(DailySeries, MapAndPlus) {
+  DailySeries a{Date(2022, 1, 1), Date(2022, 1, 3)};
+  a.set(Date(2022, 1, 2), 2.0);
+  const auto doubled = a.map([](double v) { return v * 2.0; });
+  EXPECT_DOUBLE_EQ(doubled.at(Date(2022, 1, 2)), 4.0);
+  const auto sum = a + doubled;
+  EXPECT_DOUBLE_EQ(sum.at(Date(2022, 1, 2)), 6.0);
+  EXPECT_DOUBLE_EQ(sum.total(), 6.0);
+  DailySeries other{Date(2022, 1, 1), Date(2022, 1, 4)};
+  EXPECT_THROW(a + other, std::invalid_argument);
+}
+
+TEST(MonthlyAggregator, MediansChronological) {
+  MonthlyAggregator agg;
+  agg.add(Date(2021, 2, 10), 10.0);
+  agg.add(Date(2021, 1, 5), 1.0);
+  agg.add(Date(2021, 1, 20), 3.0);
+  agg.add(Date(2021, 1, 25), 2.0);
+  const auto meds = agg.medians();
+  ASSERT_EQ(meds.size(), 2u);
+  EXPECT_EQ(meds[0].label(), "2021-01");
+  EXPECT_DOUBLE_EQ(meds[0].value, 2.0);
+  EXPECT_EQ(meds[0].count, 3u);
+  EXPECT_EQ(meds[1].label(), "2021-02");
+  EXPECT_DOUBLE_EQ(meds[1].value, 10.0);
+}
+
+TEST(MonthlyAggregator, MeansDifferFromMedians) {
+  MonthlyAggregator agg;
+  agg.add(Date(2021, 1, 1), 1.0);
+  agg.add(Date(2021, 1, 2), 1.0);
+  agg.add(Date(2021, 1, 3), 100.0);
+  EXPECT_DOUBLE_EQ(agg.medians()[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(agg.means()[0].value, 34.0);
+}
+
+TEST(MonthlyAggregator, SubsampledMediansStableForLargeMonths) {
+  // Fig 7's stability check: with enough samples per month the 90%/95%
+  // subsample medians track the full median closely.
+  MonthlyAggregator agg;
+  Rng rng{7};
+  for (int day = 1; day <= 28; ++day) {
+    for (int k = 0; k < 40; ++k) {
+      agg.add(Date(2022, 5, day), rng.lognormal(4.0, 0.4));
+    }
+  }
+  const double full = agg.medians()[0].value;
+  const double sub95 = agg.subsampled_medians(0.95, 1)[0].value;
+  const double sub90 = agg.subsampled_medians(0.90, 2)[0].value;
+  EXPECT_NEAR(sub95 / full, 1.0, 0.05);
+  EXPECT_NEAR(sub90 / full, 1.0, 0.05);
+  EXPECT_THROW(agg.subsampled_medians(0.0, 3), std::invalid_argument);
+}
+
+TEST(MonthlyAggregator, MonthSamplesAccessor) {
+  MonthlyAggregator agg;
+  agg.add(Date(2021, 6, 1), 5.0);
+  EXPECT_EQ(agg.month_samples(2021, 6).size(), 1u);
+  EXPECT_THROW((void)agg.month_samples(2021, 7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace usaas::core

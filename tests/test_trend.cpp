@@ -1,0 +1,82 @@
+#include "core/trend.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.h"
+
+namespace usaas::core {
+namespace {
+
+TEST(MannKendall, DetectsIncreasingTrend) {
+  std::vector<double> xs;
+  for (int i = 0; i < 24; ++i) xs.push_back(i + 0.1 * (i % 3));
+  const auto r = mann_kendall(xs);
+  EXPECT_TRUE(r.increasing());
+  EXPECT_FALSE(r.decreasing());
+  EXPECT_GT(r.tau, 0.9);
+}
+
+TEST(MannKendall, DetectsDecreasingTrend) {
+  std::vector<double> xs;
+  for (int i = 0; i < 24; ++i) xs.push_back(100.0 - 2.0 * i);
+  const auto r = mann_kendall(xs);
+  EXPECT_TRUE(r.decreasing());
+  EXPECT_NEAR(r.tau, -1.0, 1e-9);
+}
+
+TEST(MannKendall, FlatSeriesNotSignificant) {
+  const std::vector<double> xs(20, 5.0);
+  const auto r = mann_kendall(xs);
+  EXPECT_FALSE(r.increasing());
+  EXPECT_FALSE(r.decreasing());
+  EXPECT_DOUBLE_EQ(r.s, 0.0);
+}
+
+TEST(MannKendall, NoiseAloneNotSignificant) {
+  Rng rng{9};
+  int significant = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> xs;
+    for (int i = 0; i < 24; ++i) xs.push_back(rng.normal(0.0, 1.0));
+    const auto r = mann_kendall(xs);
+    if (r.increasing() || r.decreasing()) ++significant;
+  }
+  // ~5% false positive rate at z = 1.96; allow generous slack.
+  EXPECT_LE(significant, 8);
+}
+
+TEST(MannKendall, TrendUnderNoiseDetected) {
+  Rng rng{10};
+  std::vector<double> xs;
+  for (int i = 0; i < 24; ++i) xs.push_back(-1.5 * i + rng.normal(0.0, 4.0));
+  EXPECT_TRUE(mann_kendall(xs).decreasing());
+}
+
+TEST(MannKendall, RequiresThreePoints) {
+  EXPECT_THROW((void)mann_kendall(std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(TheilSen, ExactSlopeOnLine) {
+  std::vector<double> xs;
+  for (int i = 0; i < 10; ++i) xs.push_back(3.0 + 2.5 * i);
+  EXPECT_NEAR(theil_sen_slope(xs), 2.5, 1e-12);
+}
+
+TEST(TheilSen, RobustToOutliers) {
+  std::vector<double> xs;
+  for (int i = 0; i < 20; ++i) xs.push_back(1.0 * i);
+  xs[5] = 500.0;   // wild outliers
+  xs[15] = -300.0;
+  EXPECT_NEAR(theil_sen_slope(xs), 1.0, 0.15);
+}
+
+TEST(TheilSen, RequiresTwoPoints) {
+  EXPECT_THROW((void)theil_sen_slope(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace usaas::core

@@ -1,0 +1,57 @@
+#include "core/units.h"
+
+#include <gtest/gtest.h>
+
+namespace usaas::core {
+namespace {
+
+TEST(Units, MillisecondsAccessors) {
+  const Milliseconds m{1500.0};
+  EXPECT_DOUBLE_EQ(m.ms(), 1500.0);
+  EXPECT_DOUBLE_EQ(m.seconds(), 1.5);
+}
+
+TEST(Units, MbpsAccessors) {
+  const Mbps b{2.5};
+  EXPECT_DOUBLE_EQ(b.mbps(), 2.5);
+  EXPECT_DOUBLE_EQ(b.kbps(), 2500.0);
+}
+
+TEST(Units, PercentFractionRoundTrip) {
+  const Percent p{37.5};
+  EXPECT_DOUBLE_EQ(p.fraction(), 0.375);
+  EXPECT_DOUBLE_EQ(Percent::from_fraction(0.375).percent(), 37.5);
+}
+
+TEST(Units, ArithmeticAndOrdering) {
+  const Milliseconds a{10.0};
+  const Milliseconds b{15.0};
+  EXPECT_LT(a, b);
+  EXPECT_EQ((a + b).ms(), 25.0);
+  EXPECT_EQ((b - a).ms(), 5.0);
+  EXPECT_EQ((a * 3.0).ms(), 30.0);
+  EXPECT_EQ((3.0 * a).ms(), 30.0);
+  EXPECT_EQ((b / 3.0).ms(), 5.0);
+  EXPECT_EQ(a, Milliseconds{10.0});
+}
+
+TEST(Units, ClampPercentBounds) {
+  EXPECT_DOUBLE_EQ(clamp_percent(Percent{-5.0}).percent(), 0.0);
+  EXPECT_DOUBLE_EQ(clamp_percent(Percent{105.0}).percent(), 100.0);
+  EXPECT_DOUBLE_EQ(clamp_percent(Percent{42.0}).percent(), 42.0);
+}
+
+TEST(Units, ClampMosBounds) {
+  EXPECT_DOUBLE_EQ(clamp_mos(Mos{0.2}).score(), 1.0);
+  EXPECT_DOUBLE_EQ(clamp_mos(Mos{6.0}).score(), 5.0);
+  EXPECT_DOUBLE_EQ(clamp_mos(Mos{3.3}).score(), 3.3);
+}
+
+TEST(Units, ExpectInRangeThrowsOutside) {
+  EXPECT_NO_THROW(expect_in_range(0.5, 0.0, 1.0, "x"));
+  EXPECT_THROW(expect_in_range(1.5, 0.0, 1.0, "x"), std::invalid_argument);
+  EXPECT_THROW(expect_in_range(-0.1, 0.0, 1.0, "x"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace usaas::core

@@ -1,0 +1,138 @@
+// The §5 flagship scenario: Starlink-coupled Teams calls corroborating
+// the subreddit's complaints, and vice versa.
+#include "usaas/isp_bridge.h"
+
+#include <gtest/gtest.h>
+
+#include "social/subreddit.h"
+
+namespace usaas::service {
+namespace {
+
+using core::Date;
+
+struct Scenario {
+  std::vector<confsim::CallRecord> calls;
+  std::vector<social::Post> posts;
+  Date first{2022, 1, 1};
+  Date last{2022, 12, 31};
+};
+
+const Scenario& scenario() {
+  static const Scenario instance = [] {
+    Scenario s;
+    leo::LaunchSchedule sched;
+    leo::SpeedModel speed{leo::ConstellationModel{sched},
+                          leo::SubscriberModel{}};
+    leo::OutageModel outages{s.first, s.last, 42};
+    IspCallConfig cfg;
+    cfg.first_day = s.first;
+    cfg.last_day = s.last;
+    s.calls = IspCoupledCallGenerator{speed, outages, cfg}.generate();
+    social::SubredditConfig scfg;
+    scfg.first_day = s.first;
+    scfg.last_day = s.last;
+    social::RedditSim sim{scfg, speed, leo::OutageModel{s.first, s.last, 42},
+                          leo::EventTimeline{sched}};
+    s.posts = sim.simulate();
+    return s;
+  }();
+  return instance;
+}
+
+TEST(IspBridge, GeneratesPlausibleVolume) {
+  const auto& s = scenario();
+  // ~40 calls/day over 365 days.
+  EXPECT_GT(s.calls.size(), 12000u);
+  EXPECT_LT(s.calls.size(), 18000u);
+  for (const auto& call : s.calls) {
+    EXPECT_GE(call.size(), 3);
+    for (const auto& rec : call.participants) {
+      EXPECT_EQ(rec.access, netsim::AccessTechnology::kLeoSatellite);
+    }
+  }
+}
+
+TEST(IspBridge, OutageDaysDegradeCalls) {
+  const auto& s = scenario();
+  double outage_drop = 0.0;
+  std::size_t outage_n = 0;
+  double normal_drop = 0.0;
+  std::size_t normal_n = 0;
+  for (const auto& call : s.calls) {
+    const bool outage_day = call.start.date == Date(2022, 1, 7) ||
+                            call.start.date == Date(2022, 4, 22) ||
+                            call.start.date == Date(2022, 8, 30);
+    for (const auto& rec : call.participants) {
+      if (outage_day) {
+        outage_drop += rec.dropped_early ? 1.0 : 0.0;
+        ++outage_n;
+      } else {
+        normal_drop += rec.dropped_early ? 1.0 : 0.0;
+        ++normal_n;
+      }
+    }
+  }
+  ASSERT_GT(outage_n, 100u);
+  const double outage_rate = outage_drop / static_cast<double>(outage_n);
+  const double normal_rate = normal_drop / static_cast<double>(normal_n);
+  EXPECT_GT(outage_rate, 5.0 * normal_rate);
+}
+
+TEST(IspBridge, DeterministicForSeed) {
+  leo::LaunchSchedule sched;
+  leo::SpeedModel speed{leo::ConstellationModel{sched},
+                        leo::SubscriberModel{}};
+  IspCallConfig cfg;
+  cfg.first_day = Date(2022, 3, 1);
+  cfg.last_day = Date(2022, 3, 31);
+  const IspCoupledCallGenerator gen{
+      speed, leo::OutageModel{cfg.first_day, cfg.last_day, 9}, cfg};
+  const auto a = gen.generate();
+  const auto b = gen.generate();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(a.front().participants.front().presence_pct,
+                   b.front().participants.front().presence_pct);
+}
+
+TEST(IspBridge, CorroborationLinksTheTwoSides) {
+  const auto& s = scenario();
+  const nlp::SentimentAnalyzer analyzer;
+  const auto report =
+      corroborate(s.calls, s.posts, s.first, s.last, analyzer);
+  // The two independent signal paths agree strongly.
+  EXPECT_GT(report.correlation, 0.5);
+  // All three major outages are corroborated by both sides.
+  auto has = [](const std::vector<Date>& days, const Date& d) {
+    return std::find(days.begin(), days.end(), d) != days.end();
+  };
+  EXPECT_TRUE(has(report.corroborated_days, Date(2022, 1, 7)));
+  EXPECT_TRUE(has(report.corroborated_days, Date(2022, 4, 22)));
+  EXPECT_TRUE(has(report.corroborated_days, Date(2022, 8, 30)));
+  // And nothing spikes on one side only (the sides see the same network).
+  EXPECT_LE(report.social_only_days.size(), 2u);
+  EXPECT_LE(report.implicit_only_days.size(), 2u);
+}
+
+TEST(IspBridge, CorroborationValidation) {
+  const nlp::SentimentAnalyzer analyzer;
+  EXPECT_THROW(corroborate({}, {}, Date(2022, 2, 1), Date(2022, 1, 1),
+                           analyzer),
+               std::invalid_argument);
+}
+
+TEST(IspBridge, ConfigValidation) {
+  leo::LaunchSchedule sched;
+  leo::SpeedModel speed{leo::ConstellationModel{sched},
+                        leo::SubscriberModel{}};
+  IspCallConfig bad;
+  bad.last_day = Date(2021, 1, 1);
+  EXPECT_THROW(IspCoupledCallGenerator(
+                   speed, leo::OutageModel{Date(2021, 1, 1),
+                                           Date(2021, 1, 2), 1},
+                   bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace usaas::service

@@ -1,0 +1,103 @@
+#include "usaas/mos_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "confsim/dataset.h"
+
+namespace usaas::service {
+namespace {
+
+std::vector<confsim::ParticipantRecord> sessions_from(std::size_t calls,
+                                                      std::uint64_t seed) {
+  // Swept conditions spread the experienced quality widely, giving the
+  // regression real variance to explain (population sampling concentrates
+  // almost all sessions at "good", where MOS is mostly rater noise).
+  confsim::DatasetConfig cfg;
+  cfg.seed = seed;
+  cfg.num_calls = calls;
+  cfg.sampling = confsim::ConditionSampling::kSweep;
+  cfg.sweep_metric = netsim::Metric::kLatency;
+  cfg.sweep_lo = 0.0;
+  cfg.sweep_hi = 300.0;
+  cfg.control_windows.loss_hi_pct = 3.0;
+  std::vector<confsim::ParticipantRecord> out;
+  confsim::CallDatasetGenerator{cfg}.generate_stream(
+      [&](const confsim::CallRecord& call) {
+        for (const auto& p : call.participants) out.push_back(p);
+      });
+  return out;
+}
+
+class MosPredictorTest : public ::testing::Test {
+ protected:
+  static const std::vector<confsim::ParticipantRecord>& sessions() {
+    static const auto instance = sessions_from(20000, 31337);
+    return instance;
+  }
+};
+
+TEST_F(MosPredictorTest, TrainsAndPredictsInRange) {
+  MosPredictor predictor;
+  predictor.train(sessions());
+  for (std::size_t i = 0; i < 100; ++i) {
+    const double p = predictor.predict(sessions()[i * 37]);
+    EXPECT_GE(p, 1.0);
+    EXPECT_LE(p, 5.0);
+  }
+}
+
+TEST_F(MosPredictorTest, PredictWithoutTrainingThrows) {
+  const MosPredictor predictor;
+  EXPECT_THROW((void)predictor.predict(sessions().front()), std::logic_error);
+}
+
+TEST_F(MosPredictorTest, TooFewRatedSessionsThrows) {
+  MosPredictor predictor;
+  const auto tiny = sessions_from(30, 1);
+  EXPECT_THROW(predictor.train(tiny), std::runtime_error);
+}
+
+TEST_F(MosPredictorTest, FullModelBeatsMeanBaseline) {
+  const MosPredictor predictor;
+  const auto ev = predictor.evaluate(sessions());
+  EXPECT_GT(ev.train_sessions, 100u);
+  EXPECT_GT(ev.test_sessions, 40u);
+  EXPECT_LT(ev.full.mae, ev.mean_baseline.mae);
+  EXPECT_GT(ev.full.r2, 0.05);
+}
+
+TEST_F(MosPredictorTest, EngagementAloneCarriesSignal) {
+  // The paper's thesis: user actions are a usable MOS proxy.
+  const MosPredictor predictor;
+  const auto ev = predictor.evaluate(sessions());
+  EXPECT_LT(ev.engagement_only.mae, ev.mean_baseline.mae);
+}
+
+TEST_F(MosPredictorTest, FullModelAtLeastAsGoodAsEitherHalf) {
+  const MosPredictor predictor;
+  const auto ev = predictor.evaluate(sessions());
+  EXPECT_LE(ev.full.mae, ev.network_only.mae + 0.02);
+  EXPECT_LE(ev.full.mae, ev.engagement_only.mae + 0.02);
+}
+
+TEST_F(MosPredictorTest, FeatureVectorLayout) {
+  const auto f = MosPredictor::features(sessions().front());
+  ASSERT_EQ(f.size(), MosPredictor::kNumFeatures);
+  EXPECT_DOUBLE_EQ(f[0], sessions().front().presence_pct);
+  EXPECT_DOUBLE_EQ(f[3],
+                   sessions().front().network.latency_ms.mean);
+}
+
+TEST_F(MosPredictorTest, EvaluationDeterministicForSplitSeed) {
+  MosPredictorConfig cfg;
+  cfg.split_seed = 5;
+  const MosPredictor a{cfg};
+  const MosPredictor b{cfg};
+  const auto ea = a.evaluate(sessions());
+  const auto eb = b.evaluate(sessions());
+  EXPECT_DOUBLE_EQ(ea.full.mae, eb.full.mae);
+  EXPECT_EQ(ea.test_sessions, eb.test_sessions);
+}
+
+}  // namespace
+}  // namespace usaas::service

@@ -1,0 +1,201 @@
+// Tests for the §6 opportunity modules: the sentiment-aware deployment
+// planner and the QoE-aware resource-allocation experiment.
+#include <gtest/gtest.h>
+
+#include "netsim/profiles.h"
+#include "usaas/planner.h"
+#include "usaas/qoe_controller.h"
+
+namespace usaas::service {
+namespace {
+
+using core::Date;
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  static const DeploymentPlanner& planner() {
+    static const DeploymentPlanner instance{
+        leo::LaunchSchedule{}, leo::SubscriberModel{}, Date(2023, 1, 1)};
+    return instance;
+  }
+  static constexpr int kBudget = 36;
+  static constexpr int kMonths = 12;
+};
+
+TEST_F(PlannerTest, CannedPlansSpendExactBudget) {
+  EXPECT_EQ(DeploymentPlanner::uniform_plan(kBudget, kMonths).total_launches(),
+            kBudget);
+  EXPECT_EQ(
+      DeploymentPlanner::front_loaded_plan(kBudget, kMonths).total_launches(),
+      kBudget);
+  EXPECT_EQ(
+      DeploymentPlanner::back_loaded_plan(kBudget, kMonths).total_launches(),
+      kBudget);
+}
+
+TEST_F(PlannerTest, EvaluateProducesOneRowPerMonth) {
+  const auto ev = planner().evaluate(
+      DeploymentPlanner::uniform_plan(kBudget, kMonths), kMonths);
+  ASSERT_EQ(ev.months.size(), static_cast<std::size_t>(kMonths));
+  for (const auto& m : ev.months) {
+    EXPECT_GT(m.median_downlink_mbps, 0.0);
+    EXPECT_GE(m.forecast_pos, 0.0);
+    EXPECT_LE(m.forecast_pos, 1.0);
+  }
+  EXPECT_GE(ev.mean_pos, ev.min_pos);
+}
+
+TEST_F(PlannerTest, MoreLaunchesNeverHurtSentiment) {
+  const auto small = planner().evaluate(
+      DeploymentPlanner::uniform_plan(6, kMonths), kMonths);
+  const auto large = planner().evaluate(
+      DeploymentPlanner::uniform_plan(48, kMonths), kMonths);
+  EXPECT_GT(large.mean_pos, small.mean_pos);
+  EXPECT_GT(large.final_median_mbps, small.final_median_mbps);
+}
+
+TEST_F(PlannerTest, FrontLoadingTradesStabilityForMean) {
+  const auto uniform = planner().evaluate(
+      DeploymentPlanner::uniform_plan(kBudget, kMonths), kMonths);
+  const auto front = planner().evaluate(
+      DeploymentPlanner::front_loaded_plan(kBudget, kMonths), kMonths);
+  // Front-loading spikes sentiment early (higher mean) but the long tail
+  // of decline hurts the worst month — the fulcrum effect.
+  EXPECT_GT(front.mean_pos, uniform.mean_pos - 0.01);
+  EXPECT_LT(front.min_pos, uniform.min_pos);
+}
+
+TEST_F(PlannerTest, SentimentAwareBeatsCannedOnItsObjective) {
+  const PlanSpec canned[] = {
+      DeploymentPlanner::uniform_plan(kBudget, kMonths),
+      DeploymentPlanner::front_loaded_plan(kBudget, kMonths),
+      DeploymentPlanner::back_loaded_plan(kBudget, kMonths),
+  };
+  // Mean objective.
+  const auto mean_plan = planner().sentiment_aware_plan(
+      kBudget, kMonths, PlanObjective::kMeanPos);
+  EXPECT_EQ(mean_plan.total_launches(), kBudget);
+  const auto mean_ev = planner().evaluate(mean_plan, kMonths);
+  const auto best_canned_mean =
+      planner().best_of(canned, kMonths, PlanObjective::kMeanPos);
+  EXPECT_GE(mean_ev.mean_pos, best_canned_mean.mean_pos - 1e-9);
+  // Min objective.
+  const auto min_plan = planner().sentiment_aware_plan(
+      kBudget, kMonths, PlanObjective::kMinPos);
+  EXPECT_EQ(min_plan.total_launches(), kBudget);
+  const auto min_ev = planner().evaluate(min_plan, kMonths);
+  const auto best_canned_min =
+      planner().best_of(canned, kMonths, PlanObjective::kMinPos);
+  EXPECT_GE(min_ev.min_pos, best_canned_min.min_pos - 1e-9);
+}
+
+TEST_F(PlannerTest, PlanAllocationsNeverNegative) {
+  const auto plan = planner().sentiment_aware_plan(kBudget, kMonths,
+                                                   PlanObjective::kMinPos);
+  for (const int n : plan.launches_per_month) EXPECT_GE(n, 0);
+}
+
+TEST_F(PlannerTest, Validation) {
+  EXPECT_THROW(planner().evaluate(
+                   DeploymentPlanner::uniform_plan(6, 12), 0),
+               std::invalid_argument);
+  EXPECT_THROW(planner().evaluate(
+                   DeploymentPlanner::uniform_plan(6, 12), 6),
+               std::invalid_argument);  // plan longer than horizon
+  EXPECT_THROW(planner().best_of({}, 12), std::invalid_argument);
+}
+
+// ---- QoE controller ----
+
+class QoeTest : public ::testing::Test {
+ protected:
+  static std::vector<netsim::NetworkConditions> sessions() {
+    core::Rng rng{5};
+    std::vector<netsim::NetworkConditions> out;
+    for (int i = 0; i < 4000; ++i) {
+      out.push_back(netsim::sample_mixed_baseline(rng));
+    }
+    return out;
+  }
+};
+
+TEST_F(QoeTest, BoostImprovesConditions) {
+  const BoostAction boost;
+  netsim::NetworkConditions c;
+  c.latency = core::Milliseconds{100.0};
+  c.loss = core::Percent{2.0};
+  c.jitter = core::Milliseconds{8.0};
+  c.bandwidth = core::Mbps{2.0};
+  const auto boosted = boost.apply(c);
+  EXPECT_LT(boosted.latency.ms(), c.latency.ms());
+  EXPECT_LT(boosted.loss.percent(), c.loss.percent());
+  EXPECT_LT(boosted.jitter.ms(), c.jitter.ms());
+  EXPECT_GT(boosted.bandwidth.mbps(), c.bandwidth.mbps());
+}
+
+TEST_F(QoeTest, AnyPolicyBeatsNoBoosts) {
+  const auto pool = sessions();
+  const QoeExperiment experiment;
+  const auto baseline = experiment.run_unboosted(pool);
+  for (const auto policy :
+       {BoostPolicy::kRandom, BoostPolicy::kWorstNetworkFirst,
+        BoostPolicy::kPredictedGain}) {
+    core::Rng rng{7};
+    const auto out = experiment.run(pool, policy, rng);
+    EXPECT_LT(out.mean_experience_impairment,
+              baseline.mean_experience_impairment)
+        << to_string(policy);
+    EXPECT_GT(out.mean_presence_pct, baseline.mean_presence_pct);
+  }
+}
+
+TEST_F(QoeTest, BudgetRespected) {
+  const auto pool = sessions();
+  QoeExperimentConfig cfg;
+  cfg.budget_fraction = 0.05;
+  const QoeExperiment experiment{cfg};
+  core::Rng rng{8};
+  const auto out = experiment.run(pool, BoostPolicy::kRandom, rng);
+  EXPECT_EQ(out.boosted, static_cast<std::size_t>(0.05 * pool.size()));
+}
+
+TEST_F(QoeTest, InformedPoliciesBeatRandom) {
+  const auto pool = sessions();
+  const QoeExperiment experiment;
+  core::Rng r1{9};
+  core::Rng r2{9};
+  core::Rng r3{9};
+  const auto random = experiment.run(pool, BoostPolicy::kRandom, r1);
+  const auto worst = experiment.run(pool, BoostPolicy::kWorstNetworkFirst, r2);
+  const auto gain = experiment.run(pool, BoostPolicy::kPredictedGain, r3);
+  EXPECT_LT(worst.mean_experience_impairment,
+            random.mean_experience_impairment);
+  EXPECT_LT(gain.mean_experience_impairment,
+            random.mean_experience_impairment);
+  // The USaaS policy is at least as good as the network-only policy: it
+  // sees the marginal benefit, not just the raw badness.
+  EXPECT_LE(gain.mean_experience_impairment,
+            worst.mean_experience_impairment + 1e-9);
+}
+
+TEST_F(QoeTest, ZeroBudgetIsNoOp) {
+  const auto pool = sessions();
+  QoeExperimentConfig cfg;
+  cfg.budget_fraction = 0.0;
+  const QoeExperiment experiment{cfg};
+  core::Rng rng{10};
+  const auto out = experiment.run(pool, BoostPolicy::kPredictedGain, rng);
+  const auto baseline = experiment.run_unboosted(pool);
+  EXPECT_EQ(out.boosted, 0u);
+  EXPECT_DOUBLE_EQ(out.mean_experience_impairment,
+                   baseline.mean_experience_impairment);
+}
+
+TEST_F(QoeTest, ConfigValidation) {
+  QoeExperimentConfig cfg;
+  cfg.budget_fraction = 1.5;
+  EXPECT_THROW(QoeExperiment{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace usaas::service
