@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fulcrum.dir/ablation_fulcrum.cpp.o"
+  "CMakeFiles/ablation_fulcrum.dir/ablation_fulcrum.cpp.o.d"
+  "ablation_fulcrum"
+  "ablation_fulcrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fulcrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

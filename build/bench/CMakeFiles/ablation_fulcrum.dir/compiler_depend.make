@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_fulcrum.
+# This may be replaced when dependencies are built.

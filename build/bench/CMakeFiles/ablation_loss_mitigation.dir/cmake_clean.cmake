@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loss_mitigation.dir/ablation_loss_mitigation.cpp.o"
+  "CMakeFiles/ablation_loss_mitigation.dir/ablation_loss_mitigation.cpp.o.d"
+  "ablation_loss_mitigation"
+  "ablation_loss_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loss_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sentiment_gate.dir/ablation_sentiment_gate.cpp.o"
+  "CMakeFiles/ablation_sentiment_gate.dir/ablation_sentiment_gate.cpp.o.d"
+  "ablation_sentiment_gate"
+  "ablation_sentiment_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sentiment_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confounder_analysis.dir/confounder_analysis.cpp.o"
+  "CMakeFiles/confounder_analysis.dir/confounder_analysis.cpp.o.d"
+  "confounder_analysis"
+  "confounder_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confounder_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_signal_corroboration.dir/cross_signal_corroboration.cpp.o"
+  "CMakeFiles/cross_signal_corroboration.dir/cross_signal_corroboration.cpp.o.d"
+  "cross_signal_corroboration"
+  "cross_signal_corroboration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_signal_corroboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

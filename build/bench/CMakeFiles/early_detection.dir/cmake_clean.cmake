@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_detection.dir/early_detection.cpp.o"
+  "CMakeFiles/early_detection.dir/early_detection.cpp.o.d"
+  "early_detection"
+  "early_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_engagement_vs_network.dir/fig1_engagement_vs_network.cpp.o"
+  "CMakeFiles/fig1_engagement_vs_network.dir/fig1_engagement_vs_network.cpp.o.d"
+  "fig1_engagement_vs_network"
+  "fig1_engagement_vs_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_engagement_vs_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

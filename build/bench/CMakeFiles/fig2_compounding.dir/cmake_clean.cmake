@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_compounding.dir/fig2_compounding.cpp.o"
+  "CMakeFiles/fig2_compounding.dir/fig2_compounding.cpp.o.d"
+  "fig2_compounding"
+  "fig2_compounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_compounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

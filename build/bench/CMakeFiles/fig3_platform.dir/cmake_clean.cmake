@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_platform.dir/fig3_platform.cpp.o"
+  "CMakeFiles/fig3_platform.dir/fig3_platform.cpp.o.d"
+  "fig3_platform"
+  "fig3_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_engagement_mos.dir/fig4_engagement_mos.cpp.o"
+  "CMakeFiles/fig4_engagement_mos.dir/fig4_engagement_mos.cpp.o.d"
+  "fig4_engagement_mos"
+  "fig4_engagement_mos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_engagement_mos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sentiment_peaks.dir/fig5_sentiment_peaks.cpp.o"
+  "CMakeFiles/fig5_sentiment_peaks.dir/fig5_sentiment_peaks.cpp.o.d"
+  "fig5_sentiment_peaks"
+  "fig5_sentiment_peaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sentiment_peaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_outage_keywords.dir/fig6_outage_keywords.cpp.o"
+  "CMakeFiles/fig6_outage_keywords.dir/fig6_outage_keywords.cpp.o.d"
+  "fig6_outage_keywords"
+  "fig6_outage_keywords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_outage_keywords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

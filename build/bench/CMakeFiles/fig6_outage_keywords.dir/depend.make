@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_outage_keywords.
+# This may be replaced when dependencies are built.

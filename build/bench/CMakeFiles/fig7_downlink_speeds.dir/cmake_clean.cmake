@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_downlink_speeds.dir/fig7_downlink_speeds.cpp.o"
+  "CMakeFiles/fig7_downlink_speeds.dir/fig7_downlink_speeds.cpp.o.d"
+  "fig7_downlink_speeds"
+  "fig7_downlink_speeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_downlink_speeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_downlink_speeds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mos_prediction.dir/mos_prediction.cpp.o"
+  "CMakeFiles/mos_prediction.dir/mos_prediction.cpp.o.d"
+  "mos_prediction"
+  "mos_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mos_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planning_opportunity.dir/planning_opportunity.cpp.o"
+  "CMakeFiles/planning_opportunity.dir/planning_opportunity.cpp.o.d"
+  "planning_opportunity"
+  "planning_opportunity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planning_opportunity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

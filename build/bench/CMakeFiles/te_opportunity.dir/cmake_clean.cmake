@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_opportunity.dir/te_opportunity.cpp.o"
+  "CMakeFiles/te_opportunity.dir/te_opportunity.cpp.o.d"
+  "te_opportunity"
+  "te_opportunity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_opportunity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

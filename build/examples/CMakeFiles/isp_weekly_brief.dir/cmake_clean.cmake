@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_weekly_brief.dir/isp_weekly_brief.cpp.o"
+  "CMakeFiles/isp_weekly_brief.dir/isp_weekly_brief.cpp.o.d"
+  "isp_weekly_brief"
+  "isp_weekly_brief.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_weekly_brief.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

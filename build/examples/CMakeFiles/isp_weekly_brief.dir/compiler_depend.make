@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for isp_weekly_brief.
+# This may be replaced when dependencies are built.

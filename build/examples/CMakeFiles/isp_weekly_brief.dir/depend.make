@@ -1,0 +1,2 @@
+# Empty dependencies file for isp_weekly_brief.
+# This may be replaced when dependencies are built.

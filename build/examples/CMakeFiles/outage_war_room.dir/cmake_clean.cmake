@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_war_room.dir/outage_war_room.cpp.o"
+  "CMakeFiles/outage_war_room.dir/outage_war_room.cpp.o.d"
+  "outage_war_room"
+  "outage_war_room.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_war_room.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_social_listening.dir/starlink_social_listening.cpp.o"
+  "CMakeFiles/starlink_social_listening.dir/starlink_social_listening.cpp.o.d"
+  "starlink_social_listening"
+  "starlink_social_listening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_social_listening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for starlink_social_listening.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teams_engagement_study.dir/teams_engagement_study.cpp.o"
+  "CMakeFiles/teams_engagement_study.dir/teams_engagement_study.cpp.o.d"
+  "teams_engagement_study"
+  "teams_engagement_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teams_engagement_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usaas_service.dir/usaas_service.cpp.o"
+  "CMakeFiles/usaas_service.dir/usaas_service.cpp.o.d"
+  "usaas_service"
+  "usaas_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usaas_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

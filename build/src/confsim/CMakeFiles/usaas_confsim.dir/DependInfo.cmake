@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/confsim/behavior.cpp" "src/confsim/CMakeFiles/usaas_confsim.dir/behavior.cpp.o" "gcc" "src/confsim/CMakeFiles/usaas_confsim.dir/behavior.cpp.o.d"
+  "/root/repo/src/confsim/dataset.cpp" "src/confsim/CMakeFiles/usaas_confsim.dir/dataset.cpp.o" "gcc" "src/confsim/CMakeFiles/usaas_confsim.dir/dataset.cpp.o.d"
+  "/root/repo/src/confsim/mos.cpp" "src/confsim/CMakeFiles/usaas_confsim.dir/mos.cpp.o" "gcc" "src/confsim/CMakeFiles/usaas_confsim.dir/mos.cpp.o.d"
+  "/root/repo/src/confsim/platform.cpp" "src/confsim/CMakeFiles/usaas_confsim.dir/platform.cpp.o" "gcc" "src/confsim/CMakeFiles/usaas_confsim.dir/platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/usaas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/usaas_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usaas_confsim.dir/behavior.cpp.o"
+  "CMakeFiles/usaas_confsim.dir/behavior.cpp.o.d"
+  "CMakeFiles/usaas_confsim.dir/dataset.cpp.o"
+  "CMakeFiles/usaas_confsim.dir/dataset.cpp.o.d"
+  "CMakeFiles/usaas_confsim.dir/mos.cpp.o"
+  "CMakeFiles/usaas_confsim.dir/mos.cpp.o.d"
+  "CMakeFiles/usaas_confsim.dir/platform.cpp.o"
+  "CMakeFiles/usaas_confsim.dir/platform.cpp.o.d"
+  "libusaas_confsim.a"
+  "libusaas_confsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usaas_confsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libusaas_confsim.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for usaas_confsim.
+# This may be replaced when dependencies are built.

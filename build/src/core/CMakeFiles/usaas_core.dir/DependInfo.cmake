@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bootstrap.cpp" "src/core/CMakeFiles/usaas_core.dir/bootstrap.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/core/correlation.cpp" "src/core/CMakeFiles/usaas_core.dir/correlation.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/correlation.cpp.o.d"
+  "/root/repo/src/core/csv.cpp" "src/core/CMakeFiles/usaas_core.dir/csv.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/csv.cpp.o.d"
+  "/root/repo/src/core/date.cpp" "src/core/CMakeFiles/usaas_core.dir/date.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/date.cpp.o.d"
+  "/root/repo/src/core/histogram.cpp" "src/core/CMakeFiles/usaas_core.dir/histogram.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/histogram.cpp.o.d"
+  "/root/repo/src/core/peaks.cpp" "src/core/CMakeFiles/usaas_core.dir/peaks.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/peaks.cpp.o.d"
+  "/root/repo/src/core/regression.cpp" "src/core/CMakeFiles/usaas_core.dir/regression.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/regression.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "src/core/CMakeFiles/usaas_core.dir/rng.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/rng.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/usaas_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/stats.cpp.o.d"
+  "/root/repo/src/core/timeseries.cpp" "src/core/CMakeFiles/usaas_core.dir/timeseries.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/timeseries.cpp.o.d"
+  "/root/repo/src/core/trend.cpp" "src/core/CMakeFiles/usaas_core.dir/trend.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/trend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usaas_core.dir/bootstrap.cpp.o"
+  "CMakeFiles/usaas_core.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/usaas_core.dir/correlation.cpp.o"
+  "CMakeFiles/usaas_core.dir/correlation.cpp.o.d"
+  "CMakeFiles/usaas_core.dir/csv.cpp.o"
+  "CMakeFiles/usaas_core.dir/csv.cpp.o.d"
+  "CMakeFiles/usaas_core.dir/date.cpp.o"
+  "CMakeFiles/usaas_core.dir/date.cpp.o.d"
+  "CMakeFiles/usaas_core.dir/histogram.cpp.o"
+  "CMakeFiles/usaas_core.dir/histogram.cpp.o.d"
+  "CMakeFiles/usaas_core.dir/peaks.cpp.o"
+  "CMakeFiles/usaas_core.dir/peaks.cpp.o.d"
+  "CMakeFiles/usaas_core.dir/regression.cpp.o"
+  "CMakeFiles/usaas_core.dir/regression.cpp.o.d"
+  "CMakeFiles/usaas_core.dir/rng.cpp.o"
+  "CMakeFiles/usaas_core.dir/rng.cpp.o.d"
+  "CMakeFiles/usaas_core.dir/stats.cpp.o"
+  "CMakeFiles/usaas_core.dir/stats.cpp.o.d"
+  "CMakeFiles/usaas_core.dir/timeseries.cpp.o"
+  "CMakeFiles/usaas_core.dir/timeseries.cpp.o.d"
+  "CMakeFiles/usaas_core.dir/trend.cpp.o"
+  "CMakeFiles/usaas_core.dir/trend.cpp.o.d"
+  "libusaas_core.a"
+  "libusaas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usaas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/leo/constellation.cpp" "src/leo/CMakeFiles/usaas_leo.dir/constellation.cpp.o" "gcc" "src/leo/CMakeFiles/usaas_leo.dir/constellation.cpp.o.d"
+  "/root/repo/src/leo/events.cpp" "src/leo/CMakeFiles/usaas_leo.dir/events.cpp.o" "gcc" "src/leo/CMakeFiles/usaas_leo.dir/events.cpp.o.d"
+  "/root/repo/src/leo/launches.cpp" "src/leo/CMakeFiles/usaas_leo.dir/launches.cpp.o" "gcc" "src/leo/CMakeFiles/usaas_leo.dir/launches.cpp.o.d"
+  "/root/repo/src/leo/outages.cpp" "src/leo/CMakeFiles/usaas_leo.dir/outages.cpp.o" "gcc" "src/leo/CMakeFiles/usaas_leo.dir/outages.cpp.o.d"
+  "/root/repo/src/leo/speed.cpp" "src/leo/CMakeFiles/usaas_leo.dir/speed.cpp.o" "gcc" "src/leo/CMakeFiles/usaas_leo.dir/speed.cpp.o.d"
+  "/root/repo/src/leo/subscribers.cpp" "src/leo/CMakeFiles/usaas_leo.dir/subscribers.cpp.o" "gcc" "src/leo/CMakeFiles/usaas_leo.dir/subscribers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/usaas_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

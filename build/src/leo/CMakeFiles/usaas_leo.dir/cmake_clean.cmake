@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usaas_leo.dir/constellation.cpp.o"
+  "CMakeFiles/usaas_leo.dir/constellation.cpp.o.d"
+  "CMakeFiles/usaas_leo.dir/events.cpp.o"
+  "CMakeFiles/usaas_leo.dir/events.cpp.o.d"
+  "CMakeFiles/usaas_leo.dir/launches.cpp.o"
+  "CMakeFiles/usaas_leo.dir/launches.cpp.o.d"
+  "CMakeFiles/usaas_leo.dir/outages.cpp.o"
+  "CMakeFiles/usaas_leo.dir/outages.cpp.o.d"
+  "CMakeFiles/usaas_leo.dir/speed.cpp.o"
+  "CMakeFiles/usaas_leo.dir/speed.cpp.o.d"
+  "CMakeFiles/usaas_leo.dir/subscribers.cpp.o"
+  "CMakeFiles/usaas_leo.dir/subscribers.cpp.o.d"
+  "libusaas_leo.a"
+  "libusaas_leo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usaas_leo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for usaas_leo.
+# This may be replaced when dependencies are built.

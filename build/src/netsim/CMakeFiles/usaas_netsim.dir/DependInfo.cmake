@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/loss.cpp" "src/netsim/CMakeFiles/usaas_netsim.dir/loss.cpp.o" "gcc" "src/netsim/CMakeFiles/usaas_netsim.dir/loss.cpp.o.d"
+  "/root/repo/src/netsim/media_session.cpp" "src/netsim/CMakeFiles/usaas_netsim.dir/media_session.cpp.o" "gcc" "src/netsim/CMakeFiles/usaas_netsim.dir/media_session.cpp.o.d"
+  "/root/repo/src/netsim/path_model.cpp" "src/netsim/CMakeFiles/usaas_netsim.dir/path_model.cpp.o" "gcc" "src/netsim/CMakeFiles/usaas_netsim.dir/path_model.cpp.o.d"
+  "/root/repo/src/netsim/profiles.cpp" "src/netsim/CMakeFiles/usaas_netsim.dir/profiles.cpp.o" "gcc" "src/netsim/CMakeFiles/usaas_netsim.dir/profiles.cpp.o.d"
+  "/root/repo/src/netsim/telemetry.cpp" "src/netsim/CMakeFiles/usaas_netsim.dir/telemetry.cpp.o" "gcc" "src/netsim/CMakeFiles/usaas_netsim.dir/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/usaas_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

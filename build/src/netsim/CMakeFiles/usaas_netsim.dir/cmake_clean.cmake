@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usaas_netsim.dir/loss.cpp.o"
+  "CMakeFiles/usaas_netsim.dir/loss.cpp.o.d"
+  "CMakeFiles/usaas_netsim.dir/media_session.cpp.o"
+  "CMakeFiles/usaas_netsim.dir/media_session.cpp.o.d"
+  "CMakeFiles/usaas_netsim.dir/path_model.cpp.o"
+  "CMakeFiles/usaas_netsim.dir/path_model.cpp.o.d"
+  "CMakeFiles/usaas_netsim.dir/profiles.cpp.o"
+  "CMakeFiles/usaas_netsim.dir/profiles.cpp.o.d"
+  "CMakeFiles/usaas_netsim.dir/telemetry.cpp.o"
+  "CMakeFiles/usaas_netsim.dir/telemetry.cpp.o.d"
+  "libusaas_netsim.a"
+  "libusaas_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usaas_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

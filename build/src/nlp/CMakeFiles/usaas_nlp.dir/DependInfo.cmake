@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/keywords.cpp" "src/nlp/CMakeFiles/usaas_nlp.dir/keywords.cpp.o" "gcc" "src/nlp/CMakeFiles/usaas_nlp.dir/keywords.cpp.o.d"
+  "/root/repo/src/nlp/lexicon.cpp" "src/nlp/CMakeFiles/usaas_nlp.dir/lexicon.cpp.o" "gcc" "src/nlp/CMakeFiles/usaas_nlp.dir/lexicon.cpp.o.d"
+  "/root/repo/src/nlp/ngrams.cpp" "src/nlp/CMakeFiles/usaas_nlp.dir/ngrams.cpp.o" "gcc" "src/nlp/CMakeFiles/usaas_nlp.dir/ngrams.cpp.o.d"
+  "/root/repo/src/nlp/sentiment.cpp" "src/nlp/CMakeFiles/usaas_nlp.dir/sentiment.cpp.o" "gcc" "src/nlp/CMakeFiles/usaas_nlp.dir/sentiment.cpp.o.d"
+  "/root/repo/src/nlp/summarizer.cpp" "src/nlp/CMakeFiles/usaas_nlp.dir/summarizer.cpp.o" "gcc" "src/nlp/CMakeFiles/usaas_nlp.dir/summarizer.cpp.o.d"
+  "/root/repo/src/nlp/tokenizer.cpp" "src/nlp/CMakeFiles/usaas_nlp.dir/tokenizer.cpp.o" "gcc" "src/nlp/CMakeFiles/usaas_nlp.dir/tokenizer.cpp.o.d"
+  "/root/repo/src/nlp/trends.cpp" "src/nlp/CMakeFiles/usaas_nlp.dir/trends.cpp.o" "gcc" "src/nlp/CMakeFiles/usaas_nlp.dir/trends.cpp.o.d"
+  "/root/repo/src/nlp/wordcloud.cpp" "src/nlp/CMakeFiles/usaas_nlp.dir/wordcloud.cpp.o" "gcc" "src/nlp/CMakeFiles/usaas_nlp.dir/wordcloud.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/usaas_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usaas_nlp.dir/keywords.cpp.o"
+  "CMakeFiles/usaas_nlp.dir/keywords.cpp.o.d"
+  "CMakeFiles/usaas_nlp.dir/lexicon.cpp.o"
+  "CMakeFiles/usaas_nlp.dir/lexicon.cpp.o.d"
+  "CMakeFiles/usaas_nlp.dir/ngrams.cpp.o"
+  "CMakeFiles/usaas_nlp.dir/ngrams.cpp.o.d"
+  "CMakeFiles/usaas_nlp.dir/sentiment.cpp.o"
+  "CMakeFiles/usaas_nlp.dir/sentiment.cpp.o.d"
+  "CMakeFiles/usaas_nlp.dir/summarizer.cpp.o"
+  "CMakeFiles/usaas_nlp.dir/summarizer.cpp.o.d"
+  "CMakeFiles/usaas_nlp.dir/tokenizer.cpp.o"
+  "CMakeFiles/usaas_nlp.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/usaas_nlp.dir/trends.cpp.o"
+  "CMakeFiles/usaas_nlp.dir/trends.cpp.o.d"
+  "CMakeFiles/usaas_nlp.dir/wordcloud.cpp.o"
+  "CMakeFiles/usaas_nlp.dir/wordcloud.cpp.o.d"
+  "libusaas_nlp.a"
+  "libusaas_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usaas_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ocr/extract.cpp" "src/ocr/CMakeFiles/usaas_ocr.dir/extract.cpp.o" "gcc" "src/ocr/CMakeFiles/usaas_ocr.dir/extract.cpp.o.d"
+  "/root/repo/src/ocr/noisy_ocr.cpp" "src/ocr/CMakeFiles/usaas_ocr.dir/noisy_ocr.cpp.o" "gcc" "src/ocr/CMakeFiles/usaas_ocr.dir/noisy_ocr.cpp.o.d"
+  "/root/repo/src/ocr/screenshot.cpp" "src/ocr/CMakeFiles/usaas_ocr.dir/screenshot.cpp.o" "gcc" "src/ocr/CMakeFiles/usaas_ocr.dir/screenshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/usaas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/usaas_nlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usaas_ocr.dir/extract.cpp.o"
+  "CMakeFiles/usaas_ocr.dir/extract.cpp.o.d"
+  "CMakeFiles/usaas_ocr.dir/noisy_ocr.cpp.o"
+  "CMakeFiles/usaas_ocr.dir/noisy_ocr.cpp.o.d"
+  "CMakeFiles/usaas_ocr.dir/screenshot.cpp.o"
+  "CMakeFiles/usaas_ocr.dir/screenshot.cpp.o.d"
+  "libusaas_ocr.a"
+  "libusaas_ocr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usaas_ocr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

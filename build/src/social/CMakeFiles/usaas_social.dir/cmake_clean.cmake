@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usaas_social.dir/subreddit.cpp.o"
+  "CMakeFiles/usaas_social.dir/subreddit.cpp.o.d"
+  "CMakeFiles/usaas_social.dir/text_gen.cpp.o"
+  "CMakeFiles/usaas_social.dir/text_gen.cpp.o.d"
+  "libusaas_social.a"
+  "libusaas_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usaas_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

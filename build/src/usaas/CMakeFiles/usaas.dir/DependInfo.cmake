@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/usaas/confounders.cpp" "src/usaas/CMakeFiles/usaas.dir/confounders.cpp.o" "gcc" "src/usaas/CMakeFiles/usaas.dir/confounders.cpp.o.d"
+  "/root/repo/src/usaas/correlation_engine.cpp" "src/usaas/CMakeFiles/usaas.dir/correlation_engine.cpp.o" "gcc" "src/usaas/CMakeFiles/usaas.dir/correlation_engine.cpp.o.d"
+  "/root/repo/src/usaas/early_detector.cpp" "src/usaas/CMakeFiles/usaas.dir/early_detector.cpp.o" "gcc" "src/usaas/CMakeFiles/usaas.dir/early_detector.cpp.o.d"
+  "/root/repo/src/usaas/fulcrum.cpp" "src/usaas/CMakeFiles/usaas.dir/fulcrum.cpp.o" "gcc" "src/usaas/CMakeFiles/usaas.dir/fulcrum.cpp.o.d"
+  "/root/repo/src/usaas/isp_bridge.cpp" "src/usaas/CMakeFiles/usaas.dir/isp_bridge.cpp.o" "gcc" "src/usaas/CMakeFiles/usaas.dir/isp_bridge.cpp.o.d"
+  "/root/repo/src/usaas/mos_predictor.cpp" "src/usaas/CMakeFiles/usaas.dir/mos_predictor.cpp.o" "gcc" "src/usaas/CMakeFiles/usaas.dir/mos_predictor.cpp.o.d"
+  "/root/repo/src/usaas/outage_detector.cpp" "src/usaas/CMakeFiles/usaas.dir/outage_detector.cpp.o" "gcc" "src/usaas/CMakeFiles/usaas.dir/outage_detector.cpp.o.d"
+  "/root/repo/src/usaas/peak_annotator.cpp" "src/usaas/CMakeFiles/usaas.dir/peak_annotator.cpp.o" "gcc" "src/usaas/CMakeFiles/usaas.dir/peak_annotator.cpp.o.d"
+  "/root/repo/src/usaas/planner.cpp" "src/usaas/CMakeFiles/usaas.dir/planner.cpp.o" "gcc" "src/usaas/CMakeFiles/usaas.dir/planner.cpp.o.d"
+  "/root/repo/src/usaas/qoe_controller.cpp" "src/usaas/CMakeFiles/usaas.dir/qoe_controller.cpp.o" "gcc" "src/usaas/CMakeFiles/usaas.dir/qoe_controller.cpp.o.d"
+  "/root/repo/src/usaas/query_service.cpp" "src/usaas/CMakeFiles/usaas.dir/query_service.cpp.o" "gcc" "src/usaas/CMakeFiles/usaas.dir/query_service.cpp.o.d"
+  "/root/repo/src/usaas/report.cpp" "src/usaas/CMakeFiles/usaas.dir/report.cpp.o" "gcc" "src/usaas/CMakeFiles/usaas.dir/report.cpp.o.d"
+  "/root/repo/src/usaas/signals.cpp" "src/usaas/CMakeFiles/usaas.dir/signals.cpp.o" "gcc" "src/usaas/CMakeFiles/usaas.dir/signals.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/usaas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/usaas_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/confsim/CMakeFiles/usaas_confsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/leo/CMakeFiles/usaas_leo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/usaas_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocr/CMakeFiles/usaas_ocr.dir/DependInfo.cmake"
+  "/root/repo/build/src/social/CMakeFiles/usaas_social.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

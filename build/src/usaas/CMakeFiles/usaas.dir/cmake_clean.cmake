@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usaas.dir/confounders.cpp.o"
+  "CMakeFiles/usaas.dir/confounders.cpp.o.d"
+  "CMakeFiles/usaas.dir/correlation_engine.cpp.o"
+  "CMakeFiles/usaas.dir/correlation_engine.cpp.o.d"
+  "CMakeFiles/usaas.dir/early_detector.cpp.o"
+  "CMakeFiles/usaas.dir/early_detector.cpp.o.d"
+  "CMakeFiles/usaas.dir/fulcrum.cpp.o"
+  "CMakeFiles/usaas.dir/fulcrum.cpp.o.d"
+  "CMakeFiles/usaas.dir/isp_bridge.cpp.o"
+  "CMakeFiles/usaas.dir/isp_bridge.cpp.o.d"
+  "CMakeFiles/usaas.dir/mos_predictor.cpp.o"
+  "CMakeFiles/usaas.dir/mos_predictor.cpp.o.d"
+  "CMakeFiles/usaas.dir/outage_detector.cpp.o"
+  "CMakeFiles/usaas.dir/outage_detector.cpp.o.d"
+  "CMakeFiles/usaas.dir/peak_annotator.cpp.o"
+  "CMakeFiles/usaas.dir/peak_annotator.cpp.o.d"
+  "CMakeFiles/usaas.dir/planner.cpp.o"
+  "CMakeFiles/usaas.dir/planner.cpp.o.d"
+  "CMakeFiles/usaas.dir/qoe_controller.cpp.o"
+  "CMakeFiles/usaas.dir/qoe_controller.cpp.o.d"
+  "CMakeFiles/usaas.dir/query_service.cpp.o"
+  "CMakeFiles/usaas.dir/query_service.cpp.o.d"
+  "CMakeFiles/usaas.dir/report.cpp.o"
+  "CMakeFiles/usaas.dir/report.cpp.o.d"
+  "CMakeFiles/usaas.dir/signals.cpp.o"
+  "CMakeFiles/usaas.dir/signals.cpp.o.d"
+  "libusaas.a"
+  "libusaas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usaas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

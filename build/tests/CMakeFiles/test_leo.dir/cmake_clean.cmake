@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leo.dir/test_leo.cpp.o"
+  "CMakeFiles/test_leo.dir/test_leo.cpp.o.d"
+  "test_leo"
+  "test_leo.pdb"
+  "test_leo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_media_session.dir/test_media_session.cpp.o"
+  "CMakeFiles/test_media_session.dir/test_media_session.cpp.o.d"
+  "test_media_session"
+  "test_media_session.pdb"
+  "test_media_session[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_media_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mos.dir/test_mos.cpp.o"
+  "CMakeFiles/test_mos.dir/test_mos.cpp.o.d"
+  "test_mos"
+  "test_mos.pdb"
+  "test_mos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

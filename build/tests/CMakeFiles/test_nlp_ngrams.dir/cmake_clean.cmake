@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nlp_ngrams.dir/test_nlp_ngrams.cpp.o"
+  "CMakeFiles/test_nlp_ngrams.dir/test_nlp_ngrams.cpp.o.d"
+  "test_nlp_ngrams"
+  "test_nlp_ngrams.pdb"
+  "test_nlp_ngrams[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nlp_ngrams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nlp_summarizer.dir/test_nlp_summarizer.cpp.o"
+  "CMakeFiles/test_nlp_summarizer.dir/test_nlp_summarizer.cpp.o.d"
+  "test_nlp_summarizer"
+  "test_nlp_summarizer.pdb"
+  "test_nlp_summarizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nlp_summarizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nlp_trends.dir/test_nlp_trends.cpp.o"
+  "CMakeFiles/test_nlp_trends.dir/test_nlp_trends.cpp.o.d"
+  "test_nlp_trends"
+  "test_nlp_trends.pdb"
+  "test_nlp_trends[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nlp_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

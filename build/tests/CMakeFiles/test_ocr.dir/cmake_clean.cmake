@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ocr.dir/test_ocr.cpp.o"
+  "CMakeFiles/test_ocr.dir/test_ocr.cpp.o.d"
+  "test_ocr"
+  "test_ocr.pdb"
+  "test_ocr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ocr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_service.dir/test_query_service.cpp.o"
+  "CMakeFiles/test_query_service.dir/test_query_service.cpp.o.d"
+  "test_query_service"
+  "test_query_service.pdb"
+  "test_query_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_social_properties.dir/test_social_properties.cpp.o"
+  "CMakeFiles/test_social_properties.dir/test_social_properties.cpp.o.d"
+  "test_social_properties"
+  "test_social_properties.pdb"
+  "test_social_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_social_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usaas_confounders.dir/test_usaas_confounders.cpp.o"
+  "CMakeFiles/test_usaas_confounders.dir/test_usaas_confounders.cpp.o.d"
+  "test_usaas_confounders"
+  "test_usaas_confounders.pdb"
+  "test_usaas_confounders[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usaas_confounders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usaas_correlation.dir/test_usaas_correlation.cpp.o"
+  "CMakeFiles/test_usaas_correlation.dir/test_usaas_correlation.cpp.o.d"
+  "test_usaas_correlation"
+  "test_usaas_correlation.pdb"
+  "test_usaas_correlation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usaas_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usaas_isp_bridge.dir/test_usaas_isp_bridge.cpp.o"
+  "CMakeFiles/test_usaas_isp_bridge.dir/test_usaas_isp_bridge.cpp.o.d"
+  "test_usaas_isp_bridge"
+  "test_usaas_isp_bridge.pdb"
+  "test_usaas_isp_bridge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usaas_isp_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

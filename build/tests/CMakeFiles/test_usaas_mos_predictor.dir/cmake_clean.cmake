@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usaas_mos_predictor.dir/test_usaas_mos_predictor.cpp.o"
+  "CMakeFiles/test_usaas_mos_predictor.dir/test_usaas_mos_predictor.cpp.o.d"
+  "test_usaas_mos_predictor"
+  "test_usaas_mos_predictor.pdb"
+  "test_usaas_mos_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usaas_mos_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

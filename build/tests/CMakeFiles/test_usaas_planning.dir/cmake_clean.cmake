@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usaas_planning.dir/test_usaas_planning.cpp.o"
+  "CMakeFiles/test_usaas_planning.dir/test_usaas_planning.cpp.o.d"
+  "test_usaas_planning"
+  "test_usaas_planning.pdb"
+  "test_usaas_planning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usaas_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

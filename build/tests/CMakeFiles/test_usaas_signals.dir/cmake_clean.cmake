@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usaas_signals.dir/test_usaas_signals.cpp.o"
+  "CMakeFiles/test_usaas_signals.dir/test_usaas_signals.cpp.o.d"
+  "test_usaas_signals"
+  "test_usaas_signals.pdb"
+  "test_usaas_signals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usaas_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

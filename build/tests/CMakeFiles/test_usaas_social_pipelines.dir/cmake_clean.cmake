@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usaas_social_pipelines.dir/test_usaas_social_pipelines.cpp.o"
+  "CMakeFiles/test_usaas_social_pipelines.dir/test_usaas_social_pipelines.cpp.o.d"
+  "test_usaas_social_pipelines"
+  "test_usaas_social_pipelines.pdb"
+  "test_usaas_social_pipelines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usaas_social_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
