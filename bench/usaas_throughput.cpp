@@ -1,0 +1,461 @@
+// USaaS ingest/query throughput over a synthetic million-session corpus.
+//
+// The §5 service must answer operator queries over ~150-200 M call
+// sessions and years of social posts. This bench measures the sharded
+// multi-threaded engine against the seed's flat single-threaded query path
+// (single shard, sentiment re-scored per query) on the same corpus:
+//   * ingest throughput (sessions/s, posts/s) at 1/2/8 worker threads;
+//   * query throughput over a realistic operator battery (full-population,
+//     per-platform, per-access-network, date-windowed queries);
+//   * the headline `query_speedup_8t_vs_1t`: the 8-thread sharded engine
+//     vs the 1-thread legacy path.
+// Results go to stdout and to BENCH_usaas_throughput.json (override the
+// path with USAAS_BENCH_JSON; corpus size with USAAS_BENCH_SESSIONS /
+// USAAS_BENCH_POSTS).
+//
+// Build & run:   ./build/bench/usaas_throughput
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/timeseries.h"
+#include "nlp/keywords.h"
+#include "nlp/sentiment.h"
+#include "social/post.h"
+#include "usaas/query_service.h"
+
+namespace {
+
+using namespace usaas;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+// ---- Synthetic corpus ------------------------------------------------
+// Fabricated directly (no tick-level media simulation): the bench measures
+// the ingest/query engine, so the corpus only needs realistic shapes and
+// field distributions, produced fast enough to build a million sessions.
+
+constexpr int kParticipantsPerCall = 4;
+
+std::vector<confsim::CallRecord> synth_calls(std::size_t sessions,
+                                             std::uint64_t seed) {
+  std::vector<confsim::CallRecord> calls;
+  const std::size_t num_calls = sessions / kParticipantsPerCall;
+  calls.reserve(num_calls);
+  core::Rng rng{seed};
+  const core::Date year_start{2022, 1, 1};
+  constexpr confsim::Platform kPlatforms[] = {
+      confsim::Platform::kWindowsPc, confsim::Platform::kMacPc,
+      confsim::Platform::kIos, confsim::Platform::kAndroid};
+  constexpr double kPlatformWeights[] = {0.55, 0.20, 0.10, 0.15};
+  constexpr netsim::AccessTechnology kAccess[] = {
+      netsim::AccessTechnology::kFiber, netsim::AccessTechnology::kCable,
+      netsim::AccessTechnology::kDsl, netsim::AccessTechnology::kLte,
+      netsim::AccessTechnology::kLeoSatellite};
+  constexpr double kAccessWeights[] = {0.25, 0.40, 0.15, 0.12, 0.08};
+
+  for (std::size_t c = 0; c < num_calls; ++c) {
+    confsim::CallRecord call;
+    call.call_id = c;
+    call.start.date = year_start.plus_days(rng.uniform_int(0, 364));
+    call.start.time = {static_cast<int>(rng.uniform_int(9, 19)),
+                       static_cast<int>(rng.uniform_int(0, 59))};
+    call.scheduled_minutes = 30;
+    call.participants.reserve(kParticipantsPerCall);
+    for (int p = 0; p < kParticipantsPerCall; ++p) {
+      confsim::ParticipantRecord rec;
+      rec.user_id = c * kParticipantsPerCall + p;
+      rec.platform = kPlatforms[rng.weighted_index(kPlatformWeights)];
+      rec.meeting_size = kParticipantsPerCall;
+      rec.access = kAccess[rng.weighted_index(kAccessWeights)];
+
+      const double latency = std::min(500.0, 10.0 + rng.lognormal(3.2, 0.7));
+      const double loss = std::min(15.0, rng.exponential(1.5));
+      const double jitter = std::min(80.0, rng.exponential(0.25));
+      const double bandwidth = std::min(300.0, 1.0 + rng.lognormal(2.3, 0.8));
+      const auto aggregate = [](double mean_v) {
+        return netsim::MetricAggregate{mean_v, mean_v * 0.93, mean_v * 1.8};
+      };
+      rec.network.latency_ms = aggregate(latency);
+      rec.network.loss_pct = aggregate(loss);
+      rec.network.jitter_ms = aggregate(jitter);
+      rec.network.bandwidth_mbps = aggregate(bandwidth);
+      rec.network.duration_seconds = 1800.0;
+      rec.network.sample_count = 360;
+
+      const double damage = 0.08 * latency + 3.0 * loss + 0.2 * jitter;
+      const auto engagement = [&](double base, double scale) {
+        const double v = base - scale * damage + rng.normal(0.0, 5.0);
+        return std::min(100.0, std::max(0.0, v));
+      };
+      rec.presence_pct = engagement(92.0, 0.45);
+      rec.cam_on_pct = engagement(45.0, 0.65);
+      rec.mic_on_pct = engagement(30.0, 0.35);
+      rec.dropped_early = rng.bernoulli(std::min(0.6, 0.02 + damage / 400.0));
+      if (rng.bernoulli(0.005)) {
+        rec.mos = core::clamp_mos(
+            core::Mos{4.6 - damage / 18.0 + rng.normal(0.0, 0.4)});
+      }
+      call.participants.push_back(rec);
+    }
+    calls.push_back(std::move(call));
+  }
+  return calls;
+}
+
+std::vector<social::Post> synth_posts(std::size_t n, std::uint64_t seed) {
+  // Template texts exercise the real sentiment + keyword pipelines; the
+  // outage-flavoured ones carry dictionary terms, the rest carry plain
+  // valence vocabulary.
+  static const char* kTitles[] = {
+      "monthly experience report", "is anyone else seeing this",
+      "speed test results", "quick question about my setup",
+      "service thoughts after the update",
+  };
+  static const char* kBodies[] = {
+      "the connection has been great lately, streaming is fast and smooth "
+      "and video calls just work, really happy with it",
+      "terrible evening again, pages crawl and the latency is awful, "
+      "i am getting tired of this slow unreliable service",
+      "service went down for two hours tonight, complete outage here, "
+      "everything was offline and disconnected until it came back",
+      "pretty average week overall, nothing special to report, speeds are "
+      "okay during the day and a bit slower at night",
+      "lost connection three times during calls today, not working at all "
+      "for long stretches, is the network down again",
+      "upgraded my router placement and the difference is amazing, "
+      "excellent speeds and the best reliability i have had so far",
+  };
+  std::vector<social::Post> posts;
+  posts.reserve(n);
+  core::Rng rng{seed};
+  const core::Date year_start{2022, 1, 1};
+  for (std::size_t i = 0; i < n; ++i) {
+    social::Post post;
+    post.id = i;
+    post.date = year_start.plus_days(rng.uniform_int(0, 364));
+    post.author_id = rng.uniform_int(1, 50000);
+    post.title = kTitles[rng.uniform_int(0, 4)];
+    post.body = kBodies[rng.uniform_int(0, 5)];
+    post.upvotes = static_cast<int>(rng.uniform_int(0, 400));
+    post.num_comments = static_cast<int>(rng.uniform_int(0, 60));
+    posts.push_back(std::move(post));
+  }
+  return posts;
+}
+
+// ---- The operator query battery --------------------------------------
+
+std::vector<service::Query> battery() {
+  using core::Date;
+  std::vector<service::Query> queries;
+  service::Query base;
+  base.first = Date(2022, 1, 1);
+  base.last = Date(2022, 12, 31);
+  base.metric = netsim::Metric::kLatency;
+  base.metric_lo = 0.0;
+  base.metric_hi = 300.0;
+  base.bins = 10;
+  queries.push_back(base);  // full-population, full-year
+
+  service::Query android = base;
+  android.platform = confsim::Platform::kAndroid;
+  queries.push_back(android);
+
+  service::Query leo = base;  // the paper's Starlink x Teams example
+  leo.access = netsim::AccessTechnology::kLeoSatellite;
+  queries.push_back(leo);
+
+  service::Query spring = base;
+  spring.first = Date(2022, 2, 1);
+  spring.last = Date(2022, 3, 31);
+  queries.push_back(spring);
+
+  service::Query ios_june = base;
+  ios_june.platform = confsim::Platform::kIos;
+  ios_june.first = Date(2022, 6, 1);
+  ios_june.last = Date(2022, 6, 30);
+  ios_june.metric = netsim::Metric::kLoss;
+  ios_june.metric_lo = 0.0;
+  ios_june.metric_hi = 10.0;
+  queries.push_back(ios_june);
+
+  service::Query autumn_bw = base;
+  autumn_bw.platform = confsim::Platform::kWindowsPc;
+  autumn_bw.first = Date(2022, 9, 1);
+  autumn_bw.last = Date(2022, 10, 15);
+  autumn_bw.metric = netsim::Metric::kBandwidth;
+  autumn_bw.metric_lo = 0.0;
+  autumn_bw.metric_hi = 200.0;
+  queries.push_back(autumn_bw);
+
+  return queries;
+}
+
+// ---- The legacy (seed) query path ------------------------------------
+// Flat store, no shard pruning, sentiment + keyword scan re-run over the
+// whole post corpus on every query: byte-for-byte the seed algorithm.
+
+struct LegacyService {
+  service::CorrelationEngine engine{service::ShardingPolicy::kSingleShard};
+  std::vector<confsim::ParticipantRecord> sessions;
+  std::vector<social::Post> posts;
+  nlp::SentimentAnalyzer analyzer;
+  service::MosPredictor predictor;
+  bool trained{false};
+};
+
+service::Insight legacy_run(const LegacyService& svc,
+                            const service::Query& query) {
+  service::Insight insight;
+  const service::ParticipantFilter filter =
+      [&](const confsim::ParticipantRecord& rec) {
+        if (query.platform && rec.platform != *query.platform) return false;
+        if (query.access && rec.access != *query.access) return false;
+        return true;
+      };
+
+  service::SweepSpec spec;
+  spec.metric = query.metric;
+  spec.lo = query.metric_lo;
+  spec.hi = query.metric_hi;
+  spec.bins = query.bins;
+  spec.control_others = false;
+  for (const service::EngagementMetric m :
+       {service::EngagementMetric::kPresence,
+        service::EngagementMetric::kCamOn,
+        service::EngagementMetric::kMicOn}) {
+    insight.engagement.push_back(svc.engine.engagement_curve(spec, m, filter));
+    if (const auto corr = svc.engine.mos_correlation(m)) {
+      insight.mos_spearman.emplace_back(m, corr->spearman);
+    }
+  }
+
+  std::vector<double> observed;
+  double predicted_acc = 0.0;
+  std::size_t predicted_n = 0;
+  for (const auto& rec : svc.sessions) {
+    if (!filter(rec)) continue;
+    ++insight.sessions;
+    if (rec.mos) {
+      observed.push_back(rec.mos->score());
+      ++insight.rated_sessions;
+    }
+    if (svc.trained) {
+      predicted_acc += svc.predictor.predict(rec);
+      ++predicted_n;
+    }
+  }
+  if (predicted_n > 0) {
+    insight.predicted_mean_mos =
+        predicted_acc / static_cast<double>(predicted_n);
+  }
+
+  const auto& dict = nlp::KeywordDictionary::outage_dictionary();
+  core::DailySeries keyword_days{query.first, query.last};
+  std::size_t strong_pos = 0;
+  std::size_t strong_neg = 0;
+  for (const social::Post& post : svc.posts) {
+    if (post.date < query.first || query.last < post.date) continue;
+    ++insight.posts;
+    const auto s = svc.analyzer.score(post.full_text());
+    if (s.strong_positive()) ++strong_pos;
+    if (s.strong_negative()) ++strong_neg;
+    const auto hits = dict.count_occurrences(post.full_text());
+    if (hits > 0 && s.negative >= 0.4) {
+      keyword_days.add(post.date, static_cast<double>(hits));
+    }
+  }
+  if (strong_pos + strong_neg > 0) {
+    insight.strong_positive_share =
+        static_cast<double>(strong_pos) /
+        static_cast<double>(strong_pos + strong_neg);
+  }
+  return insight;
+}
+
+struct QueryResult {
+  double battery_seconds{0.0};
+  double queries_per_sec{0.0};
+  std::size_t checksum{0};  // defeats dead-code elimination
+};
+
+template <typename RunBattery>
+QueryResult time_batteries(int reps, RunBattery&& run_battery) {
+  QueryResult result;
+  const std::size_t queries = battery().size();
+  const auto t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) result.checksum += run_battery();
+  const double total = seconds_since(t0);
+  result.battery_seconds = total / reps;
+  result.queries_per_sec = static_cast<double>(queries) * reps / total;
+  return result;
+}
+
+struct IngestResult {
+  double seconds{0.0};
+  double sessions_per_sec{0.0};
+  double posts_per_sec{0.0};
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t target_sessions = env_size("USAAS_BENCH_SESSIONS", 1000000);
+  const std::size_t target_posts = env_size("USAAS_BENCH_POSTS", 120000);
+  const char* json_path_env = std::getenv("USAAS_BENCH_JSON");
+  const std::string json_path =
+      json_path_env != nullptr && *json_path_env != '\0'
+          ? json_path_env
+          : "BENCH_usaas_throughput.json";
+
+  std::printf("== USaaS ingest/query throughput ==\n");
+  std::printf("synthesizing corpus: %zu sessions, %zu posts...\n",
+              target_sessions, target_posts);
+  auto t0 = Clock::now();
+  const auto calls = synth_calls(target_sessions, 20220101);
+  const auto posts = synth_posts(target_posts, 424242);
+  const std::size_t sessions = calls.size() * kParticipantsPerCall;
+  std::printf("  done in %.1f s\n\n", seconds_since(t0));
+
+  const std::vector<std::size_t> thread_counts{1, 2, 8};
+  std::vector<IngestResult> ingest_results;
+  std::vector<QueryResult> query_results;
+  std::vector<std::unique_ptr<service::QueryService>> services;
+
+  for (const std::size_t threads : thread_counts) {
+    auto svc = std::make_unique<service::QueryService>(
+        service::QueryServiceConfig{service::ShardingPolicy::kMonthPlatform,
+                                    threads});
+    t0 = Clock::now();
+    svc->ingest_calls(calls);
+    svc->ingest_posts(posts);
+    svc->train_predictor();
+    IngestResult ing;
+    ing.seconds = seconds_since(t0);
+    ing.sessions_per_sec = static_cast<double>(sessions) / ing.seconds;
+    ing.posts_per_sec = static_cast<double>(posts.size()) / ing.seconds;
+    ingest_results.push_back(ing);
+    std::printf("ingest  sharded %zut: %6.2f s  (%.0f sessions/s, "
+                "%.0f posts/s, %zu session shards)\n",
+                threads, ing.seconds, ing.sessions_per_sec, ing.posts_per_sec,
+                svc->session_shards());
+    services.push_back(std::move(svc));
+  }
+
+  std::printf("\n");
+
+  // Legacy baseline: seed layout + seed query algorithm, one thread.
+  LegacyService legacy;
+  t0 = Clock::now();
+  legacy.engine.ingest(std::span{calls});
+  legacy.posts = posts;
+  legacy.sessions = legacy.engine.sessions();
+  const IngestResult legacy_ingest{
+      seconds_since(t0),
+      static_cast<double>(sessions) / seconds_since(t0),
+      static_cast<double>(posts.size()) / seconds_since(t0)};
+  try {
+    legacy.predictor.train(legacy.sessions);
+    legacy.trained = true;
+  } catch (const std::exception&) {
+    legacy.trained = false;
+  }
+
+  const auto queries = battery();
+  const QueryResult legacy_result = time_batteries(2, [&] {
+    std::size_t acc = 0;
+    for (const auto& q : queries) acc += legacy_run(legacy, q).sessions;
+    return acc;
+  });
+  std::printf("query   legacy   1t: %6.2f s/battery  (%5.2f q/s)   "
+              "[flat store, query-time sentiment]\n",
+              legacy_result.battery_seconds, legacy_result.queries_per_sec);
+
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    const service::QueryService& svc = *services[i];
+    const QueryResult r = time_batteries(3, [&] {
+      std::size_t acc = 0;
+      for (const auto& q : queries) acc += svc.run(q).sessions;
+      return acc;
+    });
+    query_results.push_back(r);
+    std::printf("query   sharded %zut: %6.2f s/battery  (%5.2f q/s)\n",
+                thread_counts[i], r.battery_seconds, r.queries_per_sec);
+  }
+
+  // Cross-check: the sharded engine answers the full-population query with
+  // the same session count as the legacy path.
+  const auto sanity_new = services.back()->run(queries.front());
+  const auto sanity_old = legacy_run(legacy, queries.front());
+  if (sanity_new.sessions != sanity_old.sessions) {
+    std::fprintf(stderr, "FATAL: sharded/legacy session-count mismatch "
+                         "(%zu vs %zu)\n",
+                 sanity_new.sessions, sanity_old.sessions);
+    return 1;
+  }
+
+  const double speedup =
+      query_results.back().queries_per_sec / legacy_result.queries_per_sec;
+  std::printf("\nquery-path speedup, sharded 8 threads vs 1-thread legacy "
+              "path: %.1fx\n", speedup);
+
+  std::ofstream json{json_path};
+  if (!json) {
+    std::fprintf(stderr, "FATAL: cannot open %s for writing\n",
+                 json_path.c_str());
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"usaas_throughput\",\n"
+       << "  \"corpus\": {\"sessions\": " << sessions
+       << ", \"calls\": " << calls.size()
+       << ", \"posts\": " << posts.size() << ", \"months\": 12},\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"ingest\": {\n";
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    json << "    \"sharded_" << thread_counts[i] << "t\": {\"seconds\": "
+         << ingest_results[i].seconds << ", \"sessions_per_sec\": "
+         << ingest_results[i].sessions_per_sec << ", \"posts_per_sec\": "
+         << ingest_results[i].posts_per_sec << "},\n";
+  }
+  json << "    \"legacy_flat_1t\": {\"seconds\": " << legacy_ingest.seconds
+       << ", \"sessions_per_sec\": " << legacy_ingest.sessions_per_sec
+       << "}\n  },\n"
+       << "  \"query\": {\n"
+       << "    \"legacy_flat_1t\": {\"battery_seconds\": "
+       << legacy_result.battery_seconds << ", \"queries_per_sec\": "
+       << legacy_result.queries_per_sec << "},\n";
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    json << "    \"sharded_" << thread_counts[i]
+         << "t\": {\"battery_seconds\": " << query_results[i].battery_seconds
+         << ", \"queries_per_sec\": " << query_results[i].queries_per_sec
+         << "}" << (i + 1 < thread_counts.size() ? "," : "") << "\n";
+  }
+  json << "  },\n"
+       << "  \"query_speedup_8t_vs_1t\": " << speedup << ",\n"
+       << "  \"notes\": \"1-thread baseline is the seed's query path (flat "
+          "single-shard store, sentiment re-scored over the whole post "
+          "corpus per query). Sharded engines score sentiment once at "
+          "ingest and prune per-month x per-platform shards; on multi-core "
+          "hosts the 8-thread column additionally reflects shard fan-out "
+          "parallelism.\"\n"
+       << "}\n";
+  json.close();
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usaas_throughput.dir/usaas_throughput.cpp.o"
+  "CMakeFiles/usaas_throughput.dir/usaas_throughput.cpp.o.d"
+  "usaas_throughput"
+  "usaas_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usaas_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

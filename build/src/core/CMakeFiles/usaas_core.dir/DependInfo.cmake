@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/regression.cpp" "src/core/CMakeFiles/usaas_core.dir/regression.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/regression.cpp.o.d"
   "/root/repo/src/core/rng.cpp" "src/core/CMakeFiles/usaas_core.dir/rng.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/rng.cpp.o.d"
   "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/usaas_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/stats.cpp.o.d"
+  "/root/repo/src/core/thread_pool.cpp" "src/core/CMakeFiles/usaas_core.dir/thread_pool.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/thread_pool.cpp.o.d"
   "/root/repo/src/core/timeseries.cpp" "src/core/CMakeFiles/usaas_core.dir/timeseries.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/timeseries.cpp.o.d"
   "/root/repo/src/core/trend.cpp" "src/core/CMakeFiles/usaas_core.dir/trend.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/trend.cpp.o.d"
   )

@@ -17,6 +17,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/usaas_core.dir/rng.cpp.o.d"
   "CMakeFiles/usaas_core.dir/stats.cpp.o"
   "CMakeFiles/usaas_core.dir/stats.cpp.o.d"
+  "CMakeFiles/usaas_core.dir/thread_pool.cpp.o"
+  "CMakeFiles/usaas_core.dir/thread_pool.cpp.o.d"
   "CMakeFiles/usaas_core.dir/timeseries.cpp.o"
   "CMakeFiles/usaas_core.dir/timeseries.cpp.o.d"
   "CMakeFiles/usaas_core.dir/trend.cpp.o"

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usaas_sharding.dir/test_usaas_sharding.cpp.o"
+  "CMakeFiles/test_usaas_sharding.dir/test_usaas_sharding.cpp.o.d"
+  "test_usaas_sharding"
+  "test_usaas_sharding.pdb"
+  "test_usaas_sharding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usaas_sharding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -308,9 +308,19 @@ tests/CMakeFiles/test_usaas_signals.dir/test_usaas_signals.cpp.o: \
  /root/repo/src/social/post.h /root/repo/src/ocr/screenshot.h \
  /root/repo/src/social/text_gen.h \
  /root/repo/src/usaas/correlation_engine.h \
- /root/repo/src/core/histogram.h /root/repo/src/usaas/signals.h \
- /root/repo/src/usaas/query_service.h /root/repo/src/nlp/keywords.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/core/histogram.h /root/repo/src/core/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/usaas/signals.h /root/repo/src/usaas/query_service.h \
+ /root/repo/src/nlp/keywords.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nlp/sentiment.h \
  /root/repo/src/nlp/lexicon.h /root/repo/src/usaas/mos_predictor.h \
  /root/repo/src/core/regression.h

@@ -15,7 +15,11 @@
 int main() {
   using namespace usaas;
 
-  service::QueryService svc;
+  // Production shape: per-month x per-platform shards, a small worker
+  // pool for ingest partitioning and query fan-out. Results are identical
+  // to the flat single-threaded layout (see tests/test_usaas_sharding.cpp).
+  service::QueryService svc{service::QueryServiceConfig{
+      service::ShardingPolicy::kMonthPlatform, /*threads=*/4}};
 
   // Ingest the implicit side: conferencing telemetry + engagement.
   std::printf("ingesting conferencing signals...\n");
@@ -40,9 +44,12 @@ int main() {
       leo::OutageModel{scfg.first_day, scfg.last_day, 42},
       leo::EventTimeline{schedule}};
   svc.ingest_posts(sim.simulate());
-  svc.train_predictor();
-  std::printf("  %zu sessions, %zu posts ingested\n\n",
-              svc.ingested_sessions(), svc.ingested_posts());
+  if (!svc.train_predictor()) {
+    std::printf("  (not enough rated sessions to train the MOS predictor)\n");
+  }
+  std::printf("  %zu sessions in %zu shards, %zu posts in %zu shards\n\n",
+              svc.ingested_sessions(), svc.session_shards(),
+              svc.ingested_posts(), svc.post_shards());
 
   // The operator query: "how does latency shape the Teams experience for
   // users in H1 2022, and what is the community saying?"

@@ -45,6 +45,17 @@ const RunningStats& Binner1D::bin_stats(std::size_t i) const {
   return stats_.at(i);
 }
 
+void Binner1D::merge(const Binner1D& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.stats_.size() != stats_.size()) {
+    throw std::invalid_argument("Binner1D::merge: layout mismatch");
+  }
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    stats_[i].merge(other.stats_[i]);
+  }
+  total_ += other.total_;
+}
+
 Grid2D::Grid2D(double x_lo, double x_hi, std::size_t x_bins,
                double y_lo, double y_hi, std::size_t y_bins)
     : x_lo_{x_lo}, x_hi_{x_hi}, y_lo_{y_lo}, y_hi_{y_hi},
@@ -103,6 +114,17 @@ std::optional<double> Grid2D::max_cell_mean() const {
     if (!best || s.mean() > *best) best = s.mean();
   }
   return best;
+}
+
+void Grid2D::merge(const Grid2D& other) {
+  if (other.x_lo_ != x_lo_ || other.x_hi_ != x_hi_ || other.y_lo_ != y_lo_ ||
+      other.y_hi_ != y_hi_ || other.x_bins_ != x_bins_ ||
+      other.y_bins_ != y_bins_) {
+    throw std::invalid_argument("Grid2D::merge: layout mismatch");
+  }
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    stats_[i].merge(other.stats_[i]);
+  }
 }
 
 std::optional<double> Grid2D::min_cell_mean() const {

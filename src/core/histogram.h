@@ -47,6 +47,10 @@ class Binner1D {
   /// Per-bin full accumulator, for callers that need stddev/count too.
   [[nodiscard]] const RunningStats& bin_stats(std::size_t i) const;
 
+  /// Merges another binner with the same [lo, hi) x bins layout (parallel
+  /// shard reduction); throws std::invalid_argument on layout mismatch.
+  void merge(const Binner1D& other);
+
  private:
   double lo_;
   double hi_;
@@ -88,6 +92,10 @@ class Grid2D {
   /// across all combinations", i.e. 100 * min / max.
   [[nodiscard]] std::optional<double> max_cell_mean() const;
   [[nodiscard]] std::optional<double> min_cell_mean() const;
+
+  /// Merges another grid with identical extents and bin counts (parallel
+  /// shard reduction); throws std::invalid_argument on layout mismatch.
+  void merge(const Grid2D& other);
 
  private:
   [[nodiscard]] std::size_t index(std::size_t xi, std::size_t yi) const {

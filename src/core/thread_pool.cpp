@@ -1,0 +1,98 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace usaas::core {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock{mu_};
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock{mu_};
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard lock{mu_};
+  return queue_.size();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock{mu_};
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain-on-destruction: keep taking tasks until the queue is empty,
+      // even after stopping_ flipped.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t workers = pool == nullptr ? 0 : pool->size();
+  if (workers <= 1 || n == 1) {
+    body(0, n);
+    return;
+  }
+
+  // A few chunks per worker smooths uneven per-chunk cost without making
+  // the scheduling overhead visible.
+  const std::size_t chunks = std::min(n, workers * 4);
+  struct Completion {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining{0};
+    std::exception_ptr error;
+  } done;
+  done.remaining = chunks;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * n / chunks;
+    const std::size_t end = (c + 1) * n / chunks;
+    pool->submit([&body, &done, begin, end] {
+      std::exception_ptr error;
+      try {
+        body(begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard lock{done.mu};
+      if (error && !done.error) done.error = error;
+      if (--done.remaining == 0) done.cv.notify_all();
+    });
+  }
+
+  std::unique_lock lock{done.mu};
+  done.cv.wait(lock, [&done] { return done.remaining == 0; });
+  if (done.error) std::rethrow_exception(done.error);
+}
+
+}  // namespace usaas::core

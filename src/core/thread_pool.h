@@ -1,0 +1,72 @@
+// A fixed-size worker pool + blocking parallel_for.
+//
+// The USaaS ingest/query engine fans work across per-month x per-platform
+// shards (§5: operator queries over ~150-200 M sessions). Shard processing
+// is embarrassingly parallel, so the only machinery needed is a task queue
+// with deterministic completion semantics:
+//   * submit() enqueues fire-and-forget tasks;
+//   * parallel_for() splits an index range into contiguous chunks, runs
+//     them on the pool, BLOCKS until every chunk finished, and rethrows the
+//     first exception a chunk raised;
+//   * the destructor drains the queue — every task submitted before
+//     destruction runs to completion (no silently dropped work).
+// Determinism note: parallel_for guarantees nothing about execution order;
+// callers that need thread-count-independent results must give each chunk
+// its own output slot and merge slots in index order (see
+// CorrelationEngine).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace usaas::core {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1). A 1-thread pool still runs tasks on its worker, so
+  /// submit() never executes inline.
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Must not be called after destruction began (callers
+  /// own the pool, so this is a lifetime bug, not a runtime condition).
+  void submit(std::function<void()> task);
+
+  /// Queued-but-not-started tasks (for tests / introspection).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_{false};
+  std::vector<std::thread> workers_;
+};
+
+/// Runs body(begin, end) over contiguous chunks of [0, n) on the pool and
+/// blocks until all chunks completed. With a null pool, a pool of size <= 1,
+/// or n <= 1 the body runs inline as body(0, n). If one or more chunks
+/// throw, the first exception (in completion order) is rethrown after every
+/// chunk has finished — no chunk is abandoned mid-flight.
+///
+/// Must not be called from inside a task running on the same pool (the
+/// caller would block a worker the chunks may need).
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace usaas::core

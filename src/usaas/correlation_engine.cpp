@@ -2,11 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <utility>
 
 #include "core/correlation.h"
 #include "core/stats.h"
 
 namespace usaas::service {
+
+namespace {
+
+[[nodiscard]] int month_key(const core::Date& d) {
+  return d.year() * 12 + (d.month() - 1);
+}
+
+netsim::NetworkConditions aggregate_conditions(
+    const confsim::ParticipantRecord& rec, SessionAggregate agg) {
+  return agg == SessionAggregate::kP95 ? rec.network.p95_conditions()
+                                       : rec.network.mean_conditions();
+}
+
+}  // namespace
 
 double EngagementCurve::relative_drop_percent() const {
   if (points.size() < 2) return 0.0;
@@ -25,64 +41,205 @@ EngagementCurve EngagementCurve::normalized() const {
   return out;
 }
 
-void CorrelationEngine::ingest(std::span<const confsim::CallRecord> calls) {
-  for (const auto& call : calls) ingest(call);
+CorrelationEngine::SessionShard& CorrelationEngine::shard_for(
+    const core::Date& date, confsim::Platform platform) {
+  const std::pair<int, int> key =
+      sharding_ == ShardingPolicy::kSingleShard
+          ? std::pair<int, int>{0, 0}
+          : std::pair<int, int>{month_key(date), static_cast<int>(platform)};
+  const auto [it, inserted] = shard_index_.try_emplace(key, shards_.size());
+  if (inserted) {
+    SessionShard shard;
+    shard.month_key = key.first;
+    shard.platform = platform;
+    shards_.push_back(std::move(shard));
+  }
+  return shards_[it->second];
+}
+
+void CorrelationEngine::append(SessionShard& shard, const core::Date& date,
+                               const confsim::ParticipantRecord& rec) {
+  shard.dates.push_back(date);
+  shard.records.push_back(rec);
 }
 
 void CorrelationEngine::ingest(const confsim::CallRecord& call) {
-  for (const auto& p : call.participants) sessions_.push_back(p);
+  for (const auto& p : call.participants) {
+    append(shard_for(call.start.date, p.platform), call.start.date, p);
+  }
 }
 
-namespace {
+void CorrelationEngine::ingest(std::span<const confsim::CallRecord> calls) {
+  const std::size_t workers = pool_ == nullptr ? 1 : pool_->size();
+  if (workers <= 1 || calls.size() < 2) {
+    for (const auto& call : calls) ingest(call);
+    return;
+  }
 
-netsim::NetworkConditions aggregate_conditions(
-    const confsim::ParticipantRecord& rec, SessionAggregate agg) {
-  return agg == SessionAggregate::kP95 ? rec.network.p95_conditions()
-                                       : rec.network.mean_conditions();
+  // Partition the batch in parallel: each chunk of the (contiguous,
+  // in-order) call range builds private shards, which are then appended in
+  // chunk order — so per-shard record order equals sequential ingest order
+  // no matter how many threads ran.
+  const std::size_t chunks = std::min(calls.size(), workers * 4);
+  std::vector<std::map<std::pair<int, int>, SessionShard>> locals(chunks);
+  core::parallel_for(pool_, chunks, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      const std::size_t begin = c * calls.size() / chunks;
+      const std::size_t end = (c + 1) * calls.size() / chunks;
+      auto& local = locals[c];
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto& call = calls[i];
+        for (const auto& p : call.participants) {
+          const std::pair<int, int> key =
+              sharding_ == ShardingPolicy::kSingleShard
+                  ? std::pair<int, int>{0, 0}
+                  : std::pair<int, int>{month_key(call.start.date),
+                                        static_cast<int>(p.platform)};
+          SessionShard& shard = local[key];
+          shard.month_key = key.first;
+          shard.platform = p.platform;
+          shard.dates.push_back(call.start.date);
+          shard.records.push_back(p);
+        }
+      }
+    }
+  });
+  for (auto& local : locals) {
+    for (auto& [key, partial] : local) {
+      SessionShard& shard = shard_for(
+          partial.dates.empty() ? core::Date{} : partial.dates.front(),
+          partial.platform);
+      shard.dates.insert(shard.dates.end(), partial.dates.begin(),
+                         partial.dates.end());
+      shard.records.insert(shard.records.end(),
+                           std::make_move_iterator(partial.records.begin()),
+                           std::make_move_iterator(partial.records.end()));
+    }
+  }
 }
 
-}  // namespace
+std::size_t CorrelationEngine::session_count() const {
+  std::size_t n = 0;
+  for (const SessionShard& s : shards_) n += s.records.size();
+  return n;
+}
+
+std::vector<CorrelationEngine::SelectedShard> CorrelationEngine::select_shards(
+    const ShardSelector& selector) const {
+  std::vector<SelectedShard> out;
+  out.reserve(shards_.size());
+  for (const auto& [key, idx] : shard_index_) {
+    const SessionShard& shard = shards_[idx];
+    SelectedShard sel;
+    sel.shard = &shard;
+    if (sharding_ == ShardingPolicy::kSingleShard) {
+      sel.check_dates = selector.first.has_value() || selector.last.has_value();
+      sel.check_platform = selector.platform.has_value();
+    } else {
+      if (selector.platform && shard.platform != *selector.platform) continue;
+      if (selector.first && shard.month_key < month_key(*selector.first)) {
+        continue;
+      }
+      if (selector.last && shard.month_key > month_key(*selector.last)) {
+        continue;
+      }
+      // Only window-boundary months still need per-record date checks.
+      sel.check_dates =
+          (selector.first && month_key(*selector.first) == shard.month_key) ||
+          (selector.last && month_key(*selector.last) == shard.month_key);
+    }
+    out.push_back(sel);
+  }
+  return out;
+}
+
+bool CorrelationEngine::record_matches(const SelectedShard& sel,
+                                       const core::Date& date,
+                                       const confsim::ParticipantRecord& rec,
+                                       const ShardSelector& selector) {
+  if (sel.check_dates) {
+    if (selector.first && date < *selector.first) return false;
+    if (selector.last && *selector.last < date) return false;
+  }
+  if (sel.check_platform && rec.platform != *selector.platform) return false;
+  return true;
+}
 
 EngagementCurve CorrelationEngine::engagement_curve(
     const SweepSpec& spec, EngagementMetric engagement,
-    const ParticipantFilter& filter) const {
-  core::Binner1D binner{spec.lo, spec.hi, spec.bins};
-  for (const auto& rec : sessions_) {
-    if (filter && !filter(rec)) continue;
-    const netsim::NetworkConditions c =
-        aggregate_conditions(rec, spec.aggregate);
-    if (spec.control_others &&
-        !netsim::others_in_control(c, spec.metric, spec.control)) {
-      continue;
-    }
-    binner.add(netsim::metric_value(c, spec.metric),
-               engagement_value(rec, engagement));
+    const ParticipantFilter& filter, const ShardSelector& selector) const {
+  const auto selected = select_shards(selector);
+  std::vector<core::Binner1D> partials;
+  partials.reserve(selected.size());
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    partials.emplace_back(spec.lo, spec.hi, spec.bins);
   }
+  core::parallel_for(pool_, selected.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const SelectedShard& sel = selected[i];
+      core::Binner1D& binner = partials[i];
+      const auto& records = sel.shard->records;
+      for (std::size_t r = 0; r < records.size(); ++r) {
+        const auto& rec = records[r];
+        if (!record_matches(sel, sel.shard->dates[r], rec, selector)) continue;
+        if (filter && !filter(rec)) continue;
+        const netsim::NetworkConditions c =
+            aggregate_conditions(rec, spec.aggregate);
+        if (spec.control_others &&
+            !netsim::others_in_control(c, spec.metric, spec.control)) {
+          continue;
+        }
+        binner.add(netsim::metric_value(c, spec.metric),
+                   engagement_value(rec, engagement));
+      }
+    }
+  });
+  core::Binner1D total{spec.lo, spec.hi, spec.bins};
+  for (const core::Binner1D& p : partials) total.merge(p);
+
   EngagementCurve curve;
   curve.network_metric = spec.metric;
   curve.engagement_metric = engagement;
-  for (const core::Bin& b : binner.bins()) {
+  for (const core::Bin& b : total.bins()) {
     curve.points.push_back({b.center(), b.mean_y, b.count});
   }
   return curve;
 }
 
 std::vector<CurvePoint> CorrelationEngine::dropoff_curve(
-    const SweepSpec& spec, const ParticipantFilter& filter) const {
-  core::Binner1D binner{spec.lo, spec.hi, spec.bins};
-  for (const auto& rec : sessions_) {
-    if (filter && !filter(rec)) continue;
-    const netsim::NetworkConditions c =
-        aggregate_conditions(rec, spec.aggregate);
-    if (spec.control_others &&
-        !netsim::others_in_control(c, spec.metric, spec.control)) {
-      continue;
-    }
-    binner.add(netsim::metric_value(c, spec.metric),
-               rec.dropped_early ? 1.0 : 0.0);
+    const SweepSpec& spec, const ParticipantFilter& filter,
+    const ShardSelector& selector) const {
+  const auto selected = select_shards(selector);
+  std::vector<core::Binner1D> partials;
+  partials.reserve(selected.size());
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    partials.emplace_back(spec.lo, spec.hi, spec.bins);
   }
+  core::parallel_for(pool_, selected.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const SelectedShard& sel = selected[i];
+      core::Binner1D& binner = partials[i];
+      const auto& records = sel.shard->records;
+      for (std::size_t r = 0; r < records.size(); ++r) {
+        const auto& rec = records[r];
+        if (!record_matches(sel, sel.shard->dates[r], rec, selector)) continue;
+        if (filter && !filter(rec)) continue;
+        const netsim::NetworkConditions c =
+            aggregate_conditions(rec, spec.aggregate);
+        if (spec.control_others &&
+            !netsim::others_in_control(c, spec.metric, spec.control)) {
+          continue;
+        }
+        binner.add(netsim::metric_value(c, spec.metric),
+                   rec.dropped_early ? 1.0 : 0.0);
+      }
+    }
+  });
+  core::Binner1D total{spec.lo, spec.hi, spec.bins};
+  for (const core::Binner1D& p : partials) total.merge(p);
+
   std::vector<CurvePoint> out;
-  for (const core::Bin& b : binner.bins()) {
+  for (const core::Bin& b : total.bins()) {
     out.push_back({b.center(), b.mean_y, b.count});
   }
   return out;
@@ -93,24 +250,53 @@ core::Grid2D CorrelationEngine::compounding_grid(EngagementMetric engagement,
                                                  std::size_t lat_bins,
                                                  double loss_hi_pct,
                                                  std::size_t loss_bins) const {
-  core::Grid2D grid{0.0, latency_hi_ms, lat_bins, 0.0, loss_hi_pct, loss_bins};
-  for (const auto& rec : sessions_) {
-    const netsim::NetworkConditions c = rec.network.mean_conditions();
-    grid.add(c.latency.ms(), c.loss.percent(),
-             engagement_value(rec, engagement));
+  const auto selected = select_shards({});
+  std::vector<core::Grid2D> partials;
+  partials.reserve(selected.size());
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    partials.emplace_back(0.0, latency_hi_ms, lat_bins, 0.0, loss_hi_pct,
+                          loss_bins);
   }
-  return grid;
+  core::parallel_for(pool_, selected.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      core::Grid2D& grid = partials[i];
+      for (const auto& rec : selected[i].shard->records) {
+        const netsim::NetworkConditions c = rec.network.mean_conditions();
+        grid.add(c.latency.ms(), c.loss.percent(),
+                 engagement_value(rec, engagement));
+      }
+    }
+  });
+  core::Grid2D total{0.0, latency_hi_ms, lat_bins, 0.0, loss_hi_pct,
+                     loss_bins};
+  for (const core::Grid2D& p : partials) total.merge(p);
+  return total;
 }
 
 std::optional<CorrelationEngine::MosCorrelation>
 CorrelationEngine::mos_correlation(EngagementMetric engagement,
                                    std::size_t min_samples) const {
+  const auto selected = select_shards({});
+  struct Rated {
+    std::vector<double> eng;
+    std::vector<double> mos;
+  };
+  std::vector<Rated> partials(selected.size());
+  core::parallel_for(pool_, selected.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      Rated& part = partials[i];
+      for (const auto& rec : selected[i].shard->records) {
+        if (!rec.mos) continue;
+        part.eng.push_back(engagement_value(rec, engagement));
+        part.mos.push_back(rec.mos->score());
+      }
+    }
+  });
   std::vector<double> eng;
   std::vector<double> mos;
-  for (const auto& rec : sessions_) {
-    if (!rec.mos) continue;
-    eng.push_back(engagement_value(rec, engagement));
-    mos.push_back(rec.mos->score());
+  for (const Rated& part : partials) {
+    eng.insert(eng.end(), part.eng.begin(), part.eng.end());
+    mos.insert(mos.end(), part.mos.begin(), part.mos.end());
   }
   if (eng.size() < min_samples) return std::nullopt;
 
@@ -119,11 +305,16 @@ CorrelationEngine::mos_correlation(EngagementMetric engagement,
   out.pearson = core::pearson(eng, mos);
   out.spearman = core::spearman(eng, mos);
 
-  // Decile curve: mean MOS per engagement decile.
+  // Decile curve: mean MOS per engagement decile. Ties are broken on the
+  // (engagement, MOS) value pair so the sorted sequence — and hence every
+  // decile sum — is a function of the sample multiset alone, identical
+  // across shard layouts and thread counts.
   std::vector<std::size_t> order(eng.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(),
-            [&](std::size_t a, std::size_t b) { return eng[a] < eng[b]; });
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (eng[a] != eng[b]) return eng[a] < eng[b];
+    return mos[a] < mos[b];
+  });
   const std::size_t deciles = 10;
   for (std::size_t dec = 0; dec < deciles; ++dec) {
     const std::size_t lo = dec * order.size() / deciles;
@@ -137,6 +328,95 @@ CorrelationEngine::mos_correlation(EngagementMetric engagement,
     }
     const auto n = static_cast<double>(hi - lo);
     out.decile_curve.push_back({eng_acc / n, mos_acc / n, hi - lo});
+  }
+  return out;
+}
+
+CorrelationEngine::Tally CorrelationEngine::tally(
+    const ParticipantFilter& filter, const ShardSelector& selector,
+    const std::function<double(const confsim::ParticipantRecord&)>& predictor)
+    const {
+  const auto selected = select_shards(selector);
+  std::vector<Tally> partials(selected.size());
+  core::parallel_for(pool_, selected.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const SelectedShard& sel = selected[i];
+      Tally& part = partials[i];
+      const auto& records = sel.shard->records;
+      for (std::size_t r = 0; r < records.size(); ++r) {
+        const auto& rec = records[r];
+        if (!record_matches(sel, sel.shard->dates[r], rec, selector)) continue;
+        if (filter && !filter(rec)) continue;
+        ++part.sessions;
+        if (rec.mos) {
+          part.observed_mos_sum += rec.mos->score();
+          ++part.rated;
+        }
+        if (predictor) {
+          part.predicted_mos_sum += predictor(rec);
+          ++part.predicted;
+        }
+      }
+    }
+  });
+  Tally total;
+  for (const Tally& part : partials) {
+    total.sessions += part.sessions;
+    total.rated += part.rated;
+    total.observed_mos_sum += part.observed_mos_sum;
+    total.predicted_mos_sum += part.predicted_mos_sum;
+    total.predicted += part.predicted;
+  }
+  return total;
+}
+
+std::vector<confsim::ParticipantRecord> CorrelationEngine::sessions() const {
+  std::vector<confsim::ParticipantRecord> out;
+  out.reserve(session_count());
+  for (const auto& [key, idx] : shard_index_) {
+    const SessionShard& shard = shards_[idx];
+    out.insert(out.end(), shard.records.begin(), shard.records.end());
+  }
+  return out;
+}
+
+std::vector<confsim::ParticipantRecord>
+CorrelationEngine::rated_sessions_canonical() const {
+  std::vector<confsim::ParticipantRecord> out;
+  if (sharding_ == ShardingPolicy::kMonthPlatform) {
+    for (const auto& [key, idx] : shard_index_) {
+      for (const auto& rec : shards_[idx].records) {
+        if (rec.mos) out.push_back(rec);
+      }
+    }
+    return out;
+  }
+  // Flat layout: stable-sort rated records into the same (month, platform,
+  // ingest) order the sharded layout yields naturally.
+  struct Keyed {
+    int month_key;
+    int platform;
+    std::size_t seq;
+  };
+  std::vector<Keyed> keys;
+  for (const SessionShard& shard : shards_) {
+    for (std::size_t r = 0; r < shard.records.size(); ++r) {
+      if (!shard.records[r].mos) continue;
+      keys.push_back({month_key(shard.dates[r]),
+                      static_cast<int>(shard.records[r].platform), r});
+    }
+  }
+  std::stable_sort(keys.begin(), keys.end(),
+                   [](const Keyed& a, const Keyed& b) {
+                     if (a.month_key != b.month_key) {
+                       return a.month_key < b.month_key;
+                     }
+                     return a.platform < b.platform;
+                   });
+  out.reserve(keys.size());
+  for (const Keyed& k : keys) {
+    // All rated records live in the single flat shard under this policy.
+    out.push_back(shards_.front().records[k.seq]);
   }
   return out;
 }

@@ -1,4 +1,5 @@
-// The engagement-vs-network correlation engine: §3's analysis pipeline.
+// The engagement-vs-network correlation engine: §3's analysis pipeline,
+// scaled out as §5 requires.
 //
 // Consumes participant records exactly as the paper's analysts did —
 // session-aggregated network metrics + engagement actions + sampled MOS —
@@ -10,15 +11,28 @@
 //     (Fig 4).
 // It never reads the behaviour model's parameters: the planted curves
 // must be recovered from data.
+//
+// Storage is sharded per calendar month x client platform (the natural
+// partitioning of the paper's Jan-Apr corpus and Fig 3's platform
+// breakdown): ingest batches are partitioned in parallel, queries fan out
+// across the shards that survive date/platform pruning and reduce partial
+// accumulators (core::Binner1D/Grid2D merge) in shard-key order.
+// Every result is therefore deterministic and independent of the thread
+// count; versus a single flat store the only difference is floating-point
+// summation order (<= ~1e-12 relative). ShardingPolicy::kSingleShard keeps
+// the flat layout as the sequential reference path for equivalence tests.
 #pragma once
 
 #include <functional>
+#include <map>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "confsim/call.h"
+#include "core/date.h"
 #include "core/histogram.h"
+#include "core/thread_pool.h"
 #include "netsim/conditions.h"
 #include "usaas/signals.h"
 
@@ -63,29 +77,60 @@ struct SweepSpec {
   SessionAggregate aggregate{SessionAggregate::kMean};
 };
 
-/// Optional row filter (e.g. by platform for Fig 3).
+/// Optional row filter (e.g. by access network for the §5 Starlink query).
 using ParticipantFilter =
     std::function<bool(const confsim::ParticipantRecord&)>;
+
+/// How ingested sessions are partitioned.
+enum class ShardingPolicy {
+  /// One flat shard, scanned sequentially — the seed's layout, kept as the
+  /// reference path for shard-equivalence tests.
+  kSingleShard,
+  /// Per-month x per-platform shards; queries prune on both axes.
+  kMonthPlatform,
+};
+
+/// Shard-level pruning hints a query may carry. Dates are inclusive; any
+/// unset field means "no restriction". Pruning never changes results —
+/// the same predicate is re-applied per record where a shard straddles a
+/// window boundary (or under kSingleShard, where no pruning happens).
+struct ShardSelector {
+  std::optional<core::Date> first;
+  std::optional<core::Date> last;
+  std::optional<confsim::Platform> platform;
+};
 
 class CorrelationEngine {
  public:
   CorrelationEngine() = default;
+  explicit CorrelationEngine(ShardingPolicy sharding) : sharding_{sharding} {}
+
+  /// Borrows a pool for parallel ingest + query fan-out; nullptr (the
+  /// default) keeps everything on the calling thread. Results do not
+  /// depend on the pool or its size.
+  void set_thread_pool(core::ThreadPool* pool) { pool_ = pool; }
+  [[nodiscard]] ShardingPolicy sharding() const { return sharding_; }
 
   /// Ingests calls (only participants passing the enterprise filter's
-  /// per-call requirements are assumed; callers pre-filter calls).
+  /// per-call requirements are assumed; callers pre-filter calls). The
+  /// batch is partitioned into shards in parallel when a pool is set;
+  /// per-shard record order equals ingest order regardless of threads.
   void ingest(std::span<const confsim::CallRecord> calls);
   void ingest(const confsim::CallRecord& call);
 
-  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+  [[nodiscard]] std::size_t session_count() const;
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
   /// Fig 1 / Fig 3: binned engagement curve over one network metric.
   [[nodiscard]] EngagementCurve engagement_curve(
       const SweepSpec& spec, EngagementMetric engagement,
-      const ParticipantFilter& filter = nullptr) const;
+      const ParticipantFilter& filter = nullptr,
+      const ShardSelector& selector = {}) const;
 
   /// Early-drop-off rate (fraction) binned over one network metric.
   [[nodiscard]] std::vector<CurvePoint> dropoff_curve(
-      const SweepSpec& spec, const ParticipantFilter& filter = nullptr) const;
+      const SweepSpec& spec, const ParticipantFilter& filter = nullptr,
+      const ShardSelector& selector = {}) const;
 
   /// Fig 2: latency x loss grid of mean engagement.
   [[nodiscard]] core::Grid2D compounding_grid(
@@ -105,12 +150,63 @@ class CorrelationEngine {
   [[nodiscard]] std::optional<MosCorrelation> mos_correlation(
       EngagementMetric engagement, std::size_t min_samples = 50) const;
 
-  [[nodiscard]] std::span<const confsim::ParticipantRecord> sessions() const {
-    return sessions_;
-  }
+  /// Per-query session tallies: counts, observed-MOS sum over rated
+  /// sessions, and (when `predictor` is set) predicted-MOS sum over every
+  /// matching session — the fan-out behind QueryService::run.
+  struct Tally {
+    std::size_t sessions{0};
+    std::size_t rated{0};
+    double observed_mos_sum{0.0};
+    double predicted_mos_sum{0.0};
+    std::size_t predicted{0};
+  };
+  [[nodiscard]] Tally tally(
+      const ParticipantFilter& filter, const ShardSelector& selector,
+      const std::function<double(const confsim::ParticipantRecord&)>&
+          predictor = nullptr) const;
+
+  /// Materializes every stored session in shard-key order (a copy; the
+  /// sharded store has no single contiguous buffer). Prefer the query
+  /// methods above — this exists for offline analyses over modest corpora.
+  [[nodiscard]] std::vector<confsim::ParticipantRecord> sessions() const;
+
+  /// Rated sessions in canonical (month, platform, ingest) order — the
+  /// same sequence under every ShardingPolicy, so predictor training is
+  /// bit-identical across layouts.
+  [[nodiscard]] std::vector<confsim::ParticipantRecord>
+  rated_sessions_canonical() const;
 
  private:
-  std::vector<confsim::ParticipantRecord> sessions_;
+  struct SessionShard {
+    int month_key{0};  // year*12 + month-1; 0 under kSingleShard
+    confsim::Platform platform{confsim::Platform::kWindowsPc};
+    std::vector<core::Date> dates;  // parallel to records
+    std::vector<confsim::ParticipantRecord> records;
+  };
+  /// A shard surviving selector pruning, with the per-record checks that
+  /// pruning could not discharge at the shard level.
+  struct SelectedShard {
+    const SessionShard* shard{nullptr};
+    bool check_dates{false};
+    bool check_platform{false};
+  };
+
+  SessionShard& shard_for(const core::Date& date, confsim::Platform platform);
+  void append(SessionShard& shard, const core::Date& date,
+              const confsim::ParticipantRecord& rec);
+  [[nodiscard]] std::vector<SelectedShard> select_shards(
+      const ShardSelector& selector) const;
+  [[nodiscard]] static bool record_matches(const SelectedShard& sel,
+                                           const core::Date& date,
+                                           const confsim::ParticipantRecord& rec,
+                                           const ShardSelector& selector);
+
+  ShardingPolicy sharding_{ShardingPolicy::kMonthPlatform};
+  core::ThreadPool* pool_{nullptr};
+  // (month_key, platform) -> index into shards_; the map keeps shard-key
+  // order for deterministic reduction.
+  std::map<std::pair<int, int>, std::size_t> shard_index_;
+  std::vector<SessionShard> shards_;
 };
 
 }  // namespace usaas::service

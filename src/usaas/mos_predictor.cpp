@@ -64,10 +64,18 @@ std::vector<double> select_columns(std::span<const double> rows,
 
 }  // namespace
 
+void MosPredictor::reset() {
+  model_ = core::LinearModel{};
+  trained_ = false;
+}
+
 void MosPredictor::train(
     std::span<const confsim::ParticipantRecord> sessions) {
+  // Invalidate up front: a failed retrain must not leave the previous
+  // model silently serving predictions for data it never saw.
+  reset();
   const RatedSet set = collect_rated(sessions);
-  if (set.ys.size() < 30) {
+  if (set.ys.size() < kMinRatedSessions) {
     throw std::runtime_error("MosPredictor: fewer than 30 rated sessions");
   }
   model_ = core::LinearModel::fit(set.rows, kNumFeatures, set.ys,

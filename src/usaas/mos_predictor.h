@@ -37,9 +37,19 @@ class MosPredictor {
  public:
   explicit MosPredictor(MosPredictorConfig config = {});
 
+  /// The paper's minimum rated-subset size for a usable fit.
+  static constexpr std::size_t kMinRatedSessions = 30;
+
   /// Trains on the rated subset of the sessions. Throws std::runtime_error
-  /// when fewer than 30 rated sessions exist.
+  /// when fewer than kMinRatedSessions rated sessions exist; the predictor
+  /// is left untrained (never with a stale earlier model) in that case.
+  /// Retraining on new data is always safe.
   void train(std::span<const confsim::ParticipantRecord> sessions);
+
+  [[nodiscard]] bool trained() const { return trained_; }
+
+  /// Returns to the untrained state, dropping any fitted model.
+  void reset();
 
   /// Predicts MOS for any session (rated or not).
   [[nodiscard]] double predict(const confsim::ParticipantRecord& rec) const;

@@ -1,13 +1,28 @@
 #include "usaas/query_service.h"
 
 #include <algorithm>
+#include <utility>
 
-#include "core/stats.h"
 #include "core/timeseries.h"
 
 namespace usaas::service {
 
-QueryService::QueryService() = default;
+namespace {
+
+[[nodiscard]] int month_key(const core::Date& d) {
+  return d.year() * 12 + (d.month() - 1);
+}
+
+}  // namespace
+
+QueryService::QueryService(QueryServiceConfig config)
+    : config_{config},
+      pool_{config.threads >= 2
+                ? std::make_unique<core::ThreadPool>(config.threads)
+                : nullptr},
+      engine_{config.sharding} {
+  engine_.set_thread_pool(pool_.get());
+}
 
 void QueryService::ingest_calls(std::span<const confsim::CallRecord> calls) {
   engine_.ingest(calls);
@@ -15,25 +30,80 @@ void QueryService::ingest_calls(std::span<const confsim::CallRecord> calls) {
 }
 
 void QueryService::ingest_posts(std::span<const social::Post> posts) {
-  posts_.insert(posts_.end(), posts.begin(), posts.end());
+  const auto& dict = nlp::KeywordDictionary::outage_dictionary();
+  const auto score_one = [&](const social::Post& post) {
+    ScoredPost scored;
+    scored.date = post.date;
+    const std::string text = post.full_text();
+    scored.sentiment = analyzer_.score(text);
+    scored.outage_hits =
+        static_cast<std::uint32_t>(dict.count_occurrences(text));
+    return scored;
+  };
+  const auto key_for = [&](const core::Date& d) {
+    return config_.sharding == ShardingPolicy::kSingleShard ? 0 : month_key(d);
+  };
+
+  const std::size_t workers = pool_ == nullptr ? 1 : pool_->size();
+  if (workers <= 1 || posts.size() < 2) {
+    for (const social::Post& post : posts) {
+      post_shards_[key_for(post.date)].posts.push_back(score_one(post));
+    }
+  } else {
+    // Score chunks in parallel (the expensive part — sentiment + keyword
+    // scan), then append chunk results in chunk order so per-shard post
+    // order equals sequential ingest order.
+    const std::size_t chunks = std::min(posts.size(), workers * 4);
+    std::vector<std::map<int, std::vector<ScoredPost>>> locals(chunks);
+    core::parallel_for(
+        pool_.get(), chunks, [&](std::size_t cb, std::size_t ce) {
+          for (std::size_t c = cb; c < ce; ++c) {
+            const std::size_t begin = c * posts.size() / chunks;
+            const std::size_t end = (c + 1) * posts.size() / chunks;
+            auto& local = locals[c];
+            for (std::size_t i = begin; i < end; ++i) {
+              local[key_for(posts[i].date)].push_back(score_one(posts[i]));
+            }
+          }
+        });
+    for (auto& local : locals) {
+      for (auto& [key, scored] : local) {
+        auto& dst = post_shards_[key].posts;
+        dst.insert(dst.end(), std::make_move_iterator(scored.begin()),
+                   std::make_move_iterator(scored.end()));
+      }
+    }
+  }
+  post_count_ += posts.size();
 }
 
-void QueryService::train_predictor() {
-  predictor_.train(engine_.sessions());
+bool QueryService::train_predictor() {
+  predictor_trained_ = false;
+  // Canonical (month, platform, ingest) collection order: the fitted model
+  // is bit-identical whichever ShardingPolicy stores the sessions.
+  const auto rated = engine_.rated_sessions_canonical();
+  if (rated.size() < MosPredictor::kMinRatedSessions) {
+    predictor_.reset();
+    return false;
+  }
+  predictor_.train(rated);
   predictor_trained_ = true;
+  return true;
 }
 
 Insight QueryService::run(const Query& query) const {
   Insight insight;
+  if (!query.valid()) return insight;
 
-  const ParticipantFilter filter =
-      [&](const confsim::ParticipantRecord& rec) {
-        if (query.platform && rec.platform != *query.platform) return false;
-        if (query.access && rec.access != *query.access) return false;
-        return true;
-      };
+  const ShardSelector selector{query.first, query.last, query.platform};
+  ParticipantFilter filter;
+  if (query.access) {
+    filter = [access = *query.access](const confsim::ParticipantRecord& rec) {
+      return rec.access == access;
+    };
+  }
 
-  // ---- Implicit side ----
+  // ---- Implicit side: fan the binning + tallies across shards ----
   SweepSpec spec;
   spec.metric = query.metric;
   spec.lo = query.metric_lo;
@@ -43,47 +113,86 @@ Insight QueryService::run(const Query& query) const {
   for (const EngagementMetric m :
        {EngagementMetric::kPresence, EngagementMetric::kCamOn,
         EngagementMetric::kMicOn}) {
-    insight.engagement.push_back(engine_.engagement_curve(spec, m, filter));
+    insight.engagement.push_back(
+        engine_.engagement_curve(spec, m, filter, selector));
     if (const auto corr = engine_.mos_correlation(m)) {
       insight.mos_spearman.emplace_back(m, corr->spearman);
     }
   }
 
-  // Session tallies + MOS coverage.
-  std::vector<double> observed;
-  double predicted_acc = 0.0;
-  std::size_t predicted_n = 0;
-  for (const auto& rec : engine_.sessions()) {
-    if (!filter(rec)) continue;
-    ++insight.sessions;
-    if (rec.mos) {
-      observed.push_back(rec.mos->score());
-      ++insight.rated_sessions;
-    }
-    if (predictor_trained_) {
-      predicted_acc += predictor_.predict(rec);
-      ++predicted_n;
-    }
+  std::function<double(const confsim::ParticipantRecord&)> predict;
+  if (predictor_trained_) {
+    predict = [this](const confsim::ParticipantRecord& rec) {
+      return predictor_.predict(rec);
+    };
   }
-  if (!observed.empty()) insight.observed_mean_mos = core::mean(observed);
-  if (predicted_n > 0) {
-    insight.predicted_mean_mos = predicted_acc / static_cast<double>(predicted_n);
+  const CorrelationEngine::Tally tally =
+      engine_.tally(filter, selector, predict);
+  insight.sessions = tally.sessions;
+  insight.rated_sessions = tally.rated;
+  if (tally.rated > 0) {
+    insight.observed_mean_mos =
+        tally.observed_mos_sum / static_cast<double>(tally.rated);
+  }
+  if (tally.predicted > 0) {
+    insight.predicted_mean_mos =
+        tally.predicted_mos_sum / static_cast<double>(tally.predicted);
   }
 
-  // ---- Explicit (social) side ----
-  const auto& dict = nlp::KeywordDictionary::outage_dictionary();
+  // ---- Explicit (social) side: pre-scored shards, pruned by month ----
+  struct SelectedPosts {
+    const PostShard* shard{nullptr};
+    bool check_dates{false};
+  };
+  std::vector<SelectedPosts> selected;
+  const int mk_first = month_key(query.first);
+  const int mk_last = month_key(query.last);
+  for (const auto& [mk, shard] : post_shards_) {
+    if (config_.sharding == ShardingPolicy::kSingleShard) {
+      selected.push_back({&shard, true});
+      continue;
+    }
+    if (mk < mk_first || mk > mk_last) continue;
+    selected.push_back({&shard, mk == mk_first || mk == mk_last});
+  }
+
+  struct SocialPartial {
+    std::size_t posts{0};
+    std::size_t strong_pos{0};
+    std::size_t strong_neg{0};
+    std::vector<std::pair<core::Date, double>> keyword_adds;
+  };
+  std::vector<SocialPartial> partials(selected.size());
+  core::parallel_for(
+      pool_.get(), selected.size(), [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const SelectedPosts& sel = selected[i];
+          SocialPartial& part = partials[i];
+          for (const ScoredPost& post : sel.shard->posts) {
+            if (sel.check_dates &&
+                (post.date < query.first || query.last < post.date)) {
+              continue;
+            }
+            ++part.posts;
+            if (post.sentiment.strong_positive()) ++part.strong_pos;
+            if (post.sentiment.strong_negative()) ++part.strong_neg;
+            if (post.outage_hits > 0 && post.sentiment.negative >= 0.4) {
+              part.keyword_adds.emplace_back(
+                  post.date, static_cast<double>(post.outage_hits));
+            }
+          }
+        }
+      });
+
   core::DailySeries keyword_days{query.first, query.last};
   std::size_t strong_pos = 0;
   std::size_t strong_neg = 0;
-  for (const social::Post& post : posts_) {
-    if (post.date < query.first || query.last < post.date) continue;
-    ++insight.posts;
-    const auto s = analyzer_.score(post.full_text());
-    if (s.strong_positive()) ++strong_pos;
-    if (s.strong_negative()) ++strong_neg;
-    const auto hits = dict.count_occurrences(post.full_text());
-    if (hits > 0 && s.negative >= 0.4) {
-      keyword_days.add(post.date, static_cast<double>(hits));
+  for (const SocialPartial& part : partials) {
+    insight.posts += part.posts;
+    strong_pos += part.strong_pos;
+    strong_neg += part.strong_neg;
+    for (const auto& [date, hits] : part.keyword_adds) {
+      keyword_days.add(date, hits);
     }
   }
   if (strong_pos + strong_neg > 0) {

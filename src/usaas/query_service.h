@@ -6,15 +6,26 @@
 // offline social feedback. The service deliberately exposes *aggregates* —
 // never individual posts or sessions — matching the paper's privacy
 // stance ("the social media user feedback insights should be aggregated").
+//
+// Scale-out (§5's ~150-200 M sessions): both corpora are partitioned into
+// per-month (x per-platform, for sessions) shards at ingest; queries prune
+// shards on the date window / platform filter and fan the remaining shards
+// across a thread pool, merging partial accumulators in shard-key order so
+// results never depend on the thread count. Social posts are sentiment- and
+// outage-keyword-scored ONCE at ingest and stored pre-scored — repeated
+// queries no longer re-run the analyzer over the whole corpus.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/date.h"
+#include "core/thread_pool.h"
 #include "nlp/keywords.h"
 #include "nlp/sentiment.h"
 #include "social/post.h"
@@ -26,7 +37,7 @@ namespace usaas::service {
 
 /// A USaaS query: what the stakeholder wants to know.
 struct Query {
-  /// Date window (inclusive).
+  /// Date window (inclusive); applies to sessions and posts alike.
   core::Date first{2022, 1, 1};
   core::Date last{2022, 12, 31};
   /// Restrict implicit signals to a platform.
@@ -41,6 +52,13 @@ struct Query {
   double metric_lo{0.0};
   double metric_hi{300.0};
   std::size_t bins{10};
+
+  /// A query is answerable when the window is ordered, the metric range is
+  /// non-empty and it requests at least one bin. run() returns an empty
+  /// Insight for anything else instead of NaN/degenerate aggregates.
+  [[nodiscard]] bool valid() const {
+    return !(first > last) && metric_lo < metric_hi && bins > 0;
+  }
 };
 
 /// The aggregated answer.
@@ -64,29 +82,64 @@ struct Insight {
   std::vector<core::Date> outage_alert_days;
 };
 
+struct QueryServiceConfig {
+  /// kMonthPlatform partitions both corpora; kSingleShard keeps the flat
+  /// sequential layout (the shard-equivalence reference path).
+  ShardingPolicy sharding{ShardingPolicy::kMonthPlatform};
+  /// Worker threads for ingest partitioning and query fan-out; <= 1 runs
+  /// everything on the calling thread. Results are identical either way.
+  std::size_t threads{0};
+};
+
 class QueryService {
  public:
-  QueryService();
+  QueryService() : QueryService(QueryServiceConfig{}) {}
+  explicit QueryService(QueryServiceConfig config);
 
   /// Ingests implicit + explicit corpora. May be called repeatedly.
+  /// Posts are sentiment- and outage-keyword-scored here, in parallel.
   void ingest_calls(std::span<const confsim::CallRecord> calls);
   void ingest_posts(std::span<const social::Post> posts);
 
-  /// Trains the MOS predictor on everything ingested so far. Requires at
-  /// least 30 rated sessions.
-  void train_predictor();
+  /// Trains the MOS predictor on everything ingested so far. Returns false
+  /// — leaving the service in a defined untrained state, never a stale or
+  /// partial one — when fewer than 30 rated sessions exist (including
+  /// before any ingest). Safe to call repeatedly.
+  bool train_predictor();
+  [[nodiscard]] bool predictor_trained() const { return predictor_trained_; }
 
-  /// Answers a query from the ingested signals.
+  /// Answers a query from the ingested signals. Invalid queries (see
+  /// Query::valid) yield an empty Insight.
   [[nodiscard]] Insight run(const Query& query) const;
 
   [[nodiscard]] std::size_t ingested_sessions() const {
     return engine_.session_count();
   }
-  [[nodiscard]] std::size_t ingested_posts() const { return posts_.size(); }
+  [[nodiscard]] std::size_t ingested_posts() const { return post_count_; }
+  [[nodiscard]] std::size_t session_shards() const {
+    return engine_.shard_count();
+  }
+  [[nodiscard]] std::size_t post_shards() const {
+    return post_shards_.size();
+  }
 
  private:
+  /// A post reduced to what queries need — scored once at ingest.
+  struct ScoredPost {
+    core::Date date;
+    nlp::SentimentScores sentiment;
+    std::uint32_t outage_hits{0};
+  };
+  struct PostShard {
+    std::vector<ScoredPost> posts;
+  };
+
+  QueryServiceConfig config_;
+  std::unique_ptr<core::ThreadPool> pool_;  // set iff config_.threads >= 2
   CorrelationEngine engine_;
-  std::vector<social::Post> posts_;
+  // month_key -> shard, ordered; a single key 0 under kSingleShard.
+  std::map<int, PostShard> post_shards_;
+  std::size_t post_count_{0};
   nlp::SentimentAnalyzer analyzer_;
   MosPredictor predictor_;
   bool predictor_trained_{false};

@@ -88,5 +88,74 @@ TEST(Grid2D, OutOfRangeIgnored) {
   EXPECT_EQ(g.cell_count(0, 0), 0u);
 }
 
+TEST(Binner1D, MergeMatchesSequentialFill) {
+  Binner1D whole{0.0, 10.0, 4};
+  Binner1D left{0.0, 10.0, 4};
+  Binner1D right{0.0, 10.0, 4};
+  for (int i = 0; i < 40; ++i) {
+    const double x = 0.25 * i;
+    const double y = 3.0 * i - 17.0;
+    whole.add(x, y);
+    (i < 20 ? left : right).add(x, y);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.total_added(), whole.total_added());
+  const auto merged_bins = left.bins();
+  const auto whole_bins = whole.bins();
+  ASSERT_EQ(merged_bins.size(), whole_bins.size());
+  for (std::size_t i = 0; i < whole_bins.size(); ++i) {
+    EXPECT_EQ(merged_bins[i].count, whole_bins[i].count);
+    EXPECT_NEAR(merged_bins[i].mean_y, whole_bins[i].mean_y, 1e-12);
+  }
+}
+
+TEST(Binner1D, MergeWithEmptySidesIsIdentity) {
+  Binner1D filled{0.0, 1.0, 2};
+  filled.add(0.1, 5.0);
+  Binner1D empty{0.0, 1.0, 2};
+  filled.merge(empty);            // empty right side
+  empty.merge(filled);            // empty left side
+  ASSERT_EQ(empty.bins().size(), 1u);
+  EXPECT_DOUBLE_EQ(empty.bins()[0].mean_y, 5.0);
+}
+
+TEST(Binner1D, MergeRejectsLayoutMismatch) {
+  Binner1D a{0.0, 10.0, 4};
+  Binner1D bins_differ{0.0, 10.0, 5};
+  Binner1D range_differs{0.0, 20.0, 4};
+  EXPECT_THROW(a.merge(bins_differ), std::invalid_argument);
+  EXPECT_THROW(a.merge(range_differs), std::invalid_argument);
+}
+
+TEST(Grid2D, MergeMatchesSequentialFill) {
+  Grid2D whole{0.0, 4.0, 2, 0.0, 4.0, 2};
+  Grid2D a{0.0, 4.0, 2, 0.0, 4.0, 2};
+  Grid2D b{0.0, 4.0, 2, 0.0, 4.0, 2};
+  for (int i = 0; i < 32; ++i) {
+    const double x = (i % 8) * 0.5;
+    const double y = (i % 4) * 1.0;
+    const double v = 1.0 + i;
+    whole.add(x, y, v);
+    (i % 2 == 0 ? a : b).add(x, y, v);
+  }
+  a.merge(b);
+  for (std::size_t yi = 0; yi < 2; ++yi) {
+    for (std::size_t xi = 0; xi < 2; ++xi) {
+      EXPECT_EQ(a.cell_count(xi, yi), whole.cell_count(xi, yi));
+      ASSERT_EQ(a.cell_mean(xi, yi).has_value(),
+                whole.cell_mean(xi, yi).has_value());
+      if (whole.cell_mean(xi, yi)) {
+        EXPECT_NEAR(*a.cell_mean(xi, yi), *whole.cell_mean(xi, yi), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Grid2D, MergeRejectsLayoutMismatch) {
+  Grid2D a{0.0, 4.0, 2, 0.0, 4.0, 2};
+  Grid2D different{0.0, 4.0, 2, 0.0, 8.0, 2};
+  EXPECT_THROW(a.merge(different), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace usaas::core

@@ -125,5 +125,93 @@ TEST_F(QueryServiceTest, DateWindowFiltersSocialSide) {
   EXPECT_LT(feb.posts, all.posts / 3);
 }
 
+// ---- Query validation regressions: malformed inputs must yield an empty
+// Insight, never NaN or degenerate bins. ----
+
+TEST_F(QueryServiceTest, InvalidQueriesYieldEmptyInsight) {
+  std::vector<Query> invalid;
+  auto reversed_window = default_query();
+  reversed_window.first = Date(2022, 6, 30);
+  reversed_window.last = Date(2022, 1, 1);
+  invalid.push_back(reversed_window);
+
+  auto reversed_metric = default_query();
+  reversed_metric.metric_lo = 300.0;
+  reversed_metric.metric_hi = 0.0;
+  invalid.push_back(reversed_metric);
+
+  auto empty_metric = default_query();
+  empty_metric.metric_lo = 100.0;
+  empty_metric.metric_hi = 100.0;  // lo == hi is empty too
+  invalid.push_back(empty_metric);
+
+  auto zero_bins = default_query();
+  zero_bins.bins = 0;
+  invalid.push_back(zero_bins);
+
+  for (const Query& q : invalid) {
+    EXPECT_FALSE(q.valid());
+    const auto insight = service().run(q);
+    EXPECT_TRUE(insight.engagement.empty());
+    EXPECT_TRUE(insight.mos_spearman.empty());
+    EXPECT_EQ(insight.sessions, 0u);
+    EXPECT_EQ(insight.posts, 0u);
+    EXPECT_FALSE(insight.observed_mean_mos.has_value());
+    EXPECT_FALSE(insight.predicted_mean_mos.has_value());
+    EXPECT_TRUE(insight.outage_alert_days.empty());
+  }
+}
+
+// ---- Predictor lifecycle regressions: train_predictor() must be safe
+// before any ingest, under the 30-rated-session minimum, and when called
+// repeatedly — never leaving stale or partial state behind. ----
+
+TEST(QueryServiceLifecycle, TrainBeforeAnyIngestFailsCleanly) {
+  QueryService svc;
+  EXPECT_FALSE(svc.train_predictor());
+  EXPECT_FALSE(svc.predictor_trained());
+  // The service still answers queries (with no predicted coverage).
+  const auto insight = svc.run(Query{});
+  EXPECT_EQ(insight.sessions, 0u);
+  EXPECT_FALSE(insight.predicted_mean_mos.has_value());
+}
+
+TEST(QueryServiceLifecycle, TrainTwiceAndUnderMinimum) {
+  confsim::DatasetConfig cfg;
+  cfg.seed = 23;
+  cfg.first_day = Date(2022, 1, 3);
+  cfg.last_day = Date(2022, 2, 28);
+
+  QueryService svc;
+  cfg.num_calls = 40;  // ~1 rated session expected: far below the minimum
+  svc.ingest_calls(confsim::CallDatasetGenerator{cfg}.generate());
+  EXPECT_FALSE(svc.train_predictor());
+  EXPECT_FALSE(svc.predictor_trained());
+  const auto untrained = svc.run(Query{});
+  EXPECT_GT(untrained.sessions, 0u);
+  EXPECT_FALSE(untrained.predicted_mean_mos.has_value());
+
+  cfg.seed = 24;
+  cfg.num_calls = 3000;  // ~90 rated sessions: comfortably above it
+  svc.ingest_calls(confsim::CallDatasetGenerator{cfg}.generate());
+  EXPECT_TRUE(svc.train_predictor());
+  EXPECT_TRUE(svc.predictor_trained());
+  const auto first = svc.run(Query{});
+  ASSERT_TRUE(first.predicted_mean_mos.has_value());
+
+  // Retraining on the same data is idempotent.
+  EXPECT_TRUE(svc.train_predictor());
+  const auto second = svc.run(Query{});
+  ASSERT_TRUE(second.predicted_mean_mos.has_value());
+  EXPECT_DOUBLE_EQ(*first.predicted_mean_mos, *second.predicted_mean_mos);
+
+  // New ingest marks the model stale until the next train.
+  cfg.seed = 25;
+  cfg.num_calls = 40;
+  svc.ingest_calls(confsim::CallDatasetGenerator{cfg}.generate());
+  EXPECT_FALSE(svc.predictor_trained());
+  EXPECT_TRUE(svc.train_predictor());
+}
+
 }  // namespace
 }  // namespace usaas::service

@@ -1,0 +1,211 @@
+// Shard-equivalence property tests: the per-month x per-platform,
+// multi-threaded ingest/query path must answer every query exactly like
+// the flat single-shard sequential path — bit-identical for counts, dates
+// and ratio aggregates, within 1e-9 for floating-point reductions (whose
+// summation order legitimately differs between shard layouts).
+//
+// Also registered under the `sanitize` ctest label: with
+// -DUSAAS_SANITIZE=thread this is the ThreadSanitizer workload for the
+// whole ingest/fan-out/merge machinery.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "confsim/dataset.h"
+#include "social/subreddit.h"
+#include "usaas/query_service.h"
+
+namespace usaas::service {
+namespace {
+
+using core::Date;
+
+constexpr double kTol = 1e-9;
+
+struct Corpus {
+  std::vector<confsim::CallRecord> calls;
+  std::vector<social::Post> posts;
+};
+
+Corpus make_corpus(std::uint64_t seed) {
+  Corpus corpus;
+  confsim::DatasetConfig cfg;
+  cfg.seed = seed;
+  cfg.num_calls = 500;
+  cfg.first_day = Date(2022, 1, 3);
+  cfg.last_day = Date(2022, 3, 31);
+  corpus.calls = confsim::CallDatasetGenerator{cfg}.generate();
+
+  social::SubredditConfig scfg;
+  scfg.first_day = Date(2022, 1, 1);
+  scfg.last_day = Date(2022, 3, 31);
+  leo::LaunchSchedule sched;
+  social::RedditSim sim{
+      scfg,
+      leo::SpeedModel{leo::ConstellationModel{sched}, leo::SubscriberModel{}},
+      leo::OutageModel{scfg.first_day, scfg.last_day, seed},
+      leo::EventTimeline{sched}};
+  corpus.posts = sim.simulate();
+  return corpus;
+}
+
+QueryService build_service(const Corpus& corpus, QueryServiceConfig config) {
+  QueryService svc{config};
+  // Split the ingest into two batches to exercise repeated ingestion.
+  const std::size_t half = corpus.calls.size() / 2;
+  svc.ingest_calls(std::span{corpus.calls}.subspan(0, half));
+  svc.ingest_calls(std::span{corpus.calls}.subspan(half));
+  svc.ingest_posts(corpus.posts);
+  svc.train_predictor();
+  return svc;
+}
+
+std::vector<Query> query_battery() {
+  std::vector<Query> queries;
+  Query base;
+  base.first = Date(2022, 1, 1);
+  base.last = Date(2022, 3, 31);
+  base.metric = netsim::Metric::kLatency;
+  base.metric_lo = 0.0;
+  base.metric_hi = 300.0;
+  base.bins = 8;
+  queries.push_back(base);  // full window
+
+  Query platform = base;  // platform filter (prunes shard columns)
+  platform.platform = confsim::Platform::kAndroid;
+  queries.push_back(platform);
+
+  Query access = base;  // access filter (pure per-record predicate)
+  access.access = netsim::AccessTechnology::kLeoSatellite;
+  queries.push_back(access);
+
+  Query window = base;  // mid-month boundaries on both ends
+  window.first = Date(2022, 1, 18);
+  window.last = Date(2022, 2, 9);
+  queries.push_back(window);
+
+  Query loss = base;  // different sweep metric + bin layout
+  loss.metric = netsim::Metric::kLoss;
+  loss.metric_lo = 0.0;
+  loss.metric_hi = 10.0;
+  loss.bins = 5;
+  loss.platform = confsim::Platform::kIos;
+  queries.push_back(loss);
+
+  return queries;
+}
+
+void expect_equivalent(const Insight& a, const Insight& b, bool bit_exact) {
+  EXPECT_EQ(a.sessions, b.sessions);
+  EXPECT_EQ(a.rated_sessions, b.rated_sessions);
+  EXPECT_EQ(a.posts, b.posts);
+  EXPECT_EQ(a.outage_mention_days, b.outage_mention_days);
+  EXPECT_EQ(a.outage_alert_days, b.outage_alert_days);
+  // A ratio of exact integer counts: identical in every layout.
+  EXPECT_DOUBLE_EQ(a.strong_positive_share, b.strong_positive_share);
+
+  ASSERT_EQ(a.engagement.size(), b.engagement.size());
+  for (std::size_t c = 0; c < a.engagement.size(); ++c) {
+    const EngagementCurve& ca = a.engagement[c];
+    const EngagementCurve& cb = b.engagement[c];
+    EXPECT_EQ(ca.engagement_metric, cb.engagement_metric);
+    ASSERT_EQ(ca.points.size(), cb.points.size());
+    for (std::size_t p = 0; p < ca.points.size(); ++p) {
+      EXPECT_EQ(ca.points[p].sessions, cb.points[p].sessions);
+      EXPECT_DOUBLE_EQ(ca.points[p].metric_value, cb.points[p].metric_value);
+      if (bit_exact) {
+        EXPECT_DOUBLE_EQ(ca.points[p].engagement, cb.points[p].engagement);
+      } else {
+        EXPECT_NEAR(ca.points[p].engagement, cb.points[p].engagement, kTol);
+      }
+    }
+  }
+
+  ASSERT_EQ(a.mos_spearman.size(), b.mos_spearman.size());
+  for (std::size_t i = 0; i < a.mos_spearman.size(); ++i) {
+    EXPECT_EQ(a.mos_spearman[i].first, b.mos_spearman[i].first);
+    EXPECT_NEAR(a.mos_spearman[i].second, b.mos_spearman[i].second, kTol);
+  }
+
+  ASSERT_EQ(a.observed_mean_mos.has_value(), b.observed_mean_mos.has_value());
+  if (a.observed_mean_mos) {
+    EXPECT_NEAR(*a.observed_mean_mos, *b.observed_mean_mos, kTol);
+  }
+  ASSERT_EQ(a.predicted_mean_mos.has_value(),
+            b.predicted_mean_mos.has_value());
+  if (a.predicted_mean_mos) {
+    EXPECT_NEAR(*a.predicted_mean_mos, *b.predicted_mean_mos, kTol);
+  }
+}
+
+TEST(ShardEquivalence, ShardedParallelMatchesFlatSequential) {
+  for (const std::uint64_t seed : {11u, 97u, 2023u}) {
+    SCOPED_TRACE(testing::Message() << "corpus seed " << seed);
+    const Corpus corpus = make_corpus(seed);
+    const QueryService reference =
+        build_service(corpus, {ShardingPolicy::kSingleShard, 0});
+    const QueryService sharded =
+        build_service(corpus, {ShardingPolicy::kMonthPlatform, 4});
+    ASSERT_EQ(reference.ingested_sessions(), sharded.ingested_sessions());
+    ASSERT_EQ(reference.ingested_posts(), sharded.ingested_posts());
+    EXPECT_EQ(reference.session_shards(), 1u);
+    EXPECT_GT(sharded.session_shards(), 1u);
+    for (const Query& q : query_battery()) {
+      expect_equivalent(reference.run(q), sharded.run(q),
+                        /*bit_exact=*/false);
+    }
+  }
+}
+
+TEST(ShardEquivalence, ResultsIndependentOfThreadCount) {
+  // Same shard layout, different thread counts: the merge order is fixed
+  // by shard keys, so results must be bit-identical — not merely close.
+  const Corpus corpus = make_corpus(7);
+  const QueryService sequential =
+      build_service(corpus, {ShardingPolicy::kMonthPlatform, 0});
+  const QueryService threaded =
+      build_service(corpus, {ShardingPolicy::kMonthPlatform, 8});
+  ASSERT_EQ(sequential.session_shards(), threaded.session_shards());
+  for (const Query& q : query_battery()) {
+    const Insight a = sequential.run(q);
+    const Insight b = threaded.run(q);
+    expect_equivalent(a, b, /*bit_exact=*/true);
+    ASSERT_EQ(a.observed_mean_mos.has_value(), b.observed_mean_mos.has_value());
+    if (a.observed_mean_mos) {
+      EXPECT_DOUBLE_EQ(*a.observed_mean_mos, *b.observed_mean_mos);
+    }
+    if (a.predicted_mean_mos) {
+      EXPECT_DOUBLE_EQ(*a.predicted_mean_mos, *b.predicted_mean_mos);
+    }
+  }
+}
+
+TEST(ShardEquivalence, MonthPlatformPartitioningIsComplete) {
+  const Corpus corpus = make_corpus(3);
+  const QueryService sharded =
+      build_service(corpus, {ShardingPolicy::kMonthPlatform, 2});
+  // 3 months x up to 4 platforms, and every session landed in some shard.
+  EXPECT_LE(sharded.session_shards(), 12u);
+  EXPECT_GE(sharded.session_shards(), 3u);
+  EXPECT_EQ(sharded.post_shards(), 3u);
+
+  // Narrowing the window to one fully-covered month prunes to that month's
+  // sessions only; summing per-platform queries reconstructs the total.
+  Query feb;
+  feb.first = Date(2022, 2, 1);
+  feb.last = Date(2022, 2, 28);
+  const Insight whole = sharded.run(feb);
+  std::size_t by_platform = 0;
+  for (const confsim::Platform p :
+       {confsim::Platform::kWindowsPc, confsim::Platform::kMacPc,
+        confsim::Platform::kIos, confsim::Platform::kAndroid}) {
+    Query narrowed = feb;
+    narrowed.platform = p;
+    by_platform += sharded.run(narrowed).sessions;
+  }
+  EXPECT_EQ(by_platform, whole.sessions);
+  EXPECT_GT(whole.sessions, 0u);
+}
+
+}  // namespace
+}  // namespace usaas::service
