@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/correlation.cpp" "src/core/CMakeFiles/usaas_core.dir/correlation.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/correlation.cpp.o.d"
   "/root/repo/src/core/csv.cpp" "src/core/CMakeFiles/usaas_core.dir/csv.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/csv.cpp.o.d"
   "/root/repo/src/core/date.cpp" "src/core/CMakeFiles/usaas_core.dir/date.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/date.cpp.o.d"
+  "/root/repo/src/core/flat_index.cpp" "src/core/CMakeFiles/usaas_core.dir/flat_index.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/flat_index.cpp.o.d"
   "/root/repo/src/core/histogram.cpp" "src/core/CMakeFiles/usaas_core.dir/histogram.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/histogram.cpp.o.d"
   "/root/repo/src/core/peaks.cpp" "src/core/CMakeFiles/usaas_core.dir/peaks.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/peaks.cpp.o.d"
   "/root/repo/src/core/regression.cpp" "src/core/CMakeFiles/usaas_core.dir/regression.cpp.o" "gcc" "src/core/CMakeFiles/usaas_core.dir/regression.cpp.o.d"

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/usaas_core.dir/csv.cpp.o.d"
   "CMakeFiles/usaas_core.dir/date.cpp.o"
   "CMakeFiles/usaas_core.dir/date.cpp.o.d"
+  "CMakeFiles/usaas_core.dir/flat_index.cpp.o"
+  "CMakeFiles/usaas_core.dir/flat_index.cpp.o.d"
   "CMakeFiles/usaas_core.dir/histogram.cpp.o"
   "CMakeFiles/usaas_core.dir/histogram.cpp.o.d"
   "CMakeFiles/usaas_core.dir/peaks.cpp.o"

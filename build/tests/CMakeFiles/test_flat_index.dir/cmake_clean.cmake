@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flat_index.dir/test_flat_index.cpp.o"
+  "CMakeFiles/test_flat_index.dir/test_flat_index.cpp.o.d"
+  "test_flat_index"
+  "test_flat_index.pdb"
+  "test_flat_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flat_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_usaas_ingest_equivalence.cpp" "tests/CMakeFiles/test_usaas_ingest_equivalence.dir/test_usaas_ingest_equivalence.cpp.o" "gcc" "tests/CMakeFiles/test_usaas_ingest_equivalence.dir/test_usaas_ingest_equivalence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/usaas/CMakeFiles/usaas.dir/DependInfo.cmake"
+  "/root/repo/build/src/social/CMakeFiles/usaas_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocr/CMakeFiles/usaas_ocr.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/usaas_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/leo/CMakeFiles/usaas_leo.dir/DependInfo.cmake"
+  "/root/repo/build/src/confsim/CMakeFiles/usaas_confsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/usaas_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/usaas_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

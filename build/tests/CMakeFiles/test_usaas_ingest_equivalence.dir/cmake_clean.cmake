@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usaas_ingest_equivalence.dir/test_usaas_ingest_equivalence.cpp.o"
+  "CMakeFiles/test_usaas_ingest_equivalence.dir/test_usaas_ingest_equivalence.cpp.o.d"
+  "test_usaas_ingest_equivalence"
+  "test_usaas_ingest_equivalence.pdb"
+  "test_usaas_ingest_equivalence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usaas_ingest_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

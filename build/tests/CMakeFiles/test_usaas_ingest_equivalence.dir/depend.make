@@ -1,0 +1,2 @@
+# Empty dependencies file for test_usaas_ingest_equivalence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 + sanitizer gate, in the order CI runs it:
+#
+#   1. plain build, full ctest suite;
+#   2. ThreadSanitizer build of the concurrency suites only (pool fan-out,
+#      shard equivalence, two-pass batch ingest), `ctest -L sanitize`.
+#
+# The sanitize suites carry USAAS_PARALLEL_FORCE=1 via their ctest
+# ENVIRONMENT property, so parallel_for really fans out across the pool —
+# even on single-core hosts where the oversubscription cap would otherwise
+# run everything inline and TSan would have no races to check.
+#
+# Usage: scripts/check.sh [jobs]     (default: nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "==> tier-1: configure + build (${JOBS} jobs)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+
+echo "==> tier-1: ctest"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "==> tsan: configure + build sanitize-labeled test targets"
+cmake -B build-tsan -S . -DUSAAS_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}" \
+  --target test_thread_pool test_usaas_sharding test_usaas_ingest_equivalence
+
+echo "==> tsan: ctest -L sanitize"
+ctest --test-dir build-tsan -L sanitize --output-on-failure -j "${JOBS}"
+
+echo "==> all checks passed"

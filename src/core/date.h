@@ -82,6 +82,13 @@ class Date {
   std::int8_t day_{1};
 };
 
+/// Canonical calendar-month shard key: months since year 0 (year*12 +
+/// month-1). The single definition shared by session and post sharding so
+/// the two corpora can never bucket the same date differently.
+[[nodiscard]] inline int month_key(const Date& d) {
+  return d.year() * 12 + (d.month() - 1);
+}
+
 /// Iterates [first, last] inclusive, calling fn(Date) once per day.
 template <typename Fn>
 void for_each_day(const Date& first, const Date& last, Fn&& fn) {

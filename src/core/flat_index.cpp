@@ -1,0 +1,63 @@
+#include "core/flat_index.h"
+
+#include <algorithm>
+
+namespace usaas::core {
+
+void DenseKeyCounts::add(int key, std::size_t n) {
+  if (counts_.empty()) {
+    base_ = key;
+    counts_.assign(1, 0);
+  } else if (key < base_) {
+    counts_.insert(counts_.begin(), static_cast<std::size_t>(base_ - key), 0);
+    base_ = key;
+  } else if (key >= base_ + static_cast<int>(counts_.size())) {
+    counts_.resize(static_cast<std::size_t>(key - base_) + 1, 0);
+  }
+  counts_[static_cast<std::size_t>(key - base_)] += n;
+}
+
+std::size_t DenseKeyCounts::count(int key) const {
+  if (counts_.empty() || key < base_ ||
+      key >= base_ + static_cast<int>(counts_.size())) {
+    return 0;
+  }
+  return counts_[static_cast<std::size_t>(key - base_)];
+}
+
+ScatterPlan build_scatter_plan(std::span<const DenseKeyCounts> per_chunk) {
+  ScatterPlan plan;
+  plan.num_chunks = per_chunk.size();
+  bool any = false;
+  int lo = 0;
+  int hi = 0;
+  for (const DenseKeyCounts& counts : per_chunk) {
+    if (counts.empty()) continue;
+    if (!any) {
+      lo = counts.min_key();
+      hi = counts.max_key();
+      any = true;
+    } else {
+      lo = std::min(lo, counts.min_key());
+      hi = std::max(hi, counts.max_key());
+    }
+  }
+  if (!any) return plan;  // num_keys == 0: nothing to scatter
+
+  plan.min_key = lo;
+  plan.num_keys = static_cast<std::size_t>(hi - lo) + 1;
+  plan.totals.assign(plan.num_keys, 0);
+  plan.offsets.assign(plan.num_chunks * plan.num_keys, 0);
+  for (std::size_t k = 0; k < plan.num_keys; ++k) {
+    const int key = lo + static_cast<int>(k);
+    std::size_t running = 0;
+    for (std::size_t c = 0; c < plan.num_chunks; ++c) {
+      plan.offsets[c * plan.num_keys + k] = running;
+      running += per_chunk[c].count(key);
+    }
+    plan.totals[k] = running;
+  }
+  return plan;
+}
+
+}  // namespace usaas::core

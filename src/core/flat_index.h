@@ -1,0 +1,76 @@
+// Dense small-int key counting + the prefix-sum scatter plan behind the
+// two-pass counted ingest pipeline.
+//
+// The sharded USaaS ingest path partitions a record batch by a packed
+// shard key — (month_key, platform) folded into one small int. Pass 1
+// counts records per (chunk, key) with DenseKeyCounts (a flat array over
+// the key range; no node-based map in the hot loop). A ScatterPlan then
+// prefix-sums those counts so every chunk knows, for every destination
+// key, the exact slot range it owns inside a pre-reserved contiguous
+// slice — pass 2 writes records straight into their final positions in
+// parallel, with no merge step and no second copy. Slot order is (chunk
+// index, in-chunk order), i.e. exactly sequential ingest order.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace usaas::core {
+
+/// Counts occurrences of small integer keys in a flat array that rebases
+/// itself on first use and grows to span [min_key, max_key]. Intended for
+/// key ranges that are tiny relative to the record count (e.g. a few
+/// dozen (month, platform) pairs per million sessions); memory is
+/// O(max_key - min_key), so do not feed it arbitrary 32-bit hashes.
+class DenseKeyCounts {
+ public:
+  void add(int key, std::size_t n = 1);
+
+  /// Count for `key`; 0 for keys never added (including out of range).
+  [[nodiscard]] std::size_t count(int key) const;
+
+  [[nodiscard]] bool empty() const { return counts_.empty(); }
+  /// Smallest / largest key ever added. Only valid when !empty().
+  [[nodiscard]] int min_key() const { return base_; }
+  [[nodiscard]] int max_key() const {
+    return base_ + static_cast<int>(counts_.size()) - 1;
+  }
+
+ private:
+  int base_{0};
+  std::vector<std::size_t> counts_;
+};
+
+/// The prefix-sum output of pass 1: for each destination key, the total
+/// record count (how much to reserve) and, per chunk, the offset of that
+/// chunk's first record within the key's contiguous slice.
+struct ScatterPlan {
+  int min_key{0};          // smallest key across all chunks
+  std::size_t num_keys{0};  // dense span; 0 when every chunk was empty
+  std::size_t num_chunks{0};
+  /// Per-key record totals, indexed by (key - min_key).
+  std::vector<std::size_t> totals;
+  /// Chunk-major exclusive prefix sums: offsets[chunk * num_keys + k] is
+  /// where chunk's first record for key (min_key + k) lands inside that
+  /// key's slice.
+  std::vector<std::size_t> offsets;
+
+  [[nodiscard]] std::size_t total(std::size_t dense_key) const {
+    return totals[dense_key];
+  }
+  /// Copy of one chunk's offset row — a mutable cursor array for pass 2.
+  [[nodiscard]] std::vector<std::size_t> chunk_cursor(
+      std::size_t chunk) const {
+    const auto* row = offsets.data() + chunk * num_keys;
+    return {row, row + num_keys};
+  }
+};
+
+/// Builds the scatter plan from per-chunk counts. Chunks may have counted
+/// disjoint key sub-ranges (each DenseKeyCounts rebases independently);
+/// the plan spans the union.
+[[nodiscard]] ScatterPlan build_scatter_plan(
+    std::span<const DenseKeyCounts> per_chunk);
+
+}  // namespace usaas::core

@@ -1,6 +1,7 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
 #include <utility>
 
@@ -54,18 +55,51 @@ void ThreadPool::worker_loop() {
   }
 }
 
+std::size_t hardware_parallelism() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+namespace {
+
+[[nodiscard]] bool force_parallel() {
+  static const bool force = [] {
+    const char* v = std::getenv("USAAS_PARALLEL_FORCE");
+    return v != nullptr && *v != '\0' && *v != '0';
+  }();
+  return force;
+}
+
+}  // namespace
+
+std::size_t effective_parallelism(const ThreadPool* pool) {
+  if (pool == nullptr) return 1;
+  if (force_parallel()) return pool->size();
+  return std::min(pool->size(), hardware_parallelism());
+}
+
 void parallel_for(ThreadPool* pool, std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for(pool, n, 1, body);
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
-  const std::size_t workers = pool == nullptr ? 0 : pool->size();
-  if (workers <= 1 || n == 1) {
+  const std::size_t workers = effective_parallelism(pool);
+  if (workers <= 1 || n == 1 || n <= grain) {
     body(0, n);
     return;
   }
 
   // A few chunks per worker smooths uneven per-chunk cost without making
-  // the scheduling overhead visible.
-  const std::size_t chunks = std::min(n, workers * 4);
+  // the scheduling overhead visible; the grain floor keeps chunks from
+  // shrinking below the point where dispatch dominates.
+  std::size_t chunks = std::min(n, workers * 4);
+  if (grain > 1) chunks = std::min(chunks, std::max<std::size_t>(1, n / grain));
+  if (chunks <= 1) {
+    body(0, n);
+    return;
+  }
   struct Completion {
     std::mutex mu;
     std::condition_variable cv;

@@ -58,15 +58,37 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// std::thread::hardware_concurrency() clamped to >= 1 (it may report 0
+/// when unknown, which we treat as "one core").
+[[nodiscard]] std::size_t hardware_parallelism();
+
+/// How many chunks parallel_for can usefully run concurrently on `pool`:
+/// min(pool size, hardware cores), 1 for a null pool. A pool larger than
+/// the machine (e.g. 8 workers on a 1-core host) is oversubscribed — its
+/// extra workers only add queueing overhead, so fan-out is capped at the
+/// core count and a 1-core host runs everything inline. Setting the
+/// environment variable USAAS_PARALLEL_FORCE=1 (read once, at first use)
+/// disables the cap and trusts the pool size — the sanitizer test suite
+/// uses this so races are still exercised on single-core CI hosts.
+[[nodiscard]] std::size_t effective_parallelism(const ThreadPool* pool);
+
 /// Runs body(begin, end) over contiguous chunks of [0, n) on the pool and
-/// blocks until all chunks completed. With a null pool, a pool of size <= 1,
-/// or n <= 1 the body runs inline as body(0, n). If one or more chunks
-/// throw, the first exception (in completion order) is rethrown after every
-/// chunk has finished — no chunk is abandoned mid-flight.
+/// blocks until all chunks completed. With a null pool, an effective
+/// parallelism <= 1 (see above — including any pool on a single-core
+/// host), or n <= 1 the body runs inline as body(0, n). If one or more
+/// chunks throw, the first exception (in completion order) is rethrown
+/// after every chunk has finished — no chunk is abandoned mid-flight.
 ///
 /// Must not be called from inside a task running on the same pool (the
 /// caller would block a worker the chunks may need).
 void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Grain-size overload: chunks carry at least `grain` items each (the
+/// last may carry more), so per-chunk fixed costs (task dispatch, local
+/// accumulators) stay amortized for small n. grain == 1 is the plain
+/// overload; when n <= grain the body runs inline.
+void parallel_for(ThreadPool* pool, std::size_t n, std::size_t grain,
                   const std::function<void(std::size_t, std::size_t)>& body);
 
 }  // namespace usaas::core

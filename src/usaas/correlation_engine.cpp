@@ -1,19 +1,25 @@
 #include "usaas/correlation_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <utility>
 
 #include "core/correlation.h"
+#include "core/flat_index.h"
 #include "core/stats.h"
 
 namespace usaas::service {
 
 namespace {
 
-[[nodiscard]] int month_key(const core::Date& d) {
-  return d.year() * 12 + (d.month() - 1);
+using core::month_key;
+
+[[nodiscard]] double seconds_between(
+    std::chrono::steady_clock::time_point a,
+    std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
 }
 
 netsim::NetworkConditions aggregate_conditions(
@@ -41,20 +47,31 @@ EngagementCurve EngagementCurve::normalized() const {
   return out;
 }
 
-CorrelationEngine::SessionShard& CorrelationEngine::shard_for(
-    const core::Date& date, confsim::Platform platform) {
-  const std::pair<int, int> key =
-      sharding_ == ShardingPolicy::kSingleShard
-          ? std::pair<int, int>{0, 0}
-          : std::pair<int, int>{month_key(date), static_cast<int>(platform)};
+int CorrelationEngine::packed_key(const core::Date& date,
+                                  confsim::Platform platform) const {
+  if (sharding_ == ShardingPolicy::kSingleShard) return 0;
+  return month_key(date) * confsim::kNumPlatforms + static_cast<int>(platform);
+}
+
+CorrelationEngine::SessionShard& CorrelationEngine::shard_for_key(int key) {
   const auto [it, inserted] = shard_index_.try_emplace(key, shards_.size());
   if (inserted) {
+    // Unpack with floored semantics so pre-epoch month keys (negative)
+    // still round-trip; under kSingleShard the key is the constant 0.
+    const int platform_idx =
+        ((key % confsim::kNumPlatforms) + confsim::kNumPlatforms) %
+        confsim::kNumPlatforms;
     SessionShard shard;
-    shard.month_key = key.first;
-    shard.platform = platform;
+    shard.month_key = (key - platform_idx) / confsim::kNumPlatforms;
+    shard.platform = static_cast<confsim::Platform>(platform_idx);
     shards_.push_back(std::move(shard));
   }
   return shards_[it->second];
+}
+
+CorrelationEngine::SessionShard& CorrelationEngine::shard_for(
+    const core::Date& date, confsim::Platform platform) {
+  return shard_for_key(packed_key(date, platform));
 }
 
 void CorrelationEngine::append(SessionShard& shard, const core::Date& date,
@@ -67,55 +84,110 @@ void CorrelationEngine::ingest(const confsim::CallRecord& call) {
   for (const auto& p : call.participants) {
     append(shard_for(call.start.date, p.platform), call.start.date, p);
   }
+  ingest_stats_.records += call.participants.size();
+  ingest_stats_.bytes_moved +=
+      call.participants.size() *
+      (sizeof(confsim::ParticipantRecord) + sizeof(core::Date));
 }
 
 void CorrelationEngine::ingest(std::span<const confsim::CallRecord> calls) {
-  const std::size_t workers = pool_ == nullptr ? 1 : pool_->size();
-  if (workers <= 1 || calls.size() < 2) {
-    for (const auto& call : calls) ingest(call);
+  if (calls.empty()) return;
+  if (calls.size() == 1) {  // the two-pass machinery isn't worth one call
+    ingest(calls.front());
     return;
   }
+  const auto t0 = std::chrono::steady_clock::now();
 
-  // Partition the batch in parallel: each chunk of the (contiguous,
-  // in-order) call range builds private shards, which are then appended in
-  // chunk order — so per-shard record order equals sequential ingest order
-  // no matter how many threads ran.
-  const std::size_t chunks = std::min(calls.size(), workers * 4);
-  std::vector<std::map<std::pair<int, int>, SessionShard>> locals(chunks);
+  // Contiguous in-order call chunks. Fan-out is capped by the pool's
+  // *effective* parallelism (1 on a single-core host, where both passes
+  // then run inline with a single chunk) and floored by a grain so chunks
+  // stay large enough to amortize their counting structures.
+  constexpr std::size_t kGrainCalls = 64;
+  const std::size_t chunks =
+      std::min({calls.size(), core::effective_parallelism(pool_) * 4,
+                std::max<std::size_t>(1, calls.size() / kGrainCalls)});
+  const auto chunk_begin = [&](std::size_t c) {
+    return c * calls.size() / chunks;
+  };
+
+  // ---- Pass 1: per-chunk x per-shard-key record counts, in parallel,
+  // over a flat dense key index (no node-based map in the inner loop).
+  std::vector<core::DenseKeyCounts> counts(chunks);
   core::parallel_for(pool_, chunks, [&](std::size_t cb, std::size_t ce) {
     for (std::size_t c = cb; c < ce; ++c) {
-      const std::size_t begin = c * calls.size() / chunks;
-      const std::size_t end = (c + 1) * calls.size() / chunks;
-      auto& local = locals[c];
-      for (std::size_t i = begin; i < end; ++i) {
-        const auto& call = calls[i];
-        for (const auto& p : call.participants) {
-          const std::pair<int, int> key =
-              sharding_ == ShardingPolicy::kSingleShard
-                  ? std::pair<int, int>{0, 0}
-                  : std::pair<int, int>{month_key(call.start.date),
-                                        static_cast<int>(p.platform)};
-          SessionShard& shard = local[key];
-          shard.month_key = key.first;
-          shard.platform = p.platform;
-          shard.dates.push_back(call.start.date);
-          shard.records.push_back(p);
+      core::DenseKeyCounts& local = counts[c];
+      for (std::size_t i = chunk_begin(c); i < chunk_begin(c + 1); ++i) {
+        const core::Date date = calls[i].start.date;
+        for (const auto& p : calls[i].participants) {
+          local.add(packed_key(date, p.platform));
         }
       }
     }
   });
-  for (auto& local : locals) {
-    for (auto& [key, partial] : local) {
-      SessionShard& shard = shard_for(
-          partial.dates.empty() ? core::Date{} : partial.dates.front(),
-          partial.platform);
-      shard.dates.insert(shard.dates.end(), partial.dates.begin(),
-                         partial.dates.end());
-      shard.records.insert(shard.records.end(),
-                           std::make_move_iterator(partial.records.begin()),
-                           std::make_move_iterator(partial.records.end()));
-    }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // ---- Prefix-sum the counts into a scatter plan and pre-reserve every
+  // destination shard's contiguous slice for this batch.
+  const core::ScatterPlan plan = core::build_scatter_plan(counts);
+  IngestStats batch;
+  batch.batches = 1;
+  if (plan.num_keys == 0) {  // every call in the batch was empty
+    batch.total_seconds = seconds_between(t0, t1);
+    batch.count_seconds = batch.total_seconds;
+    ingest_stats_.merge(batch);
+    return;
   }
+  // Create shards first (growing shards_ may move SessionShard objects),
+  // then size them and capture stable slice pointers into their buffers.
+  for (std::size_t k = 0; k < plan.num_keys; ++k) {
+    if (plan.totals[k] > 0) shard_for_key(plan.min_key + static_cast<int>(k));
+  }
+  struct Slice {
+    confsim::ParticipantRecord* records{nullptr};
+    core::Date* dates{nullptr};
+  };
+  std::vector<Slice> slices(plan.num_keys);
+  for (std::size_t k = 0; k < plan.num_keys; ++k) {
+    if (plan.totals[k] == 0) continue;
+    SessionShard& shard = shard_for_key(plan.min_key + static_cast<int>(k));
+    const std::size_t base = shard.records.size();
+    shard.records.resize(base + plan.totals[k]);
+    shard.dates.resize(base + plan.totals[k]);
+    slices[k] = {shard.records.data() + base, shard.dates.data() + base};
+    batch.records += plan.totals[k];
+    ++batch.shards_touched;
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+
+  // ---- Pass 2: copy each record into its final slot, in parallel. A
+  // chunk's cursor row starts at the prefix-sum offsets, so slot order is
+  // (chunk index, in-chunk order) == sequential ingest order, and chunks
+  // write disjoint slot ranges (no synchronization, no merge step).
+  core::parallel_for(pool_, chunks, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      std::vector<std::size_t> cursor = plan.chunk_cursor(c);
+      for (std::size_t i = chunk_begin(c); i < chunk_begin(c + 1); ++i) {
+        const core::Date date = calls[i].start.date;
+        for (const auto& p : calls[i].participants) {
+          const auto k = static_cast<std::size_t>(
+              packed_key(date, p.platform) - plan.min_key);
+          const std::size_t slot = cursor[k]++;
+          slices[k].records[slot] = p;
+          slices[k].dates[slot] = date;
+        }
+      }
+    }
+  });
+  const auto t3 = std::chrono::steady_clock::now();
+
+  batch.bytes_moved =
+      batch.records *
+      (sizeof(confsim::ParticipantRecord) + sizeof(core::Date));
+  batch.count_seconds = seconds_between(t0, t1);
+  batch.plan_seconds = seconds_between(t1, t2);
+  batch.scatter_seconds = seconds_between(t2, t3);
+  batch.total_seconds = seconds_between(t0, t3);
+  ingest_stats_.merge(batch);
 }
 
 std::size_t CorrelationEngine::session_count() const {

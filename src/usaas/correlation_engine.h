@@ -112,14 +112,25 @@ class CorrelationEngine {
   [[nodiscard]] ShardingPolicy sharding() const { return sharding_; }
 
   /// Ingests calls (only participants passing the enterprise filter's
-  /// per-call requirements are assumed; callers pre-filter calls). The
-  /// batch is partitioned into shards in parallel when a pool is set;
-  /// per-shard record order equals ingest order regardless of threads.
+  /// per-call requirements are assumed; callers pre-filter calls).
+  ///
+  /// Batch ingest is a two-pass counted pipeline: pass 1 counts records
+  /// per (chunk, shard key) in parallel over a flat dense key index;
+  /// a prefix-sum over those counts pre-reserves each destination shard
+  /// and assigns every chunk a contiguous slot range per shard; pass 2
+  /// copies records straight into their final slots in parallel. Slots
+  /// are ordered by (chunk index, in-chunk position), so per-shard record
+  /// order equals sequential ingest order by construction, at any thread
+  /// count — and each record is copied exactly once.
   void ingest(std::span<const confsim::CallRecord> calls);
   void ingest(const confsim::CallRecord& call);
 
   [[nodiscard]] std::size_t session_count() const;
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Cumulative ingest counters + per-phase timings (see IngestStats).
+  [[nodiscard]] const IngestStats& ingest_stats() const {
+    return ingest_stats_;
+  }
 
   /// Fig 1 / Fig 3: binned engagement curve over one network metric.
   [[nodiscard]] EngagementCurve engagement_curve(
@@ -191,6 +202,14 @@ class CorrelationEngine {
     bool check_platform{false};
   };
 
+  /// The packed shard key pass 1 counts on: month_key * kNumPlatforms +
+  /// platform under kMonthPlatform, the constant 0 under kSingleShard.
+  /// Packing preserves (month_key, platform) lexicographic order.
+  [[nodiscard]] int packed_key(const core::Date& date,
+                               confsim::Platform platform) const;
+  /// Finds or creates the shard for a packed key — shards are addressed
+  /// by key alone, never re-derived from record contents.
+  SessionShard& shard_for_key(int key);
   SessionShard& shard_for(const core::Date& date, confsim::Platform platform);
   void append(SessionShard& shard, const core::Date& date,
               const confsim::ParticipantRecord& rec);
@@ -203,9 +222,11 @@ class CorrelationEngine {
 
   ShardingPolicy sharding_{ShardingPolicy::kMonthPlatform};
   core::ThreadPool* pool_{nullptr};
-  // (month_key, platform) -> index into shards_; the map keeps shard-key
-  // order for deterministic reduction.
-  std::map<std::pair<int, int>, std::size_t> shard_index_;
+  IngestStats ingest_stats_;
+  // packed (month_key, platform) key -> index into shards_; packing is
+  // order-preserving, so the map keeps shard-key order for deterministic
+  // reduction.
+  std::map<int, std::size_t> shard_index_;
   std::vector<SessionShard> shards_;
 };
 

@@ -1,16 +1,22 @@
 #include "usaas/query_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "core/flat_index.h"
 #include "core/timeseries.h"
 
 namespace usaas::service {
 
 namespace {
 
-[[nodiscard]] int month_key(const core::Date& d) {
-  return d.year() * 12 + (d.month() - 1);
+using core::month_key;
+
+[[nodiscard]] double seconds_between(
+    std::chrono::steady_clock::time_point a,
+    std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
 }
 
 }  // namespace
@@ -30,51 +36,79 @@ void QueryService::ingest_calls(std::span<const confsim::CallRecord> calls) {
 }
 
 void QueryService::ingest_posts(std::span<const social::Post> posts) {
+  if (posts.empty()) return;
+  const auto t0 = std::chrono::steady_clock::now();
   const auto& dict = nlp::KeywordDictionary::outage_dictionary();
-  const auto score_one = [&](const social::Post& post) {
-    ScoredPost scored;
+  const auto score_into = [&](const social::Post& post, ScoredPost& scored) {
     scored.date = post.date;
     const std::string text = post.full_text();
     scored.sentiment = analyzer_.score(text);
     scored.outage_hits =
         static_cast<std::uint32_t>(dict.count_occurrences(text));
-    return scored;
   };
   const auto key_for = [&](const core::Date& d) {
     return config_.sharding == ShardingPolicy::kSingleShard ? 0 : month_key(d);
   };
 
-  const std::size_t workers = pool_ == nullptr ? 1 : pool_->size();
-  if (workers <= 1 || posts.size() < 2) {
-    for (const social::Post& post : posts) {
-      post_shards_[key_for(post.date)].posts.push_back(score_one(post));
-    }
-  } else {
-    // Score chunks in parallel (the expensive part — sentiment + keyword
-    // scan), then append chunk results in chunk order so per-shard post
-    // order equals sequential ingest order.
-    const std::size_t chunks = std::min(posts.size(), workers * 4);
-    std::vector<std::map<int, std::vector<ScoredPost>>> locals(chunks);
-    core::parallel_for(
-        pool_.get(), chunks, [&](std::size_t cb, std::size_t ce) {
-          for (std::size_t c = cb; c < ce; ++c) {
-            const std::size_t begin = c * posts.size() / chunks;
-            const std::size_t end = (c + 1) * posts.size() / chunks;
-            auto& local = locals[c];
-            for (std::size_t i = begin; i < end; ++i) {
-              local[key_for(posts[i].date)].push_back(score_one(posts[i]));
-            }
+  // Two-pass counted ingest, like CorrelationEngine::ingest: count per
+  // (chunk, month key), prefix-sum into pre-reserved per-shard slices,
+  // then score posts in parallel straight into their final slots (the
+  // scoring — sentiment + keyword scan — dominates, so pass 2 is where
+  // the threads pay off). Slot order == sequential ingest order.
+  constexpr std::size_t kGrainPosts = 32;
+  const std::size_t chunks =
+      std::min({posts.size(), core::effective_parallelism(pool_.get()) * 4,
+                std::max<std::size_t>(1, posts.size() / kGrainPosts)});
+  const auto chunk_begin = [&](std::size_t c) {
+    return c * posts.size() / chunks;
+  };
+
+  std::vector<core::DenseKeyCounts> counts(chunks);
+  core::parallel_for(
+      pool_.get(), chunks, [&](std::size_t cb, std::size_t ce) {
+        for (std::size_t c = cb; c < ce; ++c) {
+          for (std::size_t i = chunk_begin(c); i < chunk_begin(c + 1); ++i) {
+            counts[c].add(key_for(posts[i].date));
           }
-        });
-    for (auto& local : locals) {
-      for (auto& [key, scored] : local) {
-        auto& dst = post_shards_[key].posts;
-        dst.insert(dst.end(), std::make_move_iterator(scored.begin()),
-                   std::make_move_iterator(scored.end()));
-      }
-    }
+        }
+      });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const core::ScatterPlan plan = core::build_scatter_plan(counts);
+  std::vector<ScoredPost*> slices(plan.num_keys, nullptr);
+  IngestStats batch;
+  batch.batches = 1;
+  batch.records = posts.size();
+  batch.bytes_moved = posts.size() * sizeof(ScoredPost);
+  for (std::size_t k = 0; k < plan.num_keys; ++k) {
+    if (plan.totals[k] == 0) continue;
+    auto& dst = post_shards_[plan.min_key + static_cast<int>(k)].posts;
+    const std::size_t base = dst.size();
+    dst.resize(base + plan.totals[k]);
+    slices[k] = dst.data() + base;
+    ++batch.shards_touched;
   }
+  const auto t2 = std::chrono::steady_clock::now();
+
+  core::parallel_for(
+      pool_.get(), chunks, [&](std::size_t cb, std::size_t ce) {
+        for (std::size_t c = cb; c < ce; ++c) {
+          std::vector<std::size_t> cursor = plan.chunk_cursor(c);
+          for (std::size_t i = chunk_begin(c); i < chunk_begin(c + 1); ++i) {
+            const auto k = static_cast<std::size_t>(key_for(posts[i].date) -
+                                                    plan.min_key);
+            score_into(posts[i], slices[k][cursor[k]++]);
+          }
+        }
+      });
+  const auto t3 = std::chrono::steady_clock::now();
+
   post_count_ += posts.size();
+  batch.count_seconds = seconds_between(t0, t1);
+  batch.plan_seconds = seconds_between(t1, t2);
+  batch.scatter_seconds = seconds_between(t2, t3);
+  batch.total_seconds = seconds_between(t0, t3);
+  post_ingest_stats_.merge(batch);
 }
 
 bool QueryService::train_predictor() {

@@ -123,6 +123,26 @@ class QueryService {
     return post_shards_.size();
   }
 
+  /// Operational counters, the Insight-adjacent "how is the service
+  /// doing" view: per-corpus ingest throughput/phase timings + shard
+  /// fan-out. Cheap to call; values are cumulative since construction.
+  struct ServiceStats {
+    IngestStats sessions;
+    IngestStats posts;
+    std::size_t session_shards{0};
+    std::size_t post_shards{0};
+  };
+  [[nodiscard]] ServiceStats stats() const {
+    return {engine_.ingest_stats(), post_ingest_stats_,
+            engine_.shard_count(), post_shards_.size()};
+  }
+  [[nodiscard]] const IngestStats& session_ingest_stats() const {
+    return engine_.ingest_stats();
+  }
+  [[nodiscard]] const IngestStats& post_ingest_stats() const {
+    return post_ingest_stats_;
+  }
+
  private:
   /// A post reduced to what queries need — scored once at ingest.
   struct ScoredPost {
@@ -140,6 +160,7 @@ class QueryService {
   // month_key -> shard, ordered; a single key 0 under kSingleShard.
   std::map<int, PostShard> post_shards_;
   std::size_t post_count_{0};
+  IngestStats post_ingest_stats_;
   nlp::SentimentAnalyzer analyzer_;
   MosPredictor predictor_;
   bool predictor_trained_{false};

@@ -1,5 +1,7 @@
 #include "usaas/signals.h"
 
+#include <cstdio>
+
 #include "core/rng.h"
 #include "nlp/keywords.h"
 #include "nlp/sentiment.h"
@@ -8,6 +10,19 @@
 #include "social/post.h"
 
 namespace usaas::service {
+
+std::string to_string(const IngestStats& stats) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%zu records in %zu batches, %.1f MB moved, %zu shard writes, "
+      "%.0f records/s (count %.3fs, plan %.3fs, scatter %.3fs)",
+      stats.records, stats.batches,
+      static_cast<double>(stats.bytes_moved) / (1024.0 * 1024.0),
+      stats.shards_touched, stats.records_per_second(), stats.count_seconds,
+      stats.plan_seconds, stats.scatter_seconds);
+  return buf;
+}
 
 std::vector<UserSignal> normalize_call(const confsim::CallRecord& call) {
   std::vector<UserSignal> out;

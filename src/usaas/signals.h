@@ -79,6 +79,46 @@ struct SocialSignal {
 /// The normalized union USaaS stores.
 using UserSignal = std::variant<ImplicitSignal, MosSignal, SocialSignal>;
 
+/// Cumulative ingest-side counters for one corpus (sessions or posts),
+/// maintained by the two-pass counted ingest pipeline. Phase timings
+/// cover batch ingest only; the per-record convenience path adds to the
+/// record/byte counters but not the phase clocks.
+struct IngestStats {
+  std::size_t batches{0};
+  std::size_t records{0};
+  /// Bytes copied into shard storage (records + per-record side arrays).
+  std::size_t bytes_moved{0};
+  /// Destination shards written to, summed over batches.
+  std::size_t shards_touched{0};
+  /// Pass 1: per-chunk x per-shard-key counting.
+  double count_seconds{0.0};
+  /// Prefix-sum over counts + pre-reserving the destination slices.
+  double plan_seconds{0.0};
+  /// Pass 2: scoring/partitioning records into their final slots (for
+  /// posts this includes sentiment + keyword scoring, the dominant cost).
+  double scatter_seconds{0.0};
+  double total_seconds{0.0};
+
+  [[nodiscard]] double records_per_second() const {
+    return total_seconds > 0.0
+               ? static_cast<double>(records) / total_seconds
+               : 0.0;
+  }
+  void merge(const IngestStats& other) {
+    batches += other.batches;
+    records += other.records;
+    bytes_moved += other.bytes_moved;
+    shards_touched += other.shards_touched;
+    count_seconds += other.count_seconds;
+    plan_seconds += other.plan_seconds;
+    scatter_seconds += other.scatter_seconds;
+    total_seconds += other.total_seconds;
+  }
+};
+
+/// One-line human-readable summary ("1.2M records, 240 MB moved, ...").
+[[nodiscard]] std::string to_string(const IngestStats& stats);
+
 [[nodiscard]] inline core::Date signal_date(const UserSignal& s) {
   return std::visit([](const auto& v) { return v.date; }, s);
 }

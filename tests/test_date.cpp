@@ -86,6 +86,30 @@ TEST(Date, MonthIndexFrom) {
   EXPECT_EQ(Date(2022, 12, 31).month_index_from(ref), 23);
 }
 
+TEST(Date, MonthKeyIsMonthsSinceYearZero) {
+  EXPECT_EQ(month_key(Date(2022, 1, 5)), 2022 * 12);
+  EXPECT_EQ(month_key(Date(2022, 12, 31)), 2022 * 12 + 11);
+  EXPECT_EQ(month_key(Date(1970, 1, 1)), 1970 * 12);
+}
+
+TEST(Date, MonthKeyBoundaries) {
+  // Consecutive days across a month boundary differ by exactly 1; across a
+  // year boundary too (Dec -> Jan). Same month, different day: equal.
+  EXPECT_EQ(month_key(Date(2022, 2, 1)) - month_key(Date(2022, 1, 31)), 1);
+  EXPECT_EQ(month_key(Date(2022, 1, 1)) - month_key(Date(2021, 12, 31)), 1);
+  EXPECT_EQ(month_key(Date(2022, 7, 1)), month_key(Date(2022, 7, 31)));
+  // Strictly monotone in (year, month): a full sweep never repeats or
+  // reorders — the property shard pruning relies on.
+  int prev = month_key(Date(2020, 12, 15));
+  for (int year = 2021; year <= 2023; ++year) {
+    for (int month = 1; month <= 12; ++month) {
+      const int mk = month_key(Date(year, month, 1));
+      EXPECT_EQ(mk, prev + 1);
+      prev = mk;
+    }
+  }
+}
+
 TEST(Date, ForEachDayCoversInclusiveRange) {
   int count = 0;
   Date last_seen;

@@ -1,0 +1,126 @@
+// DenseKeyCounts + ScatterPlan: the counting/prefix-sum substrate of the
+// two-pass counted ingest pipeline.
+#include "core/flat_index.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace usaas::core {
+namespace {
+
+TEST(DenseKeyCounts, EmptyByDefault) {
+  DenseKeyCounts counts;
+  EXPECT_TRUE(counts.empty());
+  EXPECT_EQ(counts.count(0), 0u);
+  EXPECT_EQ(counts.count(-5), 0u);
+}
+
+TEST(DenseKeyCounts, RebasesDownAndGrowsUp) {
+  DenseKeyCounts counts;
+  counts.add(10);
+  counts.add(7);       // rebase below the first key
+  counts.add(13, 3);   // grow above it
+  counts.add(10);
+  EXPECT_FALSE(counts.empty());
+  EXPECT_EQ(counts.min_key(), 7);
+  EXPECT_EQ(counts.max_key(), 13);
+  EXPECT_EQ(counts.count(7), 1u);
+  EXPECT_EQ(counts.count(10), 2u);
+  EXPECT_EQ(counts.count(13), 3u);
+  EXPECT_EQ(counts.count(11), 0u);  // in range, never added
+  EXPECT_EQ(counts.count(6), 0u);   // below range
+  EXPECT_EQ(counts.count(14), 0u);  // above range
+}
+
+TEST(DenseKeyCounts, NegativeKeys) {
+  DenseKeyCounts counts;
+  counts.add(-3, 2);
+  counts.add(1);
+  EXPECT_EQ(counts.min_key(), -3);
+  EXPECT_EQ(counts.max_key(), 1);
+  EXPECT_EQ(counts.count(-3), 2u);
+  EXPECT_EQ(counts.count(0), 0u);
+  EXPECT_EQ(counts.count(1), 1u);
+}
+
+TEST(ScatterPlan, AllChunksEmpty) {
+  const std::array<DenseKeyCounts, 3> chunks{};
+  const ScatterPlan plan = build_scatter_plan(chunks);
+  EXPECT_EQ(plan.num_keys, 0u);
+  EXPECT_EQ(plan.num_chunks, 3u);
+  EXPECT_TRUE(plan.totals.empty());
+}
+
+TEST(ScatterPlan, OffsetsAreExclusivePrefixSumsPerKey) {
+  // chunk 0: key 5 -> 2, key 6 -> 1;  chunk 1: empty;
+  // chunk 2: key 4 -> 3, key 6 -> 2.
+  std::array<DenseKeyCounts, 3> chunks;
+  chunks[0].add(5, 2);
+  chunks[0].add(6, 1);
+  chunks[2].add(4, 3);
+  chunks[2].add(6, 2);
+  const ScatterPlan plan = build_scatter_plan(chunks);
+  ASSERT_EQ(plan.min_key, 4);
+  ASSERT_EQ(plan.num_keys, 3u);
+  EXPECT_EQ(plan.total(0), 3u);  // key 4
+  EXPECT_EQ(plan.total(1), 2u);  // key 5
+  EXPECT_EQ(plan.total(2), 3u);  // key 6
+
+  // Per key, each chunk's offset is the sum of earlier chunks' counts.
+  const std::vector<std::size_t> c0 = plan.chunk_cursor(0);
+  const std::vector<std::size_t> c1 = plan.chunk_cursor(1);
+  const std::vector<std::size_t> c2 = plan.chunk_cursor(2);
+  EXPECT_EQ(c0, (std::vector<std::size_t>{0, 0, 0}));
+  // key 4's records all live in chunk 2, so earlier chunks contribute 0;
+  // keys 5 and 6 start after chunk 0's 2 and 1 records respectively.
+  EXPECT_EQ(c1, (std::vector<std::size_t>{0, 2, 1}));
+  EXPECT_EQ(c2, (std::vector<std::size_t>{0, 2, 1}));
+}
+
+TEST(ScatterPlan, SlotsTileEachKeysSliceExactly) {
+  // Property: walking chunks in order and claiming cursor slots per key
+  // visits every slot of [0, total) exactly once, in chunk order.
+  std::array<DenseKeyCounts, 4> chunks;
+  const int keys[] = {2, 3, 5};
+  const std::size_t per_chunk_counts[4][3] = {
+      {1, 0, 4}, {0, 0, 0}, {2, 5, 1}, {3, 1, 0}};
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      if (per_chunk_counts[c][k] > 0) {
+        chunks[c].add(keys[k], per_chunk_counts[c][k]);
+      }
+    }
+  }
+  const ScatterPlan plan = build_scatter_plan(chunks);
+  ASSERT_EQ(plan.min_key, 2);
+  ASSERT_EQ(plan.num_keys, 4u);
+  std::vector<std::vector<int>> slot_owner(plan.num_keys);
+  for (std::size_t k = 0; k < plan.num_keys; ++k) {
+    slot_owner[k].assign(plan.total(k), -1);
+  }
+  for (std::size_t c = 0; c < 4; ++c) {
+    std::vector<std::size_t> cursor = plan.chunk_cursor(c);
+    for (std::size_t k = 0; k < 3; ++k) {
+      const auto dense = static_cast<std::size_t>(keys[k] - plan.min_key);
+      for (std::size_t i = 0; i < per_chunk_counts[c][k]; ++i) {
+        const std::size_t slot = cursor[dense]++;
+        ASSERT_LT(slot, slot_owner[dense].size());
+        EXPECT_EQ(slot_owner[dense][slot], -1) << "slot claimed twice";
+        slot_owner[dense][slot] = static_cast<int>(c);
+      }
+    }
+  }
+  for (std::size_t k = 0; k < plan.num_keys; ++k) {
+    int last_chunk = -1;
+    for (const int owner : slot_owner[k]) {
+      EXPECT_NE(owner, -1) << "unclaimed slot";
+      EXPECT_GE(owner, last_chunk) << "chunk order violated";
+      last_chunk = owner;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace usaas::core

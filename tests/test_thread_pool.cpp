@@ -95,6 +95,67 @@ TEST(ParallelFor, ExceptionMessageSurvives) {
   }
 }
 
+TEST(ParallelFor, GrainOverloadCoversFullRangeOnce) {
+  ThreadPool pool{4};
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{1000}}) {
+    std::vector<int> hits(777, 0);
+    parallel_for(&pool, hits.size(), grain,
+                 [&](std::size_t b, std::size_t e) {
+                   for (std::size_t i = b; i < e; ++i) ++hits[i];
+                 });
+    for (const int h : hits) ASSERT_EQ(h, 1) << "grain " << grain;
+  }
+}
+
+TEST(ParallelFor, GrainChunksCarryAtLeastGrainItems) {
+  ThreadPool pool{8};
+  const std::size_t n = 500;
+  const std::size_t grain = 64;
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for(&pool, n, grain, [&](std::size_t b, std::size_t e) {
+    const std::lock_guard<std::mutex> lock{mu};
+    chunks.emplace_back(b, e);
+  });
+  ASSERT_FALSE(chunks.empty());
+  std::size_t covered = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_GE(e - b, grain);
+    covered += e - b;
+  }
+  EXPECT_EQ(covered, n);
+}
+
+TEST(ParallelFor, GrainAtLeastNRunsInline) {
+  // n <= grain collapses to a single chunk on the calling thread — true
+  // whatever the core count or USAAS_PARALLEL_FORCE says.
+  ThreadPool pool{4};
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  std::size_t begin = 99;
+  std::size_t end = 0;
+  parallel_for(&pool, 100, 100, [&](std::size_t b, std::size_t e) {
+    ran_on = std::this_thread::get_id();
+    begin = b;
+    end = e;
+  });
+  EXPECT_EQ(ran_on, caller);
+  EXPECT_EQ(begin, 0u);
+  EXPECT_EQ(end, 100u);
+}
+
+TEST(EffectiveParallelism, BoundsAndNullPool) {
+  EXPECT_EQ(effective_parallelism(nullptr), 1u);
+  EXPECT_GE(hardware_parallelism(), 1u);
+  ThreadPool pool{4};
+  const std::size_t eff = effective_parallelism(&pool);
+  EXPECT_GE(eff, 1u);
+  // Never more than the pool itself, whether or not the hardware cap or
+  // the USAAS_PARALLEL_FORCE override is in effect.
+  EXPECT_LE(eff, pool.size());
+}
+
 TEST(ThreadPool, SubmitRunsTasks) {
   std::atomic<int> ran{0};
   ThreadPool pool{3};
