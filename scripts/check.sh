@@ -2,19 +2,33 @@
 # Tier-1 + sanitizer gate, in the order CI runs it:
 #
 #   1. plain build, full ctest suite;
-#   2. ThreadSanitizer build of the concurrency suites only (pool fan-out,
-#      shard equivalence, two-pass batch ingest), `ctest -L sanitize`.
+#   2. ThreadSanitizer build of the concurrency suites (pool fan-out,
+#      shard equivalence, two-pass batch ingest, streaming ingest + fault
+#      injection), `ctest -L sanitize`;
+#   3. AddressSanitizer build of the streaming/fault-injection suites —
+#      the paths that stage, evict, quarantine and retry buffers are the
+#      ones where a lifetime bug would hide — same `ctest -L sanitize`.
 #
 # The sanitize suites carry USAAS_PARALLEL_FORCE=1 via their ctest
 # ENVIRONMENT property, so parallel_for really fans out across the pool —
 # even on single-core hosts where the oversubscription cap would otherwise
-# run everything inline and TSan would have no races to check.
+# run everything inline and TSan would have no races to check. Every test
+# also carries a ctest TIMEOUT so a deadlock fails the gate instead of
+# hanging it.
 #
 # Usage: scripts/check.sh [jobs]     (default: nproc)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
+
+SANITIZE_TARGETS=(
+  test_thread_pool
+  test_usaas_sharding
+  test_usaas_ingest_equivalence
+  test_usaas_streaming
+  test_fault_injection
+)
 
 echo "==> tier-1: configure + build (${JOBS} jobs)"
 cmake -B build -S . >/dev/null
@@ -25,10 +39,16 @@ ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 echo "==> tsan: configure + build sanitize-labeled test targets"
 cmake -B build-tsan -S . -DUSAAS_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" \
-  --target test_thread_pool test_usaas_sharding test_usaas_ingest_equivalence
+cmake --build build-tsan -j "${JOBS}" --target "${SANITIZE_TARGETS[@]}"
 
 echo "==> tsan: ctest -L sanitize"
 ctest --test-dir build-tsan -L sanitize --output-on-failure -j "${JOBS}"
+
+echo "==> asan: configure + build sanitize-labeled test targets"
+cmake -B build-asan -S . -DUSAAS_SANITIZE=address >/dev/null
+cmake --build build-asan -j "${JOBS}" --target "${SANITIZE_TARGETS[@]}"
+
+echo "==> asan: ctest -L sanitize"
+ctest --test-dir build-asan -L sanitize --output-on-failure -j "${JOBS}"
 
 echo "==> all checks passed"

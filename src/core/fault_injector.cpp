@@ -1,0 +1,102 @@
+#include "core/fault_injector.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace usaas::core {
+
+namespace {
+
+[[nodiscard]] std::optional<double> env_double(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::strtod(v, nullptr);
+}
+
+[[nodiscard]] std::optional<std::uint64_t> env_u64(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::strtoull(v, nullptr, 10);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(Config config)
+    : config_{config}, rng_{config.seed} {}
+
+std::optional<FaultInjector::Config> FaultInjector::config_from_env() {
+  Config config;
+  bool armed = false;
+  if (const auto seed = env_u64("USAAS_FAULT_SEED")) config.seed = *seed;
+  if (const auto n = env_u64("USAAS_FAULT_FAIL_FIRST_FLUSHES")) {
+    config.fail_first_flushes = static_cast<std::size_t>(*n);
+    armed = armed || *n > 0;
+  }
+  if (const auto p = env_double("USAAS_FAULT_FLUSH_FAIL_P")) {
+    config.flush_failure_p = *p;
+    armed = armed || *p > 0.0;
+  }
+  if (const auto p = env_double("USAAS_FAULT_CORRUPT_P")) {
+    config.corrupt_record_p = *p;
+    armed = armed || *p > 0.0;
+  }
+  if (const auto p = env_double("USAAS_FAULT_SLOW_FLUSH_P")) {
+    config.slow_flush_p = *p;
+    armed = armed || *p > 0.0;
+  }
+  if (const auto ms = env_u64("USAAS_FAULT_SLOW_FLUSH_MS")) {
+    config.slow_flush_delay =
+        std::chrono::milliseconds{static_cast<std::int64_t>(*ms)};
+  }
+  if (!armed) return std::nullopt;
+  return config;
+}
+
+bool FaultInjector::fail_this_flush() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  const std::size_t attempt = flush_attempts_seen_++;
+  bool fail = attempt < config_.fail_first_flushes;
+  if (!fail && config_.flush_failure_p > 0.0) {
+    fail = rng_.bernoulli(config_.flush_failure_p);
+  }
+  if (fail) ++flush_failures_;
+  return fail;
+}
+
+std::chrono::milliseconds FaultInjector::flush_delay() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  if (config_.slow_flush_p <= 0.0 ||
+      config_.slow_flush_delay <= std::chrono::milliseconds{0}) {
+    return std::chrono::milliseconds{0};
+  }
+  if (!rng_.bernoulli(config_.slow_flush_p)) {
+    return std::chrono::milliseconds{0};
+  }
+  ++slow_flushes_;
+  return config_.slow_flush_delay;
+}
+
+bool FaultInjector::corrupt_this_record() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  if (config_.corrupt_record_p <= 0.0) return false;
+  const bool corrupt = rng_.bernoulli(config_.corrupt_record_p);
+  if (corrupt) ++corruptions_;
+  return corrupt;
+}
+
+std::size_t FaultInjector::flush_failures_injected() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return flush_failures_;
+}
+
+std::size_t FaultInjector::slow_flushes_injected() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return slow_flushes_;
+}
+
+std::size_t FaultInjector::corruptions_injected() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return corruptions_;
+}
+
+}  // namespace usaas::core

@@ -1,0 +1,91 @@
+// Deterministic fault injection for the streaming ingest path.
+//
+// Real user-signal feeds fail in undramatic, constant ways: a flush to the
+// store times out, a backend has a slow minute, a producer ships a garbage
+// record. The streaming front-end must degrade gracefully through all of
+// them, and the only way to *test* that is to make the faults themselves
+// reproducible. FaultInjector is a seeded decision stream: given the same
+// seed and the same sequence of questions ("does this flush fail?", "is
+// this record corrupt?"), it returns the same answers on every run — so a
+// fault-injection test failure replays exactly, including under TSan/ASan.
+//
+// The injector is configured programmatically (tests) or from the
+// environment (whole-binary chaos runs, e.g. driving a bench or example
+// through a lossy ingest path without recompiling):
+//
+//   USAAS_FAULT_SEED                decision-stream seed (default 1)
+//   USAAS_FAULT_FAIL_FIRST_FLUSHES  fail the first N flush attempts
+//   USAAS_FAULT_FLUSH_FAIL_P        then fail each attempt with prob. p
+//   USAAS_FAULT_CORRUPT_P           corrupt each record with prob. p
+//   USAAS_FAULT_SLOW_FLUSH_P        delay a flush with prob. p
+//   USAAS_FAULT_SLOW_FLUSH_MS       the injected delay, milliseconds
+//
+// config_from_env() returns nullopt unless at least one fault knob is set,
+// so production paths pay nothing when the variables are absent.
+//
+// The injector only *decides*; it never touches domain records (core does
+// not know what a call or a post is). The streaming layer applies the
+// corruption it asks for.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "core/rng.h"
+
+namespace usaas::core {
+
+class FaultInjector {
+ public:
+  struct Config {
+    std::uint64_t seed{1};
+    /// Deterministically fail this many flush attempts before consulting
+    /// the probabilistic knob — the workhorse for retry/backoff tests.
+    std::size_t fail_first_flushes{0};
+    /// After the first `fail_first_flushes`, fail each flush attempt with
+    /// this probability.
+    double flush_failure_p{0.0};
+    /// Corrupt each record offered to corrupt_this_record() with this
+    /// probability.
+    double corrupt_record_p{0.0};
+    /// Delay each flush with this probability, by `slow_flush_delay`.
+    double slow_flush_p{0.0};
+    std::chrono::milliseconds slow_flush_delay{0};
+  };
+
+  explicit FaultInjector(Config config);
+
+  /// Reads the USAAS_FAULT_* environment; nullopt when no fault knob is
+  /// set (seed alone does not arm the injector).
+  [[nodiscard]] static std::optional<Config> config_from_env();
+
+  /// One call per flush attempt, in attempt order. True = the attempt
+  /// must be treated as failed without touching the store.
+  [[nodiscard]] bool fail_this_flush();
+
+  /// One call per flush attempt: the delay to impose before the flush
+  /// body (zero most of the time).
+  [[nodiscard]] std::chrono::milliseconds flush_delay();
+
+  /// One call per record offered to the staging buffer. True = the caller
+  /// should corrupt its copy of the record before validation sees it.
+  [[nodiscard]] bool corrupt_this_record();
+
+  // Cumulative injection counters (thread-safe snapshots).
+  [[nodiscard]] std::size_t flush_failures_injected() const;
+  [[nodiscard]] std::size_t slow_flushes_injected() const;
+  [[nodiscard]] std::size_t corruptions_injected() const;
+
+ private:
+  Config config_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::size_t flush_attempts_seen_{0};
+  std::size_t flush_failures_{0};
+  std::size_t slow_flushes_{0};
+  std::size_t corruptions_{0};
+};
+
+}  // namespace usaas::core

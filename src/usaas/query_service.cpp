@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "core/flat_index.h"
@@ -21,6 +22,27 @@ using core::month_key;
 
 }  // namespace
 
+QueryValidation Query::validate() const {
+  if (first > last) {
+    return {QueryError::kReversedWindow,
+            "window is reversed: first " + first.to_string() + " > last " +
+                last.to_string()};
+  }
+  if (!std::isfinite(metric_lo) || !std::isfinite(metric_hi)) {
+    return {QueryError::kNonFiniteMetricRange,
+            "metric range bound is NaN or infinite"};
+  }
+  if (metric_lo >= metric_hi) {
+    return {QueryError::kEmptyMetricRange,
+            "metric range is empty: lo " + std::to_string(metric_lo) +
+                " >= hi " + std::to_string(metric_hi)};
+  }
+  if (bins == 0) {
+    return {QueryError::kZeroBins, "query requests zero bins"};
+  }
+  return {};
+}
+
 QueryService::QueryService(QueryServiceConfig config)
     : config_{config},
       pool_{config.threads >= 2
@@ -31,12 +53,15 @@ QueryService::QueryService(QueryServiceConfig config)
 }
 
 void QueryService::ingest_calls(std::span<const confsim::CallRecord> calls) {
+  const auto guard = sync_->lock.write();
   engine_.ingest(calls);
   predictor_trained_ = false;  // stale
+  if (!calls.empty()) bump_version();
 }
 
 void QueryService::ingest_posts(std::span<const social::Post> posts) {
   if (posts.empty()) return;
+  const auto guard = sync_->lock.write();
   const auto t0 = std::chrono::steady_clock::now();
   const auto& dict = nlp::KeywordDictionary::outage_dictionary();
   const auto score_into = [&](const social::Post& post, ScoredPost& scored) {
@@ -109,25 +134,58 @@ void QueryService::ingest_posts(std::span<const social::Post> posts) {
   batch.scatter_seconds = seconds_between(t2, t3);
   batch.total_seconds = seconds_between(t0, t3);
   post_ingest_stats_.merge(batch);
+  bump_version();
+}
+
+void QueryService::publish_stream_health(const StreamHealth& health) {
+  const std::lock_guard<std::mutex> lock{sync_->health_mu};
+  sync_->health = health;
+}
+
+QueryService::ServiceStats QueryService::stats() const {
+  ServiceStats out;
+  {
+    const auto guard = sync_->lock.read();
+    out.sessions = engine_.ingest_stats();
+    out.posts = post_ingest_stats_;
+    out.session_shards = engine_.shard_count();
+    out.post_shards = post_shards_.size();
+    out.corpus_version = sync_->version.load(std::memory_order_acquire);
+  }
+  {
+    const std::lock_guard<std::mutex> lock{sync_->health_mu};
+    out.stream = sync_->health;
+  }
+  return out;
 }
 
 bool QueryService::train_predictor() {
+  const auto guard = sync_->lock.write();
   predictor_trained_ = false;
   // Canonical (month, platform, ingest) collection order: the fitted model
   // is bit-identical whichever ShardingPolicy stores the sessions.
   const auto rated = engine_.rated_sessions_canonical();
   if (rated.size() < MosPredictor::kMinRatedSessions) {
     predictor_.reset();
+    bump_version();
     return false;
   }
   predictor_.train(rated);
   predictor_trained_ = true;
+  bump_version();
   return true;
 }
 
 Insight QueryService::run(const Query& query) const {
   Insight insight;
-  if (!query.valid()) return insight;
+  const QueryValidation verdict = query.validate();
+  insight.error = verdict.error;
+  if (!verdict.ok()) return insight;
+
+  // One shared guard across the whole fan-out: the insight is a consistent
+  // snapshot of a flushed corpus prefix, stamped with its version.
+  const auto guard = sync_->lock.read();
+  insight.corpus_version = sync_->version.load(std::memory_order_acquire);
 
   const ShardSelector selector{query.first, query.last, query.platform};
   ParticipantFilter filter;

@@ -16,15 +16,18 @@
 // queries no longer re-run the analyzer over the whole corpus.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/date.h"
+#include "core/rw_lock.h"
 #include "core/thread_pool.h"
 #include "nlp/keywords.h"
 #include "nlp/sentiment.h"
@@ -34,6 +37,34 @@
 #include "usaas/signals.h"
 
 namespace usaas::service {
+
+/// Why a query was rejected (Query::validate). Stable enum so callers can
+/// branch on the reason; the message carries the offending values.
+enum class QueryError {
+  kNone,
+  kReversedWindow,        // first > last
+  kNonFiniteMetricRange,  // metric_lo / metric_hi is NaN or infinite
+  kEmptyMetricRange,      // metric_lo >= metric_hi
+  kZeroBins,              // bins == 0
+};
+
+[[nodiscard]] constexpr const char* to_string(QueryError e) {
+  switch (e) {
+    case QueryError::kNone: return "none";
+    case QueryError::kReversedWindow: return "reversed-window";
+    case QueryError::kNonFiniteMetricRange: return "non-finite-metric-range";
+    case QueryError::kEmptyMetricRange: return "empty-metric-range";
+    case QueryError::kZeroBins: return "zero-bins";
+  }
+  return "unknown";
+}
+
+/// Structured validation verdict: reason enum + human-readable message.
+struct QueryValidation {
+  QueryError error{QueryError::kNone};
+  std::string message;
+  [[nodiscard]] bool ok() const { return error == QueryError::kNone; }
+};
 
 /// A USaaS query: what the stakeholder wants to know.
 struct Query {
@@ -54,11 +85,12 @@ struct Query {
   std::size_t bins{10};
 
   /// A query is answerable when the window is ordered, the metric range is
-  /// non-empty and it requests at least one bin. run() returns an empty
-  /// Insight for anything else instead of NaN/degenerate aggregates.
-  [[nodiscard]] bool valid() const {
-    return !(first > last) && metric_lo < metric_hi && bins > 0;
-  }
+  /// finite and non-empty, and it requests at least one bin. run() returns
+  /// an empty Insight (carrying the error) for anything else instead of
+  /// NaN/degenerate aggregates. The first failing check wins, in the
+  /// QueryError declaration order.
+  [[nodiscard]] QueryValidation validate() const;
+  [[nodiscard]] bool valid() const { return validate().ok(); }
 };
 
 /// The aggregated answer.
@@ -80,6 +112,13 @@ struct Insight {
   std::size_t outage_mention_days{0};
   /// Days whose outage-keyword count exceeded the window mean by 3x.
   std::vector<core::Date> outage_alert_days;
+  /// Why the query was rejected (kNone for an answered query).
+  QueryError error{QueryError::kNone};
+  /// Corpus version this insight was computed against: the number of
+  /// successful mutating operations (ingest batches / flushes / retrains)
+  /// the snapshot includes. Monotone; two insights with equal versions saw
+  /// identical corpora.
+  std::uint64_t corpus_version{0};
 };
 
 struct QueryServiceConfig {
@@ -91,10 +130,21 @@ struct QueryServiceConfig {
   std::size_t threads{0};
 };
 
+/// Thread safety: mutating operations (ingest_calls / ingest_posts /
+/// train_predictor) take the corpus RW lock exclusively; run(), stats()
+/// and the counters take it shared. Queries may therefore run concurrently
+/// with live streaming ingest (see StreamIngestor) and always observe a
+/// consistent flushed prefix of the corpus — never a torn shard. Every
+/// successful mutation bumps the corpus version; run() stamps the version
+/// it answered against into the Insight. Moving a QueryService transfers
+/// its lock; it is only safe while no other thread is using the service.
 class QueryService {
  public:
   QueryService() : QueryService(QueryServiceConfig{}) {}
   explicit QueryService(QueryServiceConfig config);
+
+  QueryService(QueryService&&) = default;
+  QueryService& operator=(QueryService&&) = default;
 
   /// Ingests implicit + explicit corpora. May be called repeatedly.
   /// Posts are sentiment- and outage-keyword-scored here, in parallel.
@@ -106,40 +156,71 @@ class QueryService {
   /// partial one — when fewer than 30 rated sessions exist (including
   /// before any ingest). Safe to call repeatedly.
   bool train_predictor();
-  [[nodiscard]] bool predictor_trained() const { return predictor_trained_; }
+  [[nodiscard]] bool predictor_trained() const {
+    const auto guard = sync_->lock.read();
+    return predictor_trained_;
+  }
 
   /// Answers a query from the ingested signals. Invalid queries (see
   /// Query::valid) yield an empty Insight.
   [[nodiscard]] Insight run(const Query& query) const;
 
   [[nodiscard]] std::size_t ingested_sessions() const {
+    const auto guard = sync_->lock.read();
     return engine_.session_count();
   }
-  [[nodiscard]] std::size_t ingested_posts() const { return post_count_; }
+  [[nodiscard]] std::size_t ingested_posts() const {
+    const auto guard = sync_->lock.read();
+    return post_count_;
+  }
   [[nodiscard]] std::size_t session_shards() const {
+    const auto guard = sync_->lock.read();
     return engine_.shard_count();
   }
   [[nodiscard]] std::size_t post_shards() const {
+    const auto guard = sync_->lock.read();
     return post_shards_.size();
   }
 
+  /// Number of successful mutating operations absorbed so far. Monotone;
+  /// safe to poll from any thread.
+  [[nodiscard]] std::uint64_t corpus_version() const {
+    return sync_->version.load(std::memory_order_acquire);
+  }
+
+  /// Streaming front-end health push-down: StreamIngestor publishes its
+  /// counters here after every push/flush so stats() reports staleness
+  /// (records accepted but not yet queryable) alongside throughput.
+  void publish_stream_health(const StreamHealth& health);
+
   /// Operational counters, the Insight-adjacent "how is the service
   /// doing" view: per-corpus ingest throughput/phase timings + shard
-  /// fan-out. Cheap to call; values are cumulative since construction.
+  /// fan-out + streaming health. Cheap to call; values are cumulative
+  /// since construction.
   struct ServiceStats {
     IngestStats sessions;
     IngestStats posts;
     std::size_t session_shards{0};
     std::size_t post_shards{0};
+    std::uint64_t corpus_version{0};
+    /// Last health published by the streaming front-end (all-zero when no
+    /// StreamIngestor feeds this service).
+    StreamHealth stream;
+    /// Records accepted by the streaming front-end but not yet visible to
+    /// queries — the staleness of the snapshot queries answer from.
+    [[nodiscard]] std::uint64_t staleness_records() const {
+      return stream.staged;
+    }
   };
-  [[nodiscard]] ServiceStats stats() const {
-    return {engine_.ingest_stats(), post_ingest_stats_,
-            engine_.shard_count(), post_shards_.size()};
-  }
-  [[nodiscard]] const IngestStats& session_ingest_stats() const {
+  [[nodiscard]] ServiceStats stats() const;
+  /// IngestStats copies (not references: ingest may mutate them while the
+  /// caller reads — snapshots are taken under the corpus read lock).
+  [[nodiscard]] IngestStats session_ingest_stats() const {
+    const auto guard = sync_->lock.read();
     return engine_.ingest_stats();
   }
-  [[nodiscard]] const IngestStats& post_ingest_stats() const {
+  [[nodiscard]] IngestStats post_ingest_stats() const {
+    const auto guard = sync_->lock.read();
     return post_ingest_stats_;
   }
 
@@ -154,7 +235,21 @@ class QueryService {
     std::vector<ScoredPost> posts;
   };
 
+  /// Concurrency state, heap-held so the service stays movable (a move
+  /// transfers the lock; see the class comment for when that is safe).
+  struct Sync {
+    core::RwLock lock;
+    std::atomic<std::uint64_t> version{0};
+    std::mutex health_mu;
+    StreamHealth health;
+  };
+
+  void bump_version() {
+    sync_->version.fetch_add(1, std::memory_order_release);
+  }
+
   QueryServiceConfig config_;
+  std::unique_ptr<Sync> sync_{std::make_unique<Sync>()};
   std::unique_ptr<core::ThreadPool> pool_;  // set iff config_.threads >= 2
   CorrelationEngine engine_;
   // month_key -> shard, ordered; a single key 0 under kSingleShard.

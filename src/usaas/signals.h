@@ -119,6 +119,28 @@ struct IngestStats {
 /// One-line human-readable summary ("1.2M records, 240 MB moved, ...").
 [[nodiscard]] std::string to_string(const IngestStats& stats);
 
+/// Health of the streaming front-end, published by StreamIngestor into
+/// QueryService::stats() so operators see staleness and degradation next
+/// to the throughput counters. Units are *pushed records* (one CallRecord
+/// or one Post; a call's participants flush together). `staged` is the
+/// staleness figure: records accepted by the stream but not yet visible
+/// to queries — queries keep answering from the last flushed snapshot.
+struct StreamHealth {
+  std::uint64_t accepted{0};        // pushed past validation into staging
+  std::uint64_t staged{0};          // currently buffered, not yet flushed
+  std::uint64_t flushed{0};         // reached the shard stores
+  std::uint64_t quarantined{0};     // poison records dead-lettered
+  std::uint64_t dropped{0};         // evicted by BackpressurePolicy::kDropOldest
+  std::uint64_t rejected{0};        // refused by kReject / exhausted kBlock
+  std::uint64_t flushes{0};         // successful flushes
+  std::uint64_t flush_failures{0};  // failed flush attempts (injected/real)
+  std::uint64_t flush_retries{0};   // re-attempts after a failed attempt
+  /// True while the last flush round failed outright (retries exhausted):
+  /// staged records are stuck and queries serve an increasingly stale
+  /// snapshot until a later flush succeeds.
+  bool degraded{false};
+};
+
 [[nodiscard]] inline core::Date signal_date(const UserSignal& s) {
   return std::visit([](const auto& v) { return v.date; }, s);
 }

@@ -1,0 +1,343 @@
+#include "usaas/stream_ingestor.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+namespace usaas::service {
+
+namespace {
+
+/// The feed's plausible civil-time envelope. Anything outside is a
+/// producer bug (unset field, clock garbage), not a signal — including the
+/// default-constructed 1970-01-01 of a record whose date was never set.
+[[nodiscard]] bool date_in_range(const core::Date& d) {
+  return d.year() >= 2000 && d.year() <= 2099;
+}
+
+[[nodiscard]] bool any_nan(const netsim::MetricAggregate& a) {
+  return std::isnan(a.mean) || std::isnan(a.median) || std::isnan(a.p95);
+}
+
+[[nodiscard]] bool any_negative(const netsim::MetricAggregate& a) {
+  return a.mean < 0.0 || a.median < 0.0 || a.p95 < 0.0;
+}
+
+template <typename Fn>
+void for_each_aggregate(const netsim::SessionNetworkSummary& net, Fn&& fn) {
+  fn(net.latency_ms);
+  fn(net.loss_pct);
+  fn(net.jitter_ms);
+  fn(net.bandwidth_mbps);
+}
+
+[[nodiscard]] bool whitespace_only(const std::string& text) {
+  return std::all_of(text.begin(), text.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+}
+
+}  // namespace
+
+std::optional<QuarantineReason> validate_record(
+    const confsim::CallRecord& call) {
+  if (!date_in_range(call.start.date)) {
+    return QuarantineReason::kDateOutOfRange;
+  }
+  // Reason priority is the enum order: one full pass per reason so a
+  // record broken several ways lands on the highest-priority one.
+  bool nan = false;
+  bool negative = false;
+  bool engagement_high = false;
+  bool mos_bad = false;
+  for (const confsim::ParticipantRecord& rec : call.participants) {
+    for_each_aggregate(rec.network, [&](const netsim::MetricAggregate& a) {
+      nan = nan || any_nan(a);
+      negative = negative || any_negative(a);
+    });
+    for (const double pct : {rec.presence_pct, rec.cam_on_pct,
+                             rec.mic_on_pct}) {
+      nan = nan || std::isnan(pct);
+      negative = negative || pct < 0.0;
+      engagement_high = engagement_high || pct > 100.0;
+    }
+    if (rec.mos) {
+      const double score = rec.mos->score();
+      nan = nan || std::isnan(score);
+      mos_bad = mos_bad || score < 1.0 || score > 5.0;
+    }
+  }
+  if (nan) return QuarantineReason::kNanMetric;
+  if (negative) return QuarantineReason::kNegativeMetric;
+  if (engagement_high) return QuarantineReason::kEngagementOutOfRange;
+  if (mos_bad) return QuarantineReason::kMosOutOfRange;
+  return std::nullopt;
+}
+
+std::optional<QuarantineReason> validate_record(const social::Post& post) {
+  if (!date_in_range(post.date)) return QuarantineReason::kDateOutOfRange;
+  if (whitespace_only(post.title) && whitespace_only(post.body)) {
+    return QuarantineReason::kEmptyPostText;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Injected corruption, cycling through every poison shape the validator
+/// knows so fault runs exercise each quarantine reason.
+void corrupt_call(confsim::CallRecord& call, std::uint64_t kind) {
+  switch (kind % 4) {
+    case 0:
+      if (!call.participants.empty()) {
+        call.participants.front().network.latency_ms.mean =
+            std::numeric_limits<double>::quiet_NaN();
+      }
+      return;
+    case 1:
+      if (!call.participants.empty()) {
+        call.participants.front().network.loss_pct.mean = -5.0;
+      }
+      return;
+    case 2:
+      call.start.date = core::Date{};  // 1970: out of range
+      return;
+    default:
+      if (!call.participants.empty()) {
+        call.participants.front().presence_pct = 250.0;
+      }
+      return;
+  }
+}
+
+void corrupt_post(social::Post& post, std::uint64_t kind) {
+  if (kind % 2 == 0) {
+    post.title.clear();
+    post.body = "   ";
+  } else {
+    post.date = core::Date{};  // 1970: out of range
+  }
+}
+
+}  // namespace
+
+StreamIngestor::StreamIngestor(QueryService& service,
+                               StreamIngestorConfig config,
+                               core::FaultInjector* faults)
+    : service_{service}, config_{config}, faults_{faults} {
+  config_.call_capacity = std::max<std::size_t>(1, config_.call_capacity);
+  config_.post_capacity = std::max<std::size_t>(1, config_.post_capacity);
+  config_.call_flush_watermark = std::clamp<std::size_t>(
+      config_.call_flush_watermark, 1, config_.call_capacity);
+  config_.post_flush_watermark = std::clamp<std::size_t>(
+      config_.post_flush_watermark, 1, config_.post_capacity);
+  config_.max_flush_attempts =
+      std::max<std::size_t>(1, config_.max_flush_attempts);
+  config_.max_block_rounds = std::max<std::size_t>(1, config_.max_block_rounds);
+}
+
+PushOutcome StreamIngestor::push(const confsim::CallRecord& call) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  const confsim::CallRecord* rec = &call;
+  confsim::CallRecord corrupted;
+  if (faults_ != nullptr && faults_->corrupt_this_record()) {
+    corrupted = call;
+    corrupt_call(corrupted, corruption_cursor_++);
+    rec = &corrupted;
+  }
+  if (const auto reason = validate_record(*rec)) {
+    quarantine_record({QuarantinedRecord::Corpus::kCall, *reason,
+                       rec->start.date, rec->call_id});
+    publish_health();
+    return PushOutcome::kQuarantined;
+  }
+  if (staged_calls_.size() >= config_.call_capacity &&
+      !make_room(Corpus::kCalls)) {
+    ++stats_.health.rejected;
+    publish_health();
+    return PushOutcome::kRejected;
+  }
+  staged_calls_.push_back(*rec);
+  ++stats_.health.accepted;
+  if (staged_calls_.size() >= config_.call_flush_watermark) {
+    flush_corpus(Corpus::kCalls);  // failure leaves records staged
+  }
+  publish_health();
+  return PushOutcome::kAccepted;
+}
+
+PushOutcome StreamIngestor::push(const social::Post& post) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  const social::Post* rec = &post;
+  social::Post corrupted;
+  if (faults_ != nullptr && faults_->corrupt_this_record()) {
+    corrupted = post;
+    corrupt_post(corrupted, corruption_cursor_++);
+    rec = &corrupted;
+  }
+  if (const auto reason = validate_record(*rec)) {
+    quarantine_record(
+        {QuarantinedRecord::Corpus::kPost, *reason, rec->date, rec->id});
+    publish_health();
+    return PushOutcome::kQuarantined;
+  }
+  if (staged_posts_.size() >= config_.post_capacity &&
+      !make_room(Corpus::kPosts)) {
+    ++stats_.health.rejected;
+    publish_health();
+    return PushOutcome::kRejected;
+  }
+  staged_posts_.push_back(*rec);
+  ++stats_.health.accepted;
+  if (staged_posts_.size() >= config_.post_flush_watermark) {
+    flush_corpus(Corpus::kPosts);
+  }
+  publish_health();
+  return PushOutcome::kAccepted;
+}
+
+std::size_t StreamIngestor::push_calls(
+    std::span<const confsim::CallRecord> calls) {
+  std::size_t accepted = 0;
+  for (const confsim::CallRecord& call : calls) {
+    const PushOutcome outcome = push(call);
+    if (outcome == PushOutcome::kRejected) break;
+    if (outcome == PushOutcome::kAccepted) ++accepted;
+  }
+  return accepted;
+}
+
+std::size_t StreamIngestor::push_posts(std::span<const social::Post> posts) {
+  std::size_t accepted = 0;
+  for (const social::Post& post : posts) {
+    const PushOutcome outcome = push(post);
+    if (outcome == PushOutcome::kRejected) break;
+    if (outcome == PushOutcome::kAccepted) ++accepted;
+  }
+  return accepted;
+}
+
+bool StreamIngestor::flush() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  const bool calls_ok = flush_corpus(Corpus::kCalls);
+  const bool posts_ok = flush_corpus(Corpus::kPosts);
+  publish_health();
+  return calls_ok && posts_ok;
+}
+
+bool StreamIngestor::make_room(Corpus corpus) {
+  switch (config_.backpressure) {
+    case BackpressurePolicy::kReject:
+      return false;
+    case BackpressurePolicy::kDropOldest:
+      if (corpus == Corpus::kCalls) {
+        staged_calls_.pop_front();
+      } else {
+        staged_posts_.pop_front();
+      }
+      ++stats_.health.dropped;
+      return true;
+    case BackpressurePolicy::kBlock: {
+      ++stats_.blocked_pushes;
+      for (std::size_t round = 0; round < config_.max_block_rounds; ++round) {
+        if (flush_corpus(corpus)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool StreamIngestor::flush_corpus(Corpus corpus) {
+  const bool calls = corpus == Corpus::kCalls;
+  const std::size_t staged =
+      calls ? staged_calls_.size() : staged_posts_.size();
+  bool& degraded = calls ? degraded_calls_ : degraded_posts_;
+  if (staged == 0) {
+    degraded = false;
+    return true;
+  }
+  for (std::size_t attempt = 0; attempt < config_.max_flush_attempts;
+       ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff between attempts, capped.
+      ++stats_.health.flush_retries;
+      ++stats_.backoff_waits;
+      const auto backoff =
+          std::min(config_.max_backoff,
+                   std::chrono::milliseconds{config_.retry_backoff.count()
+                                             << std::min<std::size_t>(
+                                                    attempt - 1, 20)});
+      if (backoff > std::chrono::milliseconds{0}) {
+        std::this_thread::sleep_for(backoff);
+      }
+    }
+    if (faults_ != nullptr) {
+      const auto delay = faults_->flush_delay();
+      if (delay > std::chrono::milliseconds{0}) {
+        std::this_thread::sleep_for(delay);
+      }
+      if (faults_->fail_this_flush()) {
+        ++stats_.health.flush_failures;
+        continue;
+      }
+    }
+    if (calls) {
+      const std::vector<confsim::CallRecord> batch{staged_calls_.begin(),
+                                                   staged_calls_.end()};
+      service_.ingest_calls(batch);
+      staged_calls_.clear();
+    } else {
+      const std::vector<social::Post> batch{staged_posts_.begin(),
+                                            staged_posts_.end()};
+      service_.ingest_posts(batch);
+      staged_posts_.clear();
+    }
+    stats_.health.flushed += staged;
+    ++stats_.health.flushes;
+    degraded = false;
+    return true;
+  }
+  degraded = true;
+  return false;
+}
+
+void StreamIngestor::quarantine_record(QuarantinedRecord record) {
+  ++stats_.health.quarantined;
+  ++stats_.quarantined_by_reason[static_cast<std::size_t>(record.reason)];
+  if (dead_letter_.size() >= config_.quarantine_capacity) {
+    dead_letter_.pop_front();
+    ++stats_.quarantine_evicted;
+  }
+  dead_letter_.push_back(record);
+}
+
+StreamHealth StreamIngestor::health_snapshot() const {
+  StreamHealth health = stats_.health;
+  health.staged = staged_calls_.size() + staged_posts_.size();
+  health.degraded = degraded_calls_ || degraded_posts_;
+  return health;
+}
+
+void StreamIngestor::publish_health() {
+  service_.publish_stream_health(health_snapshot());
+}
+
+StreamIngestor::Stats StreamIngestor::stats() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  Stats out = stats_;
+  out.health = health_snapshot();
+  out.staged_calls = staged_calls_.size();
+  out.staged_posts = staged_posts_.size();
+  return out;
+}
+
+std::vector<StreamIngestor::QuarantinedRecord> StreamIngestor::quarantine()
+    const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return {dead_letter_.begin(), dead_letter_.end()};
+}
+
+}  // namespace usaas::service

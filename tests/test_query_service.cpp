@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "confsim/dataset.h"
 #include "social/subreddit.h"
 
@@ -160,6 +163,77 @@ TEST_F(QueryServiceTest, InvalidQueriesYieldEmptyInsight) {
     EXPECT_FALSE(insight.predicted_mean_mos.has_value());
     EXPECT_TRUE(insight.outage_alert_days.empty());
   }
+}
+
+// ---- Structured validation: each rejection reason has a stable enum and
+// a message carrying the offending values, and run() stamps the reason
+// into the Insight. One test per QueryError. ----
+
+TEST_F(QueryServiceTest, ValidQueryReportsNoError) {
+  const Query q = default_query();
+  const QueryValidation verdict = q.validate();
+  EXPECT_TRUE(verdict.ok());
+  EXPECT_EQ(verdict.error, QueryError::kNone);
+  EXPECT_TRUE(verdict.message.empty());
+  EXPECT_EQ(service().run(q).error, QueryError::kNone);
+}
+
+TEST_F(QueryServiceTest, ReversedWindowRejectedWithReason) {
+  auto q = default_query();
+  q.first = Date(2022, 6, 30);
+  q.last = Date(2022, 1, 1);
+  const QueryValidation verdict = q.validate();
+  EXPECT_EQ(verdict.error, QueryError::kReversedWindow);
+  EXPECT_NE(verdict.message.find("2022-06-30"), std::string::npos);
+  EXPECT_NE(verdict.message.find("2022-01-01"), std::string::npos);
+  EXPECT_STREQ(to_string(verdict.error), "reversed-window");
+  EXPECT_EQ(service().run(q).error, QueryError::kReversedWindow);
+}
+
+TEST_F(QueryServiceTest, NonFiniteMetricRangeRejectedWithReason) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (const double bad : {std::nan(""), kInf, -kInf}) {
+    auto lo_bad = default_query();
+    lo_bad.metric_lo = bad;
+    EXPECT_EQ(lo_bad.validate().error, QueryError::kNonFiniteMetricRange);
+    auto hi_bad = default_query();
+    hi_bad.metric_hi = bad;
+    const QueryValidation verdict = hi_bad.validate();
+    EXPECT_EQ(verdict.error, QueryError::kNonFiniteMetricRange);
+    EXPECT_FALSE(verdict.message.empty());
+    EXPECT_EQ(service().run(hi_bad).error,
+              QueryError::kNonFiniteMetricRange);
+  }
+}
+
+TEST_F(QueryServiceTest, EmptyMetricRangeRejectedWithReason) {
+  auto q = default_query();
+  q.metric_lo = 100.0;
+  q.metric_hi = 100.0;  // lo == hi is empty too
+  const QueryValidation verdict = q.validate();
+  EXPECT_EQ(verdict.error, QueryError::kEmptyMetricRange);
+  EXPECT_NE(verdict.message.find("100.0"), std::string::npos);
+  EXPECT_EQ(service().run(q).error, QueryError::kEmptyMetricRange);
+}
+
+TEST_F(QueryServiceTest, ZeroBinsRejectedWithReason) {
+  auto q = default_query();
+  q.bins = 0;
+  const QueryValidation verdict = q.validate();
+  EXPECT_EQ(verdict.error, QueryError::kZeroBins);
+  EXPECT_FALSE(verdict.message.empty());
+  EXPECT_EQ(service().run(q).error, QueryError::kZeroBins);
+}
+
+TEST_F(QueryServiceTest, FirstFailingCheckWins) {
+  // A query broken several ways reports the highest-priority reason, in
+  // QueryError declaration order.
+  auto q = default_query();
+  q.first = Date(2022, 6, 30);
+  q.last = Date(2022, 1, 1);
+  q.metric_lo = std::nan("");
+  q.bins = 0;
+  EXPECT_EQ(q.validate().error, QueryError::kReversedWindow);
 }
 
 // ---- Predictor lifecycle regressions: train_predictor() must be safe
