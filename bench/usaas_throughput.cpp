@@ -9,7 +9,10 @@
 //     pipeline at 1/2/8 worker threads (with per-phase timings);
 //   * query throughput over a realistic operator battery (full-population,
 //     per-platform, per-access-network, date-windowed queries);
-//   * the headline query speedup: the sharded engine vs the legacy path.
+//   * the headline query speedup: the sharded engine vs the legacy path;
+//   * the two-tier query path: cold batteries answered by merging
+//     per-shard summaries (no record rescans) and warm batteries served
+//     from the versioned insight cache, against the same scan battery.
 // Every column records the *actual* pool size, the effective parallelism
 // (pool capped at the machine's core count), and whether the config is
 // oversubscribed — thread columns on a 1-core host measure queueing
@@ -21,9 +24,11 @@
 //
 // Build & run:   ./build/bench/usaas_throughput
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -322,8 +327,10 @@ struct IngestColumn {
   std::size_t effective_parallelism{1};
   bool oversubscribed{false};
   bool two_pass{false};
+  bool summaries{false};         // per-shard summaries folded at ingest
   bool streaming{false};         // record-at-a-time through StreamIngestor
   std::size_t flush_watermark{0};  // streaming only
+  std::size_t chunk_records{0};    // push_many span size (0 = per-record)
   service::IngestStats session_stats;
   service::IngestStats post_stats;
 };
@@ -341,6 +348,9 @@ void print_ingest(const IngestColumn& col) {
   if (col.streaming) {
     std::printf("  [watermark %zu]", col.flush_watermark);
   }
+  if (col.chunk_records > 0) {
+    std::printf("  [chunks of %zu]", col.chunk_records);
+  }
   std::printf("\n");
   if (col.two_pass) {
     std::printf("        sessions: %s\n",
@@ -354,6 +364,7 @@ void json_ingest_phases(std::ofstream& json, const service::IngestStats& s) {
   json << "{\"count_s\": " << s.count_seconds
        << ", \"plan_s\": " << s.plan_seconds
        << ", \"scatter_s\": " << s.scatter_seconds
+       << ", \"summarize_s\": " << s.summarize_seconds
        << ", \"mb_moved\": "
        << static_cast<double>(s.bytes_moved) / (1024.0 * 1024.0)
        << ", \"shard_writes\": " << s.shards_touched << "}";
@@ -413,11 +424,21 @@ int main() {
     ingest_columns.push_back(col);
   }
 
+  // Scan-path config: insight cache and shard summaries off, so the
+  // "sharded" columns keep measuring the raw scan engine the earlier PRs
+  // measured (the two-tier columns below measure the default config).
+  const auto scan_config = [](std::size_t threads) {
+    service::QueryServiceConfig cfg;
+    cfg.sharding = service::ShardingPolicy::kMonthPlatform;
+    cfg.threads = threads;
+    cfg.insight_cache_entries = 0;
+    cfg.shard_summaries = false;
+    return cfg;
+  };
+
   // ---- New: two-pass counted batch ingest at 1/2/8 threads ----------
   for (const std::size_t threads : thread_counts) {
-    auto svc = std::make_unique<service::QueryService>(
-        service::QueryServiceConfig{service::ShardingPolicy::kMonthPlatform,
-                                    threads});
+    auto svc = std::make_unique<service::QueryService>(scan_config(threads));
     IngestColumn col;
     col.name = "sharded 2-pass " + std::to_string(threads) + "t";
     col.pool_threads = threads;
@@ -445,9 +466,7 @@ int main() {
   // validation + per-flush locking overhead (posts are not streamed here:
   // the calls corpus dominates and keeps the column comparable).
   for (const std::size_t threads : thread_counts) {
-    service::QueryService svc{
-        service::QueryServiceConfig{service::ShardingPolicy::kMonthPlatform,
-                                    threads}};
+    service::QueryService svc{scan_config(threads)};
     service::StreamIngestorConfig scfg;
     scfg.call_capacity = 8192;
     scfg.call_flush_watermark = 4096;
@@ -474,6 +493,44 @@ int main() {
     ingest_columns.push_back(col);
   }
 
+  // ---- Streaming push_many: span pushes through the same front-end.
+  // One lock acquisition + one health publish per chunk instead of per
+  // record; flush slicing (and therefore every query result) is identical
+  // to the per-record columns above.
+  constexpr std::size_t kPushManyChunk = 1024;
+  for (const std::size_t threads : thread_counts) {
+    service::QueryService svc{scan_config(threads)};
+    service::StreamIngestorConfig scfg;
+    scfg.call_capacity = 8192;
+    scfg.call_flush_watermark = 4096;
+    service::StreamIngestor ingestor{svc, scfg};
+    IngestColumn col;
+    col.name = "streaming push-many " + std::to_string(threads) + "t";
+    col.pool_threads = threads;
+    col.effective_parallelism = std::min(threads, hw);
+    col.oversubscribed = threads > hw;
+    col.streaming = true;
+    col.flush_watermark = scfg.call_flush_watermark;
+    col.chunk_records = kPushManyChunk;
+    const std::span<const confsim::CallRecord> span{calls};
+    t0 = Clock::now();
+    for (std::size_t i = 0; i < span.size(); i += kPushManyChunk) {
+      ingestor.push_many(span.subspan(
+          i, std::min(kPushManyChunk, span.size() - i)));
+    }
+    ingestor.flush();
+    col.call_seconds = seconds_since(t0);
+    col.post_seconds = -1.0;
+    col.sessions_per_sec = static_cast<double>(sessions) / col.call_seconds;
+    if (svc.ingested_sessions() != sessions) {
+      std::fprintf(stderr, "FATAL: push_many ingest lost records "
+                           "(%zu vs %zu)\n",
+                   svc.ingested_sessions(), sessions);
+      return 1;
+    }
+    ingest_columns.push_back(col);
+  }
+
   for (const IngestColumn& col : ingest_columns) print_ingest(col);
 
   const double ingest_speedup_1t =
@@ -487,6 +544,11 @@ int main() {
   std::printf("ingest, streaming 1t vs one-shot batch 1t: %.2fx "
               "(staging + validation + per-flush lock overhead)\n",
               streaming_share_1t);
+  const double push_many_gain_1t =
+      ingest_columns[8].sessions_per_sec / ingest_columns[5].sessions_per_sec;
+  std::printf("ingest, streaming push_many 1t vs per-record push 1t: %.2fx "
+              "(lock + health-publish amortization)\n",
+              push_many_gain_1t);
   std::printf("\n");
 
   // Legacy baseline: seed layout + seed query algorithm, one thread.
@@ -540,6 +602,138 @@ int main() {
               "legacy path: %.1fx%s\n", speedup,
               hw < 8 ? "  (algorithmic only: fewer than 8 cores)" : "");
 
+  // ---- The two-tier query path (default config) ----------------------
+  // Tier 2 first: a *cold* battery on a summary-enabled service merges
+  // O(shards) precomputed accumulators per query instead of rescanning
+  // O(sessions) records. Tier 1 on top: a *warm* battery re-runs the same
+  // dashboards and is served from the versioned insight cache. Both are
+  // compared against the scan-path "sharded" columns above.
+  std::printf("\n== two-tier query path (insight cache + shard summaries) "
+              "==\n");
+  // Bound peak memory: the 2t/8t scan services are no longer needed (the
+  // 1t one stays as the rescan reference for the equivalence guard).
+  services[2].reset();
+  services[1].reset();
+
+  struct TierResult {
+    QueryResult cold;
+    QueryResult warm;
+    double cache_hit_rate{0.0};
+    std::size_t summary_bytes{0};
+    std::uint64_t shards_from_summary{0};
+    std::uint64_t shards_scanned{0};
+  };
+  std::vector<TierResult> tier_results;
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    const std::size_t threads = thread_counts[i];
+    // The *default* QueryServiceConfig: cache + summaries on.
+    service::QueryServiceConfig cfg;
+    cfg.sharding = service::ShardingPolicy::kMonthPlatform;
+    cfg.threads = threads;
+    auto svc = std::make_unique<service::QueryService>(cfg);
+    IngestColumn col;
+    col.name = "summarized 2-pass " + std::to_string(threads) + "t";
+    col.pool_threads = threads;
+    col.effective_parallelism = std::min(threads, hw);
+    col.oversubscribed = threads > hw;
+    col.two_pass = true;
+    col.summaries = true;
+    t0 = Clock::now();
+    svc->ingest_calls(calls);
+    col.call_seconds = seconds_since(t0);
+    t0 = Clock::now();
+    svc->ingest_posts(posts);
+    col.post_seconds = seconds_since(t0);
+    svc->train_predictor();
+    col.sessions_per_sec = static_cast<double>(sessions) / col.call_seconds;
+    col.posts_per_sec = static_cast<double>(posts.size()) / col.post_seconds;
+    col.session_stats = svc->session_ingest_stats();
+    col.post_stats = svc->post_ingest_stats();
+    print_ingest(col);
+    ingest_columns.push_back(col);
+
+    // Equivalence guard: summary-merged insights must agree with the scan
+    // reference (exact session counts, curves within the 1e-9 budget).
+    for (const auto& q : queries) {
+      const auto fast = svc->run(q);
+      const auto slow = services[0]->run(q);
+      if (fast.sessions != slow.sessions) {
+        std::fprintf(stderr, "FATAL: summary/scan session-count mismatch "
+                             "(%zu vs %zu)\n",
+                     fast.sessions, slow.sessions);
+        return 1;
+      }
+      for (std::size_t c = 0; c < fast.engagement.size(); ++c) {
+        const auto& fp = fast.engagement[c].points;
+        const auto& sp = slow.engagement[c].points;
+        if (fp.size() != sp.size()) {
+          std::fprintf(stderr, "FATAL: summary/scan curve shape mismatch\n");
+          return 1;
+        }
+        for (std::size_t p = 0; p < fp.size(); ++p) {
+          const double tol = 1e-9 * std::max(1.0, std::fabs(sp[p].engagement));
+          if (fp[p].sessions != sp[p].sessions ||
+              std::fabs(fp[p].engagement - sp[p].engagement) > tol) {
+            std::fprintf(stderr,
+                         "FATAL: summary/scan curve divergence beyond 1e-9\n");
+            return 1;
+          }
+        }
+      }
+    }
+
+    TierResult tier;
+    // Cold: the first battery at this corpus version — every query is a
+    // cache miss answered by merging shard summaries.
+    tier.cold = time_batteries(1, [&] {
+      std::size_t acc = 0;
+      for (const auto& q : queries) acc += svc->run(q).sessions;
+      return acc;
+    });
+    // Warm: the same dashboards again — all hits.
+    tier.warm = time_batteries(10, [&] {
+      std::size_t acc = 0;
+      for (const auto& q : queries) acc += svc->run(q).sessions;
+      return acc;
+    });
+    const auto stats = svc->stats();
+    const std::uint64_t probes =
+        stats.insight_cache.hits + stats.insight_cache.misses;
+    tier.cache_hit_rate =
+        probes > 0 ? static_cast<double>(stats.insight_cache.hits) /
+                         static_cast<double>(probes)
+                   : 0.0;
+    tier.summary_bytes = stats.summary_bytes;
+    tier.shards_from_summary = stats.fanout.shards_from_summary;
+    tier.shards_scanned = stats.fanout.shards_scanned;
+    std::printf("query   cold (summary-merge) %zut: %8.4f s/battery  "
+                "(%7.2f q/s)\n",
+                threads, tier.cold.battery_seconds,
+                tier.cold.queries_per_sec);
+    std::printf("query   warm (insight cache) %zut: %8.4f s/battery  "
+                "(%7.2f q/s)  [hit rate %.3f]\n",
+                threads, tier.warm.battery_seconds,
+                tier.warm.queries_per_sec, tier.cache_hit_rate);
+    tier_results.push_back(tier);
+  }
+
+  const double cold_speedup = tier_results.back().cold.queries_per_sec /
+                              query_results.back().queries_per_sec;
+  const double warm_speedup = tier_results.back().warm.queries_per_sec /
+                              query_results.back().queries_per_sec;
+  std::printf("\nquery, cold summary-merge vs sharded scan (8t config): "
+              "%.1fx\n", cold_speedup);
+  std::printf("query, warm insight cache vs sharded scan (8t config): "
+              "%.1fx\n", warm_speedup);
+  std::printf("summary memory: %.1f MB across %llu summary-answered + %llu "
+              "scanned shard visits\n",
+              static_cast<double>(tier_results.back().summary_bytes) /
+                  (1024.0 * 1024.0),
+              static_cast<unsigned long long>(
+                  tier_results.back().shards_from_summary),
+              static_cast<unsigned long long>(
+                  tier_results.back().shards_scanned));
+
   std::ofstream json{json_path};
   if (!json) {
     std::fprintf(stderr, "FATAL: cannot open %s for writing\n",
@@ -571,9 +765,13 @@ int main() {
          << ", \"effective_parallelism\": " << col.effective_parallelism
          << ", \"oversubscribed\": "
          << (col.oversubscribed ? "true" : "false")
-         << ", \"streaming\": " << (col.streaming ? "true" : "false");
+         << ", \"streaming\": " << (col.streaming ? "true" : "false")
+         << ", \"summaries\": " << (col.summaries ? "true" : "false");
     if (col.streaming) {
       json << ", \"flush_watermark\": " << col.flush_watermark;
+    }
+    if (col.chunk_records > 0) {
+      json << ", \"chunk_records\": " << col.chunk_records;
     }
     if (col.two_pass) {
       json << ", \"session_phases\": ";
@@ -588,6 +786,8 @@ int main() {
        << ingest_speedup_1t << ",\n"
        << "  \"streaming_1t_share_of_batch_1t\": " << streaming_share_1t
        << ",\n"
+       << "  \"streaming_push_many_gain_1t\": " << push_many_gain_1t
+       << ",\n"
        << "  \"query\": {\n"
        << "    \"legacy_flat_1t\": {\"battery_seconds\": "
        << legacy_result.battery_seconds << ", \"queries_per_sec\": "
@@ -600,12 +800,44 @@ int main() {
          << ", \"pool_threads\": " << thread_counts[i]
          << ", \"effective_parallelism\": " << std::min(thread_counts[i], hw)
          << ", \"oversubscribed\": "
-         << (thread_counts[i] > hw ? "true" : "false") << "}"
+         << (thread_counts[i] > hw ? "true" : "false") << "},\n";
+  }
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    const TierResult& tier = tier_results[i];
+    json << "    \"cache_cold_" << thread_counts[i]
+         << "t\": {\"battery_seconds\": " << tier.cold.battery_seconds
+         << ", \"queries_per_sec\": " << tier.cold.queries_per_sec
+         << ", \"pool_threads\": " << thread_counts[i]
+         << ", \"effective_parallelism\": " << std::min(thread_counts[i], hw)
+         << ", \"oversubscribed\": "
+         << (thread_counts[i] > hw ? "true" : "false")
+         << ", \"summaries\": true, \"reps\": 1},\n";
+    json << "    \"cache_warm_" << thread_counts[i]
+         << "t\": {\"battery_seconds\": " << tier.warm.battery_seconds
+         << ", \"queries_per_sec\": " << tier.warm.queries_per_sec
+         << ", \"pool_threads\": " << thread_counts[i]
+         << ", \"effective_parallelism\": " << std::min(thread_counts[i], hw)
+         << ", \"oversubscribed\": "
+         << (thread_counts[i] > hw ? "true" : "false")
+         << ", \"cache_hit_rate\": " << tier.cache_hit_rate
+         << ", \"reps\": 10}"
          << (i + 1 < thread_counts.size() ? "," : "") << "\n";
   }
   json << "  },\n"
        << "  \"query_speedup_sharded_8t_config_vs_legacy\": " << speedup
        << ",\n"
+       << "  \"query_speedup_summary_cold_vs_sharded\": " << cold_speedup
+       << ",\n"
+       << "  \"query_speedup_cache_warm_vs_sharded\": " << warm_speedup
+       << ",\n"
+       << "  \"cache_hit_rate\": " << tier_results.back().cache_hit_rate
+       << ",\n"
+       << "  \"summary_bytes\": " << tier_results.back().summary_bytes
+       << ",\n"
+       << "  \"fanout\": {\"shards_from_summary\": "
+       << tier_results.back().shards_from_summary
+       << ", \"shards_scanned\": " << tier_results.back().shards_scanned
+       << "},\n"
        << "  \"notes\": \"Legacy baseline is the seed's path (flat "
           "single-shard store, per-record ingest, sentiment re-scored over "
           "the whole post corpus per query). Sharded engines use the "
@@ -621,7 +853,19 @@ int main() {
           "watermark flushes through the same two-pass pipeline) and "
           "measure the sustained single-producer rate including that "
           "overhead; posts are not streamed in those columns "
-          "(post_seconds absent).\"\n"
+          "(post_seconds absent). streaming_push_many columns push the "
+          "same stream in spans of chunk_records through push_many (one "
+          "lock + one health publish per span; identical flush slicing "
+          "and results). sharded_* query columns measure the raw scan "
+          "engine (cache and summaries disabled). cache_cold_* batteries "
+          "run each dashboard once on the default config: every query is "
+          "a cache miss answered by merging per-shard summaries (reps: 1, "
+          "so treat cold numbers as single-shot measurements). "
+          "cache_warm_* batteries re-run the same dashboards 10x and are "
+          "served from the versioned insight cache; cache_hit_rate is "
+          "cumulative over cold+warm probes. Summary-merged results are "
+          "verified against the scan path in-process (exact session "
+          "counts, curves within 1e-9) before timing.\"\n"
        << "}\n";
   json.close();
   std::printf("wrote %s\n", json_path.c_str());

@@ -4,7 +4,7 @@
 #   1. plain build, full ctest suite;
 #   2. ThreadSanitizer build of the concurrency suites (pool fan-out,
 #      shard equivalence, two-pass batch ingest, streaming ingest + fault
-#      injection), `ctest -L sanitize`;
+#      injection, insight cache + shard summaries), `ctest -L sanitize`;
 #   3. AddressSanitizer build of the streaming/fault-injection suites —
 #      the paths that stage, evict, quarantine and retry buffers are the
 #      ones where a lifetime bug would hide — same `ctest -L sanitize`.
@@ -27,6 +27,7 @@ SANITIZE_TARGETS=(
   test_usaas_sharding
   test_usaas_ingest_equivalence
   test_usaas_streaming
+  test_usaas_insight_cache
   test_fault_injection
 )
 

@@ -1,0 +1,23 @@
+#include "core/fingerprint.h"
+
+#include <cstring>
+
+namespace usaas::core {
+
+Fingerprint& Fingerprint::mix(std::string_view s) {
+  mix(static_cast<std::uint64_t>(s.size()));
+  std::uint64_t word = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= s.size(); i += 8) {
+    std::memcpy(&word, s.data() + i, 8);
+    mix(word);
+  }
+  if (i < s.size()) {
+    word = 0;
+    std::memcpy(&word, s.data() + i, s.size() - i);
+    mix(word);
+  }
+  return *this;
+}
+
+}  // namespace usaas::core

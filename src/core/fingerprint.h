@@ -1,0 +1,48 @@
+// Deterministic 64-bit fingerprinting for cache keys.
+//
+// The insight cache keys on a canonical encoding of a query plus the
+// corpus version; the hash must be stable across runs (no seeding, no
+// std::hash implementation-defined behavior) and must agree with the
+// key's operator== — in particular -0.0 and +0.0 compare equal, so they
+// must fingerprint equal too.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace usaas::core {
+
+/// Accumulates words into a 64-bit digest with splitmix64-style mixing.
+/// Order-sensitive: mix(a).mix(b) != mix(b).mix(a) in general.
+class Fingerprint {
+ public:
+  Fingerprint& mix(std::uint64_t v) {
+    state_ = mix64(state_ ^ mix64(v));
+    return *this;
+  }
+  Fingerprint& mix_signed(std::int64_t v) {
+    return mix(static_cast<std::uint64_t>(v));
+  }
+  /// Canonicalizes -0.0 to +0.0 so values that compare equal hash equal.
+  /// (NaNs are the caller's problem: a NaN key never equals itself.)
+  Fingerprint& mix(double v) {
+    if (v == 0.0) v = 0.0;  // collapses -0.0
+    return mix(std::bit_cast<std::uint64_t>(v));
+  }
+  Fingerprint& mix(std::string_view s);
+
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+ private:
+  [[nodiscard]] static std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  std::uint64_t state_{0x9e3779b97f4a7c15ull};
+};
+
+}  // namespace usaas::core

@@ -1,0 +1,88 @@
+// A bounded least-recently-used cache with hit/miss/eviction accounting.
+//
+// The insight cache (QueryService) is the primary user: repeated operator
+// dashboards re-run identical queries, so a small LRU keyed on (canonical
+// query fingerprint, corpus version) turns them into O(1) lookups. The
+// container is deliberately unsynchronized — callers serialize access
+// (QueryService guards it with its own mutex so lookups stay cheap under
+// the corpus read lock).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace usaas::core {
+
+/// Bounded LRU map. `capacity() == 0` disables storage: find() always
+/// misses and insert() is a no-op, so callers can keep one code path.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_{capacity} {}
+
+  /// Returns the cached value (promoting it to most-recently-used) or
+  /// nullptr. The pointer is valid until the next non-const call.
+  [[nodiscard]] const Value* find(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return &it->second->value;
+  }
+
+  /// Inserts or replaces; the new/updated entry becomes most recent.
+  /// `bytes` is the caller's estimate of the value's footprint, summed
+  /// into bytes() for observability (it does not bound the cache).
+  void insert(const Key& key, Value value, std::size_t bytes = 0) {
+    if (capacity_ == 0) return;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      bytes_ -= it->second->bytes;
+      it->second->value = std::move(value);
+      it->second->bytes = bytes;
+      bytes_ += bytes;
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    if (entries_.size() >= capacity_) {
+      const Entry& oldest = entries_.back();
+      bytes_ -= oldest.bytes;
+      index_.erase(oldest.key);
+      entries_.pop_back();
+      ++evictions_;
+    }
+    entries_.push_front(Entry{key, std::move(value), bytes});
+    index_[key] = entries_.begin();
+    bytes_ += bytes;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+    std::size_t bytes{0};
+  };
+
+  std::size_t capacity_;
+  std::size_t bytes_{0};
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+  std::uint64_t evictions_{0};
+  std::list<Entry> entries_;  // front = most recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index_;
+};
+
+}  // namespace usaas::core

@@ -26,6 +26,9 @@ enum class AccessTechnology {
   kLeoSatellite,
 };
 
+/// Number of AccessTechnology enumerators (per-access bucketed storage).
+inline constexpr int kNumAccessTechnologies = 7;
+
 [[nodiscard]] const char* to_string(AccessTechnology t);
 
 /// Distribution parameters for per-session baseline conditions on one

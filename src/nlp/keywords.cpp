@@ -35,12 +35,20 @@ const KeywordDictionary& KeywordDictionary::outage_dictionary() {
 }
 
 std::size_t KeywordDictionary::count_occurrences(std::string_view text) const {
-  const auto words = tokenize_words(text);
+  std::string bigram;
+  return count_occurrences(tokenize(text), bigram);
+}
+
+std::size_t KeywordDictionary::count_occurrences(std::span<const Token> tokens,
+                                                 std::string& bigram) const {
   std::size_t hits = 0;
-  for (std::size_t i = 0; i < words.size(); ++i) {
-    if (unigrams_.contains(words[i])) ++hits;
-    if (i + 1 < words.size()) {
-      if (bigrams_.contains(words[i] + " " + words[i + 1])) ++hits;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (unigrams_.contains(tokens[i].text)) ++hits;
+    if (i + 1 < tokens.size()) {
+      bigram.assign(tokens[i].text);
+      bigram.push_back(' ');
+      bigram.append(tokens[i + 1].text);
+      if (bigrams_.contains(bigram)) ++hits;
     }
   }
   return hits;

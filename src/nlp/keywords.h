@@ -7,10 +7,13 @@
 // lowercase terms (uni- or bigrams) with containment and counting queries.
 #pragma once
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
+
+#include "nlp/tokenizer.h"
 
 namespace usaas::nlp {
 
@@ -30,6 +33,11 @@ class KeywordDictionary {
   /// Number of dictionary-term occurrences in the text (Fig 6 counts
   /// day-wise keyword occurrences, not just matching threads).
   [[nodiscard]] std::size_t count_occurrences(std::string_view text) const;
+
+  /// Same count over pre-tokenized text; `bigram` is a reusable probe
+  /// buffer so the word-pair lookup allocates nothing at steady state.
+  [[nodiscard]] std::size_t count_occurrences(std::span<const Token> tokens,
+                                              std::string& bigram) const;
 
   /// The matched terms (deduplicated, in dictionary order of discovery).
   [[nodiscard]] std::vector<std::string> matched_terms(

@@ -12,7 +12,11 @@ SentimentAnalyzer::SentimentAnalyzer(const Lexicon& lexicon,
     : lexicon_{&lexicon}, config_{config} {}
 
 SentimentScores SentimentAnalyzer::score(std::string_view text) const {
-  const auto tokens = tokenize(text);
+  return score(tokenize(text), text);
+}
+
+SentimentScores SentimentAnalyzer::score(std::span<const Token> tokens,
+                                         std::string_view text) const {
   double pos_mass = 0.0;
   double neg_mass = 0.0;
 

@@ -9,9 +9,11 @@
 // to a (positive, negative, neutral) simplex.
 #pragma once
 
+#include <span>
 #include <string_view>
 
 #include "nlp/lexicon.h"
+#include "nlp/tokenizer.h"
 
 namespace usaas::nlp {
 
@@ -57,6 +59,13 @@ class SentimentAnalyzer {
 
   /// Scores a text into the (pos, neg, neu) simplex.
   [[nodiscard]] SentimentScores score(std::string_view text) const;
+
+  /// Same scoring over pre-tokenized text — `tokens` must be the
+  /// tokenize() output for `text` (still needed for the exclamation /
+  /// shouting cues). The allocation-free path for ingest loops that hold
+  /// a TokenScratch.
+  [[nodiscard]] SentimentScores score(std::span<const Token> tokens,
+                                      std::string_view text) const;
 
  private:
   const Lexicon* lexicon_;  // non-owning; builtin() outlives everything

@@ -23,36 +23,59 @@ bool is_word_char(unsigned char c) {
   return std::isalnum(c) != 0;
 }
 
-}  // namespace
-
-std::vector<Token> tokenize(std::string_view text) {
-  std::vector<Token> out;
-  std::string current;
-  std::size_t position = 0;
-  auto flush = [&] {
-    // Strip leading/trailing apostrophes left by quoting.
-    while (!current.empty() && current.front() == '\'') current.erase(0, 1);
-    while (!current.empty() && current.back() == '\'') current.pop_back();
-    if (!current.empty()) {
-      out.push_back({to_lower(current), position++});
-      current.clear();
-    } else {
-      current.clear();
-    }
+// Shared scanner behind tokenize / tokenize_into: emits each raw (not yet
+// lowercased) token as a substring view of `text`. Tokens are always
+// contiguous runs of the input: word characters extend the current run,
+// and an apostrophe only joins when a run is open and a word character
+// follows — so no leading or trailing apostrophe ever enters a token.
+template <typename Emit>
+void for_each_raw_token(std::string_view text, Emit&& emit) {
+  std::size_t start = 0;
+  std::size_t len = 0;
+  const auto flush = [&] {
+    if (len > 0) emit(text.substr(start, len));
+    len = 0;
   };
   for (std::size_t i = 0; i < text.size(); ++i) {
     const auto c = static_cast<unsigned char>(text[i]);
     if (is_word_char(c)) {
-      current.push_back(static_cast<char>(c));
-    } else if (c == '\'' && !current.empty() && i + 1 < text.size() &&
+      if (len == 0) start = i;
+      ++len;
+    } else if (c == '\'' && len > 0 && i + 1 < text.size() &&
                is_word_char(static_cast<unsigned char>(text[i + 1]))) {
-      current.push_back('\'');  // intra-word apostrophe: isn't, don't
+      ++len;  // intra-word apostrophe: isn't, don't
     } else {
       flush();
     }
   }
   flush();
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view text) {
+  std::vector<Token> out;
+  for_each_raw_token(text, [&](std::string_view raw) {
+    out.push_back({to_lower(raw), out.size()});
+  });
   return out;
+}
+
+std::span<const Token> tokenize_into(std::string_view text,
+                                     TokenScratch& scratch) {
+  std::size_t n = 0;
+  for_each_raw_token(text, [&](std::string_view raw) {
+    if (scratch.tokens.size() <= n) scratch.tokens.emplace_back();
+    Token& t = scratch.tokens[n];  // surplus tokens keep their capacity
+    t.position = n;
+    t.text.resize(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      t.text[i] = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(raw[i])));
+    }
+    ++n;
+  });
+  return {scratch.tokens.data(), n};
 }
 
 std::vector<std::string> tokenize_words(std::string_view text) {

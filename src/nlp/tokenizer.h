@@ -6,6 +6,7 @@
 // intra-word apostrophes and numbers), optional stop-word removal.
 #pragma once
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,6 +20,18 @@ struct Token {
   std::size_t position{0};
 };
 
+/// Reusable buffers for the allocation-free tokenize_into path. Ingest
+/// hot loops keep one per worker: token strings and the bigram probe
+/// retain their capacity across texts, so steady-state scoring allocates
+/// nothing.
+struct TokenScratch {
+  std::vector<Token> tokens;
+  /// Callers may assemble the input here (e.g. title + ' ' + body).
+  std::string text;
+  /// Bigram probe buffer for KeywordDictionary::count_occurrences.
+  std::string bigram;
+};
+
 /// Lowercases ASCII; leaves other bytes untouched.
 [[nodiscard]] std::string to_lower(std::string_view s);
 
@@ -27,6 +40,13 @@ struct Token {
 /// separator. Trailing punctuation marks exclamation density, which the
 /// caller can query separately via count_exclamations.
 [[nodiscard]] std::vector<Token> tokenize(std::string_view text);
+
+/// tokenize() into reused storage: identical output, but token strings
+/// reuse the scratch's capacity instead of allocating per call. The
+/// returned span aliases `scratch.tokens` and stays valid until the next
+/// call with the same scratch. `text` may alias `scratch.text`.
+[[nodiscard]] std::span<const Token> tokenize_into(std::string_view text,
+                                                   TokenScratch& scratch);
 
 /// Convenience: tokens as plain strings.
 [[nodiscard]] std::vector<std::string> tokenize_words(std::string_view text);

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 #include <utility>
 
 #include "core/correlation.h"
@@ -64,6 +65,7 @@ CorrelationEngine::SessionShard& CorrelationEngine::shard_for_key(int key) {
     SessionShard shard;
     shard.month_key = (key - platform_idx) / confsim::kNumPlatforms;
     shard.platform = static_cast<confsim::Platform>(platform_idx);
+    if (summary_cfg_) shard.summary = ShardSummary{*summary_cfg_};
     shards_.push_back(std::move(shard));
   }
   return shards_[it->second];
@@ -78,9 +80,11 @@ void CorrelationEngine::append(SessionShard& shard, const core::Date& date,
                                const confsim::ParticipantRecord& rec) {
   shard.dates.push_back(date);
   shard.records.push_back(rec);
+  shard.summary.fold(rec);
 }
 
 void CorrelationEngine::ingest(const confsim::CallRecord& call) {
+  predicted_fresh_ = false;
   for (const auto& p : call.participants) {
     append(shard_for(call.start.date, p.platform), call.start.date, p);
   }
@@ -96,6 +100,7 @@ void CorrelationEngine::ingest(std::span<const confsim::CallRecord> calls) {
     ingest(calls.front());
     return;
   }
+  predicted_fresh_ = false;
   const auto t0 = std::chrono::steady_clock::now();
 
   // Contiguous in-order call chunks. Fan-out is capped by the pool's
@@ -145,6 +150,7 @@ void CorrelationEngine::ingest(std::span<const confsim::CallRecord> calls) {
   struct Slice {
     confsim::ParticipantRecord* records{nullptr};
     core::Date* dates{nullptr};
+    SessionShard* shard{nullptr};  // stable: shards_ stops growing above
   };
   std::vector<Slice> slices(plan.num_keys);
   for (std::size_t k = 0; k < plan.num_keys; ++k) {
@@ -153,7 +159,8 @@ void CorrelationEngine::ingest(std::span<const confsim::CallRecord> calls) {
     const std::size_t base = shard.records.size();
     shard.records.resize(base + plan.totals[k]);
     shard.dates.resize(base + plan.totals[k]);
-    slices[k] = {shard.records.data() + base, shard.dates.data() + base};
+    slices[k] = {shard.records.data() + base, shard.dates.data() + base,
+                 &shard};
     batch.records += plan.totals[k];
     ++batch.shards_touched;
   }
@@ -180,13 +187,31 @@ void CorrelationEngine::ingest(std::span<const confsim::CallRecord> calls) {
   });
   const auto t3 = std::chrono::steady_clock::now();
 
+  // ---- Pass 3 (summaries on): fold each shard's new slice into its
+  // summary, in slot order == sequential ingest order. Shards are
+  // disjoint, so the fold parallelizes over keys with no synchronization.
+  if (summary_cfg_) {
+    core::parallel_for(
+        pool_, plan.num_keys, [&](std::size_t kb, std::size_t ke) {
+          for (std::size_t k = kb; k < ke; ++k) {
+            if (plan.totals[k] == 0) continue;
+            ShardSummary& summary = slices[k].shard->summary;
+            for (std::size_t i = 0; i < plan.totals[k]; ++i) {
+              summary.fold(slices[k].records[i]);
+            }
+          }
+        });
+  }
+  const auto t4 = std::chrono::steady_clock::now();
+
   batch.bytes_moved =
       batch.records *
       (sizeof(confsim::ParticipantRecord) + sizeof(core::Date));
   batch.count_seconds = seconds_between(t0, t1);
   batch.plan_seconds = seconds_between(t1, t2);
   batch.scatter_seconds = seconds_between(t2, t3);
-  batch.total_seconds = seconds_between(t0, t3);
+  batch.summarize_seconds = seconds_between(t3, t4);
+  batch.total_seconds = seconds_between(t0, t4);
   ingest_stats_.merge(batch);
 }
 
@@ -194,6 +219,36 @@ std::size_t CorrelationEngine::session_count() const {
   std::size_t n = 0;
   for (const SessionShard& s : shards_) n += s.records.size();
   return n;
+}
+
+void CorrelationEngine::configure_summaries(SummaryConfig config) {
+  if (session_count() != 0) {
+    throw std::logic_error(
+        "CorrelationEngine::configure_summaries: corpus is not empty; "
+        "summaries folded from a partial corpus would under-count");
+  }
+  // Validates the layout eagerly (Binner1D/Grid2D reject bad extents).
+  [[maybe_unused]] const ShardSummary probe{config};
+  summary_cfg_ = std::move(config);
+  for (SessionShard& shard : shards_) shard.summary = ShardSummary{*summary_cfg_};
+}
+
+std::size_t CorrelationEngine::summary_memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const SessionShard& s : shards_) bytes += s.summary.memory_bytes();
+  return bytes;
+}
+
+void CorrelationEngine::refresh_predicted_tallies(
+    const std::function<double(const confsim::ParticipantRecord&)>&
+        predictor) {
+  if (!summary_cfg_) return;
+  core::parallel_for(pool_, shards_.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      shards_[i].summary.refresh_predicted(shards_[i].records, predictor);
+    }
+  });
+  predicted_fresh_ = static_cast<bool>(predictor);
 }
 
 std::vector<CorrelationEngine::SelectedShard> CorrelationEngine::select_shards(
@@ -215,10 +270,19 @@ std::vector<CorrelationEngine::SelectedShard> CorrelationEngine::select_shards(
       if (selector.last && shard.month_key > month_key(*selector.last)) {
         continue;
       }
-      // Only window-boundary months still need per-record date checks.
-      sel.check_dates =
-          (selector.first && month_key(*selector.first) == shard.month_key) ||
-          (selector.last && month_key(*selector.last) == shard.month_key);
+      // Only window-boundary months whose boundary actually cuts into the
+      // month still need per-record date checks: a window starting on the
+      // 1st (or ending on the last day) covers its boundary month whole,
+      // so the shard stays summary-answerable.
+      const bool first_cuts =
+          selector.first && month_key(*selector.first) == shard.month_key &&
+          selector.first->day() > 1;
+      const bool last_cuts =
+          selector.last && month_key(*selector.last) == shard.month_key &&
+          selector.last->day() <
+              core::Date::days_in_month(selector.last->year(),
+                                        selector.last->month());
+      sel.check_dates = first_cuts || last_cuts;
     }
     out.push_back(sel);
   }
@@ -234,6 +298,7 @@ bool CorrelationEngine::record_matches(const SelectedShard& sel,
     if (selector.last && *selector.last < date) return false;
   }
   if (sel.check_platform && rec.platform != *selector.platform) return false;
+  if (selector.access && rec.access != *selector.access) return false;
   return true;
 }
 
@@ -241,6 +306,34 @@ EngagementCurve CorrelationEngine::engagement_curve(
     const SweepSpec& spec, EngagementMetric engagement,
     const ParticipantFilter& filter, const ShardSelector& selector) const {
   const auto selected = select_shards(selector);
+  // Summary fast path: the query shape must match a precomputed axis
+  // exactly (metric/lo/hi/bins, mean aggregate, no confounder filter, no
+  // opaque row filter) — then each shard whose pruning is fully
+  // discharged at the shard level merges its summary binner instead of
+  // rescanning records. Boundary shards still scan.
+  std::optional<std::size_t> axis;
+  if (summary_cfg_ && !filter && !spec.control_others &&
+      spec.aggregate == SessionAggregate::kMean) {
+    const SummaryAxis wanted{spec.metric, spec.lo, spec.hi, spec.bins};
+    for (std::size_t a = 0; a < summary_cfg_->axes.size(); ++a) {
+      if (summary_cfg_->axes[a] == wanted) {
+        axis = a;
+        break;
+      }
+    }
+  }
+  std::vector<char> use_summary(selected.size(), 0);
+  std::uint64_t n_summary = 0;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const SelectedShard& sel = selected[i];
+    use_summary[i] = axis && !sel.check_dates && !sel.check_platform &&
+                     sel.shard->summary.enabled();
+    n_summary += use_summary[i] ? 1 : 0;
+  }
+  fanout_.from_summary.fetch_add(n_summary, std::memory_order_relaxed);
+  fanout_.scanned.fetch_add(selected.size() - n_summary,
+                            std::memory_order_relaxed);
+
   std::vector<core::Binner1D> partials;
   partials.reserve(selected.size());
   for (std::size_t i = 0; i < selected.size(); ++i) {
@@ -250,6 +343,11 @@ EngagementCurve CorrelationEngine::engagement_curve(
     for (std::size_t i = b; i < e; ++i) {
       const SelectedShard& sel = selected[i];
       core::Binner1D& binner = partials[i];
+      if (use_summary[i]) {
+        sel.shard->summary.add_curve_to(binner, *axis, engagement,
+                                        selector.access);
+        continue;
+      }
       const auto& records = sel.shard->records;
       for (std::size_t r = 0; r < records.size(); ++r) {
         const auto& rec = records[r];
@@ -323,6 +421,21 @@ core::Grid2D CorrelationEngine::compounding_grid(EngagementMetric engagement,
                                                  double loss_hi_pct,
                                                  std::size_t loss_bins) const {
   const auto selected = select_shards({});
+  // Summary fast path: when the requested grid layout matches the
+  // configured one, merge each shard's precomputed grid (same per-record
+  // add sequence as the scan — bit-identical).
+  const SummaryGrid wanted{latency_hi_ms, lat_bins, loss_hi_pct, loss_bins};
+  const bool summary_capable =
+      summary_cfg_.has_value() && wanted == summary_cfg_->grid;
+  std::vector<char> use_summary(selected.size(), 0);
+  std::uint64_t n_summary = 0;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    use_summary[i] = summary_capable && selected[i].shard->summary.enabled();
+    n_summary += use_summary[i] ? 1 : 0;
+  }
+  fanout_.from_summary.fetch_add(n_summary, std::memory_order_relaxed);
+  fanout_.scanned.fetch_add(selected.size() - n_summary,
+                            std::memory_order_relaxed);
   std::vector<core::Grid2D> partials;
   partials.reserve(selected.size());
   for (std::size_t i = 0; i < selected.size(); ++i) {
@@ -332,6 +445,10 @@ core::Grid2D CorrelationEngine::compounding_grid(EngagementMetric engagement,
   core::parallel_for(pool_, selected.size(), [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
       core::Grid2D& grid = partials[i];
+      if (use_summary[i] &&
+          selected[i].shard->summary.add_grid_to(grid, engagement, wanted)) {
+        continue;
+      }
       for (const auto& rec : selected[i].shard->records) {
         const netsim::NetworkConditions c = rec.network.mean_conditions();
         grid.add(c.latency.ms(), c.loss.percent(),
@@ -354,9 +471,30 @@ CorrelationEngine::mos_correlation(EngagementMetric engagement,
     std::vector<double> mos;
   };
   std::vector<Rated> partials(selected.size());
+  // Summary fast path: each summary keeps its shard's rated sessions as
+  // (engagement, MOS) samples in ingest order — the gather below replays
+  // the scan's exact sequence, so downstream stats are bit-identical.
+  const auto eng_idx = static_cast<std::size_t>(engagement);
+  std::vector<char> use_summary(selected.size(), 0);
+  std::uint64_t n_summary = 0;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    use_summary[i] = summary_cfg_.has_value() &&
+                     selected[i].shard->summary.enabled();
+    n_summary += use_summary[i] ? 1 : 0;
+  }
+  fanout_.from_summary.fetch_add(n_summary, std::memory_order_relaxed);
+  fanout_.scanned.fetch_add(selected.size() - n_summary,
+                            std::memory_order_relaxed);
   core::parallel_for(pool_, selected.size(), [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
       Rated& part = partials[i];
+      if (use_summary[i]) {
+        for (const RatedSample& s : selected[i].shard->summary.rated()) {
+          part.eng.push_back(s.engagement[eng_idx]);
+          part.mos.push_back(s.mos);
+        }
+        continue;
+      }
       for (const auto& rec : selected[i].shard->records) {
         if (!rec.mos) continue;
         part.eng.push_back(engagement_value(rec, engagement));
@@ -409,11 +547,39 @@ CorrelationEngine::Tally CorrelationEngine::tally(
     const std::function<double(const confsim::ParticipantRecord&)>& predictor)
     const {
   const auto selected = select_shards(selector);
+  // Summary fast path: counts and MOS sums live pre-accumulated per shard
+  // (whole-shard and per-access buckets, both in ingest order — identical
+  // add sequence to the scan). Predicted sums are only usable while
+  // they're fresh for the caller's predictor (refresh_predicted_tallies).
+  const bool summary_capable =
+      summary_cfg_.has_value() && !filter && (!predictor || predicted_fresh_);
+  std::vector<char> use_summary(selected.size(), 0);
+  std::uint64_t n_summary = 0;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const SelectedShard& sel = selected[i];
+    use_summary[i] = summary_capable && !sel.check_dates &&
+                     !sel.check_platform && sel.shard->summary.enabled();
+    n_summary += use_summary[i] ? 1 : 0;
+  }
+  fanout_.from_summary.fetch_add(n_summary, std::memory_order_relaxed);
+  fanout_.scanned.fetch_add(selected.size() - n_summary,
+                            std::memory_order_relaxed);
   std::vector<Tally> partials(selected.size());
   core::parallel_for(pool_, selected.size(), [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
       const SelectedShard& sel = selected[i];
       Tally& part = partials[i];
+      if (use_summary[i]) {
+        const SummaryTally& st = sel.shard->summary.tally(selector.access);
+        part.sessions += st.sessions;
+        part.rated += st.rated;
+        part.observed_mos_sum += st.observed_mos_sum;
+        if (predictor) {
+          part.predicted_mos_sum += st.predicted_mos_sum;
+          part.predicted += st.predicted;
+        }
+        continue;
+      }
       const auto& records = sel.shard->records;
       for (std::size_t r = 0; r < records.size(); ++r) {
         const auto& rec = records[r];

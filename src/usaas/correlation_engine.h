@@ -23,6 +23,8 @@
 // the flat layout as the sequential reference path for equivalence tests.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
@@ -34,6 +36,7 @@
 #include "core/histogram.h"
 #include "core/thread_pool.h"
 #include "netsim/conditions.h"
+#include "usaas/shard_summary.h"
 #include "usaas/signals.h"
 
 namespace usaas::service {
@@ -94,10 +97,22 @@ enum class ShardingPolicy {
 /// unset field means "no restriction". Pruning never changes results —
 /// the same predicate is re-applied per record where a shard straddles a
 /// window boundary (or under kSingleShard, where no pruning happens).
+/// `access` is a pure per-record predicate; carrying it structurally
+/// (instead of inside an opaque ParticipantFilter) lets the summary fast
+/// path answer access-filtered queries from per-access buckets.
 struct ShardSelector {
   std::optional<core::Date> first;
   std::optional<core::Date> last;
   std::optional<confsim::Platform> platform;
+  std::optional<netsim::AccessTechnology> access;
+};
+
+/// How many shard visits queries answered from precomputed summaries vs
+/// full record scans, cumulatively. Snapshot type returned by
+/// CorrelationEngine::fanout_stats().
+struct QueryFanoutStats {
+  std::uint64_t shards_from_summary{0};
+  std::uint64_t shards_scanned{0};
 };
 
 class CorrelationEngine {
@@ -130,6 +145,40 @@ class CorrelationEngine {
   /// Cumulative ingest counters + per-phase timings (see IngestStats).
   [[nodiscard]] const IngestStats& ingest_stats() const {
     return ingest_stats_;
+  }
+
+  /// Enables per-shard mergeable summaries (the tier-2 query accelerator):
+  /// from now on every shard folds each ingested record into a
+  /// ShardSummary with this layout, and the query methods answer matching
+  /// shapes by merging summaries instead of rescanning records. Must be
+  /// called before any ingest (throws std::logic_error otherwise — a
+  /// summary folded from a partial corpus would silently under-count).
+  void configure_summaries(SummaryConfig config);
+  [[nodiscard]] bool summaries_enabled() const {
+    return summary_cfg_.has_value();
+  }
+  /// The configured layout; only meaningful when summaries_enabled().
+  [[nodiscard]] const SummaryConfig& summary_config() const {
+    return *summary_cfg_;
+  }
+  /// Approximate heap footprint of all shard summaries.
+  [[nodiscard]] std::size_t summary_memory_bytes() const;
+
+  /// Recomputes every shard's predicted-MOS tally sums with `predictor`
+  /// (callers must hold their corpus write lock). Until the next ingest,
+  /// tally() calls may answer predicted sums from summaries — but only
+  /// when invoked with this same predictor; passing a different one is a
+  /// caller contract violation. Null clears the sums and the fresh flag.
+  void refresh_predicted_tallies(
+      const std::function<double(const confsim::ParticipantRecord&)>&
+          predictor);
+  void clear_predicted_tallies() { refresh_predicted_tallies(nullptr); }
+
+  /// Cumulative summary-vs-scan fan-out counters (relaxed atomics; exact
+  /// under the caller's locking, advisory under concurrent queries).
+  [[nodiscard]] QueryFanoutStats fanout_stats() const {
+    return {fanout_.from_summary.load(std::memory_order_relaxed),
+            fanout_.scanned.load(std::memory_order_relaxed)};
   }
 
   /// Fig 1 / Fig 3: binned engagement curve over one network metric.
@@ -193,6 +242,8 @@ class CorrelationEngine {
     confsim::Platform platform{confsim::Platform::kWindowsPc};
     std::vector<core::Date> dates;  // parallel to records
     std::vector<confsim::ParticipantRecord> records;
+    /// Disabled (a no-op) unless configure_summaries() ran.
+    ShardSummary summary;
   };
   /// A shard surviving selector pruning, with the per-record checks that
   /// pruning could not discharge at the shard level.
@@ -220,6 +271,26 @@ class CorrelationEngine {
                                            const confsim::ParticipantRecord& rec,
                                            const ShardSelector& selector);
 
+  /// Relaxed atomic counters that survive the engine being copied by
+  /// value (queries are const, so counting must be thread-safe under the
+  /// shared corpus lock; raw atomics would delete the copy operations the
+  /// ablation benches rely on).
+  struct FanoutCounters {
+    std::atomic<std::uint64_t> from_summary{0};
+    std::atomic<std::uint64_t> scanned{0};
+    FanoutCounters() = default;
+    FanoutCounters(const FanoutCounters& o)
+        : from_summary{o.from_summary.load(std::memory_order_relaxed)},
+          scanned{o.scanned.load(std::memory_order_relaxed)} {}
+    FanoutCounters& operator=(const FanoutCounters& o) {
+      from_summary.store(o.from_summary.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+      scanned.store(o.scanned.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
   ShardingPolicy sharding_{ShardingPolicy::kMonthPlatform};
   core::ThreadPool* pool_{nullptr};
   IngestStats ingest_stats_;
@@ -228,6 +299,12 @@ class CorrelationEngine {
   // reduction.
   std::map<int, std::size_t> shard_index_;
   std::vector<SessionShard> shards_;
+  /// Set once by configure_summaries(); every shard summary shares it.
+  std::optional<SummaryConfig> summary_cfg_;
+  /// True while summary predicted-MOS sums match the last-refreshed
+  /// predictor; any ingest clears it (the sums would under-count).
+  bool predicted_fresh_{false};
+  mutable FanoutCounters fanout_;
 };
 
 }  // namespace usaas::service

@@ -45,11 +45,16 @@ QueryValidation Query::validate() const {
 
 QueryService::QueryService(QueryServiceConfig config)
     : config_{config},
+      sync_{std::make_unique<Sync>(config.insight_cache_entries)},
       pool_{config.threads >= 2
                 ? std::make_unique<core::ThreadPool>(config.threads)
                 : nullptr},
       engine_{config.sharding} {
   engine_.set_thread_pool(pool_.get());
+  if (config_.shard_summaries &&
+      config_.sharding == ShardingPolicy::kMonthPlatform) {
+    engine_.configure_summaries(config_.summary_layout);
+  }
 }
 
 void QueryService::ingest_calls(std::span<const confsim::CallRecord> calls) {
@@ -64,12 +69,21 @@ void QueryService::ingest_posts(std::span<const social::Post> posts) {
   const auto guard = sync_->lock.write();
   const auto t0 = std::chrono::steady_clock::now();
   const auto& dict = nlp::KeywordDictionary::outage_dictionary();
-  const auto score_into = [&](const social::Post& post, ScoredPost& scored) {
+  // Scoring reuses a per-worker TokenScratch: the text assembly (same
+  // bytes as post.full_text()), token strings and the bigram probe all
+  // keep their capacity across posts, so the sentiment/keyword hot loop
+  // stops allocating per post.
+  const auto score_into = [&](const social::Post& post, ScoredPost& scored,
+                              nlp::TokenScratch& scratch) {
     scored.date = post.date;
-    const std::string text = post.full_text();
-    scored.sentiment = analyzer_.score(text);
-    scored.outage_hits =
-        static_cast<std::uint32_t>(dict.count_occurrences(text));
+    scratch.text.assign(post.title);
+    scratch.text.push_back(' ');
+    scratch.text.append(post.body);
+    const std::span<const nlp::Token> tokens =
+        nlp::tokenize_into(scratch.text, scratch);
+    scored.sentiment = analyzer_.score(tokens, scratch.text);
+    scored.outage_hits = static_cast<std::uint32_t>(
+        dict.count_occurrences(tokens, scratch.bigram));
   };
   const auto key_for = [&](const core::Date& d) {
     return config_.sharding == ShardingPolicy::kSingleShard ? 0 : month_key(d);
@@ -100,39 +114,69 @@ void QueryService::ingest_posts(std::span<const social::Post> posts) {
   const auto t1 = std::chrono::steady_clock::now();
 
   const core::ScatterPlan plan = core::build_scatter_plan(counts);
-  std::vector<ScoredPost*> slices(plan.num_keys, nullptr);
+  struct Slice {
+    ScoredPost* posts{nullptr};
+    PostShard* shard{nullptr};  // map nodes are stable
+  };
+  std::vector<Slice> slices(plan.num_keys);
   IngestStats batch;
   batch.batches = 1;
   batch.records = posts.size();
   batch.bytes_moved = posts.size() * sizeof(ScoredPost);
   for (std::size_t k = 0; k < plan.num_keys; ++k) {
     if (plan.totals[k] == 0) continue;
-    auto& dst = post_shards_[plan.min_key + static_cast<int>(k)].posts;
-    const std::size_t base = dst.size();
-    dst.resize(base + plan.totals[k]);
-    slices[k] = dst.data() + base;
+    PostShard& shard = post_shards_[plan.min_key + static_cast<int>(k)];
+    const std::size_t base = shard.posts.size();
+    shard.posts.resize(base + plan.totals[k]);
+    slices[k] = {shard.posts.data() + base, &shard};
     ++batch.shards_touched;
   }
   const auto t2 = std::chrono::steady_clock::now();
 
   core::parallel_for(
       pool_.get(), chunks, [&](std::size_t cb, std::size_t ce) {
+        nlp::TokenScratch scratch;
         for (std::size_t c = cb; c < ce; ++c) {
           std::vector<std::size_t> cursor = plan.chunk_cursor(c);
           for (std::size_t i = chunk_begin(c); i < chunk_begin(c + 1); ++i) {
             const auto k = static_cast<std::size_t>(key_for(posts[i].date) -
                                                     plan.min_key);
-            score_into(posts[i], slices[k][cursor[k]++]);
+            score_into(posts[i], slices[k].posts[cursor[k]++], scratch);
           }
         }
       });
   const auto t3 = std::chrono::steady_clock::now();
 
+  // Pass 3 (summaries on): fold the batch's new scored posts into their
+  // shards' pre-aggregates, in slot order == sequential ingest order —
+  // the same accumulation the query scan would perform, bit-identically.
+  if (config_.shard_summaries &&
+      config_.sharding == ShardingPolicy::kMonthPlatform) {
+    core::parallel_for(
+        pool_.get(), plan.num_keys, [&](std::size_t kb, std::size_t ke) {
+          for (std::size_t k = kb; k < ke; ++k) {
+            if (plan.totals[k] == 0) continue;
+            PostShard& shard = *slices[k].shard;
+            for (std::size_t i = 0; i < plan.totals[k]; ++i) {
+              const ScoredPost& post = slices[k].posts[i];
+              if (post.sentiment.strong_positive()) ++shard.strong_pos;
+              if (post.sentiment.strong_negative()) ++shard.strong_neg;
+              if (post.outage_hits > 0 && post.sentiment.negative >= 0.4) {
+                shard.day_hits[static_cast<std::size_t>(post.date.day() - 1)] +=
+                    static_cast<double>(post.outage_hits);
+              }
+            }
+          }
+        });
+  }
+  const auto t4 = std::chrono::steady_clock::now();
+
   post_count_ += posts.size();
   batch.count_seconds = seconds_between(t0, t1);
   batch.plan_seconds = seconds_between(t1, t2);
   batch.scatter_seconds = seconds_between(t2, t3);
-  batch.total_seconds = seconds_between(t0, t3);
+  batch.summarize_seconds = seconds_between(t3, t4);
+  batch.total_seconds = seconds_between(t0, t4);
   post_ingest_stats_.merge(batch);
   bump_version();
 }
@@ -151,10 +195,18 @@ QueryService::ServiceStats QueryService::stats() const {
     out.session_shards = engine_.shard_count();
     out.post_shards = post_shards_.size();
     out.corpus_version = sync_->version.load(std::memory_order_acquire);
+    out.fanout = engine_.fanout_stats();
+    out.summary_bytes = engine_.summary_memory_bytes();
   }
   {
     const std::lock_guard<std::mutex> lock{sync_->health_mu};
     out.stream = sync_->health;
+  }
+  {
+    const std::lock_guard<std::mutex> lock{sync_->cache_mu};
+    out.insight_cache = {sync_->cache.hits(),     sync_->cache.misses(),
+                         sync_->cache.evictions(), sync_->cache.size(),
+                         sync_->cache.capacity(),  sync_->cache.bytes()};
   }
   return out;
 }
@@ -167,13 +219,55 @@ bool QueryService::train_predictor() {
   const auto rated = engine_.rated_sessions_canonical();
   if (rated.size() < MosPredictor::kMinRatedSessions) {
     predictor_.reset();
+    engine_.clear_predicted_tallies();
     bump_version();
     return false;
   }
   predictor_.train(rated);
   predictor_trained_ = true;
+  // Refresh the summaries' predicted-MOS sums under the same write lock,
+  // so tally() can answer predicted aggregates without re-running the
+  // predictor over every session on each query.
+  engine_.refresh_predicted_tallies(
+      [this](const confsim::ParticipantRecord& rec) {
+        return predictor_.predict(rec);
+      });
   bump_version();
   return true;
+}
+
+QueryService::CacheKey QueryService::make_cache_key(const Query& query,
+                                                    std::uint64_t version) {
+  const auto pack = [](const core::Date& d) {
+    return static_cast<std::int32_t>(d.year() * 512 + d.month() * 32 +
+                                     d.day());
+  };
+  CacheKey key;
+  key.version = version;
+  key.first = pack(query.first);
+  key.last = pack(query.last);
+  key.platform = query.platform
+                     ? static_cast<std::int16_t>(*query.platform)
+                     : std::int16_t{-1};
+  key.access = query.access ? static_cast<std::int16_t>(*query.access)
+                            : std::int16_t{-1};
+  key.metric = static_cast<std::int16_t>(query.metric);
+  key.bins = query.bins;
+  // Canonicalize signed zeros so operator== and the hash agree.
+  key.metric_lo = query.metric_lo == 0.0 ? 0.0 : query.metric_lo;
+  key.metric_hi = query.metric_hi == 0.0 ? 0.0 : query.metric_hi;
+  return key;
+}
+
+std::size_t QueryService::insight_bytes(const Insight& insight) {
+  std::size_t bytes = sizeof(Insight);
+  for (const EngagementCurve& c : insight.engagement) {
+    bytes += c.points.capacity() * sizeof(CurvePoint);
+  }
+  bytes += insight.mos_spearman.capacity() *
+           sizeof(std::pair<EngagementMetric, double>);
+  bytes += insight.outage_alert_days.capacity() * sizeof(core::Date);
+  return bytes;
 }
 
 Insight QueryService::run(const Query& query) const {
@@ -183,17 +277,40 @@ Insight QueryService::run(const Query& query) const {
   if (!verdict.ok()) return insight;
 
   // One shared guard across the whole fan-out: the insight is a consistent
-  // snapshot of a flushed corpus prefix, stamped with its version.
+  // snapshot of a flushed corpus prefix, stamped with its version. The
+  // cache probe happens under the same guard, so the version we key on is
+  // the version we'd compute against — a concurrent mutation bumps the
+  // version first (under the write lock), making every older entry
+  // unreachable rather than momentarily stale.
   const auto guard = sync_->lock.read();
-  insight.corpus_version = sync_->version.load(std::memory_order_acquire);
-
-  const ShardSelector selector{query.first, query.last, query.platform};
-  ParticipantFilter filter;
-  if (query.access) {
-    filter = [access = *query.access](const confsim::ParticipantRecord& rec) {
-      return rec.access == access;
-    };
+  const std::uint64_t version =
+      sync_->version.load(std::memory_order_acquire);
+  const bool cache_on = sync_->cache.capacity() > 0;
+  CacheKey key;
+  if (cache_on) {
+    key = make_cache_key(query, version);
+    const std::lock_guard<std::mutex> cache_lock{sync_->cache_mu};
+    if (const Insight* hit = sync_->cache.find(key)) return *hit;
   }
+  insight = compute_insight(query, version);
+  if (cache_on) {
+    const std::lock_guard<std::mutex> cache_lock{sync_->cache_mu};
+    sync_->cache.insert(key, insight, insight_bytes(insight));
+  }
+  return insight;
+}
+
+Insight QueryService::compute_insight(const Query& query,
+                                      std::uint64_t version) const {
+  Insight insight;
+  insight.corpus_version = version;
+
+  // The access restriction rides in the selector (a structural per-record
+  // predicate), not an opaque ParticipantFilter — that keeps access
+  // queries summary-answerable from the per-access buckets.
+  const ShardSelector selector{query.first, query.last, query.platform,
+                               query.access};
+  const ParticipantFilter filter;  // none: every restriction is structural
 
   // ---- Implicit side: fan the binning + tallies across shards ----
   SweepSpec spec;
@@ -234,18 +351,32 @@ Insight QueryService::run(const Query& query) const {
   // ---- Explicit (social) side: pre-scored shards, pruned by month ----
   struct SelectedPosts {
     const PostShard* shard{nullptr};
+    int month_key{0};
     bool check_dates{false};
+    bool use_summary{false};
   };
+  const bool post_summaries = config_.shard_summaries &&
+                              config_.sharding == ShardingPolicy::kMonthPlatform;
   std::vector<SelectedPosts> selected;
   const int mk_first = month_key(query.first);
   const int mk_last = month_key(query.last);
   for (const auto& [mk, shard] : post_shards_) {
     if (config_.sharding == ShardingPolicy::kSingleShard) {
-      selected.push_back({&shard, true});
+      selected.push_back({&shard, mk, true, false});
       continue;
     }
     if (mk < mk_first || mk > mk_last) continue;
-    selected.push_back({&shard, mk == mk_first || mk == mk_last});
+    // A boundary month only needs per-post date checks when the window
+    // boundary actually cuts into it; a whole-covered month can answer
+    // from its pre-aggregates instead of rescanning.
+    const bool first_cuts = mk == mk_first && query.first.day() > 1;
+    const bool last_cuts =
+        mk == mk_last &&
+        query.last.day() <
+            core::Date::days_in_month(query.last.year(), query.last.month());
+    const bool check_dates = first_cuts || last_cuts;
+    selected.push_back({&shard, mk, check_dates,
+                        post_summaries && !check_dates});
   }
 
   struct SocialPartial {
@@ -260,6 +391,24 @@ Insight QueryService::run(const Query& query) const {
         for (std::size_t i = b; i < e; ++i) {
           const SelectedPosts& sel = selected[i];
           SocialPartial& part = partials[i];
+          if (sel.use_summary) {
+            // Whole-shard pre-aggregates; per-day keyword sums replay the
+            // scan's in-order accumulation (each date receives adds from
+            // exactly one month shard), so the reduction is bit-identical.
+            part.posts += sel.shard->posts.size();
+            part.strong_pos += sel.shard->strong_pos;
+            part.strong_neg += sel.shard->strong_neg;
+            const int year = sel.month_key / 12;
+            const int month = sel.month_key % 12 + 1;
+            for (int d = 0; d < 31; ++d) {
+              const double hits = sel.shard->day_hits[static_cast<std::size_t>(d)];
+              if (hits > 0.0) {
+                part.keyword_adds.emplace_back(core::Date{year, month, d + 1},
+                                               hits);
+              }
+            }
+            continue;
+          }
           for (const ScoredPost& post : sel.shard->posts) {
             if (sel.check_dates &&
                 (post.date < query.first || query.last < post.date)) {

@@ -16,6 +16,7 @@
 // queries no longer re-run the analyzer over the whole corpus.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -27,6 +28,8 @@
 #include <vector>
 
 #include "core/date.h"
+#include "core/fingerprint.h"
+#include "core/lru_cache.h"
 #include "core/rw_lock.h"
 #include "core/thread_pool.h"
 #include "nlp/keywords.h"
@@ -34,6 +37,7 @@
 #include "social/post.h"
 #include "usaas/correlation_engine.h"
 #include "usaas/mos_predictor.h"
+#include "usaas/shard_summary.h"
 #include "usaas/signals.h"
 
 namespace usaas::service {
@@ -128,6 +132,19 @@ struct QueryServiceConfig {
   /// Worker threads for ingest partitioning and query fan-out; <= 1 runs
   /// everything on the calling thread. Results are identical either way.
   std::size_t threads{0};
+  /// Tier-1 insight cache: maximum cached insights, keyed on (canonical
+  /// query fingerprint, corpus version). 0 disables caching. Version is
+  /// part of the key, so mutations never flush the cache — stale entries
+  /// simply become unreachable and age out of the LRU.
+  std::size_t insight_cache_entries{128};
+  /// Tier 2: maintain mergeable per-shard summaries so matching cold
+  /// queries merge O(shards) precomputed accumulators instead of
+  /// rescanning O(sessions) records. Only effective under kMonthPlatform
+  /// (a single flat shard has nothing to prune or merge).
+  bool shard_summaries{true};
+  /// Layout the summaries precompute; queries must match an axis (and the
+  /// grid) exactly to be summary-answerable.
+  SummaryConfig summary_layout{};
 };
 
 /// Thread safety: mutating operations (ingest_calls / ingest_posts /
@@ -197,6 +214,17 @@ class QueryService {
   /// doing" view: per-corpus ingest throughput/phase timings + shard
   /// fan-out + streaming health. Cheap to call; values are cumulative
   /// since construction.
+  /// Tier-1 insight-cache counters (cumulative since construction).
+  struct InsightCacheStats {
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+    std::uint64_t evictions{0};
+    std::size_t entries{0};
+    std::size_t capacity{0};
+    /// Estimated bytes held by cached insights.
+    std::size_t bytes{0};
+  };
+
   struct ServiceStats {
     IngestStats sessions;
     IngestStats posts;
@@ -206,6 +234,11 @@ class QueryService {
     /// Last health published by the streaming front-end (all-zero when no
     /// StreamIngestor feeds this service).
     StreamHealth stream;
+    InsightCacheStats insight_cache;
+    /// Tier-2 fan-out: shard visits answered from summaries vs scanned.
+    QueryFanoutStats fanout;
+    /// Approximate heap held by the per-shard summaries.
+    std::size_t summary_bytes{0};
     /// Records accepted by the streaming front-end but not yet visible to
     /// queries — the staleness of the snapshot queries answer from.
     [[nodiscard]] std::uint64_t staleness_records() const {
@@ -233,23 +266,78 @@ class QueryService {
   };
   struct PostShard {
     std::vector<ScoredPost> posts;
+    /// Whole-shard pre-aggregates, folded at ingest in slot order (the
+    /// social-side tier-2 summary). Only maintained when shard summaries
+    /// are on; a query whose window covers this month whole reads these
+    /// instead of rescanning `posts`, bit-identically.
+    std::size_t strong_pos{0};
+    std::size_t strong_neg{0};
+    /// Outage-keyword hits summed per day of month (index day-1), over
+    /// posts passing the alerting filter, accumulated in ingest order.
+    std::array<double, 31> day_hits{};
+  };
+
+  /// The canonical insight-cache key: corpus version + every query field
+  /// in normalized scalar form. Packed dates y*512+m*32+d; -1 encodes an
+  /// unset optional. metric_lo/hi are canonicalized (-0.0 -> 0.0) so
+  /// operator== and the fingerprint hash agree.
+  struct CacheKey {
+    std::uint64_t version{0};
+    std::int32_t first{0};
+    std::int32_t last{0};
+    std::int16_t platform{-1};
+    std::int16_t access{-1};
+    std::int16_t metric{0};
+    std::uint64_t bins{0};
+    double metric_lo{0.0};
+    double metric_hi{0.0};
+    friend bool operator==(const CacheKey&, const CacheKey&) = default;
+  };
+  struct CacheKeyHash {
+    [[nodiscard]] std::size_t operator()(const CacheKey& k) const {
+      core::Fingerprint fp;
+      fp.mix(k.version);
+      fp.mix_signed(k.first);
+      fp.mix_signed(k.last);
+      fp.mix_signed(k.platform);
+      fp.mix_signed(k.access);
+      fp.mix_signed(k.metric);
+      fp.mix(k.bins);
+      fp.mix(k.metric_lo);
+      fp.mix(k.metric_hi);
+      return static_cast<std::size_t>(fp.digest());
+    }
   };
 
   /// Concurrency state, heap-held so the service stays movable (a move
   /// transfers the lock; see the class comment for when that is safe).
+  /// The insight cache lives here under its own mutex: run() probes it
+  /// while holding only the shared corpus lock, so concurrent readers
+  /// serialize on cache_mu for the (cheap) lookup, not the computation.
   struct Sync {
+    explicit Sync(std::size_t cache_capacity) : cache{cache_capacity} {}
     core::RwLock lock;
     std::atomic<std::uint64_t> version{0};
     std::mutex health_mu;
     StreamHealth health;
+    std::mutex cache_mu;
+    core::LruCache<CacheKey, Insight, CacheKeyHash> cache;
   };
 
   void bump_version() {
     sync_->version.fetch_add(1, std::memory_order_release);
   }
 
+  [[nodiscard]] static CacheKey make_cache_key(const Query& query,
+                                               std::uint64_t version);
+  /// Estimated heap footprint of one insight, for cache byte accounting.
+  [[nodiscard]] static std::size_t insight_bytes(const Insight& insight);
+  /// The uncached query evaluation (callers hold the shared corpus lock).
+  [[nodiscard]] Insight compute_insight(const Query& query,
+                                        std::uint64_t version) const;
+
   QueryServiceConfig config_;
-  std::unique_ptr<Sync> sync_{std::make_unique<Sync>()};
+  std::unique_ptr<Sync> sync_;
   std::unique_ptr<core::ThreadPool> pool_;  // set iff config_.threads >= 2
   CorrelationEngine engine_;
   // month_key -> shard, ordered; a single key 0 under kSingleShard.

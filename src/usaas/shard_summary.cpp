@@ -1,0 +1,152 @@
+#include "usaas/shard_summary.h"
+
+#include <stdexcept>
+
+namespace usaas::service {
+
+std::vector<SummaryAxis> default_summary_axes() {
+  return {
+      {netsim::Metric::kLatency, 0.0, 300.0, 10},
+      {netsim::Metric::kLoss, 0.0, 10.0, 10},
+      {netsim::Metric::kJitter, 0.0, 80.0, 10},
+      {netsim::Metric::kBandwidth, 0.0, 200.0, 10},
+  };
+}
+
+ShardSummary::ShardSummary(const SummaryConfig& config)
+    : enabled_{true}, axes_{config.axes}, grid_layout_{config.grid} {
+  for (const SummaryAxis& axis : axes_) {
+    // Binner1D validates lo < hi, bins >= 1 — a bad axis throws here, at
+    // configuration time, not on the first fold.
+    for (int eng = 0; eng < kNumEngagementMetrics; ++eng) {
+      for (int access = 0; access < netsim::kNumAccessTechnologies; ++access) {
+        binners_.emplace_back(axis.lo, axis.hi, axis.bins);
+      }
+    }
+  }
+  for (int eng = 0; eng < kNumEngagementMetrics; ++eng) {
+    grids_.emplace_back(0.0, grid_layout_.latency_hi_ms, grid_layout_.lat_bins,
+                        0.0, grid_layout_.loss_hi_pct, grid_layout_.loss_bins);
+  }
+}
+
+void ShardSummary::fold(const confsim::ParticipantRecord& rec) {
+  if (!enabled_) return;
+  const auto access = static_cast<std::size_t>(rec.access);
+  const netsim::NetworkConditions cond = rec.network.mean_conditions();
+  const std::array<double, kNumEngagementMetrics> eng{
+      rec.presence_pct, rec.cam_on_pct, rec.mic_on_pct};
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    const double x = netsim::metric_value(cond, axes_[a].metric);
+    for (std::size_t m = 0; m < eng.size(); ++m) {
+      binners_[binner_index(a, m, access)].add(x, eng[m]);
+    }
+  }
+  const double latency = cond.latency.ms();
+  const double loss = cond.loss.percent();
+  for (std::size_t m = 0; m < grids_.size(); ++m) {
+    grids_[m].add(latency, loss, eng[m]);
+  }
+  ++all_.sessions;
+  ++by_access_[access].sessions;
+  if (rec.mos) {
+    const double score = rec.mos->score();
+    all_.observed_mos_sum += score;
+    ++all_.rated;
+    by_access_[access].observed_mos_sum += score;
+    ++by_access_[access].rated;
+    rated_.push_back({eng, score});
+  }
+}
+
+void ShardSummary::merge(const ShardSummary& other) {
+  if (!enabled_ && !other.enabled_) return;
+  if (enabled_ != other.enabled_ || axes_ != other.axes_ ||
+      !(grid_layout_ == other.grid_layout_)) {
+    throw std::invalid_argument("ShardSummary::merge: layout mismatch");
+  }
+  for (std::size_t i = 0; i < binners_.size(); ++i) {
+    binners_[i].merge(other.binners_[i]);
+  }
+  for (std::size_t i = 0; i < grids_.size(); ++i) {
+    grids_[i].merge(other.grids_[i]);
+  }
+  all_.merge(other.all_);
+  for (std::size_t i = 0; i < by_access_.size(); ++i) {
+    by_access_[i].merge(other.by_access_[i]);
+  }
+  rated_.insert(rated_.end(), other.rated_.begin(), other.rated_.end());
+}
+
+std::optional<std::size_t> ShardSummary::axis_for(netsim::Metric metric,
+                                                  double lo, double hi,
+                                                  std::size_t bins) const {
+  const SummaryAxis wanted{metric, lo, hi, bins};
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    if (axes_[a] == wanted) return a;
+  }
+  return std::nullopt;
+}
+
+void ShardSummary::add_curve_to(
+    core::Binner1D& dst, std::size_t axis, EngagementMetric engagement,
+    std::optional<netsim::AccessTechnology> access) const {
+  const auto eng = static_cast<std::size_t>(engagement);
+  if (access) {
+    dst.merge(binners_[binner_index(axis, eng,
+                                    static_cast<std::size_t>(*access))]);
+    return;
+  }
+  for (std::size_t a = 0; a < netsim::kNumAccessTechnologies; ++a) {
+    dst.merge(binners_[binner_index(axis, eng, a)]);
+  }
+}
+
+bool ShardSummary::add_grid_to(core::Grid2D& dst, EngagementMetric engagement,
+                               const SummaryGrid& layout) const {
+  if (!enabled_ || !(layout == grid_layout_)) return false;
+  dst.merge(grids_[static_cast<std::size_t>(engagement)]);
+  return true;
+}
+
+const SummaryTally& ShardSummary::tally(
+    std::optional<netsim::AccessTechnology> access) const {
+  return access ? by_access_[static_cast<std::size_t>(*access)] : all_;
+}
+
+void ShardSummary::refresh_predicted(
+    std::span<const confsim::ParticipantRecord> records,
+    const std::function<double(const confsim::ParticipantRecord&)>&
+        predictor) {
+  all_.predicted_mos_sum = 0.0;
+  all_.predicted = 0;
+  for (SummaryTally& t : by_access_) {
+    t.predicted_mos_sum = 0.0;
+    t.predicted = 0;
+  }
+  if (!predictor) return;
+  // Ingest order, so the per-shard sums replay exactly what the scan path
+  // would accumulate for an unfiltered (or access-filtered) tally.
+  for (const confsim::ParticipantRecord& rec : records) {
+    const double p = predictor(rec);
+    all_.predicted_mos_sum += p;
+    ++all_.predicted;
+    SummaryTally& bucket = by_access_[static_cast<std::size_t>(rec.access)];
+    bucket.predicted_mos_sum += p;
+    ++bucket.predicted;
+  }
+}
+
+std::size_t ShardSummary::memory_bytes() const {
+  std::size_t bytes = sizeof(ShardSummary);
+  for (const core::Binner1D& b : binners_) {
+    bytes += b.bin_count() * sizeof(core::RunningStats);
+  }
+  for (const core::Grid2D& g : grids_) {
+    bytes += g.x_bins() * g.y_bins() * sizeof(core::RunningStats);
+  }
+  bytes += rated_.size() * sizeof(RatedSample);
+  return bytes;
+}
+
+}  // namespace usaas::service

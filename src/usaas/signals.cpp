@@ -16,11 +16,12 @@ std::string to_string(const IngestStats& stats) {
   std::snprintf(
       buf, sizeof(buf),
       "%zu records in %zu batches, %.1f MB moved, %zu shard writes, "
-      "%.0f records/s (count %.3fs, plan %.3fs, scatter %.3fs)",
+      "%.0f records/s (count %.3fs, plan %.3fs, scatter %.3fs, "
+      "summarize %.3fs)",
       stats.records, stats.batches,
       static_cast<double>(stats.bytes_moved) / (1024.0 * 1024.0),
       stats.shards_touched, stats.records_per_second(), stats.count_seconds,
-      stats.plan_seconds, stats.scatter_seconds);
+      stats.plan_seconds, stats.scatter_seconds, stats.summarize_seconds);
   return buf;
 }
 

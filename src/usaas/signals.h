@@ -97,6 +97,9 @@ struct IngestStats {
   /// Pass 2: scoring/partitioning records into their final slots (for
   /// posts this includes sentiment + keyword scoring, the dominant cost).
   double scatter_seconds{0.0};
+  /// Pass 3 (when summaries are enabled): folding the batch's new records
+  /// into their shards' mergeable summaries.
+  double summarize_seconds{0.0};
   double total_seconds{0.0};
 
   [[nodiscard]] double records_per_second() const {
@@ -112,6 +115,7 @@ struct IngestStats {
     count_seconds += other.count_seconds;
     plan_seconds += other.plan_seconds;
     scatter_seconds += other.scatter_seconds;
+    summarize_seconds += other.summarize_seconds;
     total_seconds += other.total_seconds;
   }
 };

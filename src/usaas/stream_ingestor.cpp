@@ -138,8 +138,7 @@ StreamIngestor::StreamIngestor(QueryService& service,
   config_.max_block_rounds = std::max<std::size_t>(1, config_.max_block_rounds);
 }
 
-PushOutcome StreamIngestor::push(const confsim::CallRecord& call) {
-  const std::lock_guard<std::mutex> lock{mu_};
+PushOutcome StreamIngestor::push_call_locked(const confsim::CallRecord& call) {
   const confsim::CallRecord* rec = &call;
   confsim::CallRecord corrupted;
   if (faults_ != nullptr && faults_->corrupt_this_record()) {
@@ -150,13 +149,11 @@ PushOutcome StreamIngestor::push(const confsim::CallRecord& call) {
   if (const auto reason = validate_record(*rec)) {
     quarantine_record({QuarantinedRecord::Corpus::kCall, *reason,
                        rec->start.date, rec->call_id});
-    publish_health();
     return PushOutcome::kQuarantined;
   }
   if (staged_calls_.size() >= config_.call_capacity &&
       !make_room(Corpus::kCalls)) {
     ++stats_.health.rejected;
-    publish_health();
     return PushOutcome::kRejected;
   }
   staged_calls_.push_back(*rec);
@@ -164,12 +161,10 @@ PushOutcome StreamIngestor::push(const confsim::CallRecord& call) {
   if (staged_calls_.size() >= config_.call_flush_watermark) {
     flush_corpus(Corpus::kCalls);  // failure leaves records staged
   }
-  publish_health();
   return PushOutcome::kAccepted;
 }
 
-PushOutcome StreamIngestor::push(const social::Post& post) {
-  const std::lock_guard<std::mutex> lock{mu_};
+PushOutcome StreamIngestor::push_post_locked(const social::Post& post) {
   const social::Post* rec = &post;
   social::Post corrupted;
   if (faults_ != nullptr && faults_->corrupt_this_record()) {
@@ -180,13 +175,11 @@ PushOutcome StreamIngestor::push(const social::Post& post) {
   if (const auto reason = validate_record(*rec)) {
     quarantine_record(
         {QuarantinedRecord::Corpus::kPost, *reason, rec->date, rec->id});
-    publish_health();
     return PushOutcome::kQuarantined;
   }
   if (staged_posts_.size() >= config_.post_capacity &&
       !make_room(Corpus::kPosts)) {
     ++stats_.health.rejected;
-    publish_health();
     return PushOutcome::kRejected;
   }
   staged_posts_.push_back(*rec);
@@ -194,8 +187,46 @@ PushOutcome StreamIngestor::push(const social::Post& post) {
   if (staged_posts_.size() >= config_.post_flush_watermark) {
     flush_corpus(Corpus::kPosts);
   }
-  publish_health();
   return PushOutcome::kAccepted;
+}
+
+PushOutcome StreamIngestor::push(const confsim::CallRecord& call) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  const PushOutcome outcome = push_call_locked(call);
+  publish_health();
+  return outcome;
+}
+
+PushOutcome StreamIngestor::push(const social::Post& post) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  const PushOutcome outcome = push_post_locked(post);
+  publish_health();
+  return outcome;
+}
+
+std::size_t StreamIngestor::push_many(
+    std::span<const confsim::CallRecord> calls) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  std::size_t accepted = 0;
+  for (const confsim::CallRecord& call : calls) {
+    const PushOutcome outcome = push_call_locked(call);
+    if (outcome == PushOutcome::kRejected) break;
+    if (outcome == PushOutcome::kAccepted) ++accepted;
+  }
+  publish_health();
+  return accepted;
+}
+
+std::size_t StreamIngestor::push_many(std::span<const social::Post> posts) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  std::size_t accepted = 0;
+  for (const social::Post& post : posts) {
+    const PushOutcome outcome = push_post_locked(post);
+    if (outcome == PushOutcome::kRejected) break;
+    if (outcome == PushOutcome::kAccepted) ++accepted;
+  }
+  publish_health();
+  return accepted;
 }
 
 std::size_t StreamIngestor::push_calls(

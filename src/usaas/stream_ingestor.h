@@ -153,6 +153,16 @@ class StreamIngestor {
   std::size_t push_calls(std::span<const confsim::CallRecord> calls);
   std::size_t push_posts(std::span<const social::Post> posts);
 
+  /// Amortized span push: one lock acquisition and one health publish for
+  /// the whole span, instead of one of each per record. Per-record
+  /// semantics (validation, quarantine, backpressure, watermark flushes)
+  /// are identical to a push() loop — flush slicing is a pure function of
+  /// the push sequence, so query results are bit-identical too. Stops
+  /// early on the first rejection; returns how many records were
+  /// accepted.
+  std::size_t push_many(std::span<const confsim::CallRecord> calls);
+  std::size_t push_many(std::span<const social::Post> posts);
+
   /// Explicit watermark: flush both staging buffers now. True when every
   /// staged record reached the service (false = some records remain
   /// staged after a failed flush round; they are retried on the next
@@ -189,6 +199,8 @@ class StreamIngestor {
   enum class Corpus { kCalls, kPosts };
 
   // All private helpers require mu_ held.
+  PushOutcome push_call_locked(const confsim::CallRecord& call);
+  PushOutcome push_post_locked(const social::Post& post);
   [[nodiscard]] bool make_room(Corpus corpus);
   bool flush_corpus(Corpus corpus);
   void quarantine_record(QuarantinedRecord record);

@@ -305,6 +305,93 @@ TEST(Streaming, ChunkPushMatchesRecordPush) {
   }
 }
 
+TEST(Streaming, PushManyMatchesRecordPushBitIdentically) {
+  // push_many amortizes the lock but must keep per-record semantics:
+  // watermark slicing is a pure function of the push sequence, so pushing
+  // in chunks that straddle flush boundaries — with poison interleaved —
+  // yields the same flushes, the same quarantine, and bit-identical
+  // query results as a push() loop.
+  const Corpus corpus = make_corpus(4096);
+  StreamIngestorConfig cfg;
+  cfg.call_flush_watermark = 16;
+  cfg.post_flush_watermark = 16;
+
+  QueryService looped{{ShardingPolicy::kMonthPlatform, 2}};
+  StreamIngestor one_by_one{looped, cfg};
+  QueryService chunked{{ShardingPolicy::kMonthPlatform, 2}};
+  StreamIngestor many{chunked, cfg};
+
+  // Interleave a poison call every 11 records so quarantine bookkeeping
+  // is exercised inside chunks too.
+  std::vector<confsim::CallRecord> feed;
+  for (std::size_t i = 0; i < corpus.calls.size(); ++i) {
+    if (i % 11 == 0) {
+      feed.push_back(poison_call(QuarantineReason::kNanMetric, 7000 + i));
+    }
+    feed.push_back(corpus.calls[i]);
+  }
+
+  std::size_t accepted_loop = 0;
+  for (const auto& call : feed) {
+    if (one_by_one.push(call) == PushOutcome::kAccepted) ++accepted_loop;
+  }
+  for (const auto& post : corpus.posts) {
+    ASSERT_EQ(one_by_one.push(post), PushOutcome::kAccepted);
+  }
+
+  // Chunk size 37 is coprime with the watermark (16): chunks straddle
+  // flush boundaries mid-span.
+  const std::span<const confsim::CallRecord> span{feed};
+  std::size_t accepted_many = 0;
+  for (std::size_t i = 0; i < span.size(); i += 37) {
+    accepted_many +=
+        many.push_many(span.subspan(i, std::min<std::size_t>(37, span.size() - i)));
+  }
+  accepted_many += many.push_many(std::span<const social::Post>{corpus.posts});
+  EXPECT_EQ(accepted_many, accepted_loop + corpus.posts.size());
+
+  ASSERT_TRUE(one_by_one.flush());
+  ASSERT_TRUE(many.flush());
+  looped.train_predictor();
+  chunked.train_predictor();
+
+  const StreamIngestor::Stats ls = one_by_one.stats();
+  const StreamIngestor::Stats ms = many.stats();
+  EXPECT_EQ(ms.health.accepted, ls.health.accepted);
+  EXPECT_EQ(ms.health.flushed, ls.health.flushed);
+  EXPECT_EQ(ms.health.quarantined, ls.health.quarantined);
+  EXPECT_GT(ms.health.quarantined, 0u);
+  EXPECT_EQ(ms.health.staged, 0u);
+  EXPECT_EQ(chunked.ingested_sessions(), looped.ingested_sessions());
+  EXPECT_EQ(chunked.ingested_posts(), looped.ingested_posts());
+  EXPECT_EQ(chunked.session_shards(), looped.session_shards());
+  for (const Query& q : battery()) {
+    expect_identical(chunked.run(q), looped.run(q));
+  }
+}
+
+TEST(Streaming, PushManyStopsAtTheFirstRejection) {
+  QueryService svc{{ShardingPolicy::kMonthPlatform, 1}};
+  core::FaultInjector::Config fcfg;
+  fcfg.fail_first_flushes = 1u << 20;  // every flush fails
+  core::FaultInjector faults{fcfg};
+  StreamIngestorConfig cfg;
+  cfg.call_capacity = 8;
+  cfg.call_flush_watermark = 8;
+  cfg.backpressure = BackpressurePolicy::kReject;
+  cfg.max_flush_attempts = 2;
+  cfg.retry_backoff = std::chrono::milliseconds{0};
+  StreamIngestor ingestor{svc, cfg, &faults};
+  const auto calls = boundary_calls(6, 2);
+  ASSERT_GE(calls.size(), 12u);
+  // Capacity 8, every flush fails: exactly 8 of the span fit.
+  EXPECT_EQ(ingestor.push_many(std::span{calls}.first(12)), 8u);
+  const StreamIngestor::Stats stats = ingestor.stats();
+  EXPECT_EQ(stats.health.accepted, 8u);
+  EXPECT_EQ(stats.health.rejected, 1u);  // the 9th; 10..12 never attempted
+  EXPECT_EQ(stats.health.staged, 8u);
+}
+
 // ---- Backpressure policies -------------------------------------------
 
 core::FaultInjector always_failing_flushes() {
