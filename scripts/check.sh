@@ -8,6 +8,11 @@
 #   3. AddressSanitizer build of the streaming/fault-injection suites —
 #      the paths that stage, evict, quarantine and retry buffers are the
 #      ones where a lifetime bug would hide — same `ctest -L sanitize`.
+#   4. telemetry overhead gate: the throughput bench (reduced corpus)
+#      compares a live metrics registry against the USAAS_TELEMETRY=off
+#      kill switch and fails if batch-ingest overhead exceeds 5% (the
+#      design target is <2%; the gate leaves headroom for timing noise
+#      on loaded single-core CI hosts).
 #
 # The sanitize suites carry USAAS_PARALLEL_FORCE=1 via their ctest
 # ENVIRONMENT property, so parallel_for really fans out across the pool —
@@ -29,6 +34,7 @@ SANITIZE_TARGETS=(
   test_usaas_streaming
   test_usaas_insight_cache
   test_fault_injection
+  test_telemetry
 )
 
 echo "==> tier-1: configure + build (${JOBS} jobs)"
@@ -51,5 +57,26 @@ cmake --build build-asan -j "${JOBS}" --target "${SANITIZE_TARGETS[@]}"
 
 echo "==> asan: ctest -L sanitize"
 ctest --test-dir build-asan -L sanitize --output-on-failure -j "${JOBS}"
+
+echo "==> telemetry: bench overhead gate (enabled vs USAAS_TELEMETRY=off)"
+cmake --build build -j "${JOBS}" --target usaas_throughput
+TELEMETRY_JSON=build/bench_telemetry_gate.json
+USAAS_BENCH_SESSIONS=200000 USAAS_BENCH_POSTS=30000 \
+  USAAS_BENCH_JSON="${TELEMETRY_JSON}" ./build/bench/usaas_throughput
+INGEST_OVERHEAD=$(sed -n \
+  's/^ *"ingest_overhead_pct": \(-\{0,1\}[0-9.eE+-]*\),*$/\1/p' \
+  "${TELEMETRY_JSON}")
+if [[ -z "${INGEST_OVERHEAD}" ]]; then
+  echo "FATAL: ingest_overhead_pct missing from ${TELEMETRY_JSON}" >&2
+  exit 1
+fi
+awk -v pct="${INGEST_OVERHEAD}" 'BEGIN {
+  if (pct + 0.0 > 5.0) {
+    printf "FATAL: telemetry ingest overhead %.2f%% exceeds the 5%% gate\n",
+           pct > "/dev/stderr"
+    exit 1
+  }
+  printf "telemetry ingest overhead %.2f%% (gate: 5%%)\n", pct
+}'
 
 echo "==> all checks passed"

@@ -1,0 +1,217 @@
+#include "core/telemetry/exposition.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+namespace usaas::core::telemetry {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_hex(std::string& out, std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+/// "name{labels}" (or just "name" when unlabeled), optionally merging an
+/// extra rendered label (used for the le="..." histogram bucket label).
+std::string sample_key(const std::string& name, const std::string& labels,
+                       const std::string& extra = {}) {
+  std::string out = name;
+  std::string inner = labels;
+  if (!extra.empty()) {
+    if (!inner.empty()) inner.push_back(',');
+    inner += extra;
+  }
+  if (!inner.empty()) {
+    out.push_back('{');
+    out += inner;
+    out.push_back('}');
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void append_histogram_json(std::string& out, const HistogramSnapshot& h) {
+  out += "{\"count\": ";
+  append_u64(out, h.count);
+  out += ", \"sum\": " + format_double(h.sum);
+  out += ", \"max\": " + format_double(h.max);
+  out += ", \"p50\": " + format_double(h.p50);
+  out += ", \"p95\": " + format_double(h.p95);
+  out += ", \"p99\": " + format_double(h.p99);
+  out += ", \"buckets\": [";
+  bool first = true;
+  for (const auto& [upper, cum] : h.buckets) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"le\": ";
+    // JSON has no Infinity literal; mirror Prometheus' "+Inf" as a string.
+    out += std::isinf(upper) ? std::string{"\"+Inf\""} : format_double(upper);
+    out += ", \"count\": ";
+    append_u64(out, cum);
+    out += "}";
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string format_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  // Exact integers below 2^53 print as plain integers: counter-like
+  // doubles stay bit-for-bit comparable with their integer twins.
+  if (v == std::floor(v) && std::fabs(v) < 9007199254740992.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string to_prometheus(const std::vector<MetricFamily>& families) {
+  std::string out;
+  for (const MetricFamily& family : families) {
+    if (!family.help.empty()) {
+      out += "# HELP " + family.name + " " + family.help + "\n";
+    }
+    out += "# TYPE " + family.name + " ";
+    out += to_string(family.kind);
+    out.push_back('\n');
+    for (const Sample& sample : family.samples) {
+      if (family.kind == MetricKind::kHistogram) {
+        const HistogramSnapshot& h = sample.histogram;
+        for (const auto& [upper, cum] : h.buckets) {
+          out += sample_key(family.name + "_bucket", sample.labels,
+                            "le=\"" + format_double(upper) + "\"");
+          out.push_back(' ');
+          append_u64(out, cum);
+          out.push_back('\n');
+        }
+        out += sample_key(family.name + "_sum", sample.labels) + " " +
+               format_double(h.sum) + "\n";
+        out += sample_key(family.name + "_count", sample.labels) + " ";
+        append_u64(out, h.count);
+        out.push_back('\n');
+        for (const auto& [q, qv] : {std::pair<const char*, double>{
+                                        "0.5", h.p50},
+                                    {"0.95", h.p95},
+                                    {"0.99", h.p99}}) {
+          out += sample_key(family.name, sample.labels,
+                            std::string{"quantile=\""} + q + "\"") +
+                 " " + format_double(qv) + "\n";
+        }
+        out += sample_key(family.name + "_max", sample.labels) + " " +
+               format_double(h.max) + "\n";
+      } else {
+        out += sample_key(family.name, sample.labels);
+        out.push_back(' ');
+        if (sample.floating) {
+          out += format_double(sample.value_d);
+        } else {
+          append_u64(out, sample.value_u);
+        }
+        out.push_back('\n');
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<MetricFamily>& families,
+                    const std::vector<SlowQueryEntry>& slow) {
+  std::string counters, gauges, histograms;
+  for (const MetricFamily& family : families) {
+    for (const Sample& sample : family.samples) {
+      std::string key = "\"";
+      key += json_escape(sample_key(family.name, sample.labels));
+      key += "\": ";
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          if (!counters.empty()) counters += ", ";
+          counters += key;
+          if (sample.floating) {
+            counters += format_double(sample.value_d);
+          } else {
+            append_u64(counters, sample.value_u);
+          }
+          break;
+        case MetricKind::kGauge:
+          if (!gauges.empty()) gauges += ", ";
+          gauges += key + format_double(sample.value_d);
+          break;
+        case MetricKind::kHistogram:
+          if (!histograms.empty()) histograms += ", ";
+          histograms += key;
+          append_histogram_json(histograms, sample.histogram);
+          break;
+      }
+    }
+  }
+  std::string out;
+  out += "{\n  \"counters\": {";
+  out += counters;
+  out += "},\n  \"gauges\": {";
+  out += gauges;
+  out += "},\n  \"histograms\": {";
+  out += histograms;
+  out += "},\n  \"slow_queries\": [";
+  bool first = true;
+  for (const SlowQueryEntry& entry : slow) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"fingerprint\": \"";
+    append_hex(out, entry.fingerprint);
+    out += "\", \"seconds\": " + format_double(entry.seconds);
+    out += ", \"path\": \"" + json_escape(entry.path) + "\"";
+    out += ", \"shards_from_summary\": ";
+    append_u64(out, entry.shards_from_summary);
+    out += ", \"shards_scanned\": ";
+    append_u64(out, entry.shards_scanned);
+    out += ", \"sessions\": ";
+    append_u64(out, static_cast<std::uint64_t>(entry.sessions));
+    out += ", \"corpus_version\": ";
+    append_u64(out, entry.corpus_version);
+    out += ", \"hits\": ";
+    append_u64(out, entry.hits);
+    out += "}";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+}  // namespace usaas::core::telemetry

@@ -1,0 +1,44 @@
+// Exposition: renders collected metric families as Prometheus text or a
+// JSON snapshot. Pure formatting over the MetricFamily model — no locks,
+// no registry access — so the service layer can merge registry-native
+// families with families derived from its own stats structs and render
+// both through one code path (which is what keeps stats() and the
+// exposition endpoint from ever disagreeing).
+//
+// Number formatting contract: integers (counter values, bucket counts)
+// print exactly; doubles print with %.17g so a parse round-trips to the
+// identical bit pattern.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/telemetry/metrics.h"
+#include "core/telemetry/slow_query_log.h"
+
+namespace usaas::core::telemetry {
+
+/// Formats a double with enough digits (%.17g) that parsing it back
+/// yields the same value; integral values with small magnitude print
+/// without an exponent or trailing zeros ("42", not "4.2e+01").
+[[nodiscard]] std::string format_double(double v);
+
+/// Prometheus text exposition format (v0.0.4):
+///   # HELP name help
+///   # TYPE name counter|gauge|histogram
+///   name{labels} value
+/// Histograms emit name_bucket{...,le="X"} cumulative counts (always
+/// ending at le="+Inf"), name_sum, name_count, interpolated
+/// name{quantile="0.5|0.95|0.99"} samples and a name_max gauge line.
+[[nodiscard]] std::string to_prometheus(
+    const std::vector<MetricFamily>& families);
+
+/// JSON snapshot: {"counters": {...}, "gauges": {...},
+/// "histograms": {...}, "slow_queries": [...]}. Metrics are keyed
+/// "name{labels}" (braces omitted when unlabeled); histogram values are
+/// objects with count/sum/max/p50/p95/p99 and a buckets array of
+/// {"le": edge, "count": cumulative}.
+[[nodiscard]] std::string to_json(const std::vector<MetricFamily>& families,
+                                  const std::vector<SlowQueryEntry>& slow);
+
+}  // namespace usaas::core::telemetry

@@ -1,0 +1,60 @@
+#include "core/telemetry/slow_query_log.h"
+
+#include <algorithm>
+
+namespace usaas::core::telemetry {
+
+void SlowQueryLog::record(const SlowQueryEntry& entry) {
+  if (capacity_ == 0) return;
+  const std::lock_guard<std::mutex> lock{mu_};
+  for (SlowQueryEntry& resident : entries_) {
+    if (resident.fingerprint != entry.fingerprint) continue;
+    const std::uint64_t hits = resident.hits + 1;
+    if (entry.seconds > resident.seconds) {
+      resident = entry;  // the new worst run for this fingerprint
+    }
+    resident.hits = hits;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.push_back(entry);
+    entries_.back().hits = 1;
+    return;
+  }
+  auto fastest = std::min_element(
+      entries_.begin(), entries_.end(),
+      [](const SlowQueryEntry& a, const SlowQueryEntry& b) {
+        if (a.seconds != b.seconds) return a.seconds < b.seconds;
+        return a.fingerprint < b.fingerprint;
+      });
+  if (entry.seconds <= fastest->seconds) return;  // newcomer not slower
+  *fastest = entry;
+  fastest->hits = 1;
+  ++evictions_;
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::worst() const {
+  std::vector<SlowQueryEntry> out;
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    out = entries_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowQueryEntry& a, const SlowQueryEntry& b) {
+              if (a.seconds != b.seconds) return a.seconds > b.seconds;
+              return a.fingerprint < b.fingerprint;
+            });
+  return out;
+}
+
+std::size_t SlowQueryLog::size() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return entries_.size();
+}
+
+std::uint64_t SlowQueryLog::evictions() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return evictions_;
+}
+
+}  // namespace usaas::core::telemetry

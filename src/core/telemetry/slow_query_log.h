@@ -1,0 +1,65 @@
+// Bounded worst-queries log, keyed by canonical query fingerprint.
+//
+// Operators triaging a latency regression need the *shape* of the worst
+// queries (fingerprint, fan-out, how the query was served), not a full
+// request log. The log keeps the N slowest distinct fingerprints seen so
+// far: re-running the same dashboard updates its entry (hit count, and
+// the timing fields when the new run is slower) instead of flooding the
+// log, and when a new fingerprint arrives at capacity it evicts the
+// fastest resident entry — but only if the newcomer is slower.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace usaas::core::telemetry {
+
+struct SlowQueryEntry {
+  /// Canonical query fingerprint (version-independent): the identity a
+  /// repeated dashboard shares across corpus mutations.
+  std::uint64_t fingerprint{0};
+  /// Worst observed duration for this fingerprint.
+  double seconds{0.0};
+  /// How that worst run was served ("cache", "summary-merge", "scan",
+  /// "mixed", "invalid").
+  std::string path;
+  /// Fan-out shape of the worst run.
+  std::uint64_t shards_from_summary{0};
+  std::uint64_t shards_scanned{0};
+  std::size_t sessions{0};
+  std::uint64_t corpus_version{0};
+  /// Times this fingerprint was recorded (all runs, not just the worst).
+  std::uint64_t hits{1};
+};
+
+class SlowQueryLog {
+ public:
+  /// Capacity 0 disables the log (record() is a no-op).
+  explicit SlowQueryLog(std::size_t capacity = 32) : capacity_{capacity} {}
+
+  /// Thread-safe. Same fingerprint: bumps hits, and adopts the entry's
+  /// timing/fan-out fields when `entry.seconds` beats the resident worst.
+  /// New fingerprint: appended while below capacity; at capacity it
+  /// replaces the fastest resident entry iff it is slower than it.
+  void record(const SlowQueryEntry& entry);
+
+  /// Snapshot sorted slowest-first (ties broken by fingerprint for a
+  /// deterministic order).
+  [[nodiscard]] std::vector<SlowQueryEntry> worst() const;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const;
+  /// Entries displaced by a slower newcomer (not same-fingerprint
+  /// updates).
+  [[nodiscard]] std::uint64_t evictions() const;
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SlowQueryEntry> entries_;
+  std::uint64_t evictions_{0};
+};
+
+}  // namespace usaas::core::telemetry

@@ -1,0 +1,66 @@
+// RAII phase tracing: a TraceSpan times a scope into a latency Histogram,
+// and lap() carves the scope into named phases with one clock read per
+// boundary (not one per phase start + end).
+//
+//   TraceSpan span{query_seconds};      // clock read (if enabled)
+//   validate();
+//   span.lap(phase_validate_seconds);   // observes validate, resets lap
+//   probe_cache();
+//   span.lap(phase_cache_probe_seconds);
+//   ...
+//   const double total = span.finish(); // observes the whole span
+//
+// A span over a null Histogram (telemetry disabled) performs no clock
+// reads at all — the kill switch removes the dominant cost of tracing,
+// not just the atomic adds.
+#pragma once
+
+#include <chrono>
+
+#include "core/telemetry/metrics.h"
+
+namespace usaas::core::telemetry {
+
+class TraceSpan {
+ public:
+  /// Starts timing iff `total` is a live histogram handle.
+  explicit TraceSpan(Histogram total) : total_{total} {
+    if (total_) {
+      start_ = std::chrono::steady_clock::now();
+      lap_ = start_;
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Observes the time since the last lap (or the span start) into
+  /// `phase` and restarts the lap clock. No-op on a dead span.
+  void lap(Histogram phase) {
+    if (!total_) return;
+    const auto now = std::chrono::steady_clock::now();
+    phase.observe(std::chrono::duration<double>(now - lap_).count());
+    lap_ = now;
+  }
+
+  /// Stops the span now, observes the total duration, and returns it
+  /// (0.0 on a dead span). Idempotent; the destructor then does nothing.
+  double finish() {
+    if (!total_) return 0.0;
+    const auto now = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(now - start_).count();
+    total_.observe(seconds);
+    total_ = Histogram{};
+    return seconds;
+  }
+
+  ~TraceSpan() { finish(); }
+
+ private:
+  Histogram total_;
+  std::chrono::steady_clock::time_point start_{};
+  std::chrono::steady_clock::time_point lap_{};
+};
+
+}  // namespace usaas::core::telemetry

@@ -54,6 +54,23 @@ int CorrelationEngine::packed_key(const core::Date& date,
   return month_key(date) * confsim::kNumPlatforms + static_cast<int>(platform);
 }
 
+void CorrelationEngine::set_telemetry(core::telemetry::Registry* registry,
+                                      std::string_view corpus) {
+  if (registry == nullptr) {
+    ingest_tel_ = {};
+    return;
+  }
+  const std::string corpus_label{corpus};
+  const auto phase = [&](const char* name) {
+    return registry->histogram(
+        "usaas_ingest_batch_seconds",
+        "Per-batch ingest phase durations (two-pass counted pipeline)",
+        {{"corpus", corpus_label}, {"phase", name}});
+  };
+  ingest_tel_ = {phase("count"), phase("plan"), phase("scatter"),
+                 phase("summarize"), phase("total")};
+}
+
 CorrelationEngine::SessionShard& CorrelationEngine::shard_for_key(int key) {
   const auto [it, inserted] = shard_index_.try_emplace(key, shards_.size());
   if (inserted) {
@@ -213,6 +230,13 @@ void CorrelationEngine::ingest(std::span<const confsim::CallRecord> calls) {
   batch.summarize_seconds = seconds_between(t3, t4);
   batch.total_seconds = seconds_between(t0, t4);
   ingest_stats_.merge(batch);
+  // Telemetry reuses the timestamps already taken for IngestStats — the
+  // instrumented path adds atomic observes, not extra clock reads.
+  ingest_tel_.count.observe(batch.count_seconds);
+  ingest_tel_.plan.observe(batch.plan_seconds);
+  ingest_tel_.scatter.observe(batch.scatter_seconds);
+  ingest_tel_.summarize.observe(batch.summarize_seconds);
+  ingest_tel_.total.observe(batch.total_seconds);
 }
 
 std::size_t CorrelationEngine::session_count() const {
@@ -304,7 +328,8 @@ bool CorrelationEngine::record_matches(const SelectedShard& sel,
 
 EngagementCurve CorrelationEngine::engagement_curve(
     const SweepSpec& spec, EngagementMetric engagement,
-    const ParticipantFilter& filter, const ShardSelector& selector) const {
+    const ParticipantFilter& filter, const ShardSelector& selector,
+    QueryFanoutStats* fanout) const {
   const auto selected = select_shards(selector);
   // Summary fast path: the query shape must match a precomputed axis
   // exactly (metric/lo/hi/bins, mean aggregate, no confounder filter, no
@@ -330,9 +355,7 @@ EngagementCurve CorrelationEngine::engagement_curve(
                      sel.shard->summary.enabled();
     n_summary += use_summary[i] ? 1 : 0;
   }
-  fanout_.from_summary.fetch_add(n_summary, std::memory_order_relaxed);
-  fanout_.scanned.fetch_add(selected.size() - n_summary,
-                            std::memory_order_relaxed);
+  note_fanout(n_summary, selected.size() - n_summary, fanout);
 
   std::vector<core::Binner1D> partials;
   partials.reserve(selected.size());
@@ -433,9 +456,7 @@ core::Grid2D CorrelationEngine::compounding_grid(EngagementMetric engagement,
     use_summary[i] = summary_capable && selected[i].shard->summary.enabled();
     n_summary += use_summary[i] ? 1 : 0;
   }
-  fanout_.from_summary.fetch_add(n_summary, std::memory_order_relaxed);
-  fanout_.scanned.fetch_add(selected.size() - n_summary,
-                            std::memory_order_relaxed);
+  note_fanout(n_summary, selected.size() - n_summary, nullptr);
   std::vector<core::Grid2D> partials;
   partials.reserve(selected.size());
   for (std::size_t i = 0; i < selected.size(); ++i) {
@@ -464,7 +485,8 @@ core::Grid2D CorrelationEngine::compounding_grid(EngagementMetric engagement,
 
 std::optional<CorrelationEngine::MosCorrelation>
 CorrelationEngine::mos_correlation(EngagementMetric engagement,
-                                   std::size_t min_samples) const {
+                                   std::size_t min_samples,
+                                   QueryFanoutStats* fanout) const {
   const auto selected = select_shards({});
   struct Rated {
     std::vector<double> eng;
@@ -482,9 +504,7 @@ CorrelationEngine::mos_correlation(EngagementMetric engagement,
                      selected[i].shard->summary.enabled();
     n_summary += use_summary[i] ? 1 : 0;
   }
-  fanout_.from_summary.fetch_add(n_summary, std::memory_order_relaxed);
-  fanout_.scanned.fetch_add(selected.size() - n_summary,
-                            std::memory_order_relaxed);
+  note_fanout(n_summary, selected.size() - n_summary, fanout);
   core::parallel_for(pool_, selected.size(), [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
       Rated& part = partials[i];
@@ -544,8 +564,8 @@ CorrelationEngine::mos_correlation(EngagementMetric engagement,
 
 CorrelationEngine::Tally CorrelationEngine::tally(
     const ParticipantFilter& filter, const ShardSelector& selector,
-    const std::function<double(const confsim::ParticipantRecord&)>& predictor)
-    const {
+    const std::function<double(const confsim::ParticipantRecord&)>& predictor,
+    QueryFanoutStats* fanout) const {
   const auto selected = select_shards(selector);
   // Summary fast path: counts and MOS sums live pre-accumulated per shard
   // (whole-shard and per-access buckets, both in ingest order — identical
@@ -561,9 +581,7 @@ CorrelationEngine::Tally CorrelationEngine::tally(
                      !sel.check_platform && sel.shard->summary.enabled();
     n_summary += use_summary[i] ? 1 : 0;
   }
-  fanout_.from_summary.fetch_add(n_summary, std::memory_order_relaxed);
-  fanout_.scanned.fetch_add(selected.size() - n_summary,
-                            std::memory_order_relaxed);
+  note_fanout(n_summary, selected.size() - n_summary, fanout);
   std::vector<Tally> partials(selected.size());
   core::parallel_for(pool_, selected.size(), [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {

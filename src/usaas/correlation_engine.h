@@ -34,6 +34,7 @@
 #include "confsim/call.h"
 #include "core/date.h"
 #include "core/histogram.h"
+#include "core/telemetry/metrics.h"
 #include "core/thread_pool.h"
 #include "netsim/conditions.h"
 #include "usaas/shard_summary.h"
@@ -126,6 +127,12 @@ class CorrelationEngine {
   void set_thread_pool(core::ThreadPool* pool) { pool_ = pool; }
   [[nodiscard]] ShardingPolicy sharding() const { return sharding_; }
 
+  /// Registers this engine's batch-ingest phase histograms
+  /// (`usaas_ingest_batch_seconds{corpus,phase}`) in `registry`. Nullptr
+  /// (or a disabled registry) detaches: ingest performs no observations.
+  void set_telemetry(core::telemetry::Registry* registry,
+                     std::string_view corpus = "sessions");
+
   /// Ingests calls (only participants passing the enterprise filter's
   /// per-call requirements are assumed; callers pre-filter calls).
   ///
@@ -182,10 +189,15 @@ class CorrelationEngine {
   }
 
   /// Fig 1 / Fig 3: binned engagement curve over one network metric.
+  /// `fanout`, here and on mos_correlation/tally, additionally receives
+  /// this one call's summary-vs-scan shard visits (the cumulative
+  /// fanout_stats() counters are always bumped) — the per-query execution
+  /// shape QueryService reports in Insight::execution.
   [[nodiscard]] EngagementCurve engagement_curve(
       const SweepSpec& spec, EngagementMetric engagement,
       const ParticipantFilter& filter = nullptr,
-      const ShardSelector& selector = {}) const;
+      const ShardSelector& selector = {},
+      QueryFanoutStats* fanout = nullptr) const;
 
   /// Early-drop-off rate (fraction) binned over one network metric.
   [[nodiscard]] std::vector<CurvePoint> dropoff_curve(
@@ -208,7 +220,8 @@ class CorrelationEngine {
     std::vector<CurvePoint> decile_curve;
   };
   [[nodiscard]] std::optional<MosCorrelation> mos_correlation(
-      EngagementMetric engagement, std::size_t min_samples = 50) const;
+      EngagementMetric engagement, std::size_t min_samples = 50,
+      QueryFanoutStats* fanout = nullptr) const;
 
   /// Per-query session tallies: counts, observed-MOS sum over rated
   /// sessions, and (when `predictor` is set) predicted-MOS sum over every
@@ -223,7 +236,8 @@ class CorrelationEngine {
   [[nodiscard]] Tally tally(
       const ParticipantFilter& filter, const ShardSelector& selector,
       const std::function<double(const confsim::ParticipantRecord&)>&
-          predictor = nullptr) const;
+          predictor = nullptr,
+      QueryFanoutStats* fanout = nullptr) const;
 
   /// Materializes every stored session in shard-key order (a copy; the
   /// sharded store has no single contiguous buffer). Prefer the query
@@ -270,6 +284,17 @@ class CorrelationEngine {
                                            const core::Date& date,
                                            const confsim::ParticipantRecord& rec,
                                            const ShardSelector& selector);
+  /// Bumps the cumulative summary/scan counters and, when `out` is set,
+  /// adds the same visits to the caller's per-query stats.
+  void note_fanout(std::uint64_t from_summary, std::uint64_t scanned,
+                   QueryFanoutStats* out) const {
+    fanout_.from_summary.fetch_add(from_summary, std::memory_order_relaxed);
+    fanout_.scanned.fetch_add(scanned, std::memory_order_relaxed);
+    if (out != nullptr) {
+      out->shards_from_summary += from_summary;
+      out->shards_scanned += scanned;
+    }
+  }
 
   /// Relaxed atomic counters that survive the engine being copied by
   /// value (queries are const, so counting must be thread-safe under the
@@ -305,6 +330,16 @@ class CorrelationEngine {
   /// predictor; any ingest clears it (the sums would under-count).
   bool predicted_fresh_{false};
   mutable FanoutCounters fanout_;
+  /// Batch-ingest phase histograms (null handles when telemetry is off or
+  /// set_telemetry never ran — observations are single-branch no-ops).
+  struct IngestTelemetry {
+    core::telemetry::Histogram count;
+    core::telemetry::Histogram plan;
+    core::telemetry::Histogram scatter;
+    core::telemetry::Histogram summarize;
+    core::telemetry::Histogram total;
+  };
+  IngestTelemetry ingest_tel_;
 };
 
 }  // namespace usaas::service

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "core/flat_index.h"
+#include "core/telemetry/exposition.h"
 #include "core/timeseries.h"
 
 namespace usaas::service {
@@ -45,16 +47,67 @@ QueryValidation Query::validate() const {
 
 QueryService::QueryService(QueryServiceConfig config)
     : config_{config},
-      sync_{std::make_unique<Sync>(config.insight_cache_entries)},
+      sync_{std::make_unique<Sync>(
+          config.insight_cache_entries,
+          // The kill switch silences the slow-query log too: without
+          // telemetry there are no timings worth ranking.
+          (config.telemetry != nullptr ? config.telemetry->enabled()
+                                       : core::telemetry::Registry::global()
+                                             .enabled())
+              ? config.slow_query_log_entries
+              : 0)},
       pool_{config.threads >= 2
                 ? std::make_unique<core::ThreadPool>(config.threads)
                 : nullptr},
-      engine_{config.sharding} {
+      engine_{config.sharding},
+      telemetry_{config.telemetry != nullptr
+                     ? config.telemetry
+                     : &core::telemetry::Registry::global()} {
   engine_.set_thread_pool(pool_.get());
   if (config_.shard_summaries &&
       config_.sharding == ShardingPolicy::kMonthPlatform) {
     engine_.configure_summaries(config_.summary_layout);
   }
+  register_telemetry();
+}
+
+void QueryService::register_telemetry() {
+  engine_.set_telemetry(telemetry_, "sessions");
+  core::telemetry::Registry& reg = *telemetry_;
+  query_seconds_ = reg.histogram("usaas_query_seconds",
+                                 "End-to-end QueryService::run latency");
+  const auto phase = [&](const char* name) {
+    return reg.histogram("usaas_query_phase_seconds",
+                         "Per-phase query latency (validate, cache probe, "
+                         "implicit fan-out, social fan-out)",
+                         {{"phase", name}});
+  };
+  phase_validate_ = phase("validate");
+  phase_cache_probe_ = phase("cache-probe");
+  phase_implicit_ = phase("implicit");
+  phase_social_ = phase("social");
+  retrain_seconds_ = reg.histogram(
+      "usaas_retrain_seconds",
+      "MOS predictor retrain latency (train + summary tally refresh)");
+  const auto post_phase = [&](const char* name) {
+    return reg.histogram(
+        "usaas_ingest_batch_seconds",
+        "Per-batch ingest phase durations (two-pass counted pipeline)",
+        {{"corpus", "posts"}, {"phase", name}});
+  };
+  post_ingest_tel_ = {post_phase("count"), post_phase("plan"),
+                      post_phase("scatter"), post_phase("summarize"),
+                      post_phase("total")};
+  const auto path_counter = [&](ServedBy path) {
+    return reg.counter("usaas_queries_total",
+                       "Queries answered, by serving path",
+                       {{"path", to_string(path)}});
+  };
+  queries_by_path_ = {path_counter(ServedBy::kCache),
+                      path_counter(ServedBy::kSummaryMerge),
+                      path_counter(ServedBy::kScan),
+                      path_counter(ServedBy::kMixed),
+                      path_counter(ServedBy::kInvalid)};
 }
 
 void QueryService::ingest_calls(std::span<const confsim::CallRecord> calls) {
@@ -178,6 +231,13 @@ void QueryService::ingest_posts(std::span<const social::Post> posts) {
   batch.summarize_seconds = seconds_between(t3, t4);
   batch.total_seconds = seconds_between(t0, t4);
   post_ingest_stats_.merge(batch);
+  // Reuses the timestamps already taken for IngestStats — no extra clock
+  // reads on the instrumented path.
+  post_ingest_tel_.count.observe(batch.count_seconds);
+  post_ingest_tel_.plan.observe(batch.plan_seconds);
+  post_ingest_tel_.scatter.observe(batch.scatter_seconds);
+  post_ingest_tel_.summarize.observe(batch.summarize_seconds);
+  post_ingest_tel_.total.observe(batch.total_seconds);
   bump_version();
 }
 
@@ -212,6 +272,7 @@ QueryService::ServiceStats QueryService::stats() const {
 }
 
 bool QueryService::train_predictor() {
+  core::telemetry::TraceSpan span{retrain_seconds_};
   const auto guard = sync_->lock.write();
   predictor_trained_ = false;
   // Canonical (month, platform, ingest) collection order: the fitted model
@@ -259,6 +320,14 @@ QueryService::CacheKey QueryService::make_cache_key(const Query& query,
   return key;
 }
 
+std::uint64_t query_fingerprint(const Query& query) {
+  // Version 0 pins the version field: the fingerprint identifies the
+  // query shape alone, stable across corpus mutations (unlike the insight
+  // cache key, which is deliberately version-scoped).
+  const QueryService::CacheKey key = QueryService::make_cache_key(query, 0);
+  return static_cast<std::uint64_t>(QueryService::CacheKeyHash{}(key));
+}
+
 std::size_t QueryService::insight_bytes(const Insight& insight) {
   std::size_t bytes = sizeof(Insight);
   for (const EngagementCurve& c : insight.engagement) {
@@ -271,10 +340,17 @@ std::size_t QueryService::insight_bytes(const Insight& insight) {
 }
 
 Insight QueryService::run(const Query& query) const {
+  core::telemetry::TraceSpan span{query_seconds_};
   Insight insight;
   const QueryValidation verdict = query.validate();
   insight.error = verdict.error;
-  if (!verdict.ok()) return insight;
+  span.lap(phase_validate_);
+  if (!verdict.ok()) {
+    insight.execution.served_by = ServedBy::kInvalid;
+    insight.execution.seconds = span.finish();
+    queries_by_path_[static_cast<std::size_t>(ServedBy::kInvalid)].add();
+    return insight;
+  }
 
   // One shared guard across the whole fan-out: the insight is a consistent
   // snapshot of a flushed corpus prefix, stamped with its version. The
@@ -286,24 +362,63 @@ Insight QueryService::run(const Query& query) const {
   const std::uint64_t version =
       sync_->version.load(std::memory_order_acquire);
   const bool cache_on = sync_->cache.capacity() > 0;
+  bool cache_hit = false;
   CacheKey key;
   if (cache_on) {
     key = make_cache_key(query, version);
     const std::lock_guard<std::mutex> cache_lock{sync_->cache_mu};
-    if (const Insight* hit = sync_->cache.find(key)) return *hit;
+    if (const Insight* hit = sync_->cache.find(key)) {
+      insight = *hit;
+      cache_hit = true;
+    }
   }
-  insight = compute_insight(query, version);
+  span.lap(phase_cache_probe_);
+  if (cache_hit) {
+    // The cached aggregates, but THIS run's execution report: nothing was
+    // recomputed, so the fan-out deltas are zero.
+    insight.execution = {};
+    insight.execution.served_by = ServedBy::kCache;
+    insight.execution.cache_hit = true;
+    insight.execution.seconds = span.finish();
+    queries_by_path_[static_cast<std::size_t>(ServedBy::kCache)].add();
+    sync_->slow_log.record(
+        {query_fingerprint(query), insight.execution.seconds,
+         to_string(ServedBy::kCache), 0, 0, insight.sessions, version, 1});
+    return insight;
+  }
+  insight = compute_insight(query, version, &span);
+  // Classify over session + post shard visits combined: summary-merge
+  // only when no shard anywhere was rescanned.
+  const QueryExecution& exec = insight.execution;
+  const std::uint64_t merged =
+      exec.shards_from_summary + exec.post_shards_from_summary;
+  const std::uint64_t scanned =
+      exec.shards_scanned + exec.post_shards_scanned;
+  ServedBy path = ServedBy::kScan;
+  if (merged > 0) {
+    path = scanned > 0 ? ServedBy::kMixed : ServedBy::kSummaryMerge;
+  }
+  insight.execution.served_by = path;
   if (cache_on) {
     const std::lock_guard<std::mutex> cache_lock{sync_->cache_mu};
     sync_->cache.insert(key, insight, insight_bytes(insight));
   }
+  insight.execution.seconds = span.finish();
+  queries_by_path_[static_cast<std::size_t>(path)].add();
+  sync_->slow_log.record({query_fingerprint(query),
+                          insight.execution.seconds, to_string(path),
+                          merged, scanned, insight.sessions, version, 1});
   return insight;
 }
 
 Insight QueryService::compute_insight(const Query& query,
-                                      std::uint64_t version) const {
+                                      std::uint64_t version,
+                                      core::telemetry::TraceSpan* span) const {
   Insight insight;
   insight.corpus_version = version;
+  // This query's session-engine fan-out, accumulated by the engine calls
+  // below (the engine's cumulative counters are bumped as before).
+  QueryFanoutStats fanout;
 
   // The access restriction rides in the selector (a structural per-record
   // predicate), not an opaque ParticipantFilter — that keeps access
@@ -323,8 +438,8 @@ Insight QueryService::compute_insight(const Query& query,
        {EngagementMetric::kPresence, EngagementMetric::kCamOn,
         EngagementMetric::kMicOn}) {
     insight.engagement.push_back(
-        engine_.engagement_curve(spec, m, filter, selector));
-    if (const auto corr = engine_.mos_correlation(m)) {
+        engine_.engagement_curve(spec, m, filter, selector, &fanout));
+    if (const auto corr = engine_.mos_correlation(m, 50, &fanout)) {
       insight.mos_spearman.emplace_back(m, corr->spearman);
     }
   }
@@ -336,7 +451,7 @@ Insight QueryService::compute_insight(const Query& query,
     };
   }
   const CorrelationEngine::Tally tally =
-      engine_.tally(filter, selector, predict);
+      engine_.tally(filter, selector, predict, &fanout);
   insight.sessions = tally.sessions;
   insight.rated_sessions = tally.rated;
   if (tally.rated > 0) {
@@ -347,6 +462,9 @@ Insight QueryService::compute_insight(const Query& query,
     insight.predicted_mean_mos =
         tally.predicted_mos_sum / static_cast<double>(tally.predicted);
   }
+  insight.execution.shards_from_summary = fanout.shards_from_summary;
+  insight.execution.shards_scanned = fanout.shards_scanned;
+  if (span != nullptr) span->lap(phase_implicit_);
 
   // ---- Explicit (social) side: pre-scored shards, pruned by month ----
   struct SelectedPosts {
@@ -377,6 +495,13 @@ Insight QueryService::compute_insight(const Query& query,
     const bool check_dates = first_cuts || last_cuts;
     selected.push_back({&shard, mk, check_dates,
                         post_summaries && !check_dates});
+  }
+  for (const SelectedPosts& sel : selected) {
+    if (sel.use_summary) {
+      ++insight.execution.post_shards_from_summary;
+    } else {
+      ++insight.execution.post_shards_scanned;
+    }
   }
 
   struct SocialPartial {
@@ -457,7 +582,167 @@ Insight QueryService::compute_insight(const Query& query,
       insight.outage_alert_days.push_back(date);
     }
   }
+  if (span != nullptr) span->lap(phase_social_);
   return insight;
+}
+
+std::vector<core::telemetry::MetricFamily> QueryService::collect_families()
+    const {
+  std::vector<core::telemetry::MetricFamily> families =
+      telemetry_->collect();
+  // Service-derived families are built from ONE stats() snapshot and
+  // rendered through the same formatting path as registry metrics: the
+  // exposition endpoint and stats() cannot disagree about a counter.
+  append_service_families(families, stats());
+  return families;
+}
+
+void QueryService::append_service_families(
+    std::vector<core::telemetry::MetricFamily>& families,
+    const ServiceStats& stats) const {
+  using core::telemetry::MetricFamily;
+  using core::telemetry::MetricKind;
+  using core::telemetry::Sample;
+  const auto counter_sample = [](std::string labels, std::uint64_t v) {
+    Sample s;
+    s.labels = std::move(labels);
+    s.value_u = v;
+    return s;
+  };
+  const auto seconds_sample = [](std::string labels, double v) {
+    Sample s;
+    s.labels = std::move(labels);
+    s.floating = true;
+    s.value_d = v;
+    return s;
+  };
+  const auto gauge_sample = [](std::string labels, double v) {
+    Sample s;
+    s.labels = std::move(labels);
+    s.value_d = v;
+    return s;
+  };
+  const auto add = [&](const char* name, const char* help, MetricKind kind,
+                       std::vector<Sample> samples) {
+    families.push_back({name, help, kind, std::move(samples)});
+  };
+  const auto per_corpus = [&](const char* name, const char* help,
+                              std::uint64_t sessions, std::uint64_t posts) {
+    add(name, help, MetricKind::kCounter,
+        {counter_sample("corpus=\"sessions\"", sessions),
+         counter_sample("corpus=\"posts\"", posts)});
+  };
+
+  per_corpus("usaas_ingest_batches_total", "Batch ingests absorbed",
+             stats.sessions.batches, stats.posts.batches);
+  per_corpus("usaas_ingest_records_total", "Records ingested",
+             stats.sessions.records, stats.posts.records);
+  per_corpus("usaas_ingest_bytes_moved_total",
+             "Bytes copied into shard storage", stats.sessions.bytes_moved,
+             stats.posts.bytes_moved);
+  per_corpus("usaas_ingest_shards_touched_total",
+             "Destination shards written, summed over batches",
+             stats.sessions.shards_touched, stats.posts.shards_touched);
+  {
+    std::vector<Sample> samples;
+    const auto phases = [&](const char* corpus, const IngestStats& is) {
+      const std::pair<const char*, double> rows[] = {
+          {"count", is.count_seconds},
+          {"plan", is.plan_seconds},
+          {"scatter", is.scatter_seconds},
+          {"summarize", is.summarize_seconds},
+          {"total", is.total_seconds}};
+      for (const auto& [name, v] : rows) {
+        samples.push_back(seconds_sample(std::string{"corpus=\""} + corpus +
+                                             "\",phase=\"" + name + "\"",
+                                         v));
+      }
+    };
+    phases("sessions", stats.sessions);
+    phases("posts", stats.posts);
+    add("usaas_ingest_phase_seconds_total",
+        "Cumulative batch-ingest time per pipeline phase",
+        MetricKind::kCounter, std::move(samples));
+  }
+  add("usaas_shards", "Live shard count", MetricKind::kGauge,
+      {gauge_sample("corpus=\"sessions\"",
+                    static_cast<double>(stats.session_shards)),
+       gauge_sample("corpus=\"posts\"",
+                    static_cast<double>(stats.post_shards))});
+  add("usaas_corpus_version",
+      "Successful mutating operations absorbed (monotone)",
+      MetricKind::kCounter, {counter_sample("", stats.corpus_version)});
+
+  add("usaas_stream_records_total",
+      "Streaming front-end record outcomes", MetricKind::kCounter,
+      {counter_sample("outcome=\"accepted\"", stats.stream.accepted),
+       counter_sample("outcome=\"flushed\"", stats.stream.flushed),
+       counter_sample("outcome=\"quarantined\"", stats.stream.quarantined),
+       counter_sample("outcome=\"dropped\"", stats.stream.dropped),
+       counter_sample("outcome=\"rejected\"", stats.stream.rejected)});
+  add("usaas_stream_flushes_total", "Flush rounds, by result",
+      MetricKind::kCounter,
+      {counter_sample("result=\"ok\"", stats.stream.flushes),
+       counter_sample("result=\"failed\"", stats.stream.flush_failures),
+       counter_sample("result=\"retried\"", stats.stream.flush_retries)});
+  add("usaas_stream_staged_records",
+      "Records accepted but not yet queryable (snapshot staleness)",
+      MetricKind::kGauge,
+      {gauge_sample("", static_cast<double>(stats.stream.staged))});
+  add("usaas_stream_degraded",
+      "1 while the last flush round failed outright", MetricKind::kGauge,
+      {gauge_sample("", stats.stream.degraded ? 1.0 : 0.0)});
+
+  add("usaas_insight_cache_lookups_total",
+      "Insight cache probes, by outcome", MetricKind::kCounter,
+      {counter_sample("outcome=\"hit\"", stats.insight_cache.hits),
+       counter_sample("outcome=\"miss\"", stats.insight_cache.misses)});
+  add("usaas_insight_cache_evictions_total", "LRU evictions",
+      MetricKind::kCounter,
+      {counter_sample("", stats.insight_cache.evictions)});
+  add("usaas_insight_cache_entries", "Cached insights", MetricKind::kGauge,
+      {gauge_sample("", static_cast<double>(stats.insight_cache.entries))});
+  add("usaas_insight_cache_capacity", "Cache capacity", MetricKind::kGauge,
+      {gauge_sample("", static_cast<double>(stats.insight_cache.capacity))});
+  add("usaas_insight_cache_bytes", "Estimated cached-insight bytes",
+      MetricKind::kGauge,
+      {gauge_sample("", static_cast<double>(stats.insight_cache.bytes))});
+
+  add("usaas_query_fanout_shards_total",
+      "Shard visits answered from summaries vs record scans",
+      MetricKind::kCounter,
+      {counter_sample("source=\"summary\"", stats.fanout.shards_from_summary),
+       counter_sample("source=\"scan\"", stats.fanout.shards_scanned)});
+  add("usaas_summary_bytes", "Heap held by per-shard summaries",
+      MetricKind::kGauge,
+      {gauge_sample("", static_cast<double>(stats.summary_bytes))});
+
+  const std::vector<core::telemetry::SlowQueryEntry> slow =
+      sync_->slow_log.worst();
+  if (!slow.empty()) {
+    std::vector<Sample> samples;
+    samples.reserve(slow.size());
+    for (const core::telemetry::SlowQueryEntry& e : slow) {
+      char fp[24];
+      std::snprintf(fp, sizeof fp, "%016llx",
+                    static_cast<unsigned long long>(e.fingerprint));
+      samples.push_back(gauge_sample(std::string{"fingerprint=\""} + fp +
+                                         "\",path=\"" + e.path + "\"",
+                                     e.seconds));
+    }
+    add("usaas_slow_query_seconds",
+        "Worst observed latency per slow-logged query fingerprint",
+        MetricKind::kGauge, std::move(samples));
+  }
+}
+
+std::string QueryService::metrics_text() const {
+  return core::telemetry::to_prometheus(collect_families());
+}
+
+std::string QueryService::metrics_json() const {
+  return core::telemetry::to_json(collect_families(),
+                                  sync_->slow_log.worst());
 }
 
 }  // namespace usaas::service

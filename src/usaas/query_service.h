@@ -31,6 +31,9 @@
 #include "core/fingerprint.h"
 #include "core/lru_cache.h"
 #include "core/rw_lock.h"
+#include "core/telemetry/metrics.h"
+#include "core/telemetry/slow_query_log.h"
+#include "core/telemetry/trace.h"
 #include "core/thread_pool.h"
 #include "nlp/keywords.h"
 #include "nlp/sentiment.h"
@@ -97,6 +100,45 @@ struct Query {
   [[nodiscard]] bool valid() const { return validate().ok(); }
 };
 
+/// How a query was ultimately served — the per-query execution shape
+/// (satellite of the cumulative QueryFanoutStats / InsightCacheStats).
+enum class ServedBy {
+  kCache,         // insight cache hit; no shard was visited
+  kSummaryMerge,  // every shard visit answered from a tier-2 summary
+  kScan,          // every shard visit rescanned records
+  kMixed,         // some summary merges, some scans (boundary shards)
+  kInvalid,       // the query failed validation; nothing was computed
+};
+
+[[nodiscard]] constexpr const char* to_string(ServedBy s) {
+  switch (s) {
+    case ServedBy::kCache: return "cache";
+    case ServedBy::kSummaryMerge: return "summary-merge";
+    case ServedBy::kScan: return "scan";
+    case ServedBy::kMixed: return "mixed";
+    case ServedBy::kInvalid: return "invalid";
+  }
+  return "unknown";
+}
+
+/// Per-query execution report carried on every Insight: was this answer a
+/// cache hit, a summary merge or a record scan, and how wide did it fan
+/// out. Shard-visit deltas cover THIS query only (the cumulative service
+/// counters live in ServiceStats). `seconds` is 0 when telemetry is
+/// disabled — the kill switch removes the clock reads, not just the
+/// counters.
+struct QueryExecution {
+  ServedBy served_by{ServedBy::kScan};
+  bool cache_hit{false};
+  double seconds{0.0};
+  /// Session-engine shard visits (engagement curves + MOS + tally).
+  std::uint64_t shards_from_summary{0};
+  std::uint64_t shards_scanned{0};
+  /// Social-side post-shard visits.
+  std::uint64_t post_shards_from_summary{0};
+  std::uint64_t post_shards_scanned{0};
+};
+
 /// The aggregated answer.
 struct Insight {
   /// Engagement curves over the requested metric, one per action.
@@ -123,7 +165,16 @@ struct Insight {
   /// the snapshot includes. Monotone; two insights with equal versions saw
   /// identical corpora.
   std::uint64_t corpus_version{0};
+  /// How this answer was produced (cache / summary merge / scan) and how
+  /// wide it fanned out. Cache hits return the cached aggregates with a
+  /// fresh execution report (served_by = kCache, zero shard visits).
+  QueryExecution execution;
 };
+
+/// Canonical, version-independent fingerprint of a query: equal queries
+/// (after cache-key normalization — packed dates, canonical zeros) share
+/// it across corpus mutations. Keys the slow-query log.
+[[nodiscard]] std::uint64_t query_fingerprint(const Query& query);
 
 struct QueryServiceConfig {
   /// kMonthPlatform partitions both corpora; kSingleShard keeps the flat
@@ -145,6 +196,15 @@ struct QueryServiceConfig {
   /// Layout the summaries precompute; queries must match an axis (and the
   /// grid) exactly to be summary-answerable.
   SummaryConfig summary_layout{};
+  /// Metrics/tracing sink; nullptr uses the process-wide
+  /// telemetry::Registry::global(). Tests and A/B benches hand each
+  /// service its own Registry for isolation. A disabled registry
+  /// (USAAS_TELEMETRY=off or Registry{false}) turns every handle into a
+  /// no-op and disables the slow-query log.
+  core::telemetry::Registry* telemetry{nullptr};
+  /// Worst-queries log capacity (distinct query fingerprints kept);
+  /// 0 disables the log.
+  std::size_t slow_query_log_entries{32};
 };
 
 /// Thread safety: mutating operations (ingest_calls / ingest_posts /
@@ -246,6 +306,27 @@ class QueryService {
     }
   };
   [[nodiscard]] ServiceStats stats() const;
+
+  /// Operator exposition: every registry-native metric (query/ingest
+  /// latency histograms, path counters) plus families derived from the
+  /// same stats() snapshot (ingest counters, stream health, cache and
+  /// fan-out stats), rendered as Prometheus text / a JSON snapshot. Both
+  /// build from one stats() call, so the exposition can never disagree
+  /// with stats() about a counter.
+  [[nodiscard]] std::string metrics_text() const;
+  [[nodiscard]] std::string metrics_json() const;
+
+  /// The registry this service records into (never null; the config's, or
+  /// the process-wide global).
+  [[nodiscard]] core::telemetry::Registry& telemetry_registry() const {
+    return *telemetry_;
+  }
+
+  /// Snapshot of the worst-queries log, slowest first.
+  [[nodiscard]] std::vector<core::telemetry::SlowQueryEntry> slow_queries()
+      const {
+    return sync_->slow_log.worst();
+  }
   /// IngestStats copies (not references: ingest may mutate them while the
   /// caller reads — snapshots are taken under the corpus read lock).
   [[nodiscard]] IngestStats session_ingest_stats() const {
@@ -315,13 +396,16 @@ class QueryService {
   /// while holding only the shared corpus lock, so concurrent readers
   /// serialize on cache_mu for the (cheap) lookup, not the computation.
   struct Sync {
-    explicit Sync(std::size_t cache_capacity) : cache{cache_capacity} {}
+    Sync(std::size_t cache_capacity, std::size_t slow_log_capacity)
+        : cache{cache_capacity}, slow_log{slow_log_capacity} {}
     core::RwLock lock;
     std::atomic<std::uint64_t> version{0};
     std::mutex health_mu;
     StreamHealth health;
     std::mutex cache_mu;
     core::LruCache<CacheKey, Insight, CacheKeyHash> cache;
+    /// Internally synchronized; lives here so run() (const) can record.
+    core::telemetry::SlowQueryLog slow_log;
   };
 
   void bump_version() {
@@ -330,16 +414,48 @@ class QueryService {
 
   [[nodiscard]] static CacheKey make_cache_key(const Query& query,
                                                std::uint64_t version);
+  friend std::uint64_t query_fingerprint(const Query& query);
   /// Estimated heap footprint of one insight, for cache byte accounting.
   [[nodiscard]] static std::size_t insight_bytes(const Insight& insight);
   /// The uncached query evaluation (callers hold the shared corpus lock).
+  /// Fills insight.execution's fan-out deltas; `span` (when live) gets
+  /// the implicit/social phase laps.
   [[nodiscard]] Insight compute_insight(const Query& query,
-                                        std::uint64_t version) const;
+                                        std::uint64_t version,
+                                        core::telemetry::TraceSpan* span) const;
+  /// Registers the service-level metric handles in telemetry_.
+  void register_telemetry();
+  /// Registry-native families + families derived from one stats()
+  /// snapshot — the single source both exposition formats render.
+  [[nodiscard]] std::vector<core::telemetry::MetricFamily> collect_families()
+      const;
+  void append_service_families(
+      std::vector<core::telemetry::MetricFamily>& families,
+      const ServiceStats& stats) const;
 
   QueryServiceConfig config_;
   std::unique_ptr<Sync> sync_;
   std::unique_ptr<core::ThreadPool> pool_;  // set iff config_.threads >= 2
   CorrelationEngine engine_;
+  /// Resolved telemetry sink (config's registry or the global; never
+  /// null). Handles below are null no-ops when the registry is disabled.
+  core::telemetry::Registry* telemetry_{nullptr};
+  core::telemetry::Histogram query_seconds_;
+  core::telemetry::Histogram phase_validate_;
+  core::telemetry::Histogram phase_cache_probe_;
+  core::telemetry::Histogram phase_implicit_;
+  core::telemetry::Histogram phase_social_;
+  core::telemetry::Histogram retrain_seconds_;
+  struct PostIngestTelemetry {
+    core::telemetry::Histogram count;
+    core::telemetry::Histogram plan;
+    core::telemetry::Histogram scatter;
+    core::telemetry::Histogram summarize;
+    core::telemetry::Histogram total;
+  };
+  PostIngestTelemetry post_ingest_tel_;
+  /// queries_total{path=...}, indexed by ServedBy.
+  std::array<core::telemetry::Counter, 5> queries_by_path_;
   // month_key -> shard, ordered; a single key 0 under kSingleShard.
   std::map<int, PostShard> post_shards_;
   std::size_t post_count_{0};

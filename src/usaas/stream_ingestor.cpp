@@ -6,6 +6,8 @@
 #include <limits>
 #include <thread>
 
+#include "core/telemetry/trace.h"
+
 namespace usaas::service {
 
 namespace {
@@ -136,6 +138,18 @@ StreamIngestor::StreamIngestor(QueryService& service,
   config_.max_flush_attempts =
       std::max<std::size_t>(1, config_.max_flush_attempts);
   config_.max_block_rounds = std::max<std::size_t>(1, config_.max_block_rounds);
+  core::telemetry::Registry& reg = service_.telemetry_registry();
+  flush_calls_seconds_ =
+      reg.histogram("usaas_stream_flush_seconds",
+                    "Successful staging-buffer flush latency",
+                    {{"corpus", "calls"}});
+  flush_posts_seconds_ =
+      reg.histogram("usaas_stream_flush_seconds",
+                    "Successful staging-buffer flush latency",
+                    {{"corpus", "posts"}});
+  backoff_seconds_ = reg.histogram(
+      "usaas_stream_backoff_seconds",
+      "Exponential-backoff sleeps between flush retry attempts");
 }
 
 PushOutcome StreamIngestor::push_call_locked(const confsim::CallRecord& call) {
@@ -302,6 +316,8 @@ bool StreamIngestor::flush_corpus(Corpus corpus) {
                                              << std::min<std::size_t>(
                                                     attempt - 1, 20)});
       if (backoff > std::chrono::milliseconds{0}) {
+        backoff_seconds_.observe(
+            std::chrono::duration<double>(backoff).count());
         std::this_thread::sleep_for(backoff);
       }
     }
@@ -316,11 +332,13 @@ bool StreamIngestor::flush_corpus(Corpus corpus) {
       }
     }
     if (calls) {
+      core::telemetry::TraceSpan span{flush_calls_seconds_};
       const std::vector<confsim::CallRecord> batch{staged_calls_.begin(),
                                                    staged_calls_.end()};
       service_.ingest_calls(batch);
       staged_calls_.clear();
     } else {
+      core::telemetry::TraceSpan span{flush_posts_seconds_};
       const std::vector<social::Post> batch{staged_posts_.begin(),
                                             staged_posts_.end()};
       service_.ingest_posts(batch);

@@ -210,6 +210,13 @@ class StreamIngestor {
   QueryService& service_;
   StreamIngestorConfig config_;
   core::FaultInjector* faults_;
+  /// Registered against the service's telemetry registry at construction;
+  /// null no-ops when telemetry is off. Flush spans cover the successful
+  /// service ingest only (staging bookkeeping is nanoseconds); backoff
+  /// observations record the computed sleep, costing no extra clock read.
+  core::telemetry::Histogram flush_calls_seconds_;
+  core::telemetry::Histogram flush_posts_seconds_;
+  core::telemetry::Histogram backoff_seconds_;
 
   mutable std::mutex mu_;
   std::deque<confsim::CallRecord> staged_calls_;
