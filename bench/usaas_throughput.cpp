@@ -23,6 +23,7 @@
 // USAAS_BENCH_POSTS).
 //
 // Build & run:   ./build/bench/usaas_throughput
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -383,6 +384,32 @@ int main() {
           ? json_path_env
           : "BENCH_usaas_throughput.json";
 
+  // Posts-only guard mode (USAAS_BENCH_POSTS_ONLY=1): skip the session
+  // corpus and the query battery entirely; measure just the sharded
+  // 2-pass 1t post ingest, minimum over 3 reps, and print one parseable
+  // line. scripts/check.sh diffs this against the posts_per_sec recorded
+  // in BENCH_usaas_throughput.json and fails on a >10% regression.
+  if (const char* only = std::getenv("USAAS_BENCH_POSTS_ONLY");
+      only != nullptr && *only == '1') {
+    const auto posts = synth_posts(target_posts, 424242);
+    service::QueryServiceConfig cfg;
+    cfg.sharding = service::ShardingPolicy::kMonthPlatform;
+    cfg.threads = 1;
+    cfg.insight_cache_entries = 0;
+    cfg.shard_summaries = false;
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      service::QueryService svc{cfg};
+      const auto t = Clock::now();
+      svc.ingest_posts(posts);
+      best = std::min(best, seconds_since(t));
+    }
+    std::printf("POSTS_ONLY sharded_2_pass_1t posts=%zu post_seconds=%.6f "
+                "posts_per_sec=%.0f\n",
+                posts.size(), best, static_cast<double>(posts.size()) / best);
+    return 0;
+  }
+
   std::printf("== USaaS ingest/query throughput ==\n");
   std::printf("synthesizing corpus: %zu sessions, %zu posts...\n",
               target_sessions, target_posts);
@@ -453,6 +480,17 @@ int main() {
     t0 = Clock::now();
     svc->ingest_posts(posts);
     col.post_seconds = seconds_since(t0);
+    // Two more post-ingest reps into throwaway services; the recorded
+    // figure is the minimum, which on a busy single-core host is the
+    // closest observable to the true cost (same rationale as the
+    // telemetry columns below). The JSON figure is the baseline the
+    // check.sh regression gate diffs against, so it has to be stable.
+    for (int rep = 1; rep < 3; ++rep) {
+      service::QueryService fresh{scan_config(threads)};
+      t0 = Clock::now();
+      fresh.ingest_posts(posts);
+      col.post_seconds = std::min(col.post_seconds, seconds_since(t0));
+    }
     svc->train_predictor();  // needed by the query battery; timed apart
     col.sessions_per_sec = static_cast<double>(sessions) / col.call_seconds;
     col.posts_per_sec = static_cast<double>(posts.size()) / col.post_seconds;

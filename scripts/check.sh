@@ -4,7 +4,8 @@
 #   1. plain build, full ctest suite;
 #   2. ThreadSanitizer build of the concurrency suites (pool fan-out,
 #      shard equivalence, two-pass batch ingest, streaming ingest + fault
-#      injection, insight cache + shard summaries), `ctest -L sanitize`;
+#      injection, insight cache + shard summaries) plus the differential
+#      NLP harness, `ctest -L sanitize`;
 #   3. AddressSanitizer build of the streaming/fault-injection suites —
 #      the paths that stage, evict, quarantine and retry buffers are the
 #      ones where a lifetime bug would hide — same `ctest -L sanitize`.
@@ -13,6 +14,12 @@
 #      kill switch and fails if batch-ingest overhead exceeds 5% (the
 #      design target is <2%; the gate leaves headroom for timing noise
 #      on loaded single-core CI hosts).
+#   5. post-ingest regression gate: the bench's posts-only mode
+#      (USAAS_BENCH_POSTS_ONLY=1, min over 3 reps) against the 1t
+#      posts_per_sec recorded in BENCH_usaas_throughput.json; fails on a
+#      >10% drop. Only the 1t column gates — the multi-thread columns in
+#      the recorded JSON are OVERSUBSCRIBED on single-core hosts and
+#      measure queueing, not scaling.
 #
 # The sanitize suites carry USAAS_PARALLEL_FORCE=1 via their ctest
 # ENVIRONMENT property, so parallel_for really fans out across the pool —
@@ -35,6 +42,7 @@ SANITIZE_TARGETS=(
   test_usaas_insight_cache
   test_fault_injection
   test_telemetry
+  test_nlp_differential
 )
 
 echo "==> tier-1: configure + build (${JOBS} jobs)"
@@ -77,6 +85,42 @@ awk -v pct="${INGEST_OVERHEAD}" 'BEGIN {
     exit 1
   }
   printf "telemetry ingest overhead %.2f%% (gate: 5%%)\n", pct
+}'
+
+echo "==> post ingest: bench regression gate (posts-only, min of 3 reps)"
+BASELINE_JSON=BENCH_usaas_throughput.json
+if [[ ! -f "${BASELINE_JSON}" ]]; then
+  echo "FATAL: ${BASELINE_JSON} missing — run ./build/bench/usaas_throughput" >&2
+  exit 1
+fi
+# The sharded_2_pass_1t object carries the baseline; posts_per_sec is one
+# of its fields. (The 2t/8t columns are OVERSUBSCRIBED on single-core
+# hosts — only the 1t figure is stable enough to gate on.)
+BASELINE_PPS=$(sed -n \
+  's/.*"sharded_2_pass_1t".*"posts_per_sec": \([0-9.eE+-]*\)[,}].*/\1/p' \
+  "${BASELINE_JSON}")
+if [[ -z "${BASELINE_PPS}" ]]; then
+  echo "FATAL: sharded_2_pass_1t posts_per_sec missing from ${BASELINE_JSON}" >&2
+  exit 1
+fi
+GUARD_LINE=$(USAAS_BENCH_POSTS_ONLY=1 ./build/bench/usaas_throughput \
+  | grep '^POSTS_ONLY sharded_2_pass_1t ')
+CURRENT_PPS=$(printf '%s\n' "${GUARD_LINE}" \
+  | sed -n 's/.*posts_per_sec=\([0-9.]*\).*/\1/p')
+if [[ -z "${CURRENT_PPS}" ]]; then
+  echo "FATAL: posts-only guard produced no parseable output" >&2
+  exit 1
+fi
+awk -v cur="${CURRENT_PPS}" -v base="${BASELINE_PPS}" 'BEGIN {
+  floor = base * 0.9
+  if (cur + 0.0 < floor) {
+    printf "FATAL: post ingest 1t %.0f posts/s is >10%% below the recorded " \
+           "baseline %.0f posts/s (floor %.0f)\n", cur, base, floor \
+           > "/dev/stderr"
+    exit 1
+  }
+  printf "post ingest 1t %.0f posts/s (baseline %.0f, floor %.0f)\n",
+         cur, base, floor
 }'
 
 echo "==> all checks passed"

@@ -60,4 +60,27 @@ ScatterPlan build_scatter_plan(std::span<const DenseKeyCounts> per_chunk) {
   return plan;
 }
 
+std::vector<ShardRange> plan_shard_ranges(
+    std::span<const std::size_t> totals, std::size_t parallelism,
+    std::size_t min_grain) {
+  std::size_t sum = 0;
+  for (const std::size_t t : totals) sum += t;
+  const std::size_t par = std::max<std::size_t>(1, parallelism);
+  const std::size_t grain =
+      std::max<std::size_t>(std::max<std::size_t>(1, min_grain),
+                            sum / (par * 4));
+
+  std::vector<ShardRange> tasks;
+  for (std::size_t k = 0; k < totals.size(); ++k) {
+    const std::size_t total = totals[k];
+    if (total == 0) continue;
+    const std::size_t pieces = (total + grain - 1) / grain;
+    for (std::size_t p = 0; p < pieces; ++p) {
+      // Balanced split: ranges differ in size by at most one slot.
+      tasks.push_back({k, p * total / pieces, (p + 1) * total / pieces});
+    }
+  }
+  return tasks;
+}
+
 }  // namespace usaas::core

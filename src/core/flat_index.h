@@ -73,4 +73,26 @@ struct ScatterPlan {
 [[nodiscard]] ScatterPlan build_scatter_plan(
     std::span<const DenseKeyCounts> per_chunk);
 
+/// One unit of destination-major scatter work: the slot sub-range
+/// [begin, end) *within* dense key `key`'s contiguous slice. Produced by
+/// plan_shard_ranges in (key, begin) order, so iterating tasks in index
+/// order walks every slot of every key exactly once, in slot order —
+/// any per-task partials stitched in task order reproduce the
+/// sequential accumulation.
+struct ShardRange {
+  std::size_t key{0};    // dense key (plan.min_key + key is the real key)
+  std::size_t begin{0};  // first slot within the key's slice
+  std::size_t end{0};    // one past the last slot
+};
+
+/// Splits per-key totals into parallel tasks: each key becomes
+/// ceil(total / grain) contiguous sub-ranges, where grain is
+/// max(min_grain, sum(totals) / (parallelism * 4)) — so a hot key
+/// (one shard holding most of the batch) fans out across workers
+/// instead of serializing the scatter, while cold keys stay whole.
+/// Returns tasks sorted by (key, begin); empty keys produce no task.
+[[nodiscard]] std::vector<ShardRange> plan_shard_ranges(
+    std::span<const std::size_t> totals, std::size_t parallelism,
+    std::size_t min_grain);
+
 }  // namespace usaas::core

@@ -1,6 +1,7 @@
 #include "nlp/keywords.h"
 
 #include <algorithm>
+#include <map>
 
 #include "nlp/tokenizer.h"
 
@@ -16,6 +17,49 @@ KeywordDictionary::KeywordDictionary(std::string name,
     } else {
       unigrams_.insert(std::move(lower));
     }
+  }
+  build_fast_path();
+}
+
+void KeywordDictionary::build_fast_path() {
+  // Keys = unigram terms plus first words of bigrams; a word can be
+  // both ("offline" and "offline again"). Ordered map so the table is
+  // deterministic regardless of set iteration order.
+  std::map<std::string_view, Entry> merged;
+  for (const auto& word : unigrams_) {
+    merged[word].flags |= Entry::kUnigram;
+  }
+  seconds_.clear();
+  std::vector<std::pair<std::string_view, std::string_view>> pairs;
+  for (const auto& bigram : bigrams_) {
+    const std::string_view view{bigram};
+    const std::size_t space = view.find(' ');
+    pairs.emplace_back(view.substr(0, space), view.substr(space + 1));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  for (const auto& [head, tail] : pairs) {
+    Entry& e = merged[head];
+    if ((e.flags & Entry::kBigramHead) == 0) {
+      e.flags |= Entry::kBigramHead;
+      e.seconds_begin = static_cast<std::uint32_t>(seconds_.size());
+    }
+    ++e.seconds_count;  // pairs are sorted, so a head's seconds are runs
+    seconds_.push_back(tail);
+  }
+
+  std::vector<std::string_view> keys;
+  keys.reserve(merged.size());
+  entries_.clear();
+  entries_.reserve(merged.size());
+  for (const auto& [word, entry] : merged) {
+    keys.push_back(word);
+    entries_.push_back(entry);
+  }
+  fast_ok_ = index_.build(keys);
+  if (!fast_ok_) {
+    index_ = PerfectStringIndex{};
+    entries_.clear();
+    seconds_.clear();
   }
 }
 
@@ -35,8 +79,8 @@ const KeywordDictionary& KeywordDictionary::outage_dictionary() {
 }
 
 std::size_t KeywordDictionary::count_occurrences(std::string_view text) const {
-  std::string bigram;
-  return count_occurrences(tokenize(text), bigram);
+  TokenScratch scratch;
+  return count_occurrences(tokenize_into(text, scratch), scratch.bigram);
 }
 
 std::size_t KeywordDictionary::count_occurrences(std::span<const Token> tokens,

@@ -5,20 +5,43 @@
 // keywords related to outages and filtered the Reddit threads containing
 // them." KeywordDictionary is that artifact as a type: a named set of
 // lowercase terms (uni- or bigrams) with containment and counting queries.
+//
+// Counting runs on either of two paths over the same vocabulary:
+//   * the set path (count_occurrences over tokens + a bigram probe
+//     buffer) — two unordered_set probes per token, retained as the
+//     reference for the differential harness;
+//   * the fast path (probe) — one perfect-hash probe per token returning
+//     a packed entry that says "this word is a unigram term" and/or
+//     "this word heads these bigrams"; the scorer then matches the next
+//     token against the (tiny) seconds list instead of assembling a
+//     "first second" probe string. Zero allocations, zero extra probes.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
 
+#include "nlp/perfect_hash.h"
 #include "nlp/tokenizer.h"
 
 namespace usaas::nlp {
 
 class KeywordDictionary {
  public:
+  /// Packed per-word record for the fused scan: role flags plus, for
+  /// bigram heads, the [seconds_begin, seconds_begin + seconds_count)
+  /// range into the seconds list (see second()).
+  struct Entry {
+    std::uint8_t flags{0};
+    std::uint32_t seconds_begin{0};
+    std::uint32_t seconds_count{0};
+    static constexpr std::uint8_t kUnigram = 1;
+    static constexpr std::uint8_t kBigramHead = 2;
+  };
+
   KeywordDictionary(std::string name, std::vector<std::string> keywords);
 
   /// The paper's outage dictionary (hand-built, network-domain).
@@ -36,6 +59,7 @@ class KeywordDictionary {
 
   /// Same count over pre-tokenized text; `bigram` is a reusable probe
   /// buffer so the word-pair lookup allocates nothing at steady state.
+  /// (The set-based reference path.)
   [[nodiscard]] std::size_t count_occurrences(std::span<const Token> tokens,
                                               std::string& bigram) const;
 
@@ -43,10 +67,50 @@ class KeywordDictionary {
   [[nodiscard]] std::vector<std::string> matched_terms(
       std::string_view text) const;
 
+  /// Whether probe() is available (the perfect hash built cleanly).
+  [[nodiscard]] bool has_fast_path() const { return fast_ok_; }
+
+  /// Single-probe lookup; `hash` must be string_hash(word). nullptr for
+  /// words that are neither unigram terms nor bigram heads.
+  [[nodiscard]] const Entry* probe(std::string_view word,
+                                   std::uint64_t hash) const {
+    const std::uint32_t idx = index_.lookup(word, hash);
+    return idx == PerfectStringIndex::npos ? nullptr : &entries_[idx];
+  }
+
+  /// Second word of a bigram, addressed through an Entry's seconds range.
+  [[nodiscard]] std::string_view second(std::uint32_t idx) const {
+    return seconds_[idx];
+  }
+
  private:
+  // Heterogeneous lookup so string_view tokens probe without allocating.
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+  using Set = std::unordered_set<std::string, Hash, Eq>;
+
+  void build_fast_path();
+
   std::string name_;
-  std::unordered_set<std::string> unigrams_;
-  std::unordered_set<std::string> bigrams_;
+  Set unigrams_;
+  Set bigrams_;
+
+  PerfectStringIndex index_;
+  std::vector<Entry> entries_;
+  /// Views into bigrams_ set nodes (stable; the set is frozen after
+  /// construction).
+  std::vector<std::string_view> seconds_;
+  bool fast_ok_{false};
 };
 
 }  // namespace usaas::nlp

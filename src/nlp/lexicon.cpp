@@ -9,10 +9,12 @@ void Lexicon::add_word(std::string word, double valence) {
     throw std::invalid_argument("Lexicon: valence outside [-1, 1]");
   }
   valence_[std::move(word)] = valence;
+  rebuild_fast_path();
 }
 
 void Lexicon::add_negator(std::string word) {
   negators_[std::move(word)] = 1;
+  rebuild_fast_path();
 }
 
 void Lexicon::add_intensifier(std::string word, double multiplier) {
@@ -20,6 +22,54 @@ void Lexicon::add_intensifier(std::string word, double multiplier) {
     throw std::invalid_argument("Lexicon: non-positive intensity");
   }
   intensifiers_[std::move(word)] = multiplier;
+  rebuild_fast_path();
+}
+
+void Lexicon::rebuild_fast_path() {
+  // Union of the three vocabularies; views into the node-based maps'
+  // keys are stable while we build. A word may carry several roles —
+  // the packed entry holds all of them.
+  std::unordered_map<std::string_view, Entry> merged;
+  for (const auto& [word, val] : valence_) {
+    Entry& e = merged[word];
+    e.valence = val;
+    e.flags |= Entry::kHasValence;
+  }
+  for (const auto& [word, _] : negators_) {
+    merged[word].flags |= Entry::kNegator;
+  }
+  for (const auto& [word, mult] : intensifiers_) {
+    Entry& e = merged[word];
+    e.intensity = mult;
+    e.flags |= Entry::kIntensifier;
+  }
+
+  std::vector<std::string_view> keys;
+  keys.reserve(merged.size());
+  std::vector<Entry> entries;
+  entries.reserve(merged.size());
+  for (const auto& [word, entry] : merged) {
+    keys.push_back(word);
+    entries.push_back(entry);
+  }
+
+  fast_ok_ = index_.build(keys, options_);
+  if (!fast_ok_) {
+    index_ = PerfectStringIndex{};
+    entries_.clear();
+    return;
+  }
+  entries_ = std::move(entries);
+  // Collision-freedom check: every word must come back as itself. A
+  // failure here is a construction bug, not bad input — hence
+  // logic_error (the builtin() path turns this into a startup check).
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (index_.lookup(keys[i], string_hash(keys[i])) != i) {
+      throw std::logic_error(
+          "Lexicon: perfect-hash round-trip failed for '" +
+          std::string(keys[i]) + "'");
+    }
+  }
 }
 
 std::optional<double> Lexicon::valence(std::string_view word) const {

@@ -5,32 +5,79 @@
 // multiplicative strengths. The vocabulary is weighted toward the ISP /
 // network domain ("outage", "buffering", "uptime", "unusable") since that
 // is what r/Starlink posts talk about.
+//
+// Two lookup paths share one vocabulary:
+//   * the map path (valence / is_negator / intensity): three node-based
+//     probes, kept verbatim as the reference the differential harness
+//     compares against;
+//   * the fast path (probe): a build-time perfect-hash table where one
+//     probe returns the word's full packed record — valence, intensity
+//     multiplier and role flags in one Entry. Rebuilt eagerly after every
+//     add_* (the vocabulary is a few hundred words; rebuilds are O(N)).
+//     If the perfect hash cannot be built the fast path simply stays
+//     unavailable and callers fall back to the maps — behavior, not just
+//     results, is identical either way.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <unordered_map>
+#include <vector>
+
+#include "nlp/perfect_hash.h"
 
 namespace usaas::nlp {
 
 class Lexicon {
  public:
-  /// The built-in network-domain lexicon.
+  /// One word's packed record: everything the scorer needs from a single
+  /// probe. Flag checks must follow the map-path order (negator, then
+  /// intensifier, then valence) so a word carrying several roles behaves
+  /// identically on both paths.
+  struct Entry {
+    double valence{0.0};
+    double intensity{1.0};
+    std::uint8_t flags{0};
+    static constexpr std::uint8_t kHasValence = 1;
+    static constexpr std::uint8_t kNegator = 2;
+    static constexpr std::uint8_t kIntensifier = 4;
+  };
+  static_assert(std::is_trivially_copyable_v<Entry>);
+
+  /// The built-in network-domain lexicon. Construction verifies that
+  /// every word round-trips through the perfect hash (throws otherwise).
   static const Lexicon& builtin();
 
   /// Empty lexicon for custom builds.
   Lexicon() = default;
+  /// Custom perfect-hash limits — tests pass max_displacement = 0 to
+  /// force the build to fail and exercise the map fallback.
+  explicit Lexicon(PerfectHashOptions options) : options_{options} {}
 
   void add_word(std::string word, double valence);
   void add_negator(std::string word);
   void add_intensifier(std::string word, double multiplier);
 
-  /// Valence of a word, if known. In [-1, 1].
+  /// Valence of a word, if known. In [-1, 1]. (Map path.)
   [[nodiscard]] std::optional<double> valence(std::string_view word) const;
   [[nodiscard]] bool is_negator(std::string_view word) const;
   /// Intensity multiplier (>1 amplifies, <1 dampens), if the word is one.
   [[nodiscard]] std::optional<double> intensity(std::string_view word) const;
+
+  /// Whether probe() is available (the perfect hash built cleanly).
+  [[nodiscard]] bool has_fast_path() const { return fast_ok_; }
+
+  /// Single-probe lookup; `hash` must be string_hash(word). Returns
+  /// nullptr for words outside the vocabulary. Only valid when
+  /// has_fast_path(); the scorer falls back to the map path otherwise.
+  [[nodiscard]] const Entry* probe(std::string_view word,
+                                   std::uint64_t hash) const {
+    const std::uint32_t idx = index_.lookup(word, hash);
+    return idx == PerfectStringIndex::npos ? nullptr : &entries_[idx];
+  }
 
   [[nodiscard]] std::size_t size() const { return valence_.size(); }
 
@@ -51,9 +98,18 @@ class Lexicon {
   template <typename V>
   using Map = std::unordered_map<std::string, V, Hash, Eq>;
 
+  /// Rebuilds the flat table from the maps; on success verifies every
+  /// word round-trips (probe returns its own entry).
+  void rebuild_fast_path();
+
   Map<double> valence_;
   Map<char> negators_;
   Map<double> intensifiers_;
+
+  PerfectHashOptions options_{};
+  PerfectStringIndex index_;
+  std::vector<Entry> entries_;
+  bool fast_ok_{false};
 };
 
 }  // namespace usaas::nlp

@@ -1,0 +1,104 @@
+#include "nlp/perfect_hash.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace usaas::nlp {
+
+namespace {
+
+std::uint64_t next_pow2(std::uint64_t n) {
+  std::uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+bool PerfectStringIndex::build(std::span<const std::string_view> keys,
+                               const PerfectHashOptions& options) {
+  *this = PerfectStringIndex{};  // reset to the safe empty state
+  if (keys.empty()) {
+    ok_ = true;
+    return true;
+  }
+
+  const std::size_t n = keys.size();
+  // One bucket per ~4 keys keeps the displacement search short; at least
+  // 2 buckets so the shift stays < 64 (hash >> 64 is UB).
+  const std::uint64_t num_buckets =
+      std::max<std::uint64_t>(2, next_pow2((n + 3) / 4));
+  const double spk = std::max(1.0, options.slots_per_key);
+  const std::uint64_t num_slots = std::max<std::uint64_t>(
+      2, next_pow2(static_cast<std::uint64_t>(
+             static_cast<double>(n) * spk)));
+  unsigned shift = 64;
+  for (std::uint64_t b = num_buckets; b > 1; b >>= 1) --shift;
+
+  std::vector<std::uint64_t> hashes(n);
+  std::vector<std::vector<std::uint32_t>> buckets(num_buckets);
+  for (std::size_t i = 0; i < n; ++i) {
+    hashes[i] = string_hash(keys[i]);
+    buckets[hashes[i] >> shift].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Place big buckets first while the slot table is still sparse.
+  std::vector<std::uint32_t> order(num_buckets);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return buckets[a].size() > buckets[b].size();
+                   });
+
+  std::vector<std::uint32_t> disp(num_buckets, 0);
+  std::vector<std::uint32_t> slots(num_slots, npos);
+  const std::uint64_t mask = num_slots - 1;
+  std::vector<std::uint64_t> trial;
+  for (const std::uint32_t b : order) {
+    const auto& bucket = buckets[b];
+    if (bucket.empty()) continue;
+    bool placed = false;
+    for (std::uint32_t d = 1; d <= options.max_displacement; ++d) {
+      trial.clear();
+      bool clash = false;
+      for (const std::uint32_t i : bucket) {
+        const std::uint64_t slot =
+            finalize_hash(hashes[i] ^
+                          (static_cast<std::uint64_t>(d) * kGolden)) &
+            mask;
+        if (slots[slot] != npos ||
+            std::find(trial.begin(), trial.end(), slot) != trial.end()) {
+          clash = true;
+          break;
+        }
+        trial.push_back(slot);
+      }
+      if (clash) continue;
+      for (std::size_t j = 0; j < bucket.size(); ++j) {
+        slots[trial[j]] = bucket[j];
+      }
+      disp[b] = d;
+      placed = true;
+      break;
+    }
+    if (!placed) return false;  // index stays in the safe empty state
+  }
+
+  bucket_shift_ = shift;
+  slot_mask_ = mask;
+  displacements_ = std::move(disp);
+  slots_ = std::move(slots);
+  key_ends_.assign(1, 0);
+  key_ends_.reserve(n + 1);
+  std::size_t total_bytes = 0;
+  for (const auto key : keys) total_bytes += key.size();
+  key_bytes_.reserve(total_bytes);
+  for (const auto key : keys) {
+    key_bytes_.append(key);
+    key_ends_.push_back(static_cast<std::uint32_t>(key_bytes_.size()));
+  }
+  ok_ = true;
+  return true;
+}
+
+}  // namespace usaas::nlp

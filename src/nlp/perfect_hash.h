@@ -1,0 +1,118 @@
+// Build-time perfect hashing for small, fixed string vocabularies.
+//
+// The post-scoring hot path probes the sentiment lexicon and the outage
+// keyword dictionary once per token. Both vocabularies are frozen after
+// construction and tiny (a few hundred words), which is exactly the
+// regime where a CHD-style perfect hash beats unordered_map: one hash,
+// one displacement fetch, one slot fetch, one key compare — no chains,
+// no tombstones, and the token's hash is computed incrementally during
+// the character scan, so the probe itself touches the key bytes only for
+// the final equality check.
+//
+// PerfectStringIndex maps each distinct key to its index in the build
+// input; callers keep their payload in a parallel array. Construction is
+// randomized-free and deterministic: per-bucket displacements are found
+// by brute force in increasing order, so the same key set always builds
+// the same table. Building can fail (pathological key sets, or a
+// max_displacement forced low by tests); callers must keep a fallback
+// path — the Lexicon keeps its maps for exactly that reason.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace usaas::nlp {
+
+/// 64-bit FNV-1a over the key bytes, then a splitmix64 finalizer. The
+/// FNV stage is exposed as offset/step so tokenizing scans can fold the
+/// hash incrementally as they lowercase each character.
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+[[nodiscard]] inline constexpr std::uint64_t fnv_step(std::uint64_t h,
+                                                      unsigned char byte) {
+  return (h ^ byte) * 0x100000001b3ULL;
+}
+
+/// splitmix64 finalizer: spreads FNV's weak high bits over the whole
+/// word so bucket (high bits) and slot (low bits) indices decorrelate.
+[[nodiscard]] inline constexpr std::uint64_t finalize_hash(std::uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+/// The full hash of a key, equal to finalize_hash(fnv_step*(kFnvOffset)).
+[[nodiscard]] inline constexpr std::uint64_t string_hash(
+    std::string_view key) {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : key) h = fnv_step(h, static_cast<unsigned char>(c));
+  return finalize_hash(h);
+}
+
+struct PerfectHashOptions {
+  /// Highest per-bucket displacement tried before giving up. 0 makes any
+  /// non-empty build fail — the test knob for the fallback path.
+  std::uint32_t max_displacement{4096};
+  /// Slot table size multiplier (load factor 1/slots_per_key).
+  double slots_per_key{2.0};
+};
+
+class PerfectStringIndex {
+ public:
+  static constexpr std::uint32_t npos = 0xffffffffU;
+
+  /// Builds the index over `keys`; returns false (leaving the index
+  /// empty) when no collision-free displacement assignment exists within
+  /// the option limits — duplicates in `keys` always fail. Key bytes are
+  /// copied, so the spans need not outlive the call.
+  [[nodiscard]] bool build(std::span<const std::string_view> keys,
+                           const PerfectHashOptions& options = {});
+
+  /// Index of `key` in the build input, or npos. `hash` must be
+  /// string_hash(key) — callers on the scan path already have it.
+  [[nodiscard]] std::uint32_t lookup(std::string_view key,
+                                     std::uint64_t hash) const {
+    const std::uint32_t d = displacements_[hash >> bucket_shift_];
+    if (d == 0) return npos;  // bucket holds no keys at all
+    const std::uint64_t mixed =
+        finalize_hash(hash ^ (static_cast<std::uint64_t>(d) * kGolden));
+    const std::uint32_t idx = slots_[mixed & slot_mask_];
+    if (idx == npos || stored_key(idx) != key) return npos;
+    return idx;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t size() const {
+    return key_ends_.empty() ? 0 : key_ends_.size() - 1;
+  }
+
+ private:
+  static constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+
+  [[nodiscard]] std::string_view stored_key(std::uint32_t idx) const {
+    const std::uint32_t begin = key_ends_[idx];
+    return {key_bytes_.data() + begin, key_ends_[idx + 1] - begin};
+  }
+
+  bool ok_{false};
+  unsigned bucket_shift_{63};  // bucket = hash >> shift (top bits)
+  std::uint64_t slot_mask_{0};
+  /// Per-bucket displacement; 0 means the bucket is empty (search starts
+  /// at 1, so 0 never collides with a real displacement). Two zero
+  /// buckets by default so lookup() on an unbuilt index is a plain miss.
+  std::vector<std::uint32_t> displacements_{0, 0};
+  /// Slot -> key index (npos = empty slot).
+  std::vector<std::uint32_t> slots_{npos};
+  /// Verification copy of the keys: concatenated bytes + end offsets
+  /// (key_ends_[0] == 0; key i spans [key_ends_[i], key_ends_[i+1])).
+  std::string key_bytes_;
+  std::vector<std::uint32_t> key_ends_;
+};
+
+}  // namespace usaas::nlp

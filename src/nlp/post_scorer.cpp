@@ -1,0 +1,134 @@
+#include "nlp/post_scorer.h"
+
+#include "nlp/perfect_hash.h"
+
+namespace usaas::nlp {
+
+PostScorer::PostScorer(const Lexicon& lexicon,
+                       const KeywordDictionary& keywords,
+                       SentimentConfig config)
+    : lexicon_{&lexicon},
+      keywords_{&keywords},
+      config_{config},
+      analyzer_{lexicon, config},
+      fused_{lexicon.has_fast_path() && keywords.has_fast_path()} {}
+
+PostScorer::Result PostScorer::score(std::string_view text,
+                                     TokenScratch& scratch) const {
+  return fused_ ? score_fused(text, scratch)
+                : score_two_phase(text, scratch);
+}
+
+PostScorer::Result PostScorer::score_two_phase(std::string_view text,
+                                               TokenScratch& scratch) const {
+  Result out;
+  const std::span<const Token> tokens = tokenize_into(text, scratch);
+  out.sentiment = analyzer_.score(tokens, text);
+  out.keyword_hits = static_cast<std::uint32_t>(
+      keywords_->count_occurrences(tokens, scratch.bigram));
+  return out;
+}
+
+PostScorer::Result PostScorer::score_fused(std::string_view text,
+                                           TokenScratch& scratch) const {
+  const CharClass& cc = char_class();
+  if (scratch.arena.size() < text.size()) scratch.arena.resize(text.size());
+  char* const arena = scratch.arena.data();
+
+  SentimentAccum accum;
+  std::uint32_t keyword_hits = 0;
+  std::size_t num_tokens = 0;
+  std::size_t exclamations = 0;
+  std::size_t letters = 0;
+  std::size_t upper = 0;
+
+  // Open-token state: the current token's bytes sit at arena[used,
+  // used + tok_len); `used` advances as tokens close. The hash is folded
+  // incrementally so closing a token costs only the finalizer.
+  std::size_t used = 0;
+  std::size_t tok_len = 0;
+  std::uint64_t tok_fnv = kFnvOffset;
+  // The previous token's keyword entry, if it heads bigrams — the
+  // current token is matched against its seconds list.
+  const KeywordDictionary::Entry* prev_kw = nullptr;
+
+  const auto close_token = [&] {
+    if (tok_len == 0) return;
+    const std::string_view token{arena + used, tok_len};
+    const std::uint64_t hash = finalize_hash(tok_fnv);
+    ++num_tokens;
+
+    // Sentiment: one probe, flag priority mirroring the map path
+    // (negator, then intensifier, then valence).
+    const Lexicon::Entry* lex = lexicon_->probe(token, hash);
+    if (lex == nullptr) {
+      accum.on_plain();
+    } else if ((lex->flags & Lexicon::Entry::kNegator) != 0) {
+      accum.on_negator(config_);
+    } else if ((lex->flags & Lexicon::Entry::kIntensifier) != 0) {
+      accum.on_intensifier(lex->intensity);
+    } else {
+      accum.on_valence(lex->valence, config_);
+    }
+
+    // Keywords: one probe covers "is this a unigram term" and "does it
+    // head bigrams"; the pending head from the previous token matches
+    // this token against its seconds. The per-position order differs
+    // from the reference (which checks pair (i, i+1) while at i), but
+    // the total is a sum of the same matches.
+    const KeywordDictionary::Entry* kw = keywords_->probe(token, hash);
+    if (kw != nullptr && (kw->flags & KeywordDictionary::Entry::kUnigram)) {
+      ++keyword_hits;
+    }
+    if (prev_kw != nullptr) {
+      const std::uint32_t end = prev_kw->seconds_begin + prev_kw->seconds_count;
+      for (std::uint32_t s = prev_kw->seconds_begin; s < end; ++s) {
+        if (keywords_->second(s) == token) {
+          ++keyword_hits;
+          break;
+        }
+      }
+    }
+    prev_kw =
+        kw != nullptr && (kw->flags & KeywordDictionary::Entry::kBigramHead)
+            ? kw
+            : nullptr;
+
+    used += tok_len;
+    tok_len = 0;
+    tok_fnv = kFnvOffset;
+  };
+
+  const std::size_t size = text.size();
+  for (std::size_t i = 0; i < size; ++i) {
+    const auto c = static_cast<unsigned char>(text[i]);
+    if (cc.alpha[c]) {
+      ++letters;
+      if (cc.upper[c]) ++upper;
+    } else if (c == '!') {
+      ++exclamations;
+    }
+    if (cc.word[c]) {
+      const unsigned char low = cc.lower[c];
+      arena[used + tok_len] = static_cast<char>(low);
+      ++tok_len;
+      tok_fnv = fnv_step(tok_fnv, low);
+    } else if (c == '\'' && tok_len > 0 && i + 1 < size &&
+               cc.word[static_cast<unsigned char>(text[i + 1])]) {
+      arena[used + tok_len] = '\'';  // intra-word apostrophe
+      ++tok_len;
+      tok_fnv = fnv_step(tok_fnv, static_cast<unsigned char>('\''));
+    } else {
+      close_token();
+    }
+  }
+  close_token();
+
+  Result out;
+  out.sentiment = finish_scores(accum, config_, exclamations, upper, letters,
+                                num_tokens);
+  out.keyword_hits = keyword_hits;
+  return out;
+}
+
+}  // namespace usaas::nlp

@@ -1,0 +1,87 @@
+// The fused post-scoring fast path: tokenize + sentiment + outage-keyword
+// counting in one scan over the text.
+//
+// The two-phase path materializes a token vector, then walks it twice
+// (sentiment, then keywords) probing hash maps five times per token. The
+// fused path makes a single pass over the characters:
+//   * each byte is classified and lowercased through the shared CharClass
+//     table (identical semantics to the two-phase tokenizer);
+//   * token bytes stream into the scratch arena while the token's hash is
+//     folded incrementally (FNV-1a), so when a token closes, its
+//     string_view and hash are both ready;
+//   * one perfect-hash probe into the Lexicon drives the shared
+//     SentimentAccum state machine; one probe into the KeywordDictionary
+//     counts unigram terms and flags bigram heads — the *next* token is
+//     matched against the head's (tiny) seconds list, so bigrams cost no
+//     extra probe and no pair-string assembly;
+//   * '!' counts and the uppercase/letter counts for the shouting cue
+//     fold into the same pass.
+// The arithmetic is shared with SentimentAnalyzer (SentimentAccum /
+// finish_scores), and the probe priority mirrors the map path, so the
+// result is bit-identical to running the two-phase pipeline — the
+// differential harness in tests/test_nlp_differential.cpp enforces that.
+//
+// When either vocabulary failed to build its perfect hash, score()
+// transparently runs the two-phase reference pipeline instead; fused()
+// reports which path is live.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "nlp/keywords.h"
+#include "nlp/lexicon.h"
+#include "nlp/sentiment.h"
+#include "nlp/tokenizer.h"
+
+namespace usaas::nlp {
+
+class PostScorer {
+ public:
+  struct Result {
+    SentimentScores sentiment;
+    std::uint32_t keyword_hits{0};
+  };
+
+  explicit PostScorer(
+      const Lexicon& lexicon = Lexicon::builtin(),
+      const KeywordDictionary& keywords =
+          KeywordDictionary::outage_dictionary(),
+      SentimentConfig config = {});
+
+  /// Scores `text` in one pass. `scratch.arena` holds the lowercased
+  /// token bytes (resized once to the text length, then reused), so the
+  /// steady state allocates nothing. `text` may alias `scratch.text`.
+  [[nodiscard]] Result score(std::string_view text,
+                             TokenScratch& scratch) const;
+
+  /// Convenience overload with its own scratch (tests, one-off callers).
+  [[nodiscard]] Result score(std::string_view text) const {
+    TokenScratch scratch;
+    return score(text, scratch);
+  }
+
+  /// True when the single-pass path is live (both vocabularies built
+  /// their perfect hash); false means score() runs the two-phase
+  /// reference pipeline — same results, slower.
+  [[nodiscard]] bool fused() const { return fused_; }
+
+  [[nodiscard]] const Lexicon& lexicon() const { return *lexicon_; }
+  [[nodiscard]] const KeywordDictionary& keywords() const {
+    return *keywords_;
+  }
+
+ private:
+  [[nodiscard]] Result score_fused(std::string_view text,
+                                   TokenScratch& scratch) const;
+  [[nodiscard]] Result score_two_phase(std::string_view text,
+                                       TokenScratch& scratch) const;
+
+  const Lexicon* lexicon_;            // non-owning
+  const KeywordDictionary* keywords_; // non-owning
+  SentimentConfig config_;
+  SentimentAnalyzer analyzer_;  // the fallback / reference composition
+  bool fused_{false};
+};
+
+}  // namespace usaas::nlp

@@ -1,0 +1,123 @@
+#include "nlp/reference.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "nlp/tokenizer.h"
+
+namespace usaas::nlp::reference {
+
+namespace {
+
+bool is_word_char(unsigned char c) {
+  return std::isalnum(c) != 0;
+}
+
+std::string lower_copy(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view text) {
+  std::vector<Token> out;
+  std::size_t start = 0;
+  std::size_t len = 0;
+  const auto flush = [&] {
+    if (len > 0) out.push_back({lower_copy(text.substr(start, len)),
+                                out.size()});
+    len = 0;
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const auto c = static_cast<unsigned char>(text[i]);
+    if (is_word_char(c)) {
+      if (len == 0) start = i;
+      ++len;
+    } else if (c == '\'' && len > 0 && i + 1 < text.size() &&
+               is_word_char(static_cast<unsigned char>(text[i + 1]))) {
+      ++len;  // intra-word apostrophe: isn't, don't
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+SentimentScores score_sentiment(const Lexicon& lexicon,
+                                const SentimentConfig& config,
+                                std::string_view text) {
+  const std::vector<Token> tokens = tokenize(text);
+
+  double pos_mass = 0.0;
+  double neg_mass = 0.0;
+  std::size_t negation_left = 0;
+  double intensity = 1.0;
+
+  for (const Token& t : tokens) {
+    if (lexicon.is_negator(t.text)) {
+      negation_left = config.negation_window;
+      intensity = 1.0;
+      continue;
+    }
+    if (const auto mult = lexicon.intensity(t.text)) {
+      intensity *= *mult;
+      if (negation_left > 0) --negation_left;
+      continue;
+    }
+    if (const auto v = lexicon.valence(t.text)) {
+      double val = *v * intensity;
+      if (negation_left > 0) {
+        val = -val * config.negation_strength;
+      }
+      if (val > 0.0) {
+        pos_mass += val;
+      } else {
+        neg_mass += -val;
+      }
+    }
+    intensity = 1.0;
+    if (negation_left > 0) --negation_left;
+  }
+
+  const double excl =
+      static_cast<double>(std::min(count_exclamations(text),
+                                   config.max_exclamations));
+  double emphasis = 1.0 + config.exclamation_boost * excl;
+  if (uppercase_ratio(text) > 0.6 && tokens.size() >= 2) {
+    emphasis += config.shouting_boost;
+  }
+  pos_mass *= emphasis;
+  neg_mass *= emphasis;
+
+  const double total = pos_mass + neg_mass;
+  SentimentScores s;
+  if (total <= 0.0) return s;
+  const double confidence = total / (total + config.saturation * 0.5);
+  s.positive = confidence * pos_mass / total;
+  s.negative = confidence * neg_mass / total;
+  s.neutral = 1.0 - s.positive - s.negative;
+  s.neutral = std::max(s.neutral, 0.0);
+  return s;
+}
+
+std::size_t count_keywords(const KeywordDictionary& dict,
+                           std::string_view text) {
+  // Drive the dictionary's retained set-based counting loop (two set
+  // probes per token, assembled bigram strings) over this tokenizer's
+  // owned tokens.
+  const std::vector<Token> tokens = tokenize(text);
+  std::vector<nlp::Token> views;
+  views.reserve(tokens.size());
+  for (const Token& t : tokens) views.push_back({t.text, t.position});
+  std::string bigram;
+  return dict.count_occurrences(views, bigram);
+}
+
+}  // namespace usaas::nlp::reference

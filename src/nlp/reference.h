@@ -1,0 +1,47 @@
+// The pre-fast-path NLP pipeline, frozen verbatim as the differential
+// oracle.
+//
+// Before the fused fast path, scoring a post was: tokenize into owned
+// std::string tokens, run the sentiment loop with three unordered_map
+// probes per token, then count keywords with two unordered_set probes
+// per token (assembling a "first second" string for bigrams). This
+// namespace keeps that exact shape alive — reading only the Lexicon's
+// map accessors and the KeywordDictionary's set path — so
+// tests/test_nlp_differential.cpp can assert the optimized paths are
+// bit-identical to it on any input, forever. Not for production use.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nlp/keywords.h"
+#include "nlp/lexicon.h"
+#include "nlp/sentiment.h"
+
+namespace usaas::nlp::reference {
+
+/// A token owning its text — the original Token layout.
+struct Token {
+  std::string text;
+  std::size_t position{0};
+};
+
+/// The original two-phase tokenizer: lowercase word tokens with owned
+/// storage, intra-word apostrophes kept, digits kept.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view text);
+
+/// The original sentiment scan: three map probes per token, negation
+/// window, intensifier composition, exclamation/shouting emphasis,
+/// simplex mapping.
+[[nodiscard]] SentimentScores score_sentiment(const Lexicon& lexicon,
+                                              const SentimentConfig& config,
+                                              std::string_view text);
+
+/// The original keyword counting: per token, one unigram set probe plus
+/// an assembled-bigram set probe.
+[[nodiscard]] std::size_t count_keywords(const KeywordDictionary& dict,
+                                         std::string_view text);
+
+}  // namespace usaas::nlp::reference

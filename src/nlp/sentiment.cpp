@@ -1,8 +1,6 @@
 #include "nlp/sentiment.h"
 
-#include <algorithm>
-#include <cmath>
-
+#include "nlp/perfect_hash.h"
 #include "nlp/tokenizer.h"
 
 namespace usaas::nlp {
@@ -12,68 +10,52 @@ SentimentAnalyzer::SentimentAnalyzer(const Lexicon& lexicon,
     : lexicon_{&lexicon}, config_{config} {}
 
 SentimentScores SentimentAnalyzer::score(std::string_view text) const {
-  return score(tokenize(text), text);
+  TokenScratch scratch;
+  return score(tokenize_into(text, scratch), text);
 }
 
 SentimentScores SentimentAnalyzer::score(std::span<const Token> tokens,
                                          std::string_view text) const {
-  double pos_mass = 0.0;
-  double neg_mass = 0.0;
-
-  // Scan state: pending negation (tokens remaining) and pending intensity.
-  std::size_t negation_left = 0;
-  double intensity = 1.0;
-
-  for (const Token& t : tokens) {
-    if (lexicon_->is_negator(t.text)) {
-      negation_left = config_.negation_window;
-      intensity = 1.0;
-      continue;
-    }
-    if (const auto mult = lexicon_->intensity(t.text)) {
-      // Consecutive intensifiers compose ("really very slow").
-      intensity *= *mult;
-      if (negation_left > 0) --negation_left;
-      continue;
-    }
-    if (const auto v = lexicon_->valence(t.text)) {
-      double val = *v * intensity;
-      if (negation_left > 0) {
-        val = -val * config_.negation_strength;
-      }
-      if (val > 0.0) {
-        pos_mass += val;
+  SentimentAccum accum;
+  if (lexicon_->has_fast_path()) {
+    for (const Token& t : tokens) {
+      const Lexicon::Entry* e = lexicon_->probe(t.text, string_hash(t.text));
+      if (e == nullptr) {
+        accum.on_plain();
+      } else if ((e->flags & Lexicon::Entry::kNegator) != 0) {
+        accum.on_negator(config_);
+      } else if ((e->flags & Lexicon::Entry::kIntensifier) != 0) {
+        accum.on_intensifier(e->intensity);
       } else {
-        neg_mass += -val;
+        accum.on_valence(e->valence, config_);
       }
     }
-    intensity = 1.0;
-    if (negation_left > 0) --negation_left;
+  } else {
+    for (const Token& t : tokens) {
+      if (lexicon_->is_negator(t.text)) {
+        accum.on_negator(config_);
+      } else if (const auto mult = lexicon_->intensity(t.text)) {
+        accum.on_intensifier(*mult);
+      } else if (const auto v = lexicon_->valence(t.text)) {
+        accum.on_valence(*v, config_);
+      } else {
+        accum.on_plain();
+      }
+    }
   }
 
-  // Emphasis cues scale whatever polarity is already present.
-  const double excl =
-      static_cast<double>(std::min(count_exclamations(text),
-                                   config_.max_exclamations));
-  double emphasis = 1.0 + config_.exclamation_boost * excl;
-  if (uppercase_ratio(text) > 0.6 && tokens.size() >= 2) {
-    emphasis += config_.shouting_boost;
+  std::size_t letters = 0;
+  std::size_t upper = 0;
+  const CharClass& cc = char_class();
+  for (const char c : text) {
+    const auto u = static_cast<unsigned char>(c);
+    if (cc.alpha[u]) {
+      ++letters;
+      if (cc.upper[u]) ++upper;
+    }
   }
-  pos_mass *= emphasis;
-  neg_mass *= emphasis;
-
-  // Map masses onto the simplex: confidence saturates with total valence
-  // mass; leftover probability stays neutral.
-  const double total = pos_mass + neg_mass;
-  SentimentScores s;
-  if (total <= 0.0) return s;  // fully neutral
-  const double confidence = total / (total + config_.saturation * 0.5);
-  s.positive = confidence * pos_mass / total;
-  s.negative = confidence * neg_mass / total;
-  s.neutral = 1.0 - s.positive - s.negative;
-  // Guard tiny negative zeros from floating error.
-  s.neutral = std::max(s.neutral, 0.0);
-  return s;
+  return finish_scores(accum, config_, count_exclamations(text), upper,
+                       letters, tokens.size());
 }
 
 }  // namespace usaas::nlp

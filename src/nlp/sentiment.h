@@ -7,8 +7,16 @@
 // SentimentAnalyzer reproduces exactly that contract: a lexicon pass with
 // negation scope, intensifiers, exclamation and shouting emphasis, mapped
 // to a (positive, negative, neutral) simplex.
+//
+// The per-token state machine and the mass->simplex mapping live in
+// SentimentAccum / finish_scores so the analyzer and the fused
+// single-pass PostScorer run literally the same arithmetic — the
+// bit-identical-across-paths contract is held structurally, not by two
+// copies that must be kept in sync.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <span>
 #include <string_view>
 
@@ -52,6 +60,78 @@ struct SentimentConfig {
   double saturation{2.0};
 };
 
+/// The token-by-token scan state. Feed each token through exactly one of
+/// the on_* steps, in stream order; the step choice must follow the
+/// lookup priority negator > intensifier > valence.
+struct SentimentAccum {
+  double pos_mass{0.0};
+  double neg_mass{0.0};
+  std::size_t negation_left{0};
+  double intensity{1.0};
+
+  void on_negator(const SentimentConfig& config) {
+    negation_left = config.negation_window;
+    intensity = 1.0;
+  }
+  void on_intensifier(double multiplier) {
+    // Consecutive intensifiers compose ("really very slow").
+    intensity *= multiplier;
+    if (negation_left > 0) --negation_left;
+  }
+  void on_valence(double valence, const SentimentConfig& config) {
+    double val = valence * intensity;
+    if (negation_left > 0) {
+      val = -val * config.negation_strength;
+    }
+    if (val > 0.0) {
+      pos_mass += val;
+    } else {
+      neg_mass += -val;
+    }
+    on_plain();
+  }
+  /// A token the lexicon knows nothing about.
+  void on_plain() {
+    intensity = 1.0;
+    if (negation_left > 0) --negation_left;
+  }
+};
+
+/// Maps accumulated masses + emphasis cues onto the simplex.
+/// `upper_letters` / `letters` are the uppercase_ratio counts over the
+/// full original text; `num_tokens` gates the shouting boost.
+[[nodiscard]] inline SentimentScores finish_scores(
+    const SentimentAccum& accum, const SentimentConfig& config,
+    std::size_t exclamations, std::size_t upper_letters, std::size_t letters,
+    std::size_t num_tokens) {
+  // Emphasis cues scale whatever polarity is already present.
+  const double excl = static_cast<double>(
+      std::min(exclamations, config.max_exclamations));
+  double emphasis = 1.0 + config.exclamation_boost * excl;
+  const double upper_ratio =
+      letters == 0 ? 0.0
+                   : static_cast<double>(upper_letters) /
+                         static_cast<double>(letters);
+  if (upper_ratio > 0.6 && num_tokens >= 2) {
+    emphasis += config.shouting_boost;
+  }
+  const double pos_mass = accum.pos_mass * emphasis;
+  const double neg_mass = accum.neg_mass * emphasis;
+
+  // Map masses onto the simplex: confidence saturates with total valence
+  // mass; leftover probability stays neutral.
+  const double total = pos_mass + neg_mass;
+  SentimentScores s;
+  if (total <= 0.0) return s;  // fully neutral
+  const double confidence = total / (total + config.saturation * 0.5);
+  s.positive = confidence * pos_mass / total;
+  s.negative = confidence * neg_mass / total;
+  s.neutral = 1.0 - s.positive - s.negative;
+  // Guard tiny negative zeros from floating error.
+  s.neutral = std::max(s.neutral, 0.0);
+  return s;
+}
+
 class SentimentAnalyzer {
  public:
   explicit SentimentAnalyzer(const Lexicon& lexicon = Lexicon::builtin(),
@@ -61,11 +141,15 @@ class SentimentAnalyzer {
   [[nodiscard]] SentimentScores score(std::string_view text) const;
 
   /// Same scoring over pre-tokenized text — `tokens` must be the
-  /// tokenize() output for `text` (still needed for the exclamation /
-  /// shouting cues). The allocation-free path for ingest loops that hold
-  /// a TokenScratch.
+  /// tokenize_into() output for `text` (still needed for the exclamation
+  /// / shouting cues). The allocation-free path for ingest loops that
+  /// hold a TokenScratch. Uses the lexicon's single-probe fast path when
+  /// available; results are identical either way.
   [[nodiscard]] SentimentScores score(std::span<const Token> tokens,
                                       std::string_view text) const;
+
+  [[nodiscard]] const Lexicon& lexicon() const { return *lexicon_; }
+  [[nodiscard]] const SentimentConfig& config() const { return config_; }
 
  private:
   const Lexicon* lexicon_;  // non-owning; builtin() outlives everything

@@ -1,35 +1,47 @@
 #include "nlp/tokenizer.h"
 
 #include <algorithm>
-#include <array>
 #include <cctype>
 #include <unordered_set>
 
 namespace usaas::nlp {
 
+const CharClass& char_class() {
+  static const CharClass table = [] {
+    CharClass t;
+    for (int c = 0; c < 256; ++c) {
+      const auto u = static_cast<unsigned char>(c);
+      t.lower[c] = static_cast<unsigned char>(std::tolower(u));
+      t.word[c] = std::isalnum(u) != 0;
+      t.alpha[c] = std::isalpha(u) != 0;
+      t.upper[c] = std::isupper(u) != 0;
+    }
+    return t;
+  }();
+  return table;
+}
+
 std::string to_lower(std::string_view s) {
+  const CharClass& cc = char_class();
   std::string out;
   out.reserve(s.size());
   for (const char c : s) {
-    out.push_back(static_cast<char>(
-        std::tolower(static_cast<unsigned char>(c))));
+    out.push_back(static_cast<char>(cc.lower[static_cast<unsigned char>(c)]));
   }
   return out;
 }
 
 namespace {
 
-bool is_word_char(unsigned char c) {
-  return std::isalnum(c) != 0;
-}
-
-// Shared scanner behind tokenize / tokenize_into: emits each raw (not yet
-// lowercased) token as a substring view of `text`. Tokens are always
-// contiguous runs of the input: word characters extend the current run,
-// and an apostrophe only joins when a run is open and a word character
-// follows — so no leading or trailing apostrophe ever enters a token.
+// Shared scanner behind tokenize_into / tokenize_words: emits each raw
+// (not yet lowercased) token as a substring view of `text`. Tokens are
+// always contiguous runs of the input: word characters extend the
+// current run, and an apostrophe only joins when a run is open and a
+// word character follows — so no leading or trailing apostrophe ever
+// enters a token.
 template <typename Emit>
 void for_each_raw_token(std::string_view text, Emit&& emit) {
+  const CharClass& cc = char_class();
   std::size_t start = 0;
   std::size_t len = 0;
   const auto flush = [&] {
@@ -38,11 +50,11 @@ void for_each_raw_token(std::string_view text, Emit&& emit) {
   };
   for (std::size_t i = 0; i < text.size(); ++i) {
     const auto c = static_cast<unsigned char>(text[i]);
-    if (is_word_char(c)) {
+    if (cc.word[c]) {
       if (len == 0) start = i;
       ++len;
     } else if (c == '\'' && len > 0 && i + 1 < text.size() &&
-               is_word_char(static_cast<unsigned char>(text[i + 1]))) {
+               cc.word[static_cast<unsigned char>(text[i + 1])]) {
       ++len;  // intra-word apostrophe: isn't, don't
     } else {
       flush();
@@ -53,26 +65,26 @@ void for_each_raw_token(std::string_view text, Emit&& emit) {
 
 }  // namespace
 
-std::vector<Token> tokenize(std::string_view text) {
-  std::vector<Token> out;
-  for_each_raw_token(text, [&](std::string_view raw) {
-    out.push_back({to_lower(raw), out.size()});
-  });
-  return out;
-}
-
 std::span<const Token> tokenize_into(std::string_view text,
                                      TokenScratch& scratch) {
+  const CharClass& cc = char_class();
+  // Every token byte comes from a distinct input byte, so the whole
+  // token stream fits in text.size() arena bytes. Resizing once up
+  // front keeps the buffer stable — no view into it ever dangles from a
+  // mid-scan reallocation.
+  if (scratch.arena.size() < text.size()) scratch.arena.resize(text.size());
+  char* const arena = scratch.arena.data();
+  std::size_t used = 0;
   std::size_t n = 0;
   for_each_raw_token(text, [&](std::string_view raw) {
-    if (scratch.tokens.size() <= n) scratch.tokens.emplace_back();
-    Token& t = scratch.tokens[n];  // surplus tokens keep their capacity
-    t.position = n;
-    t.text.resize(raw.size());
+    char* const dst = arena + used;
     for (std::size_t i = 0; i < raw.size(); ++i) {
-      t.text[i] = static_cast<char>(
-          std::tolower(static_cast<unsigned char>(raw[i])));
+      dst[i] = static_cast<char>(
+          cc.lower[static_cast<unsigned char>(raw[i])]);
     }
+    used += raw.size();
+    if (scratch.tokens.size() <= n) scratch.tokens.emplace_back();
+    scratch.tokens[n] = {{dst, raw.size()}, n};
     ++n;
   });
   return {scratch.tokens.data(), n};
@@ -80,7 +92,9 @@ std::span<const Token> tokenize_into(std::string_view text,
 
 std::vector<std::string> tokenize_words(std::string_view text) {
   std::vector<std::string> out;
-  for (auto& t : tokenize(text)) out.push_back(std::move(t.text));
+  for_each_raw_token(text, [&](std::string_view raw) {
+    out.push_back(to_lower(raw));
+  });
   return out;
 }
 
@@ -90,13 +104,14 @@ std::size_t count_exclamations(std::string_view text) {
 }
 
 double uppercase_ratio(std::string_view text) {
+  const CharClass& cc = char_class();
   std::size_t letters = 0;
   std::size_t upper = 0;
   for (const char c : text) {
     const auto u = static_cast<unsigned char>(c);
-    if (std::isalpha(u) != 0) {
+    if (cc.alpha[u]) {
       ++letters;
-      if (std::isupper(u) != 0) ++upper;
+      if (cc.upper[u]) ++upper;
     }
   }
   if (letters == 0) return 0.0;
@@ -133,11 +148,12 @@ bool is_stop_word(std::string_view word) {
 
 std::vector<std::string> content_words(std::string_view text) {
   std::vector<std::string> out;
-  for (auto& t : tokenize(text)) {
-    if (t.text.size() < 2) continue;
-    if (is_stop_word(t.text)) continue;
-    out.push_back(std::move(t.text));
-  }
+  for_each_raw_token(text, [&](std::string_view raw) {
+    if (raw.size() < 2) return;
+    std::string lower = to_lower(raw);
+    if (is_stop_word(lower)) return;
+    out.push_back(std::move(lower));
+  });
   return out;
 }
 

@@ -4,6 +4,12 @@
 // and on Azure Cognitive Services for sentiment. Our substrate needs the
 // same front end: lowercase, split on non-word characters (keeping
 // intra-word apostrophes and numbers), optional stop-word removal.
+//
+// Tokens do not own their text: tokenize_into lowercases every token's
+// bytes into the scratch's arena and hands out string_views over it, so
+// steady-state tokenization performs zero allocations per text (the
+// arena is resized once to the input length — total token bytes can
+// never exceed it — and keeps its capacity across calls).
 #pragma once
 
 #include <span>
@@ -14,20 +20,24 @@
 namespace usaas::nlp {
 
 /// A token with its position in the token stream (positions let the
-/// sentiment analyzer apply negation windows).
+/// sentiment analyzer apply negation windows). `text` views the arena of
+/// the TokenScratch that produced it and stays valid until the next
+/// tokenize_into call with the same scratch.
 struct Token {
-  std::string text;
+  std::string_view text;
   std::size_t position{0};
 };
 
 /// Reusable buffers for the allocation-free tokenize_into path. Ingest
-/// hot loops keep one per worker: token strings and the bigram probe
-/// retain their capacity across texts, so steady-state scoring allocates
-/// nothing.
+/// hot loops keep one per worker: the token vector, the arena holding
+/// the lowercased token bytes, and the bigram probe all retain their
+/// capacity across texts, so steady-state scoring allocates nothing.
 struct TokenScratch {
   std::vector<Token> tokens;
   /// Callers may assemble the input here (e.g. title + ' ' + body).
   std::string text;
+  /// Lowercased token bytes; every Token's text points into this.
+  std::string arena;
   /// Bigram probe buffer for KeywordDictionary::count_occurrences.
   std::string bigram;
 };
@@ -35,20 +45,18 @@ struct TokenScratch {
 /// Lowercases ASCII; leaves other bytes untouched.
 [[nodiscard]] std::string to_lower(std::string_view s);
 
-/// Splits into lowercase word tokens. Keeps embedded apostrophes
-/// ("isn't" -> "isn't") and digits ("99" survives); everything else is a
-/// separator. Trailing punctuation marks exclamation density, which the
-/// caller can query separately via count_exclamations.
-[[nodiscard]] std::vector<Token> tokenize(std::string_view text);
-
-/// tokenize() into reused storage: identical output, but token strings
-/// reuse the scratch's capacity instead of allocating per call. The
-/// returned span aliases `scratch.tokens` and stays valid until the next
-/// call with the same scratch. `text` may alias `scratch.text`.
+/// Splits `text` into lowercase word tokens stored in `scratch`. Keeps
+/// embedded apostrophes ("isn't" -> "isn't") and digits ("99" survives);
+/// everything else is a separator — tokens always start and end on a
+/// word character, so a quoting or trailing apostrophe ("users'") never
+/// enters a token. The returned span aliases `scratch.tokens`, whose
+/// views alias `scratch.arena`; both stay valid until the next call with
+/// the same scratch. `text` may alias `scratch.text` (the arena is a
+/// separate buffer).
 [[nodiscard]] std::span<const Token> tokenize_into(std::string_view text,
                                                    TokenScratch& scratch);
 
-/// Convenience: tokens as plain strings.
+/// Convenience: tokens as plain owned strings.
 [[nodiscard]] std::vector<std::string> tokenize_words(std::string_view text);
 
 /// Number of '!' characters (sentiment emphasis cue).
@@ -63,5 +71,17 @@ struct TokenScratch {
 
 /// Removes stop words and single-character tokens.
 [[nodiscard]] std::vector<std::string> content_words(std::string_view text);
+
+/// The character classification the tokenizer and the fused scorer share:
+/// one 256-entry table built from the <cctype> predicates, so the fused
+/// single-pass scan classifies and lowercases bytes with exactly the
+/// same semantics as the two-phase path.
+struct CharClass {
+  unsigned char lower[256];
+  bool word[256];   // isalnum
+  bool alpha[256];  // isalpha
+  bool upper[256];  // isupper
+};
+[[nodiscard]] const CharClass& char_class();
 
 }  // namespace usaas::nlp

@@ -121,35 +121,25 @@ void QueryService::ingest_posts(std::span<const social::Post> posts) {
   if (posts.empty()) return;
   const auto guard = sync_->lock.write();
   const auto t0 = std::chrono::steady_clock::now();
-  const auto& dict = nlp::KeywordDictionary::outage_dictionary();
-  // Scoring reuses a per-worker TokenScratch: the text assembly (same
-  // bytes as post.full_text()), token strings and the bigram probe all
-  // keep their capacity across posts, so the sentiment/keyword hot loop
-  // stops allocating per post.
-  const auto score_into = [&](const social::Post& post, ScoredPost& scored,
-                              nlp::TokenScratch& scratch) {
-    scored.date = post.date;
-    scratch.text.assign(post.title);
-    scratch.text.push_back(' ');
-    scratch.text.append(post.body);
-    const std::span<const nlp::Token> tokens =
-        nlp::tokenize_into(scratch.text, scratch);
-    scored.sentiment = analyzer_.score(tokens, scratch.text);
-    scored.outage_hits = static_cast<std::uint32_t>(
-        dict.count_occurrences(tokens, scratch.bigram));
-  };
   const auto key_for = [&](const core::Date& d) {
     return config_.sharding == ShardingPolicy::kSingleShard ? 0 : month_key(d);
   };
 
-  // Two-pass counted ingest, like CorrelationEngine::ingest: count per
-  // (chunk, month key), prefix-sum into pre-reserved per-shard slices,
-  // then score posts in parallel straight into their final slots (the
-  // scoring — sentiment + keyword scan — dominates, so pass 2 is where
-  // the threads pay off). Slot order == sequential ingest order.
+  // Two-pass counted ingest, like CorrelationEngine::ingest — but the
+  // scatter is destination-major: pass 1 counts per (chunk, month key);
+  // the plan phase prefix-sums into pre-reserved per-shard slices, builds
+  // the slot -> input permutation, and splits the per-shard slot ranges
+  // into tasks (a hot shard holding most of the batch fans out across
+  // workers instead of serializing); the scatter phase then runs the
+  // fused single-pass scorer straight into the final slots, folding each
+  // task's summary partial as it writes. Slot order == sequential ingest
+  // order, and the summary sums are exact (integer counts / integral
+  // doubles), so any task partition reproduces the 1-thread output
+  // bit-identically.
   constexpr std::size_t kGrainPosts = 32;
+  const std::size_t parallelism = core::effective_parallelism(pool_.get());
   const std::size_t chunks =
-      std::min({posts.size(), core::effective_parallelism(pool_.get()) * 4,
+      std::min({posts.size(), parallelism * 4,
                 std::max<std::size_t>(1, posts.size() / kGrainPosts)});
   const auto chunk_begin = [&](std::size_t c) {
     return c * posts.size() / chunks;
@@ -184,43 +174,103 @@ void QueryService::ingest_posts(std::span<const social::Post> posts) {
     slices[k] = {shard.posts.data() + base, &shard};
     ++batch.shards_touched;
   }
-  const auto t2 = std::chrono::steady_clock::now();
 
+  // Global slot numbering: key k's slice covers slots [key_base[k],
+  // key_base[k+1]). The permutation maps each slot back to its input
+  // index; chunks write disjoint slot sets (their cursor rows), so the
+  // fill parallelizes without synchronization.
+  std::vector<std::size_t> key_base(plan.num_keys + 1, 0);
+  for (std::size_t k = 0; k < plan.num_keys; ++k) {
+    key_base[k + 1] = key_base[k] + plan.totals[k];
+  }
+  std::vector<std::size_t> order(posts.size());
   core::parallel_for(
       pool_.get(), chunks, [&](std::size_t cb, std::size_t ce) {
-        nlp::TokenScratch scratch;
         for (std::size_t c = cb; c < ce; ++c) {
           std::vector<std::size_t> cursor = plan.chunk_cursor(c);
           for (std::size_t i = chunk_begin(c); i < chunk_begin(c + 1); ++i) {
             const auto k = static_cast<std::size_t>(key_for(posts[i].date) -
                                                     plan.min_key);
-            score_into(posts[i], slices[k].posts[cursor[k]++], scratch);
+            order[key_base[k] + cursor[k]++] = i;
+          }
+        }
+      });
+  const bool fold = config_.shard_summaries &&
+                    config_.sharding == ShardingPolicy::kMonthPlatform;
+  const std::vector<core::ShardRange> tasks =
+      core::plan_shard_ranges(plan.totals, parallelism, kGrainPosts);
+  struct SummaryPartial {
+    std::size_t strong_pos{0};
+    std::size_t strong_neg{0};
+    std::array<double, 31> day_hits{};
+  };
+  std::vector<SummaryPartial> partials(fold ? tasks.size() : 0);
+  const auto t2 = std::chrono::steady_clock::now();
+
+  // Fused scatter: one scan per post (tokenize + sentiment + keywords in
+  // a single pass; see nlp::PostScorer), writing straight into the final
+  // slot. Each worker reuses one TokenScratch, so the steady state
+  // allocates nothing per post.
+  core::parallel_for(
+      pool_.get(), tasks.size(), 1, [&](std::size_t tb, std::size_t te) {
+        nlp::TokenScratch scratch;
+        for (std::size_t t = tb; t < te; ++t) {
+          const core::ShardRange& range = tasks[t];
+          ScoredPost* const dst = slices[range.key].posts;
+          SummaryPartial* const part = fold ? &partials[t] : nullptr;
+          const std::size_t* const slot = order.data() + key_base[range.key];
+          for (std::size_t s = range.begin; s < range.end; ++s) {
+            // The permutation gather is cache-hostile (the Post structs
+            // land in random order, and the text lives behind another
+            // pointer), so stage the struct a couple dozen slots ahead
+            // and its string buffers a few slots ahead — by then the
+            // struct line is resident and the data pointers are free to
+            // read. Recovers ~2x on batches larger than LLC.
+            if (s + 24 < range.end) __builtin_prefetch(&posts[slot[s + 24]]);
+            if (s + 8 < range.end) {
+              const social::Post& ahead = posts[slot[s + 8]];
+              __builtin_prefetch(ahead.title.data());
+              __builtin_prefetch(ahead.body.data());
+              __builtin_prefetch(ahead.body.data() + 64);
+            }
+            const social::Post& post = posts[slot[s]];
+            ScoredPost& scored = dst[s];
+            scored.date = post.date;
+            scratch.text.assign(post.title);
+            scratch.text.push_back(' ');
+            scratch.text.append(post.body);
+            const nlp::PostScorer::Result res =
+                scorer_.score(scratch.text, scratch);
+            scored.sentiment = res.sentiment;
+            scored.outage_hits = res.keyword_hits;
+            if (part != nullptr) {
+              if (scored.sentiment.strong_positive()) ++part->strong_pos;
+              if (scored.sentiment.strong_negative()) ++part->strong_neg;
+              if (scored.outage_hits > 0 &&
+                  scored.sentiment.negative >= 0.4) {
+                part->day_hits[static_cast<std::size_t>(scored.date.day() -
+                                                        1)] +=
+                    static_cast<double>(scored.outage_hits);
+              }
+            }
           }
         }
       });
   const auto t3 = std::chrono::steady_clock::now();
 
-  // Pass 3 (summaries on): fold the batch's new scored posts into their
-  // shards' pre-aggregates, in slot order == sequential ingest order —
-  // the same accumulation the query scan would perform, bit-identically.
-  if (config_.shard_summaries &&
-      config_.sharding == ShardingPolicy::kMonthPlatform) {
-    core::parallel_for(
-        pool_.get(), plan.num_keys, [&](std::size_t kb, std::size_t ke) {
-          for (std::size_t k = kb; k < ke; ++k) {
-            if (plan.totals[k] == 0) continue;
-            PostShard& shard = *slices[k].shard;
-            for (std::size_t i = 0; i < plan.totals[k]; ++i) {
-              const ScoredPost& post = slices[k].posts[i];
-              if (post.sentiment.strong_positive()) ++shard.strong_pos;
-              if (post.sentiment.strong_negative()) ++shard.strong_neg;
-              if (post.outage_hits > 0 && post.sentiment.negative >= 0.4) {
-                shard.day_hits[static_cast<std::size_t>(post.date.day() - 1)] +=
-                    static_cast<double>(post.outage_hits);
-              }
-            }
-          }
-        });
+  // Stitch the per-task summary partials into the shard pre-aggregates
+  // in task order == slot order == sequential ingest order. Counts are
+  // integers and day_hits sums integral doubles, so the stitched result
+  // is bit-identical to the 1-thread fold regardless of the split.
+  if (fold) {
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      PostShard& shard = *slices[tasks[t].key].shard;
+      shard.strong_pos += partials[t].strong_pos;
+      shard.strong_neg += partials[t].strong_neg;
+      for (std::size_t d = 0; d < partials[t].day_hits.size(); ++d) {
+        shard.day_hits[d] += partials[t].day_hits[d];
+      }
+    }
   }
   const auto t4 = std::chrono::steady_clock::now();
 

@@ -36,6 +36,7 @@
 #include "core/telemetry/trace.h"
 #include "core/thread_pool.h"
 #include "nlp/keywords.h"
+#include "nlp/post_scorer.h"
 #include "nlp/sentiment.h"
 #include "social/post.h"
 #include "usaas/correlation_engine.h"
@@ -460,7 +461,9 @@ class QueryService {
   std::map<int, PostShard> post_shards_;
   std::size_t post_count_{0};
   IngestStats post_ingest_stats_;
-  nlp::SentimentAnalyzer analyzer_;
+  /// The fused single-pass scorer (builtin lexicon + outage dictionary);
+  /// immutable after construction, shared by all scatter workers.
+  nlp::PostScorer scorer_;
   MosPredictor predictor_;
   bool predictor_trained_{false};
 };

@@ -1,0 +1,205 @@
+// The differential NLP harness: the fused fast path (perfect-hash
+// lexicon, arena tokens, single-pass scoring) against the frozen
+// reference pipeline (owned-string tokens, map/set probes) in
+// nlp::reference. Every comparison is exact — EXPECT_EQ on doubles, not
+// EXPECT_NEAR — because the fast path's contract is bit-identical
+// output, not approximately-equal output.
+//
+// Runs under the sanitize label so the TSan/ASan gates re-execute it;
+// the generator is seeded, so a failure reproduces deterministically.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "nlp/keywords.h"
+#include "nlp/lexicon.h"
+#include "nlp/post_scorer.h"
+#include "nlp/reference.h"
+#include "nlp/sentiment.h"
+#include "nlp/tokenizer.h"
+
+namespace usaas::nlp {
+namespace {
+
+// ---- Seeded post generator -----------------------------------------
+// Mixes vocabulary the scorer reacts to (valence words, negators,
+// intensifier chains, outage uni-/bigrams) with junk: digits,
+// apostrophe abuse, UTF-8 noise, shouting, punctuation runs.
+
+const std::vector<std::string>& word_pool() {
+  static const std::vector<std::string> pool = {
+      // Valence / negation / intensity vocabulary.
+      "good", "great", "terrible", "awful", "down", "outage", "broken",
+      "works", "perfect", "useless", "not", "no", "never", "isn't",
+      "don't", "can't", "stopped", "zero", "very", "really", "extremely",
+      "slightly", "barely", "so", "constantly", "kinda",
+      // Keyword dictionary heads/seconds.
+      "service", "internet", "connection", "signal", "went", "dark",
+      "working", "cut", "out", "dropped", "offline", "again", "searching",
+      "dead", "downtime", "unreachable", "obstructed", "lost",
+      // Neutral filler.
+      "the", "router", "dish", "starlink", "my", "today", "after",
+      "update", "speed", "test", "mbps", "latency",
+      // Apostrophes, digits, mixed case, UTF-8 noise.
+      "users'", "'quoted'", "o'brien", "isn''t", "99", "150mbps", "v2",
+      "DOWN", "OUTAGE", "WhY", "caf\xc3\xa9", "na\xc3\xafve",
+      "\xf0\x9f\x9b\xb0", "--", "!!!", "...",
+  };
+  return pool;
+}
+
+std::string random_post(core::Rng& rng) {
+  const auto& pool = word_pool();
+  const auto words = static_cast<std::size_t>(rng.uniform_int(0, 40));
+  std::string text;
+  for (std::size_t w = 0; w < words; ++w) {
+    if (!text.empty()) {
+      // Vary the separators: spaces, punctuation, newlines.
+      switch (rng.uniform_int(0, 5)) {
+        case 0: text += ", "; break;
+        case 1: text += "! "; break;
+        case 2: text += "\n"; break;
+        case 3: text += " - "; break;
+        default: text += ' '; break;
+      }
+    }
+    text += pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  }
+  return text;
+}
+
+std::vector<std::string> edge_case_texts() {
+  return {
+      "",
+      " ",
+      "\t\n  \r",
+      "!!!",
+      "'''",
+      "''",
+      "a",
+      "'a'",
+      "users'",
+      "the users' routers went down",
+      "isn't working, don't buy",
+      "not very good",
+      "not not good",
+      "really very extremely slow",
+      "never ever EVER again",
+      "no service no internet no connection",
+      "went down went dark stopped working",
+      "offline again offline again offline again",
+      "GREAT SERVICE TOTALLY LOVE IT",
+      "99 150 0 12345678901234567890",
+      "caf\xc3\xa9 na\xc3\xafve \xf0\x9f\x9b\xb0\xf0\x9f\x93\xa1",
+      "\xff\xfe\x80 outage \x01\x02",
+      std::string(3000, 'x'),
+      std::string(100, '!'),
+      "down down down down down down down down down down",
+  };
+}
+
+void expect_token_streams_identical(std::string_view text,
+                                    TokenScratch& scratch) {
+  const auto ref = reference::tokenize(text);
+  const auto fast = tokenize_into(text, scratch);
+  ASSERT_EQ(ref.size(), fast.size()) << "text: " << text;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].text, fast[i].text) << "token " << i;
+    EXPECT_EQ(ref[i].position, fast[i].position) << "token " << i;
+  }
+}
+
+void expect_scores_identical(std::string_view text, const PostScorer& scorer,
+                             TokenScratch& scratch) {
+  const Lexicon& lex = Lexicon::builtin();
+  const auto& dict = KeywordDictionary::outage_dictionary();
+  const SentimentConfig config;
+
+  const SentimentScores ref = reference::score_sentiment(lex, config, text);
+  const std::size_t ref_hits = reference::count_keywords(dict, text);
+
+  // Path 1: fused single pass.
+  const PostScorer::Result fused = scorer.score(text, scratch);
+  EXPECT_EQ(fused.sentiment.positive, ref.positive) << "text: " << text;
+  EXPECT_EQ(fused.sentiment.negative, ref.negative) << "text: " << text;
+  EXPECT_EQ(fused.sentiment.neutral, ref.neutral) << "text: " << text;
+  EXPECT_EQ(fused.keyword_hits, ref_hits) << "text: " << text;
+
+  // Path 2: arena tokens + analyzer fast probe + set-based counting.
+  const SentimentAnalyzer analyzer{lex, config};
+  const auto tokens = tokenize_into(text, scratch);
+  const SentimentScores two_phase = analyzer.score(tokens, text);
+  EXPECT_EQ(two_phase.positive, ref.positive);
+  EXPECT_EQ(two_phase.negative, ref.negative);
+  EXPECT_EQ(two_phase.neutral, ref.neutral);
+  EXPECT_EQ(dict.count_occurrences(tokens, scratch.bigram), ref_hits);
+}
+
+TEST(NlpDifferential, FastPathsAreLive) {
+  EXPECT_TRUE(Lexicon::builtin().has_fast_path());
+  EXPECT_TRUE(KeywordDictionary::outage_dictionary().has_fast_path());
+  EXPECT_TRUE(PostScorer{}.fused());
+}
+
+TEST(NlpDifferential, EdgeCaseTokenStreams) {
+  TokenScratch scratch;
+  for (const auto& text : edge_case_texts()) {
+    expect_token_streams_identical(text, scratch);
+  }
+}
+
+TEST(NlpDifferential, EdgeCaseScores) {
+  const PostScorer scorer;
+  ASSERT_TRUE(scorer.fused());
+  TokenScratch scratch;
+  for (const auto& text : edge_case_texts()) {
+    expect_scores_identical(text, scorer, scratch);
+  }
+}
+
+TEST(NlpDifferential, TenThousandRandomPosts) {
+  core::Rng rng{0xD1FFE7EA1ULL};
+  const PostScorer scorer;
+  ASSERT_TRUE(scorer.fused());
+  TokenScratch scratch;
+  for (int i = 0; i < 10000; ++i) {
+    const std::string text = random_post(rng);
+    expect_token_streams_identical(text, scratch);
+    expect_scores_identical(text, scorer, scratch);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "first divergence at post " << i << ": " << text;
+    }
+  }
+}
+
+TEST(NlpDifferential, FallbackScorerMatchesReferenceToo) {
+  // A lexicon whose perfect hash is forced to fail: the scorer must run
+  // the two-phase map path and still agree with the reference exactly.
+  Lexicon broken{PerfectHashOptions{.max_displacement = 0}};
+  broken.add_word("good", 0.5);
+  broken.add_word("bad", -0.5);
+  broken.add_negator("not");
+  broken.add_intensifier("very", 1.3);
+  ASSERT_FALSE(broken.has_fast_path());
+
+  const PostScorer scorer{broken, KeywordDictionary::outage_dictionary()};
+  ASSERT_FALSE(scorer.fused());
+  const SentimentConfig config;
+  TokenScratch scratch;
+  core::Rng rng{77};
+  for (int i = 0; i < 200; ++i) {
+    const std::string text = random_post(rng);
+    const auto ref = reference::score_sentiment(broken, config, text);
+    const auto got = scorer.score(text, scratch);
+    ASSERT_EQ(got.sentiment.positive, ref.positive) << text;
+    ASSERT_EQ(got.sentiment.negative, ref.negative) << text;
+    ASSERT_EQ(got.sentiment.neutral, ref.neutral) << text;
+  }
+}
+
+}  // namespace
+}  // namespace usaas::nlp

@@ -1,0 +1,188 @@
+// Lexicon perfect-hash unit tests: round-trips, held-out misses, the
+// collision-free ctor check, and the forced-failure fallback path.
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nlp/lexicon.h"
+#include "nlp/perfect_hash.h"
+
+namespace usaas::nlp {
+namespace {
+
+// ---- PerfectStringIndex --------------------------------------------
+
+TEST(PerfectStringIndex, RoundTripsEveryKey) {
+  const std::vector<std::string_view> keys = {
+      "outage", "down", "offline", "no", "service", "internet", "went",
+      "dark",   "not",  "working", "a",  "ab",      "abc",      "",
+  };
+  PerfectStringIndex index;
+  ASSERT_TRUE(index.build(keys));
+  EXPECT_EQ(index.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(index.lookup(keys[i], string_hash(keys[i])), i)
+        << "key: " << keys[i];
+  }
+}
+
+TEST(PerfectStringIndex, MissesReturnNpos) {
+  const std::vector<std::string_view> keys = {"alpha", "beta", "gamma"};
+  PerfectStringIndex index;
+  ASSERT_TRUE(index.build(keys));
+  for (const std::string_view miss :
+       {"delta", "alphaa", "alph", "ALPHA", "", " alpha", "beta "}) {
+    EXPECT_EQ(index.lookup(miss, string_hash(miss)),
+              PerfectStringIndex::npos)
+        << "miss: " << miss;
+  }
+}
+
+TEST(PerfectStringIndex, DuplicateKeysFailTheBuild) {
+  const std::vector<std::string_view> keys = {"dup", "other", "dup"};
+  PerfectStringIndex index;
+  EXPECT_FALSE(index.build(keys));
+  // Failed build leaves the safe empty state: everything misses.
+  EXPECT_EQ(index.lookup("dup", string_hash("dup")),
+            PerfectStringIndex::npos);
+}
+
+TEST(PerfectStringIndex, ZeroDisplacementBudgetFails) {
+  const std::vector<std::string_view> keys = {"one", "two"};
+  PerfectStringIndex index;
+  EXPECT_FALSE(index.build(keys, {.max_displacement = 0}));
+  EXPECT_EQ(index.lookup("one", string_hash("one")),
+            PerfectStringIndex::npos);
+}
+
+TEST(PerfectStringIndex, EmptyAndUnbuiltAreSafe) {
+  PerfectStringIndex unbuilt;
+  EXPECT_EQ(unbuilt.lookup("x", string_hash("x")), PerfectStringIndex::npos);
+  PerfectStringIndex empty;
+  ASSERT_TRUE(empty.build({}));
+  EXPECT_EQ(empty.lookup("x", string_hash("x")), PerfectStringIndex::npos);
+}
+
+TEST(PerfectStringIndex, LargeVocabularyBuilds) {
+  std::vector<std::string> storage;
+  storage.reserve(2000);
+  for (int i = 0; i < 2000; ++i) {
+    storage.push_back("word" + std::to_string(i * 7919));
+  }
+  std::vector<std::string_view> keys(storage.begin(), storage.end());
+  PerfectStringIndex index;
+  ASSERT_TRUE(index.build(keys));
+  for (std::size_t i = 0; i < keys.size(); i += 97) {
+    EXPECT_EQ(index.lookup(keys[i], string_hash(keys[i])), i);
+  }
+}
+
+// ---- Lexicon fast path ---------------------------------------------
+
+// builtin() construction already verifies the full vocabulary
+// round-trips (the ctor check throws logic_error on any collision); the
+// test pins that the check ran and spot-checks each word class through
+// both paths.
+TEST(LexiconFastPath, BuiltinRoundTrips) {
+  const Lexicon& lex = Lexicon::builtin();
+  ASSERT_TRUE(lex.has_fast_path());
+
+  const struct {
+    std::string_view word;
+    double valence;
+  } valences[] = {{"good", 0.5}, {"terrible", -0.8}, {"outage", -0.7},
+                  {"down", -0.5}, {"rock-solid", 0.7}, {"packet", -0.05}};
+  for (const auto& [word, valence] : valences) {
+    const Lexicon::Entry* e = lex.probe(word, string_hash(word));
+    ASSERT_NE(e, nullptr) << word;
+    EXPECT_TRUE(e->flags & Lexicon::Entry::kHasValence);
+    EXPECT_EQ(e->valence, valence) << word;
+    // The packed record and the map path must agree exactly.
+    ASSERT_TRUE(lex.valence(word).has_value());
+    EXPECT_EQ(*lex.valence(word), e->valence);
+  }
+
+  for (const std::string_view negator :
+       {"not", "no", "never", "isn't", "stopped", "zero"}) {
+    const Lexicon::Entry* e = lex.probe(negator, string_hash(negator));
+    ASSERT_NE(e, nullptr) << negator;
+    EXPECT_TRUE(e->flags & Lexicon::Entry::kNegator) << negator;
+    EXPECT_TRUE(lex.is_negator(negator));
+  }
+
+  const struct {
+    std::string_view word;
+    double multiplier;
+  } intensities[] = {{"very", 1.3}, {"extremely", 1.5}, {"slightly", 0.6}};
+  for (const auto& [word, multiplier] : intensities) {
+    const Lexicon::Entry* e = lex.probe(word, string_hash(word));
+    ASSERT_NE(e, nullptr) << word;
+    EXPECT_TRUE(e->flags & Lexicon::Entry::kIntensifier);
+    EXPECT_EQ(e->intensity, multiplier);
+    EXPECT_EQ(*lex.intensity(word), multiplier);
+  }
+}
+
+TEST(LexiconFastPath, HeldOutMissesReturnNothing) {
+  const Lexicon& lex = Lexicon::builtin();
+  for (const std::string_view miss :
+       {"quasar", "zyzzyva", "goodly", "outagez", "dow", "downn",
+        "GOOD", "not ", "", "tremendous", "router"}) {
+    EXPECT_EQ(lex.probe(miss, string_hash(miss)), nullptr) << miss;
+    EXPECT_FALSE(lex.valence(miss).has_value()) << miss;
+    EXPECT_FALSE(lex.is_negator(miss)) << miss;
+    EXPECT_FALSE(lex.intensity(miss).has_value()) << miss;
+  }
+}
+
+TEST(LexiconFastPath, CustomBuildRoundTripsFullVocabulary) {
+  Lexicon lex;
+  std::vector<std::string> words;
+  for (int i = 0; i < 300; ++i) {
+    words.push_back("w" + std::to_string(i * 31 + 7));
+  }
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    lex.add_word(words[i], (static_cast<double>(i % 21) - 10.0) / 10.0);
+  }
+  ASSERT_TRUE(lex.has_fast_path());
+  for (const auto& w : words) {
+    const Lexicon::Entry* e = lex.probe(w, string_hash(w));
+    ASSERT_NE(e, nullptr) << w;
+    EXPECT_EQ(e->valence, *lex.valence(w)) << w;
+  }
+}
+
+TEST(LexiconFastPath, CollidingBuildFallsBackToMaps) {
+  // max_displacement = 0 makes every placement "collide"; the lexicon
+  // must keep answering through the maps with the fast path off.
+  Lexicon lex{PerfectHashOptions{.max_displacement = 0}};
+  lex.add_word("good", 0.5);
+  lex.add_negator("not");
+  lex.add_intensifier("very", 1.3);
+  EXPECT_FALSE(lex.has_fast_path());
+  EXPECT_EQ(*lex.valence("good"), 0.5);
+  EXPECT_TRUE(lex.is_negator("not"));
+  EXPECT_EQ(*lex.intensity("very"), 1.3);
+  EXPECT_FALSE(lex.valence("bad").has_value());
+}
+
+TEST(LexiconFastPath, MultiRoleWordCarriesAllFlags) {
+  Lexicon lex;
+  lex.add_word("down", -0.5);
+  lex.add_negator("down");
+  lex.add_intensifier("down", 1.1);
+  ASSERT_TRUE(lex.has_fast_path());
+  const Lexicon::Entry* e = lex.probe("down", string_hash("down"));
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->flags & Lexicon::Entry::kHasValence);
+  EXPECT_TRUE(e->flags & Lexicon::Entry::kNegator);
+  EXPECT_TRUE(e->flags & Lexicon::Entry::kIntensifier);
+  EXPECT_EQ(e->valence, -0.5);
+  EXPECT_EQ(e->intensity, 1.1);
+}
+
+}  // namespace
+}  // namespace usaas::nlp

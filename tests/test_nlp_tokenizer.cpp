@@ -26,6 +26,28 @@ TEST(Tokenizer, StripsQuotingApostrophes) {
   EXPECT_EQ(words[0], "quoted");
 }
 
+// Regression: possessive plurals must normalize to the bare form the
+// stop-word list and the lexicon use — "users'" tokenizes as "users",
+// never as "users'" (an apostrophe only joins two word characters).
+TEST(Tokenizer, NormalizesTrailingApostrophes) {
+  const auto words = tokenize_words("the users' routers");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "the");
+  EXPECT_EQ(words[1], "users");
+  EXPECT_EQ(words[2], "routers");
+
+  // At end of input too (no following character to look at).
+  const auto tail = tokenize_words("blame the users'");
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[2], "users");
+
+  // Doubled apostrophes never join: only a word character can follow.
+  const auto doubled = tokenize_words("isn''t");
+  ASSERT_EQ(doubled.size(), 2u);
+  EXPECT_EQ(doubled[0], "isn");
+  EXPECT_EQ(doubled[1], "t");
+}
+
 TEST(Tokenizer, KeepsNumbers) {
   const auto words = tokenize_words("99 dollars for 150 Mbps");
   EXPECT_EQ(words[0], "99");
@@ -39,10 +61,33 @@ TEST(Tokenizer, EmptyAndPunctuationOnly) {
 }
 
 TEST(Tokenizer, PositionsAreSequential) {
-  const auto tokens = tokenize("a b c");
+  TokenScratch scratch;
+  const auto tokens = tokenize_into("a b c", scratch);
   ASSERT_EQ(tokens.size(), 3u);
   EXPECT_EQ(tokens[0].position, 0u);
   EXPECT_EQ(tokens[2].position, 2u);
+}
+
+TEST(Tokenizer, ArenaTokensSurviveScratchReuse) {
+  TokenScratch scratch;
+  const auto first = tokenize_into("Alpha beta", scratch);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].text, "alpha");
+  // Re-tokenizing with the same scratch overwrites the arena; the new
+  // views are correct and the call allocates nothing new (same capacity).
+  const auto second = tokenize_into("GAMMA delta", scratch);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0].text, "gamma");
+  EXPECT_EQ(second[1].text, "delta");
+}
+
+TEST(Tokenizer, ArenaInputMayAliasScratchText) {
+  TokenScratch scratch;
+  scratch.text = "Title words AND Body words";
+  const auto tokens = tokenize_into(scratch.text, scratch);
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "title");
+  EXPECT_EQ(tokens[4].text, "words");
 }
 
 TEST(Tokenizer, CountExclamations) {

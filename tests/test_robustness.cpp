@@ -7,6 +7,7 @@
 
 #include "core/rng.h"
 #include "nlp/keywords.h"
+#include "nlp/post_scorer.h"
 #include "nlp/sentiment.h"
 #include "nlp/summarizer.h"
 #include "nlp/tokenizer.h"
@@ -61,11 +62,36 @@ TEST_P(FuzzSeeds, SentimentNeverBreaksSimplex) {
 
 TEST_P(FuzzSeeds, TokenizerNeverProducesEmptyTokens) {
   core::Rng rng{static_cast<std::uint64_t>(GetParam()) * 103 + 2};
+  nlp::TokenScratch scratch;
   for (int i = 0; i < 300; ++i) {
     const std::string text = random_bytes(rng, 500);
-    for (const auto& token : nlp::tokenize(text)) {
+    for (const auto& token : nlp::tokenize_into(text, scratch)) {
       ASSERT_FALSE(token.text.empty());
     }
+  }
+}
+
+TEST_P(FuzzSeeds, FusedScorerMatchesTwoPhaseOnGarbage) {
+  core::Rng rng{static_cast<std::uint64_t>(GetParam()) * 137 + 8};
+  const nlp::PostScorer scorer;
+  ASSERT_TRUE(scorer.fused());
+  const nlp::SentimentAnalyzer analyzer;
+  const auto& dict = nlp::KeywordDictionary::outage_dictionary();
+  nlp::TokenScratch scratch;
+  for (int i = 0; i < 300; ++i) {
+    const std::string text =
+        i % 2 == 0 ? random_bytes(rng, 400) : random_printable(rng, 400);
+    const auto fused = scorer.score(text);
+    const auto tokens = nlp::tokenize_into(text, scratch);
+    const auto s = analyzer.score(tokens, text);
+    ASSERT_EQ(fused.sentiment.positive, s.positive);
+    ASSERT_EQ(fused.sentiment.negative, s.negative);
+    ASSERT_EQ(fused.sentiment.neutral, s.neutral);
+    ASSERT_EQ(fused.keyword_hits,
+              dict.count_occurrences(tokens, scratch.bigram));
+    ASSERT_NEAR(fused.sentiment.positive + fused.sentiment.negative +
+                    fused.sentiment.neutral,
+                1.0, 1e-9);
   }
 }
 

@@ -332,6 +332,129 @@ TEST(IngestEquivalence, BoundaryWindowCountsMatchBruteForce) {
   }
 }
 
+// ---- Hot-shard splitting --------------------------------------------
+// A corpus where one month holds ~90% of the posts: the destination-major
+// scatter must split that shard's slot range across workers (the cost
+// model's grain guarantees it at these sizes), and the stitched result —
+// scored posts, per-shard summaries, every Insight — must still be
+// bit-identical to the 1-thread run.
+
+std::vector<social::Post> hot_month_posts(std::uint64_t seed,
+                                          std::size_t count) {
+  static const char* kBodies[] = {
+      "total outage tonight, service went down, everything offline again",
+      "no service no internet, lost connection, not working at all",
+      "honestly the connection has been great, fast and reliable, love it",
+      "speeds are okay this week, nothing special to report",
+      "NOT GOOD!! constant drops, really very slow, extremely frustrating",
+      "isn't working, don't buy, the users' routers keep searching",
+  };
+  const Date cold_days[] = {
+      {2021, 12, 31}, {2022, 1, 15}, {2022, 2, 1}, {2022, 6, 30},
+      {2022, 7, 1},   {2022, 12, 31},
+  };
+  core::Rng rng{seed};
+  std::vector<social::Post> posts;
+  posts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    social::Post post;
+    post.id = i;
+    // 90% of the batch lands in March 2022 — one month shard.
+    if (rng.uniform_int(0, 9) != 0) {
+      post.date = Date(2022, 3, static_cast<int>(rng.uniform_int(1, 31)));
+    } else {
+      post.date = cold_days[rng.uniform_int(0, 5)];
+    }
+    post.author_id = rng.uniform_int(1, 500);
+    post.title = "experience report";
+    post.body = kBodies[rng.uniform_int(0, 5)];
+    post.upvotes = static_cast<int>(rng.uniform_int(0, 50));
+    post.num_comments = static_cast<int>(rng.uniform_int(0, 10));
+    posts.push_back(std::move(post));
+  }
+  return posts;
+}
+
+std::vector<Query> hot_shard_battery() {
+  std::vector<Query> queries = battery();
+  Query whole_march;  // covers the hot month whole -> summary path
+  whole_march.first = Date(2022, 3, 1);
+  whole_march.last = Date(2022, 3, 31);
+  queries.push_back(whole_march);
+  Query partial_march = whole_march;  // slices the hot shard -> scan path
+  partial_march.first = Date(2022, 3, 5);
+  partial_march.last = Date(2022, 3, 20);
+  queries.push_back(partial_march);
+  return queries;
+}
+
+TEST(IngestEquivalence, HotShardSplitMatchesSingleThreadAcrossPolicies) {
+  const auto posts = hot_month_posts(0x407, 4000);
+  for (const ShardingPolicy policy :
+       {ShardingPolicy::kSingleShard, ShardingPolicy::kMonthPlatform}) {
+    QueryServiceConfig ref_config;
+    ref_config.sharding = policy;
+    ref_config.threads = 1;
+    QueryService reference{ref_config};
+    reference.ingest_posts(posts);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      SCOPED_TRACE(testing::Message()
+                   << "policy "
+                   << (policy == ShardingPolicy::kSingleShard ? "single"
+                                                              : "month")
+                   << ", threads " << threads);
+      QueryServiceConfig config = ref_config;
+      config.threads = threads;
+      QueryService parallel{config};
+      parallel.ingest_posts(posts);
+      ASSERT_EQ(parallel.ingested_posts(), reference.ingested_posts());
+      ASSERT_EQ(parallel.post_shards(), reference.post_shards());
+      for (const Query& q : hot_shard_battery()) {
+        expect_identical(parallel.run(q), reference.run(q));
+      }
+    }
+  }
+}
+
+TEST(IngestEquivalence, HotShardSummariesMatchSingleThreadExactly) {
+  // The whole-month query is answered from the per-shard summaries
+  // (strong counts + day_hits folded during the split scatter); those
+  // must agree with the 1-thread fold to full precision — 1e-9 is the
+  // contract floor, EXPECT_DOUBLE_EQ is what we actually hold.
+  const auto posts = hot_month_posts(99, 4000);
+  QueryServiceConfig base;
+  base.sharding = ShardingPolicy::kMonthPlatform;
+  base.threads = 1;
+  QueryService reference{base};
+  reference.ingest_posts(posts);
+  Query whole_march;
+  whole_march.first = Date(2022, 3, 1);
+  whole_march.last = Date(2022, 3, 31);
+  const Insight ref_insight = reference.run(whole_march);
+  // Prove the summary path actually served the hot month.
+  EXPECT_GT(ref_insight.execution.post_shards_from_summary, 0u);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE(testing::Message() << "threads " << threads);
+    QueryServiceConfig config = base;
+    config.threads = threads;
+    QueryService parallel{config};
+    parallel.ingest_posts(posts);
+    const Insight got = parallel.run(whole_march);
+    EXPECT_GT(got.execution.post_shards_from_summary, 0u);
+    expect_identical(got, ref_insight);
+    EXPECT_NEAR(got.strong_positive_share, ref_insight.strong_positive_share,
+                1e-9);
+    // The scan path over the scattered records agrees with the summary
+    // path — record order in the shard is thread-count-independent.
+    QueryServiceConfig scan_config = config;
+    scan_config.shard_summaries = false;
+    scan_config.insight_cache_entries = 0;
+    QueryService scanner{scan_config};
+    scanner.ingest_posts(posts);
+    expect_identical(scanner.run(whole_march), ref_insight);
+  }
+}
+
 TEST(IngestEquivalence, IngestStatsTrackRecordsAndShards) {
   const Corpus corpus = make_corpus(5);
   QueryService svc{{ShardingPolicy::kMonthPlatform, 2}};
