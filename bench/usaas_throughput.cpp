@@ -12,7 +12,11 @@
 //   * the headline query speedup: the sharded engine vs the legacy path;
 //   * the two-tier query path: cold batteries answered by merging
 //     per-shard summaries (no record rescans) and warm batteries served
-//     from the versioned insight cache, against the same scan battery.
+//     from the versioned insight cache, against the same scan battery;
+//   * the admission front-end: a wrk2-style open-loop load generator
+//     (fixed arrival rate, latency from the scheduled arrival) driving
+//     mixed cheap/expensive tenants through the QueryScheduler, reporting
+//     p50/p95/p99 admitted latency, shed rate, and staleness bounds.
 // Every column records the *actual* pool size, the effective parallelism
 // (pool capped at the machine's core count), and whether the config is
 // oversubscribed — thread columns on a 1-core host measure queueing
@@ -34,12 +38,15 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "core/rng.h"
 #include "core/telemetry/metrics.h"
 #include "core/timeseries.h"
 #include "nlp/keywords.h"
 #include "nlp/sentiment.h"
 #include "social/post.h"
+#include "usaas/query_scheduler.h"
 #include "usaas/query_service.h"
 #include "usaas/stream_ingestor.h"
 
@@ -373,6 +380,218 @@ void json_ingest_phases(std::ofstream& json, const service::IngestStats& s) {
        << ", \"shard_writes\": " << s.shards_touched << "}";
 }
 
+// ---- The admission-controlled front-end (open-loop) -------------------
+// A wrk2-style fixed-arrival-rate load generator over the QueryScheduler.
+// Arrival i is *scheduled* at t_i = i / rate; if the generator falls
+// behind (an admitted scan blocks the submit thread), later arrivals fire
+// immediately and their latency is still measured from the scheduled
+// timestamp — the backlog counts, so there is no coordinated omission.
+// Three tenants mix cheap and expensive traffic:
+//   * "dashboard" — generous QoS, repeats a small set of month-aligned
+//     queries (insight-cache hits after the first admit);
+//   * "analytics" — tight QoS, boundary-cut windows warmed into the cache
+//     before a version bump, so saturation degrades them to a stale
+//     cached insight (staleness >= 1) instead of erroring;
+//   * "batch"     — starvation QoS, never-cached windows that shed.
+// The run fails (ok() == false) if the ledger does not reconcile in both
+// stats() and the scraped exposition, if any staleness stamp exceeds the
+// bound, or if anything was shed while a degradable answer existed.
+
+struct FrontendOutcome {
+  double offered_rate{0.0};
+  double duration_seconds{0.0};
+  std::uint64_t submitted{0};
+  std::uint64_t admitted{0};
+  std::uint64_t degraded{0};
+  std::uint64_t shed{0};
+  std::uint64_t shed_with_degradable{0};
+  std::uint64_t max_staleness{0};
+  std::uint64_t max_versions_behind{0};
+  double p50_ms{0.0};
+  double p95_ms{0.0};
+  double p99_ms{0.0};
+  double shed_rate{0.0};
+  double degraded_rate{0.0};
+  bool stats_reconciled{false};
+  bool exposition_reconciled{false};
+  bool staleness_bounded{false};
+  [[nodiscard]] bool ok() const {
+    return stats_reconciled && exposition_reconciled && staleness_bounded &&
+           shed_with_degradable == 0;
+  }
+};
+
+double percentile_ms(const std::vector<double>& sorted_seconds, double q) {
+  if (sorted_seconds.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted_seconds.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_seconds.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return (sorted_seconds[lo] * (1.0 - frac) + sorted_seconds[hi] * frac) *
+         1e3;
+}
+
+FrontendOutcome run_frontend_open_loop(
+    std::span<const confsim::CallRecord> calls,
+    std::span<const social::Post> posts, double rate,
+    double duration_seconds) {
+  FrontendOutcome out;
+  out.offered_rate = rate;
+  out.duration_seconds = duration_seconds;
+
+  core::telemetry::Registry reg{true};
+  service::QueryServiceConfig cfg;
+  cfg.sharding = service::ShardingPolicy::kMonthPlatform;
+  cfg.threads = 1;
+  cfg.telemetry = &reg;
+  service::QueryService svc{cfg};
+  svc.ingest_calls(calls);
+  svc.ingest_posts(posts);
+
+  service::Query base;
+  base.first = core::Date(2022, 1, 1);
+  base.last = core::Date(2022, 12, 31);
+  base.metric = netsim::Metric::kLatency;
+  base.metric_lo = 0.0;
+  base.metric_hi = 300.0;
+  base.bins = 10;
+
+  std::vector<service::Query> dashboards;
+  for (int quarter = 0; quarter < 4; ++quarter) {
+    service::Query q = base;
+    q.first = core::Date(2022, 3 * quarter + 1, 1);
+    q.last = core::Date(2022, 3 * quarter + 3,
+                        core::Date::days_in_month(2022, 3 * quarter + 3));
+    dashboards.push_back(q);
+  }
+  dashboards.push_back(base);
+  {
+    service::Query q = base;
+    q.platform = confsim::Platform::kWindowsPc;
+    dashboards.push_back(q);
+  }
+  std::vector<service::Query> analytics;
+  for (int k = 0; k < 8; ++k) {
+    service::Query q = base;
+    q.first = core::Date(2022, 1, 10 + k);
+    q.last = core::Date(2022, 10, 20 - k);
+    analytics.push_back(q);
+  }
+  const auto batch_query = [&](std::size_t i) {
+    service::Query q = base;
+    q.first = core::Date(2022, 1, 2 + static_cast<int>(i % 25));
+    q.last = core::Date(2022, 11, 2 + static_cast<int>((i / 25) % 25));
+    q.bins = 7 + i % 5;
+    return q;
+  };
+
+  // Warm every dashboard and analytics window into the insight cache,
+  // then bump the corpus version with a small re-ingest: the warm entries
+  // are now exactly one version behind, which is what the analytics
+  // tenant degrades to once its bucket drains.
+  for (const auto& q : dashboards) (void)svc.run(q);
+  for (const auto& q : analytics) (void)svc.run(q);
+  svc.ingest_calls(calls.subspan(0, std::min<std::size_t>(64, calls.size())));
+
+  service::SchedulerConfig sched_cfg;
+  sched_cfg.max_wait_seconds = 0.01;
+  sched_cfg.max_versions_behind = 2;
+  sched_cfg.seconds_per_token = 1e-4;
+  sched_cfg.tenant_qos["dashboard"] = {2.0 * rate, 100.0};
+  sched_cfg.tenant_qos["analytics"] = {4.0, 60.0};
+  sched_cfg.tenant_qos["batch"] = {0.5, 4.0};
+  service::QueryScheduler front{svc, sched_cfg};
+  out.max_versions_behind = sched_cfg.max_versions_behind;
+
+  std::vector<double> admitted_latency;
+  admitted_latency.reserve(
+      static_cast<std::size_t>(rate * duration_seconds) + 1);
+  const auto t_start = Clock::now();
+  for (std::size_t i = 0;; ++i) {
+    const double scheduled = static_cast<double>(i) / rate;
+    if (scheduled > duration_seconds) break;
+    const double now = seconds_since(t_start);
+    if (scheduled > now) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(scheduled - now));
+    }
+    const std::size_t lane = i % 10;
+    const char* tenant =
+        lane < 6 ? "dashboard" : lane < 9 ? "analytics" : "batch";
+    const service::Query query = lane < 6
+                                     ? dashboards[i % dashboards.size()]
+                                 : lane < 9 ? analytics[i % analytics.size()]
+                                            : batch_query(i);
+    const service::ScheduledResult r = front.submit(tenant, query);
+    const double latency = seconds_since(t_start) - scheduled;
+    if (r.outcome == service::AdmissionOutcome::kAdmitted) {
+      admitted_latency.push_back(latency);
+    } else if (r.outcome == service::AdmissionOutcome::kDegraded) {
+      out.max_staleness = std::max(out.max_staleness, r.insight.staleness);
+    }
+  }
+
+  const service::SchedulerStats stats = front.stats();
+  out.submitted = stats.submitted;
+  out.admitted = stats.admitted;
+  out.degraded = stats.degraded;
+  out.shed = stats.shed;
+  out.shed_with_degradable = stats.shed_with_degradable;
+  out.stats_reconciled = stats.reconciles();
+  out.staleness_bounded = out.max_staleness <= out.max_versions_behind;
+  const double denom =
+      stats.submitted > 0 ? static_cast<double>(stats.submitted) : 1.0;
+  out.shed_rate = static_cast<double>(stats.shed) / denom;
+  out.degraded_rate = static_cast<double>(stats.degraded) / denom;
+
+  std::sort(admitted_latency.begin(), admitted_latency.end());
+  out.p50_ms = percentile_ms(admitted_latency, 0.50);
+  out.p95_ms = percentile_ms(admitted_latency, 0.95);
+  out.p99_ms = percentile_ms(admitted_latency, 0.99);
+
+  // The exposition must tell the same story as stats(): find this run's
+  // exact admission tallies in the JSON a scrape of the service would
+  // return (labels render with escaped quotes inside JSON keys).
+  const std::string scraped = svc.metrics_json();
+  const auto carries = [&](const std::string& key, std::uint64_t value) {
+    const std::string frag = "\"" + key + "\": " + std::to_string(value);
+    return scraped.find(frag) != std::string::npos;
+  };
+  out.exposition_reconciled =
+      carries("usaas_admission_submitted_total", stats.submitted) &&
+      carries("usaas_admission_queries_total{outcome=\\\"admitted\\\"}",
+              stats.admitted) &&
+      carries("usaas_admission_queries_total{outcome=\\\"degraded\\\"}",
+              stats.degraded) &&
+      carries("usaas_admission_queries_total{outcome=\\\"shed\\\"}",
+              stats.shed) &&
+      carries("usaas_admission_shed_with_degradable_total",
+              stats.shed_with_degradable);
+  return out;
+}
+
+void print_frontend(const FrontendOutcome& fe) {
+  std::printf("frontend: offered %.0f/s for %.1f s -> submitted %llu = "
+              "admitted %llu + degraded %llu + shed %llu  (reconciles: %s, "
+              "exposition agrees: %s)\n",
+              fe.offered_rate, fe.duration_seconds,
+              static_cast<unsigned long long>(fe.submitted),
+              static_cast<unsigned long long>(fe.admitted),
+              static_cast<unsigned long long>(fe.degraded),
+              static_cast<unsigned long long>(fe.shed),
+              fe.stats_reconciled ? "yes" : "NO",
+              fe.exposition_reconciled ? "yes" : "NO");
+  std::printf("frontend admitted latency (from scheduled arrival): "
+              "p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n",
+              fe.p50_ms, fe.p95_ms, fe.p99_ms);
+  std::printf("frontend shed rate %.4f, degraded rate %.4f, max staleness "
+              "%llu (bound %llu), shed-with-degradable %llu\n",
+              fe.shed_rate, fe.degraded_rate,
+              static_cast<unsigned long long>(fe.max_staleness),
+              static_cast<unsigned long long>(fe.max_versions_behind),
+              static_cast<unsigned long long>(fe.shed_with_degradable));
+}
+
 }  // namespace
 
 int main() {
@@ -408,6 +627,42 @@ int main() {
                 "posts_per_sec=%.0f\n",
                 posts.size(), best, static_cast<double>(posts.size()) / best);
     return 0;
+  }
+
+  // Front-end guard mode (USAAS_BENCH_FRONTEND_ONLY=1): skip the
+  // million-session corpus and run a scaled-down open-loop admission run,
+  // printing one parseable line. The exit code enforces the scheduler's
+  // invariants — the ledger reconciles in stats() AND in the scraped
+  // exposition, staleness stamps stay within the bound, and nothing was
+  // shed while a degradable cached insight existed — and scripts/check.sh
+  // re-asserts the reconcile/tripwire fields from the printed line.
+  if (const char* only = std::getenv("USAAS_BENCH_FRONTEND_ONLY");
+      only != nullptr && *only == '1') {
+    const auto calls =
+        synth_calls(env_size("USAAS_BENCH_SESSIONS", 40000), 20220101);
+    const auto posts =
+        synth_posts(env_size("USAAS_BENCH_POSTS", 5000), 424242);
+    const double rate =
+        static_cast<double>(env_size("USAAS_BENCH_FRONTEND_RATE", 400));
+    const double secs =
+        static_cast<double>(env_size("USAAS_BENCH_FRONTEND_SECONDS", 2));
+    const FrontendOutcome fe = run_frontend_open_loop(calls, posts, rate, secs);
+    std::printf(
+        "FRONTEND submitted=%llu admitted=%llu degraded=%llu shed=%llu "
+        "shed_with_degradable=%llu reconcile=%s exposition=%s "
+        "staleness_max=%llu staleness_bound=%llu p50_ms=%.3f p95_ms=%.3f "
+        "p99_ms=%.3f shed_rate=%.4f\n",
+        static_cast<unsigned long long>(fe.submitted),
+        static_cast<unsigned long long>(fe.admitted),
+        static_cast<unsigned long long>(fe.degraded),
+        static_cast<unsigned long long>(fe.shed),
+        static_cast<unsigned long long>(fe.shed_with_degradable),
+        fe.stats_reconciled ? "ok" : "FAIL",
+        fe.exposition_reconciled ? "ok" : "FAIL",
+        static_cast<unsigned long long>(fe.max_staleness),
+        static_cast<unsigned long long>(fe.max_versions_behind), fe.p50_ms,
+        fe.p95_ms, fe.p99_ms, fe.shed_rate);
+    return fe.ok() ? 0 : 1;
   }
 
   std::printf("== USaaS ingest/query throughput ==\n");
@@ -836,6 +1091,25 @@ int main() {
               query_hist.p50, query_hist.p95, query_hist.p99,
               query_hist.max);
 
+  // ---- Admission front-end: open-loop at a fixed arrival rate --------
+  std::printf("\n== admission front-end (open-loop, wrk2-style) ==\n");
+  const double fe_rate =
+      static_cast<double>(env_size("USAAS_BENCH_FRONTEND_RATE", 800));
+  const double fe_secs =
+      static_cast<double>(env_size("USAAS_BENCH_FRONTEND_SECONDS", 4));
+  const FrontendOutcome fe =
+      run_frontend_open_loop(calls, posts, fe_rate, fe_secs);
+  print_frontend(fe);
+  if (!fe.ok()) {
+    std::fprintf(stderr,
+                 "FATAL: front-end invariants violated (reconcile=%d "
+                 "exposition=%d staleness_bounded=%d tripwire=%llu)\n",
+                 fe.stats_reconciled ? 1 : 0, fe.exposition_reconciled ? 1 : 0,
+                 fe.staleness_bounded ? 1 : 0,
+                 static_cast<unsigned long long>(fe.shed_with_degradable));
+    return 1;
+  }
+
   std::ofstream json{json_path};
   if (!json) {
     std::fprintf(stderr, "FATAL: cannot open %s for writing\n",
@@ -958,6 +1232,28 @@ int main() {
        << "    \"query_seconds_p99\": " << query_hist.p99 << ",\n"
        << "    \"query_seconds_max\": " << query_hist.max << "\n"
        << "  },\n"
+       << "  \"frontend\": {\n"
+       << "    \"open_loop\": true,\n"
+       << "    \"offered_rate_per_sec\": " << fe.offered_rate << ",\n"
+       << "    \"duration_seconds\": " << fe.duration_seconds << ",\n"
+       << "    \"submitted\": " << fe.submitted << ",\n"
+       << "    \"admitted\": " << fe.admitted << ",\n"
+       << "    \"degraded\": " << fe.degraded << ",\n"
+       << "    \"shed\": " << fe.shed << ",\n"
+       << "    \"shed_with_degradable\": " << fe.shed_with_degradable
+       << ",\n"
+       << "    \"shed_rate\": " << fe.shed_rate << ",\n"
+       << "    \"degraded_rate\": " << fe.degraded_rate << ",\n"
+       << "    \"admitted_latency_p50_ms\": " << fe.p50_ms << ",\n"
+       << "    \"admitted_latency_p95_ms\": " << fe.p95_ms << ",\n"
+       << "    \"admitted_latency_p99_ms\": " << fe.p99_ms << ",\n"
+       << "    \"max_staleness\": " << fe.max_staleness << ",\n"
+       << "    \"max_versions_behind\": " << fe.max_versions_behind << ",\n"
+       << "    \"reconciled\": " << (fe.stats_reconciled ? "true" : "false")
+       << ",\n"
+       << "    \"exposition_reconciled\": "
+       << (fe.exposition_reconciled ? "true" : "false") << "\n"
+       << "  },\n"
        << "  \"notes\": \"Legacy baseline is the seed's path (flat "
           "single-shard store, per-record ingest, sentiment re-scored over "
           "the whole post corpus per query). Sharded engines use the "
@@ -993,7 +1289,19 @@ int main() {
           "negative on a noisy host. The scan config keeps the query "
           "denominator honest: per-query telemetry is a fixed ~10 us, "
           "which would read as a large percentage of a microsecond "
-          "summary-merge hit but is noise against a real record scan.\"\n"
+          "summary-merge hit but is noise against a real record scan. The "
+          "frontend section is a wrk2-style open-loop load generator over "
+          "the QueryScheduler: arrival i is scheduled at t_i = i / rate and "
+          "latency is measured from the scheduled arrival (backlog counts, "
+          "no coordinated omission), with mixed tenant traffic — dashboard "
+          "cache-hit repeats, analytics boundary-cut scans warmed before a "
+          "version bump so saturation degrades them to bounded-staleness "
+          "cached insights, and never-cached batch windows that shed. "
+          "Percentiles cover admitted queries only; the run aborts unless "
+          "admitted + degraded + shed == submitted in both the scheduler "
+          "stats and the scraped exposition, staleness stamps respect "
+          "max_versions_behind, and nothing sheds while a degradable "
+          "cached insight exists.\"\n"
        << "}\n";
   json.close();
   std::printf("wrote %s\n", json_path.c_str());

@@ -20,6 +20,13 @@
 #      >10% drop. Only the 1t column gates — the multi-thread columns in
 #      the recorded JSON are OVERSUBSCRIBED on single-core hosts and
 #      measure queueing, not scaling.
+#   6. admission front-end smoke: the bench's open-loop front-end mode
+#      (USAAS_BENCH_FRONTEND_ONLY=1, reduced corpus, fixed arrival rate)
+#      drives mixed-tenant traffic through the QueryScheduler. The bench
+#      exits non-zero on any invariant breach; the gate re-asserts from
+#      the printed line that admitted + degraded + shed == submitted and
+#      that no query was shed while a degradable cached insight existed
+#      (shed_with_degradable must be 0).
 #
 # The sanitize suites carry USAAS_PARALLEL_FORCE=1 via their ctest
 # ENVIRONMENT property, so parallel_for really fans out across the pool —
@@ -40,6 +47,7 @@ SANITIZE_TARGETS=(
   test_usaas_ingest_equivalence
   test_usaas_streaming
   test_usaas_insight_cache
+  test_usaas_scheduler
   test_fault_injection
   test_telemetry
   test_nlp_differential
@@ -122,5 +130,41 @@ awk -v cur="${CURRENT_PPS}" -v base="${BASELINE_PPS}" 'BEGIN {
   printf "post ingest 1t %.0f posts/s (baseline %.0f, floor %.0f)\n",
          cur, base, floor
 }'
+
+echo "==> front-end: open-loop admission smoke (degrade-before-shed gate)"
+FRONTEND_LINE=$(USAAS_BENCH_FRONTEND_ONLY=1 \
+  USAAS_BENCH_SESSIONS=40000 USAAS_BENCH_POSTS=5000 \
+  ./build/bench/usaas_throughput | grep '^FRONTEND ')
+printf '%s\n' "${FRONTEND_LINE}"
+# The bench already exited 0 only if its in-process invariants held; parse
+# the ledger out of the printed line and re-assert the two CI contracts
+# independently: exact reconciliation, and the degrade-before-shed
+# tripwire (nothing shed while a degradable cached insight existed).
+ledger_field() {
+  printf '%s\n' "${FRONTEND_LINE}" \
+    | sed -n "s/.* ${1}=\([0-9]*\) .*/\1/p"
+}
+SUBMITTED=$(printf '%s\n' "${FRONTEND_LINE}" \
+  | sed -n 's/^FRONTEND submitted=\([0-9]*\) .*/\1/p')
+ADMITTED=$(ledger_field admitted)
+DEGRADED=$(ledger_field degraded)
+SHED=$(ledger_field shed)
+TRIPWIRE=$(ledger_field shed_with_degradable)
+if [[ -z "${SUBMITTED:-}" || -z "${TRIPWIRE:-}" ]]; then
+  echo "FATAL: front-end smoke produced no parseable FRONTEND line" >&2
+  exit 1
+fi
+if [[ "${TRIPWIRE}" -ne 0 ]]; then
+  echo "FATAL: ${TRIPWIRE} queries shed while a degradable cached insight" \
+       "existed (degrade-before-shed violated)" >&2
+  exit 1
+fi
+if [[ $((ADMITTED + DEGRADED + SHED)) -ne "${SUBMITTED}" ]]; then
+  echo "FATAL: admission ledger does not reconcile:" \
+       "${ADMITTED} + ${DEGRADED} + ${SHED} != ${SUBMITTED}" >&2
+  exit 1
+fi
+echo "front-end ledger reconciles (${SUBMITTED} = ${ADMITTED} admitted +" \
+     "${DEGRADED} degraded + ${SHED} shed); tripwire 0"
 
 echo "==> all checks passed"

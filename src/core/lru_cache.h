@@ -24,8 +24,12 @@ class LruCache {
   explicit LruCache(std::size_t capacity) : capacity_{capacity} {}
 
   /// Returns the cached value (promoting it to most-recently-used) or
-  /// nullptr. The pointer is valid until the next non-const call.
+  /// nullptr. The pointer is valid until the next non-const call. A
+  /// disabled cache (capacity 0) reports no traffic at all: find() cannot
+  /// hit, so counting its calls as misses would poison hit-rate math for
+  /// a cache that was configured off rather than merely cold.
   [[nodiscard]] const Value* find(const Key& key) {
+    if (capacity_ == 0) return nullptr;
     const auto it = index_.find(key);
     if (it == index_.end()) {
       ++misses_;
@@ -34,6 +38,13 @@ class LruCache {
     ++hits_;
     entries_.splice(entries_.begin(), entries_, it->second);
     return &it->second->value;
+  }
+
+  /// Presence probe: no promotion, no hit/miss accounting. For cost
+  /// estimators that want to know whether a key WOULD hit without
+  /// perturbing either the LRU order or the stats.
+  [[nodiscard]] bool contains(const Key& key) const {
+    return index_.find(key) != index_.end();
   }
 
   /// Inserts or replaces; the new/updated entry becomes most recent.

@@ -1,0 +1,66 @@
+// The time source the admission path reads and waits on.
+//
+// Token-bucket refill and deadline math are pure functions of "seconds
+// now"; the only reason admission behaviour could be nondeterministic is
+// the clock itself. SchedulerClock narrows that dependency to two calls —
+// now() and wait() — so the production scheduler runs on steady_clock
+// while tests swap in VirtualClock, where wait() *advances* time instead
+// of sleeping and every refill/deadline decision replays bit-identically.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace usaas::core {
+
+/// Monotone seconds since an arbitrary epoch, plus the ability to wait.
+class SchedulerClock {
+ public:
+  virtual ~SchedulerClock() = default;
+  [[nodiscard]] virtual double now() = 0;
+  /// Blocks the caller for `seconds` (a virtual clock advances instead).
+  virtual void wait(double seconds) = 0;
+};
+
+/// Production clock: steady_clock reads, sleep_for waits.
+class SteadyClock final : public SchedulerClock {
+ public:
+  [[nodiscard]] double now() override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  void wait(double seconds) override {
+    if (seconds > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    }
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_{
+      std::chrono::steady_clock::now()};
+};
+
+/// Deterministic test clock: time moves only when advanced. wait() is an
+/// advance, so a scheduler blocking "for 0.25 s" completes instantly and
+/// every subsequent refill sees exactly now + 0.25. Thread-safe.
+class VirtualClock final : public SchedulerClock {
+ public:
+  [[nodiscard]] double now() override {
+    const std::lock_guard<std::mutex> lock{mu_};
+    return now_;
+  }
+  void wait(double seconds) override { advance(seconds); }
+  void advance(double seconds) {
+    const std::lock_guard<std::mutex> lock{mu_};
+    now_ += std::max(0.0, seconds);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double now_{0.0};
+};
+
+}  // namespace usaas::core

@@ -208,6 +208,8 @@ std::string to_json(const std::vector<MetricFamily>& families,
     append_u64(out, entry.corpus_version);
     out += ", \"hits\": ";
     append_u64(out, entry.hits);
+    out += ", \"last_seen_version\": ";
+    append_u64(out, entry.last_seen_version);
     out += "}";
   }
   out += "]\n}\n";

@@ -14,11 +14,16 @@ void SlowQueryLog::record(const SlowQueryEntry& entry) {
       resident = entry;  // the new worst run for this fingerprint
     }
     resident.hits = hits;
+    // Freshness is unconditional: the worst-run fields may describe an
+    // ancient run, but last_seen_version always names the corpus this
+    // dashboard most recently ran against.
+    resident.last_seen_version = entry.corpus_version;
     return;
   }
   if (entries_.size() < capacity_) {
     entries_.push_back(entry);
     entries_.back().hits = 1;
+    entries_.back().last_seen_version = entry.corpus_version;
     return;
   }
   auto fastest = std::min_element(
@@ -30,7 +35,17 @@ void SlowQueryLog::record(const SlowQueryEntry& entry) {
   if (entry.seconds <= fastest->seconds) return;  // newcomer not slower
   *fastest = entry;
   fastest->hits = 1;
+  fastest->last_seen_version = entry.corpus_version;
   ++evictions_;
+}
+
+std::optional<SlowQueryEntry> SlowQueryLog::find(
+    std::uint64_t fingerprint) const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  for (const SlowQueryEntry& resident : entries_) {
+    if (resident.fingerprint == fingerprint) return resident;
+  }
+  return std::nullopt;
 }
 
 std::vector<SlowQueryEntry> SlowQueryLog::worst() const {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,12 @@ struct SlowQueryEntry {
   std::uint64_t corpus_version{0};
   /// Times this fingerprint was recorded (all runs, not just the worst).
   std::uint64_t hits{1};
+  /// Corpus version of the MOST RECENT run (every record, not just the
+  /// worst). The timing fields above deliberately describe the worst run
+  /// — which may be ancient — so freshness lives here: a hot dashboard's
+  /// entry always carries the version it last ran against. Declared last
+  /// so aggregate-initialized entries stay source-compatible.
+  std::uint64_t last_seen_version{0};
 };
 
 class SlowQueryLog {
@@ -39,11 +46,17 @@ class SlowQueryLog {
   /// Capacity 0 disables the log (record() is a no-op).
   explicit SlowQueryLog(std::size_t capacity = 32) : capacity_{capacity} {}
 
-  /// Thread-safe. Same fingerprint: bumps hits, and adopts the entry's
-  /// timing/fan-out fields when `entry.seconds` beats the resident worst.
-  /// New fingerprint: appended while below capacity; at capacity it
-  /// replaces the fastest resident entry iff it is slower than it.
+  /// Thread-safe. Same fingerprint: bumps hits, stamps last_seen_version
+  /// unconditionally, and adopts the entry's timing/fan-out fields when
+  /// `entry.seconds` beats the resident worst. New fingerprint: appended
+  /// while below capacity; at capacity it replaces the fastest resident
+  /// entry iff it is slower than it.
   void record(const SlowQueryEntry& entry);
+
+  /// Snapshot of one fingerprint's entry, if resident. The admission
+  /// scheduler's cost estimator seeds from this history.
+  [[nodiscard]] std::optional<SlowQueryEntry> find(
+      std::uint64_t fingerprint) const;
 
   /// Snapshot sorted slowest-first (ties broken by fingerprint for a
   /// deterministic order).

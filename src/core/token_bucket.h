@@ -1,0 +1,61 @@
+// A token bucket over an explicit seconds clock.
+//
+// The admission scheduler (usaas::service::QueryScheduler) keeps one per
+// tenant: tokens accrue at `rate` per second up to `burst`, and each
+// admitted query consumes its estimated cost. The bucket never reads a
+// clock itself — callers pass "now" into refill() — so its behaviour is a
+// pure function of the (now, consume) sequence and replays exactly under
+// a virtual clock. Unsynchronized by design; the scheduler serializes
+// access under its own mutex.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+namespace usaas::core {
+
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  /// Starts full (a fresh tenant gets its whole burst).
+  TokenBucket(double rate_per_sec, double burst, double now = 0.0)
+      : rate_{rate_per_sec}, burst_{burst}, tokens_{burst}, last_{now} {}
+
+  /// Accrues tokens for the time elapsed since the last refill. Monotone:
+  /// an older timestamp (clock skew across callers) is ignored rather
+  /// than minting negative time.
+  void refill(double now) {
+    if (now <= last_) return;
+    tokens_ = std::min(burst_, tokens_ + (now - last_) * rate_);
+    last_ = now;
+  }
+
+  /// Consumes `cost` tokens if available. No partial debits.
+  [[nodiscard]] bool try_consume(double cost) {
+    if (cost > tokens_) return false;
+    tokens_ -= cost;
+    return true;
+  }
+
+  /// Seconds of accrual until `cost` is affordable: 0 when it already is,
+  /// +infinity when it never will be (cost beyond burst, or zero rate).
+  [[nodiscard]] double seconds_until(double cost) const {
+    if (cost <= tokens_) return 0.0;
+    if (cost > burst_ || rate_ <= 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return (cost - tokens_) / rate_;
+  }
+
+  [[nodiscard]] double tokens() const { return tokens_; }
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] double burst() const { return burst_; }
+
+ private:
+  double rate_{1.0};
+  double burst_{1.0};
+  double tokens_{1.0};
+  double last_{0.0};
+};
+
+}  // namespace usaas::core

@@ -1,0 +1,176 @@
+#include "usaas/query_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace usaas::service {
+
+namespace {
+
+/// Smallest admission wait: one microsecond. Purely a forward-progress
+/// floor for the refill loop (see submit); virtual-clock tests that
+/// assert exact waits always need more than this.
+constexpr double kMinWaitSeconds = 1e-6;
+
+}  // namespace
+
+QueryScheduler::QueryScheduler(QueryService& service, SchedulerConfig config)
+    : service_{service}, config_{std::move(config)} {
+  if (config_.clock != nullptr) {
+    clock_ = config_.clock;
+  } else {
+    owned_clock_ = std::make_unique<core::SteadyClock>();
+    clock_ = owned_clock_.get();
+  }
+  telemetry_ = config_.telemetry != nullptr ? config_.telemetry
+                                            : &service_.telemetry_registry();
+  core::telemetry::Registry& reg = *telemetry_;
+  submitted_total_ = reg.counter("usaas_admission_submitted_total",
+                                 "Queries entering admission control");
+  const auto outcome_counter = [&](const char* outcome) {
+    return reg.counter("usaas_admission_queries_total",
+                       "Admission outcomes (admitted: ran fresh; degraded: "
+                       "served a stale cached insight; shed: rejected)",
+                       {{"outcome", outcome}});
+  };
+  admitted_total_ = outcome_counter("admitted");
+  degraded_total_ = outcome_counter("degraded");
+  shed_total_ = outcome_counter("shed");
+  shed_with_degradable_total_ = reg.counter(
+      "usaas_admission_shed_with_degradable_total",
+      "Tripwire: queries shed while a degradable cached insight existed");
+  wait_seconds_ = reg.histogram(
+      "usaas_admission_wait_seconds",
+      "Time a submission spent waiting for tokens before resolution");
+}
+
+double QueryScheduler::cost_tokens(const QueryCostEstimate& est) const {
+  // A current-version cache hit is O(1) no matter how wide the window:
+  // charge the floor so repeated dashboards never starve.
+  if (est.cached) return config_.min_cost_tokens;
+  // Observed history beats the structural guess: the slow-query log keys
+  // on the same canonical fingerprint submit() is about to run.
+  if (est.slow_log_seconds >= 0.0) {
+    return std::max(config_.min_cost_tokens,
+                    est.slow_log_seconds / config_.seconds_per_token);
+  }
+  const double structural =
+      config_.summary_month_cost * static_cast<double>(est.summary_months) +
+      config_.scan_month_cost * static_cast<double>(est.scan_months);
+  return std::max(config_.min_cost_tokens, structural);
+}
+
+double QueryScheduler::estimate_cost(const Query& query) const {
+  return cost_tokens(service_.estimate_query(query));
+}
+
+QueryScheduler::TenantState& QueryScheduler::tenant_state_locked(
+    const std::string& tenant) {
+  const auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return it->second;
+  const auto qos_it = config_.tenant_qos.find(tenant);
+  const TenantQos qos = qos_it != config_.tenant_qos.end()
+                            ? qos_it->second
+                            : config_.default_qos;
+  TenantState state{
+      core::TokenBucket{qos.rate_per_sec, qos.burst, clock_->now()},
+      0,
+      telemetry_->gauge("usaas_admission_queue_depth",
+                        "Submissions currently waiting for tokens",
+                        {{"tenant", tenant}})};
+  return tenants_.emplace(tenant, std::move(state)).first->second;
+}
+
+ScheduledResult QueryScheduler::submit(const std::string& tenant,
+                                       const Query& query) {
+  // Estimate outside the scheduler mutex: the probe takes the service's
+  // read lock and must not serialize other tenants' admissions.
+  const QueryCostEstimate est = service_.estimate_query(query);
+  const double cost = cost_tokens(est);
+
+  ScheduledResult result;
+  result.cost_tokens = cost;
+  const double start = clock_->now();
+  const double deadline = start + config_.max_wait_seconds;
+
+  std::unique_lock<std::mutex> lock{mu_};
+  ++totals_.submitted;
+  submitted_total_.add();
+  TenantState& state = tenant_state_locked(tenant);
+  bool admitted = false;
+  for (;;) {
+    state.bucket.refill(clock_->now());
+    if (state.bucket.try_consume(cost)) {
+      admitted = true;
+      break;
+    }
+    const double need = state.bucket.seconds_until(cost);
+    // Unpayable (cost > burst) or won't accrue before the deadline:
+    // stop waiting and fall through to degrade-or-shed.
+    if (need == std::numeric_limits<double>::infinity() ||
+        clock_->now() + need > deadline) {
+      break;
+    }
+    ++state.queue_depth;
+    state.depth_gauge.set(static_cast<double>(state.queue_depth));
+    lock.unlock();
+    // VirtualClock advances here instead of sleeping; either way refills
+    // resume from a later now(). Another thread may drain the tokens we
+    // waited for, so loop (the deadline bounds the retries). The floor
+    // matters: after contended consumes the deficit can be so small that
+    // `now + need` rounds back to `now`, and an unfloored wait would spin
+    // forever without minting a single token.
+    clock_->wait(std::max(need, kMinWaitSeconds));
+    lock.lock();
+    --state.queue_depth;
+    state.depth_gauge.set(static_cast<double>(state.queue_depth));
+  }
+  result.wait_seconds = clock_->now() - start;
+
+  if (admitted) {
+    ++totals_.admitted;
+    admitted_total_.add();
+    lock.unlock();
+    wait_seconds_.observe(result.wait_seconds);
+    result.outcome = AdmissionOutcome::kAdmitted;
+    result.insight = service_.run(query);
+    return result;
+  }
+  lock.unlock();
+  wait_seconds_.observe(result.wait_seconds);
+
+  // Saturated. Degrade before shedding: any cached answer within the
+  // staleness bound beats an error. With max_versions_behind == 0 the
+  // probe still runs (bound 0 = current version only) purely to feed the
+  // tripwire: shedding while an answer sat in the cache is the failure
+  // mode this scheduler exists to prevent.
+  std::optional<Insight> stale =
+      service_.find_stale_cached(query, config_.max_versions_behind);
+  std::lock_guard<std::mutex> tally{mu_};
+  if (stale.has_value() && config_.max_versions_behind > 0) {
+    ++totals_.degraded;
+    degraded_total_.add();
+    result.outcome = AdmissionOutcome::kDegraded;
+    result.insight = *std::move(stale);
+    return result;
+  }
+  ++totals_.shed;
+  shed_total_.add();
+  if (stale.has_value()) {
+    ++totals_.shed_with_degradable;
+    shed_with_degradable_total_.add();
+  }
+  result.outcome = AdmissionOutcome::kShed;
+  return result;
+}
+
+SchedulerStats QueryScheduler::stats() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  SchedulerStats out = totals_;
+  for (const auto& [tenant, state] : tenants_) {
+    out.tenants[tenant] = {state.bucket.tokens(), state.queue_depth};
+  }
+  return out;
+}
+
+}  // namespace usaas::service

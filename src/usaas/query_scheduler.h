@@ -1,0 +1,190 @@
+// Admission control in front of QueryService: per-tenant token buckets,
+// cost-aware scheduling, and degrade-before-shed under saturation.
+//
+// The §5 USaaS front-end is multi-tenant by construction: operator
+// dashboards, ad-hoc analyst queries and abusive crawlers share one
+// corpus. The paper's user-centric framing cuts both ways — users need
+// answers at interactive latency, AND a measurement service has to stay
+// honest about what it served when it could not afford the fresh answer.
+// So the scheduler:
+//
+//   * meters each tenant through a token bucket (rate/burst from
+//     SchedulerConfig; unknown tenants get the default QoS). A query's
+//     token cost is estimated BEFORE admission from the fingerprint-keyed
+//     slow-query history, falling back to the summary-vs-scan fan-out
+//     predictor (whole months are summary-answerable and cheap; boundary-
+//     cut months force rescans and are expensive), so one tenant's cold
+//     scans queue behind — not ahead of — everyone's cheap summary
+//     merges;
+//   * waits for tokens only while the deadline allows (max_wait_seconds),
+//     through a pluggable SchedulerClock — tests inject a VirtualClock
+//     and the whole admission schedule becomes deterministic;
+//   * degrades before it sheds: a query that cannot be admitted in time
+//     is answered from a pre-version-bump cached Insight when one exists
+//     within max_versions_behind, stamped with an explicit
+//     Insight::staleness (versions behind) instead of erroring. Only
+//     when no degradable answer exists is the query shed.
+//
+// Every outcome is counted twice on purpose: in the scheduler's own
+// stats() (plain integers under the scheduler mutex) and in the shared
+// telemetry Registry (usaas_admission_* families, rendered by the
+// service's exposition endpoint). The two views must reconcile exactly —
+// admitted + degraded + shed == submitted — and scripts/check.sh fails
+// the build when they do not.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/scheduler_clock.h"
+#include "core/telemetry/metrics.h"
+#include "core/token_bucket.h"
+#include "usaas/query_service.h"
+
+namespace usaas::service {
+
+/// Per-tenant rate limit: `rate_per_sec` tokens accrue continuously up to
+/// `burst`. One token is roughly one cached/summary-served query (see
+/// SchedulerConfig cost knobs).
+struct TenantQos {
+  double rate_per_sec{50.0};
+  double burst{100.0};
+};
+
+struct SchedulerConfig {
+  /// QoS for tenants without an explicit entry in `tenant_qos`.
+  TenantQos default_qos;
+  std::map<std::string, TenantQos> tenant_qos;
+  /// Admission deadline: the longest a submission may wait for tokens
+  /// before the scheduler falls back to degrade-or-shed.
+  double max_wait_seconds{0.25};
+  /// Degrade bound: serve a cached Insight up to this many corpus
+  /// versions behind the current one. 0 disables degraded answers
+  /// entirely (saturation then sheds, and the shed_with_degradable
+  /// tripwire records any answer that was available anyway).
+  std::uint64_t max_versions_behind{2};
+  /// Cost model: tokens per query. A current-version cache hit costs
+  /// `min_cost_tokens`; slow-log history converts at
+  /// seconds / `seconds_per_token`; otherwise the structural estimate
+  /// charges per summary-answerable and per rescanned month.
+  double min_cost_tokens{1.0};
+  double summary_month_cost{0.25};
+  double scan_month_cost{8.0};
+  double seconds_per_token{1e-3};
+  /// Clock for refills, deadlines and waiting. nullptr = real steady
+  /// clock (owned by the scheduler); tests pass a core::VirtualClock and
+  /// every refill/wait becomes deterministic.
+  core::SchedulerClock* clock{nullptr};
+  /// Metric sink. nullptr = the service's own registry, so the admission
+  /// families render through the same exposition endpoint as everything
+  /// else.
+  core::telemetry::Registry* telemetry{nullptr};
+};
+
+enum class AdmissionOutcome {
+  kAdmitted,  ///< Ran fresh through QueryService::run.
+  kDegraded,  ///< Served a stale cached Insight (insight.staleness > 0
+              ///< possible, always <= max_versions_behind).
+  kShed,      ///< Rejected: saturated and nothing degradable was cached.
+};
+
+[[nodiscard]] constexpr const char* to_string(AdmissionOutcome o) {
+  switch (o) {
+    case AdmissionOutcome::kAdmitted: return "admitted";
+    case AdmissionOutcome::kDegraded: return "degraded";
+    case AdmissionOutcome::kShed: return "shed";
+  }
+  return "unknown";
+}
+
+/// One submission's verdict. `insight` is meaningful for kAdmitted and
+/// kDegraded; a shed query carries no answer.
+struct ScheduledResult {
+  AdmissionOutcome outcome{AdmissionOutcome::kShed};
+  Insight insight;
+  /// Time spent inside admission (token waits), by the scheduler clock.
+  double wait_seconds{0.0};
+  /// Tokens this query was estimated to cost.
+  double cost_tokens{0.0};
+};
+
+struct TenantSnapshot {
+  double tokens{0.0};
+  std::size_t queue_depth{0};
+};
+
+struct SchedulerStats {
+  std::uint64_t submitted{0};
+  std::uint64_t admitted{0};
+  std::uint64_t degraded{0};
+  std::uint64_t shed{0};
+  /// Tripwire: queries shed while a degradable cached Insight existed.
+  /// Structurally zero while degraded answers are enabled; non-zero only
+  /// when max_versions_behind == 0 discards an available answer.
+  std::uint64_t shed_with_degradable{0};
+  std::map<std::string, TenantSnapshot> tenants;
+
+  /// The accounting identity the exposition layer is checked against.
+  [[nodiscard]] bool reconciles() const {
+    return admitted + degraded + shed == submitted;
+  }
+};
+
+class QueryScheduler {
+ public:
+  /// Borrows the service (must outlive the scheduler). Metric handles are
+  /// registered eagerly so the usaas_admission_* families exist (at zero)
+  /// from the first exposition scrape.
+  explicit QueryScheduler(QueryService& service, SchedulerConfig config = {});
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// Admit-or-degrade-or-shed one query for `tenant`. Thread-safe; the
+  /// underlying QueryService::run executes outside the scheduler mutex,
+  /// so admitted queries from different tenants still fan out in
+  /// parallel.
+  [[nodiscard]] ScheduledResult submit(const std::string& tenant,
+                                       const Query& query);
+
+  /// The token cost submit() would charge right now (same estimator).
+  [[nodiscard]] double estimate_cost(const Query& query) const;
+
+  [[nodiscard]] SchedulerStats stats() const;
+  [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+
+ private:
+  struct TenantState {
+    core::TokenBucket bucket;
+    std::size_t queue_depth{0};
+    core::telemetry::Gauge depth_gauge;
+  };
+
+  [[nodiscard]] double cost_tokens(const QueryCostEstimate& est) const;
+  /// Finds or creates the tenant's bucket (caller holds mu_). References
+  /// stay valid forever: tenants are never erased and std::map nodes do
+  /// not move.
+  [[nodiscard]] TenantState& tenant_state_locked(const std::string& tenant);
+
+  QueryService& service_;
+  SchedulerConfig config_;
+  std::unique_ptr<core::SteadyClock> owned_clock_;
+  core::SchedulerClock* clock_{nullptr};
+  core::telemetry::Registry* telemetry_{nullptr};
+
+  core::telemetry::Counter submitted_total_;
+  core::telemetry::Counter admitted_total_;
+  core::telemetry::Counter degraded_total_;
+  core::telemetry::Counter shed_total_;
+  core::telemetry::Counter shed_with_degradable_total_;
+  core::telemetry::Histogram wait_seconds_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, TenantState> tenants_;
+  SchedulerStats totals_;  ///< The stats() mirror (tenants filled lazily).
+};
+
+}  // namespace usaas::service

@@ -378,8 +378,14 @@ std::uint64_t query_fingerprint(const Query& query) {
   return static_cast<std::uint64_t>(QueryService::CacheKeyHash{}(key));
 }
 
-std::size_t QueryService::insight_bytes(const Insight& insight) {
+std::size_t insight_heap_bytes(const Insight& insight) {
   std::size_t bytes = sizeof(Insight);
+  // The engagement vector's own buffer holds the EngagementCurve structs;
+  // each curve then owns its points buffer. Counting only the inner
+  // buffers (as an earlier revision did) undercounts by
+  // capacity * sizeof(EngagementCurve) per cached insight, so the cache
+  // byte gauge drifted below the real footprint as entries accumulated.
+  bytes += insight.engagement.capacity() * sizeof(EngagementCurve);
   for (const EngagementCurve& c : insight.engagement) {
     bytes += c.points.capacity() * sizeof(CurvePoint);
   }
@@ -451,7 +457,7 @@ Insight QueryService::run(const Query& query) const {
   insight.execution.served_by = path;
   if (cache_on) {
     const std::lock_guard<std::mutex> cache_lock{sync_->cache_mu};
-    sync_->cache.insert(key, insight, insight_bytes(insight));
+    sync_->cache.insert(key, insight, insight_heap_bytes(insight));
   }
   insight.execution.seconds = span.finish();
   queries_by_path_[static_cast<std::size_t>(path)].add();
@@ -459,6 +465,84 @@ Insight QueryService::run(const Query& query) const {
                           insight.execution.seconds, to_string(path),
                           merged, scanned, insight.sessions, version, 1});
   return insight;
+}
+
+QueryCostEstimate QueryService::estimate_query(const Query& query) const {
+  QueryCostEstimate est;
+  if (const auto history = sync_->slow_log.find(query_fingerprint(query))) {
+    est.slow_log_seconds = history->seconds;
+  }
+  if (!query.validate().ok()) return est;  // rejected in O(1) by run()
+
+  const auto guard = sync_->lock.read();
+  const std::uint64_t version =
+      sync_->version.load(std::memory_order_acquire);
+  if (sync_->cache.capacity() > 0) {
+    const std::lock_guard<std::mutex> cache_lock{sync_->cache_mu};
+    // contains() leaves the LRU order and hit/miss counters alone: an
+    // admission probe must not look like query traffic.
+    est.cached = sync_->cache.contains(make_cache_key(query, version));
+  }
+
+  // Mirror compute_insight's month rule without visiting any shard: only
+  // the window's first and last months can be boundary-cut, and only a
+  // cut month forces a rescan when summaries are on.
+  const int mk_first = month_key(query.first);
+  const int mk_last = month_key(query.last);
+  const auto window_months =
+      static_cast<std::uint64_t>(mk_last - mk_first + 1);
+  const bool summaries = config_.shard_summaries &&
+                         config_.sharding == ShardingPolicy::kMonthPlatform;
+  if (summaries) {
+    const bool first_cuts = query.first.day() > 1;
+    const bool last_cuts =
+        query.last.day() <
+        core::Date::days_in_month(query.last.year(), query.last.month());
+    if (mk_first == mk_last) {
+      est.scan_months = (first_cuts || last_cuts) ? 1 : 0;
+    } else {
+      est.scan_months = static_cast<std::uint64_t>(first_cuts) +
+                        static_cast<std::uint64_t>(last_cuts);
+    }
+    est.summary_months = window_months - est.scan_months;
+  } else {
+    est.scan_months = window_months;
+  }
+
+  // Sessions the window plausibly covers: total ingested records scaled
+  // by the window's share of the ingested months (posts shard one-per-
+  // month, so post_shards_ counts distinct corpus months).
+  const auto corpus_months = static_cast<double>(
+      std::max<std::size_t>(post_shards_.size(),
+                            static_cast<std::size_t>(window_months)));
+  est.window_sessions = static_cast<double>(engine_.ingest_stats().records) *
+                        static_cast<double>(window_months) / corpus_months;
+  return est;
+}
+
+std::optional<Insight> QueryService::find_stale_cached(
+    const Query& query, std::uint64_t max_versions_behind) const {
+  if (!query.validate().ok()) return std::nullopt;
+  const auto guard = sync_->lock.read();
+  if (sync_->cache.capacity() == 0) return std::nullopt;
+  const std::uint64_t version =
+      sync_->version.load(std::memory_order_acquire);
+  const std::lock_guard<std::mutex> cache_lock{sync_->cache_mu};
+  // Freshest-first: a behind=0 hit is just a regular cache hit with
+  // staleness 0, so degrading never serves older data than run() would.
+  for (std::uint64_t behind = 0; behind <= max_versions_behind; ++behind) {
+    if (behind > version) break;
+    if (const Insight* hit =
+            sync_->cache.find(make_cache_key(query, version - behind))) {
+      Insight out = *hit;
+      out.staleness = behind;
+      out.execution = {};
+      out.execution.served_by = ServedBy::kCache;
+      out.execution.cache_hit = true;
+      return out;
+    }
+  }
+  return std::nullopt;
 }
 
 Insight QueryService::compute_insight(const Query& query,

@@ -166,6 +166,13 @@ struct Insight {
   /// the snapshot includes. Monotone; two insights with equal versions saw
   /// identical corpora.
   std::uint64_t corpus_version{0};
+  /// How many corpus versions behind the service this answer was when it
+  /// was served. 0 for every freshly computed or current-version cached
+  /// answer; > 0 only on the admission scheduler's degrade path, which
+  /// serves a pre-version-bump cache entry instead of shedding (see
+  /// QueryService::find_stale_cached — the bound is the caller's
+  /// max-versions-behind knob).
+  std::uint64_t staleness{0};
   /// How this answer was produced (cache / summary merge / scan) and how
   /// wide it fanned out. Cache hits return the cached aggregates with a
   /// fresh execution report (served_by = kCache, zero shard visits).
@@ -176,6 +183,33 @@ struct Insight {
 /// (after cache-key normalization — packed dates, canonical zeros) share
 /// it across corpus mutations. Keys the slow-query log.
 [[nodiscard]] std::uint64_t query_fingerprint(const Query& query);
+
+/// Estimated heap behind one Insight (the insight-cache byte gauge's unit
+/// of account): every owned allocation — the engagement vector's own
+/// buffer, each curve's points, the correlation pairs, the alert dates —
+/// on top of sizeof(Insight).
+[[nodiscard]] std::size_t insight_heap_bytes(const Insight& insight);
+
+/// What a query is expected to cost before running it, assembled from the
+/// fingerprint-keyed slow-query history and the summary-vs-scan fanout
+/// predictor (the same whole-month / boundary-cut rule the social side
+/// executes). The admission scheduler maps this to tokens; it is an
+/// estimate, never a promise.
+struct QueryCostEstimate {
+  /// The current corpus version already has a cached entry: the query
+  /// would be served in O(1) regardless of its shape.
+  bool cached{false};
+  /// Whole months inside the window (answerable from per-shard summaries
+  /// when summaries are on) vs boundary-cut months that force rescans.
+  std::uint64_t summary_months{0};
+  std::uint64_t scan_months{0};
+  /// Worst observed latency for this fingerprint, < 0 when the slow-query
+  /// log has no history.
+  double slow_log_seconds{-1.0};
+  /// Sessions a scan would touch, scaled by the window's share of the
+  /// ingested months.
+  double window_sessions{0.0};
+};
 
 struct QueryServiceConfig {
   /// kMonthPlatform partitions both corpora; kSingleShard keeps the flat
@@ -242,6 +276,21 @@ class QueryService {
   /// Answers a query from the ingested signals. Invalid queries (see
   /// Query::valid) yield an empty Insight.
   [[nodiscard]] Insight run(const Query& query) const;
+
+  /// Pre-admission cost probe (no shard is visited, the LRU order and the
+  /// cache hit/miss counters are untouched): slow-query history for this
+  /// fingerprint, the summary-vs-scan month split of the window, and
+  /// whether the current version is already cached.
+  [[nodiscard]] QueryCostEstimate estimate_query(const Query& query) const;
+
+  /// The admission scheduler's degrade path: probe the insight cache for
+  /// the NEWEST entry of this query at most `max_versions_behind`
+  /// versions behind the current corpus (behind = 0 is a fresh hit). A
+  /// hit comes back stamped with `staleness` = versions behind and a
+  /// kCache execution report; nullopt when nothing within the bound is
+  /// cached. Counts as ordinary cache traffic in stats().
+  [[nodiscard]] std::optional<Insight> find_stale_cached(
+      const Query& query, std::uint64_t max_versions_behind) const;
 
   [[nodiscard]] std::size_t ingested_sessions() const {
     const auto guard = sync_->lock.read();
@@ -416,8 +465,6 @@ class QueryService {
   [[nodiscard]] static CacheKey make_cache_key(const Query& query,
                                                std::uint64_t version);
   friend std::uint64_t query_fingerprint(const Query& query);
-  /// Estimated heap footprint of one insight, for cache byte accounting.
-  [[nodiscard]] static std::size_t insight_bytes(const Insight& insight);
   /// The uncached query evaluation (callers hold the shared corpus lock).
   /// Fills insight.execution's fan-out deltas; `span` (when live) gets
   /// the implicit/social phase laps.

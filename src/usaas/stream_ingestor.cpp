@@ -307,14 +307,21 @@ bool StreamIngestor::flush_corpus(Corpus corpus) {
   for (std::size_t attempt = 0; attempt < config_.max_flush_attempts;
        ++attempt) {
     if (attempt > 0) {
-      // Exponential backoff between attempts, capped.
+      // Exponential backoff between attempts, capped. Doubling with a
+      // halfway guard instead of a shift: a shift by (attempt - 1) would
+      // be UB past 63 attempts, and even a clamped shift overflows when
+      // retry_backoff is large — overflow here produced a *negative*
+      // backoff, silently skipping the sleep and the histogram sample.
       ++stats_.health.flush_retries;
       ++stats_.backoff_waits;
-      const auto backoff =
-          std::min(config_.max_backoff,
-                   std::chrono::milliseconds{config_.retry_backoff.count()
-                                             << std::min<std::size_t>(
-                                                    attempt - 1, 20)});
+      auto backoff = std::min(config_.retry_backoff, config_.max_backoff);
+      for (std::size_t doublings = 1;
+           doublings < attempt && backoff.count() > 0 &&
+           backoff < config_.max_backoff;
+           ++doublings) {
+        backoff = backoff <= config_.max_backoff / 2 ? backoff * 2
+                                                     : config_.max_backoff;
+      }
       if (backoff > std::chrono::milliseconds{0}) {
         backoff_seconds_.observe(
             std::chrono::duration<double>(backoff).count());

@@ -186,6 +186,43 @@ TEST(FaultInjection, FlushFailureIsRetriedWithBackoffThenSucceeds) {
   EXPECT_EQ(sstats.stream.flush_retries, 2u);
 }
 
+// Regression: the retry backoff used to double via a left shift of the
+// raw tick count. Past 63 attempts the shift is UB outright, and even a
+// clamped shift overflows std::int64 when retry_backoff is large — the
+// overflowed (negative) backoff silently skipped both the sleep and the
+// usaas_stream_backoff_seconds sample while still counting backoff_waits.
+// Drive a flush round through the ≥ 63-attempt boundary with a huge retry
+// floor: every one of the 63 waits must be observed, positive, and capped
+// at max_backoff.
+TEST(FaultInjection, BackoffStaysCappedAndObservedPastSixtyThreeAttempts) {
+  core::telemetry::Registry reg{true};
+  QueryServiceConfig scfg;
+  scfg.threads = 1;
+  scfg.telemetry = &reg;
+  QueryService svc{scfg};
+  core::FaultInjector::Config fcfg;
+  fcfg.fail_first_flushes = 63;  // heals on attempt 64
+  core::FaultInjector faults{fcfg};
+  StreamIngestorConfig cfg;
+  cfg.call_flush_watermark = 1;
+  cfg.max_flush_attempts = 64;
+  cfg.retry_backoff = std::chrono::milliseconds{std::int64_t{1} << 45};
+  cfg.max_backoff = std::chrono::milliseconds{1};
+  StreamIngestor ingestor{svc, cfg, &faults};
+  EXPECT_EQ(ingestor.push(sample_call(1)), PushOutcome::kAccepted);
+
+  const StreamIngestor::Stats stats = ingestor.stats();
+  EXPECT_EQ(stats.health.flush_failures, 63u);
+  EXPECT_EQ(stats.backoff_waits, 63u);
+  EXPECT_EQ(stats.health.flushes, 1u);
+  EXPECT_EQ(svc.ingested_sessions(), 1u);
+  const core::telemetry::HistogramSnapshot waits =
+      reg.histogram("usaas_stream_backoff_seconds").snapshot();
+  EXPECT_EQ(waits.count, 63u);  // no wait went missing
+  EXPECT_GT(waits.max, 0.0);
+  EXPECT_LE(waits.max, 0.001 + 1e-9);  // capped at max_backoff
+}
+
 TEST(FaultInjection, ExhaustedRetriesDegradeButQueriesServeLastSnapshot) {
   QueryService svc{{ShardingPolicy::kMonthPlatform, 1}};
   // First flush round succeeds (no faults yet armed via first-N), later

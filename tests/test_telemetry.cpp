@@ -204,6 +204,7 @@ TEST(Exposition, JsonGolden) {
   slow.sessions = 100;
   slow.corpus_version = 7;
   slow.hits = 3;
+  slow.last_seen_version = 9;
   const std::string expected =
       "{\n"
       "  \"counters\": {\"requests_total{path=\\\"scan\\\"}\": 2},\n"
@@ -212,7 +213,7 @@ TEST(Exposition, JsonGolden) {
       "  \"slow_queries\": [{\"fingerprint\": \"0000000000abcdef\", "
       "\"seconds\": 0.25, \"path\": \"scan\", \"shards_from_summary\": 0, "
       "\"shards_scanned\": 4, \"sessions\": 100, \"corpus_version\": 7, "
-      "\"hits\": 3}]\n"
+      "\"hits\": 3, \"last_seen_version\": 9}]\n"
       "}\n";
   EXPECT_EQ(to_json(reg.collect(), {slow}), expected);
 }
@@ -226,6 +227,40 @@ TEST(Exposition, FormatDoubleRoundTrips) {
 }
 
 // ---- Slow-query log ------------------------------------------------------
+
+// Regression: the same-fingerprint path only adopted the entry's fields
+// (corpus_version included) when the new run was SLOWER. A hot dashboard
+// whose worst run happened at version 3 therefore looked like it had not
+// run since version 3, no matter how often it ran afterwards. Freshness
+// now lives in last_seen_version, stamped unconditionally — while the
+// worst-run fields and the slowest-first golden order stay untouched.
+TEST(SlowQueryLogTest, LastSeenVersionAdvancesOnFasterRerunsGoldenOrder) {
+  SlowQueryLog log{4};
+  log.record({1, 0.50, "scan", 0, 1, 10, 3, 1});
+  log.record({2, 0.20, "scan", 0, 1, 10, 3, 1});
+  // Fingerprint 1 re-runs FASTER against a newer corpus.
+  log.record({1, 0.05, "cache", 0, 0, 10, 7, 1});
+  const auto worst = log.worst();
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_EQ(worst[0].fingerprint, 1u);  // golden order: slowest first
+  EXPECT_DOUBLE_EQ(worst[0].seconds, 0.50);  // worst run kept
+  EXPECT_EQ(worst[0].path, "scan");
+  EXPECT_EQ(worst[0].corpus_version, 3u);    // ...with its version
+  EXPECT_EQ(worst[0].last_seen_version, 7u);  // freshness advanced
+  EXPECT_EQ(worst[0].hits, 2u);
+  EXPECT_EQ(worst[1].fingerprint, 2u);
+  EXPECT_EQ(worst[1].last_seen_version, 3u);
+
+  // A slower re-run adopts the timing fields AND the freshness stamp.
+  log.record({2, 0.80, "scan", 0, 2, 12, 9, 1});
+  const auto slower = log.find(2);
+  ASSERT_TRUE(slower.has_value());
+  EXPECT_DOUBLE_EQ(slower->seconds, 0.80);
+  EXPECT_EQ(slower->corpus_version, 9u);
+  EXPECT_EQ(slower->last_seen_version, 9u);
+  // find() misses cleanly on unknown fingerprints.
+  EXPECT_FALSE(log.find(42).has_value());
+}
 
 TEST(SlowQueryLogTest, KeepsWorstAndEvictsFastestResident) {
   SlowQueryLog log{2};

@@ -315,7 +315,78 @@ TEST(LruCache, ZeroCapacityDisablesStorage) {
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.bytes(), 0u);
   EXPECT_EQ(cache.find(1), nullptr);
-  EXPECT_EQ(cache.misses(), 1u);
+}
+
+// Stats contract: a disabled cache (capacity 0) reports ZERO traffic. It
+// used to count a miss per find(), which made capacity-0 A/B runs look
+// like a 100%-miss cache instead of no cache at all, and poisoned any
+// hit-ratio alert fed from the exposition endpoint.
+TEST(LruCache, ZeroCapacityReportsZeroTraffic) {
+  core::LruCache<int, int> cache{0};
+  for (int i = 0; i < 100; ++i) {
+    cache.insert(i, i, 8);
+    EXPECT_EQ(cache.find(i), nullptr);
+  }
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // An enabled cache still counts both outcomes, so the fix cannot have
+  // silenced real traffic.
+  core::LruCache<int, int> live{2};
+  live.insert(1, 1, 8);
+  EXPECT_NE(live.find(1), nullptr);
+  EXPECT_EQ(live.find(2), nullptr);
+  EXPECT_EQ(live.hits(), 1u);
+  EXPECT_EQ(live.misses(), 1u);
+}
+
+// ---- Insight heap accounting -----------------------------------------
+
+// Regression: insight_heap_bytes skipped the engagement vector's OWN
+// buffer (it only counted each curve's points), so every cached insight
+// under-reported by engagement.capacity() * sizeof(EngagementCurve) and
+// the usaas_insight_cache_bytes gauge drifted below the real footprint as
+// entries accumulated.
+TEST(InsightBytes, GrowsWithTheEngagementVectorBuffer) {
+  Insight empty;
+  const std::size_t base = insight_heap_bytes(empty);
+  EXPECT_GE(base, sizeof(Insight));
+
+  Insight with_curves;
+  with_curves.engagement.resize(3);  // empty curves: only the outer buffer
+  const std::size_t outer = insight_heap_bytes(with_curves);
+  EXPECT_GE(outer, base + 3 * sizeof(EngagementCurve));
+
+  with_curves.engagement[0].points.resize(16);
+  EXPECT_GE(insight_heap_bytes(with_curves),
+            outer + 16 * sizeof(CurvePoint));
+}
+
+TEST(InsightCache, ByteGaugeCoversEveryOwnedBuffer) {
+  QueryService svc{{ShardingPolicy::kMonthPlatform, 1}};
+  const auto calls = boundary_calls(11, 4);
+  svc.ingest_calls(calls);
+  Query q;
+  q.first = Date(2022, 1, 1);
+  q.last = Date(2022, 12, 31);
+  q.bins = 6;
+  const Insight insight = svc.run(q);
+  ASSERT_FALSE(insight.engagement.empty());
+  // The cached copy's vector capacities are at least their sizes, so the
+  // gauge must be at least the size-based floor — including the
+  // engagement buffer the accounting used to miss.
+  std::size_t floor = sizeof(Insight) +
+                      insight.engagement.size() * sizeof(EngagementCurve) +
+                      insight.mos_spearman.size() *
+                          sizeof(std::pair<EngagementMetric, double>) +
+                      insight.outage_alert_days.size() * sizeof(Date);
+  for (const EngagementCurve& curve : insight.engagement) {
+    floor += curve.points.size() * sizeof(CurvePoint);
+  }
+  const QueryService::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.insight_cache.entries, 1u);
+  EXPECT_GE(stats.insight_cache.bytes, floor);
 }
 
 // ---- Fingerprint unit tests ------------------------------------------

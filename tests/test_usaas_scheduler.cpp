@@ -1,0 +1,401 @@
+// Admission-control tests: the token bucket as a pure function of its
+// (now, consume) sequence, the cost estimator's ordering (cache hit <
+// summary merge < cold scan, with slow-log history taking over once a
+// fingerprint has run), deadline-aware admission under a virtual clock,
+// and the degrade-before-shed contract — a saturated tenant gets a
+// bounded-staleness cached Insight, never an error, whenever one exists.
+//
+// Registered under the `sanitize` ctest label with USAAS_PARALLEL_FORCE=1:
+// MixedTenantStressReconcilesExactly hammers submit() from multiple
+// tenants while a producer bumps the corpus version, and is the TSan
+// workload for the scheduler mutex + bucket state + outcome counters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "confsim/call.h"
+#include "core/date.h"
+#include "core/scheduler_clock.h"
+#include "core/token_bucket.h"
+#include "usaas/query_scheduler.h"
+#include "usaas/query_service.h"
+
+namespace usaas::service {
+namespace {
+
+using core::Date;
+
+// ---- Corpus helpers ----------------------------------------------------
+
+confsim::CallRecord sample_call(std::uint64_t id, const Date& day) {
+  confsim::CallRecord call;
+  call.call_id = id;
+  call.start.date = day;
+  call.start.time = {9, 0};
+  confsim::ParticipantRecord rec;
+  rec.user_id = id * 10;
+  rec.platform = confsim::Platform::kWindowsPc;
+  rec.meeting_size = 2;
+  rec.access = netsim::AccessTechnology::kFiber;
+  const auto agg = [](double v) { return netsim::MetricAggregate{v, v, v}; };
+  rec.network.latency_ms = agg(40.0 + static_cast<double>(id % 50));
+  rec.network.loss_pct = agg(0.5);
+  rec.network.jitter_ms = agg(3.0);
+  rec.network.bandwidth_mbps = agg(25.0);
+  rec.network.duration_seconds = 1800.0;
+  rec.network.sample_count = 360;
+  rec.presence_pct = 90.0;
+  rec.cam_on_pct = 50.0;
+  rec.mic_on_pct = 30.0;
+  call.participants.push_back(rec);
+  return call;
+}
+
+std::vector<confsim::CallRecord> quarter_calls(std::uint64_t base_id) {
+  std::vector<confsim::CallRecord> calls;
+  std::uint64_t id = base_id;
+  for (int month = 1; month <= 3; ++month) {
+    for (int day : {1, 10, 20, 28}) {
+      calls.push_back(sample_call(id++, Date(2022, month, day)));
+    }
+  }
+  return calls;
+}
+
+Query whole_months_query() {
+  Query q;
+  q.first = Date(2022, 1, 1);
+  q.last = Date(2022, 3, 31);  // month-aligned: summary-answerable
+  q.bins = 4;
+  return q;
+}
+
+Query cut_months_query() {
+  Query q;
+  q.first = Date(2022, 1, 15);  // both boundary months are cut: rescans
+  q.last = Date(2022, 3, 20);
+  q.bins = 4;
+  return q;
+}
+
+struct Fixture {
+  core::telemetry::Registry reg{true};
+  QueryService svc;
+  explicit Fixture() : svc{make_config(&reg)} {
+    const auto calls = quarter_calls(0);
+    svc.ingest_calls(calls);
+  }
+  static QueryServiceConfig make_config(core::telemetry::Registry* reg) {
+    QueryServiceConfig cfg;
+    cfg.sharding = ShardingPolicy::kMonthPlatform;
+    cfg.threads = 1;
+    cfg.telemetry = reg;
+    return cfg;
+  }
+};
+
+// ---- TokenBucket: pure-function determinism ----------------------------
+
+TEST(TokenBucket, RefillIsAPureFunctionOfTheClockSequence) {
+  const auto run = [](std::vector<double>& trace) {
+    core::TokenBucket bucket{10.0, 5.0, 0.0};
+    trace.push_back(bucket.tokens());  // starts full
+    ASSERT_TRUE(bucket.try_consume(5.0));
+    trace.push_back(bucket.tokens());
+    trace.push_back(bucket.seconds_until(1.0));
+    bucket.refill(0.1);
+    trace.push_back(bucket.tokens());
+    ASSERT_TRUE(bucket.try_consume(1.0));
+    bucket.refill(10.0);  // far past: clamps at burst
+    trace.push_back(bucket.tokens());
+    bucket.refill(3.0);  // older timestamp: ignored, never negative time
+    trace.push_back(bucket.tokens());
+  };
+  std::vector<double> a, b;
+  run(a);
+  run(b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "step " << i;  // bit-identical replay
+  }
+  EXPECT_DOUBLE_EQ(a[0], 5.0);
+  EXPECT_DOUBLE_EQ(a[1], 0.0);
+  EXPECT_DOUBLE_EQ(a[2], 0.1);  // (1 - 0) / 10
+  EXPECT_DOUBLE_EQ(a[3], 1.0);  // 0.1 s * 10/s, exactly
+  EXPECT_DOUBLE_EQ(a[4], 5.0);  // clamped at burst
+  EXPECT_DOUBLE_EQ(a[5], 5.0);  // monotone guard held
+}
+
+TEST(TokenBucket, UnpayableCostsReportInfiniteWait) {
+  core::TokenBucket bucket{2.0, 4.0, 0.0};
+  EXPECT_EQ(bucket.seconds_until(5.0),
+            std::numeric_limits<double>::infinity());  // beyond burst
+  core::TokenBucket stalled{0.0, 4.0, 0.0};
+  ASSERT_TRUE(stalled.try_consume(4.0));
+  EXPECT_EQ(stalled.seconds_until(1.0),
+            std::numeric_limits<double>::infinity());  // zero rate
+}
+
+// ---- Cost estimator ----------------------------------------------------
+
+TEST(QueryScheduler, CostOrderingCacheThenSummaryThenScan) {
+  Fixture fx;
+  SchedulerConfig cfg;
+  cfg.summary_month_cost = 0.5;  // lift the aligned window off the floor
+  core::VirtualClock clock;
+  cfg.clock = &clock;
+  QueryScheduler sched{fx.svc, cfg};
+
+  // Structural estimates, before anything has run: the month-aligned
+  // window merges summaries, the cut window rescans its boundary months.
+  const QueryCostEstimate aligned = fx.svc.estimate_query(whole_months_query());
+  EXPECT_FALSE(aligned.cached);
+  EXPECT_EQ(aligned.summary_months, 3u);
+  EXPECT_EQ(aligned.scan_months, 0u);
+  const QueryCostEstimate cut = fx.svc.estimate_query(cut_months_query());
+  EXPECT_EQ(cut.scan_months, 2u);
+  EXPECT_EQ(cut.summary_months, 1u);
+
+  const double summary_cost = sched.estimate_cost(whole_months_query());
+  const double scan_cost = sched.estimate_cost(cut_months_query());
+  EXPECT_LT(summary_cost, scan_cost);  // cold scans queue behind merges
+
+  // Estimating must not look like cache traffic.
+  const auto before = fx.svc.stats().insight_cache;
+  (void)fx.svc.estimate_query(whole_months_query());
+  const auto after = fx.svc.stats().insight_cache;
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+
+  // Once cached, the same expensive query costs the floor.
+  (void)fx.svc.run(cut_months_query());
+  const QueryCostEstimate warm = fx.svc.estimate_query(cut_months_query());
+  EXPECT_TRUE(warm.cached);
+  EXPECT_GE(warm.slow_log_seconds, 0.0);  // history seeded by the run
+  EXPECT_DOUBLE_EQ(sched.estimate_cost(cut_months_query()),
+                   cfg.min_cost_tokens);
+  EXPECT_LT(sched.estimate_cost(cut_months_query()), summary_cost);
+
+  // After a version bump the cache no longer shields it, but the slow-log
+  // history (keyed on the version-independent fingerprint) still does.
+  const auto more = quarter_calls(1000);
+  fx.svc.ingest_calls(more);
+  const QueryCostEstimate bumped = fx.svc.estimate_query(cut_months_query());
+  EXPECT_FALSE(bumped.cached);
+  EXPECT_GE(bumped.slow_log_seconds, 0.0);
+}
+
+// ---- Deadline-aware admission under a virtual clock --------------------
+
+TEST(QueryScheduler, AdmissionWaitsAreDeterministicUnderVirtualClock) {
+  const auto run = [](std::vector<double>& waits, double& end_time) {
+    Fixture fx;
+    core::VirtualClock clock;
+    SchedulerConfig cfg;
+    cfg.default_qos = {4.0, 1.0};  // 4 tokens/s, burst 1
+    cfg.max_wait_seconds = 10.0;
+    cfg.clock = &clock;
+    QueryScheduler sched{fx.svc, cfg};
+    for (int i = 0; i < 5; ++i) {
+      const ScheduledResult r = sched.submit("dash", whole_months_query());
+      ASSERT_EQ(r.outcome, AdmissionOutcome::kAdmitted);
+      EXPECT_DOUBLE_EQ(r.cost_tokens, 1.0);
+      waits.push_back(r.wait_seconds);
+    }
+    end_time = clock.now();
+  };
+  std::vector<double> waits_a, waits_b;
+  double end_a = 0.0, end_b = 0.0;
+  run(waits_a, end_a);
+  run(waits_b, end_b);
+  ASSERT_EQ(waits_a.size(), 5u);
+  EXPECT_DOUBLE_EQ(waits_a[0], 0.0);  // fresh tenant: full burst
+  for (std::size_t i = 1; i < waits_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(waits_a[i], 0.25) << "submission " << i;
+  }
+  EXPECT_DOUBLE_EQ(end_a, 1.0);  // 4 refill waits of exactly 0.25 s
+  EXPECT_EQ(waits_a, waits_b);   // bit-identical replay
+  EXPECT_EQ(end_a, end_b);
+}
+
+// ---- Degrade before shed ----------------------------------------------
+
+TEST(QueryScheduler, DegradesToBoundedStalenessInsteadOfShedding) {
+  Fixture fx;
+  core::VirtualClock clock;
+  SchedulerConfig cfg;
+  // Rate 0: whatever the burst bought is all this tenant ever gets, so
+  // saturation is reached deterministically with no waiting.
+  cfg.default_qos = {0.0, 1.0};
+  cfg.max_versions_behind = 2;
+  cfg.clock = &clock;
+  QueryScheduler sched{fx.svc, cfg};
+
+  // Warm: the only affordable submission computes and caches the answer.
+  const ScheduledResult warm = sched.submit("analyst", whole_months_query());
+  ASSERT_EQ(warm.outcome, AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(warm.insight.staleness, 0u);
+  const std::uint64_t warm_version = warm.insight.corpus_version;
+
+  // The corpus moves on: the cached entry is now one version behind.
+  const auto more = quarter_calls(500);
+  fx.svc.ingest_calls(more);
+
+  // Saturated + stale cache entry available → degraded, not shed, and the
+  // answer is the warm insight stamped with exactly how stale it is.
+  const ScheduledResult degraded =
+      sched.submit("analyst", whole_months_query());
+  ASSERT_EQ(degraded.outcome, AdmissionOutcome::kDegraded);
+  EXPECT_EQ(degraded.insight.staleness, 1u);
+  EXPECT_LE(degraded.insight.staleness, cfg.max_versions_behind);
+  EXPECT_EQ(degraded.insight.corpus_version, warm_version);
+  EXPECT_EQ(degraded.insight.sessions, warm.insight.sessions);
+  EXPECT_EQ(degraded.insight.execution.served_by, ServedBy::kCache);
+
+  // Saturated + nothing cached for this query → shed, and the tripwire
+  // stays silent because nothing degradable was discarded.
+  const ScheduledResult shed = sched.submit("analyst", cut_months_query());
+  EXPECT_EQ(shed.outcome, AdmissionOutcome::kShed);
+
+  const SchedulerStats stats = sched.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.shed_with_degradable, 0u);
+  EXPECT_TRUE(stats.reconciles());
+
+  // The registry view must agree exactly with stats() — the exposition
+  // endpoint renders these same cells.
+  core::telemetry::Registry& reg = fx.svc.telemetry_registry();
+  EXPECT_EQ(reg.counter("usaas_admission_submitted_total").value(), 3u);
+  EXPECT_EQ(reg.counter("usaas_admission_queries_total", "",
+                        {{"outcome", "admitted"}})
+                .value(),
+            1u);
+  EXPECT_EQ(reg.counter("usaas_admission_queries_total", "",
+                        {{"outcome", "degraded"}})
+                .value(),
+            1u);
+  EXPECT_EQ(reg.counter("usaas_admission_queries_total", "",
+                        {{"outcome", "shed"}})
+                .value(),
+            1u);
+  EXPECT_EQ(
+      reg.counter("usaas_admission_shed_with_degradable_total").value(), 0u);
+}
+
+TEST(QueryScheduler, StalenessBoundIsRespectedAcrossManyBumps) {
+  Fixture fx;
+  core::VirtualClock clock;
+  SchedulerConfig cfg;
+  cfg.default_qos = {0.0, 1.0};
+  cfg.max_versions_behind = 2;
+  cfg.clock = &clock;
+  QueryScheduler sched{fx.svc, cfg};
+  ASSERT_EQ(sched.submit("t", whole_months_query()).outcome,
+            AdmissionOutcome::kAdmitted);
+  // Three bumps put the only cached entry beyond the staleness bound:
+  // serving it would violate the stamp's contract, so the query sheds.
+  for (int i = 0; i < 3; ++i) {
+    const auto more = quarter_calls(2000 + 100 * static_cast<std::uint64_t>(i));
+    fx.svc.ingest_calls(more);
+  }
+  const ScheduledResult r = sched.submit("t", whole_months_query());
+  EXPECT_EQ(r.outcome, AdmissionOutcome::kShed);
+  EXPECT_EQ(sched.stats().shed_with_degradable, 0u);
+}
+
+TEST(QueryScheduler, DisabledDegradeTripsTheShedWithDegradableTripwire) {
+  Fixture fx;
+  core::VirtualClock clock;
+  SchedulerConfig cfg;
+  cfg.default_qos = {0.0, 1.0};
+  cfg.max_versions_behind = 0;  // degrade disabled
+  cfg.clock = &clock;
+  QueryScheduler sched{fx.svc, cfg};
+  ASSERT_EQ(sched.submit("t", whole_months_query()).outcome,
+            AdmissionOutcome::kAdmitted);
+  // Same query, same version, saturated: a perfectly fresh cached answer
+  // exists, degrade is off, so the shed is recorded as a discarded
+  // opportunity — the condition scripts/check.sh fails the build on.
+  const ScheduledResult r = sched.submit("t", whole_months_query());
+  EXPECT_EQ(r.outcome, AdmissionOutcome::kShed);
+  const SchedulerStats stats = sched.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.shed_with_degradable, 1u);
+  EXPECT_TRUE(stats.reconciles());
+}
+
+// ---- Mixed-tenant concurrency (TSan workload) --------------------------
+
+TEST(QueryScheduler, MixedTenantStressReconcilesExactly) {
+  Fixture fx;
+  core::VirtualClock clock;
+  SchedulerConfig cfg;
+  cfg.default_qos = {200.0, 8.0};
+  cfg.tenant_qos["dash-0"] = {400.0, 16.0};
+  cfg.max_wait_seconds = 0.05;
+  cfg.max_versions_behind = 3;
+  cfg.clock = &clock;
+  QueryScheduler sched{fx.svc, cfg};
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::uint64_t> answered(kThreads, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::string tenant =
+          (t % 2 == 0 ? "dash-" : "analyst-") + std::to_string(t % 2);
+      for (int i = 0; i < kPerThread; ++i) {
+        const Query q =
+            (i % 3 == 0) ? cut_months_query() : whole_months_query();
+        const ScheduledResult r = sched.submit(tenant, q);
+        if (r.outcome != AdmissionOutcome::kShed) {
+          ++answered[static_cast<std::size_t>(t)];
+          // Degraded answers must honor the bound even mid-race.
+          ASSERT_LE(r.insight.staleness, cfg.max_versions_behind);
+        }
+      }
+    });
+  }
+  // A live producer keeps bumping the corpus version underneath.
+  workers.emplace_back([&] {
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      const std::vector<confsim::CallRecord> batch{
+          sample_call(10000 + i, Date(2022, 2, 5))};
+      fx.svc.ingest_calls(batch);
+    }
+  });
+  for (std::thread& w : workers) w.join();
+
+  const SchedulerStats stats = sched.stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_TRUE(stats.reconciles());
+  core::telemetry::Registry& reg = fx.svc.telemetry_registry();
+  const std::uint64_t exposed =
+      reg.counter("usaas_admission_queries_total", "",
+                  {{"outcome", "admitted"}})
+          .value() +
+      reg.counter("usaas_admission_queries_total", "",
+                  {{"outcome", "degraded"}})
+          .value() +
+      reg.counter("usaas_admission_queries_total", "", {{"outcome", "shed"}})
+          .value();
+  EXPECT_EQ(exposed,
+            reg.counter("usaas_admission_submitted_total").value());
+  // All waiters drained: every per-tenant queue-depth gauge is back to 0.
+  for (const auto& [tenant, snap] : stats.tenants) {
+    EXPECT_EQ(snap.queue_depth, 0u) << tenant;
+  }
+}
+
+}  // namespace
+}  // namespace usaas::service
