@@ -404,6 +404,7 @@ struct FrontendOutcome {
   std::uint64_t admitted{0};
   std::uint64_t degraded{0};
   std::uint64_t shed{0};
+  std::uint64_t expired{0};
   std::uint64_t shed_with_degradable{0};
   std::uint64_t max_staleness{0};
   std::uint64_t max_versions_behind{0};
@@ -522,7 +523,13 @@ FrontendOutcome run_frontend_open_loop(
                                      ? dashboards[i % dashboards.size()]
                                  : lane < 9 ? analytics[i % analytics.size()]
                                             : batch_query(i);
-    const service::ScheduledResult r = front.submit(tenant, query);
+    // Interactive lanes carry a real patience budget (expiry is an
+    // expected outcome under load); batch traffic waits forever.
+    const double budget =
+        lane < 6    ? 0.25
+        : lane < 9 ? 0.5
+                    : std::numeric_limits<double>::infinity();
+    const service::ScheduledResult r = front.submit(tenant, query, budget);
     const double latency = seconds_since(t_start) - scheduled;
     if (r.outcome == service::AdmissionOutcome::kAdmitted) {
       admitted_latency.push_back(latency);
@@ -536,6 +543,7 @@ FrontendOutcome run_frontend_open_loop(
   out.admitted = stats.admitted;
   out.degraded = stats.degraded;
   out.shed = stats.shed;
+  out.expired = stats.expired;
   out.shed_with_degradable = stats.shed_with_degradable;
   out.stats_reconciled = stats.reconciles();
   out.staleness_bounded = out.max_staleness <= out.max_versions_behind;
@@ -565,20 +573,122 @@ FrontendOutcome run_frontend_open_loop(
               stats.degraded) &&
       carries("usaas_admission_queries_total{outcome=\\\"shed\\\"}",
               stats.shed) &&
+      carries("usaas_admission_queries_total{outcome=\\\"expired\\\"}",
+              stats.expired) &&
       carries("usaas_admission_shed_with_degradable_total",
               stats.shed_with_degradable);
   return out;
 }
 
+// ---- EDF vs per-bucket saturation A/B ---------------------------------
+// The question PR 8's FairQueue answers: when tenants with very
+// different deadlines contend for tokens at the same time, who gets the
+// accrual? The legacy loop parks each waiter on a private
+// sleep(seconds_until) and lets the OS wakeup order decide; the EDF
+// queue hands each accrual to the earliest absolute deadline. Two
+// tenants — "tight" (20 ms budgets) and "loose" (60 ms budgets) — hammer
+// their saturated buckets from concurrent threads, and the A/B compares
+// the tight tenant's admission-wait tail and admit rate across the two
+// queueing policies on an otherwise identical workload.
+
+struct SaturationAb {
+  std::size_t threads{0};
+  std::size_t tight_submissions{0};
+  bool oversubscribed{false};
+  double legacy_tight_wait_p99_ms{0.0};
+  double edf_tight_wait_p99_ms{0.0};
+  double legacy_tight_admit_rate{0.0};
+  double edf_tight_admit_rate{0.0};
+};
+
+SaturationAb run_saturation_ab(std::span<const confsim::CallRecord> calls) {
+  SaturationAb out;
+  constexpr std::size_t kThreads = 4;  // 2 tight + 2 loose
+  constexpr int kPerThread = 200;
+  out.threads = kThreads;
+  out.oversubscribed = kThreads > core::hardware_parallelism();
+
+  const auto run_side = [&](bool fair, double& p99_ms, double& admit_rate,
+                            std::size_t& tight_total) {
+    core::telemetry::Registry reg{true};
+    service::QueryServiceConfig cfg;
+    cfg.sharding = service::ShardingPolicy::kMonthPlatform;
+    cfg.threads = 1;
+    cfg.telemetry = &reg;
+    service::QueryService svc{cfg};
+    svc.ingest_calls(calls.subspan(0, std::min<std::size_t>(500, calls.size())));
+    service::Query q;
+    q.first = core::Date(2022, 1, 1);
+    q.last = core::Date(2022, 3, 31);
+    q.metric = netsim::Metric::kLatency;
+    q.metric_lo = 0.0;
+    q.metric_hi = 300.0;
+    q.bins = 10;
+    (void)svc.run(q);  // cache it: every admission costs the 1-token floor
+
+    service::SchedulerConfig scfg;
+    scfg.fair_queue = fair;
+    scfg.max_wait_seconds = 0.06;
+    scfg.tenant_qos["tight"] = {200.0, 2.0};
+    scfg.tenant_qos["loose"] = {200.0, 2.0};
+    service::QueryScheduler sched{svc, scfg};
+
+    std::vector<std::vector<double>> waits(kThreads);
+    std::vector<std::size_t> admitted(kThreads, 0);
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        const bool tight = t < kThreads / 2;
+        const char* tenant = tight ? "tight" : "loose";
+        const double budget = tight ? 0.02 : 0.06;
+        for (int i = 0; i < kPerThread; ++i) {
+          const service::ScheduledResult r = sched.submit(tenant, q, budget);
+          if (tight) {
+            waits[t].push_back(r.wait_seconds);
+            if (r.outcome == service::AdmissionOutcome::kAdmitted) {
+              ++admitted[t];
+            }
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+
+    std::vector<double> tight_waits;
+    std::size_t tight_admitted = 0;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      tight_waits.insert(tight_waits.end(), waits[t].begin(), waits[t].end());
+      tight_admitted += admitted[t];
+    }
+    std::sort(tight_waits.begin(), tight_waits.end());
+    tight_total = tight_waits.size();
+    p99_ms = percentile_ms(tight_waits, 0.99);
+    admit_rate = tight_total > 0
+                     ? static_cast<double>(tight_admitted) /
+                           static_cast<double>(tight_total)
+                     : 0.0;
+  };
+
+  std::size_t tight_total = 0;
+  run_side(false, out.legacy_tight_wait_p99_ms, out.legacy_tight_admit_rate,
+           tight_total);
+  run_side(true, out.edf_tight_wait_p99_ms, out.edf_tight_admit_rate,
+           tight_total);
+  out.tight_submissions = tight_total;
+  return out;
+}
+
 void print_frontend(const FrontendOutcome& fe) {
   std::printf("frontend: offered %.0f/s for %.1f s -> submitted %llu = "
-              "admitted %llu + degraded %llu + shed %llu  (reconciles: %s, "
-              "exposition agrees: %s)\n",
+              "admitted %llu + degraded %llu + shed %llu + expired %llu  "
+              "(reconciles: %s, exposition agrees: %s)\n",
               fe.offered_rate, fe.duration_seconds,
               static_cast<unsigned long long>(fe.submitted),
               static_cast<unsigned long long>(fe.admitted),
               static_cast<unsigned long long>(fe.degraded),
               static_cast<unsigned long long>(fe.shed),
+              static_cast<unsigned long long>(fe.expired),
               fe.stats_reconciled ? "yes" : "NO",
               fe.exposition_reconciled ? "yes" : "NO");
   std::printf("frontend admitted latency (from scheduled arrival): "
@@ -649,13 +759,14 @@ int main() {
     const FrontendOutcome fe = run_frontend_open_loop(calls, posts, rate, secs);
     std::printf(
         "FRONTEND submitted=%llu admitted=%llu degraded=%llu shed=%llu "
-        "shed_with_degradable=%llu reconcile=%s exposition=%s "
+        "expired=%llu shed_with_degradable=%llu reconcile=%s exposition=%s "
         "staleness_max=%llu staleness_bound=%llu p50_ms=%.3f p95_ms=%.3f "
         "p99_ms=%.3f shed_rate=%.4f\n",
         static_cast<unsigned long long>(fe.submitted),
         static_cast<unsigned long long>(fe.admitted),
         static_cast<unsigned long long>(fe.degraded),
         static_cast<unsigned long long>(fe.shed),
+        static_cast<unsigned long long>(fe.expired),
         static_cast<unsigned long long>(fe.shed_with_degradable),
         fe.stats_reconciled ? "ok" : "FAIL",
         fe.exposition_reconciled ? "ok" : "FAIL",
@@ -1110,6 +1221,25 @@ int main() {
     return 1;
   }
 
+  // ---- EDF fair queue vs legacy per-bucket waits under saturation ----
+  // Concurrent tight-budget and loose-budget tenants contend for the same
+  // drained token buckets; the number that should move is the tight
+  // tenants' admission-wait tail (EDF offers refills to the nearest
+  // deadline first) and their admit rate.
+  std::printf("\n-- admission saturation A/B: legacy per-bucket waits vs "
+              "EDF fair queue --\n");
+  const SaturationAb ab = run_saturation_ab(calls);
+  std::printf("  %zu threads (%zu tight-budget submissions)%s\n", ab.threads,
+              ab.tight_submissions,
+              ab.oversubscribed
+                  ? "  [OVERSUBSCRIBED: more threads than cores; treat "
+                    "deltas as directional]"
+                  : "");
+  std::printf("  tight-tenant wait p99:  legacy %8.3f ms   edf %8.3f ms\n",
+              ab.legacy_tight_wait_p99_ms, ab.edf_tight_wait_p99_ms);
+  std::printf("  tight-tenant admit rate: legacy %7.4f      edf %7.4f\n",
+              ab.legacy_tight_admit_rate, ab.edf_tight_admit_rate);
+
   std::ofstream json{json_path};
   if (!json) {
     std::fprintf(stderr, "FATAL: cannot open %s for writing\n",
@@ -1240,6 +1370,7 @@ int main() {
        << "    \"admitted\": " << fe.admitted << ",\n"
        << "    \"degraded\": " << fe.degraded << ",\n"
        << "    \"shed\": " << fe.shed << ",\n"
+       << "    \"expired\": " << fe.expired << ",\n"
        << "    \"shed_with_degradable\": " << fe.shed_with_degradable
        << ",\n"
        << "    \"shed_rate\": " << fe.shed_rate << ",\n"
@@ -1252,7 +1383,21 @@ int main() {
        << "    \"reconciled\": " << (fe.stats_reconciled ? "true" : "false")
        << ",\n"
        << "    \"exposition_reconciled\": "
-       << (fe.exposition_reconciled ? "true" : "false") << "\n"
+       << (fe.exposition_reconciled ? "true" : "false") << ",\n"
+       << "    \"saturation_ab\": {\n"
+       << "      \"threads\": " << ab.threads << ",\n"
+       << "      \"tight_submissions\": " << ab.tight_submissions << ",\n"
+       << "      \"oversubscribed\": "
+       << (ab.oversubscribed ? "true" : "false") << ",\n"
+       << "      \"legacy_tight_wait_p99_ms\": "
+       << ab.legacy_tight_wait_p99_ms << ",\n"
+       << "      \"edf_tight_wait_p99_ms\": " << ab.edf_tight_wait_p99_ms
+       << ",\n"
+       << "      \"legacy_tight_admit_rate\": "
+       << ab.legacy_tight_admit_rate << ",\n"
+       << "      \"edf_tight_admit_rate\": " << ab.edf_tight_admit_rate
+       << "\n"
+       << "    }\n"
        << "  },\n"
        << "  \"notes\": \"Legacy baseline is the seed's path (flat "
           "single-shard store, per-record ingest, sentiment re-scored over "
@@ -1297,11 +1442,20 @@ int main() {
           "cache-hit repeats, analytics boundary-cut scans warmed before a "
           "version bump so saturation degrades them to bounded-staleness "
           "cached insights, and never-cached batch windows that shed. "
-          "Percentiles cover admitted queries only; the run aborts unless "
-          "admitted + degraded + shed == submitted in both the scheduler "
-          "stats and the scraped exposition, staleness stamps respect "
+          "Percentiles cover admitted queries only; lanes carry per-request "
+          "budgets (0.25 s dashboard, 0.5 s analytics, unbounded batch) so "
+          "expired counts requests whose deadline elapsed before or during "
+          "execution, and the run aborts unless admitted + degraded + shed "
+          "+ expired == submitted in both the scheduler stats and the "
+          "scraped exposition, staleness stamps respect "
           "max_versions_behind, and nothing sheds while a degradable "
-          "cached insight exists.\"\n"
+          "cached insight exists. saturation_ab contends tight-budget and "
+          "loose-budget tenant threads on deliberately drained token "
+          "buckets and compares the tight tenants' admission-wait p99 and "
+          "admit rate between the legacy per-bucket timed waits and the "
+          "deadline-ordered (EDF) cross-tenant fair queue; on "
+          "oversubscribed hosts the deltas are directional, not "
+          "calibrated.\"\n"
        << "}\n";
   json.close();
   std::printf("wrote %s\n", json_path.c_str());

@@ -1,49 +1,83 @@
-// The USaaS front-end harness: admission control in front of the query
-// service — metrics_endpoint grown into a minimal multi-tenant service.
+// The USaaS front end, end to end: the admission scheduler behind a real
+// HTTP listener on a loopback socket.
 //
 // Builds the same small deployment (conferencing telemetry + social
-// posts), then puts a usaas::service::QueryScheduler in front of it and
-// drives three tenants with very different manners:
+// posts), puts a usaas::service::QueryScheduler in front of it, and — by
+// default — binds a usaas::service::HttpListener to 127.0.0.1:0 and
+// drives it with a plain in-process TCP client, exactly the bytes a curl
+// would send:
+//
+//   curl 'http://127.0.0.1:PORT/query?tenant=analyst&first=2022-01-15&
+//         last=2022-03-20&metric=latency&lo=0&hi=300&bins=10&budget_ms=250'
+//
+// Three tenants with very different manners share the corpus:
 //
 //   * "ops-dashboard"  — generous QoS, re-runs the same two whole-month
 //     queries (cheap: insight-cache hits and summary merges);
 //   * "analyst"        — modest QoS, ad-hoc boundary-cut windows (each
 //     one rescans shards, so the cost estimator prices it high);
 //   * "crawler"        — starvation QoS, hammers expensive queries and
-//     mostly gets degraded-or-shed instead of dragging everyone down.
+//     mostly gets 429 Retry-After instead of dragging everyone down.
 //
-// A VirtualClock drives admission, so the run is deterministic: the same
-// admissions, the same degraded answers with the same staleness stamps,
-// every time. After the traffic, the harness prints the scheduler's
-// ledger (admitted + degraded + shed == submitted, checked here and by
-// scripts/check.sh), each tenant's leftover tokens and queue depth, and
-// the usaas_admission_* families exactly as a /metrics scrape would see
-// them.
+// After the traffic the harness prints the scheduler's four-way ledger
+// (admitted + degraded + shed + expired == submitted), the listener's
+// own connection ledger, and the /metrics scrape fetched over the same
+// wire — the service stays measurable through the boundary it serves on.
 //
-// Build & run:   ./build/examples/usaas_frontend
+// Modes:
+//   ./build/examples/usaas_frontend                 real listener (above)
+//   ./build/examples/usaas_frontend --in-process    the PR 7 deterministic
+//       demo: no sockets, a VirtualClock drives admission so the run is
+//       bit-identical every time.
+//   USAAS_FAULT_SOCKET='accept_fail=0.1,slow_read=0.05,slow_read_ms=200,
+//       partial=0.1,disconnect=0.1' ./build/examples/usaas_frontend
+//       chaos harness: the same listener under a seeded client-side fault
+//       storm (slow-loris, truncation, early disconnects) plus injected
+//       accept failures. Prints one parseable "CHAOS ..." line and exits
+//       nonzero if any ledger fails to reconcile, a worker fails to exit,
+//       or a request outlives its deadline by more than 2x —
+//       scripts/check.sh runs this as its chaos smoke stage.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "confsim/dataset.h"
+#include "core/fault_injector.h"
 #include "core/scheduler_clock.h"
 #include "social/subreddit.h"
+#include "usaas/http_listener.h"
 #include "usaas/query_scheduler.h"
 #include "usaas/query_service.h"
 
-int main() {
-  using namespace usaas;
+namespace {
 
-  service::QueryService svc{service::QueryServiceConfig{
-      service::ShardingPolicy::kMonthPlatform, /*threads=*/4}};
+using namespace usaas;
 
-  std::printf("ingesting conferencing + social signals...\n");
+// ---- Shared deployment ---------------------------------------------------
+
+confsim::DatasetConfig base_calls_config() {
   confsim::DatasetConfig cfg;
   cfg.seed = 7;
   cfg.num_calls = 4000;
   cfg.first_day = core::Date(2022, 1, 3);
   cfg.last_day = core::Date(2022, 3, 31);
-  svc.ingest_calls(confsim::CallDatasetGenerator{cfg}.generate());
+  return cfg;
+}
+
+void ingest_corpus(service::QueryService& svc) {
+  std::printf("ingesting conferencing + social signals...\n");
+  svc.ingest_calls(
+      confsim::CallDatasetGenerator{base_calls_config()}.generate());
 
   social::SubredditConfig scfg;
   scfg.first_day = core::Date(2022, 1, 1);
@@ -56,8 +90,254 @@ int main() {
       leo::OutageModel{scfg.first_day, scfg.last_day, 42},
       leo::EventTimeline{schedule}};
   svc.ingest_posts(sim.simulate());
+}
 
-  // ---- The front-end: per-tenant QoS over the shared corpus ----------
+service::Query month_query(int first_month, int last_month) {
+  service::Query q;
+  q.first = core::Date(2022, first_month, 1);
+  q.last = core::Date(2022, last_month,
+                      core::Date::days_in_month(2022, last_month));
+  q.metric = netsim::Metric::kLatency;
+  q.metric_lo = 0.0;
+  q.metric_hi = 300.0;
+  q.bins = 10;
+  return q;
+}
+
+service::Query cut_query(int day_first, int day_last) {
+  service::Query q = month_query(1, 3);
+  q.first = core::Date(2022, 1, day_first);
+  q.last = core::Date(2022, 3, day_last);
+  return q;
+}
+
+// ---- A tiny blocking HTTP client (the demo's stand-in for curl) ----------
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void send_best_effort(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string read_to_eof(int fd) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+std::string http_exchange(std::uint16_t port, const std::string& request) {
+  const int fd = connect_loopback(port);
+  if (fd < 0) return {};
+  send_best_effort(fd, request);
+  const std::string response = read_to_eof(fd);
+  ::close(fd);
+  return response;
+}
+
+std::string get_request(const std::string& target) {
+  return "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+}
+
+std::string post_request(const std::string& target, const std::string& body) {
+  return "POST " + target + " HTTP/1.1\r\nHost: localhost\r\n" +
+         "Content-Type: application/json\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+int status_of(const std::string& response) {
+  int status = 0;
+  std::sscanf(response.c_str(), "HTTP/1.1 %d", &status);
+  return status;
+}
+
+/// Pulls a JSON string field ("key":"value") out of a flat response body
+/// for the demo printout; empty when absent.
+std::string field_of(const std::string& response, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = response.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t start = at + needle.size();
+  const std::size_t end = response.find('"', start);
+  if (end == std::string::npos) return {};
+  return response.substr(start, end - start);
+}
+
+// ---- Mode 1 (default): the real listener over loopback -------------------
+
+int run_wire_demo() {
+  service::QueryService svc{service::QueryServiceConfig{
+      service::ShardingPolicy::kMonthPlatform, /*threads=*/4}};
+  ingest_corpus(svc);
+
+  service::SchedulerConfig sched_cfg;
+  sched_cfg.max_wait_seconds = 0.05;
+  sched_cfg.max_versions_behind = 2;
+  sched_cfg.tenant_qos["ops-dashboard"] = {100.0, 50.0};
+  sched_cfg.tenant_qos["analyst"] = {20.0, 25.0};
+  sched_cfg.tenant_qos["crawler"] = {1.0, 3.0};
+  service::QueryScheduler front{svc, sched_cfg};
+
+  service::HttpListenerConfig lcfg;
+  lcfg.worker_threads = 2;
+  lcfg.default_budget_seconds = 0.5;
+  service::HttpListener listener{front, svc, lcfg};
+  if (!listener.start()) {
+    std::fprintf(stderr, "FATAL: listener failed to bind loopback\n");
+    return 1;
+  }
+  const std::uint16_t port = listener.port();
+  std::printf("\nlistener up on http://127.0.0.1:%u  "
+              "(2 workers, ephemeral port)\n",
+              static_cast<unsigned>(port));
+
+  const auto show = [&](const char* label, const std::string& response) {
+    const std::string outcome = field_of(response, "outcome");
+    const std::string served_by = field_of(response, "served_by");
+    const std::string error = field_of(response, "error");
+    std::printf("%-34s  HTTP %d", label, status_of(response));
+    if (!outcome.empty()) std::printf("  %-8s", outcome.c_str());
+    if (!served_by.empty()) std::printf("  served-by %s", served_by.c_str());
+    if (!error.empty()) std::printf("  (%s)", error.c_str());
+    std::printf("\n");
+  };
+
+  const std::string months =
+      "/query?tenant=%s&first=2022-01-01&last=2022-03-31&metric=latency"
+      "&lo=0&hi=300&bins=10";
+  const auto month_target = [&](const char* tenant) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), months.c_str(), tenant);
+    return std::string{buf};
+  };
+
+  std::printf("\n== traffic (real HTTP round trips) ==\n");
+  // Dashboards warm the cache over the query-string spelling, then the
+  // JSON spelling lands on the cached insight.
+  show("GET  ops-dashboard Q1-Q3",
+       http_exchange(port, get_request(month_target("ops-dashboard"))));
+  show("POST ops-dashboard Q1-Q3 (json)",
+       http_exchange(
+           port,
+           post_request("/query",
+                        "{\"tenant\":\"ops-dashboard\","
+                        "\"first\":\"2022-01-01\",\"last\":\"2022-03-31\","
+                        "\"metric\":\"latency\",\"lo\":0,\"hi\":300,"
+                        "\"bins\":10}")));
+  // Analysts pay scan prices for cut windows, with an explicit budget.
+  show("GET  analyst cut window",
+       http_exchange(
+           port,
+           get_request("/query?tenant=analyst&first=2022-01-15"
+                       "&last=2022-03-20&metric=latency&lo=0&hi=300"
+                       "&bins=10&budget_ms=250")));
+  // The crawler burns its burst on cheap repeats; once drained, its
+  // favourite query is served from cache as a degraded answer, and a
+  // window nobody ever cached gets an honest 429 with Retry-After.
+  for (int i = 0; i < 4; ++i) {
+    const std::string label = "GET  crawler Q1-Q3 (#" +
+                              std::to_string(i + 1) + ")";
+    show(label.c_str(),
+         http_exchange(port, get_request(month_target("crawler"))));
+  }
+  show("GET  crawler uncached window",
+       http_exchange(
+           port,
+           get_request("/query?tenant=crawler&first=2022-01-05"
+                       "&last=2022-03-27&metric=latency&lo=0&hi=300"
+                       "&bins=10&budget_ms=20")));
+  // A zero-budget request expires instead of waiting: 504.
+  show("GET  analyst budget_ms=0.0001",
+       http_exchange(
+           port,
+           get_request("/query?tenant=analyst&first=2022-01-15"
+                       "&last=2022-03-20&metric=latency&lo=0&hi=300"
+                       "&bins=10&budget_ms=0.0001")));
+  // And a malformed one is a 400 with a reason, not a dropped socket.
+  show("GET  bad metric",
+       http_exchange(
+           port,
+           get_request("/query?tenant=analyst&first=2022-01-01"
+                       "&last=2022-03-31&metric=vibes&lo=0&hi=300&bins=10")));
+
+  const std::string scrape =
+      http_exchange(port, get_request("/metrics"));
+  const bool clean = listener.stop();
+
+  const service::SchedulerStats stats = front.stats();
+  std::printf("\n== admission ledger ==\n");
+  std::printf(
+      "submitted %llu = admitted %llu + degraded %llu + shed %llu + "
+      "expired %llu  (reconciles: %s; shed-with-degradable tripwire: "
+      "%llu)\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.degraded),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.expired),
+      stats.reconciles() ? "yes" : "NO",
+      static_cast<unsigned long long>(stats.shed_with_degradable));
+  for (const auto& [tenant, snap] : stats.tenants) {
+    std::printf("  %-13s  tokens left %6.2f  queue depth %zu\n",
+                tenant.c_str(), snap.tokens, snap.queue_depth);
+  }
+
+  const service::HttpListenerStats ls = listener.stats();
+  std::printf("\n== listener ledger ==\n");
+  std::printf(
+      "accepted %llu = accept-failures %llu + saturated %llu + handled "
+      "%llu; handled = read-failures %llu + responses %llu + "
+      "write-failures %llu  (reconciles: %s; clean shutdown: %s)\n",
+      static_cast<unsigned long long>(ls.accepted),
+      static_cast<unsigned long long>(ls.accept_failures),
+      static_cast<unsigned long long>(ls.saturated),
+      static_cast<unsigned long long>(ls.handled),
+      static_cast<unsigned long long>(ls.read_failures),
+      static_cast<unsigned long long>(ls.responses_sent),
+      static_cast<unsigned long long>(ls.write_failures),
+      ls.reconciles() ? "yes" : "NO", clean ? "yes" : "NO");
+
+  const std::size_t body_at = scrape.find("\r\n\r\n");
+  std::printf("\n== GET /metrics (scraped over the same wire) ==\n%s\n",
+              body_at == std::string::npos
+                  ? scrape.c_str()
+                  : scrape.c_str() + body_at + 4);
+  return (stats.reconciles() && ls.reconciles() && clean) ? 0 : 1;
+}
+
+// ---- Mode 2 (--in-process): the deterministic VirtualClock demo ----------
+
+int run_in_process_demo() {
+  service::QueryService svc{service::QueryServiceConfig{
+      service::ShardingPolicy::kMonthPlatform, /*threads=*/4}};
+  ingest_corpus(svc);
+
   core::VirtualClock clock;
   service::SchedulerConfig sched_cfg;
   sched_cfg.clock = &clock;
@@ -68,28 +348,11 @@ int main() {
   sched_cfg.tenant_qos["crawler"] = {1.0, 3.0};
   service::QueryScheduler front{svc, sched_cfg};
 
-  const auto month_query = [](int first_month, int last_month) {
-    service::Query q;
-    q.first = core::Date(2022, first_month, 1);
-    q.last = core::Date(2022, last_month,
-                        core::Date::days_in_month(2022, last_month));
-    q.metric = netsim::Metric::kLatency;
-    q.metric_lo = 0.0;
-    q.metric_hi = 300.0;
-    q.bins = 10;
-    return q;
-  };
-  const auto cut_query = [&](int day_first, int day_last) {
-    service::Query q = month_query(1, 3);
-    q.first = core::Date(2022, 1, day_first);
-    q.last = core::Date(2022, 3, day_last);
-    return q;
-  };
-
-  std::printf("\n== traffic ==\n");
+  std::printf("\n== traffic (in-process, VirtualClock) ==\n");
   const auto show = [&](const char* tenant,
                         const service::ScheduledResult& r) {
-    if (r.outcome == service::AdmissionOutcome::kShed) {
+    if (r.outcome == service::AdmissionOutcome::kShed ||
+        r.outcome == service::AdmissionOutcome::kExpired) {
       std::printf("%-13s  %-8s  cost %6.2f  wait %.3fs\n", tenant,
                   to_string(r.outcome), r.cost_tokens, r.wait_seconds);
       return;
@@ -111,13 +374,15 @@ int main() {
   // afford its cost up front and waits for the bucket to refill.
   show("analyst", front.submit("analyst", cut_query(15, 20)));
   show("analyst", front.submit("analyst", cut_query(10, 25)));
+  // A zero-budget submission expires at the door: no wait, no tokens.
+  show("analyst", front.submit("analyst", cut_query(12, 22), 0.0));
   // The crawler burns its whole burst on cheap repeats...
   for (int i = 0; i < 3; ++i) {
     show("crawler", front.submit("crawler", month_query(1, 3)));
   }
   // ...the corpus moves on (cached answers are now one version behind)...
   svc.ingest_calls(confsim::CallDatasetGenerator{[&] {
-                     confsim::DatasetConfig fresh = cfg;
+                     confsim::DatasetConfig fresh = base_calls_config();
                      fresh.seed = 8;
                      fresh.num_calls = 200;
                      return fresh;
@@ -131,14 +396,17 @@ int main() {
 
   const service::SchedulerStats stats = front.stats();
   std::printf("\n== admission ledger ==\n");
-  std::printf("submitted %llu = admitted %llu + degraded %llu + shed %llu"
-              "  (reconciles: %s; shed-with-degradable tripwire: %llu)\n",
-              static_cast<unsigned long long>(stats.submitted),
-              static_cast<unsigned long long>(stats.admitted),
-              static_cast<unsigned long long>(stats.degraded),
-              static_cast<unsigned long long>(stats.shed),
-              stats.reconciles() ? "yes" : "NO",
-              static_cast<unsigned long long>(stats.shed_with_degradable));
+  std::printf(
+      "submitted %llu = admitted %llu + degraded %llu + shed %llu + "
+      "expired %llu  (reconciles: %s; shed-with-degradable tripwire: "
+      "%llu)\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.degraded),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.expired),
+      stats.reconciles() ? "yes" : "NO",
+      static_cast<unsigned long long>(stats.shed_with_degradable));
   for (const auto& [tenant, snap] : stats.tenants) {
     std::printf("  %-13s  tokens left %6.2f  queue depth %zu\n",
                 tenant.c_str(), snap.tokens, snap.queue_depth);
@@ -148,4 +416,163 @@ int main() {
   std::printf("\n== GET /metrics (Prometheus text) ==\n%s\n",
               svc.metrics_text().c_str());
   return 0;
+}
+
+// ---- Mode 3 (USAAS_FAULT_SOCKET): the chaos harness ----------------------
+
+int run_chaos(const core::FaultInjector::Config& fault_cfg) {
+  service::QueryService svc{service::QueryServiceConfig{
+      service::ShardingPolicy::kMonthPlatform, /*threads=*/2}};
+  {
+    confsim::DatasetConfig cfg = base_calls_config();
+    cfg.num_calls = 800;  // The chaos stage times sockets, not scans.
+    std::printf("ingesting chaos corpus...\n");
+    svc.ingest_calls(confsim::CallDatasetGenerator{cfg}.generate());
+  }
+
+  core::FaultInjector fault{fault_cfg};
+
+  service::SchedulerConfig sched_cfg;
+  sched_cfg.max_wait_seconds = 0.01;
+  sched_cfg.tenant_qos["storm-a"] = {50.0, 20.0};
+  sched_cfg.tenant_qos["storm-b"] = {50.0, 20.0};
+  service::QueryScheduler front{svc, sched_cfg};
+
+  service::HttpListenerConfig lcfg;
+  lcfg.worker_threads = 3;
+  lcfg.max_pending_connections = 8;
+  lcfg.read_timeout = std::chrono::milliseconds{250};
+  lcfg.write_timeout = std::chrono::milliseconds{250};
+  lcfg.default_budget_seconds = 0.2;
+  lcfg.fault = &fault;
+  service::HttpListener listener{front, svc, lcfg};
+  if (!listener.start()) {
+    std::fprintf(stderr, "FATAL: listener failed to bind loopback\n");
+    return 1;
+  }
+  const std::uint16_t port = listener.port();
+
+  // A request that reaches the server is owed an answer within its budget
+  // plus the socket timeouts; the client's own injected stall rides on
+  // top. Anything beyond 2x that envelope means a request outlived its
+  // deadline — the wedged-worker smell the harness exists to catch.
+  const double allowed_seconds =
+      lcfg.default_budget_seconds +
+      std::chrono::duration<double>(lcfg.read_timeout).count() +
+      std::chrono::duration<double>(lcfg.write_timeout).count() +
+      std::chrono::duration<double>(fault_cfg.slow_read_delay).count();
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 25;
+  std::atomic<std::uint64_t> exchanges{0};
+  std::vector<double> worst_ratio(kClients, 0.0);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const char* tenant = (c % 2 == 0) ? "storm-a" : "storm-b";
+        std::string request;
+        if (i % 7 == 0) {
+          request = get_request("/query?tenant=" + std::string{tenant} +
+                                "&metric=vibes");
+        } else if (i % 3 == 0) {
+          request = post_request(
+              "/query", "{\"tenant\":\"" + std::string{tenant} +
+                            "\",\"first\":\"2022-01-05\","
+                            "\"last\":\"2022-03-25\","
+                            "\"metric\":\"latency\",\"lo\":0,\"hi\":300,"
+                            "\"bins\":8,\"budget_ms\":50}");
+        } else {
+          request = get_request("/query?tenant=" + std::string{tenant} +
+                                "&first=2022-01-01&last=2022-03-31"
+                                "&metric=latency&lo=0&hi=300&bins=10");
+        }
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const int fd = connect_loopback(port);
+        if (fd < 0) continue;  // Saturated accept backlog or injected drop.
+        const auto stall = fault.slow_read_stall();
+        if (fault.truncate_this_request()) {
+          send_best_effort(fd,
+                           std::string_view{request}.substr(
+                               0, request.size() / 2));
+        } else if (stall.count() > 0) {
+          const std::size_t half = request.size() / 2;
+          send_best_effort(fd, std::string_view{request}.substr(0, half));
+          std::this_thread::sleep_for(stall);
+          send_best_effort(fd, std::string_view{request}.substr(half));
+          (void)read_to_eof(fd);
+        } else if (fault.disconnect_before_response()) {
+          send_best_effort(fd, request);
+        } else {
+          send_best_effort(fd, request);
+          (void)read_to_eof(fd);
+        }
+        ::close(fd);
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        worst_ratio[static_cast<std::size_t>(c)] =
+            std::max(worst_ratio[static_cast<std::size_t>(c)],
+                     elapsed / allowed_seconds);
+        exchanges.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  const bool clean = listener.stop(std::chrono::seconds{5});
+  const service::HttpListenerStats ls = listener.stats();
+  const service::SchedulerStats stats = front.stats();
+  const double max_ratio =
+      *std::max_element(worst_ratio.begin(), worst_ratio.end());
+
+  std::printf(
+      "CHAOS submitted=%llu admitted=%llu degraded=%llu shed=%llu "
+      "expired=%llu reconcile=%s accepted=%llu accept_failures=%llu "
+      "saturated=%llu handled=%llu read_failures=%llu responses=%llu "
+      "write_failures=%llu listener_reconcile=%s clean_shutdown=%s "
+      "shutdown_seconds=%.3f max_deadline_ratio=%.3f exchanges=%llu\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.degraded),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.expired),
+      stats.reconciles() ? "ok" : "FAIL",
+      static_cast<unsigned long long>(ls.accepted),
+      static_cast<unsigned long long>(ls.accept_failures),
+      static_cast<unsigned long long>(ls.saturated),
+      static_cast<unsigned long long>(ls.handled),
+      static_cast<unsigned long long>(ls.read_failures),
+      static_cast<unsigned long long>(ls.responses_sent),
+      static_cast<unsigned long long>(ls.write_failures),
+      ls.reconciles() ? "ok" : "FAIL", clean ? "yes" : "no",
+      ls.shutdown_seconds, max_ratio,
+      static_cast<unsigned long long>(
+          exchanges.load(std::memory_order_relaxed)));
+
+  const bool ok =
+      stats.reconciles() && ls.reconciles() && clean && max_ratio <= 2.0;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FATAL: chaos invariants violated (scheduler=%d "
+                 "listener=%d clean_shutdown=%d max_deadline_ratio=%.3f)\n",
+                 stats.reconciles() ? 1 : 0, ls.reconciles() ? 1 : 0,
+                 clean ? 1 : 0, max_ratio);
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool in_process =
+      argc > 1 && std::strcmp(argv[1], "--in-process") == 0;
+  const std::optional<core::FaultInjector::Config> fault_cfg =
+      core::FaultInjector::config_from_env();
+  if (!in_process && fault_cfg.has_value()) return run_chaos(*fault_cfg);
+  if (in_process) return run_in_process_demo();
+  return run_wire_demo();
 }

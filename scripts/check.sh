@@ -24,9 +24,17 @@
 #      (USAAS_BENCH_FRONTEND_ONLY=1, reduced corpus, fixed arrival rate)
 #      drives mixed-tenant traffic through the QueryScheduler. The bench
 #      exits non-zero on any invariant breach; the gate re-asserts from
-#      the printed line that admitted + degraded + shed == submitted and
-#      that no query was shed while a degradable cached insight existed
-#      (shed_with_degradable must be 0).
+#      the printed line that admitted + degraded + shed + expired ==
+#      submitted and that no query was shed while a degradable cached
+#      insight existed (shed_with_degradable must be 0).
+#   7. chaos smoke: the usaas_frontend example under USAAS_FAULT_SOCKET
+#      runs the real HTTP listener on loopback through a seeded fault
+#      storm (injected accept failures; client-side slow-loris,
+#      truncation, early disconnects). The example exits non-zero — and
+#      the gate re-asserts from the printed CHAOS line — if either
+#      ledger fails to reconcile exactly, a worker fails to exit within
+#      the shutdown timeout, or any request outlives its deadline
+#      envelope by more than 2x.
 #
 # The sanitize suites carry USAAS_PARALLEL_FORCE=1 via their ctest
 # ENVIRONMENT property, so parallel_for really fans out across the pool —
@@ -48,6 +56,8 @@ SANITIZE_TARGETS=(
   test_usaas_streaming
   test_usaas_insight_cache
   test_usaas_scheduler
+  test_usaas_fair_queue
+  test_usaas_http_listener
   test_fault_injection
   test_telemetry
   test_nlp_differential
@@ -149,8 +159,9 @@ SUBMITTED=$(printf '%s\n' "${FRONTEND_LINE}" \
 ADMITTED=$(ledger_field admitted)
 DEGRADED=$(ledger_field degraded)
 SHED=$(ledger_field shed)
+EXPIRED=$(ledger_field expired)
 TRIPWIRE=$(ledger_field shed_with_degradable)
-if [[ -z "${SUBMITTED:-}" || -z "${TRIPWIRE:-}" ]]; then
+if [[ -z "${SUBMITTED:-}" || -z "${EXPIRED:-}" || -z "${TRIPWIRE:-}" ]]; then
   echo "FATAL: front-end smoke produced no parseable FRONTEND line" >&2
   exit 1
 fi
@@ -159,12 +170,61 @@ if [[ "${TRIPWIRE}" -ne 0 ]]; then
        "existed (degrade-before-shed violated)" >&2
   exit 1
 fi
-if [[ $((ADMITTED + DEGRADED + SHED)) -ne "${SUBMITTED}" ]]; then
+if [[ $((ADMITTED + DEGRADED + SHED + EXPIRED)) -ne "${SUBMITTED}" ]]; then
   echo "FATAL: admission ledger does not reconcile:" \
-       "${ADMITTED} + ${DEGRADED} + ${SHED} != ${SUBMITTED}" >&2
+       "${ADMITTED} + ${DEGRADED} + ${SHED} + ${EXPIRED} != ${SUBMITTED}" >&2
   exit 1
 fi
 echo "front-end ledger reconciles (${SUBMITTED} = ${ADMITTED} admitted +" \
-     "${DEGRADED} degraded + ${SHED} shed); tripwire 0"
+     "${DEGRADED} degraded + ${SHED} shed + ${EXPIRED} expired); tripwire 0"
+
+echo "==> chaos: HTTP listener fault-storm smoke (ledger + shutdown gate)"
+cmake --build build -j "${JOBS}" --target usaas_frontend
+CHAOS_LINE=$(USAAS_FAULT_SEED=42 \
+  USAAS_FAULT_SOCKET='accept_fail=0.1,slow_read=0.05,slow_read_ms=200,partial=0.1,disconnect=0.1' \
+  ./build/examples/usaas_frontend | grep '^CHAOS ')
+printf '%s\n' "${CHAOS_LINE}"
+# The example already exited 0 only if its invariants held; re-assert the
+# three CI contracts independently from the printed line.
+chaos_field() {
+  printf '%s\n' "${CHAOS_LINE}" \
+    | sed -n "s/.* ${1}=\([^ ]*\).*/\1/p"
+}
+C_SUBMITTED=$(printf '%s\n' "${CHAOS_LINE}" \
+  | sed -n 's/^CHAOS submitted=\([0-9]*\) .*/\1/p')
+C_ADMITTED=$(chaos_field admitted)
+C_DEGRADED=$(chaos_field degraded)
+C_SHED=$(chaos_field shed)
+C_EXPIRED=$(chaos_field expired)
+C_LISTENER=$(chaos_field listener_reconcile)
+C_SHUTDOWN=$(chaos_field clean_shutdown)
+C_RATIO=$(chaos_field max_deadline_ratio)
+if [[ -z "${C_SUBMITTED:-}" || -z "${C_RATIO:-}" ]]; then
+  echo "FATAL: chaos smoke produced no parseable CHAOS line" >&2
+  exit 1
+fi
+if [[ $((C_ADMITTED + C_DEGRADED + C_SHED + C_EXPIRED)) -ne "${C_SUBMITTED}" ]]; then
+  echo "FATAL: chaos admission ledger does not reconcile:" \
+       "${C_ADMITTED} + ${C_DEGRADED} + ${C_SHED} + ${C_EXPIRED}" \
+       "!= ${C_SUBMITTED}" >&2
+  exit 1
+fi
+if [[ "${C_LISTENER}" != "ok" ]]; then
+  echo "FATAL: listener connection ledger does not reconcile under faults" >&2
+  exit 1
+fi
+if [[ "${C_SHUTDOWN}" != "yes" ]]; then
+  echo "FATAL: a listener worker failed to exit within the shutdown timeout" >&2
+  exit 1
+fi
+awk -v ratio="${C_RATIO}" 'BEGIN {
+  if (ratio + 0.0 > 2.0) {
+    printf "FATAL: a request outlived its deadline envelope %.3fx (gate: " \
+           "2x)\n", ratio > "/dev/stderr"
+    exit 1
+  }
+  printf "chaos smoke clean: worst request at %.3fx of its deadline " \
+         "envelope (gate: 2x)\n", ratio
+}'
 
 echo "==> all checks passed"

@@ -19,6 +19,44 @@ namespace {
   return std::strtoull(v, nullptr, 10);
 }
 
+/// Parses the compact `key=value,key=value` socket-fault spec (see the
+/// header). Unknown keys are ignored so the spec can grow. Returns true
+/// when any probability knob was set above zero (the spec arms the
+/// injector).
+bool apply_socket_spec(std::string_view spec, FaultInjector::Config& config) {
+  bool armed = false;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string_view item = spec.substr(
+        pos, comma == std::string_view::npos ? spec.size() - pos
+                                             : comma - pos);
+    pos = comma == std::string_view::npos ? spec.size() : comma + 1;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) continue;
+    const std::string_view key = item.substr(0, eq);
+    const std::string value{item.substr(eq + 1)};
+    const double num = std::strtod(value.c_str(), nullptr);
+    if (key == "accept_fail") {
+      config.accept_failure_p = num;
+      armed = armed || num > 0.0;
+    } else if (key == "slow_read") {
+      config.slow_read_p = num;
+      armed = armed || num > 0.0;
+    } else if (key == "slow_read_ms") {
+      config.slow_read_delay =
+          std::chrono::milliseconds{static_cast<std::int64_t>(num)};
+    } else if (key == "partial") {
+      config.partial_request_p = num;
+      armed = armed || num > 0.0;
+    } else if (key == "disconnect") {
+      config.disconnect_p = num;
+      armed = armed || num > 0.0;
+    }
+  }
+  return armed;
+}
+
 }  // namespace
 
 FaultInjector::FaultInjector(Config config)
@@ -47,6 +85,10 @@ std::optional<FaultInjector::Config> FaultInjector::config_from_env() {
   if (const auto ms = env_u64("USAAS_FAULT_SLOW_FLUSH_MS")) {
     config.slow_flush_delay =
         std::chrono::milliseconds{static_cast<std::int64_t>(*ms)};
+  }
+  if (const char* spec = std::getenv("USAAS_FAULT_SOCKET");
+      spec != nullptr && *spec != '\0') {
+    armed = apply_socket_spec(spec, config) || armed;
   }
   if (!armed) return std::nullopt;
   return config;
@@ -84,6 +126,43 @@ bool FaultInjector::corrupt_this_record() {
   return corrupt;
 }
 
+bool FaultInjector::fail_this_accept() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  if (config_.accept_failure_p <= 0.0) return false;
+  const bool fail = rng_.bernoulli(config_.accept_failure_p);
+  if (fail) ++accept_failures_;
+  return fail;
+}
+
+std::chrono::milliseconds FaultInjector::slow_read_stall() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  if (config_.slow_read_p <= 0.0 ||
+      config_.slow_read_delay <= std::chrono::milliseconds{0}) {
+    return std::chrono::milliseconds{0};
+  }
+  if (!rng_.bernoulli(config_.slow_read_p)) {
+    return std::chrono::milliseconds{0};
+  }
+  ++slow_reads_;
+  return config_.slow_read_delay;
+}
+
+bool FaultInjector::truncate_this_request() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  if (config_.partial_request_p <= 0.0) return false;
+  const bool truncate = rng_.bernoulli(config_.partial_request_p);
+  if (truncate) ++truncated_requests_;
+  return truncate;
+}
+
+bool FaultInjector::disconnect_before_response() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  if (config_.disconnect_p <= 0.0) return false;
+  const bool disconnect = rng_.bernoulli(config_.disconnect_p);
+  if (disconnect) ++disconnects_;
+  return disconnect;
+}
+
 std::size_t FaultInjector::flush_failures_injected() const {
   const std::lock_guard<std::mutex> lock{mu_};
   return flush_failures_;
@@ -97,6 +176,26 @@ std::size_t FaultInjector::slow_flushes_injected() const {
 std::size_t FaultInjector::corruptions_injected() const {
   const std::lock_guard<std::mutex> lock{mu_};
   return corruptions_;
+}
+
+std::size_t FaultInjector::accept_failures_injected() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return accept_failures_;
+}
+
+std::size_t FaultInjector::slow_reads_injected() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return slow_reads_;
+}
+
+std::size_t FaultInjector::truncated_requests_injected() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return truncated_requests_;
+}
+
+std::size_t FaultInjector::disconnects_injected() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return disconnects_;
 }
 
 }  // namespace usaas::core

@@ -20,12 +20,26 @@
 //   USAAS_FAULT_SLOW_FLUSH_P        delay a flush with prob. p
 //   USAAS_FAULT_SLOW_FLUSH_MS       the injected delay, milliseconds
 //
+// Socket-level faults (the HTTP listener chaos harness) ride one compact
+// spec so a whole fault storm fits in a single variable:
+//
+//   USAAS_FAULT_SOCKET=accept_fail=0.1,slow_read=0.05,slow_read_ms=200,
+//                      partial=0.1,disconnect=0.1
+//
+//   accept_fail   drop a just-accepted connection (transient accept error)
+//   slow_read     the peer trickles its request (slow-loris); the stall
+//                 per read chunk is slow_read_ms
+//   partial       the peer sends only a prefix of its request, then stops
+//   disconnect    the peer closes before reading the response, so the
+//                 server's write hits a vanished socket
+//
 // config_from_env() returns nullopt unless at least one fault knob is set,
 // so production paths pay nothing when the variables are absent.
 //
-// The injector only *decides*; it never touches domain records (core does
-// not know what a call or a post is). The streaming layer applies the
-// corruption it asks for.
+// The injector only *decides*; it never touches domain records or sockets
+// (core does not know what a call, a post or a connection is). The
+// streaming layer applies the corruption, and the listener / chaos client
+// apply the socket misbehaviour, that it asks for.
 #pragma once
 
 #include <chrono>
@@ -53,6 +67,20 @@ class FaultInjector {
     /// Delay each flush with this probability, by `slow_flush_delay`.
     double slow_flush_p{0.0};
     std::chrono::milliseconds slow_flush_delay{0};
+    // ---- Socket-level faults (USAAS_FAULT_SOCKET) ----
+    /// Drop a just-accepted connection with this probability (the listener
+    /// treats it as a transient accept() failure and keeps serving).
+    double accept_failure_p{0.0};
+    /// The peer trickles its request bytes (slow-loris): stall this often,
+    /// by `slow_read_delay` per chunk, so the server's read timeout — not
+    /// a wedged worker — must end the connection.
+    double slow_read_p{0.0};
+    std::chrono::milliseconds slow_read_delay{0};
+    /// The peer sends only a prefix of its request and then goes silent.
+    double partial_request_p{0.0};
+    /// The peer closes before reading the response; the server's write
+    /// lands on a vanished socket (EPIPE/ECONNRESET, never a crash).
+    double disconnect_p{0.0};
   };
 
   explicit FaultInjector(Config config);
@@ -73,10 +101,27 @@ class FaultInjector {
   /// should corrupt its copy of the record before validation sees it.
   [[nodiscard]] bool corrupt_this_record();
 
+  // ---- Socket-level decisions (see USAAS_FAULT_SOCKET above) ----
+  /// One call per accepted connection. True = the listener must treat the
+  /// accept as failed (close immediately, count, keep accepting).
+  [[nodiscard]] bool fail_this_accept();
+  /// One call per client request: the stall to insert between request
+  /// chunks (zero = send normally). Non-zero marks a slow-loris peer.
+  [[nodiscard]] std::chrono::milliseconds slow_read_stall();
+  /// One call per client request. True = send only a prefix, then stop.
+  [[nodiscard]] bool truncate_this_request();
+  /// One call per client request. True = close the socket before reading
+  /// the response.
+  [[nodiscard]] bool disconnect_before_response();
+
   // Cumulative injection counters (thread-safe snapshots).
   [[nodiscard]] std::size_t flush_failures_injected() const;
   [[nodiscard]] std::size_t slow_flushes_injected() const;
   [[nodiscard]] std::size_t corruptions_injected() const;
+  [[nodiscard]] std::size_t accept_failures_injected() const;
+  [[nodiscard]] std::size_t slow_reads_injected() const;
+  [[nodiscard]] std::size_t truncated_requests_injected() const;
+  [[nodiscard]] std::size_t disconnects_injected() const;
 
  private:
   Config config_;
@@ -86,6 +131,10 @@ class FaultInjector {
   std::size_t flush_failures_{0};
   std::size_t slow_flushes_{0};
   std::size_t corruptions_{0};
+  std::size_t accept_failures_{0};
+  std::size_t slow_reads_{0};
+  std::size_t truncated_requests_{0};
+  std::size_t disconnects_{0};
 };
 
 }  // namespace usaas::core

@@ -1,0 +1,60 @@
+#include "usaas/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace usaas::service {
+
+bool CircuitBreaker::allow(double now) {
+  if (config_.failure_threshold == 0) return true;  // breaker disabled
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now < open_until_) return false;
+      // Cooldown served: this caller becomes the half-open probe.
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  cooldown_ = config_.cooldown_seconds;
+}
+
+void CircuitBreaker::record_failure(double now) {
+  if (config_.failure_threshold == 0) return;
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: reopen, and make the next probe wait longer.
+    cooldown_ = std::min(cooldown_ * config_.cooldown_backoff,
+                         config_.max_cooldown_seconds);
+    state_ = State::kOpen;
+    open_until_ = now + cooldown_;
+    probe_in_flight_ = false;
+    return;
+  }
+  if (state_ == State::kClosed &&
+      consecutive_failures_ >= config_.failure_threshold) {
+    state_ = State::kOpen;
+    open_until_ = now + cooldown_;
+  }
+  // kOpen: short-circuits never record, so a failure here means a
+  // request that was already past allow() when the breaker tripped;
+  // counting it is enough, extending the open period is not warranted.
+}
+
+double CircuitBreaker::seconds_until_probe(double now) const {
+  if (state_ != State::kOpen) return 0.0;
+  return std::max(0.0, open_until_ - now);
+}
+
+}  // namespace usaas::service

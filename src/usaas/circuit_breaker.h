@@ -1,0 +1,95 @@
+// Per-tenant circuit breaker for the admission path.
+//
+// A tenant that keeps being shed or keeps blowing its deadline is not
+// helped by queueing more of its requests — every parked submission
+// burns a fair-queue slot and bucket math on an outcome that is already
+// known. The breaker converts a streak of such failures into an explicit
+// state machine:
+//
+//   closed ──(failure_threshold consecutive shed/expired)──> open
+//   open ──(cooldown elapses; next allow() grants ONE probe)──> half-open
+//   half-open ──probe admitted──> closed   (streak and cooldown reset)
+//   half-open ──probe fails────> open      (cooldown grows by the
+//                                           backoff factor, capped)
+//
+// While open, the scheduler short-circuits the tenant straight to
+// degrade-or-shed without waiting for tokens — a stale cached answer is
+// still served when one exists, so an open breaker degrades service, it
+// does not black-hole it. Short-circuited sheds are NOT recorded as
+// failures (they are the breaker's own output; feeding them back would
+// re-arm the cooldown forever and the breaker could never half-open).
+// Degraded outcomes are streak-neutral: serving stale is the system
+// working as designed, neither evidence of health nor of failure.
+//
+// Like core::TokenBucket, the breaker never reads a clock — callers pass
+// "now" in — and is unsynchronized by design; QueryScheduler serializes
+// access under its own mutex, and the whole machine replays exactly
+// under a core::VirtualClock.
+#pragma once
+
+#include <cstddef>
+
+namespace usaas::service {
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Config {
+    /// Consecutive shed/expired outcomes that trip the breaker open.
+    /// 0 disables the breaker entirely (allow() always grants).
+    std::size_t failure_threshold{5};
+    /// First open -> half-open probe delay, seconds.
+    double cooldown_seconds{1.0};
+    /// Each failed probe multiplies the next cooldown by this factor...
+    double cooldown_backoff{2.0};
+    /// ...capped here.
+    double max_cooldown_seconds{30.0};
+  };
+
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(Config config)
+      : config_{config}, cooldown_{config.cooldown_seconds} {}
+
+  /// May a request for this tenant proceed into admission? Closed: yes.
+  /// Open: no, until the cooldown elapses — at which point the FIRST
+  /// caller transitions to half-open and is granted the probe slot.
+  /// Half-open: only while no probe is in flight.
+  [[nodiscard]] bool allow(double now);
+
+  /// The probe (or any admitted request) succeeded: snap closed, reset
+  /// the failure streak and the cooldown ladder.
+  void record_success();
+
+  /// A shed or expired outcome that was NOT a breaker short-circuit.
+  /// Closed: grows the streak, trips open at the threshold. Half-open:
+  /// the probe failed — reopen with a longer cooldown.
+  void record_failure(double now);
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] std::size_t consecutive_failures() const {
+    return consecutive_failures_;
+  }
+  /// Seconds until an open breaker grants its half-open probe (0 when
+  /// not open) — the shed path's Retry-After ingredient.
+  [[nodiscard]] double seconds_until_probe(double now) const;
+
+ private:
+  Config config_;
+  State state_{State::kClosed};
+  std::size_t consecutive_failures_{0};
+  double cooldown_{1.0};     ///< Next open period; grows on failed probes.
+  double open_until_{0.0};   ///< Absolute seconds the open period ends.
+  bool probe_in_flight_{false};
+};
+
+[[nodiscard]] constexpr const char* to_string(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace usaas::service

@@ -1,0 +1,132 @@
+#include "usaas/fair_queue.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace usaas::service {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Forward-progress floor for dispatcher naps: after a contended consume
+/// the residual need can round to ~0 seconds, and an unfloored nap would
+/// spin without minting a single token. Far below anything a
+/// deterministic test asserts on.
+constexpr double kMinNapSeconds = 1e-6;
+
+}  // namespace
+
+FairQueue::Outcome FairQueue::wait(double deadline,
+                                   const TryAcquire& try_acquire) {
+  std::unique_lock<std::mutex> lock{mu_};
+
+  // Fast path: with nobody parked there is no ordering to respect, so
+  // try inline. This is the only path an uncontended pool ever takes,
+  // and it performs zero clock waits — bit-identical admission for the
+  // deterministic single-tenant tests.
+  if (waiters_.empty()) {
+    const double now = clock_.now();
+    const double need = try_acquire(now);
+    if (need <= 0.0) {
+      ++stats_.acquired_immediate;
+      return Outcome::kAcquired;
+    }
+    if (need == kInf) {
+      ++stats_.unpayable;
+      return Outcome::kUnpayable;
+    }
+    if (now >= deadline) {
+      ++stats_.expired;
+      return Outcome::kDeadline;
+    }
+  }
+
+  Waiter self{deadline, next_seq_++, &try_acquire};
+  waiters_.insert(&self);
+  ++stats_.parked;
+  stats_.depth = waiters_.size();
+  stats_.max_depth = std::max(stats_.max_depth, stats_.depth);
+
+  while (self.state == Waiter::kWaiting) {
+    if (!dispatcher_active_) {
+      dispatcher_active_ = true;
+      sweep_and_nap_locked(lock, self);
+      dispatcher_active_ = false;
+      // Wake followers: either their state changed during the sweep, or
+      // one of them must inherit the dispatcher role.
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock);
+    }
+  }
+
+  waiters_.erase(&self);
+  stats_.depth = waiters_.size();
+  switch (self.state) {
+    case Waiter::kAcquired:
+      ++stats_.acquired_queued;
+      return Outcome::kAcquired;
+    case Waiter::kUnpayable:
+      ++stats_.unpayable;
+      return Outcome::kUnpayable;
+    case Waiter::kDeadline:
+    case Waiter::kWaiting:  // unreachable; the loop exits on a verdict
+      break;
+  }
+  ++stats_.expired;
+  return Outcome::kDeadline;
+}
+
+void FairQueue::sweep_and_nap_locked(std::unique_lock<std::mutex>& lock,
+                                     Waiter& self) {
+  ++stats_.sweeps;
+  const double now = clock_.now();
+  double nap = kInf;
+  for (Waiter* w : waiters_) {  // EDF order: most urgent claims first
+    if (w->state != Waiter::kWaiting) continue;
+    const double need = (*w->try_acquire)(now);
+    if (need <= 0.0) {
+      w->state = Waiter::kAcquired;
+      continue;
+    }
+    if (need == kInf) {
+      w->state = Waiter::kUnpayable;
+      continue;
+    }
+    // Can't pay now. Expire only when no accrual time remains: a waiter
+    // whose tokens land exactly at its deadline is still admitted, which
+    // matches the pre-queue per-bucket loop's `now + need > deadline`
+    // boundary.
+    if (now >= w->deadline) {
+      w->state = Waiter::kDeadline;
+      continue;
+    }
+    nap = std::min({nap, need, w->deadline - now});
+  }
+
+  // Our own verdict landed: hand the dispatcher role back immediately so
+  // the caller loop exits without napping on behalf of others.
+  if (self.state != Waiter::kWaiting) return;
+
+  // `self` is still waiting and was neither expired nor unpayable, so
+  // nap <= min(own need, own slack) is finite. Nap outside the lock —
+  // under a VirtualClock this *advances* time instead of sleeping, and
+  // the dispatcher is the only thread that ever calls clock.wait(), so
+  // virtual tests stay deterministic.
+  lock.unlock();
+  clock_.wait(std::max(nap, kMinNapSeconds));
+  lock.lock();
+}
+
+FairQueue::Stats FairQueue::stats() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return stats_;
+}
+
+std::size_t FairQueue::depth() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return waiters_.size();
+}
+
+}  // namespace usaas::service

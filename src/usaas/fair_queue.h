@@ -1,0 +1,122 @@
+// A deadline-ordered (EDF) cross-tenant wait queue for saturated pools.
+//
+// PR 7's admission loop parked each tenant on its own token bucket: a
+// submission slept exactly `seconds_until(cost)` and retried. That is
+// fair *within* a tenant but blind *across* tenants — when three tenants
+// saturate the same pool, each sleeps on its private schedule and the
+// wakeup order is whatever the OS makes of it, so a dashboard query with
+// 50 ms of budget can lose its slot to a batch crawl that had seconds to
+// spare. FairQueue replaces the private sleeps with one queue ordered by
+// absolute deadline (earliest-deadline-first): the submission that will
+// time out soonest is always the next one offered tokens.
+//
+// The queue does not know about tenants, buckets or costs. A waiter
+// brings a `try_acquire` closure that, given "now", either takes the
+// resource (returns 0) or reports how many seconds of accrual it still
+// needs (+infinity = never payable, e.g. cost beyond burst). Weighting
+// therefore lives where it always did — in each tenant's token-bucket
+// rate — while *ordering* under contention is global EDF. The caller
+// maps the three verdicts to its own policy (admit / degrade-or-shed).
+//
+// Mechanics — the dispatcher sweep. Parked waiters sit in a set ordered
+// by (deadline, seq). Exactly one waiter at a time volunteers as the
+// dispatcher: it sweeps every waiter in EDF order, calling each waiter's
+// try_acquire so the earliest deadline gets first claim on whatever
+// tokens accrued, marks winners/expired/unpayable, then naps for
+// min over still-waiting waiters of (seconds needed, deadline slack) —
+// so it always wakes in time to either feed or expire the most urgent
+// waiter. Everyone else blocks on a condition variable with no timeout,
+// which keeps the design correct under core::VirtualClock: virtual time
+// only moves when *some* thread calls clock->wait(), and here that
+// thread is always the dispatcher, whose nap is exactly the next
+// interesting instant. A single uncontended waiter is its own
+// dispatcher, so deterministic single-threaded tests see the same exact
+// waits as PR 7's private-sleep loop.
+//
+// Lock ordering: FairQueue::mu_ is held while try_acquire runs, and the
+// scheduler's closure takes QueryScheduler::mu_ inside it. The safe
+// order is therefore FairQueue::mu_ -> QueryScheduler::mu_; never call
+// FairQueue::wait() while holding a lock that try_acquire also needs.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+
+#include "core/scheduler_clock.h"
+
+namespace usaas::service {
+
+class FairQueue {
+ public:
+  enum class Outcome {
+    kAcquired,   ///< try_acquire returned 0: the resource was taken.
+    kDeadline,   ///< The deadline passed while still unpayable.
+    kUnpayable,  ///< try_acquire returned +infinity: never payable.
+  };
+
+  /// Given "now" (the queue clock's seconds), either consume the
+  /// resource and return 0, or return the seconds of accrual still
+  /// needed (+infinity = never). Called with FairQueue::mu_ held; must
+  /// not call back into this queue.
+  using TryAcquire = std::function<double(double now)>;
+
+  struct Stats {
+    std::uint64_t parked{0};              ///< Waits that had to queue.
+    std::uint64_t acquired_immediate{0};  ///< Empty queue, first try won.
+    std::uint64_t acquired_queued{0};     ///< Won after parking.
+    std::uint64_t expired{0};             ///< Deadline passed in queue.
+    std::uint64_t unpayable{0};           ///< Never-payable verdicts.
+    std::uint64_t sweeps{0};              ///< Dispatcher sweep rounds.
+    std::size_t depth{0};                 ///< Currently parked waiters.
+    std::size_t max_depth{0};             ///< High-water parked waiters.
+  };
+
+  /// Borrows the clock (must outlive the queue).
+  explicit FairQueue(core::SchedulerClock& clock) : clock_{clock} {}
+
+  FairQueue(const FairQueue&) = delete;
+  FairQueue& operator=(const FairQueue&) = delete;
+
+  /// Blocks until try_acquire succeeds, `deadline` (absolute clock
+  /// seconds) passes, or the resource proves unpayable. An empty queue
+  /// is tried immediately without parking; a non-empty queue always
+  /// parks, so a latecomer can never jump an earlier deadline.
+  [[nodiscard]] Outcome wait(double deadline, const TryAcquire& try_acquire);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t depth() const;
+
+ private:
+  struct Waiter {
+    enum State { kWaiting, kAcquired, kDeadline, kUnpayable };
+    double deadline;
+    std::uint64_t seq;  ///< FIFO tie-break for equal deadlines.
+    const TryAcquire* try_acquire;
+    State state{kWaiting};
+  };
+
+  struct EdfOrder {
+    bool operator()(const Waiter* a, const Waiter* b) const {
+      if (a->deadline != b->deadline) return a->deadline < b->deadline;
+      return a->seq < b->seq;
+    }
+  };
+
+  /// One dispatcher round: sweep all waiters in EDF order, then (if
+  /// `self` is still waiting) nap until the next interesting instant.
+  /// Releases and reacquires `lock` around the nap.
+  void sweep_and_nap_locked(std::unique_lock<std::mutex>& lock, Waiter& self);
+
+  core::SchedulerClock& clock_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::set<Waiter*, EdfOrder> waiters_;
+  bool dispatcher_active_{false};
+  std::uint64_t next_seq_{0};
+  Stats stats_;
+};
+
+}  // namespace usaas::service

@@ -1,0 +1,197 @@
+// The network boundary in front of the admission path: a minimal
+// HTTP/1.1 server over POSIX TCP sockets.
+//
+// Until this PR the whole USaaS front end was process-local — the §5
+// vision of an always-on operator service needs an actual wire, and the
+// wire is where overload and misbehaving peers live. The listener is
+// deliberately small (no keep-alive, no chunked encoding, one request
+// per connection) but takes the overload problems seriously:
+//
+//   * accept loop + bounded worker pool: a fixed number of workers pull
+//     accepted sockets from a bounded queue. When the queue is full the
+//     acceptor answers 503 + Retry-After inline and closes — clients get
+//     an honest "saturated" instead of a hung connect;
+//   * per-socket read/write timeouts (SO_RCVTIMEO/SO_SNDTIMEO) PLUS an
+//     overall request-read deadline, so a slow-loris peer trickling one
+//     byte per timeout window still gets cut off — the read deadline,
+//     not a wedged worker, ends the connection;
+//   * bounded request size: oversized headers/bodies are a 400, never an
+//     unbounded buffer;
+//   * admission mapping: QueryScheduler outcomes become status codes —
+//     admitted/degraded 200, shed 429 with Retry-After from the
+//     token-bucket refill estimate (stretched to the circuit breaker's
+//     probe time when open), expired 504, saturated 503;
+//   * /metrics and /metrics.json reuse the PR 5 exposition, so the
+//     service stays measurable THROUGH the same boundary it serves on
+//     (the crowdsourced-QoE white paper's point: a measurement service
+//     must itself stay measurable under load).
+//
+// Wire form (both spellings parse into the same WireRequest; see
+// parse_query_string / parse_json_body, unit-tested directly):
+//
+//   GET /query?tenant=dashboards&first=2022-01-01&last=2022-03-31
+//             &metric=latency&lo=0&hi=300&bins=10
+//             [&platform=ios][&access=leo-satellite][&budget_ms=250]
+//
+//   POST /query
+//   {"tenant":"dashboards","first":"2022-01-01","last":"2022-03-31",
+//    "metric":"latency","lo":0,"hi":300,"bins":10,
+//    "platform":"ios","access":"leo-satellite","budget_ms":250}
+//
+// Fault injection: the listener consumes core::FaultInjector's
+// fail_this_accept() (a just-accepted connection is dropped as if
+// accept() failed transiently); the client-side socket faults
+// (slow-loris, truncation, early disconnect) are applied by the chaos
+// test's client, and the listener's job is to survive them with an
+// exactly-reconciling ledger and a clean shutdown.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/fault_injector.h"
+#include "usaas/query_scheduler.h"
+
+namespace usaas::service {
+
+struct HttpListenerConfig {
+  /// Loopback by default: this is a demo/test boundary, not a hardened
+  /// public endpoint.
+  std::string bind_address{"127.0.0.1"};
+  std::uint16_t port{0};  ///< 0 = ephemeral; see HttpListener::port().
+  std::size_t worker_threads{4};
+  /// Accepted-but-unprocessed connection cap (the bounded request
+  /// queue). Beyond it the acceptor sheds with an inline 503.
+  std::size_t max_pending_connections{64};
+  std::size_t max_request_bytes{16 * 1024};
+  /// Overall budget to read one full request, and per-write timeout.
+  std::chrono::milliseconds read_timeout{1000};
+  std::chrono::milliseconds write_timeout{1000};
+  /// Budget handed to the scheduler when the request names none.
+  double default_budget_seconds{1.0};
+  /// Server-side fault injection (accept failures). nullptr = no faults.
+  core::FaultInjector* fault{nullptr};
+};
+
+/// A parsed /query request: who is asking, what they ask, how long they
+/// are willing to wait.
+struct WireRequest {
+  std::string tenant{"anonymous"};
+  Query query;
+  double budget_seconds{0.0};  ///< 0 = caller named none; use the default.
+};
+
+/// Parses the query-string spelling (everything after `?`). Returns
+/// nullopt and fills `error` on any unknown key or malformed value —
+/// the listener maps that straight to a 400.
+[[nodiscard]] std::optional<WireRequest> parse_query_string(
+    std::string_view qs, std::string& error);
+
+/// Parses the flat-JSON spelling (string/number values only, no
+/// nesting). Same strictness as parse_query_string.
+[[nodiscard]] std::optional<WireRequest> parse_json_body(
+    std::string_view body, std::string& error);
+
+struct HttpListenerStats {
+  std::uint64_t accepted{0};        ///< accept() handed us a socket.
+  std::uint64_t accept_failures{0}; ///< injected transient accept faults
+  std::uint64_t saturated{0};       ///< queue full: inline 503, closed
+  std::uint64_t handled{0};         ///< dequeued and processed by a worker
+  std::uint64_t read_failures{0};   ///< timeout/EOF/oversize before a
+                                    ///< full request (no response owed)
+  std::uint64_t responses_sent{0};  ///< full response written
+  std::uint64_t write_failures{0};  ///< peer vanished mid-response
+  // Responses by status (worker-written ones; saturated 503s are counted
+  // in `saturated`, not here — they never reach a worker).
+  std::uint64_t status_200{0};
+  std::uint64_t status_400{0};
+  std::uint64_t status_404{0};
+  std::uint64_t status_429{0};
+  std::uint64_t status_504{0};
+  /// Wall seconds stop() spent waiting for workers to exit.
+  double shutdown_seconds{0.0};
+
+  /// Every accepted socket is accounted exactly once, and every handled
+  /// one resolves to exactly one of read-failure / response / broken
+  /// write. The chaos harness asserts this under fault storms.
+  [[nodiscard]] bool reconciles() const {
+    return accepted == accept_failures + saturated + handled &&
+           handled == read_failures + responses_sent + write_failures &&
+           responses_sent == status_200 + status_400 + status_404 +
+                                 status_429 + status_504;
+  }
+};
+
+/// Borrows the scheduler and its service (both must outlive the
+/// listener). start() binds and spawns threads; stop() (or the
+/// destructor) shuts down; `stop(timeout)` reports whether every worker
+/// exited in time — the chaos harness's no-wedged-worker gate.
+class HttpListener {
+ public:
+  HttpListener(QueryScheduler& scheduler, QueryService& service,
+               HttpListenerConfig config = {});
+  ~HttpListener();
+
+  HttpListener(const HttpListener&) = delete;
+  HttpListener& operator=(const HttpListener&) = delete;
+
+  /// Binds, listens, and spawns the acceptor + workers. Returns false
+  /// (with no threads running) when the socket setup fails.
+  [[nodiscard]] bool start();
+
+  /// Idempotent shutdown: closes the listen socket, drains the pending
+  /// queue (each drained connection is closed unanswered), and waits up
+  /// to `timeout` for every thread to exit. Returns false when a thread
+  /// failed to exit in time (it is then detached — the process is
+  /// expected to be failing its test at that point).
+  bool stop(std::chrono::milliseconds timeout = std::chrono::seconds{5});
+
+  /// The bound port (resolves config port 0 to the ephemeral choice).
+  /// Valid after a successful start().
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  [[nodiscard]] HttpListenerStats stats() const;
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  /// Reads, parses, dispatches and answers one connection. Owns `fd`.
+  void handle_connection(int fd);
+  /// Reads one full request (headers + content-length body) within the
+  /// read deadline and size bound. Returns false on timeout/EOF/overrun.
+  [[nodiscard]] bool read_request(int fd, std::string& raw);
+  /// Writes the whole buffer with SO_SNDTIMEO armed; false on any short
+  /// or failed write (peer vanished / stalled).
+  [[nodiscard]] bool write_all(int fd, std::string_view data);
+  void bump_status_locked(int status);
+
+  QueryScheduler& scheduler_;
+  QueryService& service_;
+  HttpListenerConfig config_;
+  std::uint16_t port_{0};
+  /// Owned listen socket. Atomic because stop() retires it while the
+  /// acceptor thread is still running; the fd itself is closed only
+  /// after the threads are joined (shutdown() is what wakes a blocked
+  /// accept()), so the acceptor never touches a reused descriptor.
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> threads_exited_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  ///< Accepted sockets awaiting a worker.
+  HttpListenerStats stats_;
+};
+
+}  // namespace usaas::service

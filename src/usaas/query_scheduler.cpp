@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
+#include <utility>
 
 namespace usaas::service {
 
 namespace {
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 /// Smallest admission wait: one microsecond. Purely a forward-progress
-/// floor for the refill loop (see submit); virtual-clock tests that
-/// assert exact waits always need more than this.
+/// floor for the legacy refill loop (see legacy_bucket_wait); virtual-
+/// clock tests that assert exact waits always need more than this.
 constexpr double kMinWaitSeconds = 1e-6;
 
 }  // namespace
@@ -24,21 +28,34 @@ QueryScheduler::QueryScheduler(QueryService& service, SchedulerConfig config)
   }
   telemetry_ = config_.telemetry != nullptr ? config_.telemetry
                                             : &service_.telemetry_registry();
+  if (config_.fair_queue) {
+    queue_ = std::make_unique<FairQueue>(*clock_);
+  }
   core::telemetry::Registry& reg = *telemetry_;
   submitted_total_ = reg.counter("usaas_admission_submitted_total",
                                  "Queries entering admission control");
   const auto outcome_counter = [&](const char* outcome) {
     return reg.counter("usaas_admission_queries_total",
                        "Admission outcomes (admitted: ran fresh; degraded: "
-                       "served a stale cached insight; shed: rejected)",
+                       "served a stale cached insight; shed: rejected; "
+                       "expired: the caller's budget ran out)",
                        {{"outcome", outcome}});
   };
   admitted_total_ = outcome_counter("admitted");
   degraded_total_ = outcome_counter("degraded");
   shed_total_ = outcome_counter("shed");
+  expired_total_ = outcome_counter("expired");
   shed_with_degradable_total_ = reg.counter(
       "usaas_admission_shed_with_degradable_total",
       "Tripwire: queries shed while a degradable cached insight existed");
+  breaker_short_circuits_total_ = reg.counter(
+      "usaas_admission_breaker_short_circuits_total",
+      "Submissions an open circuit breaker sent straight to "
+      "degrade-or-shed without waiting for tokens");
+  degrade_feedback_total_ = reg.counter(
+      "usaas_admission_degrade_feedback_total",
+      "Cost-bias bumps from consecutive stale serves (the degraded-"
+      "outcome feedback loop into the cost estimator)");
   wait_seconds_ = reg.histogram(
       "usaas_admission_wait_seconds",
       "Time a submission spent waiting for tokens before resolution");
@@ -77,40 +94,27 @@ QueryScheduler::TenantState& QueryScheduler::tenant_state_locked(
       0,
       telemetry_->gauge("usaas_admission_queue_depth",
                         "Submissions currently waiting for tokens",
-                        {{"tenant", tenant}})};
+                        {{"tenant", tenant}}),
+      CircuitBreaker{config_.breaker},
+      telemetry_->gauge("usaas_admission_breaker_state",
+                        "Circuit-breaker state (0 closed, 1 open, 2 "
+                        "half-open)",
+                        {{"tenant", tenant}}),
+      1.0,
+      0};
   return tenants_.emplace(tenant, std::move(state)).first->second;
 }
 
-ScheduledResult QueryScheduler::submit(const std::string& tenant,
-                                       const Query& query) {
-  // Estimate outside the scheduler mutex: the probe takes the service's
-  // read lock and must not serialize other tenants' admissions.
-  const QueryCostEstimate est = service_.estimate_query(query);
-  const double cost = cost_tokens(est);
-
-  ScheduledResult result;
-  result.cost_tokens = cost;
-  const double start = clock_->now();
-  const double deadline = start + config_.max_wait_seconds;
-
+bool QueryScheduler::legacy_bucket_wait(TenantState& state, double cost,
+                                        double deadline) {
   std::unique_lock<std::mutex> lock{mu_};
-  ++totals_.submitted;
-  submitted_total_.add();
-  TenantState& state = tenant_state_locked(tenant);
-  bool admitted = false;
   for (;;) {
     state.bucket.refill(clock_->now());
-    if (state.bucket.try_consume(cost)) {
-      admitted = true;
-      break;
-    }
+    if (state.bucket.try_consume(cost)) return true;
     const double need = state.bucket.seconds_until(cost);
     // Unpayable (cost > burst) or won't accrue before the deadline:
     // stop waiting and fall through to degrade-or-shed.
-    if (need == std::numeric_limits<double>::infinity() ||
-        clock_->now() + need > deadline) {
-      break;
-    }
+    if (need == kInf || clock_->now() + need > deadline) return false;
     ++state.queue_depth;
     state.depth_gauge.set(static_cast<double>(state.queue_depth));
     lock.unlock();
@@ -125,50 +129,222 @@ ScheduledResult QueryScheduler::submit(const std::string& tenant,
     --state.queue_depth;
     state.depth_gauge.set(static_cast<double>(state.queue_depth));
   }
-  result.wait_seconds = clock_->now() - start;
+}
 
-  if (admitted) {
-    ++totals_.admitted;
-    admitted_total_.add();
-    lock.unlock();
-    wait_seconds_.observe(result.wait_seconds);
-    result.outcome = AdmissionOutcome::kAdmitted;
-    result.insight = service_.run(query);
-    return result;
+void QueryScheduler::record_outcome_locked(TenantState& state,
+                                           AdmissionOutcome outcome,
+                                           bool short_circuit, double now) {
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted:
+      ++totals_.admitted;
+      admitted_total_.add();
+      state.breaker.record_success();
+      state.consecutive_stale = 0;
+      // A tenant getting fresh answers again earns its bias back.
+      if (state.cost_bias > 1.0) {
+        state.cost_bias =
+            std::max(1.0, state.cost_bias * config_.cost_bias_decay);
+      }
+      break;
+    case AdmissionOutcome::kDegraded:
+      ++totals_.degraded;
+      degraded_total_.add();
+      // Streak-neutral for the breaker — serving stale is the system
+      // working as designed — EXCEPT when this was the half-open probe:
+      // an answer (even a stale one) means the tenant's service is
+      // functioning, so the probe resolves as success instead of leaving
+      // the breaker wedged with a probe forever in flight.
+      if (!short_circuit &&
+          state.breaker.state() == CircuitBreaker::State::kHalfOpen) {
+        state.breaker.record_success();
+      }
+      // It IS underprovisioning evidence for the cost model, though —
+      // enough of it in a row bumps the bias.
+      if (config_.degrade_feedback_threshold > 0 &&
+          ++state.consecutive_stale >= config_.degrade_feedback_threshold) {
+        state.consecutive_stale = 0;
+        state.cost_bias = std::min(
+            state.cost_bias * config_.degrade_feedback_factor,
+            config_.cost_bias_max);
+        ++totals_.degrade_feedback_bumps;
+        degrade_feedback_total_.add();
+      }
+      break;
+    case AdmissionOutcome::kShed:
+      ++totals_.shed;
+      shed_total_.add();
+      // A short-circuited shed is the breaker's own output — feeding it
+      // back would re-arm the cooldown forever.
+      if (!short_circuit) state.breaker.record_failure(now);
+      break;
+    case AdmissionOutcome::kExpired:
+      ++totals_.expired;
+      expired_total_.add();
+      if (!short_circuit) state.breaker.record_failure(now);
+      break;
   }
-  lock.unlock();
+  state.breaker_gauge.set(static_cast<double>(state.breaker.state()));
+}
+
+ScheduledResult QueryScheduler::submit(const std::string& tenant,
+                                       const Query& query,
+                                       double budget_seconds) {
+  // Estimate outside the scheduler mutex: the probe takes the service's
+  // read lock and must not serialize other tenants' admissions.
+  const QueryCostEstimate est = service_.estimate_query(query);
+  const double raw_cost = cost_tokens(est);
+
+  ScheduledResult result;
+  const double start = clock_->now();
+  // The admission wait is bounded by BOTH the scheduler knob and the
+  // caller's total budget; the total deadline additionally rides into
+  // the run itself. An infinite budget reproduces PR 7 exactly.
+  const double max_wait =
+      std::min(config_.max_wait_seconds, std::max(0.0, budget_seconds));
+  const double admission_deadline = start + max_wait;
+  const double total_deadline =
+      budget_seconds == kInf ? kInf : start + budget_seconds;
+
+  TenantState* state = nullptr;
+  double cost = raw_cost;
+  bool short_circuit = false;
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    ++totals_.submitted;
+    submitted_total_.add();
+    state = &tenant_state_locked(tenant);
+    cost = raw_cost * state->cost_bias;
+    if (!state->breaker.allow(clock_->now())) {
+      short_circuit = true;
+      ++totals_.breaker_short_circuits;
+      breaker_short_circuits_total_.add();
+    }
+    // allow() may have transitioned open -> half-open; keep the gauge
+    // honest either way.
+    state->breaker_gauge.set(static_cast<double>(state->breaker.state()));
+  }
+  result.cost_tokens = cost;
+  result.breaker_short_circuit = short_circuit;
+
+  bool acquired = false;
+  if (!short_circuit) {
+    if (queue_ != nullptr) {
+      {
+        const std::lock_guard<std::mutex> lock{mu_};
+        ++state->queue_depth;
+        state->depth_gauge.set(static_cast<double>(state->queue_depth));
+      }
+      // Lock ordering: the queue holds FairQueue::mu_ while calling this
+      // closure, which takes QueryScheduler::mu_ — never the reverse.
+      const FairQueue::Outcome out =
+          queue_->wait(admission_deadline, [&](double now) -> double {
+            const std::lock_guard<std::mutex> lock{mu_};
+            state->bucket.refill(now);
+            if (state->bucket.try_consume(cost)) return 0.0;
+            return state->bucket.seconds_until(cost);
+          });
+      {
+        const std::lock_guard<std::mutex> lock{mu_};
+        --state->queue_depth;
+        state->depth_gauge.set(static_cast<double>(state->queue_depth));
+      }
+      acquired = out == FairQueue::Outcome::kAcquired;
+    } else {
+      acquired = legacy_bucket_wait(*state, cost, admission_deadline);
+    }
+  }
+  result.wait_seconds = clock_->now() - start;
   wait_seconds_.observe(result.wait_seconds);
 
-  // Saturated. Degrade before shedding: any cached answer within the
-  // staleness bound beats an error. With max_versions_behind == 0 the
-  // probe still runs (bound 0 = current version only) purely to feed the
-  // tripwire: shedding while an answer sat in the cache is the failure
-  // mode this scheduler exists to prevent.
+  if (acquired) {
+    const double now = clock_->now();
+    if (now >= total_deadline) {
+      // Tokens were spent but the caller is already gone; don't start a
+      // computation nobody will read. The tokens are not refunded — the
+      // admission machinery DID run on this tenant's behalf.
+      const std::lock_guard<std::mutex> lock{mu_};
+      record_outcome_locked(*state, AdmissionOutcome::kExpired,
+                            short_circuit, now);
+      result.outcome = AdmissionOutcome::kExpired;
+      return result;
+    }
+    RunBudget budget;
+    if (total_deadline != kInf) {
+      budget.clock = clock_;
+      budget.deadline = total_deadline;
+    }
+    result.insight = service_.run(query, budget);
+    const double after = clock_->now();
+    const std::lock_guard<std::mutex> lock{mu_};
+    if (result.insight.error == QueryError::kDeadlineExceeded) {
+      record_outcome_locked(*state, AdmissionOutcome::kExpired,
+                            short_circuit, after);
+      result.outcome = AdmissionOutcome::kExpired;
+    } else {
+      record_outcome_locked(*state, AdmissionOutcome::kAdmitted,
+                            short_circuit, after);
+      result.outcome = AdmissionOutcome::kAdmitted;
+    }
+    return result;
+  }
+
+  if (clock_->now() >= total_deadline) {
+    // The whole budget drained inside admission: even an O(1) stale
+    // answer would arrive after the caller hung up.
+    const std::lock_guard<std::mutex> lock{mu_};
+    record_outcome_locked(*state, AdmissionOutcome::kExpired, short_circuit,
+                          clock_->now());
+    result.outcome = AdmissionOutcome::kExpired;
+    return result;
+  }
+
+  // Saturated (or breaker-open). Degrade before shedding: any cached
+  // answer within the staleness bound beats an error — an open breaker
+  // degrades service, it does not black-hole it. With
+  // max_versions_behind == 0 the probe still runs (bound 0 = current
+  // version only) purely to feed the tripwire: shedding while an answer
+  // sat in the cache is the failure mode this scheduler exists to
+  // prevent.
   std::optional<Insight> stale =
       service_.find_stale_cached(query, config_.max_versions_behind);
-  std::lock_guard<std::mutex> tally{mu_};
+  const std::lock_guard<std::mutex> lock{mu_};
+  const double now = clock_->now();
   if (stale.has_value() && config_.max_versions_behind > 0) {
-    ++totals_.degraded;
-    degraded_total_.add();
+    record_outcome_locked(*state, AdmissionOutcome::kDegraded, short_circuit,
+                          now);
     result.outcome = AdmissionOutcome::kDegraded;
     result.insight = *std::move(stale);
     return result;
   }
-  ++totals_.shed;
-  shed_total_.add();
+  record_outcome_locked(*state, AdmissionOutcome::kShed, short_circuit, now);
   if (stale.has_value()) {
     ++totals_.shed_with_degradable;
     shed_with_degradable_total_.add();
   }
+  // Retry-After: when the bucket will afford this query, stretched to
+  // the breaker's probe time while open. Unpayable (cost > burst) has
+  // no finite answer — leave the hint at the breaker term alone.
+  state->bucket.refill(now);
+  double retry = state->bucket.seconds_until(cost);
+  if (retry == kInf) retry = 0.0;
+  result.retry_after_seconds =
+      std::max(retry, state->breaker.seconds_until_probe(now));
   result.outcome = AdmissionOutcome::kShed;
   return result;
 }
 
 SchedulerStats QueryScheduler::stats() const {
+  // Queue stats first: FairQueue::mu_ must never be taken after mu_
+  // (the queue's sweep holds its lock while calling into ours).
+  const FairQueue::Stats fq =
+      queue_ != nullptr ? queue_->stats() : FairQueue::Stats{};
   const std::lock_guard<std::mutex> lock{mu_};
   SchedulerStats out = totals_;
+  out.fair_queue = fq;
   for (const auto& [tenant, state] : tenants_) {
-    out.tenants[tenant] = {state.bucket.tokens(), state.queue_depth};
+    out.tenants[tenant] = {state.bucket.tokens(), state.queue_depth,
+                           state.breaker.state(), state.cost_bias,
+                           state.consecutive_stale};
   }
   return out;
 }

@@ -1,5 +1,6 @@
 // Admission control in front of QueryService: per-tenant token buckets,
-// cost-aware scheduling, and degrade-before-shed under saturation.
+// EDF cross-tenant queueing, circuit breakers, and degrade-before-shed
+// under saturation.
 //
 // The §5 USaaS front-end is multi-tenant by construction: operator
 // dashboards, ad-hoc analyst queries and abusive crawlers share one
@@ -12,28 +13,48 @@
 //     SchedulerConfig; unknown tenants get the default QoS). A query's
 //     token cost is estimated BEFORE admission from the fingerprint-keyed
 //     slow-query history, falling back to the summary-vs-scan fan-out
-//     predictor (whole months are summary-answerable and cheap; boundary-
-//     cut months force rescans and are expensive), so one tenant's cold
-//     scans queue behind — not ahead of — everyone's cheap summary
-//     merges;
-//   * waits for tokens only while the deadline allows (max_wait_seconds),
-//     through a pluggable SchedulerClock — tests inject a VirtualClock
-//     and the whole admission schedule becomes deterministic;
+//     predictor, then scaled by the tenant's cost bias (see below);
+//   * queues saturated submissions in ONE deadline-ordered cross-tenant
+//     FairQueue (earliest admission deadline wakes first), instead of
+//     PR 7's per-tenant private bucket sleeps — weighting stays in each
+//     bucket's rate, ordering under contention becomes global EDF. The
+//     legacy per-bucket loop survives behind `fair_queue = false` for
+//     A/B benching;
+//   * propagates the caller's remaining budget into QueryService::run as
+//     a RunBudget, so a request that expires mid-computation is
+//     abandoned at the next phase boundary (AdmissionOutcome::kExpired)
+//     instead of burning pool time on an answer nobody is waiting for;
+//   * trips a per-tenant circuit breaker (closed -> open -> half-open,
+//     see usaas/circuit_breaker.h) on consecutive shed/expired outcomes:
+//     an open tenant short-circuits straight to degrade-or-shed without
+//     clogging the queue;
 //   * degrades before it sheds: a query that cannot be admitted in time
 //     is answered from a pre-version-bump cached Insight when one exists
 //     within max_versions_behind, stamped with an explicit
-//     Insight::staleness (versions behind) instead of erroring. Only
-//     when no degradable answer exists is the query shed.
+//     Insight::staleness. Only when no degradable answer exists is the
+//     query shed — with a Retry-After hint from the bucket's refill
+//     estimate (and the breaker's cooldown, when open);
+//   * feeds degraded outcomes back into the cost model: a tenant served
+//     stale answers `degrade_feedback_threshold` times in a row gets its
+//     cost bias multiplied up (capped), so the scheduler stops
+//     over-admitting a tenant whose QoS is visibly underprovisioned;
+//     each fresh admit decays the bias back toward 1.
 //
 // Every outcome is counted twice on purpose: in the scheduler's own
 // stats() (plain integers under the scheduler mutex) and in the shared
 // telemetry Registry (usaas_admission_* families, rendered by the
 // service's exposition endpoint). The two views must reconcile exactly —
-// admitted + degraded + shed == submitted — and scripts/check.sh fails
-// the build when they do not.
+// admitted + degraded + shed + expired == submitted — and
+// scripts/check.sh fails the build when they do not.
+//
+// Lock ordering: FairQueue::mu_ -> QueryScheduler::mu_ (the queue calls
+// the scheduler's try-acquire closure with its own lock held). submit()
+// therefore never holds mu_ while calling into the queue, and stats()
+// snapshots the queue BEFORE taking mu_.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -42,6 +63,8 @@
 #include "core/scheduler_clock.h"
 #include "core/telemetry/metrics.h"
 #include "core/token_bucket.h"
+#include "usaas/circuit_breaker.h"
+#include "usaas/fair_queue.h"
 #include "usaas/query_service.h"
 
 namespace usaas::service {
@@ -59,7 +82,8 @@ struct SchedulerConfig {
   TenantQos default_qos;
   std::map<std::string, TenantQos> tenant_qos;
   /// Admission deadline: the longest a submission may wait for tokens
-  /// before the scheduler falls back to degrade-or-shed.
+  /// before the scheduler falls back to degrade-or-shed. A per-call
+  /// budget below this bounds the wait further.
   double max_wait_seconds{0.25};
   /// Degrade bound: serve a cached Insight up to this many corpus
   /// versions behind the current one. 0 disables degraded answers
@@ -74,6 +98,20 @@ struct SchedulerConfig {
   double summary_month_cost{0.25};
   double scan_month_cost{8.0};
   double seconds_per_token{1e-3};
+  /// EDF cross-tenant wait queue (usaas/fair_queue.h). false reverts to
+  /// PR 7's per-tenant private bucket sleeps — kept for A/B benching the
+  /// queueing policy; production keeps this on.
+  bool fair_queue{true};
+  /// Per-tenant circuit breaker; failure_threshold 0 disables it.
+  CircuitBreaker::Config breaker;
+  /// Degrade feedback: after this many CONSECUTIVE stale serves, a
+  /// tenant's cost bias is multiplied by `degrade_feedback_factor`
+  /// (capped at `cost_bias_max`); every fresh admit decays the bias by
+  /// `cost_bias_decay` back toward 1. Threshold 0 disables feedback.
+  std::size_t degrade_feedback_threshold{3};
+  double degrade_feedback_factor{1.5};
+  double cost_bias_max{8.0};
+  double cost_bias_decay{0.9};
   /// Clock for refills, deadlines and waiting. nullptr = real steady
   /// clock (owned by the scheduler); tests pass a core::VirtualClock and
   /// every refill/wait becomes deterministic.
@@ -89,6 +127,9 @@ enum class AdmissionOutcome {
   kDegraded,  ///< Served a stale cached Insight (insight.staleness > 0
               ///< possible, always <= max_versions_behind).
   kShed,      ///< Rejected: saturated and nothing degradable was cached.
+  kExpired,   ///< The caller's budget ran out — in the queue, or mid-
+              ///< computation (the run was abandoned at a phase
+              ///< boundary; insight.error == kDeadlineExceeded).
 };
 
 [[nodiscard]] constexpr const char* to_string(AdmissionOutcome o) {
@@ -96,24 +137,35 @@ enum class AdmissionOutcome {
     case AdmissionOutcome::kAdmitted: return "admitted";
     case AdmissionOutcome::kDegraded: return "degraded";
     case AdmissionOutcome::kShed: return "shed";
+    case AdmissionOutcome::kExpired: return "expired";
   }
   return "unknown";
 }
 
 /// One submission's verdict. `insight` is meaningful for kAdmitted and
-/// kDegraded; a shed query carries no answer.
+/// kDegraded; a shed or expired query carries no answer (an expired one
+/// carries the error skeleton).
 struct ScheduledResult {
   AdmissionOutcome outcome{AdmissionOutcome::kShed};
   Insight insight;
   /// Time spent inside admission (token waits), by the scheduler clock.
   double wait_seconds{0.0};
-  /// Tokens this query was estimated to cost.
+  /// Tokens this query was estimated to cost (after the tenant bias).
   double cost_tokens{0.0};
+  /// On kShed: when retrying could plausibly succeed — the bucket's
+  /// refill estimate, stretched to the breaker's probe time when open.
+  /// The HTTP listener renders this as the 429 Retry-After header.
+  double retry_after_seconds{0.0};
+  /// True when an open circuit breaker bypassed admission entirely.
+  bool breaker_short_circuit{false};
 };
 
 struct TenantSnapshot {
   double tokens{0.0};
   std::size_t queue_depth{0};
+  CircuitBreaker::State breaker{CircuitBreaker::State::kClosed};
+  double cost_bias{1.0};
+  std::size_t consecutive_stale{0};
 };
 
 struct SchedulerStats {
@@ -121,15 +173,22 @@ struct SchedulerStats {
   std::uint64_t admitted{0};
   std::uint64_t degraded{0};
   std::uint64_t shed{0};
+  std::uint64_t expired{0};
   /// Tripwire: queries shed while a degradable cached Insight existed.
   /// Structurally zero while degraded answers are enabled; non-zero only
   /// when max_versions_behind == 0 discards an available answer.
   std::uint64_t shed_with_degradable{0};
+  /// Submissions an open breaker sent straight to degrade-or-shed.
+  std::uint64_t breaker_short_circuits{0};
+  /// Times a tenant's cost bias was bumped by the degrade feedback loop.
+  std::uint64_t degrade_feedback_bumps{0};
+  /// EDF wait-queue counters (all-zero when fair_queue is off).
+  FairQueue::Stats fair_queue;
   std::map<std::string, TenantSnapshot> tenants;
 
   /// The accounting identity the exposition layer is checked against.
   [[nodiscard]] bool reconciles() const {
-    return admitted + degraded + shed == submitted;
+    return admitted + degraded + shed + expired == submitted;
   }
 };
 
@@ -143,14 +202,20 @@ class QueryScheduler {
   QueryScheduler(const QueryScheduler&) = delete;
   QueryScheduler& operator=(const QueryScheduler&) = delete;
 
-  /// Admit-or-degrade-or-shed one query for `tenant`. Thread-safe; the
-  /// underlying QueryService::run executes outside the scheduler mutex,
-  /// so admitted queries from different tenants still fan out in
-  /// parallel.
-  [[nodiscard]] ScheduledResult submit(const std::string& tenant,
-                                       const Query& query);
+  /// Admit-or-degrade-or-shed one query for `tenant`. `budget_seconds`
+  /// is the caller's total remaining patience: it bounds the admission
+  /// wait (together with max_wait_seconds) AND rides into
+  /// QueryService::run as a cooperative-cancellation deadline, so a
+  /// request that expires mid-scan is abandoned (kExpired) instead of
+  /// finishing an answer nobody will read. The default (infinite) budget
+  /// reproduces PR 7 semantics exactly: expired stays 0. Thread-safe;
+  /// QueryService::run executes outside every scheduler lock, so
+  /// admitted queries from different tenants still fan out in parallel.
+  [[nodiscard]] ScheduledResult submit(
+      const std::string& tenant, const Query& query,
+      double budget_seconds = std::numeric_limits<double>::infinity());
 
-  /// The token cost submit() would charge right now (same estimator).
+  /// The raw (bias-free) token cost submit() would start from right now.
   [[nodiscard]] double estimate_cost(const Query& query) const;
 
   [[nodiscard]] SchedulerStats stats() const;
@@ -161,6 +226,10 @@ class QueryScheduler {
     core::TokenBucket bucket;
     std::size_t queue_depth{0};
     core::telemetry::Gauge depth_gauge;
+    CircuitBreaker breaker;
+    core::telemetry::Gauge breaker_gauge;  ///< 0 closed / 1 open / 2 half
+    double cost_bias{1.0};
+    std::size_t consecutive_stale{0};
   };
 
   [[nodiscard]] double cost_tokens(const QueryCostEstimate& est) const;
@@ -168,18 +237,31 @@ class QueryScheduler {
   /// stay valid forever: tenants are never erased and std::map nodes do
   /// not move.
   [[nodiscard]] TenantState& tenant_state_locked(const std::string& tenant);
+  /// PR 7's private-bucket wait loop (fair_queue = false). Returns true
+  /// when the tokens were consumed before `deadline`. Takes and releases
+  /// mu_ internally.
+  [[nodiscard]] bool legacy_bucket_wait(TenantState& state, double cost,
+                                        double deadline);
+  /// Tally one outcome into totals_ + telemetry and stamp the breaker /
+  /// feedback state. Caller holds mu_.
+  void record_outcome_locked(TenantState& state, AdmissionOutcome outcome,
+                             bool short_circuit, double now);
 
   QueryService& service_;
   SchedulerConfig config_;
   std::unique_ptr<core::SteadyClock> owned_clock_;
   core::SchedulerClock* clock_{nullptr};
   core::telemetry::Registry* telemetry_{nullptr};
+  std::unique_ptr<FairQueue> queue_;  ///< set iff config_.fair_queue
 
   core::telemetry::Counter submitted_total_;
   core::telemetry::Counter admitted_total_;
   core::telemetry::Counter degraded_total_;
   core::telemetry::Counter shed_total_;
+  core::telemetry::Counter expired_total_;
   core::telemetry::Counter shed_with_degradable_total_;
+  core::telemetry::Counter breaker_short_circuits_total_;
+  core::telemetry::Counter degrade_feedback_total_;
   core::telemetry::Histogram wait_seconds_;
 
   mutable std::mutex mu_;

@@ -107,7 +107,8 @@ void QueryService::register_telemetry() {
                       path_counter(ServedBy::kSummaryMerge),
                       path_counter(ServedBy::kScan),
                       path_counter(ServedBy::kMixed),
-                      path_counter(ServedBy::kInvalid)};
+                      path_counter(ServedBy::kInvalid),
+                      path_counter(ServedBy::kExpired)};
 }
 
 void QueryService::ingest_calls(std::span<const confsim::CallRecord> calls) {
@@ -395,7 +396,8 @@ std::size_t insight_heap_bytes(const Insight& insight) {
   return bytes;
 }
 
-Insight QueryService::run(const Query& query) const {
+Insight QueryService::run(const Query& query,
+                          const RunBudget& budget) const {
   core::telemetry::TraceSpan span{query_seconds_};
   Insight insight;
   const QueryValidation verdict = query.validate();
@@ -442,7 +444,18 @@ Insight QueryService::run(const Query& query) const {
          to_string(ServedBy::kCache), 0, 0, insight.sessions, version, 1});
     return insight;
   }
-  insight = compute_insight(query, version, &span);
+  insight = compute_insight(query, version, budget, &span);
+  if (insight.error == QueryError::kDeadlineExceeded) {
+    // Abandoned mid-fan-out: an explicit error skeleton, never cached
+    // (the aggregates were never finished) and never slow-logged (a
+    // truncated run is not a cost observation — recording its short
+    // runtime would teach the admission estimator that expensive scans
+    // are cheap).
+    insight.execution.served_by = ServedBy::kExpired;
+    insight.execution.seconds = span.finish();
+    queries_by_path_[static_cast<std::size_t>(ServedBy::kExpired)].add();
+    return insight;
+  }
   // Classify over session + post shard visits combined: summary-merge
   // only when no shard anywhere was rescanned.
   const QueryExecution& exec = insight.execution;
@@ -547,7 +560,17 @@ std::optional<Insight> QueryService::find_stale_cached(
 
 Insight QueryService::compute_insight(const Query& query,
                                       std::uint64_t version,
+                                      const RunBudget& budget,
                                       core::telemetry::TraceSpan* span) const {
+  // The cooperative-cancellation exit: a deadline-exceeded run hands
+  // back a *fresh* skeleton, never the partially-filled `insight` below
+  // — callers must never see half an answer.
+  const auto expired_skeleton = [version] {
+    Insight out;
+    out.corpus_version = version;
+    out.error = QueryError::kDeadlineExceeded;
+    return out;
+  };
   Insight insight;
   insight.corpus_version = version;
   // This query's session-engine fan-out, accumulated by the engine calls
@@ -571,12 +594,17 @@ Insight QueryService::compute_insight(const Query& query,
   for (const EngagementMetric m :
        {EngagementMetric::kPresence, EngagementMetric::kCamOn,
         EngagementMetric::kMicOn}) {
+    // Phase boundary: each engagement sweep fans out across every
+    // selected session shard, so this is the natural grain to abandon
+    // an expired run at without tearing a sweep in half.
+    if (budget.expired()) return expired_skeleton();
     insight.engagement.push_back(
         engine_.engagement_curve(spec, m, filter, selector, &fanout));
     if (const auto corr = engine_.mos_correlation(m, 50, &fanout)) {
       insight.mos_spearman.emplace_back(m, corr->spearman);
     }
   }
+  if (budget.expired()) return expired_skeleton();
 
   std::function<double(const confsim::ParticipantRecord&)> predict;
   if (predictor_trained_) {
@@ -599,6 +627,7 @@ Insight QueryService::compute_insight(const Query& query,
   insight.execution.shards_from_summary = fanout.shards_from_summary;
   insight.execution.shards_scanned = fanout.shards_scanned;
   if (span != nullptr) span->lap(phase_implicit_);
+  if (budget.expired()) return expired_skeleton();
 
   // ---- Explicit (social) side: pre-scored shards, pruned by month ----
   struct SelectedPosts {
@@ -645,9 +674,19 @@ Insight QueryService::compute_insight(const Query& query,
     std::vector<std::pair<core::Date, double>> keyword_adds;
   };
   std::vector<SocialPartial> partials(selected.size());
+  // Cooperative cancellation inside the scan fan-out: each worker checks
+  // the budget per shard and, once anyone sees it expired, the remaining
+  // shards are skipped (relaxed is enough — the flag only widens, and
+  // the partials of a flagged run are discarded wholesale below).
+  std::atomic<bool> out_of_time{false};
   core::parallel_for(
       pool_.get(), selected.size(), [&](std::size_t b, std::size_t e) {
         for (std::size_t i = b; i < e; ++i) {
+          if (out_of_time.load(std::memory_order_relaxed)) break;
+          if (budget.expired()) {
+            out_of_time.store(true, std::memory_order_relaxed);
+            break;
+          }
           const SelectedPosts& sel = selected[i];
           SocialPartial& part = partials[i];
           if (sel.use_summary) {
@@ -683,6 +722,10 @@ Insight QueryService::compute_insight(const Query& query,
           }
         }
       });
+
+  if (out_of_time.load(std::memory_order_relaxed)) {
+    return expired_skeleton();
+  }
 
   core::DailySeries keyword_days{query.first, query.last};
   std::size_t strong_pos = 0;
@@ -819,6 +862,13 @@ void QueryService::append_service_families(
       {counter_sample("result=\"ok\"", stats.stream.flushes),
        counter_sample("result=\"failed\"", stats.stream.flush_failures),
        counter_sample("result=\"retried\"", stats.stream.flush_retries)});
+  add("usaas_stream_backpressure_total",
+      "Backpressure events at the streaming front-end (blocked-push: a "
+      "push waited on a full kBlock buffer; backoff-wait: a flush retry "
+      "slept)",
+      MetricKind::kCounter,
+      {counter_sample("kind=\"blocked_push\"", stats.stream.blocked_pushes),
+       counter_sample("kind=\"backoff_wait\"", stats.stream.backoff_waits)});
   add("usaas_stream_staged_records",
       "Records accepted but not yet queryable (snapshot staleness)",
       MetricKind::kGauge,

@@ -31,6 +31,7 @@
 #include "core/fingerprint.h"
 #include "core/lru_cache.h"
 #include "core/rw_lock.h"
+#include "core/scheduler_clock.h"
 #include "core/telemetry/metrics.h"
 #include "core/telemetry/slow_query_log.h"
 #include "core/telemetry/trace.h"
@@ -54,6 +55,7 @@ enum class QueryError {
   kNonFiniteMetricRange,  // metric_lo / metric_hi is NaN or infinite
   kEmptyMetricRange,      // metric_lo >= metric_hi
   kZeroBins,              // bins == 0
+  kDeadlineExceeded,      // the RunBudget expired mid-computation
 };
 
 [[nodiscard]] constexpr const char* to_string(QueryError e) {
@@ -63,6 +65,7 @@ enum class QueryError {
     case QueryError::kNonFiniteMetricRange: return "non-finite-metric-range";
     case QueryError::kEmptyMetricRange: return "empty-metric-range";
     case QueryError::kZeroBins: return "zero-bins";
+    case QueryError::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "unknown";
 }
@@ -109,6 +112,7 @@ enum class ServedBy {
   kScan,          // every shard visit rescanned records
   kMixed,         // some summary merges, some scans (boundary shards)
   kInvalid,       // the query failed validation; nothing was computed
+  kExpired,       // the run budget expired; the computation was abandoned
 };
 
 [[nodiscard]] constexpr const char* to_string(ServedBy s) {
@@ -118,9 +122,28 @@ enum class ServedBy {
     case ServedBy::kScan: return "scan";
     case ServedBy::kMixed: return "mixed";
     case ServedBy::kInvalid: return "invalid";
+    case ServedBy::kExpired: return "expired";
   }
   return "unknown";
 }
+
+/// Remaining-time budget the admission layer propagates into run(): the
+/// absolute clock-seconds instant after which continuing the computation
+/// is pointless (the client has already timed out). compute_insight
+/// checks it cooperatively at phase boundaries — between engagement
+/// sweeps, before the tally, and per shard inside the social fan-out —
+/// and abandons the run with QueryError::kDeadlineExceeded instead of
+/// burning pool time on an answer nobody is waiting for. An abandoned
+/// run returns a fresh skeleton Insight (never a torn partial) and is
+/// never cached. A default RunBudget (null clock) never expires, so the
+/// plain run() path pays one predictable branch per checkpoint.
+struct RunBudget {
+  core::SchedulerClock* clock{nullptr};
+  double deadline{0.0};  ///< Absolute seconds on `clock`; ignored if null.
+  [[nodiscard]] bool expired() const {
+    return clock != nullptr && clock->now() >= deadline;
+  }
+};
 
 /// Per-query execution report carried on every Insight: was this answer a
 /// cache hit, a summary merge or a record scan, and how wide did it fan
@@ -275,7 +298,17 @@ class QueryService {
 
   /// Answers a query from the ingested signals. Invalid queries (see
   /// Query::valid) yield an empty Insight.
-  [[nodiscard]] Insight run(const Query& query) const;
+  [[nodiscard]] Insight run(const Query& query) const {
+    return run(query, RunBudget{});
+  }
+
+  /// run() with a cooperative deadline: when `budget` expires mid-
+  /// computation the fan-out is abandoned at the next phase boundary and
+  /// the returned Insight carries QueryError::kDeadlineExceeded with a
+  /// ServedBy::kExpired execution report — never a torn partial answer,
+  /// and never a cache entry. A cache hit is served even past the
+  /// deadline (it is O(1) and strictly better than an error).
+  [[nodiscard]] Insight run(const Query& query, const RunBudget& budget) const;
 
   /// Pre-admission cost probe (no shard is visited, the LRU order and the
   /// cache hit/miss counters are untouched): slow-query history for this
@@ -470,6 +503,7 @@ class QueryService {
   /// the implicit/social phase laps.
   [[nodiscard]] Insight compute_insight(const Query& query,
                                         std::uint64_t version,
+                                        const RunBudget& budget,
                                         core::telemetry::TraceSpan* span) const;
   /// Registers the service-level metric handles in telemetry_.
   void register_telemetry();
@@ -503,7 +537,7 @@ class QueryService {
   };
   PostIngestTelemetry post_ingest_tel_;
   /// queries_total{path=...}, indexed by ServedBy.
-  std::array<core::telemetry::Counter, 5> queries_by_path_;
+  std::array<core::telemetry::Counter, 6> queries_by_path_;
   // month_key -> shard, ordered; a single key 0 under kSingleShard.
   std::map<int, PostShard> post_shards_;
   std::size_t post_count_{0};

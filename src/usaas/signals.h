@@ -139,6 +139,8 @@ struct StreamHealth {
   std::uint64_t flushes{0};         // successful flushes
   std::uint64_t flush_failures{0};  // failed flush attempts (injected/real)
   std::uint64_t flush_retries{0};   // re-attempts after a failed attempt
+  std::uint64_t blocked_pushes{0};  // pushes that waited on kBlock
+  std::uint64_t backoff_waits{0};   // individual flush-retry backoff sleeps
   /// True while the last flush round failed outright (retries exhausted):
   /// staged records are stuck and queries serve an increasingly stale
   /// snapshot until a later flush succeeds.

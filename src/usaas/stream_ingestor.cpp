@@ -374,6 +374,8 @@ StreamHealth StreamIngestor::health_snapshot() const {
   StreamHealth health = stats_.health;
   health.staged = staged_calls_.size() + staged_posts_.size();
   health.degraded = degraded_calls_ || degraded_posts_;
+  health.blocked_pushes = stats_.blocked_pushes;
+  health.backoff_waits = stats_.backoff_waits;
   return health;
 }
 

@@ -11,6 +11,8 @@
 // workload for the scheduler mutex + bucket state + outcome counters.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -395,6 +397,306 @@ TEST(QueryScheduler, MixedTenantStressReconcilesExactly) {
   for (const auto& [tenant, snap] : stats.tenants) {
     EXPECT_EQ(snap.queue_depth, 0u) << tenant;
   }
+}
+
+// ---- Circuit breaker: the state machine alone --------------------------
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailuresAndProbesAfterCooldown) {
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 3;
+  cfg.cooldown_seconds = 1.0;
+  cfg.cooldown_backoff = 2.0;
+  cfg.max_cooldown_seconds = 3.0;
+  CircuitBreaker breaker{cfg};
+
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.record_failure(0.0);
+  breaker.record_failure(0.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.record_success();  // a success resets the streak
+  breaker.record_failure(0.0);
+  breaker.record_failure(0.0);
+  EXPECT_TRUE(breaker.allow(0.0));  // still closed: two in a row, not three
+  breaker.record_failure(0.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow(0.5));  // cooling down
+  EXPECT_DOUBLE_EQ(breaker.seconds_until_probe(0.5), 0.5);
+
+  // Cooldown served: exactly one caller becomes the half-open probe.
+  EXPECT_TRUE(breaker.allow(1.0));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.allow(1.0));  // probe already in flight
+
+  // Probe fails: reopen with doubled cooldown.
+  breaker.record_failure(1.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow(2.5));  // 2 s cooldown now
+  EXPECT_TRUE(breaker.allow(3.0));
+  breaker.record_failure(3.0);  // fails again: cooldown capped at 3 s
+  EXPECT_DOUBLE_EQ(breaker.seconds_until_probe(3.0), 3.0);
+  EXPECT_TRUE(breaker.allow(6.0));
+
+  // Probe succeeds: closed, streak and cooldown fully reset.
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0u);
+  breaker.record_failure(6.0);
+  breaker.record_failure(6.0);
+  breaker.record_failure(6.0);
+  EXPECT_DOUBLE_EQ(breaker.seconds_until_probe(6.0), 1.0);  // back to base
+}
+
+TEST(CircuitBreaker, ThresholdZeroDisablesTheBreakerEntirely) {
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 0;
+  CircuitBreaker breaker{cfg};
+  for (int i = 0; i < 100; ++i) breaker.record_failure(0.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow(0.0));
+}
+
+// ---- Circuit breaker wired into admission ------------------------------
+
+TEST(QueryScheduler, OpenBreakerShortCircuitsButStillDegrades) {
+  Fixture fx;
+  core::VirtualClock clock;
+  SchedulerConfig cfg;
+  cfg.default_qos = {0.0, 1.0};  // one affordable admission, ever
+  cfg.breaker.failure_threshold = 2;
+  cfg.breaker.cooldown_seconds = 1.0;
+  cfg.clock = &clock;
+  QueryScheduler sched{fx.svc, cfg};
+
+  // Warm the cache, then shed twice on an unpayable query: breaker opens.
+  ASSERT_EQ(sched.submit("t", whole_months_query()).outcome,
+            AdmissionOutcome::kAdmitted);
+  ASSERT_EQ(sched.submit("t", cut_months_query()).outcome,
+            AdmissionOutcome::kShed);
+  ASSERT_EQ(sched.submit("t", cut_months_query()).outcome,
+            AdmissionOutcome::kShed);
+  ASSERT_EQ(sched.stats().tenants.at("t").breaker,
+            CircuitBreaker::State::kOpen);
+
+  // Open breaker, nothing cached for this query: shed without touching
+  // the queue, and Retry-After covers at least the remaining cooldown.
+  const ScheduledResult shed = sched.submit("t", cut_months_query());
+  EXPECT_EQ(shed.outcome, AdmissionOutcome::kShed);
+  EXPECT_TRUE(shed.breaker_short_circuit);
+  EXPECT_GE(shed.retry_after_seconds, 1.0);
+
+  // Open breaker, warm cache: the short-circuit still serves the stale
+  // answer — an open breaker degrades service, it does not black-hole it.
+  const ScheduledResult degraded = sched.submit("t", whole_months_query());
+  EXPECT_EQ(degraded.outcome, AdmissionOutcome::kDegraded);
+  EXPECT_TRUE(degraded.breaker_short_circuit);
+  EXPECT_EQ(degraded.insight.execution.served_by, ServedBy::kCache);
+
+  const SchedulerStats mid = sched.stats();
+  EXPECT_EQ(mid.breaker_short_circuits, 2u);
+  EXPECT_TRUE(mid.reconciles());
+
+  // Cooldown served: the next submission is the half-open probe. It
+  // cannot afford tokens either, but it comes back with a (stale)
+  // answer, which resolves the probe as success and re-closes the
+  // breaker instead of wedging it half-open forever.
+  clock.advance(1.5);
+  const ScheduledResult probe = sched.submit("t", whole_months_query());
+  EXPECT_EQ(probe.outcome, AdmissionOutcome::kDegraded);
+  EXPECT_FALSE(probe.breaker_short_circuit);
+  EXPECT_EQ(sched.stats().tenants.at("t").breaker,
+            CircuitBreaker::State::kClosed);
+
+  // Registry mirror of the short-circuit count.
+  EXPECT_EQ(fx.svc.telemetry_registry()
+                .counter("usaas_admission_breaker_short_circuits_total")
+                .value(),
+            2u);
+}
+
+TEST(QueryScheduler, HalfOpenProbeFailureReopensWithBackoff) {
+  Fixture fx;
+  core::VirtualClock clock;
+  SchedulerConfig cfg;
+  cfg.default_qos = {0.0, 0.5};  // nothing is ever affordable
+  cfg.breaker.failure_threshold = 1;
+  cfg.breaker.cooldown_seconds = 1.0;
+  cfg.breaker.cooldown_backoff = 2.0;
+  cfg.clock = &clock;
+  QueryScheduler sched{fx.svc, cfg};
+
+  // One shed (nothing cached) opens the threshold-1 breaker.
+  ASSERT_EQ(sched.submit("t", cut_months_query()).outcome,
+            AdmissionOutcome::kShed);
+  ASSERT_EQ(sched.stats().tenants.at("t").breaker,
+            CircuitBreaker::State::kOpen);
+
+  // The probe sheds too: reopen, and the cooldown doubles.
+  clock.advance(1.25);
+  const ScheduledResult probe = sched.submit("t", cut_months_query());
+  EXPECT_EQ(probe.outcome, AdmissionOutcome::kShed);
+  EXPECT_FALSE(probe.breaker_short_circuit);
+  EXPECT_EQ(sched.stats().tenants.at("t").breaker,
+            CircuitBreaker::State::kOpen);
+  const ScheduledResult blocked = sched.submit("t", cut_months_query());
+  EXPECT_TRUE(blocked.breaker_short_circuit);
+  EXPECT_GE(blocked.retry_after_seconds, 1.9);  // ~2 s of backoff left
+}
+
+// ---- Degrade-feedback loop into the cost model -------------------------
+
+TEST(QueryScheduler, ConsecutiveStaleServesBumpCostBiasAndAdmitsDecayIt) {
+  Fixture fx;
+  core::VirtualClock clock;
+  SchedulerConfig cfg;
+  cfg.default_qos = {1.0, 4.0};  // slow refill: saturation is reachable
+  cfg.degrade_feedback_threshold = 2;
+  cfg.degrade_feedback_factor = 2.0;
+  cfg.cost_bias_decay = 0.9;
+  cfg.seconds_per_token = 10.0;  // slow-log history stays under the floor
+  cfg.clock = &clock;
+  QueryScheduler sched{fx.svc, cfg};
+
+  // Drain the burst with fresh admits, then move the corpus on.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(sched.submit("t", whole_months_query()).outcome,
+              AdmissionOutcome::kAdmitted);
+  }
+  fx.svc.ingest_calls(quarter_calls(700));
+
+  // Two consecutive stale serves reach the threshold: bias doubles.
+  ASSERT_EQ(sched.submit("t", whole_months_query()).outcome,
+            AdmissionOutcome::kDegraded);
+  EXPECT_DOUBLE_EQ(sched.stats().tenants.at("t").cost_bias, 1.0);
+  ASSERT_EQ(sched.submit("t", whole_months_query()).outcome,
+            AdmissionOutcome::kDegraded);
+  SchedulerStats stats = sched.stats();
+  EXPECT_DOUBLE_EQ(stats.tenants.at("t").cost_bias, 2.0);
+  EXPECT_EQ(stats.degrade_feedback_bumps, 1u);
+  EXPECT_EQ(fx.svc.telemetry_registry()
+                .counter("usaas_admission_degrade_feedback_total")
+                .value(),
+            1u);
+
+  // The bias is visible in the next submission's effective cost.
+  const double raw = sched.estimate_cost(whole_months_query());
+  const ScheduledResult biased = sched.submit("t", whole_months_query());
+  EXPECT_DOUBLE_EQ(biased.cost_tokens, 2.0 * raw);
+
+  // A fresh admit decays the bias back toward 1.
+  clock.advance(4.0);  // refill enough for the biased cost
+  const ScheduledResult fresh = sched.submit("t", whole_months_query());
+  ASSERT_EQ(fresh.outcome, AdmissionOutcome::kAdmitted);
+  EXPECT_DOUBLE_EQ(sched.stats().tenants.at("t").cost_bias, 1.8);
+}
+
+// ---- Budget propagation and the expired outcome ------------------------
+
+TEST(QueryScheduler, ZeroBudgetExpiresUnderBothQueueImplementations) {
+  for (const bool fair : {true, false}) {
+    Fixture fx;
+    core::VirtualClock clock;
+    SchedulerConfig cfg;
+    cfg.fair_queue = fair;
+    cfg.clock = &clock;
+    QueryScheduler sched{fx.svc, cfg};
+    // Tokens are freely available, but the caller's patience is already
+    // gone when admission finishes: expired, not admitted — and the run
+    // never starts.
+    const ScheduledResult r = sched.submit("t", whole_months_query(), 0.0);
+    EXPECT_EQ(r.outcome, AdmissionOutcome::kExpired) << "fair=" << fair;
+    EXPECT_EQ(r.insight.sessions, 0u);
+    const SchedulerStats stats = sched.stats();
+    EXPECT_EQ(stats.expired, 1u);
+    EXPECT_TRUE(stats.reconciles());
+    EXPECT_EQ(fx.svc.telemetry_registry()
+                  .counter("usaas_admission_queries_total", "",
+                           {{"outcome", "expired"}})
+                  .value(),
+              1u);
+  }
+}
+
+TEST(QueryScheduler, InfiniteBudgetReproducesPreBudgetSemantics) {
+  Fixture fx;
+  core::VirtualClock clock;
+  SchedulerConfig cfg;
+  cfg.clock = &clock;
+  QueryScheduler sched{fx.svc, cfg};
+  const ScheduledResult r = sched.submit("t", whole_months_query());
+  EXPECT_EQ(r.outcome, AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(r.insight.error, QueryError::kNone);
+  EXPECT_EQ(sched.stats().expired, 0u);
+}
+
+// The TSan deadline-propagation workload: tight real-clock budgets race
+// a live producer. An expired answer must be an explicit
+// deadline-exceeded skeleton — never a torn half-tally — and the 4-way
+// ledger must still reconcile exactly.
+TEST(QueryScheduler, TightBudgetsUnderRealClockNeverTearInsights) {
+  Fixture fx;
+  SchedulerConfig cfg;  // real SteadyClock, fair queue on
+  cfg.max_wait_seconds = 0.01;
+  QueryScheduler sched{fx.svc, cfg};
+
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 30;
+  std::atomic<bool> stop_producer{false};
+  std::thread producer{[&] {
+    std::uint64_t i = 0;
+    while (!stop_producer.load()) {
+      const std::vector<confsim::CallRecord> batch{
+          sample_call(20000 + i++, Date(2022, 2, 5))};
+      fx.svc.ingest_calls(batch);
+      std::this_thread::sleep_for(std::chrono::microseconds{200});
+    }
+  }};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Budgets from "already gone" to "usually plenty"; the scan
+        // query exercises the mid-run phase-boundary checkpoints.
+        const double budget = (i % 5 == 0) ? 0.0 : 1e-5 * (1 << (i % 10));
+        const ScheduledResult r =
+            sched.submit("tight-" + std::to_string(t), cut_months_query(),
+                         budget);
+        if (r.outcome == AdmissionOutcome::kExpired) {
+          // Never torn: either the run was skipped outright (default
+          // insight) or it was abandoned at a phase boundary and
+          // returned the explicit skeleton. No partial tallies leak.
+          EXPECT_EQ(r.insight.sessions, 0u);
+          EXPECT_EQ(r.insight.posts, 0u);
+          if (r.insight.error != QueryError::kNone) {
+            EXPECT_EQ(r.insight.error, QueryError::kDeadlineExceeded);
+          }
+        } else if (r.outcome == AdmissionOutcome::kAdmitted) {
+          EXPECT_EQ(r.insight.error, QueryError::kNone);
+          EXPECT_GT(r.insight.sessions, 0u);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  stop_producer.store(true);
+  producer.join();
+
+  const SchedulerStats stats = sched.stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Every fifth submission had literally zero budget: expiry is not a
+  // timing accident in this test, it is guaranteed traffic.
+  EXPECT_GE(stats.expired, static_cast<std::uint64_t>(kThreads) *
+                               (kPerThread / 5));
+  EXPECT_TRUE(stats.reconciles());
+  core::telemetry::Registry& reg = fx.svc.telemetry_registry();
+  std::uint64_t exposed = 0;
+  for (const char* outcome : {"admitted", "degraded", "shed", "expired"}) {
+    exposed += reg.counter("usaas_admission_queries_total", "",
+                           {{"outcome", outcome}})
+                   .value();
+  }
+  EXPECT_EQ(exposed, reg.counter("usaas_admission_submitted_total").value());
 }
 
 }  // namespace
