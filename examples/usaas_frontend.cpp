@@ -311,12 +311,13 @@ int run_wire_demo() {
   const service::HttpListenerStats ls = listener.stats();
   std::printf("\n== listener ledger ==\n");
   std::printf(
-      "accepted %llu = accept-failures %llu + saturated %llu + handled "
-      "%llu; handled = read-failures %llu + responses %llu + "
-      "write-failures %llu  (reconciles: %s; clean shutdown: %s)\n",
+      "accepted %llu = accept-failures %llu + saturated %llu + drained "
+      "%llu + handled %llu; handled = read-failures %llu + responses "
+      "%llu + write-failures %llu  (reconciles: %s; clean shutdown: %s)\n",
       static_cast<unsigned long long>(ls.accepted),
       static_cast<unsigned long long>(ls.accept_failures),
       static_cast<unsigned long long>(ls.saturated),
+      static_cast<unsigned long long>(ls.drained),
       static_cast<unsigned long long>(ls.handled),
       static_cast<unsigned long long>(ls.read_failures),
       static_cast<unsigned long long>(ls.responses_sent),
@@ -532,9 +533,10 @@ int run_chaos(const core::FaultInjector::Config& fault_cfg) {
   std::printf(
       "CHAOS submitted=%llu admitted=%llu degraded=%llu shed=%llu "
       "expired=%llu reconcile=%s accepted=%llu accept_failures=%llu "
-      "saturated=%llu handled=%llu read_failures=%llu responses=%llu "
-      "write_failures=%llu listener_reconcile=%s clean_shutdown=%s "
-      "shutdown_seconds=%.3f max_deadline_ratio=%.3f exchanges=%llu\n",
+      "saturated=%llu drained=%llu handled=%llu read_failures=%llu "
+      "responses=%llu write_failures=%llu listener_reconcile=%s "
+      "clean_shutdown=%s shutdown_seconds=%.3f max_deadline_ratio=%.3f "
+      "exchanges=%llu\n",
       static_cast<unsigned long long>(stats.submitted),
       static_cast<unsigned long long>(stats.admitted),
       static_cast<unsigned long long>(stats.degraded),
@@ -544,6 +546,7 @@ int run_chaos(const core::FaultInjector::Config& fault_cfg) {
       static_cast<unsigned long long>(ls.accepted),
       static_cast<unsigned long long>(ls.accept_failures),
       static_cast<unsigned long long>(ls.saturated),
+      static_cast<unsigned long long>(ls.drained),
       static_cast<unsigned long long>(ls.handled),
       static_cast<unsigned long long>(ls.read_failures),
       static_cast<unsigned long long>(ls.responses_sent),

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 
@@ -22,6 +23,18 @@ class SchedulerClock {
   [[nodiscard]] virtual double now() = 0;
   /// Blocks the caller for `seconds` (a virtual clock advances instead).
   virtual void wait(double seconds) = 0;
+  /// Interruptible wait for dispatchers parked on `cv`: blocks for up to
+  /// `seconds` or until notified, whichever comes first. `lock` must be
+  /// held on entry and is released while blocked. A virtual clock
+  /// advances time and returns immediately — when the wait is
+  /// instantaneous there is nothing to interrupt.
+  virtual void wait_interruptible(std::condition_variable& cv,
+                                  std::unique_lock<std::mutex>& lock,
+                                  double seconds) {
+    if (seconds > 0.0) {
+      (void)cv.wait_for(lock, std::chrono::duration<double>(seconds));
+    }
+  }
 };
 
 /// Production clock: steady_clock reads, sleep_for waits.
@@ -53,6 +66,16 @@ class VirtualClock final : public SchedulerClock {
     return now_;
   }
   void wait(double seconds) override { advance(seconds); }
+  void wait_interruptible(std::condition_variable& /*cv*/,
+                          std::unique_lock<std::mutex>& lock,
+                          double seconds) override {
+    // Advancing is instantaneous, but release the caller's lock like a
+    // real wait would so peers (new arrivals, depth() readers) can make
+    // progress between dispatcher sweeps.
+    lock.unlock();
+    advance(seconds);
+    lock.lock();
+  }
   void advance(double seconds) {
     const std::lock_guard<std::mutex> lock{mu_};
     now_ += std::max(0.0, seconds);

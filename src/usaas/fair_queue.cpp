@@ -47,6 +47,10 @@ FairQueue::Outcome FairQueue::wait(double deadline,
   ++stats_.parked;
   stats_.depth = waiters_.size();
   stats_.max_depth = std::max(stats_.max_depth, stats_.depth);
+  // A dispatcher may be mid-nap on a bound computed before we arrived;
+  // kick it so the next sweep (and nap) includes our deadline — without
+  // this a nearer-deadline latecomer would wait out the whole stale nap.
+  if (dispatcher_active_) cv_.notify_all();
 
   while (self.state == Waiter::kWaiting) {
     if (!dispatcher_active_) {
@@ -83,15 +87,18 @@ void FairQueue::sweep_and_nap_locked(std::unique_lock<std::mutex>& lock,
   ++stats_.sweeps;
   const double now = clock_.now();
   double nap = kInf;
+  bool verdicts_landed = false;
   for (Waiter* w : waiters_) {  // EDF order: most urgent claims first
     if (w->state != Waiter::kWaiting) continue;
     const double need = (*w->try_acquire)(now);
     if (need <= 0.0) {
       w->state = Waiter::kAcquired;
+      verdicts_landed = true;
       continue;
     }
     if (need == kInf) {
       w->state = Waiter::kUnpayable;
+      verdicts_landed = true;
       continue;
     }
     // Can't pay now. Expire only when no accrual time remains: a waiter
@@ -100,6 +107,7 @@ void FairQueue::sweep_and_nap_locked(std::unique_lock<std::mutex>& lock,
     // boundary.
     if (now >= w->deadline) {
       w->state = Waiter::kDeadline;
+      verdicts_landed = true;
       continue;
     }
     nap = std::min({nap, need, w->deadline - now});
@@ -109,14 +117,18 @@ void FairQueue::sweep_and_nap_locked(std::unique_lock<std::mutex>& lock,
   // the caller loop exits without napping on behalf of others.
   if (self.state != Waiter::kWaiting) return;
 
+  // Someone else's verdict landed: release them before napping — their
+  // wakeup must not wait out a nap they no longer participate in.
+  if (verdicts_landed) cv_.notify_all();
+
   // `self` is still waiting and was neither expired nor unpayable, so
-  // nap <= min(own need, own slack) is finite. Nap outside the lock —
-  // under a VirtualClock this *advances* time instead of sleeping, and
-  // the dispatcher is the only thread that ever calls clock.wait(), so
-  // virtual tests stay deterministic.
-  lock.unlock();
-  clock_.wait(std::max(nap, kMinNapSeconds));
-  lock.lock();
+  // nap <= min(own need, own slack) is finite. Nap interruptibly: a new
+  // arrival notifies cv_, cutting the nap short so the next sweep
+  // re-derives the bound with the newcomer's deadline included. Under a
+  // VirtualClock the nap *advances* time instantly instead of sleeping,
+  // and the dispatcher is the only thread that ever advances the clock,
+  // so virtual tests stay deterministic.
+  clock_.wait_interruptible(cv_, lock, std::max(nap, kMinNapSeconds));
 }
 
 FairQueue::Stats FairQueue::stats() const {

@@ -25,13 +25,17 @@
 // tokens accrued, marks winners/expired/unpayable, then naps for
 // min over still-waiting waiters of (seconds needed, deadline slack) —
 // so it always wakes in time to either feed or expire the most urgent
-// waiter. Everyone else blocks on a condition variable with no timeout,
-// which keeps the design correct under core::VirtualClock: virtual time
-// only moves when *some* thread calls clock->wait(), and here that
-// thread is always the dispatcher, whose nap is exactly the next
-// interesting instant. A single uncontended waiter is its own
-// dispatcher, so deterministic single-threaded tests see the same exact
-// waits as PR 7's private-sleep loop.
+// waiter. The nap is interruptible: a newly arriving waiter notifies the
+// queue's condition variable, cutting the nap short so the next sweep
+// re-derives the bound with the newcomer's (possibly nearer) deadline
+// included — an urgent latecomer never waits out a stale nap. Everyone
+// else blocks on the same condition variable with no timeout, which
+// keeps the design correct under core::VirtualClock: virtual time only
+// moves when *some* thread advances the clock, and here that thread is
+// always the dispatcher, whose nap is exactly the next interesting
+// instant. A single uncontended waiter is its own dispatcher, so
+// deterministic single-threaded tests see the same exact waits as PR 7's
+// private-sleep loop.
 //
 // Lock ordering: FairQueue::mu_ is held while try_acquire runs, and the
 // scheduler's closure takes QueryScheduler::mu_ inside it. The safe

@@ -126,6 +126,69 @@ template <typename Enum>
   return false;
 }
 
+/// Escapes `"`, `\` and control bytes so client-controlled strings
+/// (tenant names, parser error text echoing the request) cannot break
+/// the JSON framing of a response body.
+[[nodiscard]] std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Decodes %xx escapes and '+' (the form spelling of space) in one
+/// query-string token. False (with a reason) on a malformed escape.
+[[nodiscard]] bool url_decode(std::string_view in, std::string& out,
+                              std::string& error) {
+  const auto hex = [](char h) -> int {
+    if (h >= '0' && h <= '9') return h - '0';
+    if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+    if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+    return -1;
+  };
+  out.clear();
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%') {
+      if (i + 2 >= in.size()) {
+        error = "truncated %-escape in: " + std::string{in};
+        return false;
+      }
+      const int hi = hex(in[i + 1]);
+      const int lo = hex(in[i + 2]);
+      if (hi < 0 || lo < 0) {
+        error = "bad %-escape in: " + std::string{in};
+        return false;
+      }
+      out += static_cast<char>(hi * 16 + lo);
+      i += 2;
+    } else {
+      out += c;
+    }
+  }
+  return true;
+}
+
 [[nodiscard]] std::string_view skip_ws(std::string_view s) {
   while (!s.empty() &&
          (s.front() == ' ' || s.front() == '\t' || s.front() == '\n' ||
@@ -175,7 +238,7 @@ constexpr const char* kStatusText(int status) {
     out += piece;
   };
   add("\"outcome\":\"" + std::string{to_string(result.outcome)} + "\"");
-  add("\"tenant\":\"" + tenant + "\"");
+  add("\"tenant\":\"" + json_escape(tenant) + "\"");
   const Insight& in = result.insight;
   std::snprintf(buf, sizeof buf,
                 "\"staleness\":%llu,\"corpus_version\":%llu,"
@@ -230,8 +293,16 @@ std::optional<WireRequest> parse_query_string(std::string_view qs,
       error = "missing '=' in: " + std::string{item};
       return std::nullopt;
     }
-    if (!apply_field(wr, item.substr(0, eq),
-                     std::string{item.substr(eq + 1)}, error)) {
+    // Standard clients URL-encode (tenant=a%20b, '+' for space): decode
+    // both halves so the GET spelling accepts the same strings as the
+    // JSON POST spelling.
+    std::string key;
+    std::string value;
+    if (!url_decode(item.substr(0, eq), key, error) ||
+        !url_decode(item.substr(eq + 1), value, error)) {
+      return std::nullopt;
+    }
+    if (!apply_field(wr, key, value, error)) {
       return std::nullopt;
     }
   }
@@ -401,7 +472,13 @@ bool HttpListener::stop(std::chrono::milliseconds timeout) {
   if (lfd >= 0) (void)::close(lfd);
   {
     const std::lock_guard<std::mutex> lock{mu_};
-    for (const int fd : pending_) ::close(fd);
+    // Clean shutdowns leave nothing here (workers drain before exiting,
+    // and the acceptor stops enqueueing once running_ is false); on an
+    // unclean one, count the leftovers so the ledger still reconciles.
+    for (const int fd : pending_) {
+      ::close(fd);
+      ++stats_.drained;
+    }
     pending_.clear();
     stats_.shutdown_seconds +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -432,15 +509,27 @@ void HttpListener::accept_loop() {
       continue;
     }
     bool saturated = false;
+    bool drained = false;
     {
       const std::lock_guard<std::mutex> lock{mu_};
       ++stats_.accepted;
-      if (pending_.size() >= config_.max_pending_connections) {
+      if (!running_.load(std::memory_order_acquire)) {
+        // stop() already flipped running_: the workers may have seen an
+        // empty queue and exited, so enqueueing now could strand the fd
+        // forever. Close it unanswered and account it as drained so the
+        // ledger still reconciles exactly.
+        ++stats_.drained;
+        drained = true;
+      } else if (pending_.size() >= config_.max_pending_connections) {
         ++stats_.saturated;
         saturated = true;
       } else {
         pending_.push_back(fd);
       }
+    }
+    if (drained) {
+      ::close(fd);
+      continue;
     }
     if (saturated) {
       // Inline 503: honest and cheap. Don't let a stalled peer wedge
@@ -507,7 +596,17 @@ bool HttpListener::read_request(int fd, std::string& raw) {
                      [](unsigned char c) { return std::tolower(c); });
       const std::size_t cl = lower.find("content-length:");
       if (cl != std::string::npos) {
-        body_len = std::strtoul(lower.c_str() + cl + 15, nullptr, 10);
+        const char* p = lower.c_str() + cl + 15;
+        while (*p == ' ' || *p == '\t') ++p;
+        // Digits only: strtoull would happily wrap "-1" to 2^64-1.
+        if (*p < '0' || *p > '9') return false;
+        errno = 0;
+        const unsigned long long v = std::strtoull(p, nullptr, 10);
+        // Bound the length BEFORE any arithmetic: with both terms below
+        // capped at max_request_bytes, `needed` cannot wrap, so a crafted
+        // huge Content-Length can never truncate the request buffer.
+        if (errno == ERANGE || v > config_.max_request_bytes) return false;
+        body_len = static_cast<std::size_t>(v);
       }
       needed = header_end + 4 + body_len;
       if (needed > config_.max_request_bytes) return false;
@@ -554,9 +653,14 @@ void HttpListener::handle_connection(int fd) {
     return;
   }
 
-  // Request line: METHOD SP TARGET SP VERSION.
+  // Request line: METHOD SP TARGET SP VERSION. read_request() only
+  // returns true once "\r\n\r\n" is buffered, but never build a view
+  // from npos — an empty line falls through to the 400 below.
   const std::size_t line_end = raw.find("\r\n");
-  const std::string_view line{raw.data(), line_end};
+  const std::string_view line =
+      line_end == std::string::npos
+          ? std::string_view{}
+          : std::string_view{raw.data(), line_end};
   const std::size_t sp1 = line.find(' ');
   const std::size_t sp2 =
       sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
@@ -593,8 +697,9 @@ void HttpListener::handle_connection(int fd) {
       }
       if (!wire) {
         status = 400;
-        response = build_response(400, "application/json",
-                                  "{\"error\":\"" + error + "\"}");
+        response = build_response(
+            400, "application/json",
+            "{\"error\":\"" + json_escape(error) + "\"}");
       } else {
         const double budget = wire->budget_seconds > 0.0
                                   ? wire->budget_seconds

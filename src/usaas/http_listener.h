@@ -105,6 +105,8 @@ struct HttpListenerStats {
   std::uint64_t accepted{0};        ///< accept() handed us a socket.
   std::uint64_t accept_failures{0}; ///< injected transient accept faults
   std::uint64_t saturated{0};       ///< queue full: inline 503, closed
+  std::uint64_t drained{0};         ///< landed during shutdown: closed
+                                    ///< unanswered, never reached a worker
   std::uint64_t handled{0};         ///< dequeued and processed by a worker
   std::uint64_t read_failures{0};   ///< timeout/EOF/oversize before a
                                     ///< full request (no response owed)
@@ -124,7 +126,7 @@ struct HttpListenerStats {
   /// one resolves to exactly one of read-failure / response / broken
   /// write. The chaos harness asserts this under fault storms.
   [[nodiscard]] bool reconciles() const {
-    return accepted == accept_failures + saturated + handled &&
+    return accepted == accept_failures + saturated + drained + handled &&
            handled == read_failures + responses_sent + write_failures &&
            responses_sent == status_200 + status_400 + status_404 +
                                  status_429 + status_504;

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <string>
 #include <thread>
@@ -176,6 +177,44 @@ TEST(FairQueue, ExpiringWaiterDoesNotStarveTheQueue) {
   EXPECT_EQ(stats.expired, 1u);
   EXPECT_EQ(stats.acquired_queued, 1u);
   EXPECT_EQ(stats.depth, 0u);
+}
+
+TEST(FairQueue, NewArrivalInterruptsADispatcherNap) {
+  // Real clock on purpose: the regression is that a SteadyClock
+  // dispatcher napping min(need, slack) could not be interrupted, so an
+  // immediately-payable latecomer sat out the whole stale nap. Waiter A
+  // would nap ~60 s at a time; every later arrival must cut that short.
+  core::SteadyClock clock;
+  FairQueue queue{clock};
+  std::atomic<bool> released{false};
+  const FairQueue::TryAcquire hopeless = [&](double) -> double {
+    return released.load(std::memory_order_acquire) ? kInf : 60.0;
+  };
+  const FairQueue::TryAcquire instant = [](double) { return 0.0; };
+  const double t0 = clock.now();
+  FairQueue::Outcome a_outcome{};
+  std::thread a{[&] { a_outcome = queue.wait(t0 + 240.0, hopeless); }};
+  while (queue.depth() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{1});
+  }
+  // Let A become the dispatcher and start its long nap.
+  std::this_thread::sleep_for(std::chrono::milliseconds{20});
+  // B arrives mid-nap and can pay instantly: it must be served by the
+  // interrupt-triggered re-sweep, not after A's nap expires.
+  const auto b_start = std::chrono::steady_clock::now();
+  EXPECT_EQ(queue.wait(t0 + 480.0, instant), FairQueue::Outcome::kAcquired);
+  const double b_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    b_start)
+          .count();
+  EXPECT_LT(b_seconds, 5.0);  // a lost interrupt means ~60 s here
+  // Release A (now unpayable) and interrupt the fresh nap with a third
+  // arrival so A observes the verdict promptly instead of 60 s later.
+  released.store(true, std::memory_order_release);
+  EXPECT_EQ(queue.wait(t0 + 480.0, instant), FairQueue::Outcome::kAcquired);
+  a.join();
+  EXPECT_EQ(a_outcome, FairQueue::Outcome::kUnpayable);
+  EXPECT_EQ(queue.stats().depth, 0u);
 }
 
 }  // namespace

@@ -146,6 +146,27 @@ TEST(WireForm, MalformedInputsAreRejectedWithAReason) {
   EXPECT_TRUE(parse_json_body("{}", error).has_value());  // empty = defaults
 }
 
+TEST(WireForm, QueryStringValuesArePercentDecoded) {
+  std::string error;
+  // A standard client URL-encodes: %20 and '+' both mean space, and the
+  // date separator survives a gratuitous %2D encoding.
+  const auto wr = parse_query_string(
+      "tenant=team%20alpha&first=2022%2d01%2D01&last=2022-01-31", error);
+  ASSERT_TRUE(wr.has_value()) << error;
+  EXPECT_EQ(wr->tenant, "team alpha");
+  EXPECT_EQ(wr->query.first, Date(2022, 1, 1));
+  const auto plus = parse_query_string("tenant=a+b&first=2022-01-01"
+                                       "&last=2022-01-31",
+                                       error);
+  ASSERT_TRUE(plus.has_value()) << error;
+  EXPECT_EQ(plus->tenant, "a b");
+  // Malformed escapes are a reasoned 400, not literal bytes.
+  EXPECT_FALSE(parse_query_string("tenant=a%zz", error));
+  EXPECT_NE(error.find("bad %-escape"), std::string::npos);
+  EXPECT_FALSE(parse_query_string("tenant=a%2", error));
+  EXPECT_NE(error.find("truncated %-escape"), std::string::npos);
+}
+
 TEST(FaultInjectorEnv, SocketSpecParsesFromTheEnvironment) {
   ::setenv("USAAS_FAULT_SOCKET",
            "accept_fail=0.5,slow_read=0.25,slow_read_ms=123,partial=0.1,"
@@ -296,6 +317,63 @@ TEST(HttpListener, MapsRoutesAndBadInputsToStatusCodes) {
   EXPECT_TRUE(fe.listener.stats().reconciles());
 }
 
+TEST(HttpListener, HugeOrNegativeContentLengthIsARejectedReadNotAWrap) {
+  HttpListenerConfig lcfg;
+  lcfg.read_timeout = std::chrono::milliseconds{250};
+  Frontend fe{{}, lcfg};
+  ASSERT_TRUE(fe.listener.start());
+  const std::uint16_t port = fe.listener.port();
+
+  // A Content-Length crafted so that header_end + 4 + body_len wraps to
+  // a small value used to truncate the buffer and build a SIZE_MAX view.
+  // Now any length beyond max_request_bytes is rejected before any
+  // arithmetic: the server drops the connection without a response.
+  const auto attack = [&](const std::string& content_length) {
+    const std::string raw = "POST /query HTTP/1.1\r\nHost: t\r\n"
+                            "Content-Length: " + content_length +
+                            "\r\n\r\n{}";
+    return http_exchange(port, raw);
+  };
+  EXPECT_TRUE(attack("18446744073709551578").empty());  // ~2^64 - 38: wraps
+  EXPECT_TRUE(attack("18446744073709551615").empty());  // 2^64 - 1
+  EXPECT_TRUE(attack("99999999999999999999999").empty());  // > 2^64: ERANGE
+  EXPECT_TRUE(attack("-1").empty());                    // strtoull would wrap
+  EXPECT_TRUE(attack("1000000").empty());               // > max_request_bytes
+  // Sanity: an honest request still round-trips on the same server.
+  EXPECT_EQ(status_of(http_exchange(
+                port, post_request("/query", std::string{kJsonBody}))),
+            200);
+
+  EXPECT_TRUE(fe.listener.stop());
+  const HttpListenerStats stats = fe.listener.stats();
+  EXPECT_EQ(stats.read_failures, 5u);
+  EXPECT_TRUE(stats.reconciles());
+}
+
+TEST(HttpListener, ClientControlledStringsAreJsonEscapedInResponses) {
+  Frontend fe;
+  ASSERT_TRUE(fe.listener.start());
+  const std::uint16_t port = fe.listener.port();
+
+  // A tenant with an embedded quote (sent percent-encoded) must come
+  // back escaped, keeping the response body valid JSON.
+  const std::string ok = http_exchange(
+      port, get_request("/query?tenant=a%22b&first=2022-01-01"
+                        "&last=2022-03-31&bins=4"));
+  EXPECT_EQ(status_of(ok), 200) << ok;
+  EXPECT_NE(ok.find("\"tenant\":\"a\\\"b\""), std::string::npos) << ok;
+
+  // Parser error text echoes the request: the quote inside the unknown
+  // key ("oo\"ps") must be escaped in the error body.
+  const std::string bad =
+      http_exchange(port, get_request("/query?oo%22ps=1"));
+  EXPECT_EQ(status_of(bad), 400) << bad;
+  EXPECT_NE(bad.find("unknown key: oo\\\"ps"), std::string::npos) << bad;
+
+  EXPECT_TRUE(fe.listener.stop());
+  EXPECT_TRUE(fe.listener.stats().reconciles());
+}
+
 TEST(HttpListener, ShedsWith429AndRetryAfterWhenSaturated) {
   SchedulerConfig scfg;
   scfg.default_qos = {0.5, 1.0};  // one token, trickling refill
@@ -432,6 +510,7 @@ TEST(HttpListenerChaos, FaultStormReconcilesExactlyAndShutsDownCleanly) {
   EXPECT_TRUE(ls.reconciles())
       << "accepted=" << ls.accepted << " accept_failures="
       << ls.accept_failures << " saturated=" << ls.saturated
+      << " drained=" << ls.drained
       << " handled=" << ls.handled << " read_failures=" << ls.read_failures
       << " responses=" << ls.responses_sent
       << " write_failures=" << ls.write_failures;
