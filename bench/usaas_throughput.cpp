@@ -34,6 +34,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <span>
 #include <string>
 #include <vector>
@@ -739,6 +740,39 @@ int main() {
     return 0;
   }
 
+  // Scan-only guard mode (USAAS_BENCH_SCAN_ONLY=1): skip the posts corpus
+  // and every ingest-comparison column; ingest the session corpus once
+  // into the 1t scan config (insight cache and shard summaries off, so
+  // every query exercises the columnar scan kernels), run the operator
+  // battery, minimum over 3 reps, and print one parseable line.
+  // scripts/check.sh diffs this against the queries_per_sec recorded under
+  // "sharded_1t" in BENCH_usaas_throughput.json and fails on a >10% drop.
+  if (const char* only = std::getenv("USAAS_BENCH_SCAN_ONLY");
+      only != nullptr && *only == '1') {
+    const auto calls = synth_calls(target_sessions, 20220101);
+    service::QueryServiceConfig cfg;
+    cfg.sharding = service::ShardingPolicy::kMonthPlatform;
+    cfg.threads = 1;
+    cfg.insight_cache_entries = 0;
+    cfg.shard_summaries = false;
+    service::QueryService svc{cfg};
+    svc.ingest_calls(calls);
+    svc.train_predictor();
+    const auto queries = battery();
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t checksum = 0;  // defeats dead-code elimination
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t = Clock::now();
+      for (const auto& q : queries) checksum += svc.run(q).sessions;
+      best = std::min(best, seconds_since(t));
+    }
+    std::printf("SCAN_ONLY sharded_1t queries=%zu battery_seconds=%.6f "
+                "queries_per_sec=%.2f checksum=%zu\n",
+                queries.size(), best,
+                static_cast<double>(queries.size()) / best, checksum);
+    return 0;
+  }
+
   // Front-end guard mode (USAAS_BENCH_FRONTEND_ONLY=1): skip the
   // million-session corpus and run a scaled-down open-loop admission run,
   // printing one parseable line. The exit code enforces the scheduler's
@@ -1008,6 +1042,158 @@ int main() {
               "legacy path: %.1fx%s\n", speedup,
               hw < 8 ? "  (algorithmic only: fewer than 8 cores)" : "");
 
+  // ---- Scan kernels: row-wise reference vs columnar two-phase, 1t -----
+  // Same month x platform shards, same pruning, same per-record predicate
+  // order, same key-order merge; the row path walks whole
+  // ParticipantRecords (~184 B/row) while the columnar path touches only
+  // the columns each sweep names. Results must be bit-identical — a
+  // mismatch exits non-zero, it is not a statistic.
+  QueryResult scan_row;
+  QueryResult scan_col;
+  std::size_t scan_sweeps = 0;
+  {
+    struct RowShardRef {
+      std::vector<core::Date> dates;
+      std::vector<confsim::ParticipantRecord> records;
+    };
+    std::map<int, RowShardRef> row_shards;
+    for (const auto& call : calls) {
+      for (const auto& p : call.participants) {
+        RowShardRef& s =
+            row_shards[core::month_key(call.start.date) *
+                           confsim::kNumPlatforms +
+                       static_cast<int>(p.platform)];
+        s.dates.push_back(call.start.date);
+        s.records.push_back(p);
+      }
+    }
+    service::CorrelationEngine columnar{
+        service::ShardingPolicy::kMonthPlatform};
+    columnar.ingest(std::span{calls});
+
+    // The battery's sweep shapes, exactly as QueryService::run builds
+    // them: structural selector, control filter off, query bin count.
+    std::vector<std::pair<service::SweepSpec, service::ShardSelector>> sweeps;
+    for (const auto& q : queries) {
+      service::SweepSpec spec;
+      spec.metric = q.metric;
+      spec.lo = q.metric_lo;
+      spec.hi = q.metric_hi;
+      spec.bins = q.bins;
+      spec.control_others = false;
+      sweeps.emplace_back(spec, service::ShardSelector{q.first, q.last,
+                                                       q.platform, q.access});
+    }
+    constexpr service::EngagementMetric kEng[] = {
+        service::EngagementMetric::kPresence,
+        service::EngagementMetric::kCamOn,
+        service::EngagementMetric::kMicOn};
+    scan_sweeps = sweeps.size() * std::size(kEng);
+
+    const auto row_sweep = [&](const service::SweepSpec& spec,
+                               const service::ShardSelector& sel,
+                               service::EngagementMetric eng) {
+      core::Binner1D total{spec.lo, spec.hi, spec.bins};
+      for (const auto& [key, shard] : row_shards) {
+        const int mk = key / confsim::kNumPlatforms;
+        const auto platform =
+            static_cast<confsim::Platform>(key % confsim::kNumPlatforms);
+        if (sel.platform && platform != *sel.platform) continue;
+        if (sel.first && mk < core::month_key(*sel.first)) continue;
+        if (sel.last && mk > core::month_key(*sel.last)) continue;
+        const bool first_cuts = sel.first &&
+                                core::month_key(*sel.first) == mk &&
+                                sel.first->day() > 1;
+        const bool last_cuts =
+            sel.last && core::month_key(*sel.last) == mk &&
+            sel.last->day() < core::Date::days_in_month(sel.last->year(),
+                                                        sel.last->month());
+        const bool check_dates = first_cuts || last_cuts;
+        core::Binner1D partial{spec.lo, spec.hi, spec.bins};
+        for (std::size_t r = 0; r < shard.records.size(); ++r) {
+          const confsim::ParticipantRecord& rec = shard.records[r];
+          if (check_dates) {
+            if (sel.first && shard.dates[r] < *sel.first) continue;
+            if (sel.last && *sel.last < shard.dates[r]) continue;
+          }
+          if (sel.access && rec.access != *sel.access) continue;
+          partial.add(
+              netsim::metric_value(rec.network.mean_conditions(), spec.metric),
+              service::engagement_value(rec, eng));
+        }
+        total.merge(partial);
+      }
+      return total;
+    };
+
+    // Equivalence guard before any timing: every battery sweep, both
+    // paths, compared with ==, not a tolerance.
+    for (const auto& [spec, sel] : sweeps) {
+      for (const service::EngagementMetric eng : kEng) {
+        const auto col = columnar.engagement_curve(spec, eng, nullptr, sel);
+        const auto row = row_sweep(spec, sel, eng).bins();
+        if (row.size() != col.points.size()) {
+          std::fprintf(stderr, "FATAL: scan equivalence: %zu row bins vs "
+                               "%zu columnar points\n",
+                       row.size(), col.points.size());
+          return 1;
+        }
+        for (std::size_t i = 0; i < row.size(); ++i) {
+          if (row[i].center() != col.points[i].metric_value ||
+              row[i].mean_y != col.points[i].engagement ||
+              row[i].count != col.points[i].sessions) {
+            std::fprintf(stderr, "FATAL: scan equivalence: bin %zu differs "
+                                 "(row %.17g/%zu vs columnar %.17g/%zu)\n",
+                         i, row[i].mean_y, row[i].count,
+                         col.points[i].engagement, col.points[i].sessions);
+            return 1;
+          }
+        }
+      }
+    }
+    std::printf("\nscan equivalence: %zu battery sweeps bit-identical "
+                "(row reference vs columnar kernels)\n", scan_sweeps);
+
+    const auto time_sweeps = [&](int reps, auto&& run) {
+      QueryResult r;
+      const auto t = Clock::now();
+      for (int rep = 0; rep < reps; ++rep) r.checksum += run();
+      r.battery_seconds = seconds_since(t) / reps;
+      r.queries_per_sec =
+          static_cast<double>(scan_sweeps) / r.battery_seconds;
+      return r;
+    };
+    scan_row = time_sweeps(2, [&] {
+      std::size_t acc = 0;
+      for (const auto& [spec, sel] : sweeps) {
+        for (const service::EngagementMetric eng : kEng) {
+          acc += row_sweep(spec, sel, eng).total_added();
+        }
+      }
+      return acc;
+    });
+    scan_col = time_sweeps(3, [&] {
+      std::size_t acc = 0;
+      for (const auto& [spec, sel] : sweeps) {
+        for (const service::EngagementMetric eng : kEng) {
+          for (const auto& p :
+               columnar.engagement_curve(spec, eng, nullptr, sel).points) {
+            acc += p.sessions;
+          }
+        }
+      }
+      return acc;
+    });
+    std::printf("scan    row      1t: %8.4f s/battery  (%6.1f sweeps/s)\n",
+                scan_row.battery_seconds, scan_row.queries_per_sec);
+    std::printf("scan    columnar 1t: %8.4f s/battery  (%6.1f sweeps/s)\n",
+                scan_col.battery_seconds, scan_col.queries_per_sec);
+    std::printf("scan    columnar kernels vs row scan, 1t: %.2fx\n",
+                scan_row.battery_seconds / scan_col.battery_seconds);
+  }
+  const double scan_kernel_speedup =
+      scan_row.battery_seconds / scan_col.battery_seconds;
+
   // ---- The two-tier query path (default config) ----------------------
   // Tier 2 first: a *cold* battery on a summary-enabled service merges
   // O(shards) precomputed accumulators per query instead of rescanning
@@ -1150,7 +1336,9 @@ int main() {
   // as a large *percentage* of a microsecond summary-merge hit. Each
   // column is the minimum over kTelemetryReps runs — on a busy
   // single-core host the minimum is the closest observable to the true
-  // cost.
+  // cost — and the sides alternate within each rep so slow host drift
+  // (frequency steps, page-cache churn) lands on both columns instead of
+  // masquerading as telemetry overhead.
   std::printf("\n== telemetry overhead (enabled vs USAAS_TELEMETRY=off) "
               "==\n");
   struct TelemetryColumn {
@@ -1160,27 +1348,27 @@ int main() {
   constexpr int kTelemetryReps = 3;
   core::telemetry::Registry reg_enabled{true};
   core::telemetry::Registry reg_disabled{false};
-  const auto measure_telemetry = [&](core::telemetry::Registry* reg) {
-    TelemetryColumn col;
-    for (int rep = 0; rep < kTelemetryReps; ++rep) {
-      service::QueryServiceConfig cfg = scan_config(1);
-      cfg.telemetry = reg;
-      service::QueryService svc{cfg};
-      auto t = Clock::now();
-      svc.ingest_calls(calls);
-      svc.ingest_posts(posts);
-      col.ingest_seconds = std::min(col.ingest_seconds, seconds_since(t));
-      svc.train_predictor();
-      t = Clock::now();
-      std::size_t acc = 0;
-      for (const auto& q : queries) acc += svc.run(q).sessions;
-      col.battery_seconds = std::min(col.battery_seconds, seconds_since(t));
-      if (acc == 0) std::printf("(empty battery)\n");  // keep acc live
-    }
-    return col;
+  const auto telemetry_rep = [&](core::telemetry::Registry* reg,
+                                 TelemetryColumn& col) {
+    service::QueryServiceConfig cfg = scan_config(1);
+    cfg.telemetry = reg;
+    service::QueryService svc{cfg};
+    auto t = Clock::now();
+    svc.ingest_calls(calls);
+    svc.ingest_posts(posts);
+    col.ingest_seconds = std::min(col.ingest_seconds, seconds_since(t));
+    svc.train_predictor();
+    t = Clock::now();
+    std::size_t acc = 0;
+    for (const auto& q : queries) acc += svc.run(q).sessions;
+    col.battery_seconds = std::min(col.battery_seconds, seconds_since(t));
+    if (acc == 0) std::printf("(empty battery)\n");  // keep acc live
   };
-  const TelemetryColumn tel_on = measure_telemetry(&reg_enabled);
-  const TelemetryColumn tel_off = measure_telemetry(&reg_disabled);
+  TelemetryColumn tel_on, tel_off;
+  for (int rep = 0; rep < kTelemetryReps; ++rep) {
+    telemetry_rep(&reg_enabled, tel_on);
+    telemetry_rep(&reg_disabled, tel_off);
+  }
   const auto overhead_pct = [](double on, double off) {
     return off > 0.0 ? (on - off) / off * 100.0 : 0.0;
   };
@@ -1330,6 +1518,16 @@ int main() {
          << (i + 1 < thread_counts.size() ? "," : "") << "\n";
   }
   json << "  },\n"
+       << "  \"scan_kernels_1t\": {\n"
+       << "    \"sweeps\": " << scan_sweeps << ",\n"
+       << "    \"row\": {\"battery_seconds\": " << scan_row.battery_seconds
+       << ", \"sweeps_per_sec\": " << scan_row.queries_per_sec << "},\n"
+       << "    \"columnar\": {\"battery_seconds\": "
+       << scan_col.battery_seconds << ", \"sweeps_per_sec\": "
+       << scan_col.queries_per_sec << "},\n"
+       << "    \"speedup\": " << scan_kernel_speedup << ",\n"
+       << "    \"bit_identical\": true\n"
+       << "  },\n"
        << "  \"query_speedup_sharded_8t_config_vs_legacy\": " << speedup
        << ",\n"
        << "  \"query_speedup_summary_cold_vs_sharded\": " << cold_speedup

@@ -17,6 +17,10 @@ void DenseKeyCounts::add(int key, std::size_t n) {
   counts_[static_cast<std::size_t>(key - base_)] += n;
 }
 
+void DenseKeyCounts::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+}
+
 std::size_t DenseKeyCounts::count(int key) const {
   if (counts_.empty() || key < base_ ||
       key >= base_ + static_cast<int>(counts_.size())) {

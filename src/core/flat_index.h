@@ -27,6 +27,11 @@ class DenseKeyCounts {
  public:
   void add(int key, std::size_t n = 1);
 
+  /// Zeroes every count while keeping the key range and its allocation —
+  /// per-batch scratch reuse without reallocating the flat array. Stale
+  /// range is harmless: zero-count keys produce no scatter work.
+  void clear();
+
   /// Count for `key`; 0 for keys never added (including out of range).
   [[nodiscard]] std::size_t count(int key) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <utility>
@@ -23,10 +24,201 @@ using core::month_key;
   return std::chrono::duration<double>(b - a).count();
 }
 
-netsim::NetworkConditions aggregate_conditions(
-    const confsim::ParticipantRecord& rec, SessionAggregate agg) {
-  return agg == SessionAggregate::kP95 ? rec.network.p95_conditions()
-                                       : rec.network.mean_conditions();
+// ---------------------------------------------------------------------------
+// Two-phase columnar scan kernels.
+//
+// Phase 1 (selection) compiles the residual predicates shard pruning could
+// not discharge — date window, platform, access — into branchless compares
+// over the day-key / platform / access columns and emits the matching row
+// indices. Optional refines preserve the row scan's predicate order: the
+// opaque ParticipantFilter runs on materialized rows *after* the structural
+// predicates and *before* the confounder control check, exactly as
+// record_matches -> filter -> others_in_control used to.
+//
+// Phase 2 (aggregation) is a tight add-only loop over the selected indices
+// touching just the columns the query names. Because the selected row set,
+// its order, and every value fed to Binner1D/Grid2D/sum are identical to
+// the row scan's, results are bit-identical, not merely close.
+// ---------------------------------------------------------------------------
+
+constexpr std::int32_t kDayMin = std::numeric_limits<std::int32_t>::min();
+constexpr std::int32_t kDayMax = std::numeric_limits<std::int32_t>::max();
+
+/// Residual per-row predicates, wildcarded so the selection loop runs all
+/// four compares unconditionally: an unchecked bound widens to +-inf and an
+/// unchecked equality OR-s with its `*_any` flag.
+struct Residual {
+  std::int32_t day_lo{kDayMin};
+  std::int32_t day_hi{kDayMax};
+  std::uint8_t platform{0};
+  std::uint8_t platform_any{1};
+  std::uint8_t access{0};
+  std::uint8_t access_any{1};
+
+  [[nodiscard]] bool none() const {
+    return day_lo == kDayMin && day_hi == kDayMax && platform_any != 0 &&
+           access_any != 0;
+  }
+};
+
+[[nodiscard]] Residual make_residual(bool check_dates, bool check_platform,
+                                     const ShardSelector& selector) {
+  Residual p;
+  if (check_dates) {
+    // pack_day_key preserves Date ordering, so the inclusive window check
+    // becomes two integer compares.
+    if (selector.first) p.day_lo = SessionColumns::pack_day_key(*selector.first);
+    if (selector.last) p.day_hi = SessionColumns::pack_day_key(*selector.last);
+  }
+  if (check_platform) {
+    p.platform = static_cast<std::uint8_t>(*selector.platform);
+    p.platform_any = 0;
+  }
+  if (selector.access) {
+    p.access = static_cast<std::uint8_t>(*selector.access);
+    p.access_any = 0;
+  }
+  return p;
+}
+
+/// The selected row set a scan aggregates over. idx == nullptr means the
+/// identity [0, n) — no residual predicate survived, no index vector is
+/// materialized, and the aggregation loop runs dense.
+struct ScanSet {
+  const std::uint32_t* idx{nullptr};
+  std::size_t n{0};
+};
+
+/// Phase-1 structural selection: branchless compare-and-append over the
+/// filter columns only.
+[[nodiscard]] ScanSet select_structural(const SessionColumns& cols,
+                                        const Residual& p,
+                                        std::vector<std::uint32_t>& scratch) {
+  const std::size_t n = cols.size();
+  scratch.resize(n);
+  const std::int32_t* day = cols.day_key.data();
+  const std::uint8_t* plat = cols.platform.data();
+  const std::uint8_t* acc = cols.access.data();
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned keep =
+        static_cast<unsigned>(day[i] >= p.day_lo) &
+        static_cast<unsigned>(day[i] <= p.day_hi) &
+        (static_cast<unsigned>(plat[i] == p.platform) | p.platform_any) &
+        (static_cast<unsigned>(acc[i] == p.access) | p.access_any);
+    scratch[m] = static_cast<std::uint32_t>(i);
+    m += keep;
+  }
+  scratch.resize(m);
+  return {scratch.data(), m};
+}
+
+/// Compacts `in` down to the rows where `keep(row)` holds. `in.idx` may
+/// alias `scratch.data()` (the write cursor never passes the read cursor);
+/// an identity input materializes into `scratch`.
+template <typename Keep>
+[[nodiscard]] ScanSet refine(ScanSet in, std::vector<std::uint32_t>& scratch,
+                             Keep&& keep) {
+  std::size_t m = 0;
+  if (in.idx == nullptr) {
+    scratch.resize(in.n);
+    for (std::size_t i = 0; i < in.n; ++i) {
+      scratch[m] = static_cast<std::uint32_t>(i);
+      m += static_cast<std::size_t>(keep(i) ? 1 : 0);
+    }
+  } else {
+    for (std::size_t j = 0; j < in.n; ++j) {
+      const std::uint32_t r = in.idx[j];
+      scratch[m] = r;
+      m += static_cast<std::size_t>(keep(r) ? 1 : 0);
+    }
+  }
+  scratch.resize(m);
+  return {scratch.data(), m};
+}
+
+/// The three non-swept metric columns + their control windows, resolved
+/// once per shard so the confounder refine is three compare pairs per row.
+struct ControlColumns {
+  const double* col[3] = {nullptr, nullptr, nullptr};
+  double lo[3] = {0.0, 0.0, 0.0};
+  double hi[3] = {0.0, 0.0, 0.0};
+};
+
+[[nodiscard]] ControlColumns make_control_columns(
+    const SessionColumns& cols, netsim::Metric swept,
+    const netsim::ControlWindows& w, SessionAggregate agg) {
+  const double los[4] = {w.latency_lo_ms, w.loss_lo_pct, w.jitter_lo_ms,
+                         w.bandwidth_lo_mbps};
+  const double his[4] = {w.latency_hi_ms, w.loss_hi_pct, w.jitter_hi_ms,
+                         w.bandwidth_hi_mbps};
+  ControlColumns out;
+  std::size_t j = 0;
+  for (int m = 0; m < 4; ++m) {
+    if (m == static_cast<int>(swept)) continue;
+    const auto metric = static_cast<netsim::Metric>(m);
+    out.col[j] = agg == SessionAggregate::kP95 ? cols.tail_column(metric)
+                                               : cols.mean_column(metric);
+    out.lo[j] = los[m];
+    out.hi[j] = his[m];
+    ++j;
+  }
+  return out;
+}
+
+/// Resolves the swept-metric value column for the requested aggregate —
+/// the array netsim::metric_value(aggregate_conditions(rec), m) reads
+/// row-wise (the tail column mirrors p95_conditions verbatim, including
+/// bandwidth's low-tail P5 slot).
+[[nodiscard]] const double* sweep_column(const SessionColumns& cols,
+                                         netsim::Metric metric,
+                                         SessionAggregate agg) {
+  return agg == SessionAggregate::kP95 ? cols.tail_column(metric)
+                                       : cols.mean_column(metric);
+}
+
+/// Runs selection + the optional filter/control refines for one shard:
+/// the shared phase-1 front half of every sweep-shaped scan.
+[[nodiscard]] ScanSet select_sweep_rows(const SessionColumns& cols,
+                                        const Residual& res,
+                                        const ParticipantFilter& filter,
+                                        const SweepSpec& spec,
+                                        std::vector<std::uint32_t>& scratch) {
+  ScanSet set{nullptr, cols.size()};
+  if (!res.none()) set = select_structural(cols, res, scratch);
+  if (filter) {
+    // Materialize rows for the opaque predicate — same call set, same
+    // order as the row scan (which also ran it after record_matches).
+    set = refine(set, scratch,
+                 [&](std::size_t r) { return filter(cols.record(r)); });
+  }
+  if (spec.control_others) {
+    const ControlColumns cc =
+        make_control_columns(cols, spec.metric, spec.control, spec.aggregate);
+    set = refine(set, scratch, [&](std::size_t r) {
+      unsigned ok = 1;
+      for (std::size_t j = 0; j < 3; ++j) {
+        ok &= static_cast<unsigned>(cc.col[j][r] >= cc.lo[j]) &
+              static_cast<unsigned>(cc.col[j][r] <= cc.hi[j]);
+      }
+      return ok != 0;
+    });
+  }
+  return set;
+}
+
+/// Phase-2 sweep aggregation: add-only loop over the selected rows,
+/// touching exactly two columns.
+void accumulate_sweep(core::Binner1D& binner, const double* x, const double* y,
+                      ScanSet set) {
+  if (set.idx == nullptr) {
+    for (std::size_t i = 0; i < set.n; ++i) binner.add(x[i], y[i]);
+    return;
+  }
+  for (std::size_t j = 0; j < set.n; ++j) {
+    const std::uint32_t r = set.idx[j];
+    binner.add(x[r], y[r]);
+  }
 }
 
 }  // namespace
@@ -95,8 +287,7 @@ CorrelationEngine::SessionShard& CorrelationEngine::shard_for(
 
 void CorrelationEngine::append(SessionShard& shard, const core::Date& date,
                                const confsim::ParticipantRecord& rec) {
-  shard.dates.push_back(date);
-  shard.records.push_back(rec);
+  shard.columns.append(date, rec);
   shard.summary.fold(rec);
 }
 
@@ -107,8 +298,7 @@ void CorrelationEngine::ingest(const confsim::CallRecord& call) {
   }
   ingest_stats_.records += call.participants.size();
   ingest_stats_.bytes_moved +=
-      call.participants.size() *
-      (sizeof(confsim::ParticipantRecord) + sizeof(core::Date));
+      call.participants.size() * SessionColumns::bytes_per_row();
 }
 
 void CorrelationEngine::ingest(std::span<const confsim::CallRecord> calls) {
@@ -125,8 +315,9 @@ void CorrelationEngine::ingest(std::span<const confsim::CallRecord> calls) {
   // then run inline with a single chunk) and floored by a grain so chunks
   // stay large enough to amortize their counting structures.
   constexpr std::size_t kGrainCalls = 64;
+  const std::size_t parallelism = core::effective_parallelism(pool_);
   const std::size_t chunks =
-      std::min({calls.size(), core::effective_parallelism(pool_) * 4,
+      std::min({calls.size(), parallelism * 4,
                 std::max<std::size_t>(1, calls.size() / kGrainCalls)});
   const auto chunk_begin = [&](std::size_t c) {
     return c * calls.size() / chunks;
@@ -134,7 +325,10 @@ void CorrelationEngine::ingest(std::span<const confsim::CallRecord> calls) {
 
   // ---- Pass 1: per-chunk x per-shard-key record counts, in parallel,
   // over a flat dense key index (no node-based map in the inner loop).
-  std::vector<core::DenseKeyCounts> counts(chunks);
+  // The count arrays persist across batches; clear() keeps their range.
+  scratch_.counts.resize(chunks);
+  for (core::DenseKeyCounts& c : scratch_.counts) c.clear();
+  std::vector<core::DenseKeyCounts>& counts = scratch_.counts;
   core::parallel_for(pool_, chunks, [&](std::size_t cb, std::size_t ce) {
     for (std::size_t c = cb; c < ce; ++c) {
       core::DenseKeyCounts& local = counts[c];
@@ -148,8 +342,10 @@ void CorrelationEngine::ingest(std::span<const confsim::CallRecord> calls) {
   });
   const auto t1 = std::chrono::steady_clock::now();
 
-  // ---- Prefix-sum the counts into a scatter plan and pre-reserve every
-  // destination shard's contiguous slice for this batch.
+  // ---- Prefix-sum the counts into a scatter plan, pre-size every
+  // destination shard's columns for this batch (resize_uninit: no memset,
+  // the scatter writes every new slot exactly once), and lay out the
+  // batch-wide permutation space: key-major, slot order inside each key.
   const core::ScatterPlan plan = core::build_scatter_plan(counts);
   IngestStats batch;
   batch.batches = 1;
@@ -160,70 +356,169 @@ void CorrelationEngine::ingest(std::span<const confsim::CallRecord> calls) {
     return;
   }
   // Create shards first (growing shards_ may move SessionShard objects),
-  // then size them and capture stable slice pointers into their buffers.
+  // then size them and capture stable pointers.
   for (std::size_t k = 0; k < plan.num_keys; ++k) {
     if (plan.totals[k] > 0) shard_for_key(plan.min_key + static_cast<int>(k));
   }
   struct Slice {
-    confsim::ParticipantRecord* records{nullptr};
-    core::Date* dates{nullptr};
     SessionShard* shard{nullptr};  // stable: shards_ stops growing above
+    std::size_t base{0};           // first new row in the shard's columns
   };
   std::vector<Slice> slices(plan.num_keys);
+  scratch_.batch_offsets.assign(plan.num_keys, 0);
+  std::size_t batch_rows = 0;
   for (std::size_t k = 0; k < plan.num_keys; ++k) {
+    scratch_.batch_offsets[k] = batch_rows;
     if (plan.totals[k] == 0) continue;
     SessionShard& shard = shard_for_key(plan.min_key + static_cast<int>(k));
-    const std::size_t base = shard.records.size();
-    shard.records.resize(base + plan.totals[k]);
-    shard.dates.resize(base + plan.totals[k]);
-    slices[k] = {shard.records.data() + base, shard.dates.data() + base,
-                 &shard};
-    batch.records += plan.totals[k];
+    slices[k] = {&shard, shard.columns.size()};
+    shard.columns.resize_uninit(slices[k].base + plan.totals[k]);
+    batch_rows += plan.totals[k];
     ++batch.shards_touched;
   }
+  batch.records = batch_rows;
+  const std::vector<std::size_t>& batch_offsets = scratch_.batch_offsets;
+  scratch_.perm.resize_uninit(batch_rows);
+  SourceSlot* perm = scratch_.perm.data();
   const auto t2 = std::chrono::steady_clock::now();
 
-  // ---- Pass 2: copy each record into its final slot, in parallel. A
+  // ---- Pass 2a: build the permutation, in parallel over chunks. A
   // chunk's cursor row starts at the prefix-sum offsets, so slot order is
   // (chunk index, in-chunk order) == sequential ingest order, and chunks
-  // write disjoint slot ranges (no synchronization, no merge step).
+  // write disjoint slots (no synchronization, no merge step).
   core::parallel_for(pool_, chunks, [&](std::size_t cb, std::size_t ce) {
     for (std::size_t c = cb; c < ce; ++c) {
       std::vector<std::size_t> cursor = plan.chunk_cursor(c);
       for (std::size_t i = chunk_begin(c); i < chunk_begin(c + 1); ++i) {
         const core::Date date = calls[i].start.date;
+        const std::int32_t day = SessionColumns::pack_day_key(date);
         for (const auto& p : calls[i].participants) {
           const auto k = static_cast<std::size_t>(
               packed_key(date, p.platform) - plan.min_key);
-          const std::size_t slot = cursor[k]++;
-          slices[k].records[slot] = p;
-          slices[k].dates[slot] = date;
+          perm[batch_offsets[k] + cursor[k]++] = {&p, day};
+        }
+      }
+    }
+  });
+
+  // ---- Pass 2b: destination-major scatter. Tasks are contiguous slot
+  // sub-ranges within one shard's slice (hot shards split across
+  // workers), so every column write is sequential per task and tasks
+  // touch disjoint rows. Writing all ~25 columns per slot would cycle
+  // through 25 interleaved store streams — more than the store buffers
+  // can combine — so the scatter runs in small blocks with a handful of
+  // fused per-column passes: each pass writes <= 6 sequential streams,
+  // and the block's source records (pulled into cache by the first pass,
+  // prefetched a few slots ahead) are re-read from L1/L2 by the rest.
+  const std::vector<core::ShardRange> tasks =
+      core::plan_shard_ranges(plan.totals, parallelism, /*min_grain=*/4096);
+  core::parallel_for(pool_, tasks.size(), [&](std::size_t tb, std::size_t te) {
+    constexpr std::size_t kBlock = 256;  // ~47 KB of records per block
+    for (std::size_t t = tb; t < te; ++t) {
+      const core::ShardRange& range = tasks[t];
+      const Slice& slice = slices[range.key];
+      SessionColumns& cols = slice.shard->columns;
+      const SourceSlot* src = perm + batch_offsets[range.key];
+      // Hoisted raw destination pointers: the uint8 column stores could
+      // otherwise alias the PodColumn pointer members themselves, forcing
+      // the compiler to reload every column base after every store.
+      std::int32_t* const day_out = cols.day_key.data() + slice.base;
+      std::uint64_t* const user_out = cols.user_id.data() + slice.base;
+      std::uint8_t* const plat_out = cols.platform.data() + slice.base;
+      std::uint8_t* const acc_out = cols.access.data() + slice.base;
+      std::int32_t* const size_out = cols.meeting_size.data() + slice.base;
+      double* const lat_mean = cols.latency_mean.data() + slice.base;
+      double* const lat_med = cols.latency_median.data() + slice.base;
+      double* const lat_tail = cols.latency_tail.data() + slice.base;
+      double* const loss_mean = cols.loss_mean.data() + slice.base;
+      double* const loss_med = cols.loss_median.data() + slice.base;
+      double* const loss_tail = cols.loss_tail.data() + slice.base;
+      double* const jit_mean = cols.jitter_mean.data() + slice.base;
+      double* const jit_med = cols.jitter_median.data() + slice.base;
+      double* const jit_tail = cols.jitter_tail.data() + slice.base;
+      double* const bw_mean = cols.bandwidth_mean.data() + slice.base;
+      double* const bw_med = cols.bandwidth_median.data() + slice.base;
+      double* const bw_tail = cols.bandwidth_tail.data() + slice.base;
+      double* const dur_out = cols.duration_s.data() + slice.base;
+      std::uint32_t* const samp_out = cols.sample_count.data() + slice.base;
+      double* const pres_out = cols.presence.data() + slice.base;
+      double* const cam_out = cols.cam_on.data() + slice.base;
+      double* const mic_out = cols.mic_on.data() + slice.base;
+      std::uint8_t* const drop_out = cols.dropped_early.data() + slice.base;
+      double* const mos_out = cols.mos.data() + slice.base;
+      std::uint8_t* const valid_out = cols.mos_valid.data() + slice.base;
+      for (std::size_t s = range.begin; s < range.end; s += kBlock) {
+        const std::size_t n = std::min(kBlock, range.end - s);
+        const SourceSlot* blk = src + s;
+        for (std::size_t i = 0; i < n; ++i) {  // header + record warm-up
+          if (i + 8 < n) {
+            const auto* next = reinterpret_cast<const char*>(blk[i + 8].rec);
+            __builtin_prefetch(next);
+            __builtin_prefetch(next + 64);
+            __builtin_prefetch(next + 128);
+          }
+          const confsim::ParticipantRecord& r = *blk[i].rec;
+          day_out[s + i] = blk[i].day;
+          user_out[s + i] = r.user_id;
+          plat_out[s + i] = static_cast<std::uint8_t>(r.platform);
+          acc_out[s + i] = static_cast<std::uint8_t>(r.access);
+          size_out[s + i] = static_cast<std::int32_t>(r.meeting_size);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const netsim::SessionNetworkSummary& net = blk[i].rec->network;
+          lat_mean[s + i] = net.latency_ms.mean;
+          lat_med[s + i] = net.latency_ms.median;
+          lat_tail[s + i] = net.latency_ms.p95;
+          loss_mean[s + i] = net.loss_pct.mean;
+          loss_med[s + i] = net.loss_pct.median;
+          loss_tail[s + i] = net.loss_pct.p95;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const netsim::SessionNetworkSummary& net = blk[i].rec->network;
+          jit_mean[s + i] = net.jitter_ms.mean;
+          jit_med[s + i] = net.jitter_ms.median;
+          jit_tail[s + i] = net.jitter_ms.p95;
+          bw_mean[s + i] = net.bandwidth_mbps.mean;
+          bw_med[s + i] = net.bandwidth_mbps.median;
+          bw_tail[s + i] = net.bandwidth_mbps.p95;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const confsim::ParticipantRecord& r = *blk[i].rec;
+          dur_out[s + i] = r.network.duration_seconds;
+          samp_out[s + i] = static_cast<std::uint32_t>(r.network.sample_count);
+          pres_out[s + i] = r.presence_pct;
+          cam_out[s + i] = r.cam_on_pct;
+          mic_out[s + i] = r.mic_on_pct;
+          drop_out[s + i] = r.dropped_early ? 1 : 0;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::optional<core::Mos>& m = blk[i].rec->mos;
+          valid_out[s + i] = m.has_value() ? 1 : 0;
+          mos_out[s + i] = m ? m->score() : 0.0;
         }
       }
     }
   });
   const auto t3 = std::chrono::steady_clock::now();
 
-  // ---- Pass 3 (summaries on): fold each shard's new slice into its
-  // summary, in slot order == sequential ingest order. Shards are
-  // disjoint, so the fold parallelizes over keys with no synchronization.
+  // ---- Pass 3 (summaries on): fold each shard's new rows into its
+  // summary, straight from the columns, in slot order == sequential
+  // ingest order. Shards are disjoint, so the fold parallelizes over
+  // keys with no synchronization.
   if (summary_cfg_) {
     core::parallel_for(
         pool_, plan.num_keys, [&](std::size_t kb, std::size_t ke) {
           for (std::size_t k = kb; k < ke; ++k) {
             if (plan.totals[k] == 0) continue;
-            ShardSummary& summary = slices[k].shard->summary;
-            for (std::size_t i = 0; i < plan.totals[k]; ++i) {
-              summary.fold(slices[k].records[i]);
-            }
+            slices[k].shard->summary.fold(slices[k].shard->columns,
+                                          slices[k].base,
+                                          slices[k].base + plan.totals[k]);
           }
         });
   }
   const auto t4 = std::chrono::steady_clock::now();
 
-  batch.bytes_moved =
-      batch.records *
-      (sizeof(confsim::ParticipantRecord) + sizeof(core::Date));
+  batch.bytes_moved = batch.records * SessionColumns::bytes_per_row();
   batch.count_seconds = seconds_between(t0, t1);
   batch.plan_seconds = seconds_between(t1, t2);
   batch.scatter_seconds = seconds_between(t2, t3);
@@ -241,7 +536,7 @@ void CorrelationEngine::ingest(std::span<const confsim::CallRecord> calls) {
 
 std::size_t CorrelationEngine::session_count() const {
   std::size_t n = 0;
-  for (const SessionShard& s : shards_) n += s.records.size();
+  for (const SessionShard& s : shards_) n += s.columns.size();
   return n;
 }
 
@@ -269,7 +564,7 @@ void CorrelationEngine::refresh_predicted_tallies(
   if (!summary_cfg_) return;
   core::parallel_for(pool_, shards_.size(), [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
-      shards_[i].summary.refresh_predicted(shards_[i].records, predictor);
+      shards_[i].summary.refresh_predicted(shards_[i].columns, predictor);
     }
   });
   predicted_fresh_ = static_cast<bool>(predictor);
@@ -313,19 +608,6 @@ std::vector<CorrelationEngine::SelectedShard> CorrelationEngine::select_shards(
   return out;
 }
 
-bool CorrelationEngine::record_matches(const SelectedShard& sel,
-                                       const core::Date& date,
-                                       const confsim::ParticipantRecord& rec,
-                                       const ShardSelector& selector) {
-  if (sel.check_dates) {
-    if (selector.first && date < *selector.first) return false;
-    if (selector.last && *selector.last < date) return false;
-  }
-  if (sel.check_platform && rec.platform != *selector.platform) return false;
-  if (selector.access && rec.access != *selector.access) return false;
-  return true;
-}
-
 EngagementCurve CorrelationEngine::engagement_curve(
     const SweepSpec& spec, EngagementMetric engagement,
     const ParticipantFilter& filter, const ShardSelector& selector,
@@ -363,6 +645,7 @@ EngagementCurve CorrelationEngine::engagement_curve(
     partials.emplace_back(spec.lo, spec.hi, spec.bins);
   }
   core::parallel_for(pool_, selected.size(), [&](std::size_t b, std::size_t e) {
+    std::vector<std::uint32_t> scratch;
     for (std::size_t i = b; i < e; ++i) {
       const SelectedShard& sel = selected[i];
       core::Binner1D& binner = partials[i];
@@ -371,20 +654,13 @@ EngagementCurve CorrelationEngine::engagement_curve(
                                         selector.access);
         continue;
       }
-      const auto& records = sel.shard->records;
-      for (std::size_t r = 0; r < records.size(); ++r) {
-        const auto& rec = records[r];
-        if (!record_matches(sel, sel.shard->dates[r], rec, selector)) continue;
-        if (filter && !filter(rec)) continue;
-        const netsim::NetworkConditions c =
-            aggregate_conditions(rec, spec.aggregate);
-        if (spec.control_others &&
-            !netsim::others_in_control(c, spec.metric, spec.control)) {
-          continue;
-        }
-        binner.add(netsim::metric_value(c, spec.metric),
-                   engagement_value(rec, engagement));
-      }
+      const SessionColumns& cols = sel.shard->columns;
+      const Residual res =
+          make_residual(sel.check_dates, sel.check_platform, selector);
+      const ScanSet set =
+          select_sweep_rows(cols, res, filter, spec, scratch);
+      accumulate_sweep(binner, sweep_column(cols, spec.metric, spec.aggregate),
+                       cols.engagement_column(engagement), set);
     }
   });
   core::Binner1D total{spec.lo, spec.hi, spec.bins};
@@ -409,22 +685,28 @@ std::vector<CurvePoint> CorrelationEngine::dropoff_curve(
     partials.emplace_back(spec.lo, spec.hi, spec.bins);
   }
   core::parallel_for(pool_, selected.size(), [&](std::size_t b, std::size_t e) {
+    std::vector<std::uint32_t> scratch;
     for (std::size_t i = b; i < e; ++i) {
       const SelectedShard& sel = selected[i];
       core::Binner1D& binner = partials[i];
-      const auto& records = sel.shard->records;
-      for (std::size_t r = 0; r < records.size(); ++r) {
-        const auto& rec = records[r];
-        if (!record_matches(sel, sel.shard->dates[r], rec, selector)) continue;
-        if (filter && !filter(rec)) continue;
-        const netsim::NetworkConditions c =
-            aggregate_conditions(rec, spec.aggregate);
-        if (spec.control_others &&
-            !netsim::others_in_control(c, spec.metric, spec.control)) {
-          continue;
+      const SessionColumns& cols = sel.shard->columns;
+      const Residual res =
+          make_residual(sel.check_dates, sel.check_platform, selector);
+      const ScanSet set =
+          select_sweep_rows(cols, res, filter, spec, scratch);
+      // y is the 0/1 early-drop byte widened to double — exactly the
+      // `dropped_early ? 1.0 : 0.0` the row scan fed the binner.
+      const double* x = sweep_column(cols, spec.metric, spec.aggregate);
+      const std::uint8_t* dropped = cols.dropped_early.data();
+      if (set.idx == nullptr) {
+        for (std::size_t r = 0; r < set.n; ++r) {
+          binner.add(x[r], static_cast<double>(dropped[r]));
         }
-        binner.add(netsim::metric_value(c, spec.metric),
-                   rec.dropped_early ? 1.0 : 0.0);
+      } else {
+        for (std::size_t j = 0; j < set.n; ++j) {
+          const std::uint32_t r = set.idx[j];
+          binner.add(x[r], static_cast<double>(dropped[r]));
+        }
       }
     }
   });
@@ -470,10 +752,14 @@ core::Grid2D CorrelationEngine::compounding_grid(EngagementMetric engagement,
           selected[i].shard->summary.add_grid_to(grid, engagement, wanted)) {
         continue;
       }
-      for (const auto& rec : selected[i].shard->records) {
-        const netsim::NetworkConditions c = rec.network.mean_conditions();
-        grid.add(c.latency.ms(), c.loss.percent(),
-                 engagement_value(rec, engagement));
+      // Dense three-column kernel: compounding_grid takes no selector or
+      // filter, so there is no selection phase at all.
+      const SessionColumns& cols = selected[i].shard->columns;
+      const double* lat = cols.latency_mean.data();
+      const double* loss = cols.loss_mean.data();
+      const double* eng = cols.engagement_column(engagement);
+      for (std::size_t r = 0; r < cols.size(); ++r) {
+        grid.add(lat[r], loss[r], eng[r]);
       }
     }
   });
@@ -515,10 +801,16 @@ CorrelationEngine::mos_correlation(EngagementMetric engagement,
         }
         continue;
       }
-      for (const auto& rec : selected[i].shard->records) {
-        if (!rec.mos) continue;
-        part.eng.push_back(engagement_value(rec, engagement));
-        part.mos.push_back(rec.mos->score());
+      // Columnar gather over the validity mask: three columns touched
+      // (~17 bytes/row) instead of the full record.
+      const SessionColumns& cols = selected[i].shard->columns;
+      const std::uint8_t* valid = cols.mos_valid.data();
+      const double* eng = cols.engagement_column(engagement);
+      const double* mos = cols.mos.data();
+      for (std::size_t r = 0; r < cols.size(); ++r) {
+        if (valid[r] == 0) continue;
+        part.eng.push_back(eng[r]);
+        part.mos.push_back(mos[r]);
       }
     }
   });
@@ -584,6 +876,7 @@ CorrelationEngine::Tally CorrelationEngine::tally(
   note_fanout(n_summary, selected.size() - n_summary, fanout);
   std::vector<Tally> partials(selected.size());
   core::parallel_for(pool_, selected.size(), [&](std::size_t b, std::size_t e) {
+    std::vector<std::uint32_t> scratch;
     for (std::size_t i = b; i < e; ++i) {
       const SelectedShard& sel = selected[i];
       Tally& part = partials[i];
@@ -598,20 +891,35 @@ CorrelationEngine::Tally CorrelationEngine::tally(
         }
         continue;
       }
-      const auto& records = sel.shard->records;
-      for (std::size_t r = 0; r < records.size(); ++r) {
-        const auto& rec = records[r];
-        if (!record_matches(sel, sel.shard->dates[r], rec, selector)) continue;
-        if (filter && !filter(rec)) continue;
+      const SessionColumns& cols = sel.shard->columns;
+      const Residual res =
+          make_residual(sel.check_dates, sel.check_platform, selector);
+      ScanSet set{nullptr, cols.size()};
+      if (!res.none()) set = select_structural(cols, res, scratch);
+      if (filter) {
+        set = refine(set, scratch,
+                     [&](std::size_t r) { return filter(cols.record(r)); });
+      }
+      const std::uint8_t* valid = cols.mos_valid.data();
+      const double* mos = cols.mos.data();
+      // The row scan's per-record accumulators are independent, so the
+      // split over selected rows below replays each one's add sequence
+      // exactly (same rows, same order).
+      const auto tally_row = [&](std::size_t r) {
         ++part.sessions;
-        if (rec.mos) {
-          part.observed_mos_sum += rec.mos->score();
+        if (valid[r] != 0) {
+          part.observed_mos_sum += mos[r];
           ++part.rated;
         }
         if (predictor) {
-          part.predicted_mos_sum += predictor(rec);
+          part.predicted_mos_sum += predictor(cols.record(r));
           ++part.predicted;
         }
+      };
+      if (set.idx == nullptr) {
+        for (std::size_t r = 0; r < set.n; ++r) tally_row(r);
+      } else {
+        for (std::size_t j = 0; j < set.n; ++j) tally_row(set.idx[j]);
       }
     }
   });
@@ -630,8 +938,10 @@ std::vector<confsim::ParticipantRecord> CorrelationEngine::sessions() const {
   std::vector<confsim::ParticipantRecord> out;
   out.reserve(session_count());
   for (const auto& [key, idx] : shard_index_) {
-    const SessionShard& shard = shards_[idx];
-    out.insert(out.end(), shard.records.begin(), shard.records.end());
+    const SessionColumns& cols = shards_[idx].columns;
+    for (std::size_t r = 0; r < cols.size(); ++r) {
+      out.push_back(cols.record(r));
+    }
   }
   return out;
 }
@@ -641,14 +951,17 @@ CorrelationEngine::rated_sessions_canonical() const {
   std::vector<confsim::ParticipantRecord> out;
   if (sharding_ == ShardingPolicy::kMonthPlatform) {
     for (const auto& [key, idx] : shard_index_) {
-      for (const auto& rec : shards_[idx].records) {
-        if (rec.mos) out.push_back(rec);
+      const SessionColumns& cols = shards_[idx].columns;
+      const std::uint8_t* valid = cols.mos_valid.data();
+      for (std::size_t r = 0; r < cols.size(); ++r) {
+        if (valid[r] != 0) out.push_back(cols.record(r));
       }
     }
     return out;
   }
-  // Flat layout: stable-sort rated records into the same (month, platform,
-  // ingest) order the sharded layout yields naturally.
+  // Flat layout: stable-sort rated rows into the same (month, platform,
+  // ingest) order the sharded layout yields naturally. month_key falls
+  // straight out of the packed day key: year*12 + month - 1.
   struct Keyed {
     int month_key;
     int platform;
@@ -656,10 +969,13 @@ CorrelationEngine::rated_sessions_canonical() const {
   };
   std::vector<Keyed> keys;
   for (const SessionShard& shard : shards_) {
-    for (std::size_t r = 0; r < shard.records.size(); ++r) {
-      if (!shard.records[r].mos) continue;
-      keys.push_back({month_key(shard.dates[r]),
-                      static_cast<int>(shard.records[r].platform), r});
+    const SessionColumns& cols = shard.columns;
+    const std::uint8_t* valid = cols.mos_valid.data();
+    for (std::size_t r = 0; r < cols.size(); ++r) {
+      if (valid[r] == 0) continue;
+      const std::int32_t day = cols.day_key[r];
+      keys.push_back({(day / 512) * 12 + ((day / 32) % 16) - 1,
+                      static_cast<int>(cols.platform[r]), r});
     }
   }
   std::stable_sort(keys.begin(), keys.end(),
@@ -671,8 +987,8 @@ CorrelationEngine::rated_sessions_canonical() const {
                    });
   out.reserve(keys.size());
   for (const Keyed& k : keys) {
-    // All rated records live in the single flat shard under this policy.
-    out.push_back(shards_.front().records[k.seq]);
+    // All rated rows live in the single flat shard under this policy.
+    out.push_back(shards_.front().columns.record(k.seq));
   }
   return out;
 }

@@ -33,10 +33,12 @@
 
 #include "confsim/call.h"
 #include "core/date.h"
+#include "core/flat_index.h"
 #include "core/histogram.h"
 #include "core/telemetry/metrics.h"
 #include "core/thread_pool.h"
 #include "netsim/conditions.h"
+#include "usaas/session_columns.h"
 #include "usaas/shard_summary.h"
 #include "usaas/signals.h"
 
@@ -140,10 +142,14 @@ class CorrelationEngine {
   /// per (chunk, shard key) in parallel over a flat dense key index;
   /// a prefix-sum over those counts pre-reserves each destination shard
   /// and assigns every chunk a contiguous slot range per shard; pass 2
-  /// copies records straight into their final slots in parallel. Slots
-  /// are ordered by (chunk index, in-chunk position), so per-shard record
-  /// order equals sequential ingest order by construction, at any thread
-  /// count — and each record is copied exactly once.
+  /// first writes a (source pointer, packed day) permutation in slot
+  /// order, then scatters straight into the destination columns,
+  /// destination-major and prefetched, in parallel. Slots are ordered by
+  /// (chunk index, in-chunk position), so per-shard record order equals
+  /// sequential ingest order by construction, at any thread count — and
+  /// each record's fields are written to their columns exactly once.
+  /// Counting and permutation scratch persists across batches (the plan
+  /// phase was dominated by allocation churn before it did).
   void ingest(std::span<const confsim::CallRecord> calls);
   void ingest(const confsim::CallRecord& call);
 
@@ -254,8 +260,9 @@ class CorrelationEngine {
   struct SessionShard {
     int month_key{0};  // year*12 + month-1; 0 under kSingleShard
     confsim::Platform platform{confsim::Platform::kWindowsPc};
-    std::vector<core::Date> dates;  // parallel to records
-    std::vector<confsim::ParticipantRecord> records;
+    /// Struct-of-arrays row storage: one contiguous column per field, so
+    /// scan kernels touch only the columns a query names.
+    SessionColumns columns;
     /// Disabled (a no-op) unless configure_summaries() ran.
     ShardSummary summary;
   };
@@ -280,10 +287,6 @@ class CorrelationEngine {
               const confsim::ParticipantRecord& rec);
   [[nodiscard]] std::vector<SelectedShard> select_shards(
       const ShardSelector& selector) const;
-  [[nodiscard]] static bool record_matches(const SelectedShard& sel,
-                                           const core::Date& date,
-                                           const confsim::ParticipantRecord& rec,
-                                           const ShardSelector& selector);
   /// Bumps the cumulative summary/scan counters and, when `out` is set,
   /// adds the same visits to the caller's per-query stats.
   void note_fanout(std::uint64_t from_summary, std::uint64_t scanned,
@@ -316,9 +319,27 @@ class CorrelationEngine {
     }
   };
 
+  /// One slot of the batch-ingest permutation: where row data comes from
+  /// (the participant record inside the caller's batch) plus its packed
+  /// day key, precomputed so the scatter never touches CallRecord again.
+  struct SourceSlot {
+    const confsim::ParticipantRecord* rec{nullptr};
+    std::int32_t day{0};
+  };
+  /// Per-batch scratch reused across ingest calls (allocation churn in
+  /// the counting/permutation structures dominated the plan phase).
+  /// Copying an engine copies whatever the scratch happens to hold —
+  /// harmless, it is overwritten wholesale at the start of every batch.
+  struct IngestScratch {
+    std::vector<core::DenseKeyCounts> counts;
+    PodColumn<SourceSlot> perm;
+    std::vector<std::size_t> batch_offsets;  // exclusive prefix of totals
+  };
+
   ShardingPolicy sharding_{ShardingPolicy::kMonthPlatform};
   core::ThreadPool* pool_{nullptr};
   IngestStats ingest_stats_;
+  IngestScratch scratch_;
   // packed (month_key, platform) key -> index into shards_; packing is
   // order-preserving, so the map keeps shard-key order for deterministic
   // reduction.

@@ -96,7 +96,11 @@ struct SchedulerConfig {
   /// charges per summary-answerable and per rescanned month.
   double min_cost_tokens{1.0};
   double summary_month_cost{0.25};
-  double scan_month_cost{8.0};
+  /// Recalibrated for the columnar session store: a cold month rescan
+  /// touches only the columns the query names (~2x+ cheaper than the old
+  /// row scan), but still dwarfs a summary merge — ordering stays
+  /// cache hit < summary-answerable month < scanned month.
+  double scan_month_cost{4.0};
   double seconds_per_token{1e-3};
   /// EDF cross-tenant wait queue (usaas/fair_queue.h). false reverts to
   /// PR 7's per-tenant private bucket sleeps — kept for A/B benching the

@@ -59,6 +59,50 @@ void ShardSummary::fold(const confsim::ParticipantRecord& rec) {
   }
 }
 
+void ShardSummary::fold(const SessionColumns& cols, std::size_t begin,
+                        std::size_t end) {
+  if (!enabled_) return;
+  const std::uint8_t* access_col = cols.access.data();
+  const double* pres = cols.presence.data();
+  const double* cam = cols.cam_on.data();
+  const double* mic = cols.mic_on.data();
+  const double* lat = cols.latency_mean.data();
+  const double* loss = cols.loss_mean.data();
+  const std::uint8_t* valid = cols.mos_valid.data();
+  const double* mos_col = cols.mos.data();
+  // Hoist the per-axis mean columns: metric_value(mean_conditions(), m)
+  // row-wise is exactly mean_column(m)[i], so the add sequence below is
+  // value-for-value the same as fold(rec) over the same rows.
+  std::vector<const double*> axis_cols(axes_.size());
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    axis_cols[a] = cols.mean_column(axes_[a].metric);
+  }
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto access = static_cast<std::size_t>(access_col[i]);
+    const std::array<double, kNumEngagementMetrics> eng{pres[i], cam[i],
+                                                        mic[i]};
+    for (std::size_t a = 0; a < axes_.size(); ++a) {
+      const double x = axis_cols[a][i];
+      for (std::size_t m = 0; m < eng.size(); ++m) {
+        binners_[binner_index(a, m, access)].add(x, eng[m]);
+      }
+    }
+    for (std::size_t m = 0; m < grids_.size(); ++m) {
+      grids_[m].add(lat[i], loss[i], eng[m]);
+    }
+    ++all_.sessions;
+    ++by_access_[access].sessions;
+    if (valid[i] != 0) {
+      const double score = mos_col[i];
+      all_.observed_mos_sum += score;
+      ++all_.rated;
+      by_access_[access].observed_mos_sum += score;
+      ++by_access_[access].rated;
+      rated_.push_back({eng, score});
+    }
+  }
+}
+
 void ShardSummary::merge(const ShardSummary& other) {
   if (!enabled_ && !other.enabled_) return;
   if (enabled_ != other.enabled_ || axes_ != other.axes_ ||
@@ -115,7 +159,7 @@ const SummaryTally& ShardSummary::tally(
 }
 
 void ShardSummary::refresh_predicted(
-    std::span<const confsim::ParticipantRecord> records,
+    const SessionColumns& cols,
     const std::function<double(const confsim::ParticipantRecord&)>&
         predictor) {
   all_.predicted_mos_sum = 0.0;
@@ -125,13 +169,15 @@ void ShardSummary::refresh_predicted(
     t.predicted = 0;
   }
   if (!predictor) return;
-  // Ingest order, so the per-shard sums replay exactly what the scan path
-  // would accumulate for an unfiltered (or access-filtered) tally.
-  for (const confsim::ParticipantRecord& rec : records) {
-    const double p = predictor(rec);
+  // Row order, so the per-shard sums replay exactly what the scan path
+  // would accumulate for an unfiltered (or access-filtered) tally. The
+  // predictor is opaque, so rows materialize back into full records.
+  const std::uint8_t* access_col = cols.access.data();
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    const double p = predictor(cols.record(i));
     all_.predicted_mos_sum += p;
     ++all_.predicted;
-    SummaryTally& bucket = by_access_[static_cast<std::size_t>(rec.access)];
+    SummaryTally& bucket = by_access_[access_col[i]];
     bucket.predicted_mos_sum += p;
     ++bucket.predicted;
   }

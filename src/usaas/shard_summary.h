@@ -39,6 +39,7 @@
 #include "core/histogram.h"
 #include "netsim/conditions.h"
 #include "netsim/profiles.h"
+#include "usaas/session_columns.h"
 #include "usaas/signals.h"
 
 namespace usaas::service {
@@ -112,6 +113,11 @@ class ShardSummary {
   /// Folds one participant record (must be called in shard ingest order).
   void fold(const confsim::ParticipantRecord& rec);
 
+  /// Folds rows [begin, end) of a column store in order. Replays exactly
+  /// the per-record fold sequence (same values, same add order), reading
+  /// only the columns the summary consumes.
+  void fold(const SessionColumns& cols, std::size_t begin, std::size_t end);
+
   /// Exact combine of two summaries with identical layouts (axes + grid);
   /// throws std::invalid_argument on mismatch. Rated samples concatenate,
   /// tallies add, binners/grids merge per bucket.
@@ -141,10 +147,10 @@ class ShardSummary {
   /// Rated (engagement, MOS) samples in ingest order.
   [[nodiscard]] std::span<const RatedSample> rated() const { return rated_; }
 
-  /// Recomputes predicted-MOS sums over `records` (this shard's records,
-  /// in order) with `predictor`; called under the corpus write lock after
-  /// a retrain. Clears them when `predictor` is null.
-  void refresh_predicted(std::span<const confsim::ParticipantRecord> records,
+  /// Recomputes predicted-MOS sums over this shard's column store, in
+  /// row order, with `predictor`; called under the corpus write lock
+  /// after a retrain. Clears them when `predictor` is null.
+  void refresh_predicted(const SessionColumns& cols,
                          const std::function<double(
                              const confsim::ParticipantRecord&)>& predictor);
 

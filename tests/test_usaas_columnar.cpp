@@ -1,0 +1,842 @@
+// Columnar-scan differential battery: the SoA column store + two-phase
+// scan kernels must be *bit-identical* to the row scan they replaced —
+// EXPECT_EQ on doubles, not EXPECT_NEAR.
+//
+// RowReference below is a frozen copy of the pre-columnar engine's scan
+// path: vector-of-structs shards keyed exactly like the engine (packed
+// (month_key, platform), std::map key order), the same shard pruning, the
+// same per-record predicate order (dates -> platform -> access -> opaque
+// filter -> confounder control), the same per-shard partials merged in
+// key order. Every query result the engine produces from columns is
+// compared against this reference across metrics x axes x access filters
+// x date cuts, thread counts 1/2/8, both sharding policies, and summaries
+// on/off.
+//
+// One documented exception: whole-population curves on a summary-
+// configured axis merge per-access Welford buckets (~1e-12 relative, per
+// the ShardSummary header contract) — those compare with a tight relative
+// bound instead, and only when summaries are on.
+//
+// Registered under the `sanitize` ctest label: the 2/8-thread batteries
+// are the TSan workload for the parallel selection/aggregation kernels
+// and the destination-major column scatter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "confsim/call.h"
+#include "core/correlation.h"
+#include "core/date.h"
+#include "core/histogram.h"
+#include "core/thread_pool.h"
+#include "netsim/conditions.h"
+#include "netsim/profiles.h"
+#include "usaas/correlation_engine.h"
+
+namespace usaas::service {
+namespace {
+
+using core::Date;
+using core::month_key;
+
+// ---- Deterministic synthetic corpus ------------------------------------
+
+std::uint64_t lcg_next(std::uint64_t& s) {
+  s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+  return s >> 33;
+}
+
+double uniform(std::uint64_t& s, double lo, double hi) {
+  return lo + (hi - lo) *
+                  (static_cast<double>(lcg_next(s) % 1000000) / 999999.0);
+}
+
+netsim::MetricAggregate aggregate(double mean, double tail_scale) {
+  return {mean, mean * 0.92, mean * tail_scale};
+}
+
+/// Jan-Apr 2022, all platforms and access technologies, ~30% of rows with
+/// every metric inside the confounder control windows (so control_others
+/// passes non-trivially), values straddling every sweep range boundary,
+/// ~2% MOS-rated, ~10% early drops.
+std::vector<confsim::CallRecord> synth_corpus() {
+  std::vector<confsim::CallRecord> calls;
+  std::uint64_t seed = 20220101;
+  for (std::uint64_t id = 0; id < 1200; ++id) {
+    confsim::CallRecord call;
+    call.call_id = id;
+    const int month = 1 + static_cast<int>(lcg_next(seed) % 4);
+    const int day =
+        1 + static_cast<int>(lcg_next(seed) %
+                             static_cast<std::uint64_t>(
+                                 Date::days_in_month(2022, month)));
+    call.start.date = Date(2022, month, day);
+    call.start.time = {static_cast<int>(lcg_next(seed) % 24), 0};
+    const std::size_t participants = 3 + lcg_next(seed) % 3;
+    for (std::size_t j = 0; j < participants; ++j) {
+      confsim::ParticipantRecord rec;
+      rec.user_id = id * 100 + j;
+      rec.platform =
+          static_cast<confsim::Platform>(lcg_next(seed) % confsim::kNumPlatforms);
+      rec.meeting_size = static_cast<int>(participants);
+      rec.access = static_cast<netsim::AccessTechnology>(
+          lcg_next(seed) % netsim::kNumAccessTechnologies);
+      const bool controlled = lcg_next(seed) % 10 < 3;
+      const double lat =
+          controlled ? uniform(seed, 0.0, 40.0) : uniform(seed, 0.0, 360.0);
+      const double loss =
+          controlled ? uniform(seed, 0.0, 0.2) : uniform(seed, 0.0, 12.0);
+      const double jit =
+          controlled ? uniform(seed, 0.0, 5.0) : uniform(seed, 0.0, 90.0);
+      const double bw =
+          controlled ? uniform(seed, 3.0, 4.0) : uniform(seed, 0.0, 230.0);
+      rec.network.latency_ms = aggregate(lat, 1.75);
+      rec.network.loss_pct = aggregate(loss, 1.75);
+      rec.network.jitter_ms = aggregate(jit, 1.75);
+      rec.network.bandwidth_mbps = aggregate(bw, 0.6);  // low-tail P5 slot
+      rec.network.duration_seconds = uniform(seed, 300.0, 3600.0);
+      rec.network.sample_count = 60 + lcg_next(seed) % 600;
+      rec.presence_pct = uniform(seed, 0.0, 100.0);
+      rec.cam_on_pct = uniform(seed, 0.0, 100.0);
+      rec.mic_on_pct = uniform(seed, 0.0, 100.0);
+      rec.dropped_early = lcg_next(seed) % 10 == 0;
+      if (lcg_next(seed) % 50 == 0) {
+        rec.mos = core::Mos{uniform(seed, 1.0, 5.0)};
+      }
+      call.participants.push_back(rec);
+    }
+    calls.push_back(call);
+  }
+  return calls;
+}
+
+const std::vector<confsim::CallRecord>& corpus() {
+  static const std::vector<confsim::CallRecord> calls = synth_corpus();
+  return calls;
+}
+
+// ---- Frozen row-scan reference -----------------------------------------
+
+struct RowShard {
+  int month_key{0};
+  confsim::Platform platform{confsim::Platform::kWindowsPc};
+  std::vector<Date> dates;
+  std::vector<confsim::ParticipantRecord> records;
+};
+
+/// The pre-columnar scan path, verbatim: AoS shards, sequential appends
+/// (batch slot order equals sequential ingest order by the engine's own
+/// contract), row-wise predicates, partials merged in shard-key order.
+class RowReference {
+ public:
+  explicit RowReference(ShardingPolicy sharding) : sharding_{sharding} {
+    for (const confsim::CallRecord& call : corpus()) {
+      for (const confsim::ParticipantRecord& p : call.participants) {
+        RowShard& shard = shard_for(call.start.date, p.platform);
+        shard.dates.push_back(call.start.date);
+        shard.records.push_back(p);
+      }
+    }
+  }
+
+  struct Selected {
+    const RowShard* shard{nullptr};
+    bool check_dates{false};
+    bool check_platform{false};
+  };
+
+  [[nodiscard]] std::vector<Selected> select(
+      const ShardSelector& selector) const {
+    std::vector<Selected> out;
+    for (const auto& [key, shard] : shards_) {
+      Selected sel;
+      sel.shard = &shard;
+      if (sharding_ == ShardingPolicy::kSingleShard) {
+        sel.check_dates =
+            selector.first.has_value() || selector.last.has_value();
+        sel.check_platform = selector.platform.has_value();
+      } else {
+        if (selector.platform && shard.platform != *selector.platform) continue;
+        if (selector.first && shard.month_key < month_key(*selector.first)) {
+          continue;
+        }
+        if (selector.last && shard.month_key > month_key(*selector.last)) {
+          continue;
+        }
+        const bool first_cuts =
+            selector.first && month_key(*selector.first) == shard.month_key &&
+            selector.first->day() > 1;
+        const bool last_cuts =
+            selector.last && month_key(*selector.last) == shard.month_key &&
+            selector.last->day() <
+                Date::days_in_month(selector.last->year(),
+                                    selector.last->month());
+        sel.check_dates = first_cuts || last_cuts;
+      }
+      out.push_back(sel);
+    }
+    return out;
+  }
+
+  [[nodiscard]] static bool matches(const Selected& sel, const Date& date,
+                                    const confsim::ParticipantRecord& rec,
+                                    const ShardSelector& selector) {
+    if (sel.check_dates) {
+      if (selector.first && date < *selector.first) return false;
+      if (selector.last && *selector.last < date) return false;
+    }
+    if (sel.check_platform && rec.platform != *selector.platform) return false;
+    if (selector.access && rec.access != *selector.access) return false;
+    return true;
+  }
+
+  [[nodiscard]] static netsim::NetworkConditions conditions(
+      const confsim::ParticipantRecord& rec, SessionAggregate agg) {
+    return agg == SessionAggregate::kP95 ? rec.network.p95_conditions()
+                                         : rec.network.mean_conditions();
+  }
+
+  [[nodiscard]] std::vector<CurvePoint> sweep(
+      const SweepSpec& spec, const ParticipantFilter& filter,
+      const ShardSelector& selector,
+      const std::function<double(const confsim::ParticipantRecord&)>& y)
+      const {
+    const auto selected = select(selector);
+    core::Binner1D total{spec.lo, spec.hi, spec.bins};
+    for (const Selected& sel : selected) {
+      core::Binner1D partial{spec.lo, spec.hi, spec.bins};
+      for (std::size_t r = 0; r < sel.shard->records.size(); ++r) {
+        const confsim::ParticipantRecord& rec = sel.shard->records[r];
+        if (!matches(sel, sel.shard->dates[r], rec, selector)) continue;
+        if (filter && !filter(rec)) continue;
+        const netsim::NetworkConditions c = conditions(rec, spec.aggregate);
+        if (spec.control_others &&
+            !netsim::others_in_control(c, spec.metric, spec.control)) {
+          continue;
+        }
+        partial.add(netsim::metric_value(c, spec.metric), y(rec));
+      }
+      total.merge(partial);
+    }
+    std::vector<CurvePoint> out;
+    for (const core::Bin& b : total.bins()) {
+      out.push_back({b.center(), b.mean_y, b.count});
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<CurvePoint> engagement_curve(
+      const SweepSpec& spec, EngagementMetric engagement,
+      const ParticipantFilter& filter, const ShardSelector& selector) const {
+    return sweep(spec, filter, selector,
+                 [engagement](const confsim::ParticipantRecord& rec) {
+                   return engagement_value(rec, engagement);
+                 });
+  }
+
+  [[nodiscard]] std::vector<CurvePoint> dropoff_curve(
+      const SweepSpec& spec, const ParticipantFilter& filter,
+      const ShardSelector& selector) const {
+    return sweep(spec, filter, selector,
+                 [](const confsim::ParticipantRecord& rec) {
+                   return rec.dropped_early ? 1.0 : 0.0;
+                 });
+  }
+
+  [[nodiscard]] core::Grid2D grid(EngagementMetric engagement,
+                                  double latency_hi_ms, std::size_t lat_bins,
+                                  double loss_hi_pct,
+                                  std::size_t loss_bins) const {
+    core::Grid2D total{0.0, latency_hi_ms, lat_bins,
+                       0.0, loss_hi_pct, loss_bins};
+    for (const auto& [key, shard] : shards_) {
+      core::Grid2D partial{0.0, latency_hi_ms, lat_bins,
+                           0.0, loss_hi_pct, loss_bins};
+      for (const confsim::ParticipantRecord& rec : shard.records) {
+        const netsim::NetworkConditions c = rec.network.mean_conditions();
+        partial.add(c.latency.ms(), c.loss.percent(),
+                    engagement_value(rec, engagement));
+      }
+      total.merge(partial);
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::optional<CorrelationEngine::MosCorrelation>
+  mos_correlation(EngagementMetric engagement, std::size_t min_samples) const {
+    std::vector<double> eng;
+    std::vector<double> mos;
+    for (const auto& [key, shard] : shards_) {
+      for (const confsim::ParticipantRecord& rec : shard.records) {
+        if (!rec.mos) continue;
+        eng.push_back(engagement_value(rec, engagement));
+        mos.push_back(rec.mos->score());
+      }
+    }
+    if (eng.size() < min_samples) return std::nullopt;
+    CorrelationEngine::MosCorrelation out;
+    out.rated_sessions = eng.size();
+    out.pearson = core::pearson(eng, mos);
+    out.spearman = core::spearman(eng, mos);
+    std::vector<std::size_t> order(eng.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (eng[a] != eng[b]) return eng[a] < eng[b];
+      return mos[a] < mos[b];
+    });
+    const std::size_t deciles = 10;
+    for (std::size_t dec = 0; dec < deciles; ++dec) {
+      const std::size_t lo = dec * order.size() / deciles;
+      const std::size_t hi = (dec + 1) * order.size() / deciles;
+      if (hi <= lo) continue;
+      double eng_acc = 0.0;
+      double mos_acc = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        eng_acc += eng[order[i]];
+        mos_acc += mos[order[i]];
+      }
+      const auto n = static_cast<double>(hi - lo);
+      out.decile_curve.push_back({eng_acc / n, mos_acc / n, hi - lo});
+    }
+    return out;
+  }
+
+  [[nodiscard]] CorrelationEngine::Tally tally(
+      const ParticipantFilter& filter, const ShardSelector& selector,
+      const std::function<double(const confsim::ParticipantRecord&)>&
+          predictor) const {
+    CorrelationEngine::Tally total;
+    for (const Selected& sel : select(selector)) {
+      CorrelationEngine::Tally part;
+      for (std::size_t r = 0; r < sel.shard->records.size(); ++r) {
+        const confsim::ParticipantRecord& rec = sel.shard->records[r];
+        if (!matches(sel, sel.shard->dates[r], rec, selector)) continue;
+        if (filter && !filter(rec)) continue;
+        ++part.sessions;
+        if (rec.mos) {
+          part.observed_mos_sum += rec.mos->score();
+          ++part.rated;
+        }
+        if (predictor) {
+          part.predicted_mos_sum += predictor(rec);
+          ++part.predicted;
+        }
+      }
+      total.sessions += part.sessions;
+      total.rated += part.rated;
+      total.observed_mos_sum += part.observed_mos_sum;
+      total.predicted_mos_sum += part.predicted_mos_sum;
+      total.predicted += part.predicted;
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::vector<confsim::ParticipantRecord> sessions() const {
+    std::vector<confsim::ParticipantRecord> out;
+    for (const auto& [key, shard] : shards_) {
+      out.insert(out.end(), shard.records.begin(), shard.records.end());
+    }
+    return out;
+  }
+
+ private:
+  RowShard& shard_for(const Date& date, confsim::Platform platform) {
+    const int key = sharding_ == ShardingPolicy::kSingleShard
+                        ? 0
+                        : month_key(date) * confsim::kNumPlatforms +
+                              static_cast<int>(platform);
+    RowShard& shard = shards_[key];
+    if (shard.dates.empty()) {
+      shard.month_key =
+          sharding_ == ShardingPolicy::kSingleShard ? 0 : month_key(date);
+      shard.platform = platform;
+    }
+    return shard;
+  }
+
+  ShardingPolicy sharding_;
+  std::map<int, RowShard> shards_;
+};
+
+const RowReference& reference(ShardingPolicy sharding) {
+  static const RowReference flat{ShardingPolicy::kSingleShard};
+  static const RowReference sharded{ShardingPolicy::kMonthPlatform};
+  return sharding == ShardingPolicy::kSingleShard ? flat : sharded;
+}
+
+// ---- Comparators (EXPECT_EQ on doubles: bit-identity, not closeness) ---
+
+void expect_points_eq(std::span<const CurvePoint> got,
+                      std::span<const CurvePoint> want,
+                      const std::string& what, bool exact = true) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].sessions, want[i].sessions) << what << " point " << i;
+    EXPECT_EQ(got[i].metric_value, want[i].metric_value)
+        << what << " point " << i;
+    if (exact) {
+      EXPECT_EQ(got[i].engagement, want[i].engagement)
+          << what << " point " << i;
+    } else {
+      // Whole-population summary merge: exact counts, ~1e-12 means.
+      EXPECT_NEAR(got[i].engagement, want[i].engagement,
+                  1e-9 * (1.0 + std::abs(want[i].engagement)))
+          << what << " point " << i;
+    }
+  }
+}
+
+void expect_grid_eq(const core::Grid2D& got, const core::Grid2D& want,
+                    const std::string& what) {
+  const auto got_cells = got.cells();
+  const auto want_cells = want.cells();
+  ASSERT_EQ(got_cells.size(), want_cells.size()) << what;
+  for (std::size_t i = 0; i < got_cells.size(); ++i) {
+    EXPECT_EQ(got_cells[i].x_center, want_cells[i].x_center) << what;
+    EXPECT_EQ(got_cells[i].y_center, want_cells[i].y_center) << what;
+    EXPECT_EQ(got_cells[i].count, want_cells[i].count) << what;
+    EXPECT_EQ(got_cells[i].mean_value, want_cells[i].mean_value) << what;
+  }
+}
+
+void expect_record_eq(const confsim::ParticipantRecord& got,
+                      const confsim::ParticipantRecord& want,
+                      const std::string& what) {
+  EXPECT_EQ(got.user_id, want.user_id) << what;
+  EXPECT_EQ(got.platform, want.platform) << what;
+  EXPECT_EQ(got.meeting_size, want.meeting_size) << what;
+  EXPECT_EQ(got.access, want.access) << what;
+  const auto agg_eq = [&](const netsim::MetricAggregate& a,
+                          const netsim::MetricAggregate& b) {
+    EXPECT_EQ(a.mean, b.mean) << what;
+    EXPECT_EQ(a.median, b.median) << what;
+    EXPECT_EQ(a.p95, b.p95) << what;
+  };
+  agg_eq(got.network.latency_ms, want.network.latency_ms);
+  agg_eq(got.network.loss_pct, want.network.loss_pct);
+  agg_eq(got.network.jitter_ms, want.network.jitter_ms);
+  agg_eq(got.network.bandwidth_mbps, want.network.bandwidth_mbps);
+  EXPECT_EQ(got.network.duration_seconds, want.network.duration_seconds)
+      << what;
+  EXPECT_EQ(got.network.sample_count, want.network.sample_count) << what;
+  EXPECT_EQ(got.presence_pct, want.presence_pct) << what;
+  EXPECT_EQ(got.cam_on_pct, want.cam_on_pct) << what;
+  EXPECT_EQ(got.mic_on_pct, want.mic_on_pct) << what;
+  EXPECT_EQ(got.dropped_early, want.dropped_early) << what;
+  ASSERT_EQ(got.mos.has_value(), want.mos.has_value()) << what;
+  if (got.mos) {
+    EXPECT_EQ(got.mos->score(), want.mos->score()) << what;
+  }
+}
+
+// ---- Parameterized battery ---------------------------------------------
+
+struct Config {
+  ShardingPolicy sharding;
+  std::size_t threads;
+  bool summaries;
+};
+
+std::string config_name(const ::testing::TestParamInfo<Config>& info) {
+  std::string name = info.param.sharding == ShardingPolicy::kSingleShard
+                         ? "Flat"
+                         : "Sharded";
+  name += std::to_string(info.param.threads) + "t";
+  name += info.param.summaries ? "Summaries" : "NoSummaries";
+  return name;
+}
+
+class ColumnarDifferential : public ::testing::TestWithParam<Config> {
+ protected:
+  ColumnarDifferential()
+      : engine_{GetParam().sharding}, ref_{reference(GetParam().sharding)} {
+    if (GetParam().threads > 1) {
+      pool_ = std::make_unique<core::ThreadPool>(GetParam().threads);
+      engine_.set_thread_pool(pool_.get());
+    }
+    if (GetParam().summaries) engine_.configure_summaries(SummaryConfig{});
+    engine_.ingest(std::span<const confsim::CallRecord>{corpus()});
+  }
+
+  std::unique_ptr<core::ThreadPool> pool_;
+  CorrelationEngine engine_;
+  const RowReference& ref_;
+};
+
+const ParticipantFilter kOpaqueFilter =
+    [](const confsim::ParticipantRecord& rec) {
+      return rec.meeting_size % 3 != 0 && rec.network.jitter_ms.mean < 60.0;
+    };
+
+const std::function<double(const confsim::ParticipantRecord&)> kPredictor =
+    [](const confsim::ParticipantRecord& rec) {
+      return 0.01 * rec.presence_pct + 0.002 * rec.network.latency_ms.mean +
+             (rec.dropped_early ? -0.1 : 0.3);
+    };
+
+SweepSpec sweep_for(netsim::Metric metric, std::size_t bins,
+                    bool control = false,
+                    SessionAggregate agg = SessionAggregate::kMean) {
+  SweepSpec spec;
+  spec.metric = metric;
+  switch (metric) {
+    case netsim::Metric::kLatency: spec.lo = 0.0; spec.hi = 300.0; break;
+    case netsim::Metric::kLoss: spec.lo = 0.0; spec.hi = 10.0; break;
+    case netsim::Metric::kJitter: spec.lo = 0.0; spec.hi = 80.0; break;
+    case netsim::Metric::kBandwidth: spec.lo = 0.0; spec.hi = 200.0; break;
+  }
+  spec.bins = bins;
+  spec.control_others = control;
+  spec.aggregate = agg;
+  return spec;
+}
+
+constexpr netsim::Metric kMetrics[] = {
+    netsim::Metric::kLatency, netsim::Metric::kLoss, netsim::Metric::kJitter,
+    netsim::Metric::kBandwidth};
+constexpr EngagementMetric kEngagements[] = {EngagementMetric::kPresence,
+                                             EngagementMetric::kCamOn,
+                                             EngagementMetric::kMicOn};
+
+TEST_P(ColumnarDifferential, CurvesAcrossMetricsAndAxes) {
+  for (const netsim::Metric m : kMetrics) {
+    for (const EngagementMetric e : kEngagements) {
+      // Non-default bin count: never summary-answerable, always the
+      // two-phase columnar scan vs the row scan.
+      const SweepSpec spec = sweep_for(m, 12);
+      const EngagementCurve got = engine_.engagement_curve(spec, e);
+      EXPECT_EQ(got.network_metric, m);
+      EXPECT_EQ(got.engagement_metric, e);
+      expect_points_eq(got.points, ref_.engagement_curve(spec, e, nullptr, {}),
+                       std::string("curve ") + netsim::to_string(m));
+    }
+  }
+}
+
+TEST_P(ColumnarDifferential, P95AggregateCurves) {
+  for (const netsim::Metric m : kMetrics) {
+    const SweepSpec spec =
+        sweep_for(m, 10, /*control=*/false, SessionAggregate::kP95);
+    const EngagementCurve got =
+        engine_.engagement_curve(spec, EngagementMetric::kPresence);
+    expect_points_eq(
+        got.points,
+        ref_.engagement_curve(spec, EngagementMetric::kPresence, nullptr, {}),
+        std::string("p95 curve ") + netsim::to_string(m));
+  }
+}
+
+TEST_P(ColumnarDifferential, ConfounderControlledCurves) {
+  for (const netsim::Metric m : kMetrics) {
+    const SweepSpec spec = sweep_for(m, 10, /*control=*/true);
+    const EngagementCurve got =
+        engine_.engagement_curve(spec, EngagementMetric::kCamOn);
+    expect_points_eq(
+        got.points,
+        ref_.engagement_curve(spec, EngagementMetric::kCamOn, nullptr, {}),
+        std::string("controlled curve ") + netsim::to_string(m));
+  }
+}
+
+TEST_P(ColumnarDifferential, AccessFilteredCurves) {
+  // Default axis + access selector: the summary path answers this from
+  // per-access buckets, which the contract makes bit-exact; off summaries
+  // it is the branchless access-equality selection kernel.
+  for (const netsim::AccessTechnology access :
+       {netsim::AccessTechnology::kLeoSatellite,
+        netsim::AccessTechnology::kWifiCongested}) {
+    ShardSelector sel;
+    sel.access = access;
+    const SweepSpec spec = sweep_for(netsim::Metric::kLatency, 10);
+    const EngagementCurve got =
+        engine_.engagement_curve(spec, EngagementMetric::kPresence, nullptr,
+                                 sel);
+    expect_points_eq(got.points,
+                     ref_.engagement_curve(spec, EngagementMetric::kPresence,
+                                           nullptr, sel),
+                     "access-filtered curve");
+  }
+}
+
+TEST_P(ColumnarDifferential, DateCutAndPlatformSelectors) {
+  const Date cut_first{2022, 1, 15};
+  const Date cut_last{2022, 3, 20};
+  for (const netsim::Metric m : kMetrics) {
+    ShardSelector sel;
+    sel.first = cut_first;
+    sel.last = cut_last;
+    // bins=12 forces the scan everywhere, so boundary *and* interior
+    // shards take the columnar kernels under every config.
+    const SweepSpec spec = sweep_for(m, 12);
+    expect_points_eq(
+        engine_.engagement_curve(spec, EngagementMetric::kMicOn, nullptr, sel)
+            .points,
+        ref_.engagement_curve(spec, EngagementMetric::kMicOn, nullptr, sel),
+        std::string("date-cut curve ") + netsim::to_string(m));
+  }
+  ShardSelector combo;
+  combo.first = cut_first;
+  combo.last = cut_last;
+  combo.platform = confsim::Platform::kAndroid;
+  combo.access = netsim::AccessTechnology::kGeoSatellite;
+  const SweepSpec spec = sweep_for(netsim::Metric::kLoss, 12);
+  expect_points_eq(
+      engine_.engagement_curve(spec, EngagementMetric::kPresence, nullptr,
+                               combo)
+          .points,
+      ref_.engagement_curve(spec, EngagementMetric::kPresence, nullptr, combo),
+      "combined selector curve");
+  // Mid-month window on the default axis: boundary shards scan, interior
+  // shards may answer from summaries (access-filtered: bit-exact).
+  ShardSelector cut_access;
+  cut_access.first = cut_first;
+  cut_access.last = cut_last;
+  cut_access.access = netsim::AccessTechnology::kFiber;
+  const SweepSpec axis = sweep_for(netsim::Metric::kJitter, 10);
+  expect_points_eq(
+      engine_.engagement_curve(axis, EngagementMetric::kCamOn, nullptr,
+                               cut_access)
+          .points,
+      ref_.engagement_curve(axis, EngagementMetric::kCamOn, nullptr,
+                            cut_access),
+      "date-cut access curve");
+}
+
+TEST_P(ColumnarDifferential, WholePopulationDefaultAxisCurve) {
+  // The one shape that is only ~1e-12-identical with summaries on (the
+  // whole-population curve merges per-access Welford buckets); without
+  // summaries it must be bit-identical like everything else.
+  const SweepSpec spec = sweep_for(netsim::Metric::kLatency, 10);
+  const EngagementCurve got =
+      engine_.engagement_curve(spec, EngagementMetric::kPresence);
+  expect_points_eq(
+      got.points,
+      ref_.engagement_curve(spec, EngagementMetric::kPresence, nullptr, {}),
+      "whole-population default-axis curve",
+      /*exact=*/!GetParam().summaries);
+}
+
+TEST_P(ColumnarDifferential, OpaqueFilterForcesScan) {
+  const SweepSpec spec = sweep_for(netsim::Metric::kBandwidth, 10);
+  expect_points_eq(
+      engine_.engagement_curve(spec, EngagementMetric::kPresence,
+                               kOpaqueFilter, {})
+          .points,
+      ref_.engagement_curve(spec, EngagementMetric::kPresence, kOpaqueFilter,
+                            {}),
+      "opaque-filter curve");
+  // Filter + control + date cut: all three refine stages in one query.
+  ShardSelector sel;
+  sel.first = Date{2022, 2, 10};
+  const SweepSpec hard = sweep_for(netsim::Metric::kLatency, 12, true);
+  expect_points_eq(
+      engine_.engagement_curve(hard, EngagementMetric::kMicOn, kOpaqueFilter,
+                               sel)
+          .points,
+      ref_.engagement_curve(hard, EngagementMetric::kMicOn, kOpaqueFilter,
+                            sel),
+      "filter+control+cut curve");
+}
+
+TEST_P(ColumnarDifferential, DropoffCurves) {
+  const SweepSpec spec = sweep_for(netsim::Metric::kLoss, 12);
+  expect_points_eq(engine_.dropoff_curve(spec),
+                   ref_.dropoff_curve(spec, nullptr, {}), "dropoff");
+  ShardSelector sel;
+  sel.first = Date{2022, 1, 15};
+  sel.last = Date{2022, 4, 20};
+  const SweepSpec controlled = sweep_for(netsim::Metric::kJitter, 10, true);
+  expect_points_eq(engine_.dropoff_curve(controlled, kOpaqueFilter, sel),
+                   ref_.dropoff_curve(controlled, kOpaqueFilter, sel),
+                   "dropoff filtered");
+}
+
+TEST_P(ColumnarDifferential, CompoundingGrids) {
+  // The configured summary layout (exact by contract) and a bespoke one
+  // (always the dense three-column scan kernel).
+  expect_grid_eq(engine_.compounding_grid(EngagementMetric::kPresence, 320.0,
+                                          8, 3.4, 8),
+                 ref_.grid(EngagementMetric::kPresence, 320.0, 8, 3.4, 8),
+                 "default-layout grid");
+  expect_grid_eq(engine_.compounding_grid(EngagementMetric::kMicOn, 200.0, 5,
+                                          5.0, 6),
+                 ref_.grid(EngagementMetric::kMicOn, 200.0, 5, 5.0, 6),
+                 "bespoke grid");
+}
+
+TEST_P(ColumnarDifferential, MosCorrelations) {
+  for (const EngagementMetric e : kEngagements) {
+    const auto got = engine_.mos_correlation(e, 50);
+    const auto want = ref_.mos_correlation(e, 50);
+    ASSERT_EQ(got.has_value(), want.has_value());
+    ASSERT_TRUE(got.has_value());  // the corpus rates ~2% of sessions
+    EXPECT_EQ(got->rated_sessions, want->rated_sessions);
+    EXPECT_EQ(got->pearson, want->pearson);
+    EXPECT_EQ(got->spearman, want->spearman);
+    expect_points_eq(got->decile_curve, want->decile_curve, "decile curve");
+  }
+  // min_samples above the rated population: both sides must decline.
+  EXPECT_FALSE(
+      engine_.mos_correlation(EngagementMetric::kPresence, 1u << 20).has_value());
+}
+
+TEST_P(ColumnarDifferential, Tallies) {
+  const auto eq = [](const CorrelationEngine::Tally& got,
+                     const CorrelationEngine::Tally& want,
+                     const std::string& what) {
+    EXPECT_EQ(got.sessions, want.sessions) << what;
+    EXPECT_EQ(got.rated, want.rated) << what;
+    EXPECT_EQ(got.observed_mos_sum, want.observed_mos_sum) << what;
+    EXPECT_EQ(got.predicted_mos_sum, want.predicted_mos_sum) << what;
+    EXPECT_EQ(got.predicted, want.predicted) << what;
+  };
+  eq(engine_.tally(nullptr, {}), ref_.tally(nullptr, {}, nullptr), "plain");
+  eq(engine_.tally(kOpaqueFilter, {}), ref_.tally(kOpaqueFilter, {}, nullptr),
+     "filtered");
+  ShardSelector sel;
+  sel.first = Date{2022, 2, 5};
+  sel.last = Date{2022, 4, 25};
+  sel.access = netsim::AccessTechnology::kCable;
+  eq(engine_.tally(nullptr, sel), ref_.tally(nullptr, sel, nullptr),
+     "selector");
+  // Cold predictor: predicted sums come from the scan path (records
+  // materialized row by row off the columns).
+  eq(engine_.tally(nullptr, sel, kPredictor),
+     ref_.tally(nullptr, sel, kPredictor), "predictor cold");
+  if (GetParam().summaries) {
+    // Warm predictor: refresh folds predicted sums from the columns; the
+    // summary answer must still match the row reference exactly.
+    engine_.refresh_predicted_tallies(kPredictor);
+    eq(engine_.tally(nullptr, {}, kPredictor),
+       ref_.tally(nullptr, {}, kPredictor), "predictor warm");
+    engine_.clear_predicted_tallies();
+  }
+}
+
+TEST_P(ColumnarDifferential, MaterializedRowsRoundTrip) {
+  // record(i) must reconstruct the exact original rows — including the
+  // median aggregates no scan kernel reads and the MOS validity mask.
+  const auto got = engine_.sessions();
+  const auto want = ref_.sessions();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); i += 7) {  // stride: keep it fast
+    expect_record_eq(got[i], want[i], "session " + std::to_string(i));
+  }
+  // Canonical rated order is policy-independent by contract; against the
+  // kMonthPlatform reference it is the rated subsequence in key order.
+  const auto rated = engine_.rated_sessions_canonical();
+  std::vector<confsim::ParticipantRecord> rated_want;
+  for (const auto& rec : reference(ShardingPolicy::kMonthPlatform).sessions()) {
+    if (rec.mos) rated_want.push_back(rec);
+  }
+  ASSERT_EQ(rated.size(), rated_want.size());
+  for (std::size_t i = 0; i < rated.size(); ++i) {
+    expect_record_eq(rated[i], rated_want[i], "rated " + std::to_string(i));
+  }
+}
+
+TEST_P(ColumnarDifferential, EmptyWindowSelectsNothing) {
+  ShardSelector sel;
+  sel.first = Date{2023, 6, 1};
+  sel.last = Date{2023, 6, 30};
+  const SweepSpec spec = sweep_for(netsim::Metric::kLatency, 12);
+  EXPECT_TRUE(
+      engine_.engagement_curve(spec, EngagementMetric::kPresence, nullptr, sel)
+          .points.empty());
+  EXPECT_EQ(engine_.tally(nullptr, sel).sessions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Battery, ColumnarDifferential,
+    ::testing::Values(
+        Config{ShardingPolicy::kSingleShard, 1, false},
+        Config{ShardingPolicy::kSingleShard, 2, false},
+        Config{ShardingPolicy::kSingleShard, 8, true},
+        Config{ShardingPolicy::kMonthPlatform, 1, false},
+        Config{ShardingPolicy::kMonthPlatform, 1, true},
+        Config{ShardingPolicy::kMonthPlatform, 2, true},
+        Config{ShardingPolicy::kMonthPlatform, 8, false},
+        Config{ShardingPolicy::kMonthPlatform, 8, true}),
+    config_name);
+
+// ---- Ingest-path equivalence -------------------------------------------
+
+TEST(ColumnarIngest, PerCallAndBatchPathsAgreeBitForBit) {
+  // The per-record append and the permutation scatter must produce the
+  // same columns: same rows, same order, same bytes.
+  CorrelationEngine batch{ShardingPolicy::kMonthPlatform};
+  core::ThreadPool pool{4};
+  batch.set_thread_pool(&pool);
+  batch.ingest(std::span<const confsim::CallRecord>{corpus()});
+  CorrelationEngine per_call{ShardingPolicy::kMonthPlatform};
+  for (const confsim::CallRecord& call : corpus()) per_call.ingest(call);
+
+  ASSERT_EQ(batch.session_count(), per_call.session_count());
+  const auto a = batch.sessions();
+  const auto b = per_call.sessions();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 11) {
+    expect_record_eq(a[i], b[i], "ingest-path session " + std::to_string(i));
+  }
+  const SweepSpec spec = sweep_for(netsim::Metric::kLatency, 12);
+  expect_points_eq(
+      batch.engagement_curve(spec, EngagementMetric::kPresence).points,
+      per_call.engagement_curve(spec, EngagementMetric::kPresence).points,
+      "ingest-path curve");
+}
+
+TEST(ColumnarIngest, RepeatedBatchesReuseScratchAndStayOrdered) {
+  // Several batches through one engine: scratch reuse across batches must
+  // not corrupt slot order or leak rows between shards.
+  CorrelationEngine engine{ShardingPolicy::kMonthPlatform};
+  core::ThreadPool pool{4};
+  engine.set_thread_pool(&pool);
+  const auto& calls = corpus();
+  const std::size_t third = calls.size() / 3;
+  engine.ingest(std::span<const confsim::CallRecord>{calls.data(), third});
+  engine.ingest(
+      std::span<const confsim::CallRecord>{calls.data() + third, third});
+  engine.ingest(std::span<const confsim::CallRecord>{
+      calls.data() + 2 * third, calls.size() - 2 * third});
+
+  CorrelationEngine once{ShardingPolicy::kMonthPlatform};
+  once.ingest(std::span<const confsim::CallRecord>{calls});
+  ASSERT_EQ(engine.session_count(), once.session_count());
+  const auto a = engine.sessions();
+  const auto b = once.sessions();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 13) {
+    expect_record_eq(a[i], b[i], "batched session " + std::to_string(i));
+  }
+}
+
+TEST(ColumnarStore, PackedDayKeyPreservesDateOrder) {
+  // Order-preservation is what turns the date-window residual into two
+  // integer compares; spot-check across month/year boundaries.
+  const Date dates[] = {Date{2021, 12, 31}, Date{2022, 1, 1},
+                        Date{2022, 1, 31},  Date{2022, 2, 1},
+                        Date{2022, 12, 31}, Date{2023, 1, 1}};
+  for (std::size_t i = 1; i < std::size(dates); ++i) {
+    EXPECT_LT(SessionColumns::pack_day_key(dates[i - 1]),
+              SessionColumns::pack_day_key(dates[i]));
+  }
+  for (const Date& d : dates) {
+    const Date back = SessionColumns::unpack_day_key(
+        SessionColumns::pack_day_key(d));
+    EXPECT_EQ(back.year(), d.year());
+    EXPECT_EQ(back.month(), d.month());
+    EXPECT_EQ(back.day(), d.day());
+  }
+}
+
+}  // namespace
+}  // namespace usaas::service

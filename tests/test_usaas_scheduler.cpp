@@ -191,6 +191,41 @@ TEST(QueryScheduler, CostOrderingCacheThenSummaryThenScan) {
   EXPECT_GE(bumped.slow_log_seconds, 0.0);
 }
 
+// Pins the columnar recalibration of the structural cost model: the
+// per-scan-month charge halved (8 -> 4 tokens) because a columnar rescan
+// touches only the columns a query names, and the admission properties
+// built on the old constant must survive the cheaper scans.
+TEST(QueryScheduler, ColumnarScanCostKeepsAdmissionOrdering) {
+  const SchedulerConfig defaults;
+  EXPECT_DOUBLE_EQ(defaults.scan_month_cost, 4.0);
+  EXPECT_LT(defaults.summary_month_cost, defaults.scan_month_cost);
+
+  Fixture fx;
+  SchedulerConfig cfg;
+  core::VirtualClock clock;
+  cfg.clock = &clock;
+  QueryScheduler sched{fx.svc, cfg};
+
+  // Ordering: cache-floor == month-aligned summary merge < boundary-cut
+  // scan — cheap dashboard merges keep admitting ahead of cold scans.
+  const double aligned = sched.estimate_cost(whole_months_query());
+  const double cut = sched.estimate_cost(cut_months_query());
+  EXPECT_DOUBLE_EQ(aligned, cfg.min_cost_tokens);
+  EXPECT_DOUBLE_EQ(cut, cfg.summary_month_cost * 1.0 +
+                            cfg.scan_month_cost * 2.0);  // 1 merge + 2 scans
+  EXPECT_LT(aligned, cut);
+  // Even a single boundary-cut month outweighs a whole quarter of
+  // summary-answerable months.
+  EXPECT_GT(cfg.scan_month_cost,
+            cfg.summary_month_cost * 3.0 + cfg.summary_month_cost);
+
+  // PR 7 degrade-before-shed tripwire: the saturation A/B runs batch
+  // tenants with burst 4.0 — a two-boundary-cut rescan must stay
+  // unpayable outright so the saturated tenant degrades to a bounded-
+  // staleness cached answer (or sheds) instead of jumping the queue.
+  EXPECT_GT(cut, 4.0);
+}
+
 // ---- Deadline-aware admission under a virtual clock --------------------
 
 TEST(QueryScheduler, AdmissionWaitsAreDeterministicUnderVirtualClock) {
