@@ -47,6 +47,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -288,6 +289,10 @@ int run_wire_demo() {
 
   const std::string scrape =
       http_exchange(port, get_request("/metrics"));
+  const std::string traces_scrape =
+      http_exchange(port, get_request("/debug/traces"));
+  const std::string events_scrape =
+      http_exchange(port, get_request("/debug/events"));
   const bool clean = listener.stop();
 
   const service::SchedulerStats stats = front.stats();
@@ -329,6 +334,21 @@ int run_wire_demo() {
               body_at == std::string::npos
                   ? scrape.c_str()
                   : scrape.c_str() + body_at + 4);
+
+  // The per-request layer under those aggregates: every shed / degraded /
+  // expired request above has a TraceRecord here, and the breaker / bias
+  // moves it caused are in the journal — both scraped over the same wire.
+  const auto body_of = [](const std::string& response) {
+    const std::size_t at = response.find("\r\n\r\n");
+    return at == std::string::npos ? response : response.substr(at + 4);
+  };
+  const std::string traces_body = body_of(traces_scrape);
+  std::printf("== GET /debug/traces (first lines) ==\n%.*s...\n",
+              static_cast<int>(std::min<std::size_t>(traces_body.size(),
+                                                     600)),
+              traces_body.c_str());
+  std::printf("\n== GET /debug/events ==\n%s\n",
+              body_of(events_scrape).c_str());
   return (stats.reconciles() && ls.reconciles() && clean) ? 0 : 1;
 }
 
@@ -422,8 +442,15 @@ int run_in_process_demo() {
 // ---- Mode 3 (USAAS_FAULT_SOCKET): the chaos harness ----------------------
 
 int run_chaos(const core::FaultInjector::Config& fault_cfg) {
-  service::QueryService svc{service::QueryServiceConfig{
-      service::ShardingPolicy::kMonthPlatform, /*threads=*/2}};
+  service::QueryServiceConfig svc_cfg;
+  svc_cfg.sharding = service::ShardingPolicy::kMonthPlatform;
+  svc_cfg.threads = 2;
+  // sampling=all with headroom: the trace ledger must reconcile exactly
+  // against the scheduler's four-way ledger after the storm, so no
+  // request's trace may be sampled away or overwritten.
+  svc_cfg.trace.sampling = core::telemetry::TraceSampling::kAll;
+  svc_cfg.trace.tail_entries = 4096;
+  service::QueryService svc{svc_cfg};
   {
     confsim::DatasetConfig cfg = base_calls_config();
     cfg.num_calls = 800;  // The chaos stage times sockets, not scans.
@@ -530,11 +557,34 @@ int run_chaos(const core::FaultInjector::Config& fault_cfg) {
   const double max_ratio =
       *std::max_element(worst_ratio.begin(), worst_ratio.end());
 
+  // Trace-vs-ledger reconciliation: under sampling=all, every submission
+  // the scheduler counted — whichever outcome the storm forced — must
+  // have exactly one retained TraceRecord with the matching outcome.
+  const char* traces_verdict = "off";
+  if (svc.tracer().enabled()) {
+    const std::vector<core::telemetry::TraceRecord> traces =
+        svc.tracer().snapshot();
+    std::uint64_t by_outcome[4] = {0, 0, 0, 0};
+    std::set<std::uint64_t> ids;
+    bool unique = true;
+    for (const core::telemetry::TraceRecord& rec : traces) {
+      if (rec.outcome < 4) ++by_outcome[rec.outcome];
+      if (!ids.insert(rec.trace_id).second) unique = false;
+    }
+    const bool traces_ok =
+        svc.tracer().recorded() == stats.submitted &&
+        traces.size() == stats.submitted && unique &&
+        by_outcome[0] == stats.admitted && by_outcome[1] == stats.degraded &&
+        by_outcome[2] == stats.shed && by_outcome[3] == stats.expired;
+    traces_verdict = traces_ok ? "ok" : "FAIL";
+  }
+
   std::printf(
       "CHAOS submitted=%llu admitted=%llu degraded=%llu shed=%llu "
       "expired=%llu reconcile=%s accepted=%llu accept_failures=%llu "
       "saturated=%llu drained=%llu handled=%llu read_failures=%llu "
       "responses=%llu write_failures=%llu listener_reconcile=%s "
+      "traces_reconcile=%s "
       "clean_shutdown=%s shutdown_seconds=%.3f max_deadline_ratio=%.3f "
       "exchanges=%llu\n",
       static_cast<unsigned long long>(stats.submitted),
@@ -551,19 +601,21 @@ int run_chaos(const core::FaultInjector::Config& fault_cfg) {
       static_cast<unsigned long long>(ls.read_failures),
       static_cast<unsigned long long>(ls.responses_sent),
       static_cast<unsigned long long>(ls.write_failures),
-      ls.reconciles() ? "ok" : "FAIL", clean ? "yes" : "no",
+      ls.reconciles() ? "ok" : "FAIL", traces_verdict, clean ? "yes" : "no",
       ls.shutdown_seconds, max_ratio,
       static_cast<unsigned long long>(
           exchanges.load(std::memory_order_relaxed)));
 
-  const bool ok =
-      stats.reconciles() && ls.reconciles() && clean && max_ratio <= 2.0;
+  const bool traces_clean = std::strcmp(traces_verdict, "FAIL") != 0;
+  const bool ok = stats.reconciles() && ls.reconciles() && traces_clean &&
+                  clean && max_ratio <= 2.0;
   if (!ok) {
     std::fprintf(stderr,
                  "FATAL: chaos invariants violated (scheduler=%d "
-                 "listener=%d clean_shutdown=%d max_deadline_ratio=%.3f)\n",
+                 "listener=%d traces=%s clean_shutdown=%d "
+                 "max_deadline_ratio=%.3f)\n",
                  stats.reconciles() ? 1 : 0, ls.reconciles() ? 1 : 0,
-                 clean ? 1 : 0, max_ratio);
+                 traces_verdict, clean ? 1 : 0, max_ratio);
   }
   return ok ? 0 : 1;
 }

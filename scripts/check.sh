@@ -13,7 +13,10 @@
 #      compares a live metrics registry against the USAAS_TELEMETRY=off
 #      kill switch and fails if batch-ingest overhead exceeds 5% (the
 #      design target is <2%; the gate leaves headroom for timing noise
-#      on loaded single-core CI hosts).
+#      on loaded single-core CI hosts). The query battery runs through
+#      the admission scheduler so request tracing (ID mint, trace
+#      assembly, ring write) is inside the measured window; the same 5%
+#      gate applies to the query column.
 #   5. post-ingest regression gate: the bench's posts-only mode
 #      (USAAS_BENCH_POSTS_ONLY=1, min over 3 reps) against the 1t
 #      posts_per_sec recorded in BENCH_usaas_throughput.json; fails on a
@@ -40,10 +43,11 @@
 #      runs the real HTTP listener on loopback through a seeded fault
 #      storm (injected accept failures; client-side slow-loris,
 #      truncation, early disconnects). The example exits non-zero — and
-#      the gate re-asserts from the printed CHAOS line — if either
-#      ledger fails to reconcile exactly, a worker fails to exit within
-#      the shutdown timeout, or any request outlives its deadline
-#      envelope by more than 2x.
+#      the gate re-asserts from the printed CHAOS line — if any ledger
+#      (scheduler, listener connections, or the sampling=all trace ring
+#      vs the scheduler's four-way ledger) fails to reconcile exactly, a
+#      worker fails to exit within the shutdown timeout, or any request
+#      outlives its deadline envelope by more than 2x.
 #
 # The sanitize suites carry USAAS_PARALLEL_FORCE=1 via their ctest
 # ENVIRONMENT property, so parallel_for really fans out across the pool —
@@ -70,6 +74,7 @@ SANITIZE_TARGETS=(
   test_usaas_http_listener
   test_fault_injection
   test_telemetry
+  test_usaas_tracing
   test_nlp_differential
 )
 
@@ -113,6 +118,24 @@ awk -v pct="${INGEST_OVERHEAD}" 'BEGIN {
     exit 1
   }
   printf "telemetry ingest overhead %.2f%% (gate: 5%%)\n", pct
+}'
+# The query battery runs through the admission scheduler, so the enabled
+# column carries the full per-request tracing path (ID mint, trace
+# assembly, seqlock ring write) on top of spans + slow-log; same 5% gate.
+QUERY_OVERHEAD=$(sed -n \
+  's/^ *"query_overhead_pct": \(-\{0,1\}[0-9.eE+-]*\),*$/\1/p' \
+  "${TELEMETRY_JSON}")
+if [[ -z "${QUERY_OVERHEAD}" ]]; then
+  echo "FATAL: query_overhead_pct missing from ${TELEMETRY_JSON}" >&2
+  exit 1
+fi
+awk -v pct="${QUERY_OVERHEAD}" 'BEGIN {
+  if (pct + 0.0 > 5.0) {
+    printf "FATAL: tracing query overhead %.2f%% exceeds the 5%% gate\n",
+           pct > "/dev/stderr"
+    exit 1
+  }
+  printf "tracing query overhead %.2f%% (gate: 5%%)\n", pct
 }'
 
 echo "==> post ingest: bench regression gate (posts-only, min of 3 reps)"
@@ -262,6 +285,16 @@ if [[ $((C_ADMITTED + C_DEGRADED + C_SHED + C_EXPIRED)) -ne "${C_SUBMITTED}" ]];
 fi
 if [[ "${C_LISTENER}" != "ok" ]]; then
   echo "FATAL: listener connection ledger does not reconcile under faults" >&2
+  exit 1
+fi
+# Trace-ledger reconciliation: the chaos run samples at sampling=all, so
+# every submission the scheduler counted must have exactly one retained
+# TraceRecord with the matching outcome ("off" is only legal when the
+# telemetry kill switch disabled tracing entirely).
+C_TRACES=$(chaos_field traces_reconcile)
+if [[ "${C_TRACES}" != "ok" ]]; then
+  echo "FATAL: trace ledger does not reconcile under faults" \
+       "(traces_reconcile=${C_TRACES:-missing})" >&2
   exit 1
 fi
 if [[ "${C_SHUTDOWN}" != "yes" ]]; then

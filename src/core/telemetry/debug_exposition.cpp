@@ -1,0 +1,183 @@
+#include "core/telemetry/debug_exposition.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/telemetry/exposition.h"
+
+namespace usaas::core::telemetry {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_hex(std::string& out, std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_bool(std::string& out, bool v) { out += v ? "true" : "false"; }
+
+/// JSON has no NaN literal; NaN marks "series did not exist yet".
+void append_value_or_null(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "null";
+  } else {
+    out += format_double(v);
+  }
+}
+
+void append_trace(std::string& out, const TraceRecord& rec) {
+  out += "{\"trace_id\": \"";
+  append_hex(out, rec.trace_id);
+  out += "\", \"order\": ";
+  append_u64(out, rec.order);
+  out += ", \"tenant\": \"" + json_escape(std::string{rec.tenant_view()});
+  out += "\", \"outcome\": \"";
+  out += to_string(static_cast<TraceOutcome>(rec.outcome));
+  out += "\", \"served_by\": \"";
+  out += to_string(static_cast<TracePath>(rec.served_by));
+  out += "\", \"corpus_version\": ";
+  append_u64(out, rec.corpus_version);
+  out += ", \"staleness\": ";
+  append_u64(out, rec.staleness);
+  out += ", \"wait_seconds\": " + format_double(rec.wait_seconds);
+  out += ", \"run_seconds\": " + format_double(rec.run_seconds);
+  out += ", \"validate_seconds\": " + format_double(rec.validate_seconds);
+  out += ", \"cache_probe_seconds\": " +
+         format_double(rec.cache_probe_seconds);
+  out += ", \"implicit_seconds\": " + format_double(rec.implicit_seconds);
+  out += ", \"social_seconds\": " + format_double(rec.social_seconds);
+  out += ", \"cost_tokens\": " + format_double(rec.cost_tokens);
+  out += ", \"retry_after_seconds\": " +
+         format_double(rec.retry_after_seconds);
+  out += ", \"shards_from_summary\": ";
+  append_u64(out, rec.shards_from_summary);
+  out += ", \"shards_scanned\": ";
+  append_u64(out, rec.shards_scanned);
+  out += ", \"post_shards_from_summary\": ";
+  append_u64(out, rec.post_shards_from_summary);
+  out += ", \"post_shards_scanned\": ";
+  append_u64(out, rec.post_shards_scanned);
+  out += ", \"slow\": ";
+  append_bool(out, (rec.flags & TraceRecord::kFlagSlow) != 0);
+  out += ", \"queued\": ";
+  append_bool(out, (rec.flags & TraceRecord::kFlagQueued) != 0);
+  out += ", \"breaker_short_circuit\": ";
+  append_bool(out,
+              (rec.flags & TraceRecord::kFlagBreakerShortCircuit) != 0);
+  out += ", \"unpayable\": ";
+  append_bool(out, (rec.flags & TraceRecord::kFlagUnpayable) != 0);
+  out += "}";
+}
+
+}  // namespace
+
+std::string debug_traces_json(const RequestTracer& tracer) {
+  std::string out = "{\n  \"enabled\": ";
+  append_bool(out, tracer.enabled());
+  out += ",\n  \"sampling\": \"";
+  out += tracer.config().sampling == TraceSampling::kAll ? "all" : "tail";
+  out += "\",\n  \"recorded\": ";
+  append_u64(out, tracer.recorded());
+  out += ",\n  \"tail_kept\": ";
+  append_u64(out, tracer.tail_kept());
+  out += ",\n  \"reservoir_seen\": ";
+  append_u64(out, tracer.reservoir_seen());
+  out += ",\n  \"reservoir_kept\": ";
+  append_u64(out, tracer.reservoir_kept());
+  out += ",\n  \"traces\": [";
+  bool first = true;
+  for (const TraceRecord& rec : tracer.snapshot()) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_trace(out, rec);
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string debug_events_json(const EventJournal& journal) {
+  std::string out = "{\n  \"enabled\": ";
+  append_bool(out, journal.enabled());
+  out += ",\n  \"recorded\": ";
+  append_u64(out, journal.recorded());
+  out += ",\n  \"dropped\": ";
+  append_u64(out, journal.dropped());
+  out += ",\n  \"events\": [";
+  bool first = true;
+  for (const JournalEvent& ev : journal.snapshot()) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"order\": ";
+    append_u64(out, ev.order);
+    out += ", \"kind\": \"";
+    out += to_string(ev.kind);
+    out += "\", \"tenant\": \"" + json_escape(ev.tenant);
+    out += "\", \"trace_id\": \"";
+    append_hex(out, ev.trace_id);
+    out += "\", \"at_seconds\": " + format_double(ev.at_seconds);
+    switch (ev.kind) {
+      case JournalEventKind::kBreakerTransition:
+        out += ", \"from\": \"";
+        out += journal_breaker_state_name(ev.a);
+        out += "\", \"to\": \"";
+        out += journal_breaker_state_name(ev.b);
+        out += "\"";
+        break;
+      case JournalEventKind::kCostBiasBump:
+      case JournalEventKind::kCostBiasDecay:
+        out += ", \"old_bias\": " + format_double(ev.a);
+        out += ", \"new_bias\": " + format_double(ev.b);
+        break;
+      case JournalEventKind::kBackpressure:
+        out += ", \"depth\": " + format_double(ev.a);
+        out += ", \"limit\": " + format_double(ev.b);
+        break;
+    }
+    out += "}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string debug_timeseries_json(const TelemetryHistory& history) {
+  const TelemetryHistory::Snapshot snap = history.snapshot();
+  std::string out = "{\n  \"enabled\": ";
+  append_bool(out, history.enabled());
+  out += ",\n  \"interval_seconds\": ";
+  out += format_double(snap.interval_seconds);
+  out += ",\n  \"slots\": ";
+  append_u64(out, snap.slots);
+  out += ",\n  \"ticks\": ";
+  append_u64(out, history.ticks());
+  out += ",\n  \"at_seconds\": [";
+  for (std::size_t i = 0; i < snap.at_seconds.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += format_double(snap.at_seconds[i]);
+  }
+  out += "],\n  \"series\": {";
+  bool first = true;
+  for (const TelemetryHistory::Series& series : snap.series) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "\"" + json_escape(series.key) + "\": {\"kind\": \"";
+    out += to_string(series.kind);
+    out += "\", \"values\": [";
+    for (std::size_t i = 0; i < series.values.size(); ++i) {
+      if (i > 0) out += ", ";
+      append_value_or_null(out, series.values[i]);
+    }
+    out += "]}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace usaas::core::telemetry

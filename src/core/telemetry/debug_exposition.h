@@ -1,0 +1,34 @@
+// JSON renderers for the /debug/* observability endpoints: retained
+// request traces, the control-plane event journal, and the telemetry
+// time-series history. Pure formatting over snapshots (same contract as
+// exposition.h) so tests can golden the exact bytes.
+//
+// All three renderers emit an "enabled" flag: a disabled subsystem
+// renders an honest empty document instead of a 404, so a scrape can
+// tell "nothing happened" from "telemetry is off".
+#pragma once
+
+#include <string>
+
+#include "core/telemetry/event_journal.h"
+#include "core/telemetry/history.h"
+#include "core/telemetry/request_trace.h"
+
+namespace usaas::core::telemetry {
+
+/// /debug/traces: {"enabled", "sampling", ledger counters, "traces": [...]}
+/// with traces oldest-completion-first and trace IDs as 16-hex strings.
+[[nodiscard]] std::string debug_traces_json(const RequestTracer& tracer);
+
+/// /debug/events: {"enabled", "recorded", "dropped", "events": [...]}
+/// oldest first, with kind-specific payload field names (from/to states,
+/// old/new bias, depth/limit).
+[[nodiscard]] std::string debug_events_json(const EventJournal& journal);
+
+/// /debug/timeseries: {"enabled", "interval_seconds", "slots", "ticks",
+/// "at_seconds": [...], "series": {key: {"kind", "values": [...]}}} with
+/// NaN back-fill rendered as null.
+[[nodiscard]] std::string debug_timeseries_json(
+    const TelemetryHistory& history);
+
+}  // namespace usaas::core::telemetry

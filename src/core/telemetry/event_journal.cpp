@@ -1,0 +1,66 @@
+#include "core/telemetry/event_journal.h"
+
+namespace usaas::core::telemetry {
+
+const char* to_string(JournalEventKind k) {
+  switch (k) {
+    case JournalEventKind::kBreakerTransition: return "breaker-transition";
+    case JournalEventKind::kCostBiasBump: return "cost-bias-bump";
+    case JournalEventKind::kCostBiasDecay: return "cost-bias-decay";
+    case JournalEventKind::kBackpressure: return "backpressure";
+  }
+  return "unknown";
+}
+
+const char* journal_breaker_state_name(double state) {
+  if (state == 0.0) return "closed";
+  if (state == 1.0) return "open";
+  if (state == 2.0) return "half-open";
+  return "unknown";
+}
+
+EventJournal::EventJournal(std::size_t capacity, bool enabled)
+    : capacity_{capacity}, enabled_{enabled && capacity > 0} {}
+
+void EventJournal::record(JournalEventKind kind, std::string_view tenant,
+                          std::uint64_t trace_id, double at_seconds, double a,
+                          double b) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock{mu_};
+  JournalEvent ev;
+  ev.order = ++recorded_;
+  ev.trace_id = trace_id;
+  ev.at_seconds = at_seconds;
+  ev.a = a;
+  ev.b = b;
+  ev.kind = kind;
+  ev.tenant.assign(tenant);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[head_] = std::move(ev);
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+std::vector<JournalEvent> EventJournal::snapshot() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  std::vector<JournalEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t EventJournal::recorded() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return recorded_;
+}
+
+std::uint64_t EventJournal::dropped() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+}  // namespace usaas::core::telemetry

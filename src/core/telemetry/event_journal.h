@@ -1,0 +1,87 @@
+// Bounded journal of rare control-plane events: circuit-breaker
+// transitions, degrade-feedback cost-bias bumps/decays, and backpressure
+// episodes, each back-linked to the trace that caused it.
+//
+// Gauges answer "what is the breaker state now"; the journal answers
+// "when did it open, what tripped it, and which request was the straw" —
+// the longitudinal question the paper says dashboards miss. Events are
+// rare by construction (state *changes*, not samples), so a mutex-guarded
+// overwrite ring is the right tool: the hot request path never records
+// here unless the control plane actually moved.
+//
+// Event payload is two kind-specific doubles:
+//   kBreakerTransition  a = from-state, b = to-state
+//                       (0 = closed, 1 = open, 2 = half-open)
+//   kCostBiasBump /     a = old bias, b = new bias
+//   kCostBiasDecay
+//   kBackpressure       a = pending depth, b = configured limit
+//
+// A default-constructed (disabled) journal allocates nothing and every
+// record() is a single-branch no-op.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace usaas::core::telemetry {
+
+enum class JournalEventKind : std::uint8_t {
+  kBreakerTransition = 0,
+  kCostBiasBump = 1,
+  kCostBiasDecay = 2,
+  kBackpressure = 3,
+};
+
+[[nodiscard]] const char* to_string(JournalEventKind k);
+
+/// Breaker-state value names for the kBreakerTransition a/b payload.
+[[nodiscard]] const char* journal_breaker_state_name(double state);
+
+struct JournalEvent {
+  std::uint64_t order{0};     ///< Monotone journal sequence (assigned).
+  std::uint64_t trace_id{0};  ///< Causing request's trace (0 = none).
+  double at_seconds{0.0};     ///< Caller-supplied clock seconds.
+  double a{0.0};
+  double b{0.0};
+  JournalEventKind kind{JournalEventKind::kBreakerTransition};
+  std::string tenant;
+};
+
+class EventJournal {
+ public:
+  EventJournal() = default;  ///< Disabled.
+  EventJournal(std::size_t capacity, bool enabled);
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Thread-safe; `at_seconds` comes from the caller's clock (the
+  /// journal itself never reads one — callers already hold "now" at
+  /// every emission site, and a disabled journal must read no clocks).
+  void record(JournalEventKind kind, std::string_view tenant,
+              std::uint64_t trace_id, double at_seconds, double a, double b);
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<JournalEvent> snapshot() const;
+
+  /// Total events ever recorded (keeps counting past overwrites).
+  [[nodiscard]] std::uint64_t recorded() const;
+  /// Events lost to ring overwrite.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  std::size_t capacity_{0};
+  bool enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<JournalEvent> ring_;  ///< Ring once full; `head_` = oldest.
+  std::size_t head_{0};
+  std::uint64_t recorded_{0};
+};
+
+}  // namespace usaas::core::telemetry

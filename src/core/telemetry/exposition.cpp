@@ -40,29 +40,6 @@ std::string sample_key(const std::string& name, const std::string& labels,
   return out;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
-
 void append_histogram_json(std::string& out, const HistogramSnapshot& h) {
   out += "{\"count\": ";
   append_u64(out, h.count);
@@ -87,6 +64,29 @@ void append_histogram_json(std::string& out, const HistogramSnapshot& h) {
 }
 
 }  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
 
 std::string format_double(double v) {
   if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
@@ -210,7 +210,9 @@ std::string to_json(const std::vector<MetricFamily>& families,
     append_u64(out, entry.hits);
     out += ", \"last_seen_version\": ";
     append_u64(out, entry.last_seen_version);
-    out += "}";
+    out += ", \"trace_id\": \"";
+    append_hex(out, entry.trace_id);
+    out += "\"}";
   }
   out += "]\n}\n";
   return out;

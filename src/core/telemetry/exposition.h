@@ -23,6 +23,11 @@ namespace usaas::core::telemetry {
 /// without an exponent or trailing zeros ("42", not "4.2e+01").
 [[nodiscard]] std::string format_double(double v);
 
+/// Escapes a string for inclusion in a JSON string literal (quotes,
+/// backslashes, and control bytes as \uXXXX). Shared by the metrics and
+/// /debug/* renderers.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
 /// Prometheus text exposition format (v0.0.4):
 ///   # HELP name help
 ///   # TYPE name counter|gauge|histogram

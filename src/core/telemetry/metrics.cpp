@@ -173,6 +173,18 @@ std::string escape_label_value(std::string_view value) {
   return out;
 }
 
+std::string sanitize_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(std::min(value.size(), kMaxLabelValueBytes));
+  for (const char c : value) {
+    if (out.size() >= kMaxLabelValueBytes) break;
+    const auto u = static_cast<unsigned char>(c);
+    out.push_back((u < 0x20 || u == 0x7f) ? '_' : c);
+  }
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
 std::string render_labels(const Labels& labels) {
   std::string out;
   for (const auto& [key, value] : labels) {

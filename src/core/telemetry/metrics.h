@@ -248,6 +248,20 @@ class Registry {
 /// double quote, newline).
 [[nodiscard]] std::string escape_label_value(std::string_view value);
 
+/// Maximum bytes of a client-controlled string admitted as a label value
+/// by sanitize_label_value (longer inputs are truncated). Bounds both
+/// exposition line length and the cardinality a hostile client can mint.
+inline constexpr std::size_t kMaxLabelValueBytes = 64;
+
+/// Defense-in-depth for *client-controlled* label values (tenant names
+/// from the wire): replaces control bytes (< 0x20, 0x7f) — which
+/// escape_label_value passes through verbatim and which can smuggle CR
+/// or split exposition lines — with '_', truncates to
+/// kMaxLabelValueBytes, and maps an empty result to "_". Distinct raw
+/// names can collide after sanitization; colliding tenants share a label
+/// series, which is the safe failure mode.
+[[nodiscard]] std::string sanitize_label_value(std::string_view value);
+
 /// Renders labels as `key="value",...` (no braces), in the given order.
 [[nodiscard]] std::string render_labels(const Labels& labels);
 

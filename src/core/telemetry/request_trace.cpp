@@ -1,0 +1,199 @@
+#include "core/telemetry/request_trace.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace usaas::core::telemetry {
+
+const char* to_string(TraceOutcome o) {
+  switch (o) {
+    case TraceOutcome::kAdmitted: return "admitted";
+    case TraceOutcome::kDegraded: return "degraded";
+    case TraceOutcome::kShed: return "shed";
+    case TraceOutcome::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+const char* to_string(TracePath p) {
+  switch (p) {
+    case TracePath::kNone: return "none";
+    case TracePath::kCache: return "cache";
+    case TracePath::kSummaryMerge: return "summary-merge";
+    case TracePath::kScan: return "scan";
+    case TracePath::kMixed: return "mixed";
+    case TracePath::kInvalid: return "invalid";
+    case TracePath::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+void TraceRecord::set_tenant(std::string_view name) {
+  const std::size_t n = std::min(name.size(), kTenantBytes - 1);
+  std::memcpy(tenant, name.data(), n);
+  std::memset(tenant + n, 0, kTenantBytes - n);
+}
+
+std::string_view TraceRecord::tenant_view() const {
+  return std::string_view{tenant, ::strnlen(tenant, kTenantBytes)};
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity) {
+  if (capacity == 0) return;
+  cap_ = round_up_pow2(capacity);
+  mask_ = cap_ - 1;
+  slots_ = std::make_unique<Slot[]>(cap_);
+}
+
+void TraceRing::write_slot(Slot& slot, const TraceRecord& rec) {
+  // Claim: CAS the sequence from even to odd. A concurrent writer that
+  // lapped the ring onto this same slot spins here; slot claims are
+  // ticketed, so this only contends after a full ring revolution. The
+  // sequence must be reloaded every iteration — an odd value skips the
+  // CAS, so a load hoisted out of the loop would spin on the stale odd
+  // value forever. The yield matters on few-core hosts: the slot owner
+  // may be preempted mid-write, and a bare spin burns the whole
+  // timeslice before the owner can run again to release the slot.
+  std::uint64_t seq;
+  for (;;) {
+    seq = slot.seq.load(std::memory_order_relaxed);
+    if ((seq & 1) == 0 &&
+        slot.seq.compare_exchange_weak(seq, seq + 1,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+      break;
+    }
+    std::this_thread::yield();
+  }
+  std::uint64_t words[kTraceRecordWords];
+  std::memcpy(words, &rec, sizeof(rec));
+  for (std::size_t w = 0; w < kTraceRecordWords; ++w) {
+    slot.words[w].store(words[w], std::memory_order_relaxed);
+  }
+  slot.seq.store(seq + 2, std::memory_order_release);
+}
+
+bool TraceRing::read_slot(const Slot& slot, TraceRecord* out) const {
+  const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+  if (before == 0 || (before & 1) != 0) return false;
+  std::uint64_t words[kTraceRecordWords];
+  for (std::size_t w = 0; w < kTraceRecordWords; ++w) {
+    words[w] = slot.words[w].load(std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.seq.load(std::memory_order_relaxed) != before) return false;
+  std::memcpy(out, words, sizeof(*out));
+  return true;
+}
+
+void TraceRing::push(const TraceRecord& rec) {
+  if (cap_ == 0) return;
+  const std::uint64_t ticket = cursor_.fetch_add(1, std::memory_order_relaxed);
+  write_slot(slots_[static_cast<std::size_t>(ticket) & mask_], rec);
+}
+
+void TraceRing::store(std::size_t slot, const TraceRecord& rec) {
+  if (slot >= cap_) return;
+  write_slot(slots_[slot], rec);
+}
+
+std::vector<TraceRecord> TraceRing::snapshot() const {
+  std::vector<TraceRecord> out;
+  if (cap_ == 0) return out;
+  out.reserve(cap_);
+  TraceRecord rec;
+  for (std::size_t i = 0; i < cap_; ++i) {
+    if (read_slot(slots_[i], &rec)) out.push_back(rec);
+  }
+  return out;
+}
+
+RequestTracer::RequestTracer(const TracerConfig& cfg, bool enabled)
+    : cfg_{cfg},
+      enabled_{enabled && (cfg.tail_entries > 0 || cfg.reservoir_entries > 0)},
+      tail_{enabled_ ? cfg.tail_entries : 0},
+      reservoir_{enabled_ && cfg.sampling == TraceSampling::kTail
+                     ? cfg.reservoir_entries
+                     : 0} {}
+
+std::uint64_t RequestTracer::mint_id() {
+  if (!enabled_) return 0;
+  const std::uint64_t id =
+      mix64(id_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+  return id != 0 ? id : 1;
+}
+
+bool RequestTracer::interesting(const TraceRecord& rec) const {
+  if (rec.outcome != static_cast<std::uint8_t>(TraceOutcome::kAdmitted)) {
+    return true;
+  }
+  if (rec.served_by == static_cast<std::uint8_t>(TracePath::kInvalid)) {
+    return true;
+  }
+  if ((rec.flags & (TraceRecord::kFlagBreakerShortCircuit |
+                    TraceRecord::kFlagUnpayable)) != 0) {
+    return true;
+  }
+  return rec.run_seconds >= cfg_.slow_seconds;
+}
+
+void RequestTracer::record(TraceRecord rec) {
+  if (!enabled_) return;
+  if (rec.run_seconds >= cfg_.slow_seconds) {
+    rec.flags |= TraceRecord::kFlagSlow;
+  }
+  const bool tail = interesting(rec);
+  rec.order = order_.fetch_add(1, std::memory_order_relaxed) + 1;
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (cfg_.sampling == TraceSampling::kAll || tail) {
+    tail_kept_.fetch_add(1, std::memory_order_relaxed);
+    tail_.push(rec);
+    return;
+  }
+  // Algorithm R over the deterministic mix64 stream: the n-th fast
+  // admitted trace survives with probability k/n.
+  const std::uint64_t n =
+      reservoir_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::size_t k = reservoir_.capacity();
+  if (k == 0) return;
+  if (n <= k) {
+    reservoir_kept_.fetch_add(1, std::memory_order_relaxed);
+    reservoir_.store(static_cast<std::size_t>(n - 1), rec);
+    return;
+  }
+  const std::uint64_t j = mix64(n) % n;
+  if (j < k) {
+    reservoir_kept_.fetch_add(1, std::memory_order_relaxed);
+    reservoir_.store(static_cast<std::size_t>(j), rec);
+  }
+}
+
+std::vector<TraceRecord> RequestTracer::snapshot() const {
+  std::vector<TraceRecord> out = tail_.snapshot();
+  std::vector<TraceRecord> sampled = reservoir_.snapshot();
+  out.insert(out.end(), sampled.begin(), sampled.end());
+  std::sort(out.begin(), out.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.order < b.order;
+            });
+  return out;
+}
+
+}  // namespace usaas::core::telemetry

@@ -1,0 +1,242 @@
+// Request-scoped tracing: one bounded structured TraceRecord per request,
+// kept in lock-free seqlock rings with tail-based retention.
+//
+// The paper's complaint about aggregate dashboards is that they cannot
+// answer "what happened to *this* request": a gauge says the shed rate is
+// 3%, not which tenant's query was shed, after how long a queue wait,
+// with how much budget left. A TraceRecord is that answer — outcome,
+// tenant, staleness, per-phase seconds, shard fan-out and serve path for
+// one request — minted at the HTTP boundary (or adopted from
+// X-Request-Id) and assembled by the admission scheduler when the
+// outcome is decided.
+//
+// Retention is tail-based because the interesting requests are the rare
+// ones: every shed / expired / degraded / invalid / slow /
+// breaker-short-circuited request is always kept (the "tail" ring,
+// overwriting oldest), while fast admitted requests — the overwhelming
+// majority — are reservoir-sampled (Algorithm R over a deterministic
+// splitmix64 stream, so tests replay bit-identically) into a second
+// ring. `TraceSampling::kAll` routes everything into the tail ring for
+// reconciliation tests: with capacity >= requests, every ledger row has
+// exactly one trace.
+//
+// The rings are single-writer-per-slot seqlocks built entirely from
+// atomics (slot sequence + word-wise payload), so TSan sees no data
+// race: writers claim a slot by ticket, CAS the slot's sequence odd,
+// store the record as relaxed 8-byte words, and release the sequence
+// even; readers snapshot the words and keep the copy only if the
+// sequence was stable, even and nonzero around the read. Claiming is a
+// wait-free fetch_add; two writers collide on one slot only after a
+// full ring lap.
+//
+// A default-constructed (disabled) tracer allocates nothing and reads no
+// clocks — the USAAS_TELEMETRY=off contract.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace usaas::core::telemetry {
+
+/// Admission outcome as recorded in a trace. Mirrors the service layer's
+/// four-way ledger (the scheduler converts explicitly; the numeric values
+/// here are the wire/JSON contract).
+enum class TraceOutcome : std::uint8_t {
+  kAdmitted = 0,
+  kDegraded = 1,
+  kShed = 2,
+  kExpired = 3,
+};
+
+/// How an admitted/degraded request was served.
+enum class TracePath : std::uint8_t {
+  kNone = 0,  ///< Never ran (shed, or expired before execution).
+  kCache = 1,
+  kSummaryMerge = 2,
+  kScan = 3,
+  kMixed = 4,
+  kInvalid = 5,
+  kExpired = 6,  ///< Ran but hit its deadline mid-execution.
+};
+
+[[nodiscard]] const char* to_string(TraceOutcome o);
+[[nodiscard]] const char* to_string(TracePath p);
+
+/// One request's trace. Plain trivially-copyable data, sized to a whole
+/// number of 8-byte words so the ring can move it through relaxed atomic
+/// word stores. The tenant name is truncated to fit — traces identify,
+/// labels aggregate.
+struct TraceRecord {
+  static constexpr std::size_t kTenantBytes = 28;
+
+  // Retention flags (`flags` below).
+  static constexpr std::uint8_t kFlagSlow = 1u << 0;
+  static constexpr std::uint8_t kFlagQueued = 1u << 1;
+  static constexpr std::uint8_t kFlagBreakerShortCircuit = 1u << 2;
+  static constexpr std::uint8_t kFlagUnpayable = 1u << 3;
+
+  std::uint64_t trace_id{0};
+  /// Completion order stamp assigned by RequestTracer::record (monotone
+  /// across both rings; no clock involved).
+  std::uint64_t order{0};
+  std::uint64_t corpus_version{0};
+  /// Versions behind head for degraded serves.
+  std::uint64_t staleness{0};
+  double wait_seconds{0.0};
+  double run_seconds{0.0};
+  double validate_seconds{0.0};
+  double cache_probe_seconds{0.0};
+  double implicit_seconds{0.0};
+  double social_seconds{0.0};
+  double cost_tokens{0.0};
+  double retry_after_seconds{0.0};
+  std::uint32_t shards_from_summary{0};
+  std::uint32_t shards_scanned{0};
+  std::uint32_t post_shards_from_summary{0};
+  std::uint32_t post_shards_scanned{0};
+  std::uint8_t outcome{0};    ///< TraceOutcome
+  std::uint8_t served_by{0};  ///< TracePath
+  std::uint8_t flags{0};
+  std::uint8_t reserved{0};
+  char tenant[kTenantBytes]{};  ///< NUL-padded, truncated.
+
+  void set_tenant(std::string_view name);
+  [[nodiscard]] std::string_view tenant_view() const;
+};
+
+static_assert(std::is_trivially_copyable_v<TraceRecord>);
+static_assert(sizeof(TraceRecord) % sizeof(std::uint64_t) == 0);
+
+inline constexpr std::size_t kTraceRecordWords =
+    sizeof(TraceRecord) / sizeof(std::uint64_t);
+
+/// Deterministic 64-bit mixer (splitmix64 finalizer). The tracer's ID
+/// mint and reservoir sampling both draw from it so runs replay exactly.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x);
+
+/// Fixed-capacity overwriting ring of TraceRecords, readable while
+/// written. Capacity is rounded up to a power of two; capacity 0 is a
+/// valid disabled ring that allocates nothing.
+class TraceRing {
+ public:
+  TraceRing() = default;
+  explicit TraceRing(std::size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Appends, overwriting the oldest record once full. No-op when
+  /// capacity is 0.
+  void push(const TraceRecord& rec);
+
+  /// Writes a specific slot (reservoir sampling); slot must be below
+  /// capacity().
+  void store(std::size_t slot, const TraceRecord& rec);
+
+  /// Copies out every slot that has ever been written, skipping slots
+  /// that are mid-write (a skipped slot is simply retried by the next
+  /// scrape — exposition is advisory, the ledger counters are exact).
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+  [[nodiscard]] std::uint64_t pushed() const {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    /// 0 = never written; odd = write in progress; even > 0 = stable.
+    std::atomic<std::uint64_t> seq{0};
+    std::array<std::atomic<std::uint64_t>, kTraceRecordWords> words{};
+  };
+
+  void write_slot(Slot& slot, const TraceRecord& rec);
+  [[nodiscard]] bool read_slot(const Slot& slot, TraceRecord* out) const;
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t cap_{0};
+  std::size_t mask_{0};
+  std::atomic<std::uint64_t> cursor_{0};
+};
+
+enum class TraceSampling : std::uint8_t {
+  /// Tail-based: keep every interesting trace, reservoir-sample the rest.
+  kTail = 0,
+  /// Keep everything in the tail ring (reconciliation / debugging).
+  kAll = 1,
+};
+
+struct TracerConfig {
+  /// Tail ring: shed / expired / degraded / invalid / slow /
+  /// short-circuited traces (all traces under kAll).
+  std::size_t tail_entries{256};
+  /// Reservoir ring for fast admitted traces (kTail only).
+  std::size_t reservoir_entries{128};
+  TraceSampling sampling{TraceSampling::kTail};
+  /// Admitted runs at or above this duration count as slow (tail-kept).
+  double slow_seconds{0.050};
+};
+
+/// The per-service tracer: mints trace IDs and retains TraceRecords.
+/// All methods are thread-safe; a disabled tracer is free (no rings, no
+/// clocks, single-branch no-ops).
+class RequestTracer {
+ public:
+  RequestTracer() = default;  ///< Disabled.
+  RequestTracer(const TracerConfig& cfg, bool enabled);
+
+  RequestTracer(const RequestTracer&) = delete;
+  RequestTracer& operator=(const RequestTracer&) = delete;
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] const TracerConfig& config() const { return cfg_; }
+
+  /// Fresh nonzero trace ID (deterministic splitmix64 stream); 0 when
+  /// disabled — callers treat 0 as "no trace".
+  [[nodiscard]] std::uint64_t mint_id();
+
+  /// Classifies, stamps `order`, and retains per the sampling policy.
+  /// `rec` is taken by value because the tracer rewrites bookkeeping
+  /// fields before storing.
+  void record(TraceRecord rec);
+
+  /// Every retained trace (tail + reservoir), oldest completion first.
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+
+  /// True when the record would be tail-kept under kTail sampling.
+  [[nodiscard]] bool interesting(const TraceRecord& rec) const;
+
+  // -- Exact ledger (counted even when the rings overwrite) --
+  [[nodiscard]] std::uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t tail_kept() const {
+    return tail_kept_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t reservoir_seen() const {
+    return reservoir_seen_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t reservoir_kept() const {
+    return reservoir_kept_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  TracerConfig cfg_{};
+  bool enabled_{false};
+  TraceRing tail_;
+  TraceRing reservoir_;
+  std::atomic<std::uint64_t> id_seq_{0};
+  std::atomic<std::uint64_t> order_{0};
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> tail_kept_{0};
+  std::atomic<std::uint64_t> reservoir_seen_{0};
+  std::atomic<std::uint64_t> reservoir_kept_{0};
+};
+
+}  // namespace usaas::core::telemetry

@@ -39,6 +39,11 @@ struct SlowQueryEntry {
   /// entry always carries the version it last ran against. Declared last
   /// so aggregate-initialized entries stay source-compatible.
   std::uint64_t last_seen_version{0};
+  /// Trace ID of the worst run (travels with the timing fields above on
+  /// same-fingerprint updates), linking a slow-log line to its full
+  /// TraceRecord in /debug/traces. 0 = untraced run. Declared after
+  /// last_seen_version for the same aggregate-init compatibility.
+  std::uint64_t trace_id{0};
 };
 
 class SlowQueryLog {

@@ -35,12 +35,17 @@ class TraceSpan {
   TraceSpan& operator=(const TraceSpan&) = delete;
 
   /// Observes the time since the last lap (or the span start) into
-  /// `phase` and restarts the lap clock. No-op on a dead span.
-  void lap(Histogram phase) {
-    if (!total_) return;
+  /// `phase`, restarts the lap clock, and returns the lap duration so
+  /// callers can stamp per-phase seconds into execution reports without
+  /// a second clock read. Returns 0.0 on a dead span (no clock read).
+  double lap(Histogram phase) {
+    if (!total_) return 0.0;
     const auto now = std::chrono::steady_clock::now();
-    phase.observe(std::chrono::duration<double>(now - lap_).count());
+    const double seconds =
+        std::chrono::duration<double>(now - lap_).count();
+    phase.observe(seconds);
     lap_ = now;
+    return seconds;
   }
 
   /// Stops the span now, observes the total duration, and returns it

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "core/correlation.h"
@@ -248,19 +250,66 @@ int CorrelationEngine::packed_key(const core::Date& date,
 
 void CorrelationEngine::set_telemetry(core::telemetry::Registry* registry,
                                       std::string_view corpus) {
+  registry_ = registry;
+  corpus_ = std::string{corpus};
   if (registry == nullptr) {
     ingest_tel_ = {};
+    for (SessionShard& shard : shards_) {
+      shard.summary_touches = {};
+      shard.scan_touches = {};
+    }
     return;
   }
-  const std::string corpus_label{corpus};
   const auto phase = [&](const char* name) {
     return registry->histogram(
         "usaas_ingest_batch_seconds",
         "Per-batch ingest phase durations (two-pass counted pipeline)",
-        {{"corpus", corpus_label}, {"phase", name}});
+        {{"corpus", corpus_}, {"phase", name}});
   };
   ingest_tel_ = {phase("count"), phase("plan"), phase("scatter"),
                  phase("summarize"), phase("total")};
+  // Shards ingested before telemetry was attached get counters now;
+  // shards created later register in shard_for_key.
+  for (SessionShard& shard : shards_) register_shard_touches(shard);
+}
+
+void CorrelationEngine::register_shard_touches(SessionShard& shard) {
+  if (registry_ == nullptr || !registry_->enabled()) return;
+  std::string label;
+  if (sharding_ == ShardingPolicy::kSingleShard) {
+    label = "flat";
+  } else {
+    // Floored decode so pre-epoch (negative) month keys render sanely.
+    const int mk = shard.month_key;
+    const int year = (mk >= 0 ? mk : mk - 11) / 12;
+    const int month = mk - year * 12 + 1;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%04d-%02d/", year, month);
+    label = buf;
+    label += confsim::to_string(shard.platform);
+  }
+  const auto touch = [&](const char* source) {
+    return registry_->counter(
+        "usaas_shard_touches_total",
+        "Per-shard query touches by answer source (summary merge vs "
+        "record scan) — the access-frequency signal for spill-to-disk "
+        "eviction",
+        {{"corpus", corpus_}, {"shard", label}, {"source", source}});
+  };
+  shard.summary_touches = touch("summary");
+  shard.scan_touches = touch("scan");
+}
+
+void CorrelationEngine::note_shard_touches(
+    const std::vector<SelectedShard>& selected,
+    const std::vector<char>& use_summary, std::uint64_t n_summary,
+    QueryFanoutStats* out) const {
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    (use_summary[i] ? selected[i].shard->summary_touches
+                    : selected[i].shard->scan_touches)
+        .add();
+  }
+  note_fanout(n_summary, selected.size() - n_summary, out);
 }
 
 CorrelationEngine::SessionShard& CorrelationEngine::shard_for_key(int key) {
@@ -275,6 +324,7 @@ CorrelationEngine::SessionShard& CorrelationEngine::shard_for_key(int key) {
     shard.month_key = (key - platform_idx) / confsim::kNumPlatforms;
     shard.platform = static_cast<confsim::Platform>(platform_idx);
     if (summary_cfg_) shard.summary = ShardSummary{*summary_cfg_};
+    register_shard_touches(shard);
     shards_.push_back(std::move(shard));
   }
   return shards_[it->second];
@@ -637,7 +687,7 @@ EngagementCurve CorrelationEngine::engagement_curve(
                      sel.shard->summary.enabled();
     n_summary += use_summary[i] ? 1 : 0;
   }
-  note_fanout(n_summary, selected.size() - n_summary, fanout);
+  note_shard_touches(selected, use_summary, n_summary, fanout);
 
   std::vector<core::Binner1D> partials;
   partials.reserve(selected.size());
@@ -738,7 +788,7 @@ core::Grid2D CorrelationEngine::compounding_grid(EngagementMetric engagement,
     use_summary[i] = summary_capable && selected[i].shard->summary.enabled();
     n_summary += use_summary[i] ? 1 : 0;
   }
-  note_fanout(n_summary, selected.size() - n_summary, nullptr);
+  note_shard_touches(selected, use_summary, n_summary, nullptr);
   std::vector<core::Grid2D> partials;
   partials.reserve(selected.size());
   for (std::size_t i = 0; i < selected.size(); ++i) {
@@ -790,7 +840,7 @@ CorrelationEngine::mos_correlation(EngagementMetric engagement,
                      selected[i].shard->summary.enabled();
     n_summary += use_summary[i] ? 1 : 0;
   }
-  note_fanout(n_summary, selected.size() - n_summary, fanout);
+  note_shard_touches(selected, use_summary, n_summary, fanout);
   core::parallel_for(pool_, selected.size(), [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
       Rated& part = partials[i];
@@ -873,7 +923,7 @@ CorrelationEngine::Tally CorrelationEngine::tally(
                      !sel.check_platform && sel.shard->summary.enabled();
     n_summary += use_summary[i] ? 1 : 0;
   }
-  note_fanout(n_summary, selected.size() - n_summary, fanout);
+  note_shard_touches(selected, use_summary, n_summary, fanout);
   std::vector<Tally> partials(selected.size());
   core::parallel_for(pool_, selected.size(), [&](std::size_t b, std::size_t e) {
     std::vector<std::uint32_t> scratch;

@@ -29,6 +29,7 @@
 #include <map>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "confsim/call.h"
@@ -130,8 +131,11 @@ class CorrelationEngine {
   [[nodiscard]] ShardingPolicy sharding() const { return sharding_; }
 
   /// Registers this engine's batch-ingest phase histograms
-  /// (`usaas_ingest_batch_seconds{corpus,phase}`) in `registry`. Nullptr
-  /// (or a disabled registry) detaches: ingest performs no observations.
+  /// (`usaas_ingest_batch_seconds{corpus,phase}`) and per-shard access
+  /// counters (`usaas_shard_touches_total{corpus,shard,source}`) in
+  /// `registry`; shards created by later ingests register their counters
+  /// lazily. Nullptr (or a disabled registry) detaches: ingest performs
+  /// no observations and query touches stop counting.
   void set_telemetry(core::telemetry::Registry* registry,
                      std::string_view corpus = "sessions");
 
@@ -265,6 +269,11 @@ class CorrelationEngine {
     SessionColumns columns;
     /// Disabled (a no-op) unless configure_summaries() ran.
     ShardSummary summary;
+    /// Per-shard query-touch counters by answer source — the access
+    /// frequency signal a spill-to-disk eviction policy would rank on.
+    /// Null handles (single-branch no-op bumps) when telemetry is off.
+    core::telemetry::Counter summary_touches;
+    core::telemetry::Counter scan_touches;
   };
   /// A shard surviving selector pruning, with the per-record checks that
   /// pruning could not discharge at the shard level.
@@ -287,6 +296,15 @@ class CorrelationEngine {
               const confsim::ParticipantRecord& rec);
   [[nodiscard]] std::vector<SelectedShard> select_shards(
       const ShardSelector& selector) const;
+  /// Registers `shard`'s per-shard touch counters when telemetry is
+  /// attached (label "YYYY-MM/<platform>", or "flat" under kSingleShard).
+  void register_shard_touches(SessionShard& shard);
+  /// Bumps each selected shard's touch counter for the source that
+  /// answered it, then folds the totals into note_fanout.
+  void note_shard_touches(const std::vector<SelectedShard>& selected,
+                          const std::vector<char>& use_summary,
+                          std::uint64_t n_summary,
+                          QueryFanoutStats* out) const;
   /// Bumps the cumulative summary/scan counters and, when `out` is set,
   /// adds the same visits to the caller's per-query stats.
   void note_fanout(std::uint64_t from_summary, std::uint64_t scanned,
@@ -361,6 +379,11 @@ class CorrelationEngine {
     core::telemetry::Histogram total;
   };
   IngestTelemetry ingest_tel_;
+  /// Borrowed registry for lazy per-shard counter registration (copied
+  /// engines share it — counter handles point at the same cells, which
+  /// keeps cumulative touch counts meaningful across ablation copies).
+  core::telemetry::Registry* registry_{nullptr};
+  std::string corpus_{"sessions"};
 };
 
 }  // namespace usaas::service

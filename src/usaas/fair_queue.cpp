@@ -19,6 +19,11 @@ constexpr double kMinNapSeconds = 1e-6;
 
 FairQueue::Outcome FairQueue::wait(double deadline,
                                    const TryAcquire& try_acquire) {
+  return wait_reported(deadline, try_acquire).outcome;
+}
+
+FairQueue::WaitReport FairQueue::wait_reported(double deadline,
+                                               const TryAcquire& try_acquire) {
   std::unique_lock<std::mutex> lock{mu_};
 
   // Fast path: with nobody parked there is no ordering to respect, so
@@ -30,15 +35,15 @@ FairQueue::Outcome FairQueue::wait(double deadline,
     const double need = try_acquire(now);
     if (need <= 0.0) {
       ++stats_.acquired_immediate;
-      return Outcome::kAcquired;
+      return {Outcome::kAcquired, false};
     }
     if (need == kInf) {
       ++stats_.unpayable;
-      return Outcome::kUnpayable;
+      return {Outcome::kUnpayable, false};
     }
     if (now >= deadline) {
       ++stats_.expired;
-      return Outcome::kDeadline;
+      return {Outcome::kDeadline, false};
     }
   }
 
@@ -70,16 +75,16 @@ FairQueue::Outcome FairQueue::wait(double deadline,
   switch (self.state) {
     case Waiter::kAcquired:
       ++stats_.acquired_queued;
-      return Outcome::kAcquired;
+      return {Outcome::kAcquired, true};
     case Waiter::kUnpayable:
       ++stats_.unpayable;
-      return Outcome::kUnpayable;
+      return {Outcome::kUnpayable, true};
     case Waiter::kDeadline:
     case Waiter::kWaiting:  // unreachable; the loop exits on a verdict
       break;
   }
   ++stats_.expired;
-  return Outcome::kDeadline;
+  return {Outcome::kDeadline, true};
 }
 
 void FairQueue::sweep_and_nap_locked(std::unique_lock<std::mutex>& lock,

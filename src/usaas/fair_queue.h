@@ -90,6 +90,15 @@ class FairQueue {
   /// parks, so a latecomer can never jump an earlier deadline.
   [[nodiscard]] Outcome wait(double deadline, const TryAcquire& try_acquire);
 
+  /// wait() plus whether this waiter actually parked (vs the empty-queue
+  /// fast path) — request traces mark parked waits as "queued".
+  struct WaitReport {
+    Outcome outcome{Outcome::kDeadline};
+    bool parked{false};
+  };
+  [[nodiscard]] WaitReport wait_reported(double deadline,
+                                         const TryAcquire& try_acquire);
+
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t depth() const;
 

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
@@ -14,6 +15,7 @@
 #include <cstring>
 
 #include "core/date.h"
+#include "core/telemetry/debug_exposition.h"
 
 namespace usaas::service {
 
@@ -68,6 +70,22 @@ template <typename Enum>
     if (value.empty()) {
       error = "tenant must be non-empty";
       return false;
+    }
+    // Tenant names become telemetry label values and journal keys:
+    // reject control bytes / non-ASCII / oversized names at the boundary
+    // (a 400 beats a sanitized-but-colliding metric series).
+    if (value.size() > core::telemetry::kMaxLabelValueBytes) {
+      error = "tenant too long (max " +
+              std::to_string(core::telemetry::kMaxLabelValueBytes) +
+              " bytes)";
+      return false;
+    }
+    for (const char c : value) {
+      const auto u = static_cast<unsigned char>(c);
+      if (u < 0x20 || u > 0x7e) {
+        error = "tenant must be printable ASCII";
+        return false;
+      }
     }
     wr.tenant = value;
     return true;
@@ -213,7 +231,8 @@ constexpr const char* kStatusText(int status) {
 [[nodiscard]] std::string build_response(int status,
                                          std::string_view content_type,
                                          std::string_view body,
-                                         int retry_after_seconds = 0) {
+                                         int retry_after_seconds = 0,
+                                         std::string_view extra_header = {}) {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
                     kStatusText(status) + "\r\n";
   out += "Content-Type: " + std::string{content_type} + "\r\n";
@@ -221,9 +240,73 @@ constexpr const char* kStatusText(int status) {
   if (retry_after_seconds > 0) {
     out += "Retry-After: " + std::to_string(retry_after_seconds) + "\r\n";
   }
+  if (!extra_header.empty()) {
+    out += extra_header;
+    out += "\r\n";
+  }
   out += "Connection: close\r\n\r\n";
   out += body;
   return out;
+}
+
+/// Adopts the client's X-Request-Id as this request's trace ID: 1-16 hex
+/// digits parse verbatim (so a caller can grep its own ID in
+/// /debug/traces), anything else non-empty is FNV-1a-hashed to a stable
+/// 64-bit ID. 0 = header absent/empty; the scheduler mints one.
+[[nodiscard]] std::uint64_t extract_request_id(std::string_view raw) {
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) return 0;
+  const std::string_view headers = raw.substr(0, header_end);
+  constexpr std::string_view kName = "x-request-id:";
+  std::size_t line = headers.find("\r\n");
+  std::string_view value;
+  while (line != std::string_view::npos && line + 2 < headers.size()) {
+    const std::size_t start = line + 2;
+    const std::size_t end = headers.find("\r\n", start);
+    const std::string_view hl = headers.substr(
+        start,
+        end == std::string_view::npos ? headers.size() - start : end - start);
+    if (hl.size() > kName.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < kName.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(hl[i])) != kName[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        value = hl.substr(kName.size());
+        break;
+      }
+    }
+    line = end;
+  }
+  while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+    value.remove_prefix(1);
+  }
+  while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+    value.remove_suffix(1);
+  }
+  if (value.empty()) return 0;
+  if (value.size() <= 16) {
+    std::uint64_t id = 0;
+    bool all_hex = true;
+    for (const char c : value) {
+      int digit = -1;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+      else { all_hex = false; break; }
+      id = (id << 4) | static_cast<std::uint64_t>(digit);
+    }
+    if (all_hex && id != 0) return id;
+  }
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  for (const char c : value) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h == 0 ? 1 : h;
 }
 
 /// Renders the /query answer. Deliberately flat and small: the tenant's
@@ -265,6 +348,11 @@ constexpr const char* kStatusText(int status) {
   std::snprintf(buf, sizeof buf, "\"wait_ms\":%.6g,\"cost_tokens\":%.6g",
                 result.wait_seconds * 1e3, result.cost_tokens);
   add(buf);
+  if (result.trace_id != 0) {
+    std::snprintf(buf, sizeof buf, "\"trace_id\":\"%016llx\"",
+                  static_cast<unsigned long long>(result.trace_id));
+    add(buf);
+  }
   out += '}';
   return out;
 }
@@ -532,6 +620,16 @@ void HttpListener::accept_loop() {
       continue;
     }
     if (saturated) {
+      // A backpressure episode is journal-worthy: operators replaying an
+      // incident want "when did the queue fill" next to the breaker
+      // flips it usually causes. No tenant is known at accept time.
+      if (service_.journal().enabled()) {
+        service_.journal().record(
+            core::telemetry::JournalEventKind::kBackpressure, "", 0,
+            scheduler_.clock().now(),
+            static_cast<double>(config_.max_pending_connections),
+            static_cast<double>(config_.max_pending_connections));
+      }
       // Inline 503: honest and cheap. Don't let a stalled peer wedge
       // the acceptor — arm the write timeout first.
       set_socket_timeout(fd, SO_SNDTIMEO, config_.write_timeout);
@@ -677,6 +775,12 @@ void HttpListener::handle_connection(int fd) {
     const std::string_view query_string =
         qmark == std::string_view::npos ? std::string_view{}
                                         : target.substr(qmark + 1);
+    // Fixed-interval telemetry history rides on request traffic: the
+    // due-check is one relaxed atomic load, and a disabled history
+    // performs no clock read at all.
+    if (service_.history().enabled()) {
+      service_.history().tick(scheduler_.clock().now());
+    }
     if (path == "/metrics") {
       status = 200;
       response = build_response(200, "text/plain; version=0.0.4",
@@ -685,6 +789,21 @@ void HttpListener::handle_connection(int fd) {
       status = 200;
       response = build_response(200, "application/json",
                                 service_.metrics_json());
+    } else if (path == "/debug/traces") {
+      status = 200;
+      response = build_response(
+          200, "application/json",
+          core::telemetry::debug_traces_json(service_.tracer()));
+    } else if (path == "/debug/events") {
+      status = 200;
+      response = build_response(
+          200, "application/json",
+          core::telemetry::debug_events_json(service_.journal()));
+    } else if (path == "/debug/timeseries") {
+      status = 200;
+      response = build_response(
+          200, "application/json",
+          core::telemetry::debug_timeseries_json(service_.history()));
     } else if (path == "/query") {
       std::string error;
       std::optional<WireRequest> wire;
@@ -704,8 +823,22 @@ void HttpListener::handle_connection(int fd) {
         const double budget = wire->budget_seconds > 0.0
                                   ? wire->budget_seconds
                                   : config_.default_budget_seconds;
-        const ScheduledResult result =
-            scheduler_.submit(wire->tenant, wire->query, budget);
+        // Adopt the caller's X-Request-Id as the trace ID (0 = absent:
+        // the scheduler mints one). Gated on the tracer so the kill
+        // switch also skips the header scan.
+        const std::uint64_t wire_trace_id =
+            service_.tracer().enabled() ? extract_request_id(raw) : 0;
+        const ScheduledResult result = scheduler_.submit(
+            wire->tenant, wire->query, budget, wire_trace_id);
+        // Echo the request's trace ID so clients can correlate their
+        // logs with /debug/traces without parsing the body.
+        std::string trace_header;
+        if (result.trace_id != 0) {
+          char hex[40];
+          std::snprintf(hex, sizeof hex, "X-Request-Id: %016llx",
+                        static_cast<unsigned long long>(result.trace_id));
+          trace_header = hex;
+        }
         if ((result.outcome == AdmissionOutcome::kAdmitted ||
              result.outcome == AdmissionOutcome::kDegraded) &&
             result.insight.error != QueryError::kNone) {
@@ -715,14 +848,16 @@ void HttpListener::handle_connection(int fd) {
           response = build_response(
               400, "application/json",
               std::string{"{\"error\":\"invalid query: "} +
-                  to_string(result.insight.error) + "\"}");
+                  to_string(result.insight.error) + "\"}",
+              0, trace_header);
         } else {
           switch (result.outcome) {
             case AdmissionOutcome::kAdmitted:
             case AdmissionOutcome::kDegraded:
               status = 200;
               response = build_response(200, "application/json",
-                                        insight_json(result, wire->tenant));
+                                        insight_json(result, wire->tenant),
+                                        0, trace_header);
               break;
             case AdmissionOutcome::kShed: {
               status = 429;
@@ -733,13 +868,14 @@ void HttpListener::handle_connection(int fd) {
                          std::ceil(result.retry_after_seconds)));
               response = build_response(
                   429, "application/json",
-                  insight_json(result, wire->tenant), retry);
+                  insight_json(result, wire->tenant), retry, trace_header);
               break;
             }
             case AdmissionOutcome::kExpired:
               status = 504;
               response = build_response(504, "application/json",
-                                        insight_json(result, wire->tenant));
+                                        insight_json(result, wire->tenant),
+                                        0, trace_header);
               break;
           }
         }

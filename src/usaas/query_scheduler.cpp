@@ -16,6 +16,42 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// clock tests that assert exact waits always need more than this.
 constexpr double kMinWaitSeconds = 1e-6;
 
+/// The enum values are the /debug/traces wire contract; convert
+/// explicitly so a reordering on either side is a compile-visible edit
+/// here, not a silent JSON corruption.
+[[nodiscard]] core::telemetry::TraceOutcome trace_outcome(
+    AdmissionOutcome o) {
+  switch (o) {
+    case AdmissionOutcome::kAdmitted:
+      return core::telemetry::TraceOutcome::kAdmitted;
+    case AdmissionOutcome::kDegraded:
+      return core::telemetry::TraceOutcome::kDegraded;
+    case AdmissionOutcome::kShed:
+      return core::telemetry::TraceOutcome::kShed;
+    case AdmissionOutcome::kExpired:
+      return core::telemetry::TraceOutcome::kExpired;
+  }
+  return core::telemetry::TraceOutcome::kShed;
+}
+
+[[nodiscard]] core::telemetry::TracePath trace_path(ServedBy s) {
+  switch (s) {
+    case ServedBy::kCache: return core::telemetry::TracePath::kCache;
+    case ServedBy::kSummaryMerge:
+      return core::telemetry::TracePath::kSummaryMerge;
+    case ServedBy::kScan: return core::telemetry::TracePath::kScan;
+    case ServedBy::kMixed: return core::telemetry::TracePath::kMixed;
+    case ServedBy::kInvalid: return core::telemetry::TracePath::kInvalid;
+    case ServedBy::kExpired: return core::telemetry::TracePath::kExpired;
+  }
+  return core::telemetry::TracePath::kNone;
+}
+
+[[nodiscard]] std::uint32_t clamp_u32(std::uint64_t v) {
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(v, std::numeric_limits<std::uint32_t>::max()));
+}
+
 }  // namespace
 
 QueryScheduler::QueryScheduler(QueryService& service, SchedulerConfig config)
@@ -89,19 +125,30 @@ QueryScheduler::TenantState& QueryScheduler::tenant_state_locked(
   const TenantQos qos = qos_it != config_.tenant_qos.end()
                             ? qos_it->second
                             : config_.default_qos;
+  // Tenant names arrive from the wire; sanitize before they become
+  // label values (control bytes and unbounded length would otherwise
+  // pollute the exposition). Sanitized collisions share a label series —
+  // a safe failure mode for hostile names.
+  const std::string label = core::telemetry::sanitize_label_value(tenant);
   TenantState state{
       core::TokenBucket{qos.rate_per_sec, qos.burst, clock_->now()},
       0,
       telemetry_->gauge("usaas_admission_queue_depth",
                         "Submissions currently waiting for tokens",
-                        {{"tenant", tenant}}),
+                        {{"tenant", label}}),
       CircuitBreaker{config_.breaker},
       telemetry_->gauge("usaas_admission_breaker_state",
                         "Circuit-breaker state (0 closed, 1 open, 2 "
                         "half-open)",
-                        {{"tenant", tenant}}),
+                        {{"tenant", label}}),
       1.0,
-      0};
+      0,
+      telemetry_->gauge("usaas_admission_cost_bias",
+                        "Per-tenant cost bias from the degrade feedback "
+                        "loop (1 = unbiased; decays back after fresh "
+                        "admits)",
+                        {{"tenant", label}})};
+  state.bias_gauge.set(1.0);
   return tenants_.emplace(tenant, std::move(state)).first->second;
 }
 
@@ -131,9 +178,13 @@ bool QueryScheduler::legacy_bucket_wait(TenantState& state, double cost,
   }
 }
 
-void QueryScheduler::record_outcome_locked(TenantState& state,
+void QueryScheduler::record_outcome_locked(const std::string& tenant,
+                                           TenantState& state,
                                            AdmissionOutcome outcome,
-                                           bool short_circuit, double now) {
+                                           bool short_circuit, double now,
+                                           std::uint64_t trace_id) {
+  const CircuitBreaker::State breaker_before = state.breaker.state();
+  const double bias_before = state.cost_bias;
   switch (outcome) {
     case AdmissionOutcome::kAdmitted:
       ++totals_.admitted;
@@ -184,11 +235,102 @@ void QueryScheduler::record_outcome_locked(TenantState& state,
       break;
   }
   state.breaker_gauge.set(static_cast<double>(state.breaker.state()));
+  state.bias_gauge.set(state.cost_bias);
+  // Journal the state changes this outcome caused (the journal's mutex
+  // is a leaf under mu_; a disabled journal returns without locking).
+  core::telemetry::EventJournal& journal = service_.journal();
+  if (journal.enabled()) {
+    const CircuitBreaker::State breaker_after = state.breaker.state();
+    if (breaker_after != breaker_before) {
+      journal.record(core::telemetry::JournalEventKind::kBreakerTransition,
+                     tenant, trace_id, now,
+                     static_cast<double>(breaker_before),
+                     static_cast<double>(breaker_after));
+    }
+    if (state.cost_bias > bias_before) {
+      journal.record(core::telemetry::JournalEventKind::kCostBiasBump,
+                     tenant, trace_id, now, bias_before, state.cost_bias);
+    } else if (state.cost_bias < bias_before) {
+      journal.record(core::telemetry::JournalEventKind::kCostBiasDecay,
+                     tenant, trace_id, now, bias_before, state.cost_bias);
+    }
+  }
 }
 
 ScheduledResult QueryScheduler::submit(const std::string& tenant,
                                        const Query& query,
-                                       double budget_seconds) {
+                                       double budget_seconds,
+                                       std::uint64_t trace_id) {
+  core::telemetry::RequestTracer& tracer = service_.tracer();
+  if (trace_id == 0) trace_id = tracer.mint_id();  // 0 when tracing is off
+  bool queued = false;
+  bool unpayable = false;
+  ScheduledResult result =
+      submit_impl(tenant, query, budget_seconds, trace_id, queued, unpayable);
+  result.trace_id = trace_id;
+  if (tracer.enabled()) {
+    core::telemetry::TraceRecord rec{};
+    rec.trace_id = trace_id;
+    rec.corpus_version = result.insight.corpus_version;
+    rec.staleness = result.insight.staleness;
+    rec.wait_seconds = result.wait_seconds;
+    rec.cost_tokens = result.cost_tokens;
+    rec.retry_after_seconds = result.retry_after_seconds;
+    // A degraded answer carries the ORIGINAL run's execution report (it
+    // came out of the insight cache); only an execution stamped with this
+    // request's trace ID describes work done on this request's behalf.
+    const QueryExecution& exec = result.insight.execution;
+    if (exec.trace_id == trace_id) {
+      rec.run_seconds = exec.seconds;
+      rec.validate_seconds = exec.validate_seconds;
+      rec.cache_probe_seconds = exec.cache_probe_seconds;
+      rec.implicit_seconds = exec.implicit_seconds;
+      rec.social_seconds = exec.social_seconds;
+      rec.shards_from_summary = clamp_u32(exec.shards_from_summary);
+      rec.shards_scanned = clamp_u32(exec.shards_scanned);
+      rec.post_shards_from_summary =
+          clamp_u32(exec.post_shards_from_summary);
+      rec.post_shards_scanned = clamp_u32(exec.post_shards_scanned);
+    }
+    rec.outcome =
+        static_cast<std::uint8_t>(trace_outcome(result.outcome));
+    // How THIS request was answered: admitted runs report their own
+    // path, a degraded answer is by definition a cache serve, a shed
+    // carries no answer at all.
+    core::telemetry::TracePath path = core::telemetry::TracePath::kNone;
+    switch (result.outcome) {
+      case AdmissionOutcome::kAdmitted:
+        path = trace_path(result.insight.execution.served_by);
+        break;
+      case AdmissionOutcome::kDegraded:
+        path = core::telemetry::TracePath::kCache;
+        break;
+      case AdmissionOutcome::kShed:
+        path = core::telemetry::TracePath::kNone;
+        break;
+      case AdmissionOutcome::kExpired:
+        path = core::telemetry::TracePath::kExpired;
+        break;
+    }
+    rec.served_by = static_cast<std::uint8_t>(path);
+    if (queued) rec.flags |= core::telemetry::TraceRecord::kFlagQueued;
+    if (result.breaker_short_circuit) {
+      rec.flags |= core::telemetry::TraceRecord::kFlagBreakerShortCircuit;
+    }
+    if (unpayable) {
+      rec.flags |= core::telemetry::TraceRecord::kFlagUnpayable;
+    }
+    rec.set_tenant(tenant);
+    tracer.record(rec);
+  }
+  return result;
+}
+
+ScheduledResult QueryScheduler::submit_impl(const std::string& tenant,
+                                            const Query& query,
+                                            double budget_seconds,
+                                            std::uint64_t trace_id,
+                                            bool& queued, bool& unpayable) {
   // Estimate outside the scheduler mutex: the probe takes the service's
   // read lock and must not serialize other tenants' admissions.
   const QueryCostEstimate est = service_.estimate_query(query);
@@ -214,14 +356,22 @@ ScheduledResult QueryScheduler::submit(const std::string& tenant,
     submitted_total_.add();
     state = &tenant_state_locked(tenant);
     cost = raw_cost * state->cost_bias;
+    const CircuitBreaker::State breaker_before = state->breaker.state();
     if (!state->breaker.allow(clock_->now())) {
       short_circuit = true;
       ++totals_.breaker_short_circuits;
       breaker_short_circuits_total_.add();
     }
     // allow() may have transitioned open -> half-open; keep the gauge
-    // honest either way.
-    state->breaker_gauge.set(static_cast<double>(state->breaker.state()));
+    // (and the journal) honest either way.
+    const CircuitBreaker::State breaker_after = state->breaker.state();
+    state->breaker_gauge.set(static_cast<double>(breaker_after));
+    if (breaker_after != breaker_before && service_.journal().enabled()) {
+      service_.journal().record(
+          core::telemetry::JournalEventKind::kBreakerTransition, tenant,
+          trace_id, start, static_cast<double>(breaker_before),
+          static_cast<double>(breaker_after));
+    }
   }
   result.cost_tokens = cost;
   result.breaker_short_circuit = short_circuit;
@@ -236,8 +386,8 @@ ScheduledResult QueryScheduler::submit(const std::string& tenant,
       }
       // Lock ordering: the queue holds FairQueue::mu_ while calling this
       // closure, which takes QueryScheduler::mu_ — never the reverse.
-      const FairQueue::Outcome out =
-          queue_->wait(admission_deadline, [&](double now) -> double {
+      const FairQueue::WaitReport out =
+          queue_->wait_reported(admission_deadline, [&](double now) -> double {
             const std::lock_guard<std::mutex> lock{mu_};
             state->bucket.refill(now);
             if (state->bucket.try_consume(cost)) return 0.0;
@@ -248,7 +398,9 @@ ScheduledResult QueryScheduler::submit(const std::string& tenant,
         --state->queue_depth;
         state->depth_gauge.set(static_cast<double>(state->queue_depth));
       }
-      acquired = out == FairQueue::Outcome::kAcquired;
+      acquired = out.outcome == FairQueue::Outcome::kAcquired;
+      queued = out.parked;
+      unpayable = out.outcome == FairQueue::Outcome::kUnpayable;
     } else {
       acquired = legacy_bucket_wait(*state, cost, admission_deadline);
     }
@@ -263,8 +415,8 @@ ScheduledResult QueryScheduler::submit(const std::string& tenant,
       // computation nobody will read. The tokens are not refunded — the
       // admission machinery DID run on this tenant's behalf.
       const std::lock_guard<std::mutex> lock{mu_};
-      record_outcome_locked(*state, AdmissionOutcome::kExpired,
-                            short_circuit, now);
+      record_outcome_locked(tenant, *state, AdmissionOutcome::kExpired,
+                            short_circuit, now, trace_id);
       result.outcome = AdmissionOutcome::kExpired;
       return result;
     }
@@ -273,16 +425,17 @@ ScheduledResult QueryScheduler::submit(const std::string& tenant,
       budget.clock = clock_;
       budget.deadline = total_deadline;
     }
+    budget.trace_id = trace_id;
     result.insight = service_.run(query, budget);
     const double after = clock_->now();
     const std::lock_guard<std::mutex> lock{mu_};
     if (result.insight.error == QueryError::kDeadlineExceeded) {
-      record_outcome_locked(*state, AdmissionOutcome::kExpired,
-                            short_circuit, after);
+      record_outcome_locked(tenant, *state, AdmissionOutcome::kExpired,
+                            short_circuit, after, trace_id);
       result.outcome = AdmissionOutcome::kExpired;
     } else {
-      record_outcome_locked(*state, AdmissionOutcome::kAdmitted,
-                            short_circuit, after);
+      record_outcome_locked(tenant, *state, AdmissionOutcome::kAdmitted,
+                            short_circuit, after, trace_id);
       result.outcome = AdmissionOutcome::kAdmitted;
     }
     return result;
@@ -292,8 +445,8 @@ ScheduledResult QueryScheduler::submit(const std::string& tenant,
     // The whole budget drained inside admission: even an O(1) stale
     // answer would arrive after the caller hung up.
     const std::lock_guard<std::mutex> lock{mu_};
-    record_outcome_locked(*state, AdmissionOutcome::kExpired, short_circuit,
-                          clock_->now());
+    record_outcome_locked(tenant, *state, AdmissionOutcome::kExpired,
+                          short_circuit, clock_->now(), trace_id);
     result.outcome = AdmissionOutcome::kExpired;
     return result;
   }
@@ -310,13 +463,14 @@ ScheduledResult QueryScheduler::submit(const std::string& tenant,
   const std::lock_guard<std::mutex> lock{mu_};
   const double now = clock_->now();
   if (stale.has_value() && config_.max_versions_behind > 0) {
-    record_outcome_locked(*state, AdmissionOutcome::kDegraded, short_circuit,
-                          now);
+    record_outcome_locked(tenant, *state, AdmissionOutcome::kDegraded,
+                          short_circuit, now, trace_id);
     result.outcome = AdmissionOutcome::kDegraded;
     result.insight = *std::move(stale);
     return result;
   }
-  record_outcome_locked(*state, AdmissionOutcome::kShed, short_circuit, now);
+  record_outcome_locked(tenant, *state, AdmissionOutcome::kShed,
+                        short_circuit, now, trace_id);
   if (stale.has_value()) {
     ++totals_.shed_with_degradable;
     shed_with_degradable_total_.add();

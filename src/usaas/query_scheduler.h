@@ -152,6 +152,10 @@ enum class AdmissionOutcome {
 struct ScheduledResult {
   AdmissionOutcome outcome{AdmissionOutcome::kShed};
   Insight insight;
+  /// Request trace ID (0 when tracing is disabled): every submission —
+  /// admitted, degraded, shed or expired — records exactly one
+  /// TraceRecord under this ID when the tracer samples it.
+  std::uint64_t trace_id{0};
   /// Time spent inside admission (token waits), by the scheduler clock.
   double wait_seconds{0.0};
   /// Tokens this query was estimated to cost (after the tenant bias).
@@ -215,15 +219,22 @@ class QueryScheduler {
   /// reproduces PR 7 semantics exactly: expired stays 0. Thread-safe;
   /// QueryService::run executes outside every scheduler lock, so
   /// admitted queries from different tenants still fan out in parallel.
+  /// `trace_id` 0 (the default) mints a fresh ID from the service's
+  /// tracer; the HTTP listener passes an adopted X-Request-Id instead so
+  /// wire traces correlate with the caller's own request log.
   [[nodiscard]] ScheduledResult submit(
       const std::string& tenant, const Query& query,
-      double budget_seconds = std::numeric_limits<double>::infinity());
+      double budget_seconds = std::numeric_limits<double>::infinity(),
+      std::uint64_t trace_id = 0);
 
   /// The raw (bias-free) token cost submit() would start from right now.
   [[nodiscard]] double estimate_cost(const Query& query) const;
 
   [[nodiscard]] SchedulerStats stats() const;
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+  /// The scheduler's clock (the configured one, or the owned steady
+  /// clock) — the time base every trace/journal timestamp shares.
+  [[nodiscard]] core::SchedulerClock& clock() const { return *clock_; }
 
  private:
   struct TenantState {
@@ -234,6 +245,7 @@ class QueryScheduler {
     core::telemetry::Gauge breaker_gauge;  ///< 0 closed / 1 open / 2 half
     double cost_bias{1.0};
     std::size_t consecutive_stale{0};
+    core::telemetry::Gauge bias_gauge;  ///< current cost_bias (>= 1)
   };
 
   [[nodiscard]] double cost_tokens(const QueryCostEstimate& est) const;
@@ -247,9 +259,19 @@ class QueryScheduler {
   [[nodiscard]] bool legacy_bucket_wait(TenantState& state, double cost,
                                         double deadline);
   /// Tally one outcome into totals_ + telemetry and stamp the breaker /
-  /// feedback state. Caller holds mu_.
-  void record_outcome_locked(TenantState& state, AdmissionOutcome outcome,
-                             bool short_circuit, double now);
+  /// feedback state; breaker transitions and cost-bias moves are also
+  /// journaled (with `trace_id` as the causal back-link). Caller holds
+  /// mu_; the journal's own mutex is a leaf below it.
+  void record_outcome_locked(const std::string& tenant, TenantState& state,
+                             AdmissionOutcome outcome, bool short_circuit,
+                             double now, std::uint64_t trace_id);
+  /// submit() minus trace assembly; flags report FairQueue verdicts the
+  /// ScheduledResult does not carry (parked => "queued", unpayable).
+  [[nodiscard]] ScheduledResult submit_impl(const std::string& tenant,
+                                            const Query& query,
+                                            double budget_seconds,
+                                            std::uint64_t trace_id,
+                                            bool& queued, bool& unpayable);
 
   QueryService& service_;
   SchedulerConfig config_;

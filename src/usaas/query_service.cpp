@@ -69,6 +69,16 @@ QueryService::QueryService(QueryServiceConfig config)
     engine_.configure_summaries(config_.summary_layout);
   }
   register_telemetry();
+  // The kill switch silences the whole observability plane: a disabled
+  // registry forces the tracer, journal and history into their no-op
+  // states (no rings, no IDs, no clock reads) regardless of config.
+  const bool observability_on = telemetry_->enabled();
+  tracer_ = std::make_unique<core::telemetry::RequestTracer>(
+      config_.trace, observability_on);
+  journal_ = std::make_unique<core::telemetry::EventJournal>(
+      config_.event_journal_entries, observability_on);
+  history_ = std::make_unique<core::telemetry::TelemetryHistory>(
+      telemetry_, config_.history, observability_on);
 }
 
 void QueryService::register_telemetry() {
@@ -169,7 +179,29 @@ void QueryService::ingest_posts(std::span<const social::Post> posts) {
   batch.bytes_moved = posts.size() * sizeof(ScoredPost);
   for (std::size_t k = 0; k < plan.num_keys; ++k) {
     if (plan.totals[k] == 0) continue;
-    PostShard& shard = post_shards_[plan.min_key + static_cast<int>(k)];
+    const int mk = plan.min_key + static_cast<int>(k);
+    PostShard& shard = post_shards_[mk];
+    if (!shard.summary_touches && telemetry_->enabled()) {
+      // First sighting of this shard: register its access counters (the
+      // spill-to-disk eviction signal). Null handles stay null under the
+      // kill switch, so a disabled registry registers nothing.
+      char label[16];
+      if (config_.sharding == ShardingPolicy::kSingleShard) {
+        std::snprintf(label, sizeof label, "flat");
+      } else {
+        std::snprintf(label, sizeof label, "%04d-%02d", mk / 12,
+                      mk % 12 + 1);
+      }
+      const auto touch = [&](const char* source) {
+        return telemetry_->counter(
+            "usaas_shard_touches_total",
+            "Per-shard query touches by answer source (summary merge vs "
+            "record scan) — the eviction signal for spill-to-disk",
+            {{"corpus", "posts"}, {"shard", label}, {"source", source}});
+      };
+      shard.summary_touches = touch("summary");
+      shard.scan_touches = touch("scan");
+    }
     const std::size_t base = shard.posts.size();
     shard.posts.resize(base + plan.totals[k]);
     slices[k] = {shard.posts.data() + base, &shard};
@@ -402,7 +434,9 @@ Insight QueryService::run(const Query& query,
   Insight insight;
   const QueryValidation verdict = query.validate();
   insight.error = verdict.error;
-  span.lap(phase_validate_);
+  const double validate_lap = span.lap(phase_validate_);
+  insight.execution.trace_id = budget.trace_id;
+  insight.execution.validate_seconds = validate_lap;
   if (!verdict.ok()) {
     insight.execution.served_by = ServedBy::kInvalid;
     insight.execution.seconds = span.finish();
@@ -430,21 +464,29 @@ Insight QueryService::run(const Query& query,
       cache_hit = true;
     }
   }
-  span.lap(phase_cache_probe_);
+  const double probe_lap = span.lap(phase_cache_probe_);
   if (cache_hit) {
     // The cached aggregates, but THIS run's execution report: nothing was
     // recomputed, so the fan-out deltas are zero.
     insight.execution = {};
     insight.execution.served_by = ServedBy::kCache;
     insight.execution.cache_hit = true;
+    insight.execution.trace_id = budget.trace_id;
+    insight.execution.validate_seconds = validate_lap;
+    insight.execution.cache_probe_seconds = probe_lap;
     insight.execution.seconds = span.finish();
     queries_by_path_[static_cast<std::size_t>(ServedBy::kCache)].add();
-    sync_->slow_log.record(
-        {query_fingerprint(query), insight.execution.seconds,
-         to_string(ServedBy::kCache), 0, 0, insight.sessions, version, 1});
+    core::telemetry::SlowQueryEntry slow{
+        query_fingerprint(query), insight.execution.seconds,
+        to_string(ServedBy::kCache), 0, 0, insight.sessions, version, 1};
+    slow.trace_id = budget.trace_id;
+    sync_->slow_log.record(slow);
     return insight;
   }
   insight = compute_insight(query, version, budget, &span);
+  insight.execution.trace_id = budget.trace_id;
+  insight.execution.validate_seconds = validate_lap;
+  insight.execution.cache_probe_seconds = probe_lap;
   if (insight.error == QueryError::kDeadlineExceeded) {
     // Abandoned mid-fan-out: an explicit error skeleton, never cached
     // (the aggregates were never finished) and never slow-logged (a
@@ -474,9 +516,11 @@ Insight QueryService::run(const Query& query,
   }
   insight.execution.seconds = span.finish();
   queries_by_path_[static_cast<std::size_t>(path)].add();
-  sync_->slow_log.record({query_fingerprint(query),
-                          insight.execution.seconds, to_string(path),
-                          merged, scanned, insight.sessions, version, 1});
+  core::telemetry::SlowQueryEntry slow{
+      query_fingerprint(query), insight.execution.seconds, to_string(path),
+      merged, scanned, insight.sessions, version, 1};
+  slow.trace_id = budget.trace_id;
+  sync_->slow_log.record(slow);
   return insight;
 }
 
@@ -626,7 +670,9 @@ Insight QueryService::compute_insight(const Query& query,
   }
   insight.execution.shards_from_summary = fanout.shards_from_summary;
   insight.execution.shards_scanned = fanout.shards_scanned;
-  if (span != nullptr) span->lap(phase_implicit_);
+  if (span != nullptr) {
+    insight.execution.implicit_seconds = span->lap(phase_implicit_);
+  }
   if (budget.expired()) return expired_skeleton();
 
   // ---- Explicit (social) side: pre-scored shards, pruned by month ----
@@ -662,8 +708,10 @@ Insight QueryService::compute_insight(const Query& query,
   for (const SelectedPosts& sel : selected) {
     if (sel.use_summary) {
       ++insight.execution.post_shards_from_summary;
+      sel.shard->summary_touches.add();
     } else {
       ++insight.execution.post_shards_scanned;
+      sel.shard->scan_touches.add();
     }
   }
 
@@ -759,7 +807,9 @@ Insight QueryService::compute_insight(const Query& query,
       insight.outage_alert_days.push_back(date);
     }
   }
-  if (span != nullptr) span->lap(phase_social_);
+  if (span != nullptr) {
+    insight.execution.social_seconds = span->lap(phase_social_);
+  }
   return insight;
 }
 

@@ -32,7 +32,10 @@
 #include "core/lru_cache.h"
 #include "core/rw_lock.h"
 #include "core/scheduler_clock.h"
+#include "core/telemetry/event_journal.h"
+#include "core/telemetry/history.h"
 #include "core/telemetry/metrics.h"
+#include "core/telemetry/request_trace.h"
 #include "core/telemetry/slow_query_log.h"
 #include "core/telemetry/trace.h"
 #include "core/thread_pool.h"
@@ -140,6 +143,11 @@ enum class ServedBy {
 struct RunBudget {
   core::SchedulerClock* clock{nullptr};
   double deadline{0.0};  ///< Absolute seconds on `clock`; ignored if null.
+  /// Request trace ID riding the budget into run(): stamped into the
+  /// Insight's execution report and slow-log entries so an answer links
+  /// back to its TraceRecord. 0 = untraced (tracing disabled or a direct
+  /// run() without admission).
+  std::uint64_t trace_id{0};
   [[nodiscard]] bool expired() const {
     return clock != nullptr && clock->now() >= deadline;
   }
@@ -161,6 +169,16 @@ struct QueryExecution {
   /// Social-side post-shard visits.
   std::uint64_t post_shards_from_summary{0};
   std::uint64_t post_shards_scanned{0};
+  /// Request trace ID (RunBudget::trace_id; 0 = untraced), linking this
+  /// report to its /debug/traces TraceRecord.
+  std::uint64_t trace_id{0};
+  /// Per-phase laps of THIS run (all 0 for cache hits past the probe, and
+  /// when telemetry is disabled — the phases share TraceSpan's clock
+  /// reads, so the kill switch removes them too).
+  double validate_seconds{0.0};
+  double cache_probe_seconds{0.0};
+  double implicit_seconds{0.0};
+  double social_seconds{0.0};
 };
 
 /// The aggregated answer.
@@ -263,6 +281,15 @@ struct QueryServiceConfig {
   /// Worst-queries log capacity (distinct query fingerprints kept);
   /// 0 disables the log.
   std::size_t slow_query_log_entries{32};
+  /// Request-trace retention (rings + sampling policy). Forced off — no
+  /// rings allocated, no IDs minted — when the registry is disabled.
+  core::telemetry::TracerConfig trace{};
+  /// Telemetry time-series history (snapshot cadence + retention). Also
+  /// forced off with the registry.
+  core::telemetry::HistoryConfig history{};
+  /// Control-plane event journal capacity (breaker transitions, bias
+  /// bumps, backpressure). 0 disables; forced off with the registry.
+  std::size_t event_journal_entries{256};
 };
 
 /// Thread safety: mutating operations (ingest_calls / ingest_posts /
@@ -405,6 +432,20 @@ class QueryService {
     return *telemetry_;
   }
 
+  /// The request tracer, event journal, and time-series history (never
+  /// null; disabled no-op instances when the registry is off). The
+  /// admission scheduler records traces and journal events here; the HTTP
+  /// listener mints IDs, ticks the history, and serves /debug/*.
+  [[nodiscard]] core::telemetry::RequestTracer& tracer() const {
+    return *tracer_;
+  }
+  [[nodiscard]] core::telemetry::EventJournal& journal() const {
+    return *journal_;
+  }
+  [[nodiscard]] core::telemetry::TelemetryHistory& history() const {
+    return *history_;
+  }
+
   /// Snapshot of the worst-queries log, slowest first.
   [[nodiscard]] std::vector<core::telemetry::SlowQueryEntry> slow_queries()
       const {
@@ -439,6 +480,12 @@ class QueryService {
     /// Outage-keyword hits summed per day of month (index day-1), over
     /// posts passing the alerting filter, accumulated in ingest order.
     std::array<double, 31> day_hits{};
+    /// Per-shard access counters (registered at shard creation): how
+    /// often queries answered from this shard's summary vs rescanned its
+    /// posts — the spill-to-disk eviction signal (ROADMAP). Null no-ops
+    /// when telemetry is disabled.
+    core::telemetry::Counter summary_touches;
+    core::telemetry::Counter scan_touches;
   };
 
   /// The canonical insight-cache key: corpus version + every query field
@@ -522,6 +569,12 @@ class QueryService {
   /// Resolved telemetry sink (config's registry or the global; never
   /// null). Handles below are null no-ops when the registry is disabled.
   core::telemetry::Registry* telemetry_{nullptr};
+  /// Request traces, control-plane events, and metric history — heap-held
+  /// (non-movable internals) and never null; disabled instances when the
+  /// registry is off.
+  std::unique_ptr<core::telemetry::RequestTracer> tracer_;
+  std::unique_ptr<core::telemetry::EventJournal> journal_;
+  std::unique_ptr<core::telemetry::TelemetryHistory> history_;
   core::telemetry::Histogram query_seconds_;
   core::telemetry::Histogram phase_validate_;
   core::telemetry::Histogram phase_cache_probe_;

@@ -205,6 +205,7 @@ TEST(Exposition, JsonGolden) {
   slow.corpus_version = 7;
   slow.hits = 3;
   slow.last_seen_version = 9;
+  slow.trace_id = 0x1234abcd5678ef90ull;
   const std::string expected =
       "{\n"
       "  \"counters\": {\"requests_total{path=\\\"scan\\\"}\": 2},\n"
@@ -213,7 +214,8 @@ TEST(Exposition, JsonGolden) {
       "  \"slow_queries\": [{\"fingerprint\": \"0000000000abcdef\", "
       "\"seconds\": 0.25, \"path\": \"scan\", \"shards_from_summary\": 0, "
       "\"shards_scanned\": 4, \"sessions\": 100, \"corpus_version\": 7, "
-      "\"hits\": 3, \"last_seen_version\": 9}]\n"
+      "\"hits\": 3, \"last_seen_version\": 9, "
+      "\"trace_id\": \"1234abcd5678ef90\"}]\n"
       "}\n";
   EXPECT_EQ(to_json(reg.collect(), {slow}), expected);
 }

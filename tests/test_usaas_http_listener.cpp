@@ -317,6 +317,51 @@ TEST(HttpListener, MapsRoutesAndBadInputsToStatusCodes) {
   EXPECT_TRUE(fe.listener.stats().reconciles());
 }
 
+TEST(HttpListener, AdoptsAndEchoesXRequestIdIntoTraces) {
+  Frontend fe;
+  ASSERT_TRUE(fe.listener.start());
+  const std::uint16_t port = fe.listener.port();
+
+  const auto echoed = [](const std::string& response) -> std::string {
+    const std::size_t pos = response.find("X-Request-Id: ");
+    if (pos == std::string::npos || pos + 30 > response.size()) return {};
+    return response.substr(pos + 14, 16);
+  };
+  const auto with_id = [](const std::string& id) {
+    return "GET /query?" + std::string{kQueryString} +
+           " HTTP/1.1\r\nHost: t\r\nX-Request-Id: " + id + "\r\n\r\n";
+  };
+
+  // Hex IDs parse verbatim: the caller can grep its own ID.
+  const std::string hex = http_exchange(port, with_id("deadbeef"));
+  EXPECT_EQ(status_of(hex), 200) << hex;
+  EXPECT_EQ(echoed(hex), "00000000deadbeef");
+
+  // Non-hex IDs hash to a stable 64-bit ID — same header, same echo.
+  const std::string a = http_exchange(port, with_id("client-run-7"));
+  const std::string b = http_exchange(port, with_id("client-run-7"));
+  EXPECT_EQ(echoed(a).size(), 16u);
+  EXPECT_NE(echoed(a), "0000000000000000");
+  EXPECT_EQ(echoed(a), echoed(b));
+
+  // No header: the scheduler mints one and the echo still rides back.
+  const std::string minted =
+      http_exchange(port, get_request("/query?" + std::string{kQueryString}));
+  EXPECT_EQ(echoed(minted).size(), 16u);
+  EXPECT_NE(echoed(minted), "0000000000000000");
+
+  // The adopted ID is queryable at /debug/traces over the same wire.
+  const std::string traces =
+      http_exchange(port, get_request("/debug/traces"));
+  EXPECT_EQ(status_of(traces), 200);
+  EXPECT_NE(traces.find("\"trace_id\": \"00000000deadbeef\""),
+            std::string::npos)
+      << traces;
+
+  EXPECT_TRUE(fe.listener.stop());
+  EXPECT_TRUE(fe.listener.stats().reconciles());
+}
+
 TEST(HttpListener, HugeOrNegativeContentLengthIsARejectedReadNotAWrap) {
   HttpListenerConfig lcfg;
   lcfg.read_timeout = std::chrono::milliseconds{250};
